@@ -1,0 +1,98 @@
+// Ablation — rendezvous protocol variants (Sec. IV-B): RTS with and
+// without the inline first fragment, across message sizes, measured as
+// modeled completion latency of a single expected message (post, send,
+// match on the DPA, protocol handling).
+//
+// Expected shape: inline data removes the RDMA read for payloads that fit
+// the fragment and shrinks the read for larger ones, so the benefit decays
+// as size grows; eager is shown as the small-message reference.
+#include <cstdio>
+#include <iostream>
+
+#include "proto/endpoint.hpp"
+#include "util/args.hpp"
+#include "util/table_writer.hpp"
+
+using namespace otm;
+using namespace otm::proto;
+
+namespace {
+
+/// Modeled ns from posting the receive to delivery into the user buffer.
+/// `recv_bytes` sizes the user buffer (0 = full payload).
+double one_message_latency(std::size_t bytes, bool inline_rts,
+                           std::size_t eager_threshold,
+                           std::size_t recv_bytes = 0) {
+  rdma::Fabric fabric;
+  EndpointConfig cfg;
+  cfg.eager_threshold = eager_threshold;
+  cfg.rts_inline_data = inline_rts;
+  MatchConfig mc;
+  mc.bins = 64;
+  mc.block_size = 4;
+  mc.max_receives = 64;
+  mc.max_unexpected = 64;
+  Endpoint sender(fabric, 0, cfg, mc, DpaConfig{});
+  Endpoint receiver(fabric, 1, cfg, mc, DpaConfig{});
+  sender.connect(receiver);
+
+  std::vector<std::byte> tx(bytes, std::byte{0x3C});
+  std::vector<std::byte> rx(recv_bytes == 0 ? bytes : recv_bytes);
+  receiver.post_receive({0, 1, 0}, rx, 1);
+  const std::uint64_t start = sender.now_ns();
+  const auto s = sender.send(1, 1, 0, tx);
+  OTM_ASSERT(s.ok);
+  const auto done = receiver.progress();
+  OTM_ASSERT(done.size() == 1);
+  OTM_ASSERT(std::equal(rx.begin(), rx.end(), tx.begin()));
+  return static_cast<double>(done[0].complete_ns - start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::size_t threshold =
+      static_cast<std::size_t>(args.get_int("eager-threshold", 1024));
+
+  std::printf("Ablation: rendezvous RTS inline data (eager threshold %zu B)\n\n",
+              threshold);
+  TableWriter table({"payload B", "protocol", "plain RTS (us)",
+                     "inline RTS (us)", "speedup %"});
+
+  for (const std::size_t bytes :
+       {256u, 1024u, 2048u, 4096u, 16384u, 65536u, 262144u}) {
+    const bool eager = bytes <= threshold;
+    const double plain = one_message_latency(bytes, false, threshold);
+    const double with_inline = one_message_latency(bytes, true, threshold);
+    table.row()
+        .cell(static_cast<std::uint64_t>(bytes))
+        .cell(eager ? "eager" : "rendezvous")
+        .cell(plain / 1e3, 2)
+        .cell(with_inline / 1e3, 2)
+        .cell(100.0 * (plain / with_inline - 1.0), 1);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe fragment is capped at the eager threshold, so for full-size\n"
+      "receives the saving is one threshold's worth of read serialization —\n"
+      "marginal once the RDMA-read round trip dominates. The decisive win is\n"
+      "a receive that truncates *within* the fragment: the read (and its\n"
+      "round trip) disappears entirely:\n\n");
+
+  TableWriter trunc({"payload B", "recv B", "plain RTS (us)", "inline RTS (us)",
+                     "speedup %"});
+  for (const std::size_t recv_bytes : {128u, 512u, 1024u}) {
+    const double plain = one_message_latency(65536, false, threshold, recv_bytes);
+    const double with_inline =
+        one_message_latency(65536, true, threshold, recv_bytes);
+    trunc.row()
+        .cell(static_cast<std::uint64_t>(65536))
+        .cell(static_cast<std::uint64_t>(recv_bytes))
+        .cell(plain / 1e3, 2)
+        .cell(with_inline / 1e3, 2)
+        .cell(100.0 * (plain / with_inline - 1.0), 1);
+  }
+  trunc.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6 — distribution of MPI calls (point-to-point / collective /
+// one-sided) for the application set, plus the Table II inventory.
+//
+// Replays every synthetic application trace through the analyzer and
+// prints the per-application call mix. Expected shape (paper): most
+// applications are p2p-dominant, exactly three use p2p exclusively, the
+// two HILO variants are collective-only, and no application uses
+// one-sided MPI.
+#include <cstdio>
+#include <iostream>
+
+#include "trace/analyzer.hpp"
+#include "trace/synthetic.hpp"
+#include "util/args.hpp"
+#include "util/table_writer.hpp"
+
+using namespace otm;
+using namespace otm::trace;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool show_table2 = args.get_bool("table2", true);
+
+  if (show_table2) {
+    std::printf("Table II: application traces analyzed\n\n");
+    TableWriter t2({"Application", "Description", "Processes"});
+    for (const AppInfo& app : application_suite())
+      t2.row().cell(app.name).cell(app.description).cell(
+          static_cast<std::int64_t>(app.processes));
+    t2.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("Figure 6: distribution of MPI calls for the application set\n\n");
+  TableWriter table({"Application", "p2p %", "collective %", "one-sided %",
+                     "p2p calls", "collective calls"});
+
+  int pure_p2p = 0;
+  int pure_collective = 0;
+  bool any_one_sided = false;
+  TraceAnalyzer analyzer{AnalyzerConfig{}};
+  for (const AppInfo& app : application_suite()) {
+    const Trace trace = app.make();
+    const AppAnalysis a = analyzer.analyze(trace);
+    table.row()
+        .cell(app.name)
+        .cell(a.calls.pct_p2p(), 1)
+        .cell(a.calls.pct_collective(), 1)
+        .cell(a.calls.pct_one_sided(), 1)
+        .cell(a.calls.p2p)
+        .cell(a.calls.collective);
+    if (a.calls.p2p > 0 && a.calls.collective == 0) ++pure_p2p;
+    if (a.calls.p2p == 0 && a.calls.collective > 0) ++pure_collective;
+    if (a.calls.one_sided > 0) any_one_sided = true;
+  }
+  table.print(std::cout);
+
+  std::printf("\nshape: exactly 3 applications exclusively p2p .......... %s (%d)\n",
+              pure_p2p == 3 ? "OK" : "VIOLATED", pure_p2p);
+  std::printf("shape: 2 applications entirely collectives (HILO x2) ... %s (%d)\n",
+              pure_collective == 2 ? "OK" : "VIOLATED", pure_collective);
+  std::printf("shape: no application uses one-sided MPI ............... %s\n",
+              !any_one_sided ? "OK" : "VIOLATED");
+  return (pure_p2p == 3 && pure_collective == 2 && !any_one_sided) ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark, real wall clock): raw matcher
+// operation throughput for the traditional list matcher, the Flajslik bin
+// matcher and the optimistic receive store, across bin counts and queue
+// depths. These quantify the data-structure effects independent of the
+// DPA cost model.
+#include <benchmark/benchmark.h>
+
+#include "baseline/bin_matcher.hpp"
+#include "baseline/list_matcher.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace otm {
+namespace {
+
+// Post `depth` receives with distinct tags, then match them in reverse
+// order — the worst-case scan for list-based matching.
+void BM_ListMatcher_ReverseDrain(benchmark::State& state) {
+  const auto depth = static_cast<Tag>(state.range(0));
+  for (auto _ : state) {
+    ListMatcher m;
+    for (Tag t = 0; t < depth; ++t) m.post({1, t, 0}, static_cast<std::uint64_t>(t));
+    for (Tag t = depth - 1; t >= 0; --t) {
+      auto r = m.arrive({1, t, 0}, static_cast<std::uint64_t>(t));
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_ListMatcher_ReverseDrain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BinMatcher_ReverseDrain(benchmark::State& state) {
+  const auto depth = static_cast<Tag>(state.range(0));
+  const auto bins = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    BinMatcher m(bins);
+    for (Tag t = 0; t < depth; ++t) m.post({1, t, 0}, static_cast<std::uint64_t>(t));
+    for (Tag t = depth - 1; t >= 0; --t) {
+      auto r = m.arrive({1, t, 0}, static_cast<std::uint64_t>(t));
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_BinMatcher_ReverseDrain)
+    ->Args({128, 1})
+    ->Args({128, 32})
+    ->Args({128, 128});
+
+void BM_OptimisticStore_ReverseDrain(benchmark::State& state) {
+  const auto depth = static_cast<Tag>(state.range(0));
+  const auto bins = static_cast<std::size_t>(state.range(1));
+  MatchConfig cfg;
+  cfg.bins = bins;
+  cfg.block_size = 1;
+  cfg.max_receives = 1024;
+  cfg.max_unexpected = 1024;
+  LockstepExecutor ex;
+  for (auto _ : state) {
+    MatchEngine eng(cfg);
+    for (Tag t = 0; t < depth; ++t) eng.post_receive({1, t, 0});
+    for (Tag t = depth - 1; t >= 0; --t) {
+      auto o = eng.process_one(IncomingMessage::make(1, t, 0), ex);
+      benchmark::DoNotOptimize(o);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_OptimisticStore_ReverseDrain)
+    ->Args({128, 1})
+    ->Args({128, 32})
+    ->Args({128, 128});
+
+// Block matching throughput: how fast the engine chews through a stream of
+// pre-posted matches at various block sizes (lockstep schedule).
+void BM_Engine_BlockStream(benchmark::State& state) {
+  const auto block = static_cast<unsigned>(state.range(0));
+  MatchConfig cfg;
+  cfg.bins = 128;
+  cfg.block_size = block;
+  cfg.max_receives = 4096;
+  cfg.max_unexpected = 4096;
+  LockstepExecutor ex;
+  constexpr unsigned kMsgs = 512;
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < kMsgs; ++i)
+    msgs.push_back(IncomingMessage::make(1, static_cast<Tag>(i % 64), 0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MatchEngine eng(cfg);
+    for (unsigned i = 0; i < kMsgs; ++i)
+      eng.post_receive({1, static_cast<Tag>(i % 64), 0});
+    state.ResumeTiming();
+    auto out = eng.process(msgs, ex);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_Engine_BlockStream)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+
+// Unexpected-message flow: arrivals first, then draining posts.
+void BM_Engine_UnexpectedDrain(benchmark::State& state) {
+  MatchConfig cfg;
+  cfg.bins = 128;
+  cfg.max_receives = 1024;
+  cfg.max_unexpected = 1024;
+  LockstepExecutor ex;
+  constexpr Tag kN = 256;
+  for (auto _ : state) {
+    MatchEngine eng(cfg);
+    for (Tag t = 0; t < kN; ++t)
+      eng.process_one(IncomingMessage::make(1, t, 0), ex);
+    for (Tag t = 0; t < kN; ++t) {
+      auto p = eng.post_receive({1, t, 0});
+      benchmark::DoNotOptimize(p);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kN * 2);
+}
+BENCHMARK(BM_Engine_UnexpectedDrain);
+
+// Real-thread block matching (ThreadedExecutor): hardware-concurrency
+// contention on the booking bitmaps and partial barriers.
+void BM_Engine_ThreadedBlock(benchmark::State& state) {
+  const auto block = static_cast<unsigned>(state.range(0));
+  MatchConfig cfg;
+  cfg.bins = 128;
+  cfg.block_size = block;
+  cfg.max_receives = 4096;
+  cfg.max_unexpected = 4096;
+  cfg.early_booking_check = false;
+  ThreadedExecutor ex;
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < block; ++i)
+    msgs.push_back(IncomingMessage::make(1, 5, 0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MatchEngine eng(cfg);
+    for (unsigned i = 0; i < block; ++i) eng.post_receive({1, 5, 0});
+    state.ResumeTiming();
+    auto out = eng.process(msgs, ex);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * block);
+}
+BENCHMARK(BM_Engine_ThreadedBlock)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace otm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,199 @@
+#include "pingpong_common.hpp"
+
+#include <algorithm>
+
+#include "proto/wire.hpp"
+#include "util/assert.hpp"
+
+namespace otm::bench {
+namespace {
+
+constexpr Tag kAckTag = 30000;
+
+Tag tag_for(const PingPongConfig& cfg, unsigned i) {
+  return cfg.with_conflict ? 0 : static_cast<Tag>(i);
+}
+
+}  // namespace
+
+PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
+  rdma::Fabric fabric(cfg.fabric);
+  // The sender's own matcher only handles the ack, keep it minimal.
+  MatchConfig sender_match;
+  sender_match.bins = 16;
+  sender_match.block_size = 1;
+  sender_match.max_receives = 8;
+  sender_match.max_unexpected = 8;
+  proto::Endpoint sender(fabric, 0, cfg.endpoint, sender_match, cfg.dpa);
+  proto::Endpoint receiver(fabric, 1, cfg.endpoint, cfg.match, cfg.dpa);
+  sender.connect(receiver);
+
+  const unsigned k = cfg.messages_per_seq;
+  std::vector<std::byte> tx(cfg.payload_bytes);
+  std::vector<std::vector<std::byte>> user(k,
+                                           std::vector<std::byte>(cfg.payload_bytes));
+  std::vector<std::byte> ack_buf(8);
+
+  double total_ns = 0.0;
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    for (unsigned i = 0; i < k; ++i) {
+      const auto r = receiver.post_receive({0, tag_for(cfg, i), 0}, user[i], i);
+      OTM_ASSERT_MSG(r.status == proto::Endpoint::PostStatus::kPending,
+                     "receive did not stay pending");
+    }
+    const auto ack_post = sender.post_receive({1, kAckTag, 0}, ack_buf, 0);
+    OTM_ASSERT(ack_post.status == proto::Endpoint::PostStatus::kPending);
+
+    const std::uint64_t start = sender.now_ns();
+    for (unsigned i = 0; i < k; ++i) {
+      const auto s = sender.send(1, tag_for(cfg, i), 0, tx);
+      OTM_ASSERT_MSG(s.ok, "ping send failed");
+    }
+    const auto done = receiver.progress();
+    OTM_ASSERT_MSG(done.size() == k, "not all messages matched");
+
+    const auto ack = receiver.send(0, kAckTag, 0, std::span<const std::byte>(
+                                                      ack_buf.data(), 8));
+    OTM_ASSERT(ack.ok);
+    const auto acks = sender.progress();
+    OTM_ASSERT(acks.size() == 1);
+    total_ns += static_cast<double>(acks[0].complete_ns - start);
+  }
+
+  const MatchStats& s = receiver.dpa().engine().stats();
+  PingPongResult r;
+  r.avg_seq_ns = total_ns / cfg.repetitions;
+  r.msg_rate = static_cast<double>(k) * 1e9 / r.avg_seq_ns;
+  r.host_match_cycles = receiver.dpa().host_matching_cycles();  // 0: offloaded
+  r.conflicts = s.conflicts_detected;
+  r.fast_path = s.fast_path_resolutions;
+  r.slow_path = s.slow_path_resolutions;
+  return r;
+}
+
+namespace {
+
+/// Shared two-node raw-RDMA scaffold for the host-side baselines.
+struct HostScaffold {
+  explicit HostScaffold(const PingPongConfig& cfg)
+      : fabric(cfg.fabric),
+        node_a(fabric.add_node()),
+        node_b(fabric.add_node()),
+        cq_a(4096),
+        cq_b(4096),
+        bounce_a(64, proto::kHeaderBytes + 256),
+        bounce_b(4096, proto::kHeaderBytes + 256),
+        qa(fabric, node_a, cq_a, reg_a, srq_a),
+        qb(fabric, node_b, cq_b, reg_b, srq_b) {
+    qa.connect(qb);
+    for (std::size_t i = 0; i < bounce_b.capacity(); ++i) {
+      const auto h = bounce_b.allocate();
+      srq_b.post(*h, bounce_b.data(*h));
+    }
+    for (std::size_t i = 0; i < bounce_a.capacity(); ++i) {
+      const auto h = bounce_a.allocate();
+      srq_a.post(*h, bounce_a.data(*h));
+    }
+  }
+
+  std::uint64_t send(rdma::QueuePair& qp, Rank src, Tag tag,
+                     std::uint32_t bytes, std::uint64_t send_ns) {
+    proto::WireHeader h;
+    h.source = src;
+    h.tag = tag;
+    h.protocol = static_cast<std::uint8_t>(Protocol::kEager);
+    h.payload_bytes = bytes;
+    h.inline_bytes = bytes;
+    std::vector<std::byte> packet(proto::kHeaderBytes + bytes);
+    proto::encode_header(h, packet);
+    const auto r = qp.post_send(packet, send_ns);
+    OTM_ASSERT(r.delivered);
+    return r.arrival_ns;
+  }
+
+  rdma::Fabric fabric;
+  rdma::NodeId node_a, node_b;
+  rdma::MemoryRegistry reg_a, reg_b;
+  rdma::CompletionQueue cq_a, cq_b;
+  rdma::SharedReceiveQueue srq_a, srq_b;
+  rdma::BounceBufferPool bounce_a, bounce_b;
+  rdma::QueuePair qa, qb;
+};
+
+PingPongResult run_host(const PingPongConfig& cfg, bool do_matching) {
+  HostScaffold hs(cfg);
+  const CostTable host_costs = CostTable::host_cpu();
+  const double cpu_ghz = 2.0;
+  const unsigned k = cfg.messages_per_seq;
+
+  double total_ns = 0.0;
+  std::uint64_t match_cycles = 0;
+  std::uint64_t sender_ns = 0;
+  std::uint64_t host_free_ns = 0;  // receiver CPU availability
+
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    ListMatcher matcher;
+    if (do_matching) {
+      for (unsigned i = 0; i < k; ++i) matcher.post({0, tag_for(cfg, i), 0}, i);
+    }
+
+    const std::uint64_t start = sender_ns;
+    std::uint64_t last_completion = 0;
+    for (unsigned i = 0; i < k; ++i) {
+      sender_ns += static_cast<std::uint64_t>(cfg.endpoint.send_overhead_ns);
+      hs.send(hs.qa, 0, tag_for(cfg, i), cfg.payload_bytes, sender_ns);
+    }
+    // The receiver host drains its CQ serially: poll, decode, match, copy.
+    for (unsigned i = 0; i < k; ++i) {
+      const auto cqe = hs.cq_b.poll();
+      OTM_ASSERT(cqe.has_value());
+      const proto::WireHeader h = proto::decode_header(hs.bounce_b.data(cqe->wr_id));
+      const std::uint64_t begin = std::max(cqe->timestamp_ns, host_free_ns);
+      ThreadClock clock(&host_costs);
+      clock.charge(host_costs.cqe_poll);
+      if (do_matching) {
+        matcher.set_clock(&clock);
+        const auto m = matcher.arrive({h.source, h.tag, 0}, i);
+        OTM_ASSERT_MSG(m.has_value(), "host baseline message went unexpected");
+        clock.charge(host_costs.consume);
+      }
+      clock.charge_copy(h.payload_bytes);
+      match_cycles += clock.cycles();
+      const auto cost_ns =
+          static_cast<std::uint64_t>(static_cast<double>(clock.cycles()) / cpu_ghz);
+      host_free_ns = begin + cost_ns;
+      last_completion = host_free_ns;
+      hs.srq_b.post(cqe->wr_id, hs.bounce_b.data(cqe->wr_id));  // recycle
+    }
+    // Ack back to the sender.
+    const std::uint64_t ack_send =
+        last_completion + static_cast<std::uint64_t>(cfg.endpoint.send_overhead_ns);
+    const std::uint64_t ack_arrival = hs.send(hs.qb, 1, kAckTag, 8, ack_send);
+    const auto ack_cqe = hs.cq_a.poll();
+    OTM_ASSERT(ack_cqe.has_value());
+    hs.srq_a.post(ack_cqe->wr_id, hs.bounce_a.data(ack_cqe->wr_id));
+    const std::uint64_t end =
+        ack_arrival + static_cast<std::uint64_t>(
+                          static_cast<double>(host_costs.cqe_poll) / cpu_ghz);
+    sender_ns = end;
+    total_ns += static_cast<double>(end - start);
+  }
+
+  PingPongResult r;
+  r.avg_seq_ns = total_ns / cfg.repetitions;
+  r.msg_rate = static_cast<double>(k) * 1e9 / r.avg_seq_ns;
+  r.host_match_cycles = do_matching ? match_cycles : 0;
+  return r;
+}
+
+}  // namespace
+
+PingPongResult run_mpi_cpu(const PingPongConfig& cfg) {
+  return run_host(cfg, /*do_matching=*/true);
+}
+
+PingPongResult run_rdma_cpu(const PingPongConfig& cfg) {
+  return run_host(cfg, /*do_matching=*/false);
+}
+
+}  // namespace otm::bench

@@ -1,0 +1,58 @@
+// Shared ping-pong harness for the Fig. 8 message-rate benchmark and the
+// optimization/block-size ablations.
+//
+// Reproduces the paper's Sec. VI methodology: a node sends a sequence of
+// k=100 small messages to its peer; once the peer receives (and matches)
+// all of them, it replies with an acknowledgment. Message rate = k divided
+// by the modeled time from first send to ack arrival, repeated over many
+// sequences.
+//
+// Scenarios: NC (every receive has a distinct source/tag combination),
+// WC (all receives share one source/tag — conflict-heavy). The receiver
+// matches either on the simulated DPA (optimistic tag matching), on the
+// host CPU with the traditional list matcher (MPI-CPU), or not at all
+// (RDMA-CPU reference: pure transport).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/list_matcher.hpp"
+#include "core/cost_model.hpp"
+#include "dpa/dpa_config.hpp"
+#include "proto/endpoint.hpp"
+#include "rdma/fabric.hpp"
+
+namespace otm::bench {
+
+struct PingPongConfig {
+  unsigned messages_per_seq = 100;  ///< k
+  unsigned repetitions = 500;
+  std::uint32_t payload_bytes = 8;
+  bool with_conflict = false;  ///< WC: all receives share (src, tag)
+  MatchConfig match = MatchConfig::paper_prototype();
+  DpaConfig dpa{};
+  proto::EndpointConfig endpoint{};
+  rdma::FabricConfig fabric{};
+};
+
+struct PingPongResult {
+  double msg_rate = 0.0;           ///< messages matched per second (modeled)
+  double avg_seq_ns = 0.0;         ///< modeled time per sequence
+  std::uint64_t host_match_cycles = 0;  ///< matching cycles burned on the host
+  std::uint64_t conflicts = 0;
+  std::uint64_t fast_path = 0;
+  std::uint64_t slow_path = 0;
+};
+
+/// Optimistic tag matching offloaded to the simulated DPA.
+PingPongResult run_optimistic_dpa(const PingPongConfig& cfg);
+
+/// Traditional two-queue matching on the host CPU (the MPI-CPU baseline).
+PingPongResult run_mpi_cpu(const PingPongConfig& cfg);
+
+/// Pure RDMA message exchange, no matching (the RDMA-CPU reference).
+PingPongResult run_rdma_cpu(const PingPongConfig& cfg);
+
+}  // namespace otm::bench

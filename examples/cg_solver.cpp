@@ -1,0 +1,143 @@
+// Distributed conjugate gradient on a 1D Poisson problem — the canonical
+// HPC workload mix the paper's application analysis is about: a halo
+// exchange per matrix-vector product (p2p through the offloaded matcher)
+// plus dot-product allreduces (collectives layered over matched p2p,
+// Sec. VII).
+//
+//   $ ./cg_solver [--ranks=8 --local=64 --tol=1e-10]
+//
+// Solves A u = b where A is the tridiagonal (-1, 2, -1) Laplacian, with a
+// manufactured right-hand side so the solution is known exactly. Prints
+// convergence and the matching statistics gathered on the way.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "util/args.hpp"
+
+using namespace otm;
+
+namespace {
+
+constexpr Tag kHaloLeft = 10;   // value travelling left -> right boundary
+constexpr Tag kHaloRight = 11;  // value travelling right -> left boundary
+
+/// Tridiagonal Laplacian matvec with a one-value halo on each side.
+void matvec(mpi::Proc& proc, const mpi::Comm& comm,
+            const std::vector<double>& x, std::vector<double>& y) {
+  const int p = proc.size();
+  const Rank me = proc.rank();
+  const std::size_t n = x.size();
+  double left_ghost = 0.0;   // Dirichlet boundary outside the domain
+  double right_ghost = 0.0;
+
+  std::vector<mpi::Request> reqs;
+  if (me > 0)
+    reqs.push_back(proc.irecv(
+        std::as_writable_bytes(std::span(&left_ghost, 1)), me - 1, kHaloLeft,
+        comm));
+  if (me < p - 1)
+    reqs.push_back(proc.irecv(
+        std::as_writable_bytes(std::span(&right_ghost, 1)), me + 1, kHaloRight,
+        comm));
+  if (me > 0)
+    proc.send(std::as_bytes(std::span(&x.front(), 1)), me - 1, kHaloRight, comm);
+  if (me < p - 1)
+    proc.send(std::as_bytes(std::span(&x.back(), 1)), me + 1, kHaloLeft, comm);
+  proc.wait_all(reqs);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xl = i == 0 ? left_ghost : x[i - 1];
+    const double xr = i == n - 1 ? right_ghost : x[i + 1];
+    y[i] = 2.0 * x[i] - xl - xr;
+  }
+}
+
+double dot(mpi::Proc& proc, const mpi::Comm& comm,
+           const std::vector<double>& a, const std::vector<double>& b) {
+  double local[1] = {0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) local[0] += a[i] * b[i];
+  double global[1];
+  proc.allreduce(local, global, mpi::Proc::ReduceOp::kSum, comm);
+  return global[0];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const std::size_t local = static_cast<std::size_t>(args.get_int("local", 64));
+  const double tol = args.get_double("tol", 1e-10);
+  const std::size_t total = local * static_cast<std::size_t>(ranks);
+
+  std::printf("CG on a %zu-point 1D Poisson problem over %d ranks "
+              "(%zu points/rank)\n", total, ranks, local);
+
+  mpi::World world(ranks, {});
+  double final_err = 0.0;
+  int final_iters = 0;
+
+  world.run([&](mpi::Proc& proc) {
+    const mpi::Comm comm = proc.world_comm();
+    const std::size_t off = local * static_cast<std::size_t>(proc.rank());
+    const double h = 1.0 / static_cast<double>(total + 1);
+
+    // Manufactured solution u(s) = sin(pi s): b = A u with
+    // u'' known analytically; use the discrete operator for exactness.
+    auto u_exact = [&](std::size_t gi) {
+      return std::sin(M_PI * static_cast<double>(gi + 1) * h);
+    };
+    std::vector<double> u_true(local);
+    for (std::size_t i = 0; i < local; ++i) u_true[i] = u_exact(off + i);
+    std::vector<double> b(local);
+    matvec(proc, comm, u_true, b);  // b = A u*, via real halo exchange
+
+    // CG iteration.
+    std::vector<double> x(local, 0.0);
+    std::vector<double> r = b;
+    std::vector<double> d = r;
+    std::vector<double> q(local);
+    double rho = dot(proc, comm, r, r);
+    const double rho0 = rho;
+    int it = 0;
+    for (; it < 10 * static_cast<int>(total) && rho > tol * tol * rho0; ++it) {
+      matvec(proc, comm, d, q);
+      const double alpha = rho / dot(proc, comm, d, q);
+      for (std::size_t i = 0; i < local; ++i) {
+        x[i] += alpha * d[i];
+        r[i] -= alpha * q[i];
+      }
+      const double rho_new = dot(proc, comm, r, r);
+      const double beta = rho_new / rho;
+      rho = rho_new;
+      for (std::size_t i = 0; i < local; ++i) d[i] = r[i] + beta * d[i];
+    }
+
+    // Error against the manufactured solution.
+    double local_err[1] = {0.0};
+    for (std::size_t i = 0; i < local; ++i)
+      local_err[0] = std::max(local_err[0], std::fabs(x[i] - u_true[i]));
+    double global_err[1];
+    proc.allreduce(local_err, global_err, mpi::Proc::ReduceOp::kMax, comm);
+    if (proc.rank() == 0) {
+      final_err = global_err[0];
+      final_iters = it;
+    }
+    proc.barrier(comm);
+  });
+
+  std::printf("converged in %d iterations, max error %.3e %s\n", final_iters,
+              final_err, final_err < 1e-6 ? "(OK)" : "(BAD)");
+
+  MatchStats total_stats;
+  for (Rank r = 0; r < ranks; ++r)
+    if (const MatchStats* s = world.proc(r).match_stats()) total_stats += *s;
+  std::printf("matching offloaded across the job: %llu messages matched, "
+              "%llu unexpected, %llu search attempts, 0 host cycles\n",
+              static_cast<unsigned long long>(total_stats.messages_matched),
+              static_cast<unsigned long long>(total_stats.messages_unexpected),
+              static_cast<unsigned long long>(total_stats.match_attempts));
+  return final_err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+// Halo exchange: the communication pattern that motivates bin-based
+// matching (Sec. I/V) — every rank of a 3D process grid exchanges ghost
+// cells with its 6 face neighbors each iteration, receive-first.
+//
+//   $ ./halo_exchange [--nx=4 --ny=4 --nz=4 --iters=5]
+//
+// Runs the pattern twice — once on the offloaded optimistic matcher, once
+// on the traditional software list matcher — verifies the transported
+// data, and contrasts the matching statistics.
+#include <cstdio>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "util/args.hpp"
+
+using namespace otm;
+
+namespace {
+
+struct GridDims {
+  int nx, ny, nz;
+  int size() const { return nx * ny * nz; }
+  Rank id(int x, int y, int z) const {
+    const int wx = ((x % nx) + nx) % nx;
+    const int wy = ((y % ny) + ny) % ny;
+    const int wz = ((z % nz) + nz) % nz;
+    return static_cast<Rank>((wz * ny + wy) * nx + wx);
+  }
+};
+
+std::vector<std::byte> face_payload(Rank owner, int direction, int iter) {
+  std::vector<std::byte> v(256);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::byte>((static_cast<std::size_t>(owner) * 7 +
+                                   static_cast<std::size_t>(direction) * 13 +
+                                   static_cast<std::size_t>(iter) * 31 + i) &
+                                  0xFF);
+  return v;
+}
+
+std::uint64_t run(mpi::World& world, const GridDims& g, int iters) {
+  std::uint64_t checksum = 0;
+  world.run([&](mpi::Proc& proc) {
+    const mpi::Comm comm = proc.world_comm();
+    const Rank me = proc.rank();
+    const int x = me % g.nx;
+    const int y = (me / g.nx) % g.ny;
+    const int z = me / (g.nx * g.ny);
+    const int offsets[6][3] = {{+1, 0, 0}, {-1, 0, 0}, {0, +1, 0},
+                               {0, -1, 0}, {0, 0, +1}, {0, 0, -1}};
+
+    for (int iter = 0; iter < iters; ++iter) {
+      std::vector<std::vector<std::byte>> rx(6, std::vector<std::byte>(256));
+      std::vector<std::vector<std::byte>> tx;
+      std::vector<mpi::Request> reqs;
+      // Receive-first: post all ghost-cell receives before sending
+      // (Sec. II-A: avoids unexpected messages).
+      for (int d = 0; d < 6; ++d) {
+        const Rank nbr = g.id(x + offsets[d][0], y + offsets[d][1],
+                              z + offsets[d][2]);
+        reqs.push_back(proc.irecv(rx[static_cast<std::size_t>(d)], nbr,
+                                  static_cast<Tag>(d), comm));
+      }
+      for (int d = 0; d < 6; ++d) {
+        const Rank nbr = g.id(x + offsets[d][0], y + offsets[d][1],
+                              z + offsets[d][2]);
+        // The neighbor receives this face under the mirrored direction.
+        tx.push_back(face_payload(me, d, iter));
+        proc.send(tx.back(), nbr, static_cast<Tag>(d ^ 1), comm);
+      }
+      proc.wait_all(reqs);
+      // Verify: face d came from the neighbor in direction d, who sent it
+      // as its direction (d ^ 1).
+      for (int d = 0; d < 6; ++d) {
+        const Rank nbr = g.id(x + offsets[d][0], y + offsets[d][1],
+                              z + offsets[d][2]);
+        const auto expect = face_payload(nbr, d ^ 1, iter);
+        if (rx[static_cast<std::size_t>(d)] != expect) {
+          std::fprintf(stderr, "rank %d: bad ghost data (dir %d iter %d)\n",
+                       me, d, iter);
+          std::abort();
+        }
+      }
+    }
+  });
+  for (Rank r = 0; r < g.size(); ++r) {
+    if (const MatchStats* s = world.proc(r).match_stats())
+      checksum += s->messages_matched;
+  }
+  return checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const GridDims g{static_cast<int>(args.get_int("nx", 3)),
+                   static_cast<int>(args.get_int("ny", 3)),
+                   static_cast<int>(args.get_int("nz", 2))};
+  const int iters = static_cast<int>(args.get_int("iters", 4));
+
+  std::printf("halo exchange on a %dx%dx%d grid (%d ranks), %d iterations\n",
+              g.nx, g.ny, g.nz, g.size(), iters);
+
+  mpi::WorldOptions offload;
+  offload.backend = mpi::Backend::kOffloadDpa;
+  mpi::World world_offload(g.size(), offload);
+  run(world_offload, g, iters);
+
+  mpi::WorldOptions software;
+  software.backend = mpi::Backend::kSoftwareList;
+  mpi::World world_sw(g.size(), software);
+  run(world_sw, g, iters);
+
+  std::printf("data verified on both backends.\n\n");
+  std::printf("offloaded matching stats per rank (rank 0 shown):\n");
+  const MatchStats& s = *world_offload.proc(0).match_stats();
+  std::printf("  posted=%llu  matched=%llu  unexpected=%llu\n",
+              static_cast<unsigned long long>(s.receives_posted),
+              static_cast<unsigned long long>(s.messages_matched),
+              static_cast<unsigned long long>(s.messages_unexpected));
+  std::printf("  search attempts=%llu over %llu messages (avg %.2f, the\n"
+              "  low queue depth Fig. 7 predicts for halo patterns)\n",
+              static_cast<unsigned long long>(s.match_attempts),
+              static_cast<unsigned long long>(s.messages_processed),
+              static_cast<double>(s.match_attempts) /
+                  static_cast<double>(s.messages_processed + s.receives_posted));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Offloaded endpoint in the raw (below the MPI layer): drives the
+// Sec. IV architecture directly — bounce buffers, completion queue, DPA
+// matching, eager vs rendezvous protocol — and prints the modeled
+// timeline, including the conflict-resolution paths under a same-tag
+// burst (the paper's WC scenario).
+//
+//   $ ./offload_pingpong [--msgs=32] [--eager-threshold=1024]
+#include <cstdio>
+#include <vector>
+
+#include "proto/endpoint.hpp"
+#include "util/args.hpp"
+
+using namespace otm;
+using namespace otm::proto;
+
+namespace {
+
+const char* path_name(ResolutionPath p) {
+  switch (p) {
+    case ResolutionPath::kOptimistic: return "optimistic";
+    case ResolutionPath::kFastPath: return "fast-path";
+    case ResolutionPath::kSlowPath: return "slow-path";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const unsigned msgs = static_cast<unsigned>(args.get_int("msgs", 32));
+
+  rdma::Fabric fabric;
+  EndpointConfig ep_cfg;
+  ep_cfg.eager_threshold =
+      static_cast<std::size_t>(args.get_int("eager-threshold", 1024));
+  MatchConfig match = MatchConfig::paper_prototype();
+  match.early_booking_check = false;  // let the burst conflict
+  DpaConfig dpa;
+
+  Endpoint sender(fabric, 0, ep_cfg, match, dpa);
+  Endpoint receiver(fabric, 1, ep_cfg, match, dpa);
+  sender.connect(receiver);
+
+  // --- 1) Same-tag burst: the with-conflict scenario ----------------------
+  std::printf("1) burst of %u same-tag messages into a compatible receive "
+              "sequence:\n", msgs);
+  std::vector<std::vector<std::byte>> bufs(msgs, std::vector<std::byte>(64));
+  for (unsigned i = 0; i < msgs; ++i)
+    receiver.post_receive({0, /*tag=*/7, 0}, bufs[i], /*cookie=*/i);
+  std::vector<std::byte> payload(64, std::byte{0x5A});
+  for (unsigned i = 0; i < msgs; ++i) sender.send(1, 7, 0, payload);
+
+  unsigned by_path[3] = {0, 0, 0};
+  for (const auto& c : receiver.progress())
+    ++by_path[static_cast<unsigned>(c.path)];
+  std::printf("   matched %u messages:", msgs);
+  for (unsigned p = 0; p < 3; ++p)
+    std::printf(" %u %s", by_path[p], path_name(static_cast<ResolutionPath>(p)));
+  std::printf("\n");
+  const MatchStats& s = receiver.dpa().engine().stats();
+  std::printf("   conflicts detected on the DPA: %llu (host CPU matching "
+              "cycles: %llu)\n\n",
+              static_cast<unsigned long long>(s.conflicts_detected),
+              static_cast<unsigned long long>(
+                  receiver.dpa().host_matching_cycles()));
+
+  // --- 2) Eager vs rendezvous ---------------------------------------------
+  std::printf("2) protocol selection by size (threshold %zu B):\n",
+              ep_cfg.eager_threshold);
+  std::vector<std::byte> small_rx(128);
+  std::vector<std::byte> big_rx(64 * 1024);
+  receiver.post_receive({0, 20, 0}, small_rx, 100);
+  receiver.post_receive({0, 21, 0}, big_rx, 101);
+  std::vector<std::byte> small_tx(128, std::byte{1});
+  std::vector<std::byte> big_tx(64 * 1024, std::byte{2});
+  sender.send(1, 20, 0, small_tx);
+  sender.send(1, 21, 0, big_tx);
+  for (const auto& c : receiver.progress())
+    std::printf("   cookie %llu: %u bytes at t=%.2f us (%s)\n",
+                static_cast<unsigned long long>(c.cookie), c.bytes,
+                static_cast<double>(c.complete_ns) / 1000.0,
+                c.cookie == 100 ? "eager: staged in NIC bounce buffer"
+                                : "rendezvous: RDMA read from sender");
+  std::printf("   eager sends: %llu, rendezvous sends: %llu, RDMA reads: %llu\n\n",
+              static_cast<unsigned long long>(sender.counters().eager_sends),
+              static_cast<unsigned long long>(sender.counters().rendezvous_sends),
+              static_cast<unsigned long long>(receiver.counters().rdma_reads));
+
+  // --- 3) Unexpected rendezvous: late receive triggers the read -----------
+  std::printf("3) unexpected rendezvous message, matched at post time:\n");
+  std::vector<std::byte> late_tx(32 * 1024, std::byte{3});
+  sender.send(1, 30, 0, late_tx);
+  receiver.progress();  // RTS lands unexpected; no payload staged
+  std::vector<std::byte> late_rx(32 * 1024);
+  const auto post = receiver.post_receive({0, 30, 0}, late_rx, 200);
+  std::printf("   post matched the stored RTS and read %u bytes "
+              "(data intact: %s)\n",
+              post.completion.bytes, late_rx == late_tx ? "yes" : "NO");
+  return late_rx == late_tx ? 0 : 1;
+}

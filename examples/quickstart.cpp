@@ -1,0 +1,63 @@
+// Quickstart: two simulated MPI processes exchanging messages with the
+// matching fully offloaded to the simulated SmartNIC DPA.
+//
+//   $ ./quickstart
+//
+// Walks through the core flows of the paper's Fig. 1: a pre-posted receive
+// (expected message), a message arriving before its receive (unexpected
+// message), and a wildcard receive — then prints the matching statistics
+// the offloaded engine gathered.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+using namespace otm;
+
+int main() {
+  // A world of two ranks over the simulated RDMA fabric; matching runs on
+  // the DPA model with the paper's default configuration (128 bins,
+  // 32-thread blocks).
+  mpi::World world(2, {});
+  mpi::Proc& sender = world.proc(0);
+  mpi::Proc& receiver = world.proc(1);
+  const mpi::Comm comm = sender.world_comm();
+
+  const char kGreeting[] = "hello from rank 0";
+  std::vector<std::byte> buf(sizeof(kGreeting));
+
+  // 1) Expected message: the receive is posted (and indexed on the NIC)
+  //    before the message arrives.
+  auto req = receiver.irecv(buf, /*src=*/0, /*tag=*/1, comm);
+  sender.send(std::as_bytes(std::span(kGreeting)), /*dst=*/1, /*tag=*/1, comm);
+  mpi::Status st = receiver.wait(req);
+  std::printf("[expected]   matched %u bytes from rank %d tag %d: \"%s\"\n",
+              st.bytes, st.source, st.tag,
+              reinterpret_cast<const char*>(buf.data()));
+
+  // 2) Unexpected message: it arrives first, is staged in NIC memory, and
+  //    the later receive drains it from the unexpected-message store.
+  sender.send(std::as_bytes(std::span(kGreeting)), 1, /*tag=*/2, comm);
+  receiver.progress();  // message lands on the NIC, goes unexpected
+  st = receiver.recv(buf, 0, 2, comm);
+  std::printf("[unexpected] matched %u bytes after the fact\n", st.bytes);
+
+  // 3) Wildcard receive: MPI_ANY_SOURCE / MPI_ANY_TAG.
+  auto wild = receiver.irecv(buf, mpi::kAnySource, mpi::kAnyTag, comm);
+  sender.send(std::as_bytes(std::span(kGreeting)), 1, /*tag=*/42, comm);
+  st = receiver.wait(wild);
+  std::printf("[wildcard]   matched source=%d tag=%d\n", st.source, st.tag);
+
+  // The engine's statistics: everything matched on the (simulated) NIC,
+  // zero matching cycles on the host CPU.
+  const MatchStats& s = *receiver.match_stats();
+  std::printf("\noffloaded matching stats: posted=%llu matched=%llu "
+              "unexpected=%llu conflicts=%llu attempts=%llu\n",
+              static_cast<unsigned long long>(s.receives_posted),
+              static_cast<unsigned long long>(s.messages_matched),
+              static_cast<unsigned long long>(s.messages_unexpected),
+              static_cast<unsigned long long>(s.conflicts_detected),
+              static_cast<unsigned long long>(s.match_attempts));
+  return 0;
+}

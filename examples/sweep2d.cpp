@@ -1,0 +1,104 @@
+// KBA wavefront sweep — the PARTISN/SNAP communication pattern of Table II
+// running over the real offloaded stack (not the trace analyzer): each
+// octant sweeps a 2D process grid diagonally, every rank blocking on its
+// upstream neighbors before forwarding downstream. Deep dependency chains,
+// tiny messages, latency-bound — the opposite regime from halo exchange.
+//
+//   $ ./sweep2d [--px=4 --py=4 --iters=3 --kplanes=4]
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "util/args.hpp"
+
+using namespace otm;
+
+namespace {
+
+struct SweepCell {
+  double flux[4];  // one value per face quadrature point, say
+};
+
+std::span<const std::byte> bytes_of(const SweepCell& c) {
+  return std::as_bytes(std::span(&c, 1));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const int px = static_cast<int>(args.get_int("px", 4));
+  const int py = static_cast<int>(args.get_int("py", 4));
+  const int iters = static_cast<int>(args.get_int("iters", 3));
+  const int kplanes = static_cast<int>(args.get_int("kplanes", 4));
+
+  std::printf("KBA sweep on a %dx%d grid, %d iterations x 4 octants x %d "
+              "k-planes\n", px, py, iters, kplanes);
+
+  mpi::World world(px * py, {});
+  world.run([&](mpi::Proc& proc) {
+    const mpi::Comm comm = proc.world_comm();
+    const int x = proc.rank() % px;
+    const int y = proc.rank() / px;
+    const int octants[4][2] = {{+1, +1}, {-1, +1}, {+1, -1}, {-1, -1}};
+
+    double local_flux = 1.0 + proc.rank();
+    for (int iter = 0; iter < iters; ++iter) {
+      for (int o = 0; o < 4; ++o) {
+        const int sx = octants[o][0];
+        const int sy = octants[o][1];
+        const Tag tag = static_cast<Tag>(100 + o);
+        for (int k = 0; k < kplanes; ++k) {
+          SweepCell incoming_x{};
+          SweepCell incoming_y{};
+          const int upx = x - sx;
+          const int upy = y - sy;
+          // Blocking upstream receives: the wavefront dependency.
+          if (upx >= 0 && upx < px) {
+            std::vector<std::byte> buf(sizeof(SweepCell));
+            proc.recv(buf, static_cast<Rank>(y * px + upx), tag, comm);
+            std::memcpy(&incoming_x, buf.data(), sizeof(SweepCell));
+          }
+          if (upy >= 0 && upy < py) {
+            std::vector<std::byte> buf(sizeof(SweepCell));
+            proc.recv(buf, static_cast<Rank>(upy * px + x), tag, comm);
+            std::memcpy(&incoming_y, buf.data(), sizeof(SweepCell));
+          }
+          // "Transport solve" for this plane.
+          local_flux = 0.5 * local_flux + 0.25 * incoming_x.flux[0] +
+                       0.25 * incoming_y.flux[0] + 0.01;
+          SweepCell out{};
+          out.flux[0] = local_flux;
+          // Forward downstream.
+          const int dnx = x + sx;
+          const int dny = y + sy;
+          if (dnx >= 0 && dnx < px)
+            proc.send(bytes_of(out), static_cast<Rank>(y * px + dnx), tag, comm);
+          if (dny >= 0 && dny < py)
+            proc.send(bytes_of(out), static_cast<Rank>(dny * px + x), tag, comm);
+        }
+      }
+      // Convergence check: a global residual reduction per iteration.
+      const double in[1] = {local_flux};
+      double out[1];
+      proc.allreduce(in, out, mpi::Proc::ReduceOp::kMax, comm);
+      if (proc.rank() == 0)
+        std::printf("  iter %d: max flux %.4f\n", iter, out[0]);
+    }
+  });
+
+  MatchStats total;
+  for (Rank r = 0; r < px * py; ++r)
+    if (const MatchStats* s = world.proc(r).match_stats()) total += *s;
+  const double avg_attempts =
+      static_cast<double>(total.match_attempts) /
+      static_cast<double>(total.messages_processed + total.receives_posted);
+  std::printf("\nsweep matched %llu messages on the NIC "
+              "(%llu unexpected, %.2f attempts per matching op — the\n"
+              "shallow-queue regime Fig. 7 shows for PARTISN/SNAP)\n",
+              static_cast<unsigned long long>(total.messages_matched),
+              static_cast<unsigned long long>(total.messages_unexpected),
+              avg_attempts);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from otm-analyzer output (artifact-A2 style).
+
+Usage:
+    tools/otm-tracegen --out=traces
+    tools/otm-analyzer --traces=traces --bins=1,32,128 --out=analysis
+    scripts/plot_figures.py analysis/summary.csv --out figures/
+
+Requires: matplotlib (pandas optional). The analyzer emits plain CSV, so
+the script parses it with the standard library and only needs matplotlib
+for rendering — mirroring the paper artifact's plotting step.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def load_summary(path):
+    rows = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            rows.append(
+                {
+                    "app": row["app"],
+                    "ranks": int(row["ranks"]),
+                    "bins": int(row["bins"]),
+                    "avg": float(row["avg_queue_depth"]),
+                    "max": int(row["max_queue_depth"]),
+                    "pct_p2p": float(row["pct_p2p"]),
+                    "pct_coll": float(row["pct_collective"]),
+                }
+            )
+    return rows
+
+
+def plot_fig6(rows, outdir, plt):
+    """Stacked call-distribution bars (Figure 6)."""
+    per_app = {}
+    for r in rows:
+        per_app[r["app"]] = (r["pct_p2p"], r["pct_coll"])
+    apps = sorted(per_app)
+    p2p = [per_app[a][0] for a in apps]
+    coll = [per_app[a][1] for a in apps]
+
+    fig, ax = plt.subplots(figsize=(10, 4))
+    ax.bar(apps, p2p, label="point-to-point")
+    ax.bar(apps, coll, bottom=p2p, label="collective")
+    ax.set_ylabel("% of classified MPI calls")
+    ax.set_title("Figure 6: distribution of MPI calls for the application set")
+    ax.legend()
+    plt.xticks(rotation=45, ha="right")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig6_call_distribution.png"), dpi=150)
+    plt.close(fig)
+
+
+def plot_fig7(rows, outdir, plt):
+    """Queue depth per app and bin count (Figure 7)."""
+    by_app = defaultdict(dict)
+    for r in rows:
+        by_app[r["app"]][r["bins"]] = r["avg"]
+    bins = sorted({r["bins"] for r in rows})
+    # Order apps by descending 1-bin depth, as the paper does.
+    apps = sorted(by_app, key=lambda a: -by_app[a].get(bins[0], 0.0))
+
+    fig, ax = plt.subplots(figsize=(10, 4))
+    width = 0.8 / len(bins)
+    for i, b in enumerate(bins):
+        xs = [j + i * width for j in range(len(apps))]
+        ax.bar(xs, [by_app[a].get(b, 0.0) for a in apps], width,
+               label=f"{b} bin{'s' if b > 1 else ''}")
+    avg = {b: sum(by_app[a].get(b, 0.0) for a in apps) / len(apps) for b in bins}
+    for i, b in enumerate(bins):
+        ax.axhline(avg[b], linestyle="--", linewidth=0.8, color=f"C{i}")
+    ax.set_xticks([j + 0.4 for j in range(len(apps))])
+    ax.set_xticklabels(apps, rotation=45, ha="right")
+    ax.set_ylabel("avg queue depth")
+    ax.set_title("Figure 7: queue depth per application "
+                 "(dashed lines: cross-app averages)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig7_queue_depth.png"), dpi=150)
+    plt.close(fig)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("summary", help="analysis/summary.csv from otm-analyzer")
+    ap.add_argument("--out", default="figures", help="output directory")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    rows = load_summary(args.summary)
+    if not rows:
+        sys.exit(f"no rows in {args.summary}")
+    os.makedirs(args.out, exist_ok=True)
+    plot_fig6(rows, args.out, plt)
+    plot_fig7(rows, args.out, plt)
+    print(f"wrote fig6/fig7 PNGs to {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#include "baseline/bin_matcher.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+BinMatcher::BinMatcher(std::size_t bins)
+    : prq_bins_(next_pow2(bins)), umq_bins_(next_pow2(bins)),
+      mask_(next_pow2(bins) - 1) {
+  OTM_ASSERT(bins >= 1);
+}
+
+std::optional<std::uint64_t> BinMatcher::post(const MatchSpec& spec,
+                                              std::uint64_t receive_id) {
+  ++stats_.posts;
+  const std::uint64_t ts = next_ts_++;
+  const bool wild = spec.any_source() || spec.any_tag();
+
+  // Unexpected-message check first (Fig. 1a). A fully-specified receive
+  // probes only its bin; a wildcard receive scans the arrival-ordered list.
+  if (!wild) {
+    auto& bin = umq_bins_[bin_of(spec.source, spec.tag)];
+    for (auto it = bin.begin(); it != bin.end(); ++it) {
+      charge_step();
+      if (spec.matches((*it)->env)) {
+        const std::uint64_t id = (*it)->id;
+        um_order_.erase(*it);
+        bin.erase(it);
+        return id;
+      }
+    }
+    prq_bins_[bin_of(spec.source, spec.tag)].push_back({spec, receive_id, ts});
+    return std::nullopt;
+  }
+
+  for (auto it = um_order_.begin(); it != um_order_.end(); ++it) {
+    charge_step();
+    if (spec.matches(it->env)) {
+      const std::uint64_t id = it->id;
+      auto& bin = umq_bins_[bin_of(it->env.source, it->env.tag)];
+      for (auto bit = bin.begin(); bit != bin.end(); ++bit) {
+        if (*bit == it) {
+          bin.erase(bit);
+          break;
+        }
+      }
+      um_order_.erase(it);
+      return id;
+    }
+  }
+  prq_wild_.push_back({spec, receive_id, ts});
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> BinMatcher::arrive(const Envelope& env,
+                                                std::uint64_t message_id) {
+  ++stats_.arrivals;
+
+  auto& bin = prq_bins_[bin_of(env.source, env.tag)];
+  auto bin_hit = bin.end();
+  for (auto it = bin.begin(); it != bin.end(); ++it) {
+    charge_step();
+    if (it->spec.matches(env)) {
+      bin_hit = it;
+      break;
+    }
+  }
+  auto wild_hit = prq_wild_.end();
+  for (auto it = prq_wild_.begin(); it != prq_wild_.end(); ++it) {
+    charge_step();
+    if (it->spec.matches(env)) {
+      wild_hit = it;
+      break;
+    }
+  }
+
+  // Timestamp arbitration between the bin hit and the wildcard hit (C1).
+  if (bin_hit != bin.end() &&
+      (wild_hit == prq_wild_.end() || bin_hit->timestamp < wild_hit->timestamp)) {
+    const std::uint64_t id = bin_hit->id;
+    bin.erase(bin_hit);
+    return id;
+  }
+  if (wild_hit != prq_wild_.end()) {
+    const std::uint64_t id = wild_hit->id;
+    prq_wild_.erase(wild_hit);
+    return id;
+  }
+
+  um_order_.push_back({env, message_id, next_ts_++});
+  umq_bins_[bin_of(env.source, env.tag)].push_back(std::prev(um_order_.end()));
+  return std::nullopt;
+}
+
+std::size_t BinMatcher::posted_size() const {
+  std::size_t n = prq_wild_.size();
+  for (const auto& b : prq_bins_) n += b.size();
+  return n;
+}
+
+std::size_t BinMatcher::max_bin_depth() const {
+  std::size_t m = prq_wild_.size();
+  for (const auto& b : prq_bins_) m = std::max(m, b.size());
+  return m;
+}
+
+}  // namespace otm

@@ -1,0 +1,45 @@
+#include "baseline/list_matcher.hpp"
+
+namespace otm {
+
+std::optional<std::uint64_t> ListMatcher::post(const MatchSpec& spec,
+                                               std::uint64_t receive_id) {
+  ++stats_.posts;
+  for (auto it = umq_.begin(); it != umq_.end(); ++it) {
+    charge_step();
+    if (spec.matches(it->env)) {
+      const std::uint64_t id = it->id;
+      umq_.erase(it);
+      return id;
+    }
+  }
+  prq_.push_back({spec, receive_id});
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> ListMatcher::arrive(const Envelope& env,
+                                                 std::uint64_t message_id) {
+  ++stats_.arrivals;
+  for (auto it = prq_.begin(); it != prq_.end(); ++it) {
+    charge_step();
+    if (it->spec.matches(env)) {
+      const std::uint64_t id = it->id;
+      prq_.erase(it);
+      return id;
+    }
+  }
+  umq_.push_back({env, message_id});
+  return std::nullopt;
+}
+
+bool ListMatcher::cancel_post(std::uint64_t receive_id) {
+  for (auto it = prq_.begin(); it != prq_.end(); ++it) {
+    if (it->id == receive_id) {
+      prq_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace otm

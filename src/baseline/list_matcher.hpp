@@ -1,0 +1,42 @@
+// Traditional two-queue matching (Sec. II-A, Fig. 1): a posted-receive
+// queue and an unexpected-message queue, both plain linked lists scanned
+// from the head. Satisfies C1 and C2 by construction — this is the semantic
+// oracle for the optimistic engine and the Fig. 8 "MPI-CPU" baseline.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+#include "baseline/reference_matcher.hpp"
+
+namespace otm {
+
+class ListMatcher final : public ReferenceMatcher {
+ public:
+  std::optional<std::uint64_t> post(const MatchSpec& spec,
+                                    std::uint64_t receive_id) override;
+  std::optional<std::uint64_t> arrive(const Envelope& env,
+                                      std::uint64_t message_id) override;
+
+  /// MPI_Cancel support: remove the pending receive with this id.
+  bool cancel_post(std::uint64_t receive_id);
+
+  std::size_t posted_size() const override { return prq_.size(); }
+  std::size_t unexpected_size() const override { return umq_.size(); }
+
+ private:
+  struct PostedReceive {
+    MatchSpec spec;
+    std::uint64_t id;
+  };
+  struct UnexpectedMessage {
+    Envelope env;
+    std::uint64_t id;
+  };
+
+  std::list<PostedReceive> prq_;
+  std::list<UnexpectedMessage> umq_;
+};
+
+}  // namespace otm

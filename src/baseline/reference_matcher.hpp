@@ -1,0 +1,61 @@
+// Common interface for the software (CPU-side) matching baselines.
+//
+// Both baselines — the traditional two-queue linked list (what mainstream
+// MPI implementations use, Sec. II-A) and the Flajslik-style binned hash
+// tables (Table I) — implement sequential MPI matching semantics. The list
+// matcher is the semantic reference: the oracle property tests require the
+// optimistic engine to produce the identical message->receive pairing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cost_model.hpp"
+#include "core/types.hpp"
+
+namespace otm {
+
+class ReferenceMatcher {
+ public:
+  virtual ~ReferenceMatcher() = default;
+
+  /// Post a receive identified by `receive_id`. If a stored unexpected
+  /// message matches, that message's id is returned (and removed);
+  /// otherwise the receive is queued.
+  virtual std::optional<std::uint64_t> post(const MatchSpec& spec,
+                                            std::uint64_t receive_id) = 0;
+
+  /// Process an incoming message identified by `message_id`. If a posted
+  /// receive matches, its id is returned (and removed); otherwise the
+  /// message is stored as unexpected.
+  virtual std::optional<std::uint64_t> arrive(const Envelope& env,
+                                              std::uint64_t message_id) = 0;
+
+  virtual std::size_t posted_size() const = 0;
+  virtual std::size_t unexpected_size() const = 0;
+
+  struct Stats {
+    std::uint64_t posts = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t attempts = 0;  ///< queue entries examined in total
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Optional modeled-cycle accounting (Fig. 8 MPI-CPU baseline).
+  void set_clock(ThreadClock* clock) noexcept { clock_ = clock; }
+
+ protected:
+  void charge_step() noexcept {
+    ++stats_.attempts;
+    if (clock_ != nullptr) OTM_CHARGE(*clock_, chain_step);
+  }
+  void charge(std::uint64_t CostTable::* field) noexcept {
+    if (clock_ != nullptr && clock_->enabled())
+      clock_->charge(clock_->costs()->*field);
+  }
+
+  Stats stats_;
+  ThreadClock* clock_ = nullptr;
+};
+
+}  // namespace otm

@@ -1,0 +1,227 @@
+#include "core/block_matcher.hpp"
+
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+BlockMatcher::BlockMatcher(const MatchConfig& cfg, ReceiveStore& store,
+                           std::uint32_t generation,
+                           std::span<const IncomingMessage> msgs,
+                           const CostTable* costs,
+                           std::span<const std::uint64_t> start_cycles)
+    : cfg_(cfg),
+      store_(store),
+      gen_(generation),
+      msgs_(msgs),
+      costs_(costs),
+      threads_(msgs.size()),
+      results_(msgs.size()),
+      booked_barrier_(static_cast<unsigned>(msgs.size())),
+      detect_barrier_(static_cast<unsigned>(msgs.size())),
+      first_loser_(static_cast<std::uint32_t>(msgs.size())),
+      resolved_time_(msgs.size()) {
+  OTM_ASSERT(msgs.size() >= 1 && msgs.size() <= kMaxBlockThreads);
+  for (unsigned t = 0; t < num_threads(); ++t) {
+    const std::uint64_t start = t < start_cycles.size() ? start_cycles[t] : 0;
+    threads_[t].clock = ThreadClock(costs_, start);
+  }
+}
+
+void BlockMatcher::run_optimistic(unsigned tid) {
+  ThreadState& st = threads_[tid];
+  ThreadClock& clock = st.clock;
+  OTM_CHARGE(clock, cqe_poll);
+
+  if (cfg_.allow_overtaking) {
+    // Sec. VII (mpi_assert_allow_overtaking): matching order is relaxed, so
+    // no barriers and no ordered resolution — race on consuming a matching
+    // receive with atomic state transitions, re-searching on loss.
+    for (;;) {
+      const std::uint32_t cand = store_.search(msgs_[tid], gen_, tid,
+                                               /*early_skip=*/false, clock,
+                                               results_[tid].search);
+      if (cand == kInvalidSlot) {
+        finalize(tid, kInvalidSlot, ResolutionPath::kOptimistic);
+        break;
+      }
+      if (store_.desc(cand).try_consume()) {
+        OTM_CHARGE(clock, consume);
+        charge_removal(clock, cand);
+        finalize(tid, cand, ResolutionPath::kOptimistic);
+        break;
+      }
+      // Lost the race; the winner's consumed flag makes the re-search
+      // skip this receive.
+      results_[tid].conflicted = true;
+      OTM_CHARGE(clock, research_overhead);
+    }
+    booked_barrier_.arrive(tid, clock.cycles());
+    return;
+  }
+
+  st.candidate = store_.search(msgs_[tid], gen_, tid, cfg_.early_booking_check,
+                               clock, results_[tid].search);
+  if (st.candidate != kInvalidSlot) {
+    store_.desc(st.candidate).booking.book(gen_, tid);
+    OTM_CHARGE(clock, booking_cas);
+  }
+  booked_barrier_.arrive(tid, clock.cycles());
+}
+
+void BlockMatcher::run_detect(unsigned tid) {
+  ThreadState& st = threads_[tid];
+  ThreadClock& clock = st.clock;
+
+  // Already finalized (allow-overtaking path): nothing to detect.
+  if ((resolved_bits_.load(std::memory_order_acquire) & (1u << tid)) != 0) {
+    detect_barrier_.arrive(tid, clock.cycles());
+    return;
+  }
+
+  booked_barrier_.wait_lower(tid);
+  if (clock.enabled()) {
+    clock.sync_to(booked_barrier_.max_published_lower(tid));
+    clock.charge(costs_->barrier_overhead);
+  }
+
+  if (st.candidate != kInvalidSlot) {
+    st.lost = store_.desc(st.candidate).booking.booked_by_lower(gen_, tid);
+    OTM_CHARGE(clock, conflict_check);
+    if (st.lost) {
+      // Publish the lowest losing thread id: every thread above it must
+      // enter conflict resolution (a loser's re-booking can steal the
+      // candidate of any later, apparently-unconflicted thread).
+      std::uint32_t cur = first_loser_.load(std::memory_order_relaxed);
+      while (tid < cur && !first_loser_.compare_exchange_weak(
+                              cur, tid, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+      }
+    }
+  }
+  detect_barrier_.arrive(tid, clock.cycles());
+}
+
+void BlockMatcher::run_resolve(unsigned tid) {
+  ThreadState& st = threads_[tid];
+  ThreadClock& clock = st.clock;
+
+  // Already finalized (allow-overtaking path): nothing to resolve.
+  if ((resolved_bits_.load(std::memory_order_acquire) & (1u << tid)) != 0)
+    return;
+
+  detect_barrier_.wait_lower(tid);
+  if (clock.enabled()) {
+    clock.sync_to(detect_barrier_.max_published_lower(tid));
+    clock.charge(costs_->barrier_overhead);
+  }
+
+  const std::uint32_t first_loser = first_loser_.load(std::memory_order_acquire);
+  results_[tid].conflicted = st.lost;
+
+  // No candidate: the message is unexpected. Resolution by lower threads
+  // only *consumes* receives, so a re-search cannot find anything new.
+  if (st.candidate == kInvalidSlot) {
+    finalize(tid, kInvalidSlot, ResolutionPath::kOptimistic);
+    return;
+  }
+
+  // Below the first loser every booking is conflict-free and final.
+  if (tid < first_loser) {
+    const bool ok = store_.desc(st.candidate).try_consume();
+    OTM_ASSERT_MSG(ok, "winner's candidate consumed by another thread");
+    OTM_CHARGE(clock, consume);
+    charge_removal(clock, st.candidate);
+    finalize(tid, st.candidate, ResolutionPath::kOptimistic);
+    return;
+  }
+
+  // --- Conflict resolution (Sec. III-D-3) --------------------------------
+
+  // Fast path: if *all* threads of the block booked my candidate, they all
+  // want the head of one compatible sequence; my replacement is the entry
+  // shifted by my thread id, with no extra synchronization.
+  if (cfg_.enable_fast_path && num_threads() > 1 &&
+      store_.desc(st.candidate).booking.booked(gen_) == full_mask()) {
+    const std::uint32_t shifted = store_.fast_path_candidate(
+        st.candidate, msgs_[tid].env, tid, clock, results_[tid].search);
+    if (shifted != kInvalidSlot) {
+      const bool ok = store_.desc(shifted).try_consume();
+      OTM_ASSERT_MSG(ok, "fast-path candidate consumed by another thread");
+      OTM_CHARGE(clock, consume);
+      charge_removal(clock, shifted);
+      finalize(tid, shifted, ResolutionPath::kFastPath);
+      return;
+    }
+    results_[tid].fast_path_aborted = true;
+  }
+
+  // Slow path: wait until every lower thread's decision is final, then
+  // re-search with their consumptions visible. This reproduces the
+  // sequential matching order exactly (constraints C1 + C2).
+  if (tid > 0) {
+    const std::uint32_t mask = (1u << tid) - 1u;
+    while ((resolved_bits_.load(std::memory_order_acquire) & mask) != mask) {
+      // spin: lower threads always terminate (thread 0 never waits)
+    }
+    if (clock.enabled()) {
+      std::uint64_t latest = 0;
+      for (unsigned j = 0; j < tid; ++j) {
+        const std::uint64_t t = resolved_time_[j].load(std::memory_order_relaxed);
+        if (t > latest) latest = t;
+      }
+      clock.sync_to(latest);
+      clock.charge(costs_->slow_path_sync);
+    }
+  }
+  OTM_CHARGE(clock, research_overhead);
+
+  SearchLocal& local = results_[tid].search;
+  const std::uint32_t again =
+      store_.search(msgs_[tid], gen_, tid, /*early_skip=*/false, clock, local);
+  if (again != kInvalidSlot) {
+    const bool ok = store_.desc(again).try_consume();
+    OTM_ASSERT_MSG(ok, "slow-path candidate consumed by another thread");
+    OTM_CHARGE(clock, consume);
+    charge_removal(clock, again);
+  }
+  finalize(tid, again, ResolutionPath::kSlowPath);
+}
+
+void BlockMatcher::finalize(unsigned tid, std::uint32_t slot,
+                            ResolutionPath path) {
+  ThreadResult& r = results_[tid];
+  r.final_slot = slot;
+  r.path = path;
+  r.finish_cycles = threads_[tid].clock.cycles();
+  resolved_time_[tid].store(r.finish_cycles, std::memory_order_relaxed);
+  resolved_bits_.fetch_or(1u << tid, std::memory_order_release);
+}
+
+void LockstepExecutor::execute(BlockMatcher& m) {
+  const unsigned n = m.num_threads();
+  for (unsigned t = 0; t < n; ++t) m.run_optimistic(t);
+  for (unsigned t = 0; t < n; ++t) m.run_detect(t);
+  for (unsigned t = 0; t < n; ++t) m.run_resolve(t);
+}
+
+void ThreadedExecutor::execute(BlockMatcher& m) {
+  const unsigned n = m.num_threads();
+  if (n == 1) {
+    m.run_all(0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned t = 0; t < n; ++t)
+    workers.emplace_back([&m, t] { m.run_all(t); });
+  for (auto& w : workers) w.join();
+}
+
+void SequentialExecutor::execute(BlockMatcher& m) {
+  const unsigned n = m.num_threads();
+  for (unsigned t = 0; t < n; ++t) m.run_all(t);
+}
+
+}  // namespace otm

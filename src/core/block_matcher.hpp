@@ -1,0 +1,162 @@
+// The optimistic parallel matching of a block of N incoming messages
+// (Sec. III-A/C/D).
+//
+// Thread t processes message t of the block (messages are arrival-ordered,
+// so thread ids encode arrival order — the basis of constraint C2). The
+// algorithm runs in three phases:
+//
+//   1. optimistic:  search all four indexes as if alone; tentatively book
+//                   the oldest candidate in its booking bitmap.
+//                   [partial barrier: wait for lower threads to book]
+//   2. detect:      a lower-id bit on my candidate's bitmap means I lost;
+//                   publish the lowest losing thread id.
+//                   [partial barrier: wait for lower threads to detect]
+//   3. resolve:     threads below the first loser keep their candidate;
+//                   the rest resolve via the fast path (full bitmap =>
+//                   everyone wants the head of a compatible sequence; take
+//                   the entry shifted by my thread id) or the slow path
+//                   (wait for the previous thread, then re-search).
+//
+// Every wait targets a strictly lower thread id, so executing the phases
+// sequentially in ascending thread order is always a legal schedule — the
+// LockstepExecutor exploits this for deterministic tests and trace replay,
+// while the ThreadedExecutor provides real concurrency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/receive_store.hpp"
+#include "core/types.hpp"
+#include "util/partial_barrier.hpp"
+
+namespace otm {
+
+/// How a message's final decision was reached.
+enum class ResolutionPath : std::uint8_t {
+  kOptimistic = 0,  ///< kept the optimistic candidate (no conflict involved)
+  kFastPath = 1,    ///< resolved by shifting along a compatible sequence
+  kSlowPath = 2,    ///< resolved by synchronized re-search
+};
+
+class BlockMatcher {
+ public:
+  /// `generation` must be unique per block (booking-bitmap epoch).
+  /// `start_cycles[t]`, when accounting is on, is thread t's modeled
+  /// dispatch time (e.g. CQE arrival); pass empty for zero.
+  BlockMatcher(const MatchConfig& cfg, ReceiveStore& store,
+               std::uint32_t generation, std::span<const IncomingMessage> msgs,
+               const CostTable* costs = nullptr,
+               std::span<const std::uint64_t> start_cycles = {});
+
+  BlockMatcher(const BlockMatcher&) = delete;
+  BlockMatcher& operator=(const BlockMatcher&) = delete;
+
+  unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(msgs_.size());
+  }
+
+  // Phase entry points (see class comment for the contract).
+  void run_optimistic(unsigned tid);
+  void run_detect(unsigned tid);
+  void run_resolve(unsigned tid);
+
+  /// Convenience: all three phases back to back (threaded execution).
+  void run_all(unsigned tid) {
+    run_optimistic(tid);
+    run_detect(tid);
+    run_resolve(tid);
+  }
+
+  struct ThreadResult {
+    std::uint32_t final_slot = kInvalidSlot;  ///< matched receive, or invalid
+    ResolutionPath path = ResolutionPath::kOptimistic;
+    bool conflicted = false;       ///< lost its optimistic candidate
+    bool fast_path_aborted = false;
+    std::uint64_t finish_cycles = 0;
+    SearchLocal search;
+  };
+
+  /// Valid after all threads completed run_resolve.
+  const ThreadResult& result(unsigned tid) const noexcept {
+    return results_[tid];
+  }
+
+  const IncomingMessage& message(unsigned tid) const noexcept {
+    return msgs_[tid];
+  }
+
+ private:
+  struct ThreadState {
+    std::uint32_t candidate = kInvalidSlot;
+    bool lost = false;
+    ThreadClock clock;
+  };
+
+  void finalize(unsigned tid, std::uint32_t slot, ResolutionPath path);
+
+  /// Eager removal pays a per-consume lock+unlink cost inside the matching
+  /// thread, serialized per bin on the remove lock; lazy removal defers the
+  /// work to the insert path (Sec. III-D).
+  void charge_removal(ThreadClock& clock, std::uint32_t slot) const {
+    if (!cfg_.lazy_removal) store_.charge_eager_removal(slot, clock);
+  }
+
+  std::uint32_t full_mask() const noexcept {
+    const unsigned n = num_threads();
+    return n >= 32 ? 0xFFFF'FFFFu : ((1u << n) - 1u);
+  }
+
+  const MatchConfig& cfg_;
+  ReceiveStore& store_;
+  std::uint32_t gen_;
+  std::span<const IncomingMessage> msgs_;
+  const CostTable* costs_;
+
+  std::vector<ThreadState> threads_;
+  std::vector<ThreadResult> results_;
+
+  PartialBarrier booked_barrier_;
+  PartialBarrier detect_barrier_;
+  std::atomic<std::uint32_t> first_loser_;
+
+  // resolved[t] set (release) once thread t's decision is final; the
+  // published value is its modeled finish time for slow-path joins.
+  std::atomic<std::uint32_t> resolved_bits_{0};
+  std::vector<std::atomic<std::uint64_t>> resolved_time_;
+};
+
+/// Scheduling strategy for a block (see class comment of BlockMatcher).
+class BlockExecutor {
+ public:
+  virtual ~BlockExecutor() = default;
+  virtual void execute(BlockMatcher& m) = 0;
+};
+
+/// Deterministic single-threaded schedule: every phase runs for all threads
+/// in ascending id before the next phase starts. Models simultaneous
+/// arrival (maximum conflict exposure) and is the analyzer's executor.
+class LockstepExecutor final : public BlockExecutor {
+ public:
+  void execute(BlockMatcher& m) override;
+};
+
+/// Real concurrency: one std::thread per message of the block.
+class ThreadedExecutor final : public BlockExecutor {
+ public:
+  void execute(BlockMatcher& m) override;
+};
+
+/// Sequential schedule: each thread runs all phases to completion before the
+/// next starts. Minimum conflict exposure (each thread observes all earlier
+/// consumptions); useful as a scheduling extreme in tests.
+class SequentialExecutor final : public BlockExecutor {
+ public:
+  void execute(BlockMatcher& m) override;
+};
+
+}  // namespace otm

@@ -1,0 +1,99 @@
+// Engine configuration: bin counts, block size, capacity, and the
+// Sec. III-D optimization toggles (each individually switchable so the
+// ablation benches can quantify its contribution).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/booking_bitmap.hpp"
+#include "util/hash.hpp"
+
+namespace otm {
+
+struct MatchConfig {
+  /// Bins per hash-table index (three tables; Sec. IV-E sizes 20 B/bin).
+  /// Must be a power of two. 1 bin degenerates to the traditional list.
+  std::size_t bins = 128;
+
+  /// Messages matched concurrently per block ("N" in Sec. III-A); bounded
+  /// by the 32-bit booking bitmap.
+  unsigned block_size = kMaxBlockThreads;
+
+  /// Capacity of the receive-descriptor table (max receives posted at the
+  /// same time, Sec. III-B). Exceeding it signals software fallback.
+  std::size_t max_receives = 8 * 1024;
+
+  /// Capacity of the unexpected-message descriptor table.
+  std::size_t max_unexpected = 8 * 1024;
+
+  // --- Sec. III-D optimizations -------------------------------------------
+
+  /// Use sender-provided hash values from the message header when present.
+  bool use_inline_hashes = true;
+
+  /// Skip receives already booked by a lower-id thread during the
+  /// optimistic search.
+  bool early_booking_check = true;
+
+  /// Mark consumed receives and clean bins up lazily at insert time instead
+  /// of unlinking (and serializing) inside the matching threads.
+  bool lazy_removal = true;
+
+  /// Allow the fast conflict-resolution path (compatible-receive sequences).
+  /// Disabled, every conflict takes the slow path — this is the paper's
+  /// WC-SP configuration.
+  bool enable_fast_path = true;
+
+  // --- Sec. VII communicator hints ----------------------------------------
+
+  /// mpi_assert_no_any_source + mpi_assert_no_any_tag: no receive ever uses
+  /// a wildcard, so only the hash(src,tag) index exists — posts with
+  /// wildcards are rejected, searches probe a single index, and unexpected
+  /// messages are indexed once instead of four times.
+  bool assume_no_wildcards = false;
+
+  /// mpi_assert_allow_overtaking: the application does not rely on matching
+  /// order, so the block matcher may skip the partial barriers and the
+  /// ordered conflict resolution entirely — threads race on consuming
+  /// receives with atomic state transitions and simply re-search on loss.
+  bool allow_overtaking = false;
+
+  bool valid() const noexcept {
+    return is_pow2(bins) && block_size >= 1 && block_size <= kMaxBlockThreads &&
+           max_receives > 0 && max_unexpected > 0;
+  }
+
+  /// Paper Fig. 8 prototype configuration: hash tables twice the maximum
+  /// number of in-flight receives (1024), 32 DPA threads.
+  static MatchConfig paper_prototype() noexcept {
+    MatchConfig c;
+    c.max_receives = 1024;
+    c.bins = 2048;
+    c.block_size = 32;
+    return c;
+  }
+};
+
+/// Memory-footprint model of Sec. IV-E: each bin holds a 4-byte remove lock
+/// and two 8-byte pointers (head/tail of the chained queue); each receive
+/// descriptor consumes 64 bytes.
+struct MemoryFootprint {
+  static constexpr std::size_t kBytesPerBin = 20;
+  static constexpr std::size_t kBytesPerDescriptor = 64;
+  static constexpr unsigned kHashIndexes = 3;  // the list index has no bins
+
+  std::size_t bin_bytes = 0;
+  std::size_t descriptor_bytes = 0;
+
+  std::size_t total() const noexcept { return bin_bytes + descriptor_bytes; }
+
+  static MemoryFootprint of(std::size_t bins, std::size_t max_receives) noexcept {
+    MemoryFootprint f;
+    f.bin_bytes = kHashIndexes * bins * kBytesPerBin;
+    f.descriptor_bytes = max_receives * kBytesPerDescriptor;
+    return f;
+  }
+};
+
+}  // namespace otm

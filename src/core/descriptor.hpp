@@ -1,0 +1,109 @@
+// Receive and unexpected-message descriptors (Sec. III-B / IV-C).
+//
+// Descriptors live in fixed-size tables addressed by 32-bit slot ids; the
+// index structures chain slots intrusively, so a bin is just {lock, head,
+// tail} — the 20-byte bin layout of Sec. IV-E.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "util/booking_bitmap.hpp"
+
+namespace otm {
+
+/// Sentinel for "no slot" in intrusive chains.
+inline constexpr std::uint32_t kInvalidSlot = 0xFFFF'FFFFu;
+
+enum class ReceiveState : std::uint8_t {
+  kFree = 0,
+  kPosted = 1,
+  kConsumed = 2,  ///< matched; awaiting (lazy) unlink from its bin chain
+};
+
+/// A posted receive. 64 bytes in the paper's accounting (Sec. IV-E); the
+/// layout here mirrors that budget: spec + ordering labels + booking bitmap
+/// + buffer reference + chain link.
+struct ReceiveDescriptor {
+  MatchSpec spec;                 ///< matching fields (may hold wildcards)
+  std::uint64_t label = 0;        ///< global posting order (constraint C1)
+  std::uint32_t seq_id = 0;       ///< compatible-sequence id (fast path)
+  WildcardClass wclass = WildcardClass::kNone;
+  std::atomic<ReceiveState> state{ReceiveState::kFree};
+  BookingBitmap booking;          ///< per-block tentative bookings (C2)
+  std::uint32_t next = kInvalidSlot;  ///< chain link inside its one index
+  std::uint64_t buffer_addr = 0;  ///< user-provided receive buffer
+  std::uint32_t buffer_capacity = 0;
+  std::uint64_t cookie = 0;       ///< upper-layer request handle
+
+  bool posted() const noexcept {
+    return state.load(std::memory_order_acquire) == ReceiveState::kPosted;
+  }
+
+  bool consumed() const noexcept {
+    return state.load(std::memory_order_acquire) == ReceiveState::kConsumed;
+  }
+
+  /// Finalize the match: Posted -> Consumed. Returns false if another
+  /// thread already consumed this receive.
+  bool try_consume() noexcept {
+    ReceiveState expected = ReceiveState::kPosted;
+    return state.compare_exchange_strong(expected, ReceiveState::kConsumed,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  void reset() noexcept {
+    spec = {};
+    label = 0;
+    seq_id = 0;
+    wclass = WildcardClass::kNone;
+    state.store(ReceiveState::kFree, std::memory_order_relaxed);
+    booking.reset();
+    next = kInvalidSlot;
+    buffer_addr = 0;
+    buffer_capacity = 0;
+    cookie = 0;
+  }
+};
+
+/// An unexpected message. Unlike receives — which live in exactly one index
+/// — an unexpected message is chained into *all four* structures
+/// (Sec. IV-C), because a later receive searches only the index matching its
+/// own wildcard class. Doubly linked for O(1) removal from every chain.
+struct UnexpectedDescriptor {
+  Envelope env;
+  std::uint64_t arrival = 0;   ///< global arrival order (constraint C2)
+  std::uint64_t wire_seq = 0;  ///< message identity on the incoming stream
+  Protocol protocol = Protocol::kEager;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t inline_bytes = 0;
+  std::uint64_t bounce_handle = 0;
+  std::uint64_t remote_key = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t next[kNumIndexes] = {kInvalidSlot, kInvalidSlot, kInvalidSlot,
+                                     kInvalidSlot};
+  std::uint32_t prev[kNumIndexes] = {kInvalidSlot, kInvalidSlot, kInvalidSlot,
+                                     kInvalidSlot};
+  bool active = false;
+
+  void reset() noexcept {
+    env = {};
+    arrival = 0;
+    wire_seq = 0;
+    protocol = Protocol::kEager;
+    payload_bytes = 0;
+    inline_bytes = 0;
+    bounce_handle = 0;
+    remote_key = 0;
+    remote_addr = 0;
+    for (unsigned i = 0; i < kNumIndexes; ++i) {
+      next[i] = kInvalidSlot;
+      prev[i] = kInvalidSlot;
+    }
+    active = false;
+  }
+};
+
+}  // namespace otm

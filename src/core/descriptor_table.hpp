@@ -1,0 +1,77 @@
+// Fixed-size descriptor table with a free list (Sec. III-B: "receive
+// descriptors are stored in a fixed-size table, where the size of the table
+// determines the maximum number of receives that can be posted at the same
+// time"). Allocation failure is the engine's signal to fall back to software
+// tag matching.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "util/assert.hpp"
+#include "util/spinlock.hpp"
+
+namespace otm {
+
+template <typename Descriptor>
+class DescriptorTable {
+ public:
+  explicit DescriptorTable(std::size_t capacity)
+      : slots_(std::make_unique<Descriptor[]>(capacity)), capacity_(capacity) {
+    free_.reserve(capacity);
+    // Hand out low slot ids first: keeps tests readable and cache use dense.
+    for (std::size_t i = capacity; i > 0; --i)
+      free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+
+  /// Allocate a slot; returns kInvalidSlot when the table is exhausted.
+  std::uint32_t allocate() noexcept {
+    SpinGuard g(lock_);
+    if (free_.empty()) return kInvalidSlot;
+    const std::uint32_t id = free_.back();
+    free_.pop_back();
+    ++live_;
+    return id;
+  }
+
+  /// Return a slot to the free list. The descriptor is reset.
+  void release(std::uint32_t id) noexcept {
+    OTM_ASSERT(id < capacity_);
+    slots_[id].reset();
+    SpinGuard g(lock_);
+    free_.push_back(id);
+    OTM_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  Descriptor& operator[](std::uint32_t id) noexcept {
+    OTM_ASSERT(id < capacity_);
+    return slots_[id];
+  }
+
+  const Descriptor& operator[](std::uint32_t id) const noexcept {
+    OTM_ASSERT(id < capacity_);
+    return slots_[id];
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t live() const noexcept {
+    SpinGuard g(lock_);
+    return live_;
+  }
+  bool full() const noexcept {
+    SpinGuard g(lock_);
+    return free_.empty();
+  }
+
+ private:
+  std::unique_ptr<Descriptor[]> slots_;
+  std::size_t capacity_;
+  mutable Spinlock lock_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace otm

@@ -1,0 +1,162 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+MatchEngine::MatchEngine(const MatchConfig& cfg, const CostTable* costs)
+    : cfg_(cfg), costs_(costs), prq_(cfg), umq_(cfg), umq_clock_(costs) {
+  OTM_ASSERT_MSG(cfg.valid(), "invalid MatchConfig");
+}
+
+PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
+                                      std::uint64_t buffer_addr,
+                                      std::uint32_t buffer_capacity,
+                                      std::uint64_t cookie) {
+  PostOutcome out;
+  out.cookie = cookie;
+
+  // Fig. 1a step 1: the unexpected store is checked before indexing.
+  ThreadClock clock(costs_);
+  std::uint64_t attempts = 0;
+  const std::uint32_t um = umq_.search(spec, clock, attempts);
+  stats_.match_attempts += attempts;
+  if (attempts > stats_.max_chain_scanned) stats_.max_chain_scanned = attempts;
+  if (um != kInvalidSlot) {
+    out.kind = PostOutcome::Kind::kMatchedUnexpected;
+    out.message = umq_.remove(um);
+    ++stats_.receives_matched_unexpected;
+    ++stats_.receives_posted;
+    return out;
+  }
+
+  const ReceiveStore::PostResult pr =
+      prq_.post(spec, buffer_addr, buffer_capacity, cookie);
+  if (pr.fallback) {
+    out.kind = PostOutcome::Kind::kFallback;
+    ++stats_.post_fallbacks;
+    return out;
+  }
+  out.kind = PostOutcome::Kind::kPending;
+  ++stats_.receives_posted;
+  return out;
+}
+
+std::optional<MatchEngine::ProbeResult> MatchEngine::probe(const MatchSpec& spec) {
+  ThreadClock clock(costs_);
+  std::uint64_t attempts = 0;
+  const std::uint32_t um = umq_.search(spec, clock, attempts);
+  stats_.match_attempts += attempts;
+  if (um == kInvalidSlot) return std::nullopt;
+  const UnexpectedDescriptor& d = umq_.desc(um);
+  return ProbeResult{d.env, d.payload_bytes, d.protocol, d.wire_seq};
+}
+
+std::optional<std::uint64_t> MatchEngine::cancel_receive(std::uint64_t cookie) {
+  return prq_.cancel_by_cookie(cookie);
+}
+
+std::vector<ArrivalOutcome> MatchEngine::process(
+    std::span<const IncomingMessage> msgs, BlockExecutor& executor,
+    std::span<const std::uint64_t> arrival_cycles) {
+  OTM_ASSERT(arrival_cycles.empty() || arrival_cycles.size() == msgs.size());
+  std::vector<ArrivalOutcome> outcomes;
+  outcomes.reserve(msgs.size());
+
+  for (std::size_t base = 0; base < msgs.size(); base += cfg_.block_size) {
+    const std::size_t n = std::min<std::size_t>(cfg_.block_size, msgs.size() - base);
+    const std::span<const IncomingMessage> block = msgs.subspan(base, n);
+    const std::span<const std::uint64_t> starts =
+        arrival_cycles.empty() ? arrival_cycles : arrival_cycles.subspan(base, n);
+
+    BlockMatcher matcher(cfg_, prq_, ++next_gen_, block, costs_, starts);
+    executor.execute(matcher);
+    ++stats_.blocks_processed;
+
+    // Epilogue (engine-serialized): collect results in arrival order; insert
+    // unexpected messages into the UMQ in thread-id order so constraint C2
+    // holds across the block boundary.
+    std::vector<std::uint32_t> consumed_slots;
+    for (unsigned t = 0; t < matcher.num_threads(); ++t) {
+      const BlockMatcher::ThreadResult& r = matcher.result(t);
+      const IncomingMessage& msg = block[t];
+
+      stats_.match_attempts += r.search.attempts;
+      stats_.index_searches += r.search.index_searches;
+      stats_.early_booking_skips += r.search.early_skips;
+      if (r.search.max_single_chain > stats_.max_chain_scanned)
+        stats_.max_chain_scanned = r.search.max_single_chain;
+      ++stats_.messages_processed;
+      if (r.conflicted) ++stats_.conflicts_detected;
+      if (r.fast_path_aborted) ++stats_.fast_path_aborts;
+      if (r.final_slot != kInvalidSlot) {
+        if (r.path == ResolutionPath::kFastPath) ++stats_.fast_path_resolutions;
+        if (r.path == ResolutionPath::kSlowPath) ++stats_.slow_path_resolutions;
+      } else if (r.path == ResolutionPath::kSlowPath) {
+        ++stats_.slow_path_resolutions;
+      }
+
+      ArrivalOutcome o;
+      o.env = msg.env;
+      o.path = r.path;
+      o.conflicted = r.conflicted;
+      o.wire_seq = msg.wire_seq;
+      o.protocol = msg.protocol;
+      o.payload_bytes = msg.payload_bytes;
+      o.inline_bytes = msg.inline_bytes;
+      o.bounce_handle = msg.bounce_handle;
+      o.remote_key = msg.remote_key;
+      o.remote_addr = msg.remote_addr;
+      o.finish_cycles = r.finish_cycles;
+
+      if (r.final_slot != kInvalidSlot) {
+        const ReceiveDescriptor& d = prq_.desc(r.final_slot);
+        OTM_ASSERT_MSG(d.consumed(), "matched receive not consumed");
+        OTM_ASSERT_MSG(d.spec.matches(msg.env), "matched receive does not match");
+        o.kind = ArrivalOutcome::Kind::kMatched;
+        o.receive_cookie = d.cookie;
+        o.buffer_addr = d.buffer_addr;
+        o.buffer_capacity = d.buffer_capacity;
+        ++stats_.messages_matched;
+        consumed_slots.push_back(r.final_slot);
+      } else {
+        // Ordered UMQ insertion; the insert itself is a serialization
+        // point, modeled by threading the umq_clock_ through the inserts.
+        if (umq_clock_.enabled()) {
+          umq_clock_.sync_to(r.finish_cycles);
+        }
+        const std::uint32_t slot = umq_.insert(msg, umq_clock_);
+        if (slot == kInvalidSlot) {
+          o.kind = ArrivalOutcome::Kind::kDropped;
+        } else {
+          o.kind = ArrivalOutcome::Kind::kUnexpected;
+          ++stats_.messages_unexpected;
+        }
+        if (umq_clock_.enabled()) o.finish_cycles = umq_clock_.cycles();
+      }
+      last_finish_cycles_ = std::max(last_finish_cycles_, o.finish_cycles);
+      outcomes.push_back(o);
+    }
+
+    // Eager removal: unlink consumed receives now (the matching threads
+    // already paid the modeled lock/unlink cost); lazy removal leaves them
+    // marked for the amortized insert-time cleanup.
+    if (!cfg_.lazy_removal) {
+      for (const std::uint32_t slot : consumed_slots) {
+        prq_.unlink_and_release(slot);
+        ++stats_.eager_removals;
+      }
+    }
+  }
+  return outcomes;
+}
+
+ArrivalOutcome MatchEngine::process_one(const IncomingMessage& msg,
+                                        BlockExecutor& executor) {
+  const auto v = process(std::span<const IncomingMessage>(&msg, 1), executor);
+  return v.front();
+}
+
+}  // namespace otm

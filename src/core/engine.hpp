@@ -1,0 +1,137 @@
+// MatchEngine: the complete offloaded matching flow of Fig. 1 built on the
+// optimistic block matcher.
+//
+//   - post_receive(): check the unexpected-message store first (Fig. 1a);
+//     otherwise index the receive into the posted-receive store.
+//   - process(): consume a stream of incoming messages in blocks of N,
+//     matching each block optimistically in parallel (Fig. 1b + Sec. III),
+//     then insert the leftovers into the unexpected store in arrival order.
+//
+// Concurrency contract: post_receive() and process() must not overlap (the
+// DPA dispatcher serializes command-QP posts against message blocks); the
+// *inside* of process() is where the parallelism lives.
+//
+// One engine serves one communicator in the paper's architecture
+// (Sec. IV-E); sharing one engine across communicators is functionally
+// correct (the envelope carries the comm id) at the cost of extra collisions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/block_matcher.hpp"
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/receive_store.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "core/unexpected_store.hpp"
+
+namespace otm {
+
+/// Result of posting a receive.
+struct PostOutcome {
+  enum class Kind : std::uint8_t {
+    kPending,            ///< indexed; waits for a matching message
+    kMatchedUnexpected,  ///< immediately satisfied by a stored message
+    kFallback,           ///< descriptor table full: use software matching
+  };
+  Kind kind = Kind::kPending;
+  std::uint64_t cookie = 0;           ///< echo of the caller's request handle
+  UnexpectedDescriptor message{};     ///< valid iff kMatchedUnexpected
+};
+
+/// Result of processing one incoming message.
+struct ArrivalOutcome {
+  enum class Kind : std::uint8_t {
+    kMatched,     ///< paired with a posted receive
+    kUnexpected,  ///< stored in the unexpected-message store
+    kDropped,     ///< unexpected store full: software-fallback signal
+  };
+  Kind kind = Kind::kUnexpected;
+  Envelope env{};
+  ResolutionPath path = ResolutionPath::kOptimistic;
+  bool conflicted = false;
+
+  // Matched-receive info for the protocol-handling stage (Sec. IV-B).
+  std::uint64_t receive_cookie = 0;
+  std::uint64_t buffer_addr = 0;
+  std::uint32_t buffer_capacity = 0;
+
+  // Message-side protocol info.
+  std::uint64_t wire_seq = 0;
+  Protocol protocol = Protocol::kEager;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t inline_bytes = 0;
+  std::uint64_t bounce_handle = 0;
+  std::uint64_t remote_key = 0;
+  std::uint64_t remote_addr = 0;
+
+  /// Modeled completion time (cycles) when cost accounting is enabled.
+  std::uint64_t finish_cycles = 0;
+};
+
+class MatchEngine {
+ public:
+  explicit MatchEngine(const MatchConfig& cfg, const CostTable* costs = nullptr);
+
+  MatchEngine(const MatchEngine&) = delete;
+  MatchEngine& operator=(const MatchEngine&) = delete;
+
+  /// Fig. 1a: match against stored unexpected messages, else index.
+  PostOutcome post_receive(const MatchSpec& spec, std::uint64_t buffer_addr = 0,
+                           std::uint32_t buffer_capacity = 0,
+                           std::uint64_t cookie = 0);
+
+  /// MPI_Iprobe semantics over the arrived stream: non-destructively find
+  /// the oldest stored unexpected message matching `spec`. The message
+  /// stays queued; a subsequent matching post_receive() consumes it.
+  struct ProbeResult {
+    Envelope env{};
+    std::uint32_t payload_bytes = 0;
+    Protocol protocol = Protocol::kEager;
+    std::uint64_t wire_seq = 0;
+  };
+  std::optional<ProbeResult> probe(const MatchSpec& spec);
+
+  /// MPI_Cancel semantics: withdraw a pending posted receive identified by
+  /// its cookie. Returns the cancelled receive's buffer_addr, or nullopt
+  /// when no pending receive carries the cookie (it already matched, or
+  /// never existed) — in MPI terms the cancel did not succeed.
+  /// Engine-serialized like post_receive().
+  std::optional<std::uint64_t> cancel_receive(std::uint64_t cookie);
+
+  /// Fig. 1b / Sec. III: process `msgs` in arrival order, in blocks of at
+  /// most cfg.block_size. `arrival_cycles`, when non-empty, gives each
+  /// message's modeled dispatch time (parallel to `msgs`).
+  std::vector<ArrivalOutcome> process(std::span<const IncomingMessage> msgs,
+                                      BlockExecutor& executor,
+                                      std::span<const std::uint64_t> arrival_cycles = {});
+
+  /// Single message convenience (block of one).
+  ArrivalOutcome process_one(const IncomingMessage& msg, BlockExecutor& executor);
+
+  const MatchStats& stats() const noexcept { return stats_; }
+  const MatchConfig& config() const noexcept { return cfg_; }
+  ReceiveStore& receives() noexcept { return prq_; }
+  const ReceiveStore& receives() const noexcept { return prq_; }
+  UnexpectedStore& unexpected() noexcept { return umq_; }
+  const UnexpectedStore& unexpected() const noexcept { return umq_; }
+
+  /// Modeled time of the latest completed message (cycles).
+  std::uint64_t last_finish_cycles() const noexcept { return last_finish_cycles_; }
+
+ private:
+  MatchConfig cfg_;
+  const CostTable* costs_;
+  ReceiveStore prq_;
+  UnexpectedStore umq_;
+  MatchStats stats_;
+  std::uint32_t next_gen_ = 0;
+  std::uint64_t last_finish_cycles_ = 0;
+  ThreadClock umq_clock_;  ///< serialization point for ordered UMQ inserts
+};
+
+}  // namespace otm

@@ -1,0 +1,350 @@
+#include "core/receive_store.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+ReceiveStore::ReceiveStore(const MatchConfig& cfg)
+    : cfg_(cfg), table_(cfg.max_receives) {
+  OTM_ASSERT_MSG(cfg.valid(), "invalid MatchConfig");
+  bin_mask_ = cfg_.bins - 1;
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
+    const std::size_t n = (idx == static_cast<unsigned>(WildcardClass::kBothWild))
+                              ? 1
+                              : cfg_.bins;
+    bins_[idx] = std::vector<Bin>(n);
+  }
+}
+
+std::pair<unsigned, std::size_t> ReceiveStore::route_spec(
+    const MatchSpec& spec) const noexcept {
+  const auto wc = spec.wildcard_class();
+  const auto idx = static_cast<unsigned>(wc);
+  std::size_t bin = 0;
+  switch (wc) {
+    case WildcardClass::kNone:
+      bin = hash_src_tag(spec.source, spec.tag) & bin_mask_;
+      break;
+    case WildcardClass::kSourceWild:
+      bin = hash_tag(spec.tag) & bin_mask_;
+      break;
+    case WildcardClass::kTagWild:
+      bin = hash_src(spec.source) & bin_mask_;
+      break;
+    case WildcardClass::kBothWild:
+      bin = 0;
+      break;
+  }
+  return {idx, bin};
+}
+
+std::size_t ReceiveStore::probe_bin(unsigned idx, const IncomingMessage& msg,
+                                    ThreadClock& clock) const noexcept {
+  const bool inlined = cfg_.use_inline_hashes && msg.has_inline_hashes;
+  std::uint64_t h = 0;
+  switch (static_cast<WildcardClass>(idx)) {
+    case WildcardClass::kNone:
+      h = inlined ? msg.hashes.src_tag : hash_src_tag(msg.env.source, msg.env.tag);
+      break;
+    case WildcardClass::kSourceWild:
+      h = inlined ? msg.hashes.tag : hash_tag(msg.env.tag);
+      break;
+    case WildcardClass::kTagWild:
+      h = inlined ? msg.hashes.src : hash_src(msg.env.source);
+      break;
+    case WildcardClass::kBothWild:
+      return 0;
+  }
+  if (!inlined) OTM_CHARGE(clock, hash_compute);
+  return h & bin_mask_;
+}
+
+ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
+                                            std::uint64_t buffer_addr,
+                                            std::uint32_t buffer_capacity,
+                                            std::uint64_t cookie) {
+  std::uint32_t slot = table_.allocate();
+  if (slot == kInvalidSlot && cfg_.lazy_removal) {
+    // Lazily-removed entries can pin every slot; reclaim and retry before
+    // declaring the table full (Sec. IV-E fallback).
+    if (cleanup_all() > 0) slot = table_.allocate();
+  }
+  if (slot == kInvalidSlot) return {kInvalidSlot, /*fallback=*/true};
+  OTM_ASSERT_MSG(!cfg_.assume_no_wildcards ||
+                     spec.wildcard_class() == WildcardClass::kNone,
+                 "wildcard receive posted on a no-wildcard engine");
+
+  // Compatible-sequence id: bumped whenever the new receive differs from the
+  // previously posted one (Sec. III-D-3a). The very first receive starts a
+  // sequence of its own.
+  if (!have_last_spec_ || !spec.compatible_with(last_spec_)) ++next_seq_;
+  have_last_spec_ = true;
+  last_spec_ = spec;
+
+  ReceiveDescriptor& d = table_[slot];
+  d.spec = spec;
+  d.label = next_label_++;
+  d.seq_id = next_seq_;
+  d.wclass = spec.wildcard_class();
+  d.next = kInvalidSlot;
+  d.buffer_addr = buffer_addr;
+  d.buffer_capacity = buffer_capacity;
+  d.cookie = cookie;
+  d.state.store(ReceiveState::kPosted, std::memory_order_release);
+
+  const auto [idx, bin_id] = route_spec(spec);
+  Bin& bin = bins_[idx][bin_id];
+  SpinGuard g(bin.lock);
+  // Lazy removal amortizes chain cleanup into the (engine-serialized)
+  // insert path: consumed entries encountered here are unlinked now.
+  if (cfg_.lazy_removal) {
+    std::uint32_t prev = kInvalidSlot;
+    std::uint32_t cur = bin.head;
+    while (cur != kInvalidSlot) {
+      ReceiveDescriptor& c = table_[cur];
+      const std::uint32_t nxt = c.next;
+      if (c.consumed()) {
+        if (prev == kInvalidSlot) {
+          bin.head = nxt;
+        } else {
+          table_[prev].next = nxt;
+        }
+        if (bin.tail == cur) bin.tail = prev;
+        table_.release(cur);
+        ++lazy_removals_;
+      } else {
+        prev = cur;
+      }
+      cur = nxt;
+    }
+  }
+  if (bin.tail == kInvalidSlot) {
+    bin.head = slot;
+    bin.tail = slot;
+  } else {
+    table_[bin.tail].next = slot;
+    bin.tail = slot;
+  }
+  return {slot, /*fallback=*/false};
+}
+
+std::uint32_t ReceiveStore::chain_search(unsigned idx, std::size_t bin_id,
+                                         const Envelope& env, std::uint32_t gen,
+                                         unsigned thread_id, bool early_skip,
+                                         ThreadClock& clock,
+                                         SearchLocal& local) const {
+  OTM_CHARGE(clock, bin_lookup);
+  std::uint32_t cur = bins_[idx][bin_id].head;
+  std::uint64_t walked = 0;
+  for (; cur != kInvalidSlot; cur = table_[cur].next) {
+    const ReceiveDescriptor& d = table_[cur];
+    ++local.attempts;
+    ++walked;
+    OTM_CHARGE(clock, chain_step);
+    if (!d.consumed() && d.spec.matches(env)) {
+      if (early_skip && d.booking.booked_by_lower(gen, thread_id)) {
+        // Early booking check (Sec. III-D): a lower-id thread will win this
+        // receive; skip it instead of conflicting later.
+        ++local.early_skips;
+        OTM_CHARGE(clock, conflict_check);
+      } else {
+        break;
+      }
+    }
+  }
+  if (walked > local.max_single_chain) local.max_single_chain = walked;
+  return cur;
+}
+
+std::uint32_t ReceiveStore::search(const IncomingMessage& msg, std::uint32_t gen,
+                                   unsigned thread_id, bool early_skip,
+                                   ThreadClock& clock, SearchLocal& local) const {
+  std::uint32_t best = kInvalidSlot;
+  std::uint64_t best_label = 0;
+  // Sec. VII: with the no-wildcard assertion only the hash(src,tag) index
+  // can hold receives, so the other three probes are skipped entirely.
+  const unsigned num_indexes = cfg_.assume_no_wildcards ? 1 : kNumIndexes;
+  for (unsigned idx = 0; idx < num_indexes; ++idx) {
+    ++local.index_searches;
+    const std::size_t bin_id = probe_bin(idx, msg, clock);
+    const std::uint32_t hit =
+        chain_search(idx, bin_id, msg.env, gen, thread_id, early_skip, clock, local);
+    if (hit == kInvalidSlot) continue;
+    const std::uint64_t label = table_[hit].label;
+    OTM_CHARGE(clock, label_compare);
+    if (best == kInvalidSlot || label < best_label) {
+      best = hit;
+      best_label = label;
+    }
+  }
+  return best;
+}
+
+std::uint32_t ReceiveStore::fast_path_candidate(std::uint32_t slot,
+                                                const Envelope& env,
+                                                unsigned shift,
+                                                ThreadClock& clock,
+                                                SearchLocal& local) const {
+  OTM_ASSERT(slot != kInvalidSlot);
+  const std::uint32_t base_seq = table_[slot].seq_id;
+  std::uint32_t cur = slot;
+  unsigned advanced = 0;
+  while (advanced < shift) {
+    cur = table_[cur].next;
+    if (cur == kInvalidSlot) return kInvalidSlot;  // sequence exhausted
+    const ReceiveDescriptor& d = table_[cur];
+    ++local.attempts;
+    OTM_CHARGE(clock, fast_path_step);
+    if (!d.spec.matches(env)) continue;  // hash-collision interposer
+    if (d.seq_id != base_seq) return kInvalidSlot;  // sequence broken (C1)
+    // Same-sequence entries after the first live one are live at block
+    // start; entries consumed during this block belong to lower-id threads
+    // and are counted toward the shift, so no consumed-skip here.
+    ++advanced;
+  }
+  return cur;
+}
+
+void ReceiveStore::charge_eager_removal(std::uint32_t slot, ThreadClock& clock) {
+  if (!clock.enabled()) return;
+  const auto [idx, bin_id] = route_spec(table_[slot].spec);
+  std::atomic<std::uint64_t>& removal = bins_[idx][bin_id].removal_clock;
+  const std::uint64_t cost =
+      clock.costs()->lock_acquire + clock.costs()->unlink;
+  std::uint64_t cur = removal.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t start = std::max(clock.cycles(), cur);
+    const std::uint64_t done = start + cost;
+    if (removal.compare_exchange_weak(cur, done, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      clock.set(done);
+      return;
+    }
+  }
+}
+
+void ReceiveStore::unlink_and_release(std::uint32_t slot) {
+  ReceiveDescriptor& d = table_[slot];
+  OTM_ASSERT_MSG(d.consumed(), "unlink of a non-consumed receive");
+  const auto [idx, bin_id] = route_spec(d.spec);
+  Bin& bin = bins_[idx][bin_id];
+  SpinGuard g(bin.lock);
+  std::uint32_t prev = kInvalidSlot;
+  std::uint32_t cur = bin.head;
+  while (cur != kInvalidSlot) {
+    if (cur == slot) {
+      const std::uint32_t nxt = table_[cur].next;
+      if (prev == kInvalidSlot) {
+        bin.head = nxt;
+      } else {
+        table_[prev].next = nxt;
+      }
+      if (bin.tail == cur) bin.tail = prev;
+      table_.release(cur);
+      return;
+    }
+    prev = cur;
+    cur = table_[cur].next;
+  }
+  OTM_ASSERT_MSG(false, "consumed receive not found in its bin chain");
+}
+
+std::size_t ReceiveStore::cleanup_bin(unsigned idx, Bin& bin) {
+  (void)idx;
+  std::size_t reclaimed = 0;
+  SpinGuard g(bin.lock);
+  std::uint32_t prev = kInvalidSlot;
+  std::uint32_t cur = bin.head;
+  while (cur != kInvalidSlot) {
+    ReceiveDescriptor& d = table_[cur];
+    const std::uint32_t nxt = d.next;
+    if (d.consumed()) {
+      if (prev == kInvalidSlot) {
+        bin.head = nxt;
+      } else {
+        table_[prev].next = nxt;
+      }
+      if (bin.tail == cur) bin.tail = prev;
+      table_.release(cur);
+      ++reclaimed;
+    } else {
+      prev = cur;
+    }
+    cur = nxt;
+  }
+  return reclaimed;
+}
+
+std::optional<std::uint64_t> ReceiveStore::cancel_by_cookie(
+    std::uint64_t cookie) {
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
+    for (Bin& bin : bins_[idx]) {
+      for (std::uint32_t cur = bin.head; cur != kInvalidSlot;
+           cur = table_[cur].next) {
+        ReceiveDescriptor& d = table_[cur];
+        if (d.cookie != cookie || !d.posted()) continue;
+        const std::uint64_t buffer_addr = d.buffer_addr;
+        const bool ok = d.try_consume();
+        OTM_ASSERT_MSG(ok, "cancel raced a concurrent match");
+        unlink_and_release(cur);
+        // A cancelled receive may have ended a compatible sequence; the
+        // next post must not extend it across the gap.
+        have_last_spec_ = false;
+        return buffer_addr;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t ReceiveStore::cleanup_all() {
+  std::size_t reclaimed = 0;
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx)
+    for (Bin& bin : bins_[idx]) reclaimed += cleanup_bin(idx, bin);
+  lazy_removals_ += reclaimed;
+  return reclaimed;
+}
+
+std::size_t ReceiveStore::posted_count() const noexcept {
+  std::size_t n = 0;
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
+    for (const Bin& bin : bins_[idx]) {
+      for (std::uint32_t cur = bin.head; cur != kInvalidSlot; cur = table_[cur].next)
+        if (table_[cur].posted()) ++n;
+    }
+  }
+  return n;
+}
+
+ReceiveStore::DepthMetrics ReceiveStore::depth_metrics() const {
+  DepthMetrics m;
+  std::size_t nonempty = 0;
+  std::size_t total_bins = 0;
+  std::size_t nonempty_sum = 0;
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
+    for (const Bin& bin : bins_[idx]) {
+      ++total_bins;
+      std::size_t len = 0;
+      for (std::uint32_t cur = bin.head; cur != kInvalidSlot; cur = table_[cur].next)
+        if (table_[cur].posted()) ++len;
+      if (len > 0) {
+        ++nonempty;
+        nonempty_sum += len;
+      }
+      m.live_entries += len;
+      m.max_chain = std::max(m.max_chain, len);
+    }
+  }
+  m.avg_nonempty_chain =
+      nonempty == 0 ? 0.0
+                    : static_cast<double>(nonempty_sum) / static_cast<double>(nonempty);
+  m.empty_bin_fraction =
+      total_bins == 0
+          ? 0.0
+          : static_cast<double>(total_bins - nonempty) / static_cast<double>(total_bins);
+  return m;
+}
+
+}  // namespace otm

@@ -1,0 +1,162 @@
+// The four-index posted-receive store (Sec. III-B).
+//
+// A receive is indexed in exactly one structure according to its wildcard
+// usage:
+//   [0] no wildcards    -> hash(src, tag)
+//   [1] ANY_SOURCE      -> hash(tag)
+//   [2] ANY_TAG         -> hash(src)
+//   [3] both wildcards  -> posting-ordered list (single chain)
+// For each incoming message all four indexes are probed with the matching
+// key and the oldest candidate (minimum posting label) wins — constraint C1.
+//
+// Chains are append-at-tail, so every chain is ordered by posting label;
+// the first matching live entry in a chain is the oldest in that index.
+//
+// Concurrency contract: posting (insert/cleanup/unlink/release) is
+// serialized by the engine and never overlaps a matching block; during a
+// block the chains are structurally immutable and threads only flip
+// descriptor state Posted->Consumed and set booking bits, so searches are
+// lock-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/descriptor.hpp"
+#include "core/descriptor_table.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "util/spinlock.hpp"
+
+namespace otm {
+
+/// Per-thread search accounting, merged into MatchStats at block epilogue.
+struct SearchLocal {
+  std::uint64_t attempts = 0;        ///< chain entries examined
+  std::uint64_t index_searches = 0;  ///< indexes probed
+  std::uint64_t early_skips = 0;     ///< entries skipped via booking check
+  std::uint64_t max_single_chain = 0;///< deepest single-chain scan (queue depth)
+};
+
+class ReceiveStore {
+ public:
+  explicit ReceiveStore(const MatchConfig& cfg);
+
+  ReceiveStore(const ReceiveStore&) = delete;
+  ReceiveStore& operator=(const ReceiveStore&) = delete;
+
+  struct PostResult {
+    std::uint32_t slot = kInvalidSlot;
+    bool fallback = false;  ///< table exhausted -> software tag matching
+  };
+
+  /// Index a new receive. Assigns the posting label and the
+  /// compatible-sequence id (Sec. III-D fast path). Engine-serialized.
+  PostResult post(const MatchSpec& spec, std::uint64_t buffer_addr,
+                  std::uint32_t buffer_capacity, std::uint64_t cookie);
+
+  /// Optimistic search (Sec. III-C): probe every index with the message key
+  /// and return the oldest matching live receive, or kInvalidSlot.
+  /// `early_skip` enables the early-booking-check optimization: entries
+  /// already booked by a lower-id thread under `gen` are skipped.
+  std::uint32_t search(const IncomingMessage& msg, std::uint32_t gen,
+                       unsigned thread_id, bool early_skip, ThreadClock& clock,
+                       SearchLocal& local) const;
+
+  /// Fast-path walk (Sec. III-D-3a): starting from `slot` (the conflicted
+  /// candidate), return the `shift`-th subsequent receive matching `env`
+  /// within the same compatible sequence; kInvalidSlot means the sequence
+  /// ended or was broken and the caller must take the slow path.
+  std::uint32_t fast_path_candidate(std::uint32_t slot, const Envelope& env,
+                                    unsigned shift, ThreadClock& clock,
+                                    SearchLocal& local) const;
+
+  /// Unlink one consumed receive from its bin chain and release the slot.
+  /// Engine-serialized (block epilogue in eager-removal mode).
+  void unlink_and_release(std::uint32_t slot);
+
+  /// Model the eager-removal cost for the thread consuming `slot`:
+  /// acquiring the bin's remove lock serializes with every other removal
+  /// from the same bin (the overhead lazy removal exists to avoid,
+  /// Sec. III-D). Advances `clock` past the bin's modeled removal chain.
+  /// The structural unlink itself stays in the engine epilogue so chains
+  /// are immutable while a block is in flight.
+  void charge_eager_removal(std::uint32_t slot, ThreadClock& clock);
+
+  /// Withdraw the oldest pending receive whose cookie matches: mark it
+  /// consumed (so in-flight searches skip it) and unlink it. Returns the
+  /// cancelled receive's buffer_addr, or nullopt if no posted receive
+  /// carries the cookie. Engine-serialized.
+  std::optional<std::uint64_t> cancel_by_cookie(std::uint64_t cookie);
+
+  /// Sweep every bin, unlinking and releasing all consumed entries.
+  /// Returns the number of entries reclaimed. Used by lazy removal when the
+  /// descriptor table runs dry, and by tests.
+  std::size_t cleanup_all();
+
+  ReceiveDescriptor& desc(std::uint32_t slot) noexcept { return table_[slot]; }
+  const ReceiveDescriptor& desc(std::uint32_t slot) const noexcept {
+    return table_[slot];
+  }
+
+  std::size_t capacity() const noexcept { return table_.capacity(); }
+  std::size_t live_descriptors() const noexcept { return table_.live(); }
+
+  /// Number of posted (unconsumed) receives currently indexed.
+  std::size_t posted_count() const noexcept;
+
+  /// Structure-health metrics for the trace analyzer (Fig. 7 queue depth).
+  struct DepthMetrics {
+    std::size_t live_entries = 0;      ///< posted entries across all chains
+    std::size_t max_chain = 0;         ///< longest chain (live entries)
+    double avg_nonempty_chain = 0.0;   ///< mean live length of non-empty bins
+    double empty_bin_fraction = 0.0;   ///< empty bins / total bins
+  };
+  DepthMetrics depth_metrics() const;
+
+  std::uint64_t lazy_removals() const noexcept { return lazy_removals_; }
+  std::uint64_t next_label() const noexcept { return next_label_; }
+
+ private:
+  struct Bin {
+    Spinlock lock;  // 4-byte remove lock of Sec. IV-E (structural mutation)
+    std::uint32_t head = kInvalidSlot;
+    std::uint32_t tail = kInvalidSlot;
+    /// Modeled time until which the remove lock is held (eager removal).
+    std::atomic<std::uint64_t> removal_clock{0};
+  };
+
+  /// Bin index for a *receive spec* at post time.
+  std::pair<unsigned, std::size_t> route_spec(const MatchSpec& spec) const noexcept;
+
+  /// Bin index for a *message* probing index `idx`.
+  std::size_t probe_bin(unsigned idx, const IncomingMessage& msg,
+                        ThreadClock& clock) const noexcept;
+
+  /// First live matching entry in the chain of (idx, bin); kInvalidSlot if
+  /// none. Accounts attempts/skips into `local`.
+  std::uint32_t chain_search(unsigned idx, std::size_t bin, const Envelope& env,
+                             std::uint32_t gen, unsigned thread_id,
+                             bool early_skip, ThreadClock& clock,
+                             SearchLocal& local) const;
+
+  /// Remove consumed entries from one bin's chain, releasing their slots.
+  std::size_t cleanup_bin(unsigned idx, Bin& bin);
+
+  MatchConfig cfg_;
+  mutable DescriptorTable<ReceiveDescriptor> table_;
+  std::vector<Bin> bins_[kNumIndexes];  // [3] has exactly one bin (the list)
+  std::size_t bin_mask_ = 0;
+
+  std::uint64_t next_label_ = 0;
+  std::uint32_t next_seq_ = 0;
+  bool have_last_spec_ = false;
+  MatchSpec last_spec_{};
+
+  std::uint64_t lazy_removals_ = 0;
+};
+
+}  // namespace otm

@@ -1,0 +1,60 @@
+// Matching statistics gathered by the engine; consumed by the trace
+// analyzer, the benches and the tests.
+#pragma once
+
+#include <cstdint>
+
+namespace otm {
+
+struct MatchStats {
+  // Post-side (Fig. 1a).
+  std::uint64_t receives_posted = 0;
+  std::uint64_t receives_matched_unexpected = 0;  ///< matched a UMQ entry at post
+  std::uint64_t post_fallbacks = 0;  ///< descriptor table full -> software path
+
+  // Arrival-side (Fig. 1b / Sec. III).
+  std::uint64_t messages_processed = 0;
+  std::uint64_t messages_matched = 0;
+  std::uint64_t messages_unexpected = 0;
+  std::uint64_t blocks_processed = 0;
+
+  // Conflict behavior (Sec. III-D).
+  std::uint64_t conflicts_detected = 0;   ///< threads that lost their candidate
+  std::uint64_t fast_path_resolutions = 0;
+  std::uint64_t slow_path_resolutions = 0;
+  std::uint64_t fast_path_aborts = 0;  ///< fast path left the compatible sequence
+
+  // Search effort.
+  std::uint64_t match_attempts = 0;   ///< chain entries examined
+  std::uint64_t index_searches = 0;   ///< per-index lookups performed
+  std::uint64_t early_booking_skips = 0;
+  std::uint64_t max_chain_scanned = 0;///< deepest single-chain scan observed
+
+  // Structure health.
+  std::uint64_t lazy_removals = 0;    ///< consumed entries cleaned at insert
+  std::uint64_t eager_removals = 0;
+
+  MatchStats& operator+=(const MatchStats& o) noexcept {
+    receives_posted += o.receives_posted;
+    receives_matched_unexpected += o.receives_matched_unexpected;
+    post_fallbacks += o.post_fallbacks;
+    messages_processed += o.messages_processed;
+    messages_matched += o.messages_matched;
+    messages_unexpected += o.messages_unexpected;
+    blocks_processed += o.blocks_processed;
+    conflicts_detected += o.conflicts_detected;
+    fast_path_resolutions += o.fast_path_resolutions;
+    slow_path_resolutions += o.slow_path_resolutions;
+    fast_path_aborts += o.fast_path_aborts;
+    match_attempts += o.match_attempts;
+    index_searches += o.index_searches;
+    early_booking_skips += o.early_booking_skips;
+    if (o.max_chain_scanned > max_chain_scanned)
+      max_chain_scanned = o.max_chain_scanned;
+    lazy_removals += o.lazy_removals;
+    eager_removals += o.eager_removals;
+    return *this;
+  }
+};
+
+}  // namespace otm

@@ -1,0 +1,41 @@
+#include "core/types.hpp"
+
+#include <cstdio>
+
+namespace otm {
+
+const char* to_string(WildcardClass c) noexcept {
+  switch (c) {
+    case WildcardClass::kNone: return "none";
+    case WildcardClass::kSourceWild: return "any-source";
+    case WildcardClass::kTagWild: return "any-tag";
+    case WildcardClass::kBothWild: return "any-both";
+  }
+  return "?";
+}
+
+std::string to_string(const Envelope& e) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(src=%d, tag=%d, comm=%u)", e.source, e.tag, e.comm);
+  return buf;
+}
+
+std::string to_string(const MatchSpec& s) {
+  char src[16];
+  char tag[16];
+  if (s.any_source()) {
+    std::snprintf(src, sizeof(src), "ANY");
+  } else {
+    std::snprintf(src, sizeof(src), "%d", s.source);
+  }
+  if (s.any_tag()) {
+    std::snprintf(tag, sizeof(tag), "ANY");
+  } else {
+    std::snprintf(tag, sizeof(tag), "%d", s.tag);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(src=%s, tag=%s, comm=%u)", src, tag, s.comm);
+  return buf;
+}
+
+}  // namespace otm

@@ -1,0 +1,126 @@
+// Fundamental matching types: envelopes, match specs, wildcard classes.
+//
+// Terminology follows the paper (Sec. II-A): received messages are "incoming
+// messages", receive requests are "posted receives". A posted receive may use
+// MPI_ANY_SOURCE / MPI_ANY_TAG wildcards; an incoming message never does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace otm {
+
+using Rank = std::int32_t;
+using Tag = std::int32_t;
+using CommId = std::uint32_t;
+
+/// Wildcard sentinels (match MPI's "any" semantics; negative values are
+/// invalid as real sources/tags, mirroring MPI_ANY_SOURCE/MPI_ANY_TAG).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// The four receive classes of Sec. III-B; the enum value doubles as the
+/// index-table id inside the receive store.
+enum class WildcardClass : std::uint8_t {
+  kNone = 0,       ///< fully specified: indexed by hash(src, tag)
+  kSourceWild = 1,  ///< source wildcard: indexed by hash(tag)
+  kTagWild = 2,    ///< tag wildcard: indexed by hash(src)
+  kBothWild = 3,   ///< both wildcards: kept in a posting-ordered list
+};
+
+inline constexpr unsigned kNumIndexes = 4;
+
+const char* to_string(WildcardClass c) noexcept;
+
+/// The matching fields carried by every incoming message (no wildcards).
+struct Envelope {
+  Rank source = 0;
+  Tag tag = 0;
+  CommId comm = 0;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Matching specification of a posted receive (may contain wildcards).
+struct MatchSpec {
+  Rank source = 0;
+  Tag tag = 0;
+  CommId comm = 0;
+
+  bool any_source() const noexcept { return source == kAnySource; }
+  bool any_tag() const noexcept { return tag == kAnyTag; }
+
+  WildcardClass wildcard_class() const noexcept {
+    if (any_source()) return any_tag() ? WildcardClass::kBothWild : WildcardClass::kSourceWild;
+    return any_tag() ? WildcardClass::kTagWild : WildcardClass::kNone;
+  }
+
+  bool matches(const Envelope& e) const noexcept {
+    return comm == e.comm && (any_source() || source == e.source) &&
+           (any_tag() || tag == e.tag);
+  }
+
+  /// Two receives are "compatible" (Sec. III-D, fast path) when they have
+  /// the same source, tag and communicator — including wildcard usage — so
+  /// that consecutive compatible receives form a shiftable sequence.
+  bool compatible_with(const MatchSpec& o) const noexcept {
+    return source == o.source && tag == o.tag && comm == o.comm;
+  }
+
+  friend bool operator==(const MatchSpec&, const MatchSpec&) = default;
+};
+
+/// Sender-precomputed hash values (inline-hash optimization, Sec. III-D).
+/// They depend only on the envelope, so the sender can ship them in the
+/// message header and spare the on-NIC cores the hash computation.
+struct InlineHashes {
+  std::uint64_t src_tag = 0;
+  std::uint64_t src = 0;
+  std::uint64_t tag = 0;
+
+  static InlineHashes compute(const Envelope& e) noexcept {
+    return {hash_src_tag(e.source, e.tag), hash_src(e.source), hash_tag(e.tag)};
+  }
+
+  friend bool operator==(const InlineHashes&, const InlineHashes&) = default;
+};
+
+/// Wire protocol selector (Sec. IV-B).
+enum class Protocol : std::uint8_t {
+  kEager = 0,       ///< full payload staged in the bounce buffer
+  kRendezvous = 1,  ///< RTS header; receiver issues an RDMA read
+};
+
+/// An incoming message as seen by the matching engine: envelope plus the
+/// metadata needed by the protocol-handling stage.
+struct IncomingMessage {
+  Envelope env;
+  InlineHashes hashes;        ///< valid iff `has_inline_hashes`
+  bool has_inline_hashes = false;
+  Protocol protocol = Protocol::kEager;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t inline_bytes = 0;  ///< payload staged with the header (RTS
+                                   ///< first fragment, Sec. IV-B)
+  std::uint64_t wire_seq = 0;     ///< arrival order on the stream (global)
+  std::uint64_t bounce_handle = 0;  ///< staging location (opaque to core)
+  std::uint64_t remote_key = 0;     ///< rendezvous: rkey of the send buffer
+  std::uint64_t remote_addr = 0;    ///< rendezvous: address of the send buffer
+
+  static IncomingMessage make(Rank src, Tag tag, CommId comm,
+                              std::uint32_t bytes = 0) noexcept {
+    IncomingMessage m;
+    m.env = {src, tag, comm};
+    m.hashes = InlineHashes::compute(m.env);
+    m.has_inline_hashes = true;
+    m.payload_bytes = bytes;
+    m.inline_bytes = bytes;
+    return m;
+  }
+};
+
+std::string to_string(const Envelope& e);
+std::string to_string(const MatchSpec& s);
+
+}  // namespace otm

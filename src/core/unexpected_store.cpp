@@ -1,0 +1,146 @@
+#include "core/unexpected_store.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace otm {
+
+UnexpectedStore::UnexpectedStore(const MatchConfig& cfg)
+    : cfg_(cfg), table_(cfg.max_unexpected) {
+  bin_mask_ = cfg_.bins - 1;
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
+    const std::size_t n = (idx == static_cast<unsigned>(WildcardClass::kBothWild))
+                              ? 1
+                              : cfg_.bins;
+    bins_[idx] = std::vector<Bin>(n);
+  }
+}
+
+std::size_t UnexpectedStore::bin_for(unsigned idx, const Envelope& env) const noexcept {
+  switch (static_cast<WildcardClass>(idx)) {
+    case WildcardClass::kNone:
+      return hash_src_tag(env.source, env.tag) & bin_mask_;
+    case WildcardClass::kSourceWild:
+      return hash_tag(env.tag) & bin_mask_;
+    case WildcardClass::kTagWild:
+      return hash_src(env.source) & bin_mask_;
+    case WildcardClass::kBothWild:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint32_t UnexpectedStore::insert(const IncomingMessage& msg,
+                                      ThreadClock& clock) {
+  const std::uint32_t slot = table_.allocate();
+  if (slot == kInvalidSlot) return kInvalidSlot;
+  UnexpectedDescriptor& d = table_[slot];
+  d.env = msg.env;
+  d.arrival = next_arrival_++;
+  d.wire_seq = msg.wire_seq;
+  d.protocol = msg.protocol;
+  d.payload_bytes = msg.payload_bytes;
+  d.inline_bytes = msg.inline_bytes;
+  d.bounce_handle = msg.bounce_handle;
+  d.remote_key = msg.remote_key;
+  d.remote_addr = msg.remote_addr;
+  d.active = true;
+  OTM_CHARGE(clock, unexpected_insert);
+  // With the no-wildcard assertion only the hash(src,tag) index is ever
+  // probed by a posted receive, so index the message once, not four times.
+  const unsigned num_indexes = cfg_.assume_no_wildcards ? 1 : kNumIndexes;
+  for (unsigned idx = 0; idx < num_indexes; ++idx) {
+    Bin& bin = bins_[idx][bin_for(idx, msg.env)];
+    d.prev[idx] = bin.tail;
+    d.next[idx] = kInvalidSlot;
+    if (bin.tail == kInvalidSlot) {
+      bin.head = slot;
+    } else {
+      table_[bin.tail].next[idx] = slot;
+    }
+    bin.tail = slot;
+  }
+  return slot;
+}
+
+std::uint32_t UnexpectedStore::search(const MatchSpec& spec, ThreadClock& clock,
+                                      std::uint64_t& attempts) const {
+  const auto idx = static_cast<unsigned>(spec.wildcard_class());
+  std::size_t bin_id = 0;
+  switch (spec.wildcard_class()) {
+    case WildcardClass::kNone:
+      bin_id = hash_src_tag(spec.source, spec.tag) & bin_mask_;
+      OTM_CHARGE(clock, hash_compute);
+      break;
+    case WildcardClass::kSourceWild:
+      bin_id = hash_tag(spec.tag) & bin_mask_;
+      OTM_CHARGE(clock, hash_compute);
+      break;
+    case WildcardClass::kTagWild:
+      bin_id = hash_src(spec.source) & bin_mask_;
+      OTM_CHARGE(clock, hash_compute);
+      break;
+    case WildcardClass::kBothWild:
+      bin_id = 0;
+      break;
+  }
+  OTM_CHARGE(clock, bin_lookup);
+  for (std::uint32_t cur = bins_[idx][bin_id].head; cur != kInvalidSlot;
+       cur = table_[cur].next[idx]) {
+    ++attempts;
+    OTM_CHARGE(clock, chain_step);
+    if (spec.matches(table_[cur].env)) return cur;
+  }
+  return kInvalidSlot;
+}
+
+UnexpectedDescriptor UnexpectedStore::remove(std::uint32_t slot) {
+  UnexpectedDescriptor& d = table_[slot];
+  OTM_ASSERT_MSG(d.active, "removing inactive unexpected descriptor");
+  const unsigned num_indexes = cfg_.assume_no_wildcards ? 1 : kNumIndexes;
+  for (unsigned idx = 0; idx < num_indexes; ++idx) {
+    Bin& bin = bins_[idx][bin_for(idx, d.env)];
+    const std::uint32_t nxt = d.next[idx];
+    const std::uint32_t prv = d.prev[idx];
+    if (prv == kInvalidSlot) {
+      bin.head = nxt;
+    } else {
+      table_[prv].next[idx] = nxt;
+    }
+    if (nxt == kInvalidSlot) {
+      bin.tail = prv;
+    } else {
+      table_[nxt].prev[idx] = prv;
+    }
+  }
+  UnexpectedDescriptor out = d;
+  table_.release(slot);
+  return out;
+}
+
+UnexpectedStore::DepthMetrics UnexpectedStore::depth_metrics() const {
+  DepthMetrics m;
+  m.entries = table_.live();
+  std::size_t total_bins = 0;
+  std::size_t nonempty = 0;
+  for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
+    for (const Bin& bin : bins_[idx]) {
+      ++total_bins;
+      std::size_t len = 0;
+      for (std::uint32_t cur = bin.head; cur != kInvalidSlot;
+           cur = table_[cur].next[idx])
+        ++len;
+      if (len > 0) ++nonempty;
+      m.max_chain = std::max(m.max_chain, len);
+    }
+  }
+  m.empty_bin_fraction =
+      total_bins == 0
+          ? 0.0
+          : static_cast<double>(total_bins - nonempty) / static_cast<double>(total_bins);
+  return m;
+}
+
+}  // namespace otm

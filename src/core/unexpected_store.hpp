@@ -1,0 +1,74 @@
+// The unexpected-message store (Sec. IV-C).
+//
+// An unexpected message is indexed in *all four* structures: a later receive
+// probes only the index matching its own wildcard class, so every class must
+// be able to find the message. Chains are arrival-ordered (append at tail),
+// which preserves constraint C2 — the first match in any probed chain is the
+// oldest message that receive can match.
+//
+// Concurrency contract: mutation only happens on the engine-serialized paths
+// (block epilogue inserts in thread-id order; receive posting removes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/descriptor.hpp"
+#include "core/descriptor_table.hpp"
+#include "core/types.hpp"
+
+namespace otm {
+
+class UnexpectedStore {
+ public:
+  explicit UnexpectedStore(const MatchConfig& cfg);
+
+  UnexpectedStore(const UnexpectedStore&) = delete;
+  UnexpectedStore& operator=(const UnexpectedStore&) = delete;
+
+  /// Store an unexpected message; returns its slot or kInvalidSlot when the
+  /// table is exhausted (software-fallback signal).
+  std::uint32_t insert(const IncomingMessage& msg, ThreadClock& clock);
+
+  /// Search for the oldest stored message matching `spec`, probing only the
+  /// index of the spec's wildcard class. Returns kInvalidSlot if none.
+  /// `attempts` accumulates examined chain entries (queue-depth metric).
+  std::uint32_t search(const MatchSpec& spec, ThreadClock& clock,
+                       std::uint64_t& attempts) const;
+
+  /// Unlink from all four structures and release the slot. The descriptor
+  /// contents are returned by value so the caller can run protocol handling.
+  UnexpectedDescriptor remove(std::uint32_t slot);
+
+  const UnexpectedDescriptor& desc(std::uint32_t slot) const noexcept {
+    return table_[slot];
+  }
+
+  std::size_t size() const noexcept { return table_.live(); }
+  std::size_t capacity() const noexcept { return table_.capacity(); }
+
+  struct DepthMetrics {
+    std::size_t entries = 0;
+    std::size_t max_chain = 0;
+    double empty_bin_fraction = 0.0;
+  };
+  DepthMetrics depth_metrics() const;
+
+ private:
+  struct Bin {
+    std::uint32_t head = kInvalidSlot;
+    std::uint32_t tail = kInvalidSlot;
+  };
+
+  std::size_t bin_for(unsigned idx, const Envelope& env) const noexcept;
+
+  MatchConfig cfg_;
+  DescriptorTable<UnexpectedDescriptor> table_;
+  std::vector<Bin> bins_[kNumIndexes];
+  std::size_t bin_mask_ = 0;
+  std::uint64_t next_arrival_ = 0;
+};
+
+}  // namespace otm

@@ -1,0 +1,124 @@
+#include "dpa/accelerator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+DpaAccelerator::DpaAccelerator(const DpaConfig& dpa_cfg,
+                               const MatchConfig& default_match_cfg)
+    : cfg_(dpa_cfg),
+      shared_costs_(dpa_cfg.shared_costs(default_match_cfg.block_size)),
+      slot_free_(kMaxBlockThreads, 0) {
+  OTM_ASSERT_MSG(default_match_cfg.block_size <= dpa_cfg.max_threads,
+                 "block threads exceed DPA hardware threads");
+  const bool ok = register_comm(0, default_match_cfg);
+  OTM_ASSERT_MSG(ok, "default communicator exceeds the DPA memory budget");
+}
+
+bool DpaAccelerator::register_comm(CommId comm, const MatchConfig& cfg) {
+  OTM_ASSERT_MSG(cfg.valid(), "invalid MatchConfig");
+  OTM_ASSERT_MSG(cfg.block_size <= cfg_.max_threads,
+                 "block threads exceed DPA hardware threads");
+  if (engines_.find(comm) != engines_.end()) return false;
+  const std::size_t need = footprint_of(cfg);
+  if (memory_used_ + need > cfg_.memory_budget_bytes) return false;
+  engines_.emplace(comm, std::make_unique<CommEngine>(cfg, &shared_costs_));
+  memory_used_ += need;
+  return true;
+}
+
+MatchEngine& DpaAccelerator::engine(CommId comm) {
+  const auto it = engines_.find(comm);
+  OTM_ASSERT_MSG(it != engines_.end(), "communicator not registered on the DPA");
+  return it->second->engine;
+}
+
+const MatchEngine& DpaAccelerator::engine(CommId comm) const {
+  const auto it = engines_.find(comm);
+  OTM_ASSERT_MSG(it != engines_.end(), "communicator not registered on the DPA");
+  return it->second->engine;
+}
+
+MatchStats DpaAccelerator::total_stats() const {
+  MatchStats total;
+  for (const auto& [comm, ce] : engines_) total += ce->engine.stats();
+  return total;
+}
+
+PostOutcome DpaAccelerator::post_receive(const MatchSpec& spec,
+                                         std::uint64_t buffer_addr,
+                                         std::uint32_t buffer_capacity,
+                                         std::uint64_t cookie) {
+  const auto it = engines_.find(spec.comm);
+  if (it == engines_.end()) {
+    // Unregistered communicator: the host must match in software.
+    PostOutcome out;
+    out.kind = PostOutcome::Kind::kFallback;
+    out.cookie = cookie;
+    return out;
+  }
+  return it->second->engine.post_receive(spec, buffer_addr, buffer_capacity,
+                                         cookie);
+}
+
+void DpaAccelerator::deliver_run(MatchEngine& eng,
+                                 std::span<const IncomingMessage> msgs,
+                                 std::span<const std::uint64_t> arrivals,
+                                 std::vector<ArrivalOutcome>& out) {
+  const unsigned block = eng.config().block_size;
+  // Process block by block so hart-slot pipeline backpressure from block b
+  // constrains the dispatch times of block b+1.
+  for (std::size_t base = 0; base < msgs.size(); base += block) {
+    const std::size_t n = std::min<std::size_t>(block, msgs.size() - base);
+
+    // Dispatch time per message: serial CQE delivery (the NIC hands out
+    // completions one at a time) plus hart-slot availability.
+    std::vector<std::uint64_t> starts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t g = base + i;
+      const std::uint64_t arrival =
+          arrivals.empty() ? cqe_ready_ : std::max(arrivals[g], cqe_ready_);
+      cqe_ready_ = arrival + cfg_.cqe_interval;
+      starts[i] = std::max(arrival, slot_free_[i]);
+    }
+
+    auto block_out = eng.process(msgs.subspan(base, n), executor_, starts);
+    for (std::size_t i = 0; i < block_out.size(); ++i) {
+      slot_free_[i] = std::max(slot_free_[i], block_out[i].finish_cycles);
+      now_ = std::max(now_, block_out[i].finish_cycles);
+      busy_cycles_ += block_out[i].finish_cycles - starts[i];
+      out.push_back(block_out[i]);
+    }
+  }
+}
+
+std::vector<ArrivalOutcome> DpaAccelerator::deliver(
+    std::span<const IncomingMessage> msgs,
+    std::span<const std::uint64_t> arrival_cycles) {
+  OTM_ASSERT(arrival_cycles.empty() || arrival_cycles.size() == msgs.size());
+
+  std::vector<ArrivalOutcome> outcomes;
+  outcomes.reserve(msgs.size());
+
+  // Split the arrival stream into maximal same-communicator runs; each run
+  // is matched on its communicator's engine. Relative order within a
+  // communicator is preserved (cross-communicator order carries no MPI
+  // semantics).
+  std::size_t base = 0;
+  while (base < msgs.size()) {
+    const CommId comm = msgs[base].env.comm;
+    std::size_t end = base + 1;
+    while (end < msgs.size() && msgs[end].env.comm == comm) ++end;
+    deliver_run(engine(comm), msgs.subspan(base, end - base),
+                arrival_cycles.empty()
+                    ? arrival_cycles
+                    : arrival_cycles.subspan(base, end - base),
+                outcomes);
+    base = end;
+  }
+  return outcomes;
+}
+
+}  // namespace otm

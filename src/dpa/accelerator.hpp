@@ -1,0 +1,105 @@
+// DpaAccelerator: the offloaded matching device of Sec. IV.
+//
+// Hosts one MatchEngine per registered MPI communicator (Sec. IV-E: "each
+// MPI communicator is linked to its own set of index tables and data
+// structures") under a DPA memory budget; registration fails when the
+// budget is exhausted, signalling the software-matching fallback.
+//
+// Models (a) the DPA cost table, (b) hart-slot pipelining — thread slot t
+// of a later block cannot start before slot t's previous run-to-completion
+// handler finished — and (c) serial CQE dispatch. The matching logic runs
+// for real; only time is modeled (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dpa/dpa_config.hpp"
+
+namespace otm {
+
+class DpaAccelerator {
+ public:
+  /// Registers communicator 0 with `default_match_cfg`.
+  DpaAccelerator(const DpaConfig& dpa_cfg, const MatchConfig& default_match_cfg);
+
+  DpaAccelerator(const DpaAccelerator&) = delete;
+  DpaAccelerator& operator=(const DpaAccelerator&) = delete;
+
+  /// Allocate per-communicator matching structures on the DPA. Fails (and
+  /// leaves the communicator to software matching) when the memory budget
+  /// cannot accommodate them or the comm is already registered.
+  bool register_comm(CommId comm, const MatchConfig& cfg);
+
+  bool comm_registered(CommId comm) const noexcept {
+    return engines_.find(comm) != engines_.end();
+  }
+
+  /// DPA memory consumed by all registered communicators' structures.
+  std::size_t memory_used() const noexcept { return memory_used_; }
+
+  /// Host posts a receive via the command QP. Routes on spec.comm; returns
+  /// kFallback for unregistered communicators (software tag matching).
+  PostOutcome post_receive(const MatchSpec& spec, std::uint64_t buffer_addr = 0,
+                           std::uint32_t buffer_capacity = 0,
+                           std::uint64_t cookie = 0);
+
+  /// Messages arriving at the NIC at `arrival_cycles` (DPA clock domain,
+  /// parallel to msgs; empty = back-to-back from now()). All messages must
+  /// target registered communicators (the endpoint routes others to the
+  /// host). Returns outcomes with modeled finish times, in arrival order.
+  std::vector<ArrivalOutcome> deliver(std::span<const IncomingMessage> msgs,
+                                      std::span<const std::uint64_t> arrival_cycles = {});
+
+  /// The engine of communicator `comm` (must be registered).
+  MatchEngine& engine(CommId comm = 0);
+  const MatchEngine& engine(CommId comm = 0) const;
+
+  /// Statistics aggregated over every registered communicator.
+  MatchStats total_stats() const;
+
+  const DpaConfig& config() const noexcept { return cfg_; }
+
+  /// Modeled DPA time: completion of the latest handler.
+  std::uint64_t now() const noexcept { return now_; }
+
+  /// Matching work executed on the DPA (cycles summed over harts). The
+  /// complementary host metric is zero by construction — that is the point
+  /// of the offload (Sec. VI: "the offloading fully frees the host CPU").
+  std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
+  std::uint64_t host_matching_cycles() const noexcept { return 0; }
+
+ private:
+  struct CommEngine {
+    explicit CommEngine(const MatchConfig& cfg, const CostTable* costs)
+        : engine(cfg, costs) {}
+    MatchEngine engine;
+  };
+
+  static std::size_t footprint_of(const MatchConfig& cfg) noexcept {
+    const auto f = MemoryFootprint::of(cfg.bins, cfg.max_receives);
+    // Unexpected descriptors consume DPA memory too (same 64 B layout).
+    return f.total() + cfg.max_unexpected * MemoryFootprint::kBytesPerDescriptor;
+  }
+
+  /// Process one maximal same-comm run of the arrival stream.
+  void deliver_run(MatchEngine& engine, std::span<const IncomingMessage> msgs,
+                   std::span<const std::uint64_t> arrivals,
+                   std::vector<ArrivalOutcome>& out);
+
+  DpaConfig cfg_;
+  CostTable shared_costs_;  ///< cost table scaled for hart/core sharing
+  std::map<CommId, std::unique_ptr<CommEngine>> engines_;
+  LockstepExecutor executor_;  ///< deterministic; clocks model concurrency
+  std::vector<std::uint64_t> slot_free_;  ///< per hart-slot pipeline time
+  std::size_t memory_used_ = 0;
+  std::uint64_t cqe_ready_ = 0;  ///< next CQE delivery slot (serial NIC)
+  std::uint64_t now_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace otm

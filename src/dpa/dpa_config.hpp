@@ -1,0 +1,71 @@
+// Configuration of the simulated Data Path Accelerator (Sec. II-C).
+//
+// The BlueField-3 DPA is a power-efficient embedded processor with 16 cores
+// supporting 256 hardware threads, executing event handlers run-to-
+// completion. We model it as `execution_units` cores running matching
+// handlers whose primitives are charged from a CostTable; when more block
+// threads are resident than cores, compute is time-shared and per-op costs
+// scale by the sharing factor (synchronization waits do not — a waiting
+// hart occupies no issue slots).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.hpp"
+
+namespace otm {
+
+struct DpaConfig {
+  unsigned execution_units = 16;  ///< BF3: 16 DPA cores
+  unsigned max_threads = 256;     ///< BF3: 256 hardware threads
+  double clock_ghz = 1.5;         ///< DPA core clock
+  CostTable costs = CostTable::dpa();
+
+  /// Cycles between consecutive CQE deliveries when messages arrive
+  /// back-to-back (NIC processing of one small message).
+  std::uint64_t cqe_interval = 80;
+
+  /// DPA memory available to matching structures across all registered
+  /// communicators (BF3 DPA L3 cache: 3 MiB, Sec. IV-E). Communicator
+  /// registration beyond the budget fails -> software tag matching.
+  std::size_t memory_budget_bytes = 3u * 1024u * 1024u;
+
+  /// Compute-cost multiplier for `threads` resident block threads.
+  std::uint64_t sharing_factor(unsigned threads) const noexcept {
+    if (execution_units == 0) return 1;
+    return (threads + execution_units - 1) / execution_units;
+  }
+
+  /// Cost table with compute primitives scaled by core sharing.
+  CostTable shared_costs(unsigned threads) const noexcept {
+    const std::uint64_t f = sharing_factor(threads);
+    CostTable c = costs;
+    if (f <= 1) return c;
+    c.hash_compute *= f;
+    c.bin_lookup *= f;
+    c.chain_step *= f;
+    c.label_compare *= f;
+    c.booking_cas *= f;
+    c.conflict_check *= f;
+    c.fast_path_step *= f;
+    c.research_overhead *= f;
+    c.consume *= f;
+    c.unexpected_insert *= f;
+    c.cqe_poll *= f;
+    c.eager_copy_per_byte_x1000 *= f;
+    c.lock_acquire *= f;
+    c.unlink *= f;
+    // barrier_overhead and slow_path_sync stay: waiting costs no issue slots.
+    return c;
+  }
+
+  double cycles_to_ns(std::uint64_t cycles) const noexcept {
+    return static_cast<double>(cycles) / clock_ghz;
+  }
+
+  std::uint64_t ns_to_cycles(double ns) const noexcept {
+    return static_cast<std::uint64_t>(ns * clock_ghz);
+  }
+};
+
+}  // namespace otm

@@ -1,0 +1,165 @@
+// Collectives layered over the matched point-to-point path (Sec. VII).
+//
+// Algorithms are the textbook log-P constructions:
+//   - barrier:   dissemination (each round r, exchange with rank +/- 2^r)
+//   - bcast:     binomial tree rooted at `root`
+//   - reduce:    binomial tree, children fold into parents
+//   - allreduce: reduce to rank 0 + bcast
+//   - gather:    direct sends to the root (the many-to-one pattern of
+//                Sec. I — a deliberate stress on the matching queues)
+//
+// Tags live in a reserved range; correctness across *successive*
+// collectives on the same communicator follows from MPI's non-overtaking
+// guarantee (C2): same (src, tag, comm) messages match in send order.
+#include <algorithm>
+
+#include "mpi/mpi.hpp"
+#include "util/assert.hpp"
+
+namespace otm::mpi {
+namespace {
+
+constexpr Tag kBarrierTag = 0x7F00'0000;
+constexpr Tag kBcastTag = 0x7F10'0000;
+constexpr Tag kReduceTag = 0x7F20'0000;
+constexpr Tag kGatherTag = 0x7F30'0000;
+
+template <typename T>
+T apply(Proc::ReduceOp op, T a, T b) {
+  switch (op) {
+    case Proc::ReduceOp::kSum: return a + b;
+    case Proc::ReduceOp::kMin: return std::min(a, b);
+    case Proc::ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+/// Rank relative to the root (binomial trees are root-rotated).
+Rank rel(Rank r, Rank root, int p) {
+  return static_cast<Rank>((r - root + p) % p);
+}
+
+Rank abs_rank(Rank relative, Rank root, int p) {
+  return static_cast<Rank>((relative + root) % p);
+}
+
+}  // namespace
+
+void Proc::barrier(const Comm& comm) {
+  const int p = size();
+  std::byte token{0};
+  std::byte sink{0};
+  for (int round = 0, dist = 1; dist < p; ++round, dist <<= 1) {
+    const Rank to = static_cast<Rank>((rank() + dist) % p);
+    const Rank from = static_cast<Rank>(((rank() - dist) % p + p) % p);
+    const Tag tag = kBarrierTag + round;
+    auto req = irecv({&sink, 1}, from, tag, comm);
+    send({&token, 1}, to, tag, comm);
+    wait(req);
+  }
+}
+
+void Proc::bcast(std::span<std::byte> buf, Rank root, const Comm& comm) {
+  const int p = size();
+  const Rank me = rel(rank(), root, p);
+  // Canonical binomial tree: receive from the lowest-set-bit parent, then
+  // forward down every lower bit position.
+  int mask = 1;
+  while (mask < p) {
+    if ((me & mask) != 0) {
+      recv(buf, abs_rank(static_cast<Rank>(me ^ mask), root, p), kBcastTag,
+           comm);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    const Rank child = static_cast<Rank>(me + mask);
+    if (child < p) send(buf, abs_rank(child, root, p), kBcastTag, comm);
+    mask >>= 1;
+  }
+}
+
+namespace {
+
+/// Binomial fold shared by the int64 and double reductions: in round k,
+/// relative ranks with bit k set send their partial result to (me & ~bit)
+/// and leave.
+template <typename T>
+void reduce_impl(Proc& proc, std::span<const T> in, std::span<T> out,
+                 Proc::ReduceOp op, Rank root, const Comm& comm) {
+  OTM_ASSERT(out.size() >= in.size());
+  const int p = proc.size();
+  const Rank me = rel(proc.rank(), root, p);
+  std::copy(in.begin(), in.end(), out.begin());
+  std::vector<T> incoming(in.size());
+
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((me & mask) != 0) {
+      const Rank parent = abs_rank(static_cast<Rank>(me & ~mask), root, p);
+      proc.send(std::as_bytes(out.subspan(0, in.size())), parent, kReduceTag,
+                comm);
+      return;
+    }
+    const Rank child = static_cast<Rank>(me | mask);
+    if (child < p) {
+      proc.recv(std::as_writable_bytes(std::span(incoming)),
+                abs_rank(child, root, p), kReduceTag, comm);
+      for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = apply(op, out[i], incoming[i]);
+    }
+  }
+}
+
+}  // namespace
+
+void Proc::reduce(std::span<const std::int64_t> in, std::span<std::int64_t> out,
+                  ReduceOp op, Rank root, const Comm& comm) {
+  reduce_impl(*this, in, out, op, root, comm);
+}
+
+void Proc::allreduce(std::span<const std::int64_t> in,
+                     std::span<std::int64_t> out, ReduceOp op,
+                     const Comm& comm) {
+  reduce(in, out, op, /*root=*/0, comm);
+  bcast(std::as_writable_bytes(out.subspan(0, in.size())), /*root=*/0, comm);
+}
+
+void Proc::reduce(std::span<const double> in, std::span<double> out,
+                  ReduceOp op, Rank root, const Comm& comm) {
+  reduce_impl(*this, in, out, op, root, comm);
+}
+
+void Proc::allreduce(std::span<const double> in, std::span<double> out,
+                     ReduceOp op, const Comm& comm) {
+  reduce(in, out, op, /*root=*/0, comm);
+  bcast(std::as_writable_bytes(out.subspan(0, in.size())), /*root=*/0, comm);
+}
+
+void Proc::gather(std::span<const std::byte> send_block,
+                  std::span<std::byte> recv_all, Rank root, const Comm& comm) {
+  const int p = size();
+  if (rank() == root) {
+    OTM_ASSERT_MSG(recv_all.size() >= send_block.size() * static_cast<std::size_t>(p),
+                   "gather receive buffer too small");
+    std::copy(send_block.begin(), send_block.end(),
+              recv_all.begin() +
+                  static_cast<std::ptrdiff_t>(send_block.size() *
+                                              static_cast<std::size_t>(root)));
+    // Post all receives up front: the many-to-one burst of Sec. I.
+    std::vector<Request> reqs;
+    for (Rank r = 0; r < p; ++r) {
+      if (r == root) continue;
+      reqs.push_back(irecv(
+          recv_all.subspan(send_block.size() * static_cast<std::size_t>(r),
+                           send_block.size()),
+          r, kGatherTag, comm));
+    }
+    wait_all(reqs);
+  } else {
+    send(send_block, root, kGatherTag, comm);
+  }
+}
+
+}  // namespace otm::mpi

@@ -1,0 +1,366 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace otm::mpi {
+
+// --- World -------------------------------------------------------------------
+
+World::World(int num_ranks, const WorldOptions& options)
+    : options_(options), fabric_(options.fabric) {
+  OTM_ASSERT(num_ranks >= 1);
+  if (options_.backend == Backend::kOffloadDpa) {
+    endpoints_.reserve(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      endpoints_.push_back(std::make_unique<proto::Endpoint>(
+          fabric_, static_cast<Rank>(r), options_.endpoint, options_.match,
+          options_.dpa));
+    }
+    for (int a = 0; a < num_ranks; ++a)
+      for (int b = a + 1; b < num_ranks; ++b)
+        endpoints_[static_cast<std::size_t>(a)]->connect(
+            *endpoints_[static_cast<std::size_t>(b)]);
+  }
+  procs_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r)
+    procs_.push_back(std::unique_ptr<Proc>(new Proc(*this, static_cast<Rank>(r))));
+}
+
+World::~World() = default;
+
+Proc& World::proc(Rank r) {
+  OTM_ASSERT(r >= 0 && static_cast<std::size_t>(r) < procs_.size());
+  return *procs_[static_cast<std::size_t>(r)];
+}
+
+void World::run(const std::function<void(Proc&)>& program) {
+  threaded_run_ = true;
+  std::vector<std::thread> threads;
+  threads.reserve(procs_.size());
+  for (auto& p : procs_)
+    threads.emplace_back([&program, proc = p.get()] { program(*proc); });
+  for (auto& t : threads) t.join();
+  threaded_run_ = false;
+}
+
+// --- Proc --------------------------------------------------------------------
+
+Proc::Proc(World& world, Rank rank) : world_(&world), rank_(rank) {
+  if (world.options_.backend == Backend::kSoftwareList)
+    sw_matcher_ = std::make_unique<ListMatcher>();
+}
+
+int Proc::size() const noexcept { return world_->size(); }
+
+Comm Proc::comm_create(const CommInfo& info) {
+  std::lock_guard lock(world_->mutex_);
+  const Comm comm{world_->next_comm_++, info};
+  if (world_->options_.backend != Backend::kOffloadDpa || !info.offload)
+    return comm;
+  // Allocate the per-communicator structures on every rank's DPA
+  // (Sec. IV-E). A rank whose budget is exhausted simply matches this
+  // communicator in host software; ranks are independent in that choice.
+  MatchConfig cfg = world_->options_.match;
+  cfg.assume_no_wildcards = info.assert_no_any_source && info.assert_no_any_tag;
+  cfg.allow_overtaking = info.assert_allow_overtaking;
+  for (auto& ep : world_->endpoints_) ep->register_comm(comm.id, cfg);
+  return comm;
+}
+
+bool Proc::comm_offloaded(const Comm& comm) const {
+  if (world_->options_.backend != Backend::kOffloadDpa) return false;
+  return world_->endpoints_[static_cast<std::size_t>(rank_)]->comm_registered(
+      comm.id);
+}
+
+Proc::RequestState& Proc::state(Request req) {
+  OTM_ASSERT_MSG(req.valid() && req.id < requests_.size(), "invalid request");
+  return requests_[req.id];
+}
+
+void Proc::validate_spec(const MatchSpec& spec, const CommInfo& info) {
+  OTM_ASSERT_MSG(!(info.assert_no_any_source && spec.any_source()),
+                 "MPI_ANY_SOURCE used on a communicator asserting "
+                 "mpi_assert_no_any_source");
+  OTM_ASSERT_MSG(!(info.assert_no_any_tag && spec.any_tag()),
+                 "MPI_ANY_TAG used on a communicator asserting "
+                 "mpi_assert_no_any_tag");
+}
+
+Request Proc::isend(std::span<const std::byte> data, Rank dst, Tag tag,
+                    const Comm& comm) {
+  OTM_ASSERT_MSG(tag >= 0, "message tags must be non-negative");
+  std::lock_guard lock(world_->mutex_);
+  ++stats_.sends;
+
+  requests_.push_back({RequestState::Kind::kSend, /*done=*/true,
+                       /*cancelled=*/false,
+                       Status{rank_, tag, static_cast<std::uint32_t>(data.size())},
+                       {}, {}, 0});
+  const Request req{requests_.size() - 1};
+
+  if (world_->options_.backend == Backend::kOffloadDpa) {
+    const auto r =
+        world_->endpoints_[static_cast<std::size_t>(rank_)]->send(dst, tag,
+                                                                  comm.id, data);
+    OTM_ASSERT_MSG(r.ok, "send failed: receiver staging exhausted (RNR)");
+  } else {
+    deliver_software(dst, tag, comm, data);
+  }
+  return req;
+}
+
+void Proc::deliver_software(Rank dst, Tag tag, const Comm& comm,
+                            std::span<const std::byte> data) {
+  Proc& peer = world_->proc(dst);
+  const Envelope env{rank_, tag, comm.id};
+  const std::uint64_t msg_id = peer.sw_next_msg_++;
+  const auto match = peer.sw_matcher_->arrive(env, msg_id);
+  if (match.has_value()) {
+    RequestState& rs = peer.requests_[*match];
+    const auto n = std::min(data.size(), rs.buffer.size());
+    std::copy_n(data.begin(), n, rs.buffer.begin());
+    rs.done = true;
+    rs.status = {rank_, tag, static_cast<std::uint32_t>(n)};
+  } else {
+    peer.sw_unexpected_.emplace_back(
+        msg_id, SwMessage{std::vector<std::byte>(data.begin(), data.end()), env});
+  }
+}
+
+bool Proc::try_post_offload(const MatchSpec& spec, std::span<std::byte> buf,
+                            std::uint64_t request_index) {
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+  const auto r = ep.post_receive(spec, buf, request_index);
+  switch (r.status) {
+    case proto::Endpoint::PostStatus::kCompleted:
+      handle_completion(request_index, r.completion.env, r.completion.bytes, true);
+      return true;
+    case proto::Endpoint::PostStatus::kPending:
+      return true;
+    case proto::Endpoint::PostStatus::kFallback:
+      return false;
+  }
+  return false;
+}
+
+Request Proc::irecv(std::span<std::byte> buf, Rank src, Tag tag,
+                    const Comm& comm) {
+  std::lock_guard lock(world_->mutex_);
+  const MatchSpec spec{src, tag, comm.id};
+  validate_spec(spec, comm.info);
+  ++stats_.recvs;
+  if (spec.any_source() || spec.any_tag()) ++stats_.wildcard_recvs;
+
+  requests_.push_back({RequestState::Kind::kRecv, /*done=*/false,
+                       /*cancelled=*/false, {}, buf, spec, requests_.size()});
+  const Request req{requests_.size() - 1};
+
+  if (world_->options_.backend == Backend::kOffloadDpa) {
+    auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+    if (!ep.comm_registered(comm.id)) {
+      // Host software matching for non-offloaded communicators.
+      const auto match = host_matcher_.post(spec, req.id);
+      if (match.has_value()) {
+        auto it = std::find_if(host_unexpected_.begin(), host_unexpected_.end(),
+                               [&](const auto& p) { return p.first == *match; });
+        OTM_ASSERT(it != host_unexpected_.end());
+        complete_host_message(req.id, std::move(it->second));
+        host_unexpected_.erase(it);
+      }
+      return req;
+    }
+    // Preserve posting order (C1): once one post is deferred, all later
+    // posts queue behind it until NIC descriptor slots free up.
+    if (!pending_posts_.empty() || !try_post_offload(spec, buf, req.id)) {
+      pending_posts_.push_back({spec, buf, req.id});
+      ++stats_.fallback_deferrals;
+    }
+  } else {
+    const auto match = sw_matcher_->post(spec, req.id);
+    if (match.has_value()) {
+      auto it = std::find_if(sw_unexpected_.begin(), sw_unexpected_.end(),
+                             [&](const auto& p) { return p.first == *match; });
+      OTM_ASSERT(it != sw_unexpected_.end());
+      const auto n = std::min(it->second.payload.size(), buf.size());
+      std::copy_n(it->second.payload.begin(), n, buf.begin());
+      RequestState& rs = requests_[req.id];
+      rs.done = true;
+      rs.status = {it->second.env.source, it->second.env.tag,
+                   static_cast<std::uint32_t>(n)};
+      sw_unexpected_.erase(it);
+    }
+  }
+  return req;
+}
+
+void Proc::flush_pending_posts() {
+  while (!pending_posts_.empty()) {
+    const PendingPost& p = pending_posts_.front();
+    if (!try_post_offload(p.spec, p.buffer, p.request_index)) break;
+    pending_posts_.pop_front();
+  }
+}
+
+void Proc::handle_completion(std::uint64_t cookie, const Envelope& env,
+                             std::uint32_t bytes, bool /*offload_path*/) {
+  RequestState& rs = requests_[cookie];
+  OTM_ASSERT_MSG(!rs.done, "double completion");
+  rs.done = true;
+  rs.status = {env.source, env.tag, bytes};
+}
+
+void Proc::complete_host_message(std::uint64_t request_index,
+                                 proto::Endpoint::HostMessage&& msg) {
+  RequestState& rs = requests_[request_index];
+  const auto n = std::min<std::size_t>(msg.payload_bytes, rs.buffer.size());
+  if (msg.protocol == Protocol::kEager) {
+    std::copy_n(msg.payload.begin(), n, rs.buffer.begin());
+  } else {
+    auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+    ep.host_rdma_read(msg.env.source, msg.remote_key, msg.remote_addr,
+                      rs.buffer.subspan(0, n), msg.arrival_ns);
+  }
+  rs.done = true;
+  rs.status = {msg.env.source, msg.env.tag, static_cast<std::uint32_t>(n)};
+}
+
+void Proc::drain_host_messages() {
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+  for (auto& msg : ep.take_host_messages()) {
+    const std::uint64_t id = host_next_msg_++;
+    const auto match = host_matcher_.arrive(msg.env, id);
+    if (match.has_value()) {
+      complete_host_message(*match, std::move(msg));
+    } else {
+      host_unexpected_.emplace_back(id, std::move(msg));
+    }
+  }
+}
+
+void Proc::progress() {
+  std::lock_guard lock(world_->mutex_);
+  if (world_->options_.backend != Backend::kOffloadDpa) return;
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+  for (const auto& c : ep.progress())
+    handle_completion(c.cookie, c.env, c.bytes, true);
+  drain_host_messages();
+  flush_pending_posts();
+}
+
+bool Proc::cancel(Request req) {
+  std::lock_guard lock(world_->mutex_);
+  RequestState& rs = state(req);
+  if (rs.kind != RequestState::Kind::kRecv || rs.done) return false;
+
+  bool withdrawn = false;
+  if (world_->options_.backend == Backend::kOffloadDpa) {
+    // A post still queued host-side (flow control) cancels trivially.
+    for (auto it = pending_posts_.begin(); it != pending_posts_.end(); ++it) {
+      if (it->request_index == req.id) {
+        pending_posts_.erase(it);
+        withdrawn = true;
+        break;
+      }
+    }
+    if (!withdrawn) {
+      auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+      withdrawn = ep.comm_registered(rs.spec.comm)
+                      ? ep.cancel_receive(rs.spec.comm, req.id)
+                      : host_matcher_.cancel_post(req.id);
+    }
+  } else {
+    withdrawn = sw_matcher_->cancel_post(req.id);
+  }
+  if (!withdrawn) return false;
+  rs.done = true;
+  rs.cancelled = true;
+  rs.status = {};
+  return true;
+}
+
+bool Proc::cancelled(Request req) {
+  std::lock_guard lock(world_->mutex_);
+  return state(req).cancelled;
+}
+
+bool Proc::iprobe(Rank src, Tag tag, const Comm& comm, Status* status) {
+  progress();
+  std::lock_guard lock(world_->mutex_);
+  const MatchSpec spec{src, tag, comm.id};
+  validate_spec(spec, comm.info);
+
+  if (world_->options_.backend == Backend::kOffloadDpa) {
+    auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+    if (ep.comm_registered(comm.id)) {
+      const auto pr = ep.probe(spec);
+      if (!pr.has_value()) return false;
+      if (status != nullptr)
+        *status = {pr->env.source, pr->env.tag, pr->payload_bytes};
+      return true;
+    }
+    // Host-path communicator: scan the host unexpected store (arrival
+    // order preserved by the deque).
+    for (const auto& [id, msg] : host_unexpected_) {
+      if (spec.matches(msg.env)) {
+        if (status != nullptr)
+          *status = {msg.env.source, msg.env.tag, msg.payload_bytes};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  for (const auto& [id, msg] : sw_unexpected_) {
+    if (spec.matches(msg.env)) {
+      if (status != nullptr)
+        *status = {msg.env.source, msg.env.tag,
+                   static_cast<std::uint32_t>(msg.payload.size())};
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Proc::probe(Rank src, Tag tag, const Comm& comm) {
+  Status s;
+  while (!iprobe(src, tag, comm, &s)) std::this_thread::yield();
+  return s;
+}
+
+bool Proc::test(Request req, Status* status) {
+  progress();
+  std::lock_guard lock(world_->mutex_);
+  RequestState& rs = state(req);
+  if (rs.done && status != nullptr) *status = rs.status;
+  return rs.done;
+}
+
+Status Proc::wait(Request req) {
+  Status s;
+  while (!test(req, &s)) std::this_thread::yield();
+  return s;
+}
+
+void Proc::wait_all(std::span<Request> reqs) {
+  for (const Request r : reqs) wait(r);
+}
+
+void Proc::send(std::span<const std::byte> data, Rank dst, Tag tag,
+                const Comm& comm) {
+  wait(isend(data, dst, tag, comm));
+}
+
+Status Proc::recv(std::span<std::byte> buf, Rank src, Tag tag, const Comm& comm) {
+  return wait(irecv(buf, src, tag, comm));
+}
+
+const MatchStats* Proc::match_stats() const {
+  if (world_->options_.backend != Backend::kOffloadDpa) return nullptr;
+  return &world_->endpoints_[static_cast<std::size_t>(rank_)]->dpa().engine().stats();
+}
+
+}  // namespace otm::mpi

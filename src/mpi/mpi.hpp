@@ -1,0 +1,263 @@
+// Mini-MPI: an MPI-flavored point-to-point API over the offloaded matching
+// endpoint (or a software baseline matcher).
+//
+// This is the substrate a downstream application programs against:
+// communicators with MPI-4 info hints (mpi_assert_no_any_source/_tag,
+// mpi_assert_allow_overtaking — Sec. VII), isend/irecv/send/recv with
+// wildcards, request test/wait, and transparent flow control when the NIC
+// descriptor table fills (posting falls back to a host-side pending queue
+// that preserves posting order, the paper's "software tag matching"
+// fallback).
+//
+// A World owns the simulated fabric and one process ("Proc") per rank.
+// Programs either drive Procs explicitly from one thread (tests, benches)
+// or use World::run(), which executes the program per rank on real threads
+// with blocking wait semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "baseline/list_matcher.hpp"
+#include "core/types.hpp"
+#include "proto/endpoint.hpp"
+
+namespace otm::mpi {
+
+inline constexpr Rank kAnySource = otm::kAnySource;
+inline constexpr Tag kAnyTag = otm::kAnyTag;
+
+/// Communicator assertions (MPI_Info hints, MPI 4.0 §11.4.4 / paper Sec. VII).
+struct CommInfo {
+  bool assert_no_any_source = false;
+  bool assert_no_any_tag = false;
+  bool assert_allow_overtaking = false;
+  bool offload = true;  ///< request DPA offload for this communicator
+};
+
+struct Comm {
+  CommId id = 0;
+  CommInfo info{};
+};
+
+/// Which matcher backs the world.
+enum class Backend : std::uint8_t {
+  kOffloadDpa,    ///< optimistic tag matching on the simulated DPA
+  kSoftwareList,  ///< traditional two-queue matching on the host
+};
+
+struct WorldOptions {
+  Backend backend = Backend::kOffloadDpa;
+  MatchConfig match{};
+  DpaConfig dpa{};
+  proto::EndpointConfig endpoint{};
+  rdma::FabricConfig fabric{};
+};
+
+struct Status {
+  Rank source = 0;
+  Tag tag = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Opaque request handle.
+struct Request {
+  std::uint64_t id = ~std::uint64_t{0};
+  bool valid() const noexcept { return id != ~std::uint64_t{0}; }
+};
+
+class World;
+
+/// One simulated MPI process.
+class Proc {
+ public:
+  Rank rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// The predefined world communicator (id 0, no assertions).
+  Comm world_comm() const noexcept { return Comm{0, {}}; }
+
+  /// Create a communicator with the given assertions (collective in
+  /// spirit: allocates DPA structures on every rank's NIC). When
+  /// `info.offload` is false — or the DPA memory budget is exhausted
+  /// (Sec. IV-E) — the communicator's matching runs on the host.
+  Comm comm_create(const CommInfo& info);
+
+  /// True if this rank's NIC matches `comm` on the DPA.
+  bool comm_offloaded(const Comm& comm) const;
+
+  Request isend(std::span<const std::byte> data, Rank dst, Tag tag,
+                const Comm& comm);
+  Request irecv(std::span<std::byte> buf, Rank src, Tag tag, const Comm& comm);
+
+  /// Blocking variants (single-threaded drivers must ensure the matching
+  /// send/receive was already initiated, or use World::run()).
+  void send(std::span<const std::byte> data, Rank dst, Tag tag, const Comm& comm);
+  Status recv(std::span<std::byte> buf, Rank src, Tag tag, const Comm& comm);
+
+  /// MPI_Iprobe: non-blocking check whether a matching message has already
+  /// arrived (and could be received). Does not consume the message.
+  bool iprobe(Rank src, Tag tag, const Comm& comm, Status* status = nullptr);
+
+  /// MPI_Probe: blocking variant of iprobe.
+  Status probe(Rank src, Tag tag, const Comm& comm);
+
+  /// MPI_Cancel: withdraw a pending receive request. Returns true when the
+  /// request was cancelled (it then completes with `cancelled()` set);
+  /// false when it already matched or is not a pending receive.
+  bool cancel(Request req);
+
+  /// True if the request completed by cancellation rather than by a match.
+  bool cancelled(Request req);
+
+  /// Non-blocking completion check; fills `status` when done.
+  bool test(Request req, Status* status = nullptr);
+  Status wait(Request req);
+  void wait_all(std::span<Request> reqs);
+
+  // --- Collectives over point-to-point -------------------------------------
+  //
+  // Sec. VII: collective operations are normally built on top of p2p and
+  // hence need matching to be performed in order to be offloaded. These
+  // implementations run entirely over isend/irecv (dissemination barrier,
+  // binomial-tree bcast/reduce/gather, reduce+bcast allreduce) so every
+  // collective message goes through the offloaded matcher. All ranks of
+  // the communicator must call them concurrently (use World::run()).
+
+  enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+  /// Dissemination barrier: ceil(log2 P) rounds.
+  void barrier(const Comm& comm);
+
+  /// Binomial-tree broadcast of `buf` from `root`.
+  void bcast(std::span<std::byte> buf, Rank root, const Comm& comm);
+
+  /// Binomial-tree reduction of int64 vectors into `out` at `root` (other
+  /// ranks' `out` is scratch).
+  void reduce(std::span<const std::int64_t> in, std::span<std::int64_t> out,
+              ReduceOp op, Rank root, const Comm& comm);
+
+  /// reduce to rank 0 + bcast.
+  void allreduce(std::span<const std::int64_t> in, std::span<std::int64_t> out,
+                 ReduceOp op, const Comm& comm);
+
+  /// Floating-point variants (dot products, residual norms, dt reductions).
+  void reduce(std::span<const double> in, std::span<double> out, ReduceOp op,
+              Rank root, const Comm& comm);
+  void allreduce(std::span<const double> in, std::span<double> out, ReduceOp op,
+                 const Comm& comm);
+
+  /// Gather fixed-size blocks to `root`: recv.size() == size()*send.size()
+  /// at the root (ignored elsewhere).
+  void gather(std::span<const std::byte> send, std::span<std::byte> recv,
+              Rank root, const Comm& comm);
+
+  /// Drain network progress once (non-blocking).
+  void progress();
+
+  /// Number of receives queued host-side awaiting NIC descriptor slots.
+  std::size_t pending_posts() const noexcept { return pending_posts_.size(); }
+
+  struct ProcStats {
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t wildcard_recvs = 0;
+    std::uint64_t fallback_deferrals = 0;
+  };
+  const ProcStats& stats() const noexcept { return stats_; }
+
+  /// Matching statistics from the backing engine (offload backend).
+  const MatchStats* match_stats() const;
+
+ private:
+  friend class World;
+  Proc(World& world, Rank rank);
+
+  struct RequestState {
+    enum class Kind : std::uint8_t { kSend, kRecv } kind = Kind::kRecv;
+    bool done = false;
+    bool cancelled = false;
+    Status status{};
+    std::span<std::byte> buffer{};
+    MatchSpec spec{};
+    std::uint64_t cookie = 0;
+  };
+
+  struct PendingPost {
+    MatchSpec spec;
+    std::span<std::byte> buffer;
+    std::uint64_t request_index;
+  };
+
+  RequestState& state(Request req);
+  void validate_spec(const MatchSpec& spec, const CommInfo& info);
+  void flush_pending_posts();
+  void handle_completion(std::uint64_t cookie, const Envelope& env,
+                         std::uint32_t bytes, bool offload_path);
+  bool try_post_offload(const MatchSpec& spec, std::span<std::byte> buf,
+                        std::uint64_t request_index);
+  void deliver_software(Rank dst, Tag tag, const Comm& comm,
+                        std::span<const std::byte> data);
+
+  World* world_;
+  Rank rank_;
+  std::deque<RequestState> requests_;
+  std::deque<PendingPost> pending_posts_;
+  ProcStats stats_;
+
+  // Software-backend state: sequential matcher plus payload staging.
+  std::unique_ptr<ListMatcher> sw_matcher_;
+  struct SwMessage {
+    std::vector<std::byte> payload;
+    Envelope env;
+  };
+  std::deque<std::pair<std::uint64_t, SwMessage>> sw_unexpected_;  // id -> msg
+  std::uint64_t sw_next_msg_ = 0;
+
+  // Host-side fallback matching for communicators without DPA structures
+  // (offload backend, Sec. IV-E "fall back to software tag matching").
+  void drain_host_messages();
+  void complete_host_message(std::uint64_t request_index,
+                             proto::Endpoint::HostMessage&& msg);
+  ListMatcher host_matcher_;
+  std::deque<std::pair<std::uint64_t, proto::Endpoint::HostMessage>>
+      host_unexpected_;  // message id -> stored message
+  std::uint64_t host_next_msg_ = 1'000'000'000;  ///< distinct id space
+};
+
+class World {
+ public:
+  explicit World(int num_ranks, const WorldOptions& options = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return static_cast<int>(procs_.size()); }
+  Proc& proc(Rank r);
+
+  /// SPMD driver: run `program` once per rank on its own thread; blocking
+  /// wait() calls make progress until their request completes.
+  void run(const std::function<void(Proc&)>& program);
+
+  const WorldOptions& options() const noexcept { return options_; }
+
+ private:
+  friend class Proc;
+
+  WorldOptions options_;
+  rdma::Fabric fabric_;
+  std::vector<std::unique_ptr<proto::Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  CommId next_comm_ = 1;
+  std::recursive_mutex mutex_;  ///< serializes cross-rank fabric access
+  bool threaded_run_ = false;
+};
+
+}  // namespace otm::mpi

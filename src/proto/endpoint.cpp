@@ -1,0 +1,333 @@
+#include "proto/endpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace otm::proto {
+
+Endpoint::Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
+                   const MatchConfig& match_cfg, const DpaConfig& dpa_cfg)
+    : rank_(rank),
+      cfg_(cfg),
+      fabric_(&fabric),
+      node_(fabric.add_node()),
+      cq_(cfg.cq_depth),
+      bounce_(cfg.bounce_count, cfg.bounce_bytes()),
+      dpa_(dpa_cfg, match_cfg) {
+  // Stage every bounce buffer as a receive WQE up front (Sec. IV-A).
+  for (std::size_t i = 0; i < bounce_.capacity(); ++i) {
+    const auto h = bounce_.allocate();
+    OTM_ASSERT(h.has_value());
+    srq_.post(*h, bounce_.data(*h));
+  }
+}
+
+void Endpoint::connect(Endpoint& peer) {
+  OTM_ASSERT_MSG(qps_.find(peer.rank_) == qps_.end(), "already connected");
+  auto [it, ok] = qps_.emplace(
+      peer.rank_, rdma::QueuePair(*fabric_, node_, cq_, registry_, srq_));
+  OTM_ASSERT(ok);
+  auto [pit, pok] = peer.qps_.emplace(
+      rank_, rdma::QueuePair(*fabric_, peer.node_, peer.cq_, peer.registry_,
+                             peer.srq_));
+  OTM_ASSERT(pok);
+  it->second.connect(pit->second);
+  peers_.emplace(peer.rank_, &peer);
+  peer.peers_.emplace(rank_, this);
+}
+
+void Endpoint::release_send_buffer(std::uint32_t rkey) {
+  const auto it = send_staging_.find(rkey);
+  OTM_ASSERT_MSG(it != send_staging_.end(), "releasing unknown send buffer");
+  registry_.unregister(rkey);
+  send_staging_.erase(it);
+}
+
+bool Endpoint::cancel_receive(CommId comm, std::uint64_t cookie) {
+  if (!dpa_.comm_registered(comm)) return false;
+  const auto buffer_addr = dpa_.engine(comm).cancel_receive(cookie);
+  if (!buffer_addr.has_value()) return false;
+  OTM_ASSERT(*buffer_addr != 0);
+  const std::size_t idx = static_cast<std::size_t>(*buffer_addr) - 1;
+  OTM_ASSERT(idx < user_buffers_.size() && user_buffers_[idx].live);
+  user_buffers_[idx].live = false;
+  free_user_buffers_.push_back(idx);
+  return true;
+}
+
+Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
+                                    std::span<const std::byte> data) {
+  auto it = qps_.find(dst);
+  OTM_ASSERT_MSG(it != qps_.end(), "send to unconnected peer");
+
+  const bool eager = data.size() <= cfg_.eager_threshold;
+  WireHeader h;
+  h.source = rank_;
+  h.tag = tag;
+  h.comm = comm;
+  h.protocol = static_cast<std::uint8_t>(eager ? Protocol::kEager
+                                               : Protocol::kRendezvous);
+  h.payload_bytes = static_cast<std::uint32_t>(data.size());
+  h.sender_seq = sender_seq_++;
+  const Envelope env{rank_, tag, comm};
+  const InlineHashes hashes = InlineHashes::compute(env);
+  h.hash_src_tag = hashes.src_tag;
+  h.hash_src = hashes.src;
+  h.hash_tag = hashes.tag;
+
+  std::vector<std::byte> packet;
+  if (eager) {
+    h.inline_bytes = h.payload_bytes;
+    packet.resize(kHeaderBytes + data.size());
+    encode_header(h, packet);
+    std::copy(data.begin(), data.end(), packet.begin() + kHeaderBytes);
+  } else {
+    // Rendezvous RTS: stage a copy of the payload (buffered-send
+    // semantics), register it for the remote read, and optionally carry
+    // the first fragment inline (Sec. IV-B).
+    h.inline_bytes = cfg_.rts_inline_data
+                         ? static_cast<std::uint32_t>(
+                               std::min(cfg_.eager_threshold, data.size()))
+                         : 0;
+    std::vector<std::byte> staged(data.begin(), data.end());
+    h.rkey = registry_.register_region(staged);
+    send_staging_.emplace(h.rkey, std::move(staged));
+    h.rkey_valid = 1;
+    h.remote_offset = 0;
+    packet.resize(kHeaderBytes + h.inline_bytes);
+    encode_header(h, packet);
+    std::copy_n(data.begin(), h.inline_bytes, packet.begin() + kHeaderBytes);
+  }
+
+  clock_ns_ += static_cast<std::uint64_t>(cfg_.send_overhead_ns);
+  const auto r = it->second.post_send(packet, clock_ns_);
+  ++counters_.sends;
+  if (!r.delivered) {
+    ++counters_.rnr_failures;
+    return {};
+  }
+  if (eager) {
+    ++counters_.eager_sends;
+  } else {
+    ++counters_.rendezvous_sends;
+  }
+  return {true, r.arrival_ns};
+}
+
+Endpoint::PostResult Endpoint::post_receive(const MatchSpec& spec,
+                                            std::span<std::byte> user,
+                                            std::uint64_t cookie) {
+  // Reserve a user-buffer slot first; index+1 travels in the descriptor.
+  std::size_t idx;
+  if (!free_user_buffers_.empty()) {
+    idx = free_user_buffers_.back();
+    free_user_buffers_.pop_back();
+  } else {
+    idx = user_buffers_.size();
+    user_buffers_.emplace_back();
+  }
+  user_buffers_[idx] = {user, true};
+
+  const PostOutcome out = dpa_.post_receive(
+      spec, idx + 1, static_cast<std::uint32_t>(user.size()), cookie);
+
+  switch (out.kind) {
+    case PostOutcome::Kind::kPending:
+      return {PostStatus::kPending, {}};
+    case PostOutcome::Kind::kFallback:
+      user_buffers_[idx].live = false;
+      free_user_buffers_.push_back(idx);
+      return {PostStatus::kFallback, {}};
+    case PostOutcome::Kind::kMatchedUnexpected: {
+      user_buffers_[idx].live = false;
+      free_user_buffers_.push_back(idx);
+      return {PostStatus::kCompleted,
+              complete_from_unexpected(out.message, user, cookie)};
+    }
+  }
+  return {PostStatus::kPending, {}};
+}
+
+Endpoint::RecvCompletion Endpoint::complete_from_unexpected(
+    const UnexpectedDescriptor& um, std::span<std::byte> user,
+    std::uint64_t cookie) {
+  RecvCompletion c;
+  c.cookie = cookie;
+  c.env = um.env;
+  c.bytes = std::min<std::uint32_t>(um.payload_bytes,
+                                    static_cast<std::uint32_t>(user.size()));
+  c.was_unexpected = true;
+
+  if (um.protocol == Protocol::kEager) {
+    const auto it = um_payloads_.find(um.wire_seq);
+    OTM_ASSERT_MSG(it != um_payloads_.end(), "missing unexpected payload");
+    std::copy_n(it->second.begin(), c.bytes, user.begin());
+    um_payloads_.erase(it);
+    const auto copy_ns = static_cast<std::uint64_t>(
+        static_cast<double>(c.bytes) / fabric_->config().host_copy_bytes_per_ns);
+    clock_ns_ += copy_ns;
+    c.complete_ns = clock_ns_;
+  } else {
+    // Rendezvous: deliver the inline RTS fragment (if any), then RDMA-read
+    // the remainder from the sender's registered buffer.
+    const std::uint32_t inline_n = std::min(um.inline_bytes, c.bytes);
+    if (inline_n != 0) {
+      const auto it = um_payloads_.find(um.wire_seq);
+      OTM_ASSERT_MSG(it != um_payloads_.end(), "missing RTS inline fragment");
+      std::copy_n(it->second.begin(), inline_n, user.begin());
+      um_payloads_.erase(it);
+    }
+    if (c.bytes > inline_n) {
+      auto it = qps_.find(um.env.source);
+      OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
+      c.complete_ns = it->second.rdma_read(
+          static_cast<std::uint32_t>(um.remote_key), um.remote_addr + inline_n,
+          user.subspan(inline_n, c.bytes - inline_n), clock_ns_);
+      ++counters_.rdma_reads;
+      advance_ns(c.complete_ns);
+    } else {
+      c.complete_ns = clock_ns_;
+    }
+    // FIN: the sender can free its staged copy.
+    peers_.at(um.env.source)
+        ->release_send_buffer(static_cast<std::uint32_t>(um.remote_key));
+  }
+  return c;
+}
+
+void Endpoint::recycle_bounce(std::uint64_t handle) {
+  // Repost immediately so the staging window stays full (Sec. IV-A).
+  srq_.post(handle, bounce_.data(handle));
+}
+
+Endpoint::RecvCompletion Endpoint::complete_matched(const ArrivalOutcome& o) {
+  OTM_ASSERT(o.buffer_addr != 0);
+  const std::size_t idx = static_cast<std::size_t>(o.buffer_addr) - 1;
+  OTM_ASSERT(idx < user_buffers_.size() && user_buffers_[idx].live);
+  const std::span<std::byte> user = user_buffers_[idx].span;
+  user_buffers_[idx].live = false;
+  free_user_buffers_.push_back(idx);
+
+  RecvCompletion c;
+  c.cookie = o.receive_cookie;
+  c.env = o.env;
+  c.bytes = std::min<std::uint32_t>(o.payload_bytes,
+                                    static_cast<std::uint32_t>(user.size()));
+  c.path = o.path;
+
+  if (o.protocol == Protocol::kEager) {
+    const auto src = bounce_.data(o.bounce_handle).subspan(kHeaderBytes, c.bytes);
+    std::copy(src.begin(), src.end(), user.begin());
+    // On-NIC copy cost is part of the DPA cost model (eager_copy); convert
+    // the matcher finish time and add the copy serialization.
+    const auto copy_ns = static_cast<std::uint64_t>(
+        static_cast<double>(c.bytes) / fabric_->config().bandwidth_bytes_per_ns);
+    c.complete_ns = dpa_ns(o.finish_cycles) + copy_ns;
+  } else {
+    // Inline RTS fragment straight from the bounce buffer, remainder via
+    // RDMA read (Sec. IV-B).
+    const std::uint32_t inline_n = std::min(o.inline_bytes, c.bytes);
+    if (inline_n != 0) {
+      const auto src = bounce_.data(o.bounce_handle).subspan(kHeaderBytes, inline_n);
+      std::copy(src.begin(), src.end(), user.begin());
+    }
+    if (c.bytes > inline_n) {
+      auto it = qps_.find(o.env.source);
+      OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
+      c.complete_ns = it->second.rdma_read(
+          static_cast<std::uint32_t>(o.remote_key), o.remote_addr + inline_n,
+          user.subspan(inline_n, c.bytes - inline_n), dpa_ns(o.finish_cycles));
+      ++counters_.rdma_reads;
+    } else {
+      c.complete_ns = dpa_ns(o.finish_cycles);
+    }
+    // FIN: the sender can free its staged copy.
+    peers_.at(o.env.source)
+        ->release_send_buffer(static_cast<std::uint32_t>(o.remote_key));
+  }
+  advance_ns(c.complete_ns);
+  return c;
+}
+
+std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
+                                       std::uint64_t addr,
+                                       std::span<std::byte> dst,
+                                       std::uint64_t issue_ns) {
+  auto it = qps_.find(src);
+  OTM_ASSERT_MSG(it != qps_.end(), "host rendezvous read to unconnected peer");
+  ++counters_.rdma_reads;
+  const std::uint64_t done = it->second.rdma_read(
+      static_cast<std::uint32_t>(rkey), addr, dst, issue_ns);
+  advance_ns(done);
+  peers_.at(src)->release_send_buffer(static_cast<std::uint32_t>(rkey));
+  return done;
+}
+
+std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
+  // Drain staged completions into engine-facing descriptors. Messages for
+  // communicators without DPA structures go straight to the host inbox.
+  std::vector<IncomingMessage> msgs;
+  std::vector<std::uint64_t> arrivals;
+  while (const auto cqe = cq_.poll()) {
+    const WireHeader h = decode_header(bounce_.data(cqe->wr_id));
+    if (!dpa_.comm_registered(h.comm)) {
+      HostMessage hm;
+      hm.env = {h.source, h.tag, h.comm};
+      hm.wire_seq = cqe->sequence;
+      hm.protocol = static_cast<Protocol>(h.protocol);
+      hm.payload_bytes = h.payload_bytes;
+      if (hm.protocol == Protocol::kEager) {
+        const auto src = bounce_.data(cqe->wr_id).subspan(kHeaderBytes,
+                                                          h.payload_bytes);
+        hm.payload.assign(src.begin(), src.end());
+      } else {
+        hm.remote_key = h.rkey_valid != 0 ? h.rkey : 0;
+        hm.remote_addr = h.remote_offset;
+      }
+      hm.arrival_ns = cqe->timestamp_ns;
+      host_inbox_.push_back(std::move(hm));
+      recycle_bounce(cqe->wr_id);
+      continue;
+    }
+    msgs.push_back(to_incoming(h, cqe->wr_id, cqe->sequence));
+    arrivals.push_back(dpa_.config().ns_to_cycles(
+        static_cast<double>(cqe->timestamp_ns)));
+  }
+  if (msgs.empty()) return {};
+
+  const auto outcomes = dpa_.deliver(msgs, arrivals);
+
+  std::vector<RecvCompletion> completions;
+  for (const auto& o : outcomes) {
+    switch (o.kind) {
+      case ArrivalOutcome::Kind::kMatched:
+        completions.push_back(complete_matched(o));
+        recycle_bounce(o.bounce_handle);
+        break;
+      case ArrivalOutcome::Kind::kUnexpected: {
+        // Stash staged payload (full eager message, or the RTS inline
+        // fragment) so the bounce buffer can be reposted; the engine's
+        // unexpected descriptor references it by wire sequence.
+        const std::uint32_t staged =
+            o.protocol == Protocol::kEager ? o.payload_bytes : o.inline_bytes;
+        if (staged != 0) {
+          const auto src =
+              bounce_.data(o.bounce_handle).subspan(kHeaderBytes, staged);
+          um_payloads_.emplace(o.wire_seq,
+                               std::vector<std::byte>(src.begin(), src.end()));
+        }
+        recycle_bounce(o.bounce_handle);
+        break;
+      }
+      case ArrivalOutcome::Kind::kDropped:
+        ++counters_.messages_dropped;
+        recycle_bounce(o.bounce_handle);
+        break;
+    }
+  }
+  return completions;
+}
+
+}  // namespace otm::proto

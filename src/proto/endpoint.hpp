@@ -1,0 +1,222 @@
+// Offloaded communication endpoint (the full Sec. IV architecture).
+//
+// One Endpoint models one host + its SmartNIC: a shared receive queue of
+// NIC-memory bounce buffers, a completion queue drained by the DPA-offloaded
+// matching engine, eager/rendezvous protocol handling, and unexpected-
+// message payload staging. Endpoints are connected pairwise over the
+// simulated RDMA fabric (one QP per peer, SRQ-shared staging).
+//
+// The host-facing API is post_receive / send / progress; everything below
+// it runs "on the NIC" (matching decisions on the DPA cost model, payload
+// movement through staged buffers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dpa/accelerator.hpp"
+#include "proto/wire.hpp"
+#include "rdma/fabric.hpp"
+#include "rdma/memory.hpp"
+
+namespace otm::proto {
+
+struct EndpointConfig {
+  std::size_t eager_threshold = 1024;  ///< <= : eager, > : rendezvous
+  std::size_t bounce_count = 2048;
+  std::size_t cq_depth = 4096;
+  double send_overhead_ns = 80.0;  ///< host work-request posting cost
+
+  /// Sec. IV-B: the rendezvous RTS "might include some message data" —
+  /// when enabled, the first eager_threshold bytes travel with the RTS and
+  /// the receiver's RDMA read fetches only the remainder.
+  bool rts_inline_data = false;
+
+  std::size_t bounce_bytes() const noexcept {
+    return kHeaderBytes + eager_threshold;
+  }
+};
+
+class Endpoint {
+ public:
+  Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
+           const MatchConfig& match_cfg, const DpaConfig& dpa_cfg);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Create and connect the QP pair between this endpoint and `peer`.
+  void connect(Endpoint& peer);
+
+  Rank rank() const noexcept { return rank_; }
+
+  /// Allocate matching structures for a communicator on the DPA
+  /// (Sec. IV-E). Returns false when the DPA memory budget is exhausted —
+  /// the communicator then runs on host software matching: its incoming
+  /// messages surface through take_host_messages().
+  bool register_comm(CommId comm, const MatchConfig& cfg) {
+    return dpa_.register_comm(comm, cfg);
+  }
+
+  bool comm_registered(CommId comm) const noexcept {
+    return dpa_.comm_registered(comm);
+  }
+
+  struct RecvCompletion {
+    std::uint64_t cookie = 0;
+    Envelope env{};
+    std::uint32_t bytes = 0;          ///< payload delivered to the user buffer
+    std::uint64_t complete_ns = 0;    ///< modeled completion time
+    bool was_unexpected = false;      ///< satisfied from the unexpected store
+    ResolutionPath path = ResolutionPath::kOptimistic;
+  };
+
+  enum class PostStatus : std::uint8_t {
+    kCompleted,  ///< matched a stored unexpected message; data delivered
+    kPending,    ///< indexed on the NIC; completes via progress()
+    kFallback,   ///< NIC out of descriptors: caller must match in software
+  };
+
+  struct PostResult {
+    PostStatus status = PostStatus::kPending;
+    RecvCompletion completion{};  ///< valid iff kCompleted
+  };
+
+  /// Post a receive targeting `user` (Fig. 1a through the offloaded path).
+  PostResult post_receive(const MatchSpec& spec, std::span<std::byte> user,
+                          std::uint64_t cookie);
+
+  /// MPI_Cancel: withdraw a pending NIC-side receive by cookie; frees its
+  /// user-buffer slot. Returns false if no pending receive carries the
+  /// cookie (already matched, or the comm is not offloaded).
+  bool cancel_receive(CommId comm, std::uint64_t cookie);
+
+  /// MPI_Iprobe against the NIC-side unexpected store (registered comms
+  /// only; host-path messages are probed by the caller's own store).
+  std::optional<MatchEngine::ProbeResult> probe(const MatchSpec& spec) {
+    if (!dpa_.comm_registered(spec.comm)) return std::nullopt;
+    return dpa_.engine(spec.comm).probe(spec);
+  }
+
+  struct SendResult {
+    bool ok = false;             ///< false: receiver had no staging buffer (RNR)
+    std::uint64_t arrival_ns = 0;
+  };
+
+  /// Send `data` to peer `dst`. Buffered semantics: eager payloads travel
+  /// in the packet and rendezvous payloads are copied into an endpoint-
+  /// owned staging buffer (registered for the remote read, deregistered
+  /// and freed when the receiver's read completes), so `data` is reusable
+  /// as soon as send() returns — MPI_Send buffer semantics.
+  SendResult send(Rank dst, Tag tag, CommId comm,
+                  std::span<const std::byte> data);
+
+  /// Peer notification that its rendezvous buffer `rkey` was fully read
+  /// (the FIN of a real rendezvous protocol). Frees the staging copy.
+  void release_send_buffer(std::uint32_t rkey);
+
+  /// Rendezvous payloads currently staged awaiting their remote read.
+  std::size_t pending_rendezvous() const noexcept {
+    return send_staging_.size();
+  }
+
+  /// Drain completed RDMA receives through the DPA matcher, run protocol
+  /// handling, and return the receive completions. Messages targeting
+  /// communicators without DPA structures bypass matching and accumulate
+  /// as host messages (software tag matching fallback, Sec. IV-E).
+  std::vector<RecvCompletion> progress();
+
+  /// A message handed to the host unmatched (unregistered communicator).
+  struct HostMessage {
+    Envelope env{};
+    std::uint64_t wire_seq = 0;
+    Protocol protocol = Protocol::kEager;
+    std::uint32_t payload_bytes = 0;
+    std::vector<std::byte> payload;  ///< eager payload (copied off the NIC)
+    std::uint64_t remote_key = 0;    ///< rendezvous RTS info
+    std::uint64_t remote_addr = 0;
+    std::uint64_t arrival_ns = 0;
+  };
+
+  /// Messages accumulated for host-side matching since the last call.
+  std::vector<HostMessage> take_host_messages() {
+    return std::exchange(host_inbox_, {});
+  }
+
+  /// Host-side rendezvous completion: RDMA-read the sender's buffer.
+  std::uint64_t host_rdma_read(Rank src, std::uint64_t rkey, std::uint64_t addr,
+                               std::span<std::byte> dst, std::uint64_t issue_ns);
+
+  DpaAccelerator& dpa() noexcept { return dpa_; }
+  const DpaAccelerator& dpa() const noexcept { return dpa_; }
+  rdma::CompletionQueue& cq() noexcept { return cq_; }
+  std::size_t unexpected_payloads() const noexcept { return um_payloads_.size(); }
+  std::size_t available_bounce_buffers() const noexcept { return bounce_.available(); }
+
+  std::uint64_t now_ns() const noexcept { return clock_ns_; }
+  void advance_ns(std::uint64_t t) noexcept {
+    if (t > clock_ns_) clock_ns_ = t;
+  }
+
+  struct Counters {
+    std::uint64_t sends = 0;
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rendezvous_sends = 0;
+    std::uint64_t rnr_failures = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t rdma_reads = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  RecvCompletion complete_matched(const ArrivalOutcome& o);
+  RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
+                                          std::span<std::byte> user,
+                                          std::uint64_t cookie);
+  void recycle_bounce(std::uint64_t handle);
+  std::uint64_t dpa_ns(std::uint64_t cycles) const noexcept {
+    return static_cast<std::uint64_t>(dpa_.config().cycles_to_ns(cycles));
+  }
+
+  Rank rank_;
+  EndpointConfig cfg_;
+  rdma::Fabric* fabric_;
+  rdma::NodeId node_;
+  rdma::MemoryRegistry registry_;
+  rdma::CompletionQueue cq_;
+  rdma::SharedReceiveQueue srq_;
+  rdma::BounceBufferPool bounce_;
+  std::map<Rank, rdma::QueuePair> qps_;
+  DpaAccelerator dpa_;
+
+  // User receive buffers: engine descriptors carry index+1 in buffer_addr.
+  struct UserBuffer {
+    std::span<std::byte> span;
+    bool live = false;
+  };
+  std::vector<UserBuffer> user_buffers_;
+  std::vector<std::size_t> free_user_buffers_;
+
+  /// Eager payloads of unexpected messages, keyed by wire sequence.
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> um_payloads_;
+
+  /// Messages for unregistered communicators awaiting host matching.
+  std::vector<HostMessage> host_inbox_;
+
+  /// Staged rendezvous payloads keyed by their rkey (buffered sends).
+  std::unordered_map<std::uint32_t, std::vector<std::byte>> send_staging_;
+
+  /// Peer endpoints by rank (for the read-completion notification).
+  std::map<Rank, Endpoint*> peers_;
+
+  std::uint64_t clock_ns_ = 0;
+  std::uint64_t sender_seq_ = 0;
+  Counters counters_;
+};
+
+}  // namespace otm::proto

@@ -1,0 +1,69 @@
+// Wire format of a matched-channel message (Sec. IV-A/B).
+//
+// Every message starts with a fixed-size header carrying the envelope, the
+// sender-precomputed hash values (inline-hash optimization), the protocol
+// selector and — for rendezvous — the rkey/offset the receiver needs for
+// its RDMA read. Eager payload follows the header in the same packet.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace otm::proto {
+
+struct WireHeader {
+  Rank source = 0;
+  Tag tag = 0;
+  CommId comm = 0;
+  std::uint8_t protocol = 0;  ///< otm::Protocol
+  std::uint8_t has_inline_hashes = 1;
+  std::uint16_t reserved = 0;
+  std::uint32_t payload_bytes = 0;  ///< full message payload size
+  std::uint32_t inline_bytes = 0;   ///< payload bytes carried in this packet
+  std::uint64_t sender_seq = 0;     ///< sender-side sequence (debug/trace)
+  std::uint64_t hash_src_tag = 0;
+  std::uint64_t hash_src = 0;
+  std::uint64_t hash_tag = 0;
+  std::uint32_t rkey = 0;            ///< rendezvous: send-buffer region
+  std::uint32_t rkey_valid = 0;
+  std::uint64_t remote_offset = 0;   ///< rendezvous: offset inside the region
+};
+
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+inline constexpr std::size_t kHeaderBytes = sizeof(WireHeader);
+
+inline void encode_header(const WireHeader& h, std::span<std::byte> out) {
+  OTM_ASSERT(out.size() >= kHeaderBytes);
+  std::memcpy(out.data(), &h, kHeaderBytes);
+}
+
+inline WireHeader decode_header(std::span<const std::byte> in) {
+  OTM_ASSERT(in.size() >= kHeaderBytes);
+  WireHeader h;
+  std::memcpy(&h, in.data(), kHeaderBytes);
+  return h;
+}
+
+/// Build the engine-facing message descriptor from a staged packet.
+inline IncomingMessage to_incoming(const WireHeader& h, std::uint64_t bounce_handle,
+                                   std::uint64_t wire_seq) {
+  IncomingMessage m;
+  m.env = {h.source, h.tag, h.comm};
+  m.hashes = {h.hash_src_tag, h.hash_src, h.hash_tag};
+  m.has_inline_hashes = h.has_inline_hashes != 0;
+  m.protocol = static_cast<Protocol>(h.protocol);
+  m.payload_bytes = h.payload_bytes;
+  m.inline_bytes = h.inline_bytes;
+  m.wire_seq = wire_seq;
+  m.bounce_handle = bounce_handle;
+  m.remote_key = h.rkey_valid != 0 ? h.rkey : 0;
+  m.remote_addr = h.remote_offset;
+  return m;
+}
+
+}  // namespace otm::proto

@@ -1,0 +1,68 @@
+// RDMA completion queue (Sec. IV-A).
+//
+// Completions are strictly ordered; the DPA dispatch scheme has thread i
+// poll entry i, i+N, i+2N, ... so the queue supports indexed access in
+// addition to sequential polling. Depth must be >= the block size N.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/assert.hpp"
+
+namespace otm::rdma {
+
+struct Cqe {
+  std::uint64_t wr_id = 0;        ///< work-request cookie
+  std::uint32_t byte_len = 0;     ///< received payload bytes
+  std::uint64_t timestamp_ns = 0; ///< arrival time at the NIC
+  std::uint64_t sequence = 0;     ///< global completion index on this CQ
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t depth = 1024) : depth_(depth) {}
+
+  /// True if the entry was accepted; false models a CQ overrun.
+  bool push(Cqe e) {
+    if (entries_.size() >= depth_) return false;
+    e.sequence = next_seq_++;
+    entries_.push_back(e);
+    return true;
+  }
+
+  /// Sequential poll: pop the oldest completion.
+  std::optional<Cqe> poll() {
+    if (entries_.empty()) return std::nullopt;
+    const Cqe e = entries_.front();
+    entries_.pop_front();
+    return e;
+  }
+
+  /// Indexed peek for the per-thread polling scheme: entry with global
+  /// sequence number `seq`, if currently queued.
+  std::optional<Cqe> peek_sequence(std::uint64_t seq) const {
+    if (entries_.empty()) return std::nullopt;
+    const std::uint64_t first = entries_.front().sequence;
+    if (seq < first || seq >= first + entries_.size()) return std::nullopt;
+    return entries_[seq - first];
+  }
+
+  /// Drop all entries up to and including `seq` (consumed by a block).
+  void consume_through(std::uint64_t seq) {
+    while (!entries_.empty() && entries_.front().sequence <= seq)
+      entries_.pop_front();
+  }
+
+  std::size_t available() const noexcept { return entries_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  std::uint64_t next_sequence() const noexcept { return next_seq_; }
+
+ private:
+  std::size_t depth_;
+  std::deque<Cqe> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace otm::rdma

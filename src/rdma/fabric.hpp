@@ -1,0 +1,176 @@
+// In-process RDMA fabric: queue pairs, two-sided send/recv into bounce
+// buffers, one-sided reads, and a wire/PCIe latency model.
+//
+// Substitution note (DESIGN.md §2): this replaces the paper's BlueField-3
+// ConnectX fabric between two Xeon servers. Payload bytes move for real
+// (memcpy through staged buffers); time is modeled in nanoseconds with
+// explicit latency/bandwidth parameters, so message-rate crossovers are
+// reproducible rather than host-machine artifacts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "rdma/completion_queue.hpp"
+#include "rdma/memory.hpp"
+#include "util/assert.hpp"
+
+namespace otm::rdma {
+
+struct FabricConfig {
+  double wire_latency_ns = 600.0;      ///< one-way NIC-to-NIC latency
+  double bandwidth_bytes_per_ns = 50.0;///< 400 Gb/s
+  double pcie_latency_ns = 300.0;      ///< NIC <-> host memory crossing
+  double host_copy_bytes_per_ns = 20.0;///< host-side memcpy bandwidth
+
+  double serialize_ns(std::size_t bytes) const noexcept {
+    return bandwidth_bytes_per_ns <= 0
+               ? 0.0
+               : static_cast<double>(bytes) / bandwidth_bytes_per_ns;
+  }
+};
+
+using NodeId = std::uint32_t;
+
+/// Transfer-time bookkeeping for the directed links of the fabric.
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& cfg = {}) : cfg_(cfg) {}
+
+  NodeId add_node() {
+    const NodeId id = static_cast<NodeId>(num_nodes_++);
+    return id;
+  }
+
+  const FabricConfig& config() const noexcept { return cfg_; }
+
+  /// Model one message of `bytes` leaving `src` for `dst` at `send_ns`.
+  /// Returns its arrival time; the link serializes back-to-back messages.
+  std::uint64_t transfer(NodeId src, NodeId dst, std::size_t bytes,
+                         std::uint64_t send_ns) {
+    OTM_ASSERT(src < num_nodes_ && dst < num_nodes_);
+    if (link_free_.size() < num_nodes_ * num_nodes_)
+      link_free_.resize(num_nodes_ * num_nodes_, 0);
+    std::uint64_t& free_at = link_free_[src * num_nodes_ + dst];
+    const std::uint64_t start = send_ns > free_at ? send_ns : free_at;
+    const auto ser = static_cast<std::uint64_t>(cfg_.serialize_ns(bytes));
+    free_at = start + ser;
+    return start + ser + static_cast<std::uint64_t>(cfg_.wire_latency_ns);
+  }
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+ private:
+  FabricConfig cfg_;
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint64_t> link_free_;
+};
+
+/// Shared receive queue: receive WQEs consumable by any QP of the owning
+/// endpoint (mirrors InfiniBand SRQs; lets one bounce pool serve all peers).
+class SharedReceiveQueue {
+ public:
+  struct PostedRecv {
+    std::uint64_t wr_id;
+    std::span<std::byte> buffer;
+  };
+
+  void post(std::uint64_t wr_id, std::span<std::byte> buffer) {
+    queue_.push_back({wr_id, buffer});
+  }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t size() const noexcept { return queue_.size(); }
+
+  PostedRecv consume() {
+    OTM_ASSERT(!queue_.empty());
+    const PostedRecv r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+
+ private:
+  std::deque<PostedRecv> queue_;
+};
+
+/// A connected queue pair. Two-sided sends copy payload into the peer's
+/// next posted receive buffer and generate a completion on the peer's CQ;
+/// one-sided reads pull from the peer's registered memory.
+class QueuePair {
+ public:
+  QueuePair(Fabric& fabric, NodeId node, CompletionQueue& recv_cq,
+            MemoryRegistry& registry, SharedReceiveQueue& srq)
+      : fabric_(&fabric),
+        node_(node),
+        recv_cq_(&recv_cq),
+        registry_(&registry),
+        srq_(&srq) {}
+
+  void connect(QueuePair& peer) {
+    peer_ = &peer;
+    peer.peer_ = this;
+  }
+
+  bool connected() const noexcept { return peer_ != nullptr; }
+  NodeId node() const noexcept { return node_; }
+  MemoryRegistry& registry() noexcept { return *registry_; }
+
+  /// Post a receive work request pointing at a staging buffer (lands on
+  /// the endpoint's shared receive queue).
+  void post_recv(std::uint64_t wr_id, std::span<std::byte> buffer) {
+    srq_->post(wr_id, buffer);
+  }
+
+  std::size_t posted_recvs() const noexcept { return srq_->size(); }
+
+  struct SendResult {
+    bool delivered = false;        ///< false: receiver-not-ready (RNR)
+    std::uint64_t arrival_ns = 0;  ///< completion timestamp at the receiver
+    std::uint64_t recv_wr_id = 0;  ///< which receive WQE absorbed it
+  };
+
+  /// Two-sided send: consume the peer's oldest posted receive, copy the
+  /// payload, and push a completion on the peer's CQ.
+  SendResult post_send(std::span<const std::byte> data, std::uint64_t send_ns) {
+    OTM_ASSERT_MSG(peer_ != nullptr, "QP not connected");
+    if (peer_->srq_->empty()) return {};  // RNR: no receive posted
+    const auto [wr_id, buffer] = peer_->srq_->consume();
+    OTM_ASSERT_MSG(buffer.size() >= data.size(), "receive buffer too small");
+
+    std::copy(data.begin(), data.end(), buffer.begin());
+    const std::uint64_t arrival =
+        fabric_->transfer(node_, peer_->node_, data.size(), send_ns);
+    Cqe cqe;
+    cqe.wr_id = wr_id;
+    cqe.byte_len = static_cast<std::uint32_t>(data.size());
+    cqe.timestamp_ns = arrival;
+    const bool ok = peer_->recv_cq_->push(cqe);
+    OTM_ASSERT_MSG(ok, "receiver CQ overrun");
+    return {true, arrival, wr_id};
+  }
+
+  /// One-sided read from the peer's registered memory into `dst`.
+  /// Returns the completion time (round trip + serialization).
+  std::uint64_t rdma_read(std::uint32_t rkey, std::uint64_t remote_offset,
+                          std::span<std::byte> dst, std::uint64_t issue_ns) {
+    OTM_ASSERT_MSG(peer_ != nullptr, "QP not connected");
+    const auto src = peer_->registry_->resolve(rkey, remote_offset, dst.size());
+    std::copy(src.begin(), src.end(), dst.begin());
+    // Request flies over, data flies back: one RTT plus data serialization.
+    const std::uint64_t there =
+        fabric_->transfer(node_, peer_->node_, /*bytes=*/32, issue_ns);
+    return fabric_->transfer(peer_->node_, node_, dst.size(), there);
+  }
+
+ private:
+  Fabric* fabric_;
+  NodeId node_;
+  CompletionQueue* recv_cq_;
+  MemoryRegistry* registry_;
+  SharedReceiveQueue* srq_;
+  QueuePair* peer_ = nullptr;
+};
+
+}  // namespace otm::rdma

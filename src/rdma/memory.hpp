@@ -1,0 +1,104 @@
+// Simulated NIC/host memory: registered regions addressable by rkey (for
+// RDMA reads) and the NIC-resident bounce-buffer pool of Sec. IV-A.
+//
+// Bounce buffers stage incoming messages until matching determines the
+// user buffer; keeping them in NIC memory avoids crossing PCIe twice
+// (match + copy), which the latency model reflects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace otm::rdma {
+
+/// Registered memory regions resolvable by remote key. One registry per
+/// simulated node.
+class MemoryRegistry {
+ public:
+  /// Register a caller-owned region; returns its rkey. The storage must
+  /// outlive the registry entry (until unregister()).
+  std::uint32_t register_region(std::span<std::byte> region) {
+    if (!free_keys_.empty()) {
+      const std::uint32_t rkey = free_keys_.back();
+      free_keys_.pop_back();
+      regions_[rkey] = region;
+      live_[rkey] = true;
+      return rkey;
+    }
+    regions_.push_back(region);
+    live_.push_back(true);
+    return static_cast<std::uint32_t>(regions_.size() - 1);
+  }
+
+  /// Invalidate an rkey (memory deregistration); the key is recycled.
+  void unregister(std::uint32_t rkey) {
+    OTM_ASSERT_MSG(rkey < regions_.size() && live_[rkey], "unknown rkey");
+    live_[rkey] = false;
+    regions_[rkey] = {};
+    free_keys_.push_back(rkey);
+  }
+
+  /// Resolve rkey+offset to memory; asserts on out-of-bounds access or a
+  /// deregistered key (a protection fault on real hardware).
+  std::span<std::byte> resolve(std::uint32_t rkey, std::uint64_t offset,
+                               std::size_t len) const {
+    OTM_ASSERT_MSG(rkey < regions_.size() && live_[rkey], "unknown rkey");
+    const std::span<std::byte> r = regions_[rkey];
+    OTM_ASSERT_MSG(offset + len <= r.size(), "RDMA access out of bounds");
+    return r.subspan(offset, len);
+  }
+
+  std::size_t size() const noexcept { return regions_.size() - free_keys_.size(); }
+
+ private:
+  std::vector<std::span<std::byte>> regions_;
+  std::vector<bool> live_;
+  std::vector<std::uint32_t> free_keys_;
+};
+
+/// Fixed pool of equally-sized staging buffers in (simulated) NIC memory.
+class BounceBufferPool {
+ public:
+  BounceBufferPool(std::size_t count, std::size_t buffer_bytes)
+      : storage_(count * buffer_bytes), buffer_bytes_(buffer_bytes) {
+    free_.reserve(count);
+    for (std::size_t i = count; i > 0; --i)
+      free_.push_back(static_cast<std::uint64_t>(i - 1));
+  }
+
+  std::optional<std::uint64_t> allocate() {
+    if (free_.empty()) return std::nullopt;
+    const std::uint64_t h = free_.back();
+    free_.pop_back();
+    return h;
+  }
+
+  void release(std::uint64_t handle) {
+    OTM_ASSERT(handle < capacity());
+    free_.push_back(handle);
+  }
+
+  std::span<std::byte> data(std::uint64_t handle) {
+    OTM_ASSERT(handle < capacity());
+    return std::span<std::byte>(storage_).subspan(handle * buffer_bytes_,
+                                                  buffer_bytes_);
+  }
+
+  std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
+  std::size_t capacity() const noexcept {
+    return buffer_bytes_ == 0 ? 0 : storage_.size() / buffer_bytes_;
+  }
+  std::size_t available() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t buffer_bytes_;
+  std::vector<std::uint64_t> free_;
+};
+
+}  // namespace otm::rdma

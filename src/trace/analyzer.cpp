@@ -1,0 +1,189 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <set>
+
+#include "core/engine.hpp"
+#include "util/assert.hpp"
+
+namespace otm::trace {
+namespace {
+
+/// Per-rank replay state: one engine (the rank's matching structures) plus
+/// the buffered not-yet-processed arrivals.
+struct RankState {
+  explicit RankState(const MatchConfig& cfg) : engine(cfg) {}
+  MatchEngine engine;
+  std::vector<IncomingMessage> pending;
+  std::uint64_t next_wire_seq = 0;
+};
+
+}  // namespace
+
+AppAnalysis TraceAnalyzer::analyze(const Trace& trace) const {
+  AppAnalysis out;
+  out.app = trace.app_name;
+  out.ranks = trace.num_ranks;
+  out.bins = cfg_.bins;
+
+  MatchConfig mc;
+  mc.bins = cfg_.bins;
+  mc.block_size = cfg_.block_size;
+  mc.max_receives = cfg_.max_receives;
+  mc.max_unexpected = cfg_.max_unexpected;
+  mc.enable_fast_path = cfg_.enable_fast_path;
+  mc.early_booking_check = cfg_.early_booking_check;
+  OTM_ASSERT_MSG(mc.valid(), "invalid analyzer configuration");
+
+  std::vector<std::unique_ptr<RankState>> ranks;
+  ranks.reserve(static_cast<std::size_t>(trace.num_ranks));
+  for (int r = 0; r < trace.num_ranks; ++r)
+    ranks.push_back(std::make_unique<RankState>(mc));
+
+  LockstepExecutor executor;
+  std::set<std::pair<Rank, Tag>> src_tag_pairs;
+
+  // Occupancy-per-bin accumulators for the Fig. 7 queue-depth metric.
+  double depth_sum = 0.0;
+  std::uint64_t depth_ops = 0;
+  const double bins = static_cast<double>(cfg_.bins);
+
+  auto prq_live = [](const MatchEngine& e) {
+    const MatchStats& s = e.stats();
+    return static_cast<double>(s.receives_posted - s.receives_matched_unexpected -
+                               s.messages_matched);
+  };
+
+  std::uint64_t flush_count = 0;
+  std::uint64_t empty_bin_samples = 0;
+  double empty_bin_sum = 0.0;
+
+  auto flush = [&](RankState& rs) {
+    if (rs.pending.empty()) return;
+    // Every arrival in this batch searches the current posted-receive
+    // structures; sample their per-bin occupancy before matching.
+    depth_sum += prq_live(rs.engine) / bins *
+                 static_cast<double>(rs.pending.size());
+    depth_ops += rs.pending.size();
+    // The empty-bin fraction needs a structure walk; sample sparsely.
+    if (++flush_count % 64 == 1) {
+      empty_bin_sum += rs.engine.receives().depth_metrics().empty_bin_fraction;
+      ++empty_bin_samples;
+    }
+    const auto outcomes = rs.engine.process(rs.pending, executor);
+    for (const auto& o : outcomes)
+      if (o.kind == ArrivalOutcome::Kind::kDropped) ++out.dropped;
+    rs.pending.clear();
+  };
+
+  auto sample = [&](RankState& rs) {
+    ++out.data_points;
+    out.depth_samples.add(prq_live(rs.engine));
+    out.umq_samples.add(static_cast<double>(rs.engine.unexpected().size()));
+  };
+
+  // Merge all rank streams in global timestamp order (stable by rank).
+  struct Cursor {
+    double ts;
+    Rank rank;
+    std::size_t index;
+    bool operator>(const Cursor& o) const noexcept {
+      return ts != o.ts ? ts > o.ts : rank > o.rank;
+    }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<>> heap;
+  for (const RankTrace& r : trace.ranks)
+    if (!r.ops.empty()) heap.push({r.ops[0].start_ts, r.rank, 0});
+
+  while (!heap.empty()) {
+    const Cursor c = heap.top();
+    heap.pop();
+    const RankTrace& rt = trace.ranks[static_cast<std::size_t>(c.rank)];
+    const TraceOp& op = rt.ops[c.index];
+    if (c.index + 1 < rt.ops.size())
+      heap.push({rt.ops[c.index + 1].start_ts, c.rank, c.index + 1});
+
+    RankState& rs = *ranks[static_cast<std::size_t>(c.rank)];
+
+    switch (category_of(op.type)) {
+      case OpCategory::kP2p: {
+        ++out.calls.p2p;
+        if (op.type == OpType::kSend || op.type == OpType::kIsend) {
+          OTM_ASSERT_MSG(op.peer >= 0 && op.peer < trace.num_ranks,
+                         "send to out-of-range rank");
+          RankState& dst = *ranks[static_cast<std::size_t>(op.peer)];
+          IncomingMessage m = IncomingMessage::make(c.rank, op.tag, op.comm,
+                                                    op.bytes);
+          m.wire_seq = dst.next_wire_seq++;
+          dst.pending.push_back(m);
+          ++out.messages;
+          src_tag_pairs.emplace(c.rank, op.tag);
+          ++out.tag_usage[op.tag];
+          if (dst.pending.size() >= mc.block_size) flush(dst);
+        } else {
+          // Receives observe every message sent before them in global
+          // time: flush buffered arrivals first (Fig. 1a ordering).
+          flush(rs);
+          const MatchSpec spec{op.peer, op.tag, op.comm};
+          ++out.receives_posted;
+          if (spec.any_source() || spec.any_tag()) ++out.wildcard_receives;
+          // A post searches the unexpected structures: sample their
+          // per-bin occupancy.
+          depth_sum += static_cast<double>(rs.engine.unexpected().size()) / bins;
+          ++depth_ops;
+          const auto p = rs.engine.post_receive(spec, 0, 0, op.request);
+          if (p.kind == PostOutcome::Kind::kMatchedUnexpected)
+            ++out.matched_at_post;
+          else if (p.kind == PostOutcome::Kind::kFallback)
+            ++out.dropped;
+          if (op.type == OpType::kRecv) sample(rs);  // blocking recv progresses
+        }
+        break;
+      }
+      case OpCategory::kProgress:
+        ++out.calls.progress;
+        flush(rs);
+        sample(rs);
+        break;
+      case OpCategory::kCollective:
+        ++out.calls.collective;
+        break;
+      case OpCategory::kOneSided:
+        ++out.calls.one_sided;
+        break;
+      case OpCategory::kOther:
+        ++out.calls.other;
+        break;
+    }
+  }
+
+  // Drain whatever is still buffered and take a final sample per rank.
+  std::uint64_t attempts = 0;
+  std::uint64_t matching_ops = 0;
+  for (auto& rsp : ranks) {
+    flush(*rsp);
+    sample(*rsp);
+    const MatchStats& s = rsp->engine.stats();
+    attempts += s.match_attempts;
+    matching_ops += s.messages_processed + s.receives_posted;
+    out.unexpected += s.messages_unexpected;
+    out.conflicts += s.conflicts_detected;
+    out.max_queue_depth = std::max(out.max_queue_depth, s.max_chain_scanned);
+  }
+  out.avg_queue_depth =
+      depth_ops == 0 ? 0.0 : depth_sum / static_cast<double>(depth_ops);
+  out.avg_search_attempts = matching_ops == 0
+                                ? 0.0
+                                : static_cast<double>(attempts) /
+                                      static_cast<double>(matching_ops);
+  out.avg_empty_bin_fraction =
+      empty_bin_samples == 0
+          ? 1.0
+          : empty_bin_sum / static_cast<double>(empty_bin_samples);
+  out.unique_src_tag_pairs = src_tag_pairs.size();
+  return out;
+}
+
+}  // namespace otm::trace

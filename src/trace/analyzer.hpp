@@ -1,0 +1,109 @@
+// Trace processing stage (Sec. V-A-b): replay a parsed MPI trace through
+// the optimistic matching data structures and gather statistics.
+//
+// Every rank gets its own MatchEngine (the per-communicator structures of
+// the offload design) configured with the bin count under study; p2p sends
+// become incoming messages at the destination, receives are posted as in
+// Fig. 1a, progress operations (wait/test) sample a data point. Collective
+// and one-sided operations are counted for the call-type distribution
+// (Fig. 6) and otherwise ignored, exactly as the paper's analyzer does.
+//
+// Queue-depth metrics (Fig. 7):
+//   - avg_queue_depth: entries resident in the searched structure per bin,
+//     sampled at every matching operation (PRQ occupancy/bins at each
+//     arrival, UMQ occupancy/bins at each post). With 1 bin this is the
+//     length of the traditional matching queue the operation must search.
+//   - avg_search_attempts: chain entries actually examined per matching
+//     operation (the work metric; secondary).
+//   - max_queue_depth: deepest single-chain scan ever performed (e.g.
+//     BoxLib CNS: ~25 -> ~3 -> ~1 for 1/32/128 bins).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "trace/ops.hpp"
+#include "util/running_stats.hpp"
+
+namespace otm::trace {
+
+struct AnalyzerConfig {
+  std::size_t bins = 128;
+  unsigned block_size = 1;  ///< >1 also exercises conflict statistics
+  std::size_t max_receives = 1 << 16;
+  std::size_t max_unexpected = 1 << 16;
+  bool enable_fast_path = true;
+  bool early_booking_check = false;  ///< off: deterministic replay exposes conflicts
+};
+
+/// Fig. 6 distribution of MPI call types.
+struct CallDistribution {
+  std::uint64_t p2p = 0;
+  std::uint64_t collective = 0;
+  std::uint64_t one_sided = 0;
+  std::uint64_t progress = 0;
+  std::uint64_t other = 0;
+
+  std::uint64_t classified() const noexcept { return p2p + collective + one_sided; }
+  double pct_p2p() const noexcept {
+    const auto t = classified();
+    return t == 0 ? 0.0 : 100.0 * static_cast<double>(p2p) / static_cast<double>(t);
+  }
+  double pct_collective() const noexcept {
+    const auto t = classified();
+    return t == 0 ? 0.0
+                  : 100.0 * static_cast<double>(collective) / static_cast<double>(t);
+  }
+  double pct_one_sided() const noexcept {
+    const auto t = classified();
+    return t == 0 ? 0.0
+                  : 100.0 * static_cast<double>(one_sided) / static_cast<double>(t);
+  }
+};
+
+struct AppAnalysis {
+  std::string app;
+  int ranks = 0;
+  std::size_t bins = 0;
+
+  CallDistribution calls;
+
+  // Matching-effort metrics.
+  double avg_queue_depth = 0.0;      ///< searched-structure occupancy per bin
+  double avg_search_attempts = 0.0;  ///< entries examined per matching op
+  std::uint64_t max_queue_depth = 0; ///< deepest chain observed
+  RunningStats depth_samples;       ///< per-progress-point max chain
+  RunningStats umq_samples;         ///< per-progress-point UMQ entries
+  double avg_empty_bin_fraction = 0.0;
+
+  // Volume.
+  std::uint64_t receives_posted = 0;
+  std::uint64_t wildcard_receives = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t unexpected = 0;
+  std::uint64_t matched_at_post = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t dropped = 0;
+
+  // Key diversity (the paper's conclusion: unique source/tag pairs are few,
+  // so receives spread well over the hash bins).
+  std::uint64_t unique_src_tag_pairs = 0;
+  std::map<Tag, std::uint64_t> tag_usage;
+  std::uint64_t data_points = 0;
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const AnalyzerConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Replay `trace` and gather statistics (single pass, deterministic).
+  AppAnalysis analyze(const Trace& trace) const;
+
+ private:
+  AnalyzerConfig cfg_;
+};
+
+}  // namespace otm::trace

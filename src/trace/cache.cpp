@@ -1,0 +1,146 @@
+#include "trace/cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "trace/dumpi_text.hpp"
+#include "util/hash.hpp"
+
+namespace otm::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kMagic = 0x4F544D5452414345ULL;  // "OTMTRACE"
+constexpr std::uint32_t kVersion = 2;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t num_ranks = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t checksum = 0;
+  std::uint32_t name_len = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<Header>);
+
+std::uint64_t ops_checksum(const Trace& t) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const RankTrace& r : t.ranks) {
+    h = fnv1a(&r.rank, sizeof(r.rank), h);
+    if (!r.ops.empty())
+      h = fnv1a(r.ops.data(), r.ops.size() * sizeof(TraceOp), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool save_cache(const Trace& trace, const std::string& cache_path,
+                std::uint64_t source_fingerprint) {
+  std::ofstream os(cache_path, std::ios::binary);
+  if (!os.good()) return false;
+
+  Header h;
+  h.num_ranks = static_cast<std::uint32_t>(trace.num_ranks);
+  h.fingerprint = source_fingerprint;
+  h.checksum = ops_checksum(trace);
+  h.name_len = static_cast<std::uint32_t>(trace.app_name.size());
+  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  os.write(trace.app_name.data(),
+           static_cast<std::streamsize>(trace.app_name.size()));
+  const auto rank_count = static_cast<std::uint32_t>(trace.ranks.size());
+  os.write(reinterpret_cast<const char*>(&rank_count), sizeof(rank_count));
+  for (const RankTrace& r : trace.ranks) {
+    os.write(reinterpret_cast<const char*>(&r.rank), sizeof(r.rank));
+    const auto n = static_cast<std::uint64_t>(r.ops.size());
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    if (n != 0)
+      os.write(reinterpret_cast<const char*>(r.ops.data()),
+               static_cast<std::streamsize>(n * sizeof(TraceOp)));
+  }
+  return os.good();
+}
+
+std::optional<Trace> load_cache(const std::string& cache_path,
+                                std::uint64_t expect_fingerprint) {
+  std::ifstream is(cache_path, std::ios::binary);
+  if (!is.good()) return std::nullopt;
+
+  Header h;
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!is.good() || h.magic != kMagic || h.version != kVersion) return std::nullopt;
+  if (expect_fingerprint != 0 && h.fingerprint != expect_fingerprint)
+    return std::nullopt;  // source trace changed: cache is stale
+
+  Trace t;
+  t.num_ranks = static_cast<int>(h.num_ranks);
+  t.app_name.resize(h.name_len);
+  is.read(t.app_name.data(), h.name_len);
+  std::uint32_t rank_count = 0;
+  is.read(reinterpret_cast<char*>(&rank_count), sizeof(rank_count));
+  if (!is.good()) return std::nullopt;
+  t.ranks.resize(rank_count);
+  for (RankTrace& r : t.ranks) {
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&r.rank), sizeof(r.rank));
+    is.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!is.good()) return std::nullopt;
+    r.ops.resize(n);
+    if (n != 0)
+      is.read(reinterpret_cast<char*>(r.ops.data()),
+              static_cast<std::streamsize>(n * sizeof(TraceOp)));
+    if (!is.good()) return std::nullopt;
+  }
+  if (ops_checksum(t) != h.checksum) return std::nullopt;  // corruption
+  return t;
+}
+
+std::uint64_t fingerprint_trace_dir(const std::string& meta_path) {
+  std::ifstream ms(meta_path, std::ios::binary);
+  if (!ms.good()) return 0;
+  std::stringstream content;
+  content << ms.rdbuf();
+  const std::string meta = content.str();
+  std::uint64_t h = fnv1a(meta.data(), meta.size());
+
+  // Fold in per-rank file sizes: cheap and catches regenerated traces.
+  std::string prefix;
+  int numprocs = 0;
+  std::istringstream lines(meta);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("numprocs=", 0) == 0) numprocs = std::atoi(line.c_str() + 9);
+    if (line.rfind("fileprefix=", 0) == 0) prefix = line.substr(11);
+  }
+  const fs::path dir = fs::path(meta_path).parent_path();
+  for (int r = 0; r < numprocs; ++r) {
+    char name[256];
+    std::snprintf(name, sizeof(name), "%s-%04d.txt", prefix.c_str(), r);
+    std::error_code ec;
+    const auto size = fs::file_size(dir / name, ec);
+    const std::uint64_t s = ec ? 0 : size;
+    h = fnv1a(&s, sizeof(s), h);
+  }
+  return h;
+}
+
+Trace load_trace_cached(const std::string& meta_path, bool* used_cache) {
+  const std::string cache_path = meta_path + ".otmcache";
+  const std::uint64_t fp = fingerprint_trace_dir(meta_path);
+  if (auto cached = load_cache(cache_path, fp)) {
+    if (used_cache != nullptr) *used_cache = true;
+    return std::move(*cached);
+  }
+  Trace t = load_trace_dir(meta_path);
+  save_cache(t, cache_path, fp);
+  if (used_cache != nullptr) *used_cache = false;
+  return t;
+}
+
+}  // namespace otm::trace

@@ -1,0 +1,35 @@
+// Binary trace cache (Sec. V-A: parsing is the analyzer's most expensive
+// step, so the parsed in-memory representation is committed to storage and
+// reused on later runs).
+//
+// Cache files carry a magic/version header, a fingerprint of the source
+// trace directory (meta content + per-rank file sizes) and an FNV-1a
+// checksum of the op payload; a stale or corrupt cache is ignored and the
+// caller re-parses.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/ops.hpp"
+
+namespace otm::trace {
+
+/// Serialize a parsed trace. Returns false on I/O failure.
+bool save_cache(const Trace& trace, const std::string& cache_path,
+                std::uint64_t source_fingerprint = 0);
+
+/// Load a cache; returns nullopt when missing, corrupt, version-mismatched
+/// or when `expect_fingerprint` (if nonzero) does not match.
+std::optional<Trace> load_cache(const std::string& cache_path,
+                                std::uint64_t expect_fingerprint = 0);
+
+/// Fingerprint of a DUMPI trace directory (meta content + file sizes).
+std::uint64_t fingerprint_trace_dir(const std::string& meta_path);
+
+/// Load a DUMPI trace directory through the cache: use
+/// "<meta_path>.otmcache" when fresh, else parse the text and refresh it.
+/// `used_cache`, when non-null, reports which path was taken.
+Trace load_trace_cached(const std::string& meta_path, bool* used_cache = nullptr);
+
+}  // namespace otm::trace

@@ -1,0 +1,215 @@
+#include "trace/dumpi_text.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace otm::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::map<std::string, OpType>& name_to_type() {
+  static const std::map<std::string, OpType> m = [] {
+    std::map<std::string, OpType> t;
+    for (int i = 0; i <= static_cast<int>(OpType::kFinalize); ++i) {
+      const auto op = static_cast<OpType>(i);
+      t.emplace(mpi_name(op), op);
+    }
+    return t;
+  }();
+  return m;
+}
+
+void write_ts_line(std::ostream& os, const char* name, const char* verb,
+                   double ts) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s %s at walltime %.7f, cputime %.7f seconds in thread 0.\n",
+                name, verb, ts, ts * 0.1);
+  os << buf;
+}
+
+}  // namespace
+
+void write_dumpi_text(const RankTrace& trace, std::ostream& os) {
+  for (const TraceOp& op : trace.ops) {
+    const char* name = mpi_name(op.type);
+    write_ts_line(os, name, "entering", op.start_ts);
+    switch (category_of(op.type)) {
+      case OpCategory::kP2p:
+        os << "int count=" << op.bytes << "\n";
+        os << "MPI_Datatype datatype=1 (MPI_BYTE)\n";
+        if (op.type == OpType::kSend || op.type == OpType::kIsend) {
+          os << "int dest=" << op.peer << "\n";
+        } else if (op.peer == kAnySource) {
+          os << "int source=-1 (MPI_ANY_SOURCE)\n";
+        } else {
+          os << "int source=" << op.peer << "\n";
+        }
+        if (op.tag == kAnyTag) {
+          os << "int tag=-1 (MPI_ANY_TAG)\n";
+        } else {
+          os << "int tag=" << op.tag << "\n";
+        }
+        os << "MPI_Comm comm=" << op.comm
+           << (op.comm == 0 ? " (MPI_COMM_WORLD)" : " (user-defined)") << "\n";
+        if (op.type == OpType::kIsend || op.type == OpType::kIrecv)
+          os << "MPI_Request request=[" << op.request << "]\n";
+        break;
+      case OpCategory::kProgress:
+        if (op.type == OpType::kWaitall || op.type == OpType::kWaitany) {
+          os << "int count=" << op.bytes << "\n";
+        }
+        os << "MPI_Request request=[" << op.request << "]\n";
+        break;
+      case OpCategory::kCollective:
+        os << "int count=" << op.bytes << "\n";
+        os << "MPI_Datatype datatype=1 (MPI_BYTE)\n";
+        os << "MPI_Comm comm=" << op.comm
+           << (op.comm == 0 ? " (MPI_COMM_WORLD)" : " (user-defined)") << "\n";
+        break;
+      case OpCategory::kOneSided:
+        os << "int origin_count=" << op.bytes << "\n";
+        os << "int target_rank=" << op.peer << "\n";
+        break;
+      case OpCategory::kOther:
+        break;
+    }
+    write_ts_line(os, name, "returning", op.end_ts);
+  }
+}
+
+RankTrace parse_dumpi_text(std::istream& is, Rank rank) {
+  RankTrace out;
+  out.rank = rank;
+  std::string line;
+  bool in_block = false;
+  TraceOp cur;
+  std::string cur_name;
+
+  auto parse_int = [](const std::string& s, std::size_t eq) {
+    return std::strtoll(s.c_str() + eq + 1, nullptr, 10);
+  };
+
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+
+    const std::size_t entering = line.find(" entering at walltime ");
+    const std::size_t returning = line.find(" returning at walltime ");
+    if (entering != std::string::npos || returning != std::string::npos) {
+      const std::size_t pos = entering != std::string::npos ? entering : returning;
+      const std::string name = line.substr(0, pos);
+      const double ts =
+          std::strtod(line.c_str() + pos +
+                          (entering != std::string::npos
+                               ? sizeof(" entering at walltime ") - 1
+                               : sizeof(" returning at walltime ") - 1),
+                      nullptr);
+      if (entering != std::string::npos) {
+        if (in_block)
+          throw std::runtime_error("dumpi parse: nested block at line " +
+                                   std::to_string(line_no));
+        in_block = true;
+        cur = TraceOp{};
+        cur_name = name;
+        cur.start_ts = ts;
+        const auto it = name_to_type().find(name);
+        cur.type = it != name_to_type().end() ? it->second : OpType::kInit;
+        if (it == name_to_type().end()) cur_name.clear();  // skip unknown call
+      } else {
+        if (!in_block)
+          throw std::runtime_error("dumpi parse: stray return at line " +
+                                   std::to_string(line_no));
+        in_block = false;
+        cur.end_ts = ts;
+        if (!cur_name.empty()) out.ops.push_back(cur);
+      }
+      continue;
+    }
+
+    if (!in_block) continue;  // prose between blocks (dumpi preambles)
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    // Keys look like "int dest" / "MPI_Comm comm" / "MPI_Request request".
+    const std::size_t space = line.rfind(' ', eq);
+    const std::string key =
+        space == std::string::npos ? line.substr(0, eq)
+                                   : line.substr(space + 1, eq - space - 1);
+    if (key == "count" || key == "origin_count") {
+      cur.bytes = static_cast<std::uint32_t>(parse_int(line, eq));
+    } else if (key == "dest" || key == "source" || key == "target_rank") {
+      cur.peer = static_cast<Rank>(parse_int(line, eq));
+    } else if (key == "tag") {
+      cur.tag = static_cast<Tag>(parse_int(line, eq));
+    } else if (key == "comm") {
+      cur.comm = static_cast<CommId>(parse_int(line, eq));
+    } else if (key == "request") {
+      // "request=[5]"
+      const std::size_t bracket = line.find('[', eq);
+      if (bracket != std::string::npos)
+        cur.request =
+            static_cast<std::uint64_t>(std::strtoll(line.c_str() + bracket + 1,
+                                                    nullptr, 10));
+    }
+  }
+  if (in_block)
+    throw std::runtime_error("dumpi parse: unterminated block at EOF");
+  return out;
+}
+
+std::string write_trace_dir(const Trace& trace, const std::string& dir) {
+  fs::create_directories(dir);
+  for (const RankTrace& r : trace.ranks) {
+    char name[256];
+    std::snprintf(name, sizeof(name), "dumpi-%s-%04d.txt",
+                  trace.app_name.c_str(), r.rank);
+    std::ofstream os(fs::path(dir) / name);
+    OTM_ASSERT_MSG(os.good(), "cannot open trace file for writing");
+    write_dumpi_text(r, os);
+  }
+  const fs::path meta = fs::path(dir) / ("dumpi-" + trace.app_name + ".meta");
+  std::ofstream ms(meta);
+  ms << "hostname=otm-sim\n";
+  ms << "numprocs=" << trace.num_ranks << "\n";
+  ms << "fileprefix=dumpi-" << trace.app_name << "\n";
+  return meta.string();
+}
+
+Trace load_trace_dir(const std::string& meta_path) {
+  std::ifstream ms(meta_path);
+  if (!ms.good()) throw std::runtime_error("cannot open meta file " + meta_path);
+  int numprocs = 0;
+  std::string prefix;
+  std::string line;
+  while (std::getline(ms, line)) {
+    if (line.rfind("numprocs=", 0) == 0) numprocs = std::atoi(line.c_str() + 9);
+    if (line.rfind("fileprefix=", 0) == 0) prefix = line.substr(11);
+  }
+  if (numprocs <= 0 || prefix.empty())
+    throw std::runtime_error("malformed meta file " + meta_path);
+
+  Trace t;
+  t.num_ranks = numprocs;
+  t.app_name = prefix.rfind("dumpi-", 0) == 0 ? prefix.substr(6) : prefix;
+  const fs::path dir = fs::path(meta_path).parent_path();
+  for (int r = 0; r < numprocs; ++r) {
+    char name[256];
+    std::snprintf(name, sizeof(name), "%s-%04d.txt", prefix.c_str(), r);
+    std::ifstream is(dir / name);
+    if (!is.good())
+      throw std::runtime_error(std::string("missing trace file ") + name);
+    t.ranks.push_back(parse_dumpi_text(is, static_cast<Rank>(r)));
+  }
+  return t;
+}
+
+}  // namespace otm::trace

@@ -1,0 +1,47 @@
+// DUMPI text-trace reader and writer (Sec. V-A: "currently, only a DUMPI
+// text-traces reader is implemented").
+//
+// The format mirrors sst-dumpi's dumpi2ascii output: one block per MPI
+// call, bracketed by "entering at walltime" / "returning at walltime" lines
+// with one "key=value" parameter per line, e.g.
+//
+//   MPI_Isend entering at walltime 0.1000010, cputime 0.0000010 seconds in thread 0.
+//   int count=128
+//   MPI_Datatype datatype=1 (MPI_BYTE)
+//   int dest=3
+//   int tag=42
+//   MPI_Comm comm=0 (MPI_COMM_WORLD)
+//   MPI_Request request=[5]
+//   MPI_Isend returning at walltime 0.1000020, cputime 0.0000020 seconds in thread 0.
+//
+// A trace directory holds one text file per rank (dumpi-<app>-<rank>.txt)
+// plus a .meta file with the rank count — the layout sst-dumpi produces.
+//
+// Counts are emitted with MPI_BYTE, so `count` equals payload bytes; for
+// waitall/alltoall-style calls `count` carries the request/participant
+// count instead (stored in TraceOp::bytes either way).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/ops.hpp"
+
+namespace otm::trace {
+
+/// Serialize one rank's operations in dumpi2ascii text form.
+void write_dumpi_text(const RankTrace& trace, std::ostream& os);
+
+/// Parse one rank's dumpi2ascii text. Unknown MPI calls and parameters are
+/// skipped; malformed blocks throw std::runtime_error.
+RankTrace parse_dumpi_text(std::istream& is, Rank rank);
+
+/// Write a full trace as a DUMPI directory: dumpi-<app>-<rank>.txt files
+/// plus dumpi-<app>.meta. Returns the meta-file path.
+std::string write_trace_dir(const Trace& trace, const std::string& dir);
+
+/// Load a trace from a DUMPI directory written by write_trace_dir (or any
+/// sst-dumpi-shaped directory with a compatible meta file).
+Trace load_trace_dir(const std::string& meta_path);
+
+}  // namespace otm::trace

@@ -1,0 +1,148 @@
+#include "trace/jsonl.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace otm::trace {
+namespace {
+
+/// Minimal flat-object JSON scanner: extracts "key":value pairs where the
+/// value is a number or a double-quoted string (no nesting — the format is
+/// flat by construction). Tolerates arbitrary whitespace.
+class FlatJson {
+ public:
+  explicit FlatJson(const std::string& line) {
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    };
+    skip_ws();
+    if (i >= line.size() || line[i] != '{')
+      throw std::runtime_error("jsonl: expected object");
+    ++i;
+    for (;;) {
+      skip_ws();
+      if (i < line.size() && line[i] == '}') break;
+      if (i >= line.size() || line[i] != '"')
+        throw std::runtime_error("jsonl: expected key");
+      const std::size_t key_end = line.find('"', i + 1);
+      if (key_end == std::string::npos)
+        throw std::runtime_error("jsonl: unterminated key");
+      const std::string key = line.substr(i + 1, key_end - i - 1);
+      i = key_end + 1;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':')
+        throw std::runtime_error("jsonl: expected ':'");
+      ++i;
+      skip_ws();
+      if (i < line.size() && line[i] == '"') {
+        const std::size_t val_end = line.find('"', i + 1);
+        if (val_end == std::string::npos)
+          throw std::runtime_error("jsonl: unterminated string");
+        strings_[key] = line.substr(i + 1, val_end - i - 1);
+        i = val_end + 1;
+      } else {
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+        if (i == start) throw std::runtime_error("jsonl: empty value");
+        numbers_[key] = std::strtod(line.c_str() + start, nullptr);
+      }
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') break;
+      throw std::runtime_error("jsonl: expected ',' or '}'");
+    }
+  }
+
+  bool has_string(const std::string& k) const { return strings_.count(k) != 0; }
+  bool has_number(const std::string& k) const { return numbers_.count(k) != 0; }
+  const std::string& str(const std::string& k) const { return strings_.at(k); }
+  double num(const std::string& k, double def = 0.0) const {
+    const auto it = numbers_.find(k);
+    return it == numbers_.end() ? def : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, double> numbers_;
+};
+
+}  // namespace
+
+void write_jsonl(const Trace& trace, std::ostream& os) {
+  os << "{\"app\":\"" << trace.app_name << "\",\"ranks\":" << trace.num_ranks
+     << "}\n";
+  char buf[320];
+  for (const RankTrace& r : trace.ranks) {
+    for (const TraceOp& op : r.ops) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"rank\":%d,\"op\":\"%s\",\"peer\":%d,\"tag\":%d,"
+                    "\"comm\":%u,\"bytes\":%u,\"request\":%llu,"
+                    "\"t0\":%.9f,\"t1\":%.9f}\n",
+                    r.rank, mpi_name(op.type), op.peer, op.tag, op.comm,
+                    op.bytes, static_cast<unsigned long long>(op.request),
+                    op.start_ts, op.end_ts);
+      os << buf;
+    }
+  }
+}
+
+Trace parse_jsonl(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("jsonl: empty input");
+  const FlatJson header(line);
+  if (!header.has_string("app") || !header.has_number("ranks"))
+    throw std::runtime_error("jsonl: missing header");
+
+  Trace t;
+  t.app_name = header.str("app");
+  t.num_ranks = static_cast<int>(header.num("ranks"));
+  if (t.num_ranks <= 0) throw std::runtime_error("jsonl: invalid rank count");
+  t.ranks.resize(static_cast<std::size_t>(t.num_ranks));
+  for (int r = 0; r < t.num_ranks; ++r)
+    t.ranks[static_cast<std::size_t>(r)].rank = static_cast<Rank>(r);
+
+  std::map<std::string, OpType> by_name;
+  for (int i = 0; i <= static_cast<int>(OpType::kFinalize); ++i)
+    by_name.emplace(mpi_name(static_cast<OpType>(i)), static_cast<OpType>(i));
+
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const FlatJson rec(line);
+    if (!rec.has_number("rank") || !rec.has_string("op"))
+      throw std::runtime_error("jsonl: record missing rank/op at line " +
+                               std::to_string(line_no));
+    const int rank = static_cast<int>(rec.num("rank"));
+    if (rank < 0 || rank >= t.num_ranks)
+      throw std::runtime_error("jsonl: rank out of range at line " +
+                               std::to_string(line_no));
+    const auto it = by_name.find(rec.str("op"));
+    if (it == by_name.end()) continue;  // unknown call: skip, like DUMPI
+    TraceOp op;
+    op.type = it->second;
+    op.peer = static_cast<Rank>(rec.num("peer"));
+    op.tag = static_cast<Tag>(rec.num("tag"));
+    op.comm = static_cast<CommId>(rec.num("comm"));
+    op.bytes = static_cast<std::uint32_t>(rec.num("bytes"));
+    op.request = static_cast<std::uint64_t>(rec.num("request"));
+    op.start_ts = rec.num("t0");
+    op.end_ts = rec.num("t1");
+    t.ranks[static_cast<std::size_t>(rank)].ops.push_back(op);
+  }
+  return t;
+}
+
+}  // namespace otm::trace

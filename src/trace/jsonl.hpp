@@ -1,0 +1,28 @@
+// JSON-lines trace format — the "other formats" extension point of
+// Sec. V-A (the paper implements a DUMPI text reader but designs the
+// parser stage to accept more).
+//
+// Layout: one self-describing line per record. The first line is a header,
+// each following line one MPI call:
+//
+//   {"app":"LULESH","ranks":64}
+//   {"rank":0,"op":"MPI_Isend","peer":3,"tag":42,"comm":0,"bytes":128,
+//    "request":5,"t0":0.000001,"t1":0.000002}
+//
+// Unlike the DUMPI layout (one file per rank), a JSONL trace is a single
+// stream — convenient for piping and for tools that emit merged logs.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/ops.hpp"
+
+namespace otm::trace {
+
+void write_jsonl(const Trace& trace, std::ostream& os);
+
+/// Parse a JSONL trace. Unknown keys and unknown op names are skipped;
+/// malformed JSON or a missing/invalid header throws std::runtime_error.
+Trace parse_jsonl(std::istream& is);
+
+}  // namespace otm::trace

@@ -1,0 +1,34 @@
+#include "trace/ops.hpp"
+
+namespace otm::trace {
+
+const char* mpi_name(OpType t) noexcept {
+  switch (t) {
+    case OpType::kSend: return "MPI_Send";
+    case OpType::kIsend: return "MPI_Isend";
+    case OpType::kRecv: return "MPI_Recv";
+    case OpType::kIrecv: return "MPI_Irecv";
+    case OpType::kWait: return "MPI_Wait";
+    case OpType::kWaitall: return "MPI_Waitall";
+    case OpType::kWaitany: return "MPI_Waitany";
+    case OpType::kTest: return "MPI_Test";
+    case OpType::kBarrier: return "MPI_Barrier";
+    case OpType::kBcast: return "MPI_Bcast";
+    case OpType::kReduce: return "MPI_Reduce";
+    case OpType::kAllreduce: return "MPI_Allreduce";
+    case OpType::kGather: return "MPI_Gather";
+    case OpType::kGatherv: return "MPI_Gatherv";
+    case OpType::kScatter: return "MPI_Scatter";
+    case OpType::kAlltoall: return "MPI_Alltoall";
+    case OpType::kAlltoallv: return "MPI_Alltoallv";
+    case OpType::kAllgather: return "MPI_Allgather";
+    case OpType::kPut: return "MPI_Put";
+    case OpType::kGet: return "MPI_Get";
+    case OpType::kAccumulate: return "MPI_Accumulate";
+    case OpType::kInit: return "MPI_Init";
+    case OpType::kFinalize: return "MPI_Finalize";
+  }
+  return "MPI_Unknown";
+}
+
+}  // namespace otm::trace

@@ -1,0 +1,121 @@
+// In-memory MPI trace representation (Sec. V-A).
+//
+// The parser converts DUMPI text traces into this common representation;
+// generators emit it directly. Operations carry wall-clock timestamps so
+// the processing stage can interleave ranks in global time order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace otm::trace {
+
+enum class OpType : std::uint8_t {
+  // Point-to-point.
+  kSend,
+  kIsend,
+  kRecv,
+  kIrecv,
+  // Progress.
+  kWait,
+  kWaitall,
+  kWaitany,
+  kTest,
+  // Collectives (counted for the call-type distribution; not matched).
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kGatherv,
+  kScatter,
+  kAlltoall,
+  kAlltoallv,
+  kAllgather,
+  // One-sided (counted; never used by the analyzed suite — Fig. 6).
+  kPut,
+  kGet,
+  kAccumulate,
+  // Bookkeeping.
+  kInit,
+  kFinalize,
+};
+
+enum class OpCategory : std::uint8_t { kP2p, kProgress, kCollective, kOneSided, kOther };
+
+constexpr OpCategory category_of(OpType t) noexcept {
+  switch (t) {
+    case OpType::kSend:
+    case OpType::kIsend:
+    case OpType::kRecv:
+    case OpType::kIrecv:
+      return OpCategory::kP2p;
+    case OpType::kWait:
+    case OpType::kWaitall:
+    case OpType::kWaitany:
+    case OpType::kTest:
+      return OpCategory::kProgress;
+    case OpType::kBarrier:
+    case OpType::kBcast:
+    case OpType::kReduce:
+    case OpType::kAllreduce:
+    case OpType::kGather:
+    case OpType::kGatherv:
+    case OpType::kScatter:
+    case OpType::kAlltoall:
+    case OpType::kAlltoallv:
+    case OpType::kAllgather:
+      return OpCategory::kCollective;
+    case OpType::kPut:
+    case OpType::kGet:
+    case OpType::kAccumulate:
+      return OpCategory::kOneSided;
+    case OpType::kInit:
+    case OpType::kFinalize:
+      return OpCategory::kOther;
+  }
+  return OpCategory::kOther;
+}
+
+const char* mpi_name(OpType t) noexcept;
+
+/// One traced MPI call. Fields beyond `type` are meaningful only for the
+/// categories that use them (peer/tag for p2p, request for p2p+progress).
+struct TraceOp {
+  OpType type = OpType::kInit;
+  Rank peer = 0;           ///< dest (sends) / source (receives, may be ANY)
+  Tag tag = 0;             ///< may be kAnyTag on receives
+  CommId comm = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t request = 0;  ///< request handle for isend/irecv/wait
+  double start_ts = 0.0;      ///< walltime seconds
+  double end_ts = 0.0;
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+struct RankTrace {
+  Rank rank = 0;
+  std::vector<TraceOp> ops;
+
+  friend bool operator==(const RankTrace&, const RankTrace&) = default;
+};
+
+struct Trace {
+  std::string app_name;
+  int num_ranks = 0;
+  std::vector<RankTrace> ranks;
+
+  std::size_t total_ops() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : ranks) n += r.ops.size();
+    return n;
+  }
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+}  // namespace otm::trace

@@ -1,0 +1,544 @@
+#include "trace/synthetic.hpp"
+
+#include <array>
+#include <vector>
+
+#include "trace/trace_builder.hpp"
+#include "util/rng.hpp"
+
+namespace otm::trace {
+namespace {
+
+// --- Topology helpers ---------------------------------------------------------
+
+/// Periodic 3D process grid.
+struct Grid3 {
+  int nx, ny, nz;
+
+  int size() const noexcept { return nx * ny * nz; }
+
+  Rank id(int x, int y, int z) const noexcept {
+    const int wx = ((x % nx) + nx) % nx;
+    const int wy = ((y % ny) + ny) % ny;
+    const int wz = ((z % nz) + nz) % nz;
+    return static_cast<Rank>((wz * ny + wy) * nx + wx);
+  }
+
+  std::array<int, 3> coords(Rank r) const noexcept {
+    const int x = static_cast<int>(r) % nx;
+    const int y = (static_cast<int>(r) / nx) % ny;
+    const int z = static_cast<int>(r) / (nx * ny);
+    return {x, y, z};
+  }
+};
+
+/// The six face offsets.
+constexpr std::array<std::array<int, 3>, 6> kFaces = {{{+1, 0, 0},
+                                                       {-1, 0, 0},
+                                                       {0, +1, 0},
+                                                       {0, -1, 0},
+                                                       {0, 0, +1},
+                                                       {0, 0, -1}}};
+
+/// All 26 neighbor offsets (faces + edges + corners).
+std::vector<std::array<int, 3>> offsets26() {
+  std::vector<std::array<int, 3>> out;
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx)
+        if (dx != 0 || dy != 0 || dz != 0) out.push_back({dx, dy, dz});
+  return out;
+}
+
+std::size_t opposite26(std::size_t d);
+
+/// One halo-exchange phase: every rank posts receives from all neighbors,
+/// then sends to all, then waits — the receive-first discipline the paper
+/// recommends (Sec. II-A) and the pattern the BoxLib/LULESH traces show.
+void halo_exchange(TraceBuilder& b, const Grid3& g,
+                   std::span<const std::array<int, 3>> offsets, Tag tag_base,
+                   std::uint32_t bytes, bool tag_per_direction = true) {
+  for (Rank r = 0; r < g.size(); ++r) {
+    const auto c = g.coords(r);
+    for (std::size_t d = 0; d < offsets.size(); ++d) {
+      const Rank nbr = g.id(c[0] + offsets[d][0], c[1] + offsets[d][1],
+                            c[2] + offsets[d][2]);
+      if (nbr == r) continue;  // degenerate wrap at tiny grids
+      const Tag tag = tag_per_direction ? tag_base + static_cast<Tag>(d) : tag_base;
+      b.irecv(r, nbr, tag, bytes);
+    }
+  }
+  for (Rank r = 0; r < g.size(); ++r) {
+    const auto c = g.coords(r);
+    for (std::size_t d = 0; d < offsets.size(); ++d) {
+      const Rank nbr = g.id(c[0] + offsets[d][0], c[1] + offsets[d][1],
+                            c[2] + offsets[d][2]);
+      if (nbr == r) continue;
+      // The *receiver* indexed this direction from its own perspective: the
+      // opposite offset. Mirror the direction index so tags line up.
+      const std::size_t mirror = d ^ 1u;  // offsets come in +/- pairs
+      const Tag tag = tag_per_direction
+                          ? tag_base + static_cast<Tag>(
+                                           offsets.size() == kFaces.size()
+                                               ? mirror
+                                               : opposite26(d))
+                          : tag_base;
+      b.isend(r, nbr, tag, bytes);
+    }
+  }
+  for (Rank r = 0; r < g.size(); ++r)
+    b.waitall(r, static_cast<std::uint32_t>(offsets.size()));
+  b.sync_clocks();
+}
+
+/// Index of the opposite offset inside offsets26() ordering.
+std::size_t opposite26(std::size_t d) {
+  const auto offs = offsets26();
+  const auto& o = offs[d];
+  for (std::size_t i = 0; i < offs.size(); ++i)
+    if (offs[i][0] == -o[0] && offs[i][1] == -o[1] && offs[i][2] == -o[2])
+      return i;
+  return d;
+}
+
+}  // namespace
+
+// --- Table II generators -------------------------------------------------------
+
+Trace make_amg() {
+  // Algebraic MultiGrid at 8 ranks (2x2x2): V-cycles of face halos over
+  // shrinking levels plus an allreduce-based convergence check.
+  const Grid3 g{2, 2, 2};
+  TraceBuilder b("AMG", g.size());
+  for (int iter = 0; iter < 25; ++iter) {
+    halo_exchange(b, g, kFaces, /*tag_base=*/100, /*bytes=*/512);
+    // Coarse level: everyone sends a residual block to rank 0, which posts
+    // exact-source receives (the many-to-one pattern of Sec. I).
+    for (Rank r = 1; r < g.size(); ++r) b.irecv(0, r, 7, 256);
+    for (Rank r = 1; r < g.size(); ++r) b.isend(r, 0, 7, 256);
+    b.waitall(0, static_cast<std::uint32_t>(g.size() - 1));
+    b.collective_all(OpType::kBcast, 256);
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  return b.finish();
+}
+
+Trace make_amr_miniapp() {
+  // Single-step AMR hydrodynamics at 64 ranks: 6-face halos, periodic
+  // regridding with ANY_SOURCE box migration and an allgather of the new
+  // box layout.
+  const Grid3 g{4, 4, 4};
+  TraceBuilder b("AMR-MiniApp", g.size());
+  Xoshiro256 rng(2024);
+  for (int step = 0; step < 12; ++step) {
+    halo_exchange(b, g, kFaces, 300, 1024);
+    if (step % 3 == 2) {
+      // Load balancing: a few overloaded ranks ship boxes to random peers;
+      // receivers cannot know the source ahead of time.
+      for (int m = 0; m < 16; ++m) {
+        const Rank to = static_cast<Rank>(rng.below(static_cast<std::uint64_t>(g.size())));
+        const Rank from =
+            static_cast<Rank>(rng.below(static_cast<std::uint64_t>(g.size())));
+        if (to == from) continue;
+        b.irecv(to, kAnySource, 900, 4096);
+        b.isend(from, to, 900, 4096);
+        b.wait(to, 0);
+      }
+      b.collective_all(OpType::kAllgather, 64);
+    }
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  return b.finish();
+}
+
+Trace make_bigfft() {
+  // Distributed FFT at 1024 ranks (32x32 pencil decomposition): the
+  // transpose exchanges within rows then within columns. Pure p2p.
+  constexpr int kSide = 32;
+  constexpr int kRanks = kSide * kSide;
+  TraceBuilder b("BigFFT", kRanks);
+  for (int fft = 0; fft < 2; ++fft) {
+    for (int phase = 0; phase < 2; ++phase) {
+      const Tag tag = static_cast<Tag>(200 + fft * 2 + phase);
+      for (Rank r = 0; r < kRanks; ++r) {
+        const int row = static_cast<int>(r) / kSide;
+        const int col = static_cast<int>(r) % kSide;
+        for (int p = 0; p < kSide; ++p) {
+          const Rank peer = phase == 0
+                                ? static_cast<Rank>(row * kSide + p)  // row group
+                                : static_cast<Rank>(p * kSide + col); // col group
+          if (peer == r) continue;
+          b.irecv(r, peer, tag, 8192);
+        }
+      }
+      for (Rank r = 0; r < kRanks; ++r) {
+        const int row = static_cast<int>(r) / kSide;
+        const int col = static_cast<int>(r) % kSide;
+        for (int p = 0; p < kSide; ++p) {
+          const Rank peer = phase == 0 ? static_cast<Rank>(row * kSide + p)
+                                       : static_cast<Rank>(p * kSide + col);
+          if (peer == r) continue;
+          b.isend(r, peer, tag, 8192);
+        }
+      }
+      for (Rank r = 0; r < kRanks; ++r) b.waitall(r, kSide - 1);
+      b.sync_clocks();
+    }
+  }
+  return b.finish();
+}
+
+Trace make_boxlib_cns() {
+  // Compressible Navier-Stokes at 64 ranks: FillBoundary over all 26
+  // neighbors for several components per step. This is the deep-queue
+  // outlier of Fig. 7 (max depth ~25 with one bin).
+  const Grid3 g{4, 4, 4};
+  const auto offs = offsets26();
+  TraceBuilder b("BoxLib-CNS", g.size());
+  for (int step = 0; step < 10; ++step) {
+    for (Tag component = 0; component < 3; ++component)
+      halo_exchange(b, g, offs, 400 + component * 32, 2048,
+                    /*tag_per_direction=*/false);
+    b.collective_all(OpType::kAllreduce, 8);  // dt estimation
+  }
+  return b.finish();
+}
+
+Trace make_boxlib_multigrid() {
+  // Single-step BoxLib linear solver at 64 ranks: V-cycle with halving
+  // participation per level.
+  const Grid3 g{4, 4, 4};
+  TraceBuilder b("BoxLib-MultiGrid", g.size());
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int level = 0; level < 3; ++level) {
+      const int stride = 1 << level;
+      for (Rank r = 0; r < g.size(); ++r) {
+        const auto c = g.coords(r);
+        if (c[0] % stride != 0 || c[1] % stride != 0 || c[2] % stride != 0)
+          continue;
+        for (const auto& o : kFaces) {
+          const Rank nbr = g.id(c[0] + o[0] * stride, c[1] + o[1] * stride,
+                                c[2] + o[2] * stride);
+          if (nbr == r) continue;
+          b.irecv(r, nbr, static_cast<Tag>(500 + level), 512);
+        }
+      }
+      for (Rank r = 0; r < g.size(); ++r) {
+        const auto c = g.coords(r);
+        if (c[0] % stride != 0 || c[1] % stride != 0 || c[2] % stride != 0)
+          continue;
+        for (const auto& o : kFaces) {
+          const Rank nbr = g.id(c[0] + o[0] * stride, c[1] + o[1] * stride,
+                                c[2] + o[2] * stride);
+          if (nbr == r) continue;
+          b.isend(r, nbr, static_cast<Tag>(500 + level), 512);
+        }
+        b.waitall(r, 6);
+      }
+      b.sync_clocks();
+    }
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  return b.finish();
+}
+
+Trace make_crystal_router() {
+  // Nek5000 crystal-router proxy at 100 ranks: log2(P) staged hypercube
+  // exchange; receivers use ANY_SOURCE because routed payloads aggregate
+  // messages from unknown origins. Pure p2p.
+  constexpr int kRanks = 100;
+  TraceBuilder b("CrystalRouter", kRanks);
+  Xoshiro256 rng(7);
+  for (int round = 0; round < 6; ++round) {
+    for (int stage = 0; (1 << stage) < kRanks; ++stage) {
+      const int bit = 1 << stage;
+      const Tag tag = static_cast<Tag>(600 + stage);
+      for (Rank r = 0; r < kRanks; ++r) {
+        const int partner = static_cast<int>(r) ^ bit;
+        if (partner >= kRanks) continue;
+        // 1-3 routed bundles per stage: same-source/tag bursts exercise
+        // the compatible-receive sequences of the fast path.
+        const int bundles = 1 + static_cast<int>(rng.below(3));
+        for (int m = 0; m < bundles; ++m) b.irecv(r, kAnySource, tag, 1500);
+        for (int m = 0; m < bundles; ++m)
+          b.isend(r, static_cast<Rank>(partner), tag, 1500);
+        b.waitall(r, static_cast<std::uint32_t>(bundles));
+      }
+      b.sync_clocks();
+    }
+  }
+  return b.finish();
+}
+
+Trace make_fill_boundary() {
+  // Ghost-cell exchange proxy at 1000 ranks (10x10x10), 26 neighbors,
+  // direction-tagged. Pure p2p.
+  const Grid3 g{10, 10, 10};
+  const auto offs = offsets26();
+  TraceBuilder b("FillBoundary", g.size());
+  for (int iter = 0; iter < 6; ++iter)
+    halo_exchange(b, g, offs, 700, 4096, /*tag_per_direction=*/false);
+  return b.finish();
+}
+
+Trace make_hilo() {
+  // Neutron transport evaluation suite at 256 ranks: collective-only
+  // (Fig. 6 shows HILO entirely reliant on collectives).
+  TraceBuilder b("HILO", 256);
+  for (int iter = 0; iter < 60; ++iter) {
+    b.collective_all(OpType::kAllreduce, 64);
+    if (iter % 10 == 0) b.collective_all(OpType::kBcast, 1024);
+  }
+  b.collective_all(OpType::kReduce, 64);
+  return b.finish();
+}
+
+Trace make_hilo_2d() {
+  // 2D multinode HILO variant: also purely collective.
+  TraceBuilder b("HILO-2D", 256);
+  for (int iter = 0; iter < 40; ++iter) {
+    b.collective_all(OpType::kAllreduce, 128);
+    b.collective_all(OpType::kReduce, 64);
+    if (iter % 8 == 0) b.collective_all(OpType::kAllgather, 256);
+  }
+  return b.finish();
+}
+
+Trace make_lulesh() {
+  // Hydrodynamics proxy at 64 ranks: 26-neighbor stencil with distinct
+  // face/edge/corner message sizes, receive-first, dt allreduce per step.
+  const Grid3 g{4, 4, 4};
+  const auto offs = offsets26();
+  TraceBuilder b("LULESH", g.size());
+  auto size_of = [](const std::array<int, 3>& o) -> std::uint32_t {
+    const int dims = (o[0] != 0) + (o[1] != 0) + (o[2] != 0);
+    return dims == 1 ? 8192 : dims == 2 ? 1024 : 128;  // face/edge/corner
+  };
+  for (int step = 0; step < 15; ++step) {
+    for (Rank r = 0; r < g.size(); ++r) {
+      const auto c = g.coords(r);
+      for (std::size_t d = 0; d < offs.size(); ++d) {
+        const Rank nbr = g.id(c[0] + offs[d][0], c[1] + offs[d][1],
+                              c[2] + offs[d][2]);
+        if (nbr == r) continue;
+        b.irecv(r, nbr, 800, size_of(offs[d]));
+      }
+    }
+    for (Rank r = 0; r < g.size(); ++r) {
+      const auto c = g.coords(r);
+      for (std::size_t d = 0; d < offs.size(); ++d) {
+        const Rank nbr = g.id(c[0] + offs[d][0], c[1] + offs[d][1],
+                              c[2] + offs[d][2]);
+        if (nbr == r) continue;
+        b.isend(r, nbr, 800, size_of(offs[d]));
+      }
+      b.waitall(r, 26);
+    }
+    b.sync_clocks();
+    b.collective_all(OpType::kAllreduce, 8);   // dt
+    b.collective_all(OpType::kAllreduce, 8);   // hydro constraint
+  }
+  return b.finish();
+}
+
+Trace make_minife() {
+  // Finite-element CG proxy at 1152 ranks (8x12x12): 6-face halo per
+  // matvec plus two dot-product allreduces per iteration.
+  const Grid3 g{8, 12, 12};
+  TraceBuilder b("MiniFE", g.size());
+  for (int iter = 0; iter < 18; ++iter) {
+    halo_exchange(b, g, kFaces, 1000, 2048);
+    b.collective_all(OpType::kAllreduce, 8);
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  b.collective_all(OpType::kAllreduce, 8);
+  return b.finish();
+}
+
+Trace make_mocfe() {
+  // Method-of-characteristics reactor proxy at 64 ranks: pipelined angular
+  // sweeps (blocking upstream recv, downstream send) plus a reduce per
+  // outer iteration.
+  constexpr int kSide = 8;
+  TraceBuilder b("MOCFE", kSide * kSide);
+  const std::array<std::array<int, 2>, 4> dirs = {{{+1, +1}, {-1, +1}, {+1, -1},
+                                                   {-1, -1}}};
+  for (int iter = 0; iter < 6; ++iter) {
+    for (std::size_t a = 0; a < dirs.size(); ++a) {
+      const int sx = dirs[a][0];
+      const int sy = dirs[a][1];
+      const Tag tag = static_cast<Tag>(1100 + a);
+      for (Rank r = 0; r < kSide * kSide; ++r) {
+        const int x = static_cast<int>(r) % kSide;
+        const int y = static_cast<int>(r) / kSide;
+        const int upx = x - sx;
+        const int upy = y - sy;
+        if (upx >= 0 && upx < kSide)
+          b.recv(r, static_cast<Rank>(y * kSide + upx), tag, 1024);
+        if (upy >= 0 && upy < kSide)
+          b.recv(r, static_cast<Rank>(upy * kSide + x), tag, 1024);
+        const int dnx = x + sx;
+        const int dny = y + sy;
+        if (dnx >= 0 && dnx < kSide)
+          b.send(r, static_cast<Rank>(y * kSide + dnx), tag, 1024);
+        if (dny >= 0 && dny < kSide)
+          b.send(r, static_cast<Rank>(dny * kSide + x), tag, 1024);
+      }
+      b.sync_clocks();
+    }
+    b.collective_all(OpType::kReduce, 64);
+  }
+  return b.finish();
+}
+
+Trace make_multigrid() {
+  // BoxLib-based multigrid at 1000 ranks: V-cycles over 10^3 with level
+  // coarsening (stride doubling), residual allreduce per cycle.
+  const Grid3 g{10, 10, 10};
+  TraceBuilder b("MultiGrid", g.size());
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int level = 0; level < 3; ++level) {
+      const int stride = 1 << level;
+      for (Rank r = 0; r < g.size(); ++r) {
+        const auto c = g.coords(r);
+        if (c[0] % stride != 0 || c[1] % stride != 0 || c[2] % stride != 0)
+          continue;
+        for (const auto& o : kFaces) {
+          const Rank nbr = g.id(c[0] + o[0] * stride, c[1] + o[1] * stride,
+                                c[2] + o[2] * stride);
+          if (nbr == r) continue;
+          b.irecv(r, nbr, static_cast<Tag>(1200 + level), 1024);
+        }
+      }
+      for (Rank r = 0; r < g.size(); ++r) {
+        const auto c = g.coords(r);
+        if (c[0] % stride != 0 || c[1] % stride != 0 || c[2] % stride != 0)
+          continue;
+        for (const auto& o : kFaces) {
+          const Rank nbr = g.id(c[0] + o[0] * stride, c[1] + o[1] * stride,
+                                c[2] + o[2] * stride);
+          if (nbr == r) continue;
+          b.isend(r, nbr, static_cast<Tag>(1200 + level), 1024);
+        }
+        b.waitall(r, 6);
+      }
+      b.sync_clocks();
+    }
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  return b.finish();
+}
+
+Trace make_nekbone() {
+  // Nek5000 Poisson-solver proxy at 64 ranks: CG iterations with
+  // gather-scatter face exchange and three allreduces per iteration.
+  const Grid3 g{4, 4, 4};
+  TraceBuilder b("Nekbone", g.size());
+  for (int iter = 0; iter < 20; ++iter) {
+    halo_exchange(b, g, kFaces, 1300, 4096);
+    b.collective_all(OpType::kAllreduce, 8);
+    b.collective_all(OpType::kAllreduce, 8);
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  return b.finish();
+}
+
+namespace {
+
+/// KBA wavefront sweep shared by PARTISN and SNAP (same communication
+/// pattern per Table II).
+Trace make_kba(const char* name, int px, int py, int iterations, int kplanes,
+               Tag tag_base, std::uint32_t bytes) {
+  TraceBuilder b(name, px * py);
+  const std::array<std::array<int, 2>, 4> octants = {{{+1, +1}, {-1, +1},
+                                                      {+1, -1}, {-1, -1}}};
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (std::size_t o = 0; o < octants.size(); ++o) {
+      const int sx = octants[o][0];
+      const int sy = octants[o][1];
+      const Tag tag = tag_base + static_cast<Tag>(o);
+      for (int k = 0; k < kplanes; ++k) {
+        for (Rank r = 0; r < px * py; ++r) {
+          const int x = static_cast<int>(r) % px;
+          const int y = static_cast<int>(r) / px;
+          const int upx = x - sx;
+          const int upy = y - sy;
+          if (upx >= 0 && upx < px)
+            b.recv(r, static_cast<Rank>(y * px + upx), tag, bytes);
+          if (upy >= 0 && upy < py)
+            b.recv(r, static_cast<Rank>(upy * px + x), tag, bytes);
+          const int dnx = x + sx;
+          const int dny = y + sy;
+          if (dnx >= 0 && dnx < px)
+            b.send(r, static_cast<Rank>(y * px + dnx), tag, bytes);
+          if (dny >= 0 && dny < py)
+            b.send(r, static_cast<Rank>(dny * px + x), tag, bytes);
+        }
+      }
+      b.sync_clocks();
+    }
+    b.collective_all(OpType::kAllreduce, 8);
+  }
+  return b.finish();
+}
+
+}  // namespace
+
+Trace make_partisn() {
+  // Discrete-ordinates transport at 168 ranks (12x14 KBA decomposition).
+  return make_kba("PARTISN", 12, 14, /*iterations=*/4, /*kplanes=*/4,
+                  /*tag_base=*/1400, /*bytes=*/2048);
+}
+
+Trace make_snap() {
+  // PARTISN communication-pattern proxy; same sweep, more planes, smaller
+  // payloads.
+  return make_kba("SNAP", 12, 14, /*iterations=*/5, /*kplanes=*/6,
+                  /*tag_base=*/1500, /*bytes=*/1024);
+}
+
+// --- Registry -------------------------------------------------------------------
+
+std::span<const AppInfo> application_suite() {
+  static const AppInfo kSuite[] = {
+      {"AMG", "Algebraic MultiGrid. Linear equation solver", 8, &make_amg},
+      {"AMR-MiniApp", "Single step AMR for hydrodynamics", 64, &make_amr_miniapp},
+      {"BigFFT", "Distributed Fast Fourier Transform", 1024, &make_bigfft},
+      {"BoxLib-CNS", "Compressible Navier Stokes equations integrator", 64,
+       &make_boxlib_cns},
+      {"BoxLib-MultiGrid", "Single step BoxLib linear solver", 64,
+       &make_boxlib_multigrid},
+      {"CrystalRouter",
+       "Proxy application for the Nek5000 scalable communication pattern", 100,
+       &make_crystal_router},
+      {"FillBoundary", "Proxy application for ghost cell exchange using MultiFabs",
+       1000, &make_fill_boundary},
+      {"HILO", "Modeling of Neutron Transport Evaluation and Test Suite", 256,
+       &make_hilo},
+      {"HILO-2D",
+       "Modeling of Neutron Transport Evaluation and Test Suite in 2D multinode",
+       256, &make_hilo_2d},
+      {"LULESH", "Proxy application for hydrodynamic codes", 64, &make_lulesh},
+      {"MiniFE", "Proxy application for finite elements codes", 1152,
+       &make_minife},
+      {"MOCFE",
+       "Proxy application for Method of Characteristics (MOC) reactor simulator",
+       64, &make_mocfe},
+      {"MultiGrid", "MultiGrid solver based on BoxLib", 1000, &make_multigrid},
+      {"Nekbone", "Proxy application for the Nek5000 poison equation solver", 64,
+       &make_nekbone},
+      {"PARTISN", "Discrete-ordinates neutral-particle transport equation solver",
+       168, &make_partisn},
+      {"SNAP", "Proxy application for the PARTISN communication pattern", 168,
+       &make_snap},
+  };
+  return kSuite;
+}
+
+const AppInfo* find_app(const std::string& name) {
+  for (const AppInfo& a : application_suite())
+    if (name == a.name) return &a;
+  return nullptr;
+}
+
+}  // namespace otm::trace

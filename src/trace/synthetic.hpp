@@ -1,0 +1,54 @@
+// Synthetic trace generators for the Table-II application suite.
+//
+// Substitution note (DESIGN.md §2): the paper analyzes DUMPI traces from
+// the NERSC "Characterization of DOE mini-apps" project, which are not
+// redistributable. Fig. 6/7 depend only on the *pattern* of posted receives
+// and message arrivals — which ranks talk, how many receives are
+// outstanding, how diverse the (src, tag) keys are — so each generator
+// reproduces its mini-app's published communication structure (halo
+// exchanges, all-to-all transposes, wavefront sweeps, staged crystal
+// routing, collective-only solvers) at the Table-II process counts.
+//
+// All generators are deterministic for a given seed.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "trace/ops.hpp"
+
+namespace otm::trace {
+
+/// Registry entry mirroring Table II.
+struct AppInfo {
+  const char* name;
+  const char* description;
+  int processes;
+  Trace (*make)();
+};
+
+/// The 16 applications of Table II, alphabetically sorted as in the paper.
+std::span<const AppInfo> application_suite();
+
+/// Lookup by name; returns nullptr if unknown.
+const AppInfo* find_app(const std::string& name);
+
+// Individual generators (one per Table-II row).
+Trace make_amg();               // 8 ranks
+Trace make_amr_miniapp();       // 64
+Trace make_bigfft();            // 1024
+Trace make_boxlib_cns();        // 64
+Trace make_boxlib_multigrid();  // 64
+Trace make_crystal_router();    // 100
+Trace make_fill_boundary();     // 1000
+Trace make_hilo();              // 256
+Trace make_hilo_2d();           // 256
+Trace make_lulesh();            // 64
+Trace make_minife();            // 1152
+Trace make_mocfe();             // 64
+Trace make_multigrid();         // 1000
+Trace make_nekbone();           // 64
+Trace make_partisn();           // 168
+Trace make_snap();              // 168
+
+}  // namespace otm::trace

@@ -1,0 +1,144 @@
+// Helper for emitting per-rank operation streams with consistent
+// timestamps. Each rank has its own clock advancing per emitted call;
+// sync points (barriers, phase boundaries) align all clocks so the global
+// timestamp merge in the analyzer interleaves phases realistically.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "trace/ops.hpp"
+#include "util/assert.hpp"
+
+namespace otm::trace {
+
+class TraceBuilder {
+ public:
+  TraceBuilder(std::string app, int num_ranks) {
+    trace_.app_name = std::move(app);
+    trace_.num_ranks = num_ranks;
+    trace_.ranks.resize(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r)
+      trace_.ranks[static_cast<std::size_t>(r)].rank = static_cast<Rank>(r);
+    clocks_.assign(static_cast<std::size_t>(num_ranks), 0.0);
+    next_request_.assign(static_cast<std::size_t>(num_ranks), 1);
+    for (int r = 0; r < num_ranks; ++r) emit(static_cast<Rank>(r), OpType::kInit, {});
+  }
+
+  int num_ranks() const noexcept { return trace_.num_ranks; }
+
+  std::uint64_t isend(Rank from, Rank to, Tag tag, std::uint32_t bytes,
+                      CommId comm = 0) {
+    TraceOp op;
+    op.peer = to;
+    op.tag = tag;
+    op.bytes = bytes;
+    op.comm = comm;
+    op.request = next_request_[static_cast<std::size_t>(from)]++;
+    emit(from, OpType::kIsend, op);
+    return op.request;
+  }
+
+  void send(Rank from, Rank to, Tag tag, std::uint32_t bytes, CommId comm = 0) {
+    TraceOp op;
+    op.peer = to;
+    op.tag = tag;
+    op.bytes = bytes;
+    op.comm = comm;
+    emit(from, OpType::kSend, op);
+  }
+
+  std::uint64_t irecv(Rank at, Rank src, Tag tag, std::uint32_t bytes,
+                      CommId comm = 0) {
+    TraceOp op;
+    op.peer = src;
+    op.tag = tag;
+    op.bytes = bytes;
+    op.comm = comm;
+    op.request = next_request_[static_cast<std::size_t>(at)]++;
+    emit(at, OpType::kIrecv, op);
+    return op.request;
+  }
+
+  void recv(Rank at, Rank src, Tag tag, std::uint32_t bytes, CommId comm = 0) {
+    TraceOp op;
+    op.peer = src;
+    op.tag = tag;
+    op.bytes = bytes;
+    op.comm = comm;
+    emit(at, OpType::kRecv, op);
+  }
+
+  void wait(Rank at, std::uint64_t request) {
+    TraceOp op;
+    op.request = request;
+    emit(at, OpType::kWait, op);
+  }
+
+  void waitall(Rank at, std::uint32_t count) {
+    TraceOp op;
+    op.bytes = count;
+    emit(at, OpType::kWaitall, op);
+  }
+
+  /// A collective on all ranks; aligns every clock afterwards (collectives
+  /// synchronize in practice, and exact interleave does not affect p2p
+  /// matching statistics).
+  void collective_all(OpType type, std::uint32_t bytes, CommId comm = 0) {
+    for (Rank r = 0; r < trace_.num_ranks; ++r) {
+      TraceOp op;
+      op.bytes = bytes;
+      op.comm = comm;
+      emit(r, type, op);
+    }
+    sync_clocks();
+  }
+
+  void collective_one(Rank r, OpType type, std::uint32_t bytes, CommId comm = 0) {
+    TraceOp op;
+    op.bytes = bytes;
+    op.comm = comm;
+    emit(r, type, op);
+  }
+
+  void barrier_all() { collective_all(OpType::kBarrier, 0); }
+
+  /// Align every rank clock to the global maximum (phase boundary).
+  void sync_clocks() {
+    const double m = *std::max_element(clocks_.begin(), clocks_.end());
+    std::fill(clocks_.begin(), clocks_.end(), m);
+  }
+
+  void advance(Rank r, double seconds) {
+    clocks_[static_cast<std::size_t>(r)] += seconds;
+  }
+  void advance_all(double seconds) {
+    for (double& c : clocks_) c += seconds;
+  }
+
+  Trace finish() {
+    for (Rank r = 0; r < trace_.num_ranks; ++r)
+      emit(r, OpType::kFinalize, {});
+    return std::move(trace_);
+  }
+
+ private:
+  void emit(Rank r, OpType type, TraceOp op) {
+    OTM_ASSERT(r >= 0 && r < trace_.num_ranks);
+    op.type = type;
+    double& clock = clocks_[static_cast<std::size_t>(r)];
+    op.start_ts = clock;
+    clock += kOpDuration;
+    op.end_ts = clock;
+    trace_.ranks[static_cast<std::size_t>(r)].ops.push_back(op);
+  }
+
+  static constexpr double kOpDuration = 1e-6;
+
+  Trace trace_;
+  std::vector<double> clocks_;
+  std::vector<std::uint64_t> next_request_;
+};
+
+}  // namespace otm::trace

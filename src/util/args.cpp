@@ -1,0 +1,65 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace otm {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string ArgParser::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second.empty();
+}
+
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& key, std::vector<std::int64_t> def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace otm

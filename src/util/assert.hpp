@@ -1,0 +1,33 @@
+// Lightweight assertion macros used across the library.
+//
+// OTM_ASSERT is active in all build types: the invariants it guards
+// (matching-order constraints, table bookkeeping) are cheap relative to the
+// operations they protect, and silent corruption of a matching structure is
+// far more expensive to debug than the check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace otm::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "OTM_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace otm::detail
+
+#define OTM_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::otm::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);      \
+  } while (false)
+
+#define OTM_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::otm::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+  } while (false)

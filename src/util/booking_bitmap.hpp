@@ -1,0 +1,85 @@
+// Generation-tagged booking bitmap (Sec. III-C of the paper).
+//
+// Each receive descriptor carries an N-bit bitmap used by matching threads to
+// tentatively "book" the receive during the optimistic phase. A fresh bitmap
+// would have to be cleared after every block of messages; instead we pack a
+// 32-bit block-generation tag next to a 32-bit thread bitmap in one atomic
+// 64-bit word. Bits set under an older generation are logically zero, so no
+// cleanup pass over touched receives is needed between blocks.
+//
+// The 32-bit bitmap limits a block to 32 concurrent matching threads, which
+// matches the paper's prototype ("uses 32 DPA threads, limited by the
+// bookkeeping bitmap size").
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+/// Maximum number of threads that can concurrently book one receive.
+inline constexpr unsigned kMaxBlockThreads = 32;
+
+class BookingBitmap {
+ public:
+  BookingBitmap() noexcept = default;
+
+  /// Atomically set this thread's bit under generation `gen`.
+  /// If the stored generation is older, the bitmap is restarted at this
+  /// generation with only this thread's bit. Returns the bitmap of threads
+  /// (including this one) booked under `gen` after the update.
+  std::uint32_t book(std::uint32_t gen, unsigned thread_id) noexcept {
+    OTM_ASSERT(thread_id < kMaxBlockThreads);
+    const std::uint32_t bit = 1u << thread_id;
+    std::uint64_t cur = word_.load(std::memory_order_acquire);
+    for (;;) {
+      std::uint64_t desired;
+      if (generation(cur) == gen) {
+        desired = cur | bit;
+      } else {
+        // Stale generation: restart the bitmap for the current block.
+        desired = (static_cast<std::uint64_t>(gen) << 32) | bit;
+      }
+      if (word_.compare_exchange_weak(cur, desired, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return static_cast<std::uint32_t>(desired);
+      }
+    }
+  }
+
+  /// Bitmap of threads booked under generation `gen` (zero if the stored
+  /// generation differs).
+  std::uint32_t booked(std::uint32_t gen) const noexcept {
+    const std::uint64_t cur = word_.load(std::memory_order_acquire);
+    return generation(cur) == gen ? static_cast<std::uint32_t>(cur) : 0u;
+  }
+
+  /// True if any thread with id strictly lower than `thread_id` has booked
+  /// this receive under generation `gen`. Used both for conflict detection
+  /// and for the early-booking-check optimization (Sec. III-D).
+  bool booked_by_lower(std::uint32_t gen, unsigned thread_id) const noexcept {
+    const std::uint32_t mask = (thread_id == 0) ? 0u : ((1u << thread_id) - 1u);
+    return (booked(gen) & mask) != 0u;
+  }
+
+  /// Lowest thread id booked under `gen`; kMaxBlockThreads if none.
+  unsigned lowest_booker(std::uint32_t gen) const noexcept {
+    const std::uint32_t bits = booked(gen);
+    return bits == 0 ? kMaxBlockThreads
+                     : static_cast<unsigned>(std::countr_zero(bits));
+  }
+
+  void reset() noexcept { word_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static std::uint32_t generation(std::uint64_t word) noexcept {
+    return static_cast<std::uint32_t>(word >> 32);
+  }
+
+  std::atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace otm

@@ -1,0 +1,63 @@
+// Hash functions for the matching indexes.
+//
+// The paper's "inline hash values" optimization (Sec. III-D) lets the sender
+// precompute hash(src,tag), hash(src) and hash(tag) and ship them in the
+// message header; these functions are therefore part of the wire contract
+// and must be stable across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace otm {
+
+/// 64-bit splittable mixer (Stafford variant 13). Cheap enough for a
+/// lightweight on-NIC core, strong enough to spread (src, tag) pairs.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// hash over (source, tag): key of the no-wildcard index.
+constexpr std::uint64_t hash_src_tag(std::int32_t src, std::int32_t tag) noexcept {
+  return mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+               static_cast<std::uint32_t>(tag));
+}
+
+/// hash over source only: key of the ANY_TAG index.
+constexpr std::uint64_t hash_src(std::int32_t src) noexcept {
+  return mix64(0xa076'1d64'78bd'642fULL ^ static_cast<std::uint32_t>(src));
+}
+
+/// hash over tag only: key of the ANY_SOURCE index.
+constexpr std::uint64_t hash_tag(std::int32_t tag) noexcept {
+  return mix64(0xe703'7ed1'a0b4'28dbULL ^ static_cast<std::uint32_t>(tag));
+}
+
+/// FNV-1a, used for trace-cache integrity checksums.
+constexpr std::uint64_t fnv1a(const void* data, std::size_t n,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr bool is_pow2(std::size_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  return x <= 1 ? 1 : std::size_t{1} << (64 - std::countl_zero(x - 1));
+}
+
+}  // namespace otm

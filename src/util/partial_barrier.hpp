@@ -1,0 +1,77 @@
+// Partial barrier between block-matching threads (Sec. III-D-1).
+//
+// Thread i must wait only on threads j < i: later threads either match a
+// different receive or lose any conflict to i by constraint C2, and waiting
+// on *future* messages could stall the stream. Each thread publishes a value
+// (e.g. its modeled clock at barrier entry) and then sets its bit; waiters
+// spin until all lower bits are visible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/booking_bitmap.hpp"
+
+namespace otm {
+
+class PartialBarrier {
+ public:
+  explicit PartialBarrier(unsigned num_threads = kMaxBlockThreads) noexcept
+      : num_threads_(num_threads) {
+    OTM_ASSERT(num_threads_ <= kMaxBlockThreads);
+  }
+
+  void reset(unsigned num_threads) noexcept {
+    OTM_ASSERT(num_threads <= kMaxBlockThreads);
+    num_threads_ = num_threads;
+    bits_.store(0, std::memory_order_relaxed);
+    for (auto& v : published_) v.store(0, std::memory_order_relaxed);
+  }
+
+  /// Publish `value` and mark thread `tid` as arrived. The value is readable
+  /// by any thread that has observed the bit (release/acquire pairing).
+  void arrive(unsigned tid, std::uint64_t value = 0) noexcept {
+    OTM_ASSERT(tid < num_threads_);
+    published_[tid].store(value, std::memory_order_relaxed);
+    bits_.fetch_or(1u << tid, std::memory_order_release);
+  }
+
+  /// Spin until all threads j < tid have arrived.
+  void wait_lower(unsigned tid) const noexcept {
+    const std::uint32_t mask = (tid == 0) ? 0u : ((1u << tid) - 1u);
+    while ((bits_.load(std::memory_order_acquire) & mask) != mask) {
+      // Busy-wait: block threads are short-lived, run-to-completion tasks.
+    }
+  }
+
+  /// Value published by thread `tid` at arrival. Only meaningful after
+  /// wait_lower() has returned for a tid greater than `tid`.
+  std::uint64_t published(unsigned tid) const noexcept {
+    OTM_ASSERT(tid < num_threads_);
+    return published_[tid].load(std::memory_order_relaxed);
+  }
+
+  /// Max published value among threads j < tid (0 if tid == 0).
+  std::uint64_t max_published_lower(unsigned tid) const noexcept {
+    std::uint64_t m = 0;
+    for (unsigned j = 0; j < tid; ++j) {
+      const std::uint64_t v = published(j);
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  bool arrived(unsigned tid) const noexcept {
+    return (bits_.load(std::memory_order_acquire) & (1u << tid)) != 0;
+  }
+
+  unsigned size() const noexcept { return num_threads_; }
+
+ private:
+  unsigned num_threads_;
+  std::atomic<std::uint32_t> bits_{0};
+  std::atomic<std::uint64_t> published_[kMaxBlockThreads] = {};
+};
+
+}  // namespace otm

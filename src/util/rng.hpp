@@ -1,0 +1,93 @@
+// Deterministic PRNGs for workload generators and property tests.
+//
+// We avoid std::mt19937 in hot paths: xoshiro256** is faster and the small
+// state keeps per-rank generators cheap in the trace generators (thousands
+// of ranks).
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace otm {
+
+/// splitmix64: used to seed other generators and as a one-shot hash.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose generator for workloads and fuzzing.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction
+  /// (64x64->128 multiply done in 32-bit limbs to stay in standard C++).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const std::uint64_t x = (*this)();
+    const std::uint64_t x_lo = x & 0xFFFF'FFFFULL;
+    const std::uint64_t x_hi = x >> 32;
+    const std::uint64_t b_lo = bound & 0xFFFF'FFFFULL;
+    const std::uint64_t b_hi = bound >> 32;
+    const std::uint64_t ll = x_lo * b_lo;
+    const std::uint64_t lh = x_lo * b_hi;
+    const std::uint64_t hl = x_hi * b_lo;
+    const std::uint64_t hh = x_hi * b_hi;
+    const std::uint64_t carry = ((ll >> 32) + (lh & 0xFFFF'FFFFULL) +
+                                 (hl & 0xFFFF'FFFFULL)) >> 32;
+    return hh + (lh >> 32) + (hl >> 32) + carry;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace otm

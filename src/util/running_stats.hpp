@@ -1,0 +1,112 @@
+// Streaming statistics accumulators used by the trace analyzer and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace otm {
+
+/// Welford-style running mean/min/max/stddev over a stream of samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(o.count_);
+    const double delta = o.mean_ - mean_;
+    mean_ = (n1 * mean_ + n2 * o.mean_) / (n1 + n2);
+    m2_ += o.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += o.count_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sparse integer histogram (e.g. queue-depth distribution, tag usage).
+class Histogram {
+ public:
+  void add(std::int64_t bucket, std::uint64_t n = 1) { counts_[bucket] += n; }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+
+  std::uint64_t at(std::int64_t bucket) const noexcept {
+    const auto it = counts_.find(bucket);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::int64_t max_bucket() const noexcept {
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+  }
+
+  double mean() const noexcept {
+    const std::uint64_t t = total();
+    if (t == 0) return 0.0;
+    double s = 0.0;
+    for (const auto& [k, v] : counts_)
+      s += static_cast<double>(k) * static_cast<double>(v);
+    return s / static_cast<double>(t);
+  }
+
+  /// Value at quantile q in [0,1], by cumulative count.
+  std::int64_t quantile(double q) const noexcept {
+    const std::uint64_t t = total();
+    if (t == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(t));
+    std::uint64_t cum = 0;
+    for (const auto& [k, v] : counts_) {
+      cum += v;
+      if (cum > target) return k;
+    }
+    return counts_.rbegin()->first;
+  }
+
+  const std::map<std::int64_t, std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+};
+
+}  // namespace otm

@@ -1,0 +1,49 @@
+// Per-bin spinlock (Sec. IV-E: each bin entry carries a 4-byte remove lock).
+//
+// Matching threads on an on-NIC accelerator are run-to-completion tasks with
+// no blocking primitives, so contention is resolved by spinning. The lock is
+// only taken on structural mutation (insert, unlink); searches are lock-free
+// when lazy removal is enabled.
+#pragma once
+
+#include <atomic>
+
+namespace otm {
+
+class Spinlock {
+ public:
+  Spinlock() noexcept = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard; std::lock_guard works too, this one adds try semantics.
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& l) noexcept : lock_(l) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace otm

@@ -1,0 +1,113 @@
+#include "util/table_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace otm {
+
+TableWriter::TableWriter(std::vector<std::string> headers, Format format)
+    : format_(format), headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TableWriter::RowBuilder& TableWriter::RowBuilder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+TableWriter::RowBuilder& TableWriter::RowBuilder::cell(const char* s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+
+TableWriter::RowBuilder& TableWriter::RowBuilder::cell(double v, int precision) {
+  cells_.push_back(fmt_double(v, precision));
+  return *this;
+}
+
+TableWriter::RowBuilder& TableWriter::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+TableWriter::RowBuilder& TableWriter::RowBuilder::cell(std::uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+TableWriter::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+void TableWriter::print(std::ostream& os) const {
+  if (format_ == Format::kCsv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+    return;
+  }
+
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size(); ++i)
+      widths[i] = std::max(widths[i], r[i].size());
+
+  const char* sep = format_ == Format::kMarkdown ? " | " : "  ";
+  const char* edge = format_ == Format::kMarkdown ? "| " : "";
+  const char* redge = format_ == Format::kMarkdown ? " |" : "";
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << edge;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      if (i != 0) os << sep;
+      const std::string& c = i < cells.size() ? cells[i] : headers_[i];
+      os << c << std::string(widths[i] - c.size(), ' ');
+    }
+    os << redge << '\n';
+  };
+
+  emit(headers_);
+  os << edge;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i != 0) os << (format_ == Format::kMarkdown ? "-|-" : "  ");
+    os << std::string(widths[i], '-');
+  }
+  os << redge << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TableWriter::str() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_rate(double per_second) {
+  char buf[64];
+  if (per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f M/s", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f K/s", per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f /s", per_second);
+  }
+  return buf;
+}
+
+}  // namespace otm

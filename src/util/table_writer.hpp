@@ -1,0 +1,62 @@
+// Plain-text / CSV / markdown table formatting for benchmark output.
+//
+// Every bench binary prints the rows/series of the paper element it
+// regenerates; this writer keeps that output aligned and machine-parseable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace otm {
+
+class TableWriter {
+ public:
+  enum class Format { kText, kCsv, kMarkdown };
+
+  explicit TableWriter(std::vector<std::string> headers,
+                       Format format = Format::kText);
+
+  /// Add one row; cells beyond the header count are dropped, missing cells
+  /// are rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed cell types.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TableWriter& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(const char* s);
+    RowBuilder& cell(double v, int precision = 2);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(std::uint64_t v);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TableWriter& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  Format format_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by benches).
+std::string fmt_double(double v, int precision = 2);
+
+/// Format a rate as "X.XX M/s" style human output.
+std::string fmt_rate(double per_second);
+
+}  // namespace otm

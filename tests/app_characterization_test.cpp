@@ -1,0 +1,128 @@
+// Per-application characterization: each synthetic generator must exhibit
+// the matching profile its mini-app shows in the paper's Figs. 6-7 —
+// call mix, wildcard usage, 1-bin queue-depth band, and unexpected-message
+// tendency (wavefront sweeps produce many, receive-first halos almost none).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/analyzer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace otm::trace {
+namespace {
+
+enum class Mix { kPureP2p, kP2pDominant, kCollectiveOnly };
+
+struct AppProfile {
+  const char* name;
+  Mix mix;
+  bool uses_wildcards;
+  double min_depth1;  ///< avg queue depth band at 1 bin (loose)
+  double max_depth1;
+  bool sweep_like;  ///< wavefront: significant unexpected traffic
+};
+
+const AppProfile kProfiles[] = {
+    // name               mix                   wild   depth1 band   sweep
+    {"AMG", Mix::kP2pDominant, false, 0.5, 4.0, false},
+    {"AMR-MiniApp", Mix::kP2pDominant, true, 0.5, 4.0, false},
+    {"BigFFT", Mix::kPureP2p, false, 4.0, 20.0, false},
+    {"BoxLib-CNS", Mix::kP2pDominant, false, 3.0, 15.0, false},
+    {"BoxLib-MultiGrid", Mix::kP2pDominant, false, 0.5, 4.0, false},
+    {"CrystalRouter", Mix::kPureP2p, true, 2.0, 10.0, false},
+    {"FillBoundary", Mix::kPureP2p, false, 3.0, 15.0, false},
+    {"HILO", Mix::kCollectiveOnly, false, 0.0, 0.0, false},
+    {"HILO-2D", Mix::kCollectiveOnly, false, 0.0, 0.0, false},
+    {"LULESH", Mix::kP2pDominant, false, 3.0, 15.0, false},
+    {"MiniFE", Mix::kP2pDominant, false, 0.5, 4.0, false},
+    {"MOCFE", Mix::kP2pDominant, false, 0.1, 2.0, true},
+    {"MultiGrid", Mix::kP2pDominant, false, 0.5, 4.0, false},
+    {"Nekbone", Mix::kP2pDominant, false, 0.5, 4.0, false},
+    {"PARTISN", Mix::kP2pDominant, false, 0.1, 2.0, true},
+    {"SNAP", Mix::kP2pDominant, false, 0.1, 2.0, true},
+};
+
+class AppCharacterization : public ::testing::TestWithParam<AppProfile> {};
+
+TEST_P(AppCharacterization, MatchesPaperProfile) {
+  const AppProfile& p = GetParam();
+  const AppInfo* app = find_app(p.name);
+  ASSERT_NE(app, nullptr);
+  const Trace trace = app->make();
+
+  AnalyzerConfig cfg;
+  cfg.bins = 1;  // traditional matching: Fig. 7's leftmost column
+  const AppAnalysis a = TraceAnalyzer(cfg).analyze(trace);
+
+  switch (p.mix) {
+    case Mix::kPureP2p:
+      EXPECT_EQ(a.calls.collective, 0u);
+      EXPECT_GT(a.calls.p2p, 0u);
+      break;
+    case Mix::kP2pDominant:
+      EXPECT_GT(a.calls.pct_p2p(), 50.0);
+      EXPECT_GT(a.calls.collective, 0u);
+      break;
+    case Mix::kCollectiveOnly:
+      EXPECT_EQ(a.calls.p2p, 0u);
+      EXPECT_GT(a.calls.collective, 0u);
+      break;
+  }
+  EXPECT_EQ(a.calls.one_sided, 0u);
+
+  if (p.uses_wildcards) {
+    EXPECT_GT(a.wildcard_receives, 0u);
+  } else {
+    EXPECT_EQ(a.wildcard_receives, 0u);
+  }
+
+  EXPECT_GE(a.avg_queue_depth, p.min_depth1)
+      << p.name << " depth " << a.avg_queue_depth;
+  EXPECT_LE(a.avg_queue_depth, p.max_depth1)
+      << p.name << " depth " << a.avg_queue_depth;
+
+  if (p.mix != Mix::kCollectiveOnly) {
+    const double unexpected_ratio =
+        static_cast<double>(a.unexpected) /
+        static_cast<double>(a.messages == 0 ? 1 : a.messages);
+    if (p.sweep_like) {
+      // In the timestamp-ordered replay most sweep receives still precede
+      // their sends, but some racing remains (unlike receive-first halos,
+      // which are unexpected-free by construction).
+      EXPECT_GT(unexpected_ratio, 0.005)
+          << p.name << ": wavefront sweeps race sends ahead of receives";
+    } else {
+      EXPECT_LT(unexpected_ratio, 0.35)
+          << p.name << ": receive-first patterns rarely go unexpected";
+    }
+    EXPECT_EQ(a.dropped, 0u) << "analyzer tables must never overflow";
+  }
+}
+
+TEST_P(AppCharacterization, BinsCollapseDepth) {
+  const AppProfile& p = GetParam();
+  if (p.mix == Mix::kCollectiveOnly) GTEST_SKIP() << "no matching traffic";
+  const AppInfo* app = find_app(p.name);
+  const Trace trace = app->make();
+  AnalyzerConfig c1;
+  c1.bins = 1;
+  AnalyzerConfig c128;
+  c128.bins = 128;
+  const auto d1 = TraceAnalyzer(c1).analyze(trace).avg_queue_depth;
+  const auto d128 = TraceAnalyzer(c128).analyze(trace).avg_queue_depth;
+  EXPECT_LT(d128, 0.35 * d1 + 0.05)
+      << p.name << ": 128 bins must collapse the queue depth";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppCharacterization,
+                         ::testing::ValuesIn(kProfiles),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param.name;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace otm::trace

@@ -1,0 +1,153 @@
+// Tests for the software baselines: the traditional two-queue list matcher
+// (semantic reference) and the Flajslik-style bin matcher, including a
+// randomized cross-check that both implement identical MPI semantics.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "baseline/bin_matcher.hpp"
+#include "baseline/list_matcher.hpp"
+#include "util/rng.hpp"
+
+namespace otm {
+namespace {
+
+TEST(ListMatcher, PostThenArrive) {
+  ListMatcher m;
+  EXPECT_EQ(m.post({1, 2, 0}, 10), std::nullopt);
+  EXPECT_EQ(m.arrive({1, 2, 0}, 20), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.posted_size(), 0u);
+}
+
+TEST(ListMatcher, ArriveThenPost) {
+  ListMatcher m;
+  EXPECT_EQ(m.arrive({1, 2, 0}, 20), std::nullopt);
+  EXPECT_EQ(m.unexpected_size(), 1u);
+  EXPECT_EQ(m.post({1, 2, 0}, 10), std::optional<std::uint64_t>(20));
+  EXPECT_EQ(m.unexpected_size(), 0u);
+}
+
+TEST(ListMatcher, C1PostingOrder) {
+  ListMatcher m;
+  m.post({kAnySource, kAnyTag, 0}, 1);
+  m.post({5, 5, 0}, 2);
+  // Both receives match; the older (wildcard) one must win.
+  EXPECT_EQ(m.arrive({5, 5, 0}, 0), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(m.arrive({5, 5, 0}, 1), std::optional<std::uint64_t>(2));
+}
+
+TEST(ListMatcher, C2MessageOrder) {
+  ListMatcher m;
+  m.arrive({1, 1, 0}, 100);
+  m.arrive({1, 1, 0}, 101);
+  EXPECT_EQ(m.post({1, 1, 0}, 0), std::optional<std::uint64_t>(100));
+  EXPECT_EQ(m.post({1, 1, 0}, 1), std::optional<std::uint64_t>(101));
+}
+
+TEST(ListMatcher, WildcardReceiveMatchesAny) {
+  ListMatcher m;
+  m.arrive({7, 3, 0}, 55);
+  EXPECT_EQ(m.post({kAnySource, 3, 0}, 0), std::optional<std::uint64_t>(55));
+  m.arrive({7, 3, 0}, 56);
+  EXPECT_EQ(m.post({7, kAnyTag, 0}, 0), std::optional<std::uint64_t>(56));
+}
+
+TEST(BinMatcher, PostThenArrive) {
+  BinMatcher m(32);
+  EXPECT_EQ(m.post({1, 2, 0}, 10), std::nullopt);
+  EXPECT_EQ(m.arrive({1, 2, 0}, 20), std::optional<std::uint64_t>(10));
+}
+
+TEST(BinMatcher, TimestampArbitratesBinVsWildcard) {
+  BinMatcher m(32);
+  m.post({kAnySource, 5, 0}, 1);  // wildcard list, ts 0
+  m.post({2, 5, 0}, 2);           // bin, ts 1
+  EXPECT_EQ(m.arrive({2, 5, 0}, 0), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(m.arrive({2, 5, 0}, 1), std::optional<std::uint64_t>(2));
+}
+
+TEST(BinMatcher, TimestampArbitratesOtherOrder) {
+  BinMatcher m(32);
+  m.post({2, 5, 0}, 2);
+  m.post({kAnySource, 5, 0}, 1);
+  EXPECT_EQ(m.arrive({2, 5, 0}, 0), std::optional<std::uint64_t>(2));
+}
+
+TEST(BinMatcher, WildcardPostScansUnexpectedInArrivalOrder) {
+  BinMatcher m(32);
+  m.arrive({1, 1, 0}, 100);
+  m.arrive({2, 2, 0}, 101);
+  EXPECT_EQ(m.post({kAnySource, kAnyTag, 0}, 0), std::optional<std::uint64_t>(100));
+  EXPECT_EQ(m.post({kAnySource, kAnyTag, 0}, 1), std::optional<std::uint64_t>(101));
+}
+
+TEST(BinMatcher, ExactPostRemovesFromOrderList) {
+  BinMatcher m(32);
+  m.arrive({1, 1, 0}, 100);
+  m.arrive({2, 2, 0}, 101);
+  EXPECT_EQ(m.post({1, 1, 0}, 0), std::optional<std::uint64_t>(100));
+  // The order list must no longer contain message 100.
+  EXPECT_EQ(m.post({kAnySource, kAnyTag, 0}, 1), std::optional<std::uint64_t>(101));
+  EXPECT_EQ(m.unexpected_size(), 0u);
+}
+
+TEST(BinMatcher, SingleBinDegeneratesGracefully) {
+  BinMatcher m(1);
+  m.post({1, 1, 0}, 1);
+  m.post({2, 2, 0}, 2);
+  EXPECT_EQ(m.arrive({2, 2, 0}, 0), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(m.max_bin_depth(), 1u);
+}
+
+TEST(BinMatcher, AttemptsDropWithMoreBins) {
+  // The core claim of bin-based matching: more bins, fewer entries examined.
+  auto attempts_with = [](std::size_t bins) {
+    BinMatcher m(bins);
+    for (Tag t = 0; t < 64; ++t) m.post({1, t, 0}, static_cast<std::uint64_t>(t));
+    // Reverse arrival order forces scans past non-matching entries.
+    for (Tag t = 63; t >= 0; --t) m.arrive({1, t, 0}, static_cast<std::uint64_t>(t));
+    return m.stats().attempts;
+  };
+  const auto a1 = attempts_with(1);
+  const auto a32 = attempts_with(32);
+  const auto a128 = attempts_with(128);
+  EXPECT_GT(a1, a32);
+  EXPECT_GE(a32, a128);
+}
+
+// Randomized cross-check: list and bin matchers implement the same
+// sequential MPI semantics for any operation stream.
+class BaselineCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineCrossCheck, ListAndBinAgree) {
+  Xoshiro256 rng(GetParam());
+  ListMatcher list;
+  BinMatcher bins(16);
+  std::uint64_t next_recv = 0;
+  std::uint64_t next_msg = 1'000'000;
+
+  for (int op = 0; op < 2000; ++op) {
+    const Rank src = static_cast<Rank>(rng.below(4));
+    const Tag tag = static_cast<Tag>(rng.below(4));
+    if (rng.chance(0.5)) {
+      MatchSpec spec{src, tag, 0};
+      if (rng.chance(0.2)) spec.source = kAnySource;
+      if (rng.chance(0.2)) spec.tag = kAnyTag;
+      const auto id = next_recv++;
+      ASSERT_EQ(list.post(spec, id), bins.post(spec, id)) << "op " << op;
+    } else {
+      const Envelope env{src, tag, 0};
+      const auto id = next_msg++;
+      ASSERT_EQ(list.arrive(env, id), bins.arrive(env, id)) << "op " << op;
+    }
+  }
+  EXPECT_EQ(list.posted_size(), bins.posted_size());
+  EXPECT_EQ(list.unexpected_size(), bins.unexpected_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+}  // namespace
+}  // namespace otm

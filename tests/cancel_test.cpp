@@ -1,0 +1,162 @@
+// Tests for receive cancellation (MPI_Cancel semantics) at the engine,
+// endpoint and mini-MPI layers — including the sequence-id interaction
+// with the fast path and ordering after a mid-sequence cancel.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "mpi/mpi.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig tiny() {
+  MatchConfig c;
+  c.bins = 8;
+  c.block_size = 4;
+  c.max_receives = 32;
+  c.max_unexpected = 32;
+  c.early_booking_check = false;
+  return c;
+}
+
+TEST(EngineCancel, RemovesPendingReceive) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.post_receive({1, 5, 0}, /*buffer_addr=*/7, 0, /*cookie=*/42);
+  ASSERT_TRUE(eng.cancel_receive(42).has_value());
+  EXPECT_FALSE(eng.cancel_receive(42).has_value())
+      << "second cancel finds nothing";
+  const auto o = eng.process_one(IncomingMessage::make(1, 5, 0), ex);
+  EXPECT_EQ(o.kind, ArrivalOutcome::Kind::kUnexpected)
+      << "a cancelled receive must never match";
+  EXPECT_EQ(eng.receives().live_descriptors(), 0u) << "slot reclaimed";
+}
+
+TEST(EngineCancel, ReturnsBufferAddressOnceThenFails) {
+  MatchEngine eng(tiny());
+  eng.post_receive({1, 5, 0}, 0xABC, 0, 1);
+  const auto first = eng.cancel_receive(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 0xABCu);
+  EXPECT_FALSE(eng.cancel_receive(1).has_value());
+}
+
+TEST(EngineCancel, UnknownCookieFails) {
+  MatchEngine eng(tiny());
+  EXPECT_FALSE(eng.cancel_receive(99).has_value());
+}
+
+TEST(EngineCancel, MatchedReceiveCannotBeCancelled) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.post_receive({1, 5, 0}, 0, 0, 1);
+  eng.process_one(IncomingMessage::make(1, 5, 0), ex);
+  EXPECT_FALSE(eng.cancel_receive(1).has_value());
+}
+
+TEST(EngineCancel, MidSequenceCancelPreservesOrdering) {
+  // R0 R1 R2 same-key; cancel R1; messages must match R0 then R2.
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.post_receive({1, 5, 0}, 0, 0, 100);
+  eng.post_receive({1, 5, 0}, 0, 0, 101);
+  eng.post_receive({1, 5, 0}, 0, 0, 102);
+  ASSERT_TRUE(eng.cancel_receive(101).has_value());
+  std::vector<IncomingMessage> msgs(3, IncomingMessage::make(1, 5, 0));
+  const auto outs = eng.process(msgs, ex);
+  EXPECT_EQ(outs[0].receive_cookie, 100u);
+  EXPECT_EQ(outs[1].receive_cookie, 102u);
+  EXPECT_EQ(outs[2].kind, ArrivalOutcome::Kind::kUnexpected);
+}
+
+TEST(EngineCancel, PostAfterCancelStartsFreshSequence) {
+  MatchEngine eng(tiny());
+  eng.post_receive({1, 5, 0}, 0, 0, 1);
+  const auto slot_before = eng.receives().desc(0).seq_id;
+  (void)slot_before;
+  ASSERT_TRUE(eng.cancel_receive(1).has_value());
+  const auto a = eng.post_receive({1, 5, 0}, 0, 0, 2);
+  const auto b = eng.post_receive({1, 5, 0}, 0, 0, 3);
+  ASSERT_EQ(a.kind, PostOutcome::Kind::kPending);
+  ASSERT_EQ(b.kind, PostOutcome::Kind::kPending);
+  // The two fresh receives still form one compatible sequence together.
+  LockstepExecutor ex;
+  std::vector<IncomingMessage> msgs(2, IncomingMessage::make(1, 5, 0));
+  const auto outs = eng.process(msgs, ex);
+  EXPECT_EQ(outs[0].receive_cookie, 2u);
+  EXPECT_EQ(outs[1].receive_cookie, 3u);
+}
+
+TEST(MpiCancel, PendingReceiveCancelsAndCompletes) {
+  mpi::World world(2, {});
+  const mpi::Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(8);
+  auto req = world.proc(1).irecv(rx, 0, 5, comm);
+  EXPECT_FALSE(world.proc(1).test(req));
+  ASSERT_TRUE(world.proc(1).cancel(req));
+  EXPECT_TRUE(world.proc(1).test(req)) << "cancelled requests are complete";
+  EXPECT_TRUE(world.proc(1).cancelled(req));
+  EXPECT_FALSE(world.proc(1).cancel(req)) << "double cancel fails";
+}
+
+TEST(MpiCancel, SendRequestsCannotBeCancelled) {
+  mpi::World world(2, {});
+  const mpi::Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(8);
+  world.proc(1).irecv(rx, 0, 1, comm);
+  auto sreq = world.proc(0).isend(std::vector<std::byte>(8), 1, 1, comm);
+  EXPECT_FALSE(world.proc(0).cancel(sreq));
+}
+
+TEST(MpiCancel, CancelledReceiveNeverMatches) {
+  mpi::World world(2, {});
+  const mpi::Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx1(8);
+  std::vector<std::byte> rx2(8);
+  auto r1 = world.proc(1).irecv(rx1, 0, 4, comm);
+  auto r2 = world.proc(1).irecv(rx2, 0, 4, comm);
+  ASSERT_TRUE(world.proc(1).cancel(r1));
+  world.proc(0).send(std::vector<std::byte>(8, std::byte{0xEE}), 1, 4, comm);
+  world.proc(1).wait(r2);
+  EXPECT_EQ(rx2[0], std::byte{0xEE}) << "message skips the cancelled receive";
+  EXPECT_FALSE(world.proc(1).cancelled(r2));
+}
+
+TEST(MpiCancel, DeferredPostCancelsHostSide) {
+  mpi::WorldOptions opts;
+  opts.match.max_receives = 2;
+  mpi::World world(2, opts);
+  const mpi::Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> b0(8), b1(8), b2(8);
+  world.proc(1).irecv(b0, 0, 0, comm);
+  world.proc(1).irecv(b1, 0, 1, comm);
+  auto deferred = world.proc(1).irecv(b2, 0, 2, comm);  // queued host-side
+  ASSERT_EQ(world.proc(1).pending_posts(), 1u);
+  ASSERT_TRUE(world.proc(1).cancel(deferred));
+  EXPECT_EQ(world.proc(1).pending_posts(), 0u);
+}
+
+TEST(MpiCancel, HostPathCommCancel) {
+  mpi::World world(2, {});
+  mpi::CommInfo no_offload;
+  no_offload.offload = false;
+  const mpi::Comm comm = world.proc(0).comm_create(no_offload);
+  std::vector<std::byte> rx(8);
+  auto req = world.proc(1).irecv(rx, 0, 1, comm);
+  ASSERT_TRUE(world.proc(1).cancel(req));
+  EXPECT_TRUE(world.proc(1).cancelled(req));
+}
+
+TEST(MpiCancel, SoftwareBackendCancel) {
+  mpi::WorldOptions opts;
+  opts.backend = mpi::Backend::kSoftwareList;
+  mpi::World world(2, opts);
+  const mpi::Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(8);
+  auto req = world.proc(1).irecv(rx, 0, 1, comm);
+  ASSERT_TRUE(world.proc(1).cancel(req));
+  EXPECT_TRUE(world.proc(1).cancelled(req));
+}
+
+}  // namespace
+}  // namespace otm

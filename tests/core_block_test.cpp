@@ -1,0 +1,262 @@
+// Behavioral tests for the optimistic block matcher: conflict-free blocks,
+// fast-path and slow-path conflict resolution, fast-path aborts, unexpected
+// ordering, and equivalence across execution schedules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig config(unsigned block, bool fast_path = true) {
+  MatchConfig c;
+  c.bins = 16;
+  c.block_size = block;
+  c.max_receives = 128;
+  c.max_unexpected = 128;
+  c.enable_fast_path = fast_path;
+  // Disabled here so the lockstep schedule exposes the conflict paths: with
+  // the early booking check on, thread t+1 sees thread t's booking during
+  // its own (lockstep-serialized) search and sidesteps the conflict
+  // entirely. The check itself is covered by the store and oracle tests.
+  c.early_booking_check = false;
+  return c;
+}
+
+std::vector<IncomingMessage> same_messages(unsigned n, Rank src, Tag tag) {
+  std::vector<IncomingMessage> v;
+  for (unsigned i = 0; i < n; ++i) {
+    auto m = IncomingMessage::make(src, tag, 0);
+    m.wire_seq = i;
+    v.push_back(m);
+  }
+  return v;
+}
+
+TEST(BlockMatcher, NoConflictAllOptimistic) {
+  MatchEngine eng(config(4));
+  for (Tag t = 0; t < 4; ++t)
+    eng.post_receive({1, t, 0}, 0, 0, /*cookie=*/100 + static_cast<std::uint64_t>(t));
+
+  std::vector<IncomingMessage> msgs;
+  for (Tag t = 0; t < 4; ++t) msgs.push_back(IncomingMessage::make(1, t, 0));
+
+  LockstepExecutor ex;
+  const auto out = eng.process(msgs, ex);
+  ASSERT_EQ(out.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
+    EXPECT_EQ(out[i].receive_cookie, 100u + i);
+    EXPECT_EQ(out[i].path, ResolutionPath::kOptimistic);
+    EXPECT_FALSE(out[i].conflicted);
+  }
+  EXPECT_EQ(eng.stats().conflicts_detected, 0u);
+  EXPECT_EQ(eng.stats().fast_path_resolutions, 0u);
+  EXPECT_EQ(eng.stats().slow_path_resolutions, 0u);
+}
+
+TEST(BlockMatcher, WithConflictFastPath) {
+  // A compatible sequence long enough for the whole block: lockstep makes
+  // every thread book the head, then all but thread 0 shift (WC-FP).
+  constexpr unsigned kN = 4;
+  MatchEngine eng(config(kN));
+  for (unsigned i = 0; i < kN; ++i) eng.post_receive({1, 5, 0}, 0, 0, 200 + i);
+
+  LockstepExecutor ex;
+  const auto out = eng.process(same_messages(kN, 1, 5), ex);
+  ASSERT_EQ(out.size(), kN);
+  for (unsigned i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
+    EXPECT_EQ(out[i].receive_cookie, 200u + i)
+        << "message i must take the i-th receive of the sequence (C2)";
+  }
+  EXPECT_EQ(out[0].path, ResolutionPath::kOptimistic);
+  for (unsigned i = 1; i < kN; ++i)
+    EXPECT_EQ(out[i].path, ResolutionPath::kFastPath);
+  EXPECT_EQ(eng.stats().conflicts_detected, kN - 1);
+  EXPECT_EQ(eng.stats().fast_path_resolutions, kN - 1);
+  EXPECT_EQ(eng.stats().slow_path_resolutions, 0u);
+}
+
+TEST(BlockMatcher, WithConflictSlowPath) {
+  // Same workload with the fast path disabled: every loser re-searches.
+  constexpr unsigned kN = 4;
+  MatchEngine eng(config(kN, /*fast_path=*/false));
+  for (unsigned i = 0; i < kN; ++i) eng.post_receive({1, 5, 0}, 0, 0, 300 + i);
+
+  LockstepExecutor ex;
+  const auto out = eng.process(same_messages(kN, 1, 5), ex);
+  for (unsigned i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
+    EXPECT_EQ(out[i].receive_cookie, 300u + i);
+  }
+  EXPECT_EQ(out[0].path, ResolutionPath::kOptimistic);
+  for (unsigned i = 1; i < kN; ++i)
+    EXPECT_EQ(out[i].path, ResolutionPath::kSlowPath);
+  EXPECT_EQ(eng.stats().slow_path_resolutions, kN - 1);
+  EXPECT_EQ(eng.stats().fast_path_resolutions, 0u);
+}
+
+TEST(BlockMatcher, FastPathAbortFallsBackToSlowPath) {
+  // Sequence of 2 receives but a block of 4 identical messages: threads 2,3
+  // walk off the end, abort, and resolve via the slow path (unexpected).
+  constexpr unsigned kN = 4;
+  MatchEngine eng(config(kN));
+  eng.post_receive({1, 5, 0}, 0, 0, 400);
+  eng.post_receive({1, 5, 0}, 0, 0, 401);
+
+  LockstepExecutor ex;
+  const auto out = eng.process(same_messages(kN, 1, 5), ex);
+  EXPECT_EQ(out[0].kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(out[0].receive_cookie, 400u);
+  EXPECT_EQ(out[1].kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(out[1].receive_cookie, 401u);
+  EXPECT_EQ(out[2].kind, ArrivalOutcome::Kind::kUnexpected);
+  EXPECT_EQ(out[3].kind, ArrivalOutcome::Kind::kUnexpected);
+  EXPECT_EQ(eng.stats().fast_path_aborts, 2u);
+}
+
+TEST(BlockMatcher, BrokenSequenceRespectsInterposedWildcard) {
+  // R0(1,5), ANY/ANY, R1(1,5): message block of 3 x (1,5).
+  // Sequential semantics: msg0->R0, msg1->ANY (older than R1), msg2->R1.
+  MatchEngine eng(config(3));
+  eng.post_receive({1, 5, 0}, 0, 0, 500);
+  eng.post_receive({kAnySource, kAnyTag, 0}, 0, 0, 501);
+  eng.post_receive({1, 5, 0}, 0, 0, 502);
+
+  LockstepExecutor ex;
+  const auto out = eng.process(same_messages(3, 1, 5), ex);
+  EXPECT_EQ(out[0].receive_cookie, 500u);
+  EXPECT_EQ(out[1].receive_cookie, 501u)
+      << "the interposed wildcard receive is older than the sequence mate";
+  EXPECT_EQ(out[2].receive_cookie, 502u);
+}
+
+TEST(BlockMatcher, UnexpectedMessagesKeepArrivalOrder) {
+  MatchEngine eng(config(4));
+  std::vector<IncomingMessage> msgs = same_messages(4, 2, 9);
+  LockstepExecutor ex;
+  const auto out = eng.process(msgs, ex);
+  for (const auto& o : out) EXPECT_EQ(o.kind, ArrivalOutcome::Kind::kUnexpected);
+
+  // Posting receives now must drain the UMQ in wire order (C2).
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto p = eng.post_receive({2, 9, 0});
+    ASSERT_EQ(p.kind, PostOutcome::Kind::kMatchedUnexpected);
+    EXPECT_EQ(p.message.wire_seq, i);
+  }
+}
+
+TEST(BlockMatcher, MixedMatchAndUnexpectedInOneBlock) {
+  MatchEngine eng(config(4));
+  eng.post_receive({1, 0, 0}, 0, 0, 600);
+  eng.post_receive({1, 2, 0}, 0, 0, 602);
+
+  std::vector<IncomingMessage> msgs;
+  for (Tag t = 0; t < 4; ++t) {
+    auto m = IncomingMessage::make(1, t, 0);
+    m.wire_seq = static_cast<std::uint64_t>(t);
+    msgs.push_back(m);
+  }
+  LockstepExecutor ex;
+  const auto out = eng.process(msgs, ex);
+  EXPECT_EQ(out[0].kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(out[1].kind, ArrivalOutcome::Kind::kUnexpected);
+  EXPECT_EQ(out[2].kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(out[3].kind, ArrivalOutcome::Kind::kUnexpected);
+}
+
+TEST(BlockMatcher, PartialLastBlock) {
+  // 6 messages with block size 4: a full block then a block of 2.
+  MatchEngine eng(config(4));
+  for (unsigned i = 0; i < 6; ++i) eng.post_receive({1, 5, 0}, 0, 0, 700 + i);
+  LockstepExecutor ex;
+  const auto out = eng.process(same_messages(6, 1, 5), ex);
+  ASSERT_EQ(out.size(), 6u);
+  for (unsigned i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
+    EXPECT_EQ(out[i].receive_cookie, 700u + i);
+  }
+  EXPECT_EQ(eng.stats().blocks_processed, 2u);
+}
+
+TEST(BlockMatcher, BlockOfOneNeverConflicts) {
+  MatchEngine eng(config(1));
+  eng.post_receive({1, 5, 0}, 0, 0, 800);
+  LockstepExecutor ex;
+  const auto out = eng.process(same_messages(1, 1, 5), ex);
+  EXPECT_EQ(out[0].kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(eng.stats().conflicts_detected, 0u);
+}
+
+// The three execution schedules must produce identical pairings for the
+// conflict-heavy workload (different paths are allowed, outcomes are not).
+class ExecutorEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorEquivalence, SameKeyBurst) {
+  constexpr unsigned kN = 8;
+  auto run = [&](BlockExecutor& ex) {
+    MatchEngine eng(config(kN));
+    for (unsigned i = 0; i < kN + 4; ++i) eng.post_receive({1, 5, 0}, 0, 0, i);
+    std::vector<std::uint64_t> cookies;
+    for (const auto& o : eng.process(same_messages(kN, 1, 5), ex))
+      cookies.push_back(o.kind == ArrivalOutcome::Kind::kMatched
+                            ? o.receive_cookie
+                            : ~std::uint64_t{0});
+    return cookies;
+  };
+  LockstepExecutor lockstep;
+  SequentialExecutor sequential;
+  ThreadedExecutor threaded;
+  const auto a = run(lockstep);
+  const auto b = run(sequential);
+  ASSERT_EQ(a, b);
+  for (int round = 0; round < GetParam(); ++round) {
+    const auto c = run(threaded);
+    EXPECT_EQ(a, c) << "threaded schedule diverged in round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ExecutorEquivalence, ::testing::Values(10));
+
+TEST(BlockMatcher, ModeledSlowPathCostsMoreThanFastPath) {
+  constexpr unsigned kN = 8;
+  const CostTable costs = CostTable::dpa();
+  auto run = [&](bool fast) {
+    MatchConfig c = config(kN, fast);
+    MatchEngine eng(c, &costs);
+    for (unsigned i = 0; i < kN; ++i) eng.post_receive({1, 5, 0}, 0, 0, i);
+    LockstepExecutor ex;
+    eng.process(same_messages(kN, 1, 5), ex);
+    return eng.last_finish_cycles();
+  };
+  const auto fast_cycles = run(true);
+  const auto slow_cycles = run(false);
+  EXPECT_LT(fast_cycles, slow_cycles)
+      << "slow-path serialization must dominate the modeled clock";
+}
+
+TEST(BlockMatcher, ModeledConflictFreeIsCheapest) {
+  constexpr unsigned kN = 8;
+  const CostTable costs = CostTable::dpa();
+  // No-conflict: distinct tags.
+  MatchEngine nc(config(kN), &costs);
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < kN; ++i) {
+    nc.post_receive({1, static_cast<Tag>(i), 0}, 0, 0, i);
+    msgs.push_back(IncomingMessage::make(1, static_cast<Tag>(i), 0));
+  }
+  LockstepExecutor ex;
+  nc.process(msgs, ex);
+
+  MatchEngine wc(config(kN), &costs);
+  for (unsigned i = 0; i < kN; ++i) wc.post_receive({1, 5, 0}, 0, 0, i);
+  wc.process(same_messages(kN, 1, 5), ex);
+
+  EXPECT_LT(nc.last_finish_cycles(), wc.last_finish_cycles());
+}
+
+}  // namespace
+}  // namespace otm

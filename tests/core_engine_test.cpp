@@ -1,0 +1,164 @@
+// Engine-level tests: the Fig. 1 post/arrive flows, unexpected handling,
+// software-fallback signaling, and statistics bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig tiny() {
+  MatchConfig c;
+  c.bins = 8;
+  c.block_size = 4;
+  c.max_receives = 16;
+  c.max_unexpected = 8;
+  return c;
+}
+
+TEST(Engine, PostThenArriveMatches) {
+  MatchEngine eng(tiny());
+  const auto p = eng.post_receive({1, 2, 0}, 0xBEEF, 64, 42);
+  EXPECT_EQ(p.kind, PostOutcome::Kind::kPending);
+
+  LockstepExecutor ex;
+  const auto o = eng.process_one(IncomingMessage::make(1, 2, 0, 16), ex);
+  EXPECT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(o.receive_cookie, 42u);
+  EXPECT_EQ(o.buffer_addr, 0xBEEFu);
+  EXPECT_EQ(o.buffer_capacity, 64u);
+  EXPECT_EQ(o.payload_bytes, 16u);
+}
+
+TEST(Engine, ArriveThenPostMatchesUnexpected) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  IncomingMessage m = IncomingMessage::make(1, 2, 0, 32);
+  m.wire_seq = 77;
+  const auto o = eng.process_one(m, ex);
+  EXPECT_EQ(o.kind, ArrivalOutcome::Kind::kUnexpected);
+
+  const auto p = eng.post_receive({1, 2, 0});
+  ASSERT_EQ(p.kind, PostOutcome::Kind::kMatchedUnexpected);
+  EXPECT_EQ(p.message.wire_seq, 77u);
+  EXPECT_EQ(p.message.payload_bytes, 32u);
+  EXPECT_EQ(eng.unexpected().size(), 0u) << "matched message must be removed";
+}
+
+TEST(Engine, WildcardPostDrainsUnexpected) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.process_one(IncomingMessage::make(3, 9, 0), ex);
+  const auto p = eng.post_receive({kAnySource, kAnyTag, 0});
+  EXPECT_EQ(p.kind, PostOutcome::Kind::kMatchedUnexpected);
+}
+
+TEST(Engine, ReceiveTableFullSignalsFallback) {
+  MatchEngine eng(tiny());
+  for (std::size_t i = 0; i < tiny().max_receives; ++i)
+    EXPECT_EQ(eng.post_receive({1, static_cast<Tag>(i), 0}).kind,
+              PostOutcome::Kind::kPending);
+  EXPECT_EQ(eng.post_receive({1, 999, 0}).kind, PostOutcome::Kind::kFallback);
+  EXPECT_EQ(eng.stats().post_fallbacks, 1u);
+}
+
+TEST(Engine, UnexpectedTableFullDropsWithSignal) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  std::vector<IncomingMessage> msgs;
+  for (std::size_t i = 0; i <= tiny().max_unexpected; ++i)
+    msgs.push_back(IncomingMessage::make(1, static_cast<Tag>(i), 0));
+  const auto out = eng.process(msgs, ex);
+  unsigned dropped = 0;
+  for (const auto& o : out)
+    if (o.kind == ArrivalOutcome::Kind::kDropped) ++dropped;
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(Engine, SlotReuseAfterMatchAllowsMoreReceives) {
+  // Post/arrive cycles far beyond table capacity must not exhaust it.
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  for (int round = 0; round < 100; ++round) {
+    const auto p = eng.post_receive({1, 1, 0}, 0, 0, static_cast<std::uint64_t>(round));
+    ASSERT_EQ(p.kind, PostOutcome::Kind::kPending) << "round " << round;
+    const auto o = eng.process_one(IncomingMessage::make(1, 1, 0), ex);
+    ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
+    ASSERT_EQ(o.receive_cookie, static_cast<std::uint64_t>(round));
+  }
+  EXPECT_EQ(eng.stats().messages_matched, 100u);
+}
+
+TEST(Engine, EagerRemovalModeAlsoReusesSlots) {
+  MatchConfig c = tiny();
+  c.lazy_removal = false;
+  MatchEngine eng(c);
+  LockstepExecutor ex;
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_EQ(eng.post_receive({1, 1, 0}).kind, PostOutcome::Kind::kPending);
+    ASSERT_EQ(eng.process_one(IncomingMessage::make(1, 1, 0), ex).kind,
+              ArrivalOutcome::Kind::kMatched);
+  }
+  EXPECT_EQ(eng.stats().eager_removals, 50u);
+  EXPECT_EQ(eng.receives().live_descriptors(), 0u);
+}
+
+TEST(Engine, StatsAddUp) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.post_receive({1, 1, 0});
+  eng.post_receive({1, 2, 0});
+  std::vector<IncomingMessage> msgs = {IncomingMessage::make(1, 1, 0),
+                                       IncomingMessage::make(1, 2, 0),
+                                       IncomingMessage::make(1, 3, 0)};
+  eng.process(msgs, ex);
+  const auto& s = eng.stats();
+  EXPECT_EQ(s.receives_posted, 2u);
+  EXPECT_EQ(s.messages_processed, 3u);
+  EXPECT_EQ(s.messages_matched, 2u);
+  EXPECT_EQ(s.messages_unexpected, 1u);
+  EXPECT_EQ(s.blocks_processed, 1u);
+}
+
+TEST(Engine, MultiCommunicatorIsolation) {
+  // One engine serving two communicators: envelopes must never cross.
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.post_receive({1, 1, /*comm=*/0}, 0, 0, 10);
+  eng.post_receive({1, 1, /*comm=*/1}, 0, 0, 11);
+  const auto o1 = eng.process_one(IncomingMessage::make(1, 1, 1), ex);
+  EXPECT_EQ(o1.receive_cookie, 11u);
+  const auto o0 = eng.process_one(IncomingMessage::make(1, 1, 0), ex);
+  EXPECT_EQ(o0.receive_cookie, 10u);
+}
+
+TEST(Engine, ArrivalCyclesOffsetModeledClocks) {
+  const CostTable costs = CostTable::dpa();
+  MatchConfig c = tiny();
+  MatchEngine eng(c, &costs);
+  eng.post_receive({1, 1, 0});
+  LockstepExecutor ex;
+  const std::vector<IncomingMessage> msgs = {IncomingMessage::make(1, 1, 0)};
+  const std::vector<std::uint64_t> starts = {5000};
+  const auto out = eng.process(msgs, ex, starts);
+  EXPECT_GT(out[0].finish_cycles, 5000u);
+}
+
+TEST(Engine, RendezvousFieldsFlowThroughMatch) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  eng.post_receive({4, 4, 0}, 0x2000, 4096, 1);
+  IncomingMessage m = IncomingMessage::make(4, 4, 0, 4096);
+  m.protocol = Protocol::kRendezvous;
+  m.remote_key = 0x77;
+  m.remote_addr = 0x9000;
+  const auto o = eng.process_one(m, ex);
+  ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(o.protocol, Protocol::kRendezvous);
+  EXPECT_EQ(o.remote_key, 0x77u);
+  EXPECT_EQ(o.remote_addr, 0x9000u);
+  EXPECT_EQ(o.buffer_addr, 0x2000u);
+}
+
+}  // namespace
+}  // namespace otm

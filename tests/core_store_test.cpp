@@ -1,0 +1,249 @@
+// Unit tests for the posted-receive store: indexing by wildcard class,
+// C1-ordered search across indexes, compatible-sequence ids, lazy removal,
+// capacity fallback, fast-path walks and depth metrics.
+#include <gtest/gtest.h>
+
+#include "core/receive_store.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig small_config() {
+  MatchConfig c;
+  c.bins = 8;
+  c.block_size = 4;
+  c.max_receives = 32;
+  c.max_unexpected = 32;
+  return c;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : store_(small_config()) {}
+
+  std::uint32_t post(Rank src, Tag tag, std::uint64_t cookie = 0) {
+    const auto r = store_.post({src, tag, 0}, 0, 0, cookie);
+    EXPECT_FALSE(r.fallback);
+    return r.slot;
+  }
+
+  std::uint32_t search(Rank src, Tag tag, unsigned tid = 0,
+                       bool early_skip = false, std::uint32_t gen = 1) {
+    const IncomingMessage m = IncomingMessage::make(src, tag, 0);
+    return store_.search(m, gen, tid, early_skip, clock_, local_);
+  }
+
+  ReceiveStore store_;
+  ThreadClock clock_;
+  SearchLocal local_{};
+};
+
+TEST_F(StoreTest, ExactReceiveFound) {
+  const auto slot = post(3, 7);
+  EXPECT_EQ(search(3, 7), slot);
+  EXPECT_EQ(search(3, 8), kInvalidSlot);
+  EXPECT_EQ(search(4, 7), kInvalidSlot);
+}
+
+TEST_F(StoreTest, WildcardClassesEachMatch) {
+  const auto s_none = post(1, 1);
+  const auto r1 = store_.post({kAnySource, 2, 0}, 0, 0, 0);
+  const auto r2 = store_.post({3, kAnyTag, 0}, 0, 0, 0);
+  const auto r3 = store_.post({kAnySource, kAnyTag, 0}, 0, 0, 0);
+
+  EXPECT_EQ(search(1, 1), s_none);
+  EXPECT_EQ(search(99, 2), r1.slot) << "any-source receive matches tag 2";
+  EXPECT_EQ(search(3, 99), r2.slot) << "any-tag receive matches source 3";
+  // (9, 9) matches only the double wildcard.
+  EXPECT_EQ(search(9, 9), r3.slot);
+}
+
+TEST_F(StoreTest, CommMismatchNeverMatches) {
+  store_.post({1, 1, /*comm=*/5}, 0, 0, 0);
+  EXPECT_EQ(search(1, 1), kInvalidSlot) << "message comm 0, receive comm 5";
+}
+
+TEST_F(StoreTest, OldestAcrossIndexesWins) {
+  // C1: a no-wildcard receive posted *after* a matching wildcard receive
+  // must lose to it.
+  const auto wild = store_.post({kAnySource, kAnyTag, 0}, 0, 0, 0);
+  post(2, 2);
+  EXPECT_EQ(search(2, 2), wild.slot);
+}
+
+TEST_F(StoreTest, OldestAcrossIndexesWinsOtherOrder) {
+  const auto exact = post(2, 2);
+  store_.post({kAnySource, kAnyTag, 0}, 0, 0, 0);
+  EXPECT_EQ(search(2, 2), exact);
+}
+
+TEST_F(StoreTest, SameKeyChainOrderedByPosting) {
+  const auto first = post(5, 5, /*cookie=*/100);
+  post(5, 5, /*cookie=*/101);
+  EXPECT_EQ(search(5, 5), first);
+}
+
+TEST_F(StoreTest, ConsumedEntriesAreSkipped) {
+  const auto first = post(5, 5);
+  const auto second = post(5, 5);
+  ASSERT_TRUE(store_.desc(first).try_consume());
+  EXPECT_EQ(search(5, 5), second);
+}
+
+TEST_F(StoreTest, EarlyBookingSkipAvoidsLowerBookedReceive) {
+  const auto first = post(5, 5);
+  const auto second = post(5, 5);
+  store_.desc(first).booking.book(/*gen=*/1, /*tid=*/0);
+  // Thread 2 with early skip must bypass the receive booked by thread 0.
+  EXPECT_EQ(search(5, 5, /*tid=*/2, /*early_skip=*/true, /*gen=*/1), second);
+  EXPECT_EQ(local_.early_skips, 1u);
+  // Without early skip it still returns the first one.
+  EXPECT_EQ(search(5, 5, /*tid=*/2, /*early_skip=*/false, /*gen=*/1), first);
+  // A different generation makes the booking stale.
+  EXPECT_EQ(search(5, 5, /*tid=*/2, /*early_skip=*/true, /*gen=*/2), first);
+}
+
+TEST_F(StoreTest, SequenceIdTracksCompatibility) {
+  const auto a = post(1, 1);
+  const auto b = post(1, 1);
+  const auto c = post(1, 2);  // incompatible: different tag
+  const auto d = post(1, 1);  // new sequence, not a's
+  EXPECT_EQ(store_.desc(a).seq_id, store_.desc(b).seq_id);
+  EXPECT_NE(store_.desc(b).seq_id, store_.desc(c).seq_id);
+  EXPECT_NE(store_.desc(a).seq_id, store_.desc(d).seq_id);
+}
+
+TEST_F(StoreTest, WildcardPostsBreakSequences) {
+  const auto a = post(1, 1);
+  store_.post({kAnySource, 1, 0}, 0, 0, 0);
+  const auto b = post(1, 1);
+  EXPECT_NE(store_.desc(a).seq_id, store_.desc(b).seq_id)
+      << "a wildcard receive posted in between must break the sequence";
+}
+
+TEST_F(StoreTest, FastPathWalk) {
+  const auto r0 = post(1, 1);
+  const auto r1 = post(1, 1);
+  const auto r2 = post(1, 1);
+  const Envelope env{1, 1, 0};
+  EXPECT_EQ(store_.fast_path_candidate(r0, env, 1, clock_, local_), r1);
+  EXPECT_EQ(store_.fast_path_candidate(r0, env, 2, clock_, local_), r2);
+  EXPECT_EQ(store_.fast_path_candidate(r0, env, 3, clock_, local_), kInvalidSlot)
+      << "walk past the end of the sequence must abort";
+}
+
+TEST_F(StoreTest, FastPathWalkAbortsOnBrokenSequence) {
+  const auto r0 = post(1, 1);
+  post(2, 2);  // breaks the sequence
+  post(1, 1);  // same key, later sequence
+  const Envelope env{1, 1, 0};
+  EXPECT_EQ(store_.fast_path_candidate(r0, env, 1, clock_, local_), kInvalidSlot);
+}
+
+TEST_F(StoreTest, TableExhaustionSignalsFallback) {
+  const auto cap = store_.capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_FALSE(store_.post({1, static_cast<Tag>(i), 0}, 0, 0, 0).fallback);
+  }
+  EXPECT_TRUE(store_.post({1, 999, 0}, 0, 0, 0).fallback);
+}
+
+TEST_F(StoreTest, LazyRemovalReclaimsAtCapacity) {
+  const auto cap = store_.capacity();
+  std::vector<std::uint32_t> slots;
+  for (std::size_t i = 0; i < cap; ++i)
+    slots.push_back(post(1, static_cast<Tag>(i)));
+  // Consume everything (lazily: still chained).
+  for (const auto s : slots) ASSERT_TRUE(store_.desc(s).try_consume());
+  // A further post must succeed by reclaiming consumed slots.
+  EXPECT_FALSE(store_.post({2, 2, 0}, 0, 0, 0).fallback);
+  EXPECT_GE(store_.lazy_removals(), cap);
+}
+
+TEST_F(StoreTest, InsertTimeCleanupUnlinksConsumed) {
+  const auto a = post(1, 1);
+  ASSERT_TRUE(store_.desc(a).try_consume());
+  // Posting into the same bin cleans the consumed entry.
+  const auto live_before = store_.live_descriptors();
+  post(1, 1);
+  EXPECT_LE(store_.live_descriptors(), live_before);
+  EXPECT_EQ(store_.lazy_removals(), 1u);
+}
+
+TEST_F(StoreTest, UnlinkAndReleaseFreesSlot) {
+  const auto a = post(1, 1);
+  const auto b = post(1, 1);
+  ASSERT_TRUE(store_.desc(a).try_consume());
+  store_.unlink_and_release(a);
+  EXPECT_EQ(search(1, 1), b);
+  EXPECT_EQ(store_.live_descriptors(), 1u);
+}
+
+TEST_F(StoreTest, CleanupAllReclaimsEverything) {
+  std::vector<std::uint32_t> slots;
+  for (int i = 0; i < 10; ++i) slots.push_back(post(i, i));
+  for (const auto s : slots) ASSERT_TRUE(store_.desc(s).try_consume());
+  EXPECT_EQ(store_.cleanup_all(), 10u);
+  EXPECT_EQ(store_.live_descriptors(), 0u);
+  EXPECT_EQ(store_.posted_count(), 0u);
+}
+
+TEST_F(StoreTest, DepthMetricsReflectChains) {
+  // One bin gets 3 same-key receives; a distinct key lands elsewhere.
+  post(1, 1);
+  post(1, 1);
+  post(1, 1);
+  post(2, 7);
+  const auto m = store_.depth_metrics();
+  EXPECT_EQ(m.live_entries, 4u);
+  EXPECT_EQ(m.max_chain, 3u);
+  EXPECT_GT(m.empty_bin_fraction, 0.5);
+}
+
+TEST_F(StoreTest, SearchAttemptsCounted) {
+  post(1, 1);
+  post(1, 1);
+  search(1, 1);
+  EXPECT_GE(local_.attempts, 1u);
+  EXPECT_EQ(local_.index_searches, kNumIndexes);
+}
+
+TEST_F(StoreTest, InlineHashesMatchComputedRouting) {
+  // A message with inline hashes must find the same receive as one without.
+  const auto slot = post(6, 13);
+  IncomingMessage with = IncomingMessage::make(6, 13, 0);
+  IncomingMessage without = with;
+  without.has_inline_hashes = false;
+  EXPECT_EQ(store_.search(with, 1, 0, false, clock_, local_), slot);
+  EXPECT_EQ(store_.search(without, 1, 0, false, clock_, local_), slot);
+}
+
+TEST(StoreConfig, SingleBinDegeneratesToList) {
+  MatchConfig c;
+  c.bins = 1;
+  c.max_receives = 16;
+  c.max_unexpected = 16;
+  ReceiveStore store(c);
+  ThreadClock clock;
+  SearchLocal local;
+  const auto a = store.post({1, 1, 0}, 0, 0, 0);
+  const auto b = store.post({2, 2, 0}, 0, 0, 0);
+  (void)b;
+  const IncomingMessage m = IncomingMessage::make(1, 1, 0);
+  EXPECT_EQ(store.search(m, 1, 0, false, clock, local), a.slot);
+  // Both receives share the single bin: searching (1,1) walks over both
+  // index-0 entries plus the empty other indexes.
+  EXPECT_GE(local.attempts, 1u);
+}
+
+TEST(StoreConfig, MemoryFootprintMatchesPaper) {
+  // Sec. IV-E: 128 bins -> 7.5 KiB of bins; 8K receives -> ~520 KiB total.
+  const auto f = MemoryFootprint::of(128, 8 * 1024);
+  EXPECT_EQ(f.bin_bytes, 3u * 128u * 20u);
+  EXPECT_EQ(f.bin_bytes, 7680u);  // 7.5 KiB
+  EXPECT_EQ(f.descriptor_bytes, 8u * 1024u * 64u);
+  EXPECT_NEAR(static_cast<double>(f.total()) / 1024.0, 519.5, 0.1);
+}
+
+}  // namespace
+}  // namespace otm

@@ -1,0 +1,139 @@
+// Unit tests for the unexpected-message store: all-index chaining,
+// class-specific probing at post time, arrival-order matching (C2) and
+// O(1) removal from every chain.
+#include <gtest/gtest.h>
+
+#include "core/unexpected_store.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig small_config() {
+  MatchConfig c;
+  c.bins = 8;
+  c.max_receives = 32;
+  c.max_unexpected = 16;
+  return c;
+}
+
+class UmTest : public ::testing::Test {
+ protected:
+  UmTest() : store_(small_config()) {}
+
+  std::uint32_t insert(Rank src, Tag tag, std::uint64_t seq = 0) {
+    IncomingMessage m = IncomingMessage::make(src, tag, 0);
+    m.wire_seq = seq;
+    return store_.insert(m, clock_);
+  }
+
+  std::uint32_t search(const MatchSpec& spec) {
+    std::uint64_t attempts = 0;
+    return store_.search(spec, clock_, attempts);
+  }
+
+  UnexpectedStore store_;
+  ThreadClock clock_;
+};
+
+TEST_F(UmTest, ExactSpecFindsMessage) {
+  const auto slot = insert(3, 7);
+  EXPECT_EQ(search({3, 7, 0}), slot);
+  EXPECT_EQ(search({3, 8, 0}), kInvalidSlot);
+}
+
+TEST_F(UmTest, EveryWildcardClassFindsTheMessage) {
+  const auto slot = insert(3, 7);
+  EXPECT_EQ(search({3, 7, 0}), slot);
+  EXPECT_EQ(search({kAnySource, 7, 0}), slot);
+  EXPECT_EQ(search({3, kAnyTag, 0}), slot);
+  EXPECT_EQ(search({kAnySource, kAnyTag, 0}), slot);
+}
+
+TEST_F(UmTest, CommMismatchDoesNotMatch) {
+  insert(3, 7);
+  EXPECT_EQ(search({3, 7, /*comm=*/2}), kInvalidSlot);
+}
+
+TEST_F(UmTest, ArrivalOrderPreservedPerClass) {
+  const auto first = insert(1, 5, /*seq=*/10);
+  insert(1, 5, /*seq=*/11);
+  // Every probing class must return the *older* message (C2).
+  EXPECT_EQ(search({1, 5, 0}), first);
+  EXPECT_EQ(search({kAnySource, 5, 0}), first);
+  EXPECT_EQ(search({1, kAnyTag, 0}), first);
+  EXPECT_EQ(search({kAnySource, kAnyTag, 0}), first);
+}
+
+TEST_F(UmTest, WildcardSearchSeesOlderAcrossKeys) {
+  // Two different-key messages; an any/any receive must match the older.
+  const auto older = insert(1, 1, 0);
+  insert(2, 2, 1);
+  EXPECT_EQ(search({kAnySource, kAnyTag, 0}), older);
+}
+
+TEST_F(UmTest, RemoveUnlinksFromAllIndexes) {
+  const auto a = insert(1, 5, 100);
+  const auto b = insert(1, 5, 101);
+  const auto out = store_.remove(a);
+  EXPECT_EQ(out.wire_seq, 100u);
+  EXPECT_EQ(store_.size(), 1u);
+  // After removing the head, every class finds the second message.
+  EXPECT_EQ(search({1, 5, 0}), b);
+  EXPECT_EQ(search({kAnySource, 5, 0}), b);
+  EXPECT_EQ(search({1, kAnyTag, 0}), b);
+  EXPECT_EQ(search({kAnySource, kAnyTag, 0}), b);
+}
+
+TEST_F(UmTest, RemoveMiddleOfChain) {
+  insert(2, 2, 0);
+  const auto mid = insert(2, 2, 1);
+  insert(2, 2, 2);
+  store_.remove(mid);
+  // Chain must still contain messages 0 and 2 in order.
+  const auto hit = search({2, 2, 0});
+  EXPECT_EQ(store_.desc(hit).wire_seq, 0u);
+  store_.remove(hit);
+  const auto hit2 = search({2, 2, 0});
+  EXPECT_EQ(store_.desc(hit2).wire_seq, 2u);
+  store_.remove(hit2);
+  EXPECT_EQ(search({2, 2, 0}), kInvalidSlot);
+  EXPECT_EQ(store_.size(), 0u);
+}
+
+TEST_F(UmTest, CapacityExhaustionReturnsInvalid) {
+  for (std::size_t i = 0; i < store_.capacity(); ++i)
+    EXPECT_NE(insert(1, static_cast<Tag>(i)), kInvalidSlot);
+  EXPECT_EQ(insert(9, 9), kInvalidSlot);
+  // Removing one frees a slot again.
+  store_.remove(search({1, 0, 0}));
+  EXPECT_NE(insert(9, 9), kInvalidSlot);
+}
+
+TEST_F(UmTest, MessagePayloadFieldsPreserved) {
+  IncomingMessage m = IncomingMessage::make(4, 2, 0, /*bytes=*/512);
+  m.protocol = Protocol::kRendezvous;
+  m.remote_key = 0xAB;
+  m.remote_addr = 0x1000;
+  m.bounce_handle = 77;
+  m.wire_seq = 9;
+  const auto slot = store_.insert(m, clock_);
+  const auto out = store_.remove(slot);
+  EXPECT_EQ(out.protocol, Protocol::kRendezvous);
+  EXPECT_EQ(out.payload_bytes, 512u);
+  EXPECT_EQ(out.remote_key, 0xABu);
+  EXPECT_EQ(out.remote_addr, 0x1000u);
+  EXPECT_EQ(out.bounce_handle, 77u);
+  EXPECT_EQ(out.wire_seq, 9u);
+}
+
+TEST_F(UmTest, DepthMetrics) {
+  insert(1, 1);
+  insert(1, 1);
+  insert(2, 2);
+  const auto m = store_.depth_metrics();
+  EXPECT_EQ(m.entries, 3u);
+  EXPECT_GE(m.max_chain, 3u) << "the any/any list chains all messages";
+}
+
+}  // namespace
+}  // namespace otm

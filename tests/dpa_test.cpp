@@ -1,0 +1,143 @@
+// Tests for the DPA simulator: core-sharing cost scaling, serial CQE
+// dispatch, hart-slot pipelining, and the offload's headline property —
+// zero host matching cycles.
+#include <gtest/gtest.h>
+
+#include "dpa/accelerator.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig match_cfg(unsigned block) {
+  MatchConfig c;
+  c.bins = 64;
+  c.block_size = block;
+  c.max_receives = 256;
+  c.max_unexpected = 256;
+  return c;
+}
+
+std::vector<IncomingMessage> distinct_messages(unsigned n) {
+  std::vector<IncomingMessage> v;
+  for (unsigned i = 0; i < n; ++i)
+    v.push_back(IncomingMessage::make(1, static_cast<Tag>(i), 0));
+  return v;
+}
+
+TEST(DpaConfig, SharingFactor) {
+  DpaConfig c;
+  c.execution_units = 16;
+  EXPECT_EQ(c.sharing_factor(1), 1u);
+  EXPECT_EQ(c.sharing_factor(16), 1u);
+  EXPECT_EQ(c.sharing_factor(17), 2u);
+  EXPECT_EQ(c.sharing_factor(32), 2u);
+  EXPECT_EQ(c.sharing_factor(33), 3u);
+}
+
+TEST(DpaConfig, SharedCostsScaleComputeNotSync) {
+  DpaConfig c;
+  c.execution_units = 16;
+  const CostTable shared = c.shared_costs(32);
+  EXPECT_EQ(shared.chain_step, c.costs.chain_step * 2);
+  EXPECT_EQ(shared.hash_compute, c.costs.hash_compute * 2);
+  EXPECT_EQ(shared.barrier_overhead, c.costs.barrier_overhead)
+      << "waiting harts burn no issue slots";
+  EXPECT_EQ(shared.slow_path_sync, c.costs.slow_path_sync);
+}
+
+TEST(DpaConfig, ClockConversionRoundTrips) {
+  DpaConfig c;
+  c.clock_ghz = 1.5;
+  EXPECT_DOUBLE_EQ(c.cycles_to_ns(1500), 1000.0);
+  EXPECT_EQ(c.ns_to_cycles(1000.0), 1500u);
+}
+
+TEST(DpaAccelerator, MatchesAndAdvancesClock) {
+  DpaAccelerator dpa(DpaConfig{}, match_cfg(4));
+  for (Tag t = 0; t < 4; ++t)
+    dpa.post_receive({1, t, 0}, 0, 0, 10 + static_cast<std::uint64_t>(t));
+  const auto out = dpa.deliver(distinct_messages(4));
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
+    EXPECT_EQ(out[i].receive_cookie, 10u + i);
+  }
+  EXPECT_GT(dpa.now(), 0u);
+  EXPECT_GT(dpa.busy_cycles(), 0u);
+  EXPECT_EQ(dpa.host_matching_cycles(), 0u)
+      << "offloading fully frees the host CPU (Sec. VI)";
+}
+
+TEST(DpaAccelerator, SerialCqeDispatchStaggersThreads) {
+  DpaConfig cfg;
+  cfg.cqe_interval = 100;
+  DpaAccelerator dpa(cfg, match_cfg(4));
+  for (Tag t = 0; t < 4; ++t) dpa.post_receive({1, t, 0});
+  const auto out = dpa.deliver(distinct_messages(4));
+  // With no conflicts, later messages finish later by at least the
+  // dispatch interval (they also start later).
+  for (unsigned i = 1; i < 4; ++i)
+    EXPECT_GT(out[i].finish_cycles, out[i - 1].finish_cycles);
+}
+
+TEST(DpaAccelerator, ExplicitArrivalTimesRespected) {
+  DpaAccelerator dpa(DpaConfig{}, match_cfg(2));
+  dpa.post_receive({1, 0, 0});
+  dpa.post_receive({1, 1, 0});
+  const std::vector<std::uint64_t> arrivals = {100'000, 200'000};
+  const auto out = dpa.deliver(distinct_messages(2), arrivals);
+  EXPECT_GT(out[0].finish_cycles, 100'000u);
+  EXPECT_GT(out[1].finish_cycles, 200'000u);
+}
+
+TEST(DpaAccelerator, PipelineBackpressureAcrossBlocks) {
+  // Two back-to-back blocks: slot t of block 2 cannot start before slot t
+  // of block 1 finished, so total time exceeds a single block's time.
+  DpaAccelerator one_block(DpaConfig{}, match_cfg(4));
+  DpaAccelerator two_blocks(DpaConfig{}, match_cfg(4));
+  for (Tag t = 0; t < 8; ++t) {
+    one_block.post_receive({1, t, 0});
+    two_blocks.post_receive({1, t, 0});
+  }
+  one_block.deliver(distinct_messages(4));
+  const auto single = one_block.now();
+  two_blocks.deliver(distinct_messages(8));
+  EXPECT_GT(two_blocks.now(), single);
+}
+
+TEST(DpaAccelerator, WithConflictSlowerThanWithout) {
+  // The modeled clock must reproduce Fig. 8's ordering: NC > WC-FP > WC-SP
+  // in message rate, i.e. NC finishes earliest for the same message count.
+  constexpr unsigned kN = 16;
+  auto run = [&](bool same_key, bool fast_path) {
+    MatchConfig mc = match_cfg(kN);
+    mc.enable_fast_path = fast_path;
+    mc.early_booking_check = false;
+    DpaAccelerator dpa(DpaConfig{}, mc);
+    std::vector<IncomingMessage> msgs;
+    for (unsigned i = 0; i < kN; ++i) {
+      const Tag t = same_key ? 5 : static_cast<Tag>(i);
+      dpa.post_receive({1, t, 0});
+    }
+    for (unsigned i = 0; i < kN; ++i) {
+      const Tag t = same_key ? 5 : static_cast<Tag>(i);
+      msgs.push_back(IncomingMessage::make(1, t, 0));
+    }
+    dpa.deliver(msgs);
+    return dpa.now();
+  };
+  const auto nc = run(false, true);
+  const auto wc_fp = run(true, true);
+  const auto wc_sp = run(true, false);
+  EXPECT_LT(nc, wc_fp);
+  EXPECT_LT(wc_fp, wc_sp);
+}
+
+TEST(DpaAccelerator, RejectsBlocksBeyondHardwareThreads) {
+  DpaConfig cfg;
+  cfg.max_threads = 8;
+  MatchConfig mc = match_cfg(16);
+  EXPECT_DEATH(DpaAccelerator(cfg, mc), "exceed DPA hardware threads");
+}
+
+}  // namespace
+}  // namespace otm

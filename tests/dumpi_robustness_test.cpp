@@ -1,0 +1,221 @@
+// Robustness tests for the DUMPI text parser: hostile, truncated and
+// mutated inputs must either parse to something sensible or throw — never
+// crash or hang — and the cache loader must reject every corruption.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/cache.hpp"
+#include "trace/dumpi_text.hpp"
+#include "trace/trace_builder.hpp"
+#include "util/rng.hpp"
+
+namespace otm::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+RankTrace parse(const std::string& text) {
+  std::stringstream ss(text);
+  return parse_dumpi_text(ss, 0);
+}
+
+TEST(DumpiRobustness, EmptyInput) {
+  EXPECT_TRUE(parse("").ops.empty());
+}
+
+TEST(DumpiRobustness, ProseOnlyInput) {
+  EXPECT_TRUE(parse("this is not a trace\njust some text\n\n").ops.empty());
+}
+
+TEST(DumpiRobustness, ParametersOutsideBlocksIgnored) {
+  EXPECT_TRUE(parse("int dest=3\nint tag=4\n").ops.empty());
+}
+
+TEST(DumpiRobustness, UnterminatedBlockThrows) {
+  EXPECT_THROW(
+      parse("MPI_Send entering at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\nint dest=1\n"),
+      std::runtime_error);
+}
+
+TEST(DumpiRobustness, NestedBlockThrows) {
+  EXPECT_THROW(
+      parse("MPI_Send entering at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\n"
+            "MPI_Recv entering at walltime 1.1, cputime 0.0 seconds in "
+            "thread 0.\n"),
+      std::runtime_error);
+}
+
+TEST(DumpiRobustness, StrayReturnThrows) {
+  EXPECT_THROW(
+      parse("MPI_Send returning at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\n"),
+      std::runtime_error);
+}
+
+TEST(DumpiRobustness, MissingFieldsDefaultToZero) {
+  const auto t =
+      parse("MPI_Send entering at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\n"
+            "MPI_Send returning at walltime 1.1, cputime 0.0 seconds in "
+            "thread 0.\n");
+  ASSERT_EQ(t.ops.size(), 1u);
+  EXPECT_EQ(t.ops[0].peer, 0);
+  EXPECT_EQ(t.ops[0].tag, 0);
+  EXPECT_EQ(t.ops[0].bytes, 0u);
+}
+
+TEST(DumpiRobustness, GarbageParameterLinesIgnored) {
+  const auto t =
+      parse("MPI_Send entering at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\n"
+            "int dest=2\n"
+            "????\n"
+            "key_without_equals\n"
+            "weird stuff = = =\n"
+            "int tag=9\n"
+            "MPI_Send returning at walltime 1.1, cputime 0.0 seconds in "
+            "thread 0.\n");
+  ASSERT_EQ(t.ops.size(), 1u);
+  EXPECT_EQ(t.ops[0].peer, 2);
+  EXPECT_EQ(t.ops[0].tag, 9);
+}
+
+TEST(DumpiRobustness, NegativeAndHugeValues) {
+  const auto t =
+      parse("MPI_Irecv entering at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\n"
+            "int count=4294967295\n"
+            "int source=-1 (MPI_ANY_SOURCE)\n"
+            "int tag=-1 (MPI_ANY_TAG)\n"
+            "MPI_Request request=[18446744073709551615]\n"
+            "MPI_Irecv returning at walltime 1.1, cputime 0.0 seconds in "
+            "thread 0.\n");
+  ASSERT_EQ(t.ops.size(), 1u);
+  EXPECT_EQ(t.ops[0].peer, kAnySource);
+  EXPECT_EQ(t.ops[0].tag, kAnyTag);
+}
+
+TEST(DumpiRobustness, WindowsLineEndings) {
+  const auto t =
+      parse("MPI_Send entering at walltime 1.0, cputime 0.0 seconds in "
+            "thread 0.\r\n"
+            "int dest=2\r\n"
+            "int tag=5\r\n"
+            "MPI_Send returning at walltime 1.1, cputime 0.0 seconds in "
+            "thread 0.\r\n");
+  ASSERT_EQ(t.ops.size(), 1u);
+  EXPECT_EQ(t.ops[0].peer, 2);
+}
+
+TEST(DumpiRobustness, LineMutationFuzzNeverCrashes) {
+  // Write a real trace, then mutate one line at a time: the parser must
+  // either succeed or throw, never crash/hang.
+  TraceBuilder b("fuzz", 1);
+  for (int i = 0; i < 10; ++i) {
+    b.isend(0, 0, static_cast<Tag>(i), 8);  // self-sends fine for text fuzz
+    b.waitall(0, 1);
+  }
+  std::stringstream base;
+  write_dumpi_text(b.finish().ranks[0], base);
+  const std::string text = base.str();
+
+  std::vector<std::string> lines;
+  {
+    std::stringstream ss(text);
+    std::string l;
+    while (std::getline(ss, l)) lines.push_back(l);
+  }
+
+  Xoshiro256 rng(17);
+  int parsed_ok = 0;
+  int threw = 0;
+  for (int round = 0; round < 300; ++round) {
+    auto mutated = lines;
+    const std::size_t idx = rng.below(mutated.size());
+    switch (rng.below(4)) {
+      case 0: mutated[idx].clear(); break;                       // blank line
+      case 1: mutated.erase(mutated.begin() +                    // drop line
+                            static_cast<std::ptrdiff_t>(idx));
+        break;
+      case 2:                                                     // corrupt char
+        if (!mutated[idx].empty())
+          mutated[idx][rng.below(mutated[idx].size())] =
+              static_cast<char>('!' + rng.below(90));
+        break;
+      case 3: mutated.insert(mutated.begin() +                    // dup line
+                             static_cast<std::ptrdiff_t>(idx), mutated[idx]);
+        break;
+    }
+    std::string joined;
+    for (const auto& l : mutated) {
+      joined += l;
+      joined += '\n';
+    }
+    try {
+      parse(joined);
+      ++parsed_ok;
+    } catch (const std::runtime_error&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(parsed_ok + threw, 300);
+  EXPECT_GT(parsed_ok, 0) << "most single-line mutations should still parse";
+}
+
+TEST(DumpiRobustness, TruncatedCacheRejected) {
+  TraceBuilder b("trunc", 2);
+  b.isend(0, 1, 1, 8);
+  b.irecv(1, 0, 1, 8);
+  const Trace t = b.finish();
+  const std::string path =
+      (fs::temp_directory_path() / "otm_trunc_cache.bin").string();
+  ASSERT_TRUE(save_cache(t, path));
+  const auto full_size = fs::file_size(path);
+  // Truncate at several byte offsets; every load must fail cleanly.
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    fs::resize_file(path, static_cast<std::uintmax_t>(
+                              static_cast<double>(full_size) * frac));
+    EXPECT_FALSE(load_cache(path).has_value()) << "fraction " << frac;
+  }
+  fs::remove(path);
+}
+
+TEST(DumpiRobustness, CacheOfWrongMagicRejected) {
+  const std::string path =
+      (fs::temp_directory_path() / "otm_badmagic.bin").string();
+  std::ofstream os(path, std::ios::binary);
+  const char junk[64] = "definitely not a trace cache";
+  os.write(junk, sizeof(junk));
+  os.close();
+  EXPECT_FALSE(load_cache(path).has_value());
+  fs::remove(path);
+}
+
+TEST(DumpiRobustness, MissingRankFileThrows) {
+  TraceBuilder b("missing", 3);
+  b.isend(0, 1, 1, 8);
+  const Trace t = b.finish();
+  const std::string dir = (fs::temp_directory_path() / "otm_missing").string();
+  fs::remove_all(dir);
+  const std::string meta = write_trace_dir(t, dir);
+  fs::remove(fs::path(dir) / "dumpi-missing-0001.txt");
+  EXPECT_THROW(load_trace_dir(meta), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(DumpiRobustness, MalformedMetaThrows) {
+  const std::string dir = (fs::temp_directory_path() / "otm_badmeta").string();
+  fs::create_directories(dir);
+  const std::string meta = dir + "/dumpi-bad.meta";
+  std::ofstream(meta) << "not a real meta file\n";
+  EXPECT_THROW(load_trace_dir(meta), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace otm::trace

@@ -1,0 +1,223 @@
+// Edge-case coverage: type-level truth tables, descriptor-table
+// concurrency, 32-thread block boundaries, cost-model arithmetic, and API
+// misuse death tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/descriptor_table.hpp"
+#include "core/engine.hpp"
+#include "mpi/mpi.hpp"
+
+namespace otm {
+namespace {
+
+// --- MatchSpec / Envelope truth table ---------------------------------------
+
+TEST(MatchSpecEdge, MatchTruthTable) {
+  const Envelope env{3, 7, 2};
+  struct Case {
+    MatchSpec spec;
+    bool matches;
+  };
+  const Case cases[] = {
+      {{3, 7, 2}, true},
+      {{3, 7, 0}, false},          // comm differs
+      {{3, 8, 2}, false},          // tag differs
+      {{4, 7, 2}, false},          // source differs
+      {{kAnySource, 7, 2}, true},
+      {{kAnySource, 8, 2}, false},
+      {{3, kAnyTag, 2}, true},
+      {{4, kAnyTag, 2}, false},
+      {{kAnySource, kAnyTag, 2}, true},
+      {{kAnySource, kAnyTag, 9}, false},  // wildcards never cross comms
+  };
+  for (const auto& c : cases)
+    EXPECT_EQ(c.spec.matches(env), c.matches) << to_string(c.spec);
+}
+
+TEST(MatchSpecEdge, WildcardClassMapping) {
+  EXPECT_EQ((MatchSpec{1, 2, 0}).wildcard_class(), WildcardClass::kNone);
+  EXPECT_EQ((MatchSpec{kAnySource, 2, 0}).wildcard_class(),
+            WildcardClass::kSourceWild);
+  EXPECT_EQ((MatchSpec{1, kAnyTag, 0}).wildcard_class(), WildcardClass::kTagWild);
+  EXPECT_EQ((MatchSpec{kAnySource, kAnyTag, 0}).wildcard_class(),
+            WildcardClass::kBothWild);
+}
+
+TEST(MatchSpecEdge, CompatibilityIncludesWildcards) {
+  EXPECT_TRUE((MatchSpec{1, 2, 0}).compatible_with({1, 2, 0}));
+  EXPECT_FALSE((MatchSpec{1, 2, 0}).compatible_with({1, 3, 0}));
+  EXPECT_FALSE((MatchSpec{1, 2, 0}).compatible_with({kAnySource, 2, 0}));
+  EXPECT_TRUE(
+      (MatchSpec{kAnySource, kAnyTag, 0}).compatible_with({kAnySource, kAnyTag, 0}));
+  EXPECT_FALSE((MatchSpec{1, 2, 0}).compatible_with({1, 2, 1}));  // comm
+}
+
+TEST(MatchSpecEdge, InlineHashesMatchFreeFunctions) {
+  const Envelope e{11, 22, 0};
+  const auto h = InlineHashes::compute(e);
+  EXPECT_EQ(h.src_tag, hash_src_tag(11, 22));
+  EXPECT_EQ(h.src, hash_src(11));
+  EXPECT_EQ(h.tag, hash_tag(22));
+}
+
+// --- DescriptorTable ----------------------------------------------------------
+
+TEST(DescriptorTableEdge, ReleaseResetsDescriptor) {
+  DescriptorTable<ReceiveDescriptor> table(4);
+  const auto id = table.allocate();
+  table[id].label = 42;
+  table[id].state.store(ReceiveState::kPosted, std::memory_order_relaxed);
+  table.release(id);
+  const auto id2 = table.allocate();
+  EXPECT_EQ(id2, id) << "LIFO free list reuses the slot";
+  EXPECT_EQ(table[id2].label, 0u) << "released slot must be reset";
+  EXPECT_EQ(table[id2].state.load(), ReceiveState::kFree);
+}
+
+TEST(DescriptorTableEdge, ConcurrentAllocateRelease) {
+  DescriptorTable<ReceiveDescriptor> table(64);
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        const auto id = table.allocate();
+        if (id == kInvalidSlot) continue;  // transient exhaustion is fine
+        if (id >= table.capacity()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        table.release(id);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(table.live(), 0u);
+}
+
+// --- 32-thread block boundary ---------------------------------------------------
+
+TEST(BlockEdge, FullWidthBlockFastPath) {
+  // Exactly kMaxBlockThreads messages against a 32-deep compatible
+  // sequence: the full-bitmap fast path at its widest.
+  MatchConfig cfg;
+  cfg.bins = 16;
+  cfg.block_size = kMaxBlockThreads;
+  cfg.max_receives = 64;
+  cfg.max_unexpected = 64;
+  cfg.early_booking_check = false;
+  MatchEngine eng(cfg);
+  for (unsigned i = 0; i < kMaxBlockThreads; ++i)
+    eng.post_receive({1, 5, 0}, 0, 0, i);
+  std::vector<IncomingMessage> msgs(kMaxBlockThreads,
+                                    IncomingMessage::make(1, 5, 0));
+  LockstepExecutor ex;
+  const auto outs = eng.process(msgs, ex);
+  for (unsigned i = 0; i < kMaxBlockThreads; ++i) {
+    ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched);
+    ASSERT_EQ(outs[i].receive_cookie, i);
+  }
+  EXPECT_EQ(eng.stats().fast_path_resolutions, kMaxBlockThreads - 1);
+}
+
+TEST(BlockEdge, EverySmallBlockSizeAgainstOracle) {
+  // Exhaustive mini-oracle across block sizes 1..8 on a fixed scenario.
+  for (unsigned block = 1; block <= 8; ++block) {
+    MatchConfig cfg;
+    cfg.bins = 4;
+    cfg.block_size = block;
+    cfg.max_receives = 64;
+    cfg.max_unexpected = 64;
+    cfg.early_booking_check = false;
+    MatchEngine eng(cfg);
+    LockstepExecutor ex;
+    // 5 same-key receives + 1 wildcard, 8 same-key messages.
+    for (unsigned i = 0; i < 5; ++i) eng.post_receive({1, 5, 0}, 0, 0, i);
+    eng.post_receive({kAnySource, kAnyTag, 0}, 0, 0, 5);
+    std::vector<IncomingMessage> msgs(8, IncomingMessage::make(1, 5, 0));
+    const auto outs = eng.process(msgs, ex);
+    for (unsigned i = 0; i < 6; ++i) {
+      ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched) << "block " << block;
+      ASSERT_EQ(outs[i].receive_cookie, i) << "block " << block;
+    }
+    EXPECT_EQ(outs[6].kind, ArrivalOutcome::Kind::kUnexpected);
+    EXPECT_EQ(outs[7].kind, ArrivalOutcome::Kind::kUnexpected);
+  }
+}
+
+TEST(BlockEdge, ConfigValidation) {
+  MatchConfig c;
+  EXPECT_TRUE(c.valid());
+  c.bins = 100;  // not a power of two
+  EXPECT_FALSE(c.valid());
+  c.bins = 128;
+  c.block_size = kMaxBlockThreads + 1;
+  EXPECT_FALSE(c.valid());
+  c.block_size = 0;
+  EXPECT_FALSE(c.valid());
+  c.block_size = 1;
+  c.max_receives = 0;
+  EXPECT_FALSE(c.valid());
+}
+
+// --- Cost model -----------------------------------------------------------------
+
+TEST(CostModelEdge, DisabledClockIsFree) {
+  ThreadClock off;
+  EXPECT_FALSE(off.enabled());
+  OTM_CHARGE(off, chain_step);
+  off.charge_copy(1 << 20);
+  EXPECT_EQ(off.cycles(), 0u);
+}
+
+TEST(CostModelEdge, CopyChargeScalesWithBytes) {
+  const CostTable costs = CostTable::dpa();
+  ThreadClock clock(&costs);
+  clock.charge_copy(1000);
+  const auto one_kb = clock.cycles();
+  clock.charge_copy(3000);
+  EXPECT_EQ(clock.cycles(), one_kb * 4);
+}
+
+TEST(CostModelEdge, SyncToNeverRewinds) {
+  ThreadClock clock(nullptr, 100);
+  clock.sync_to(50);
+  EXPECT_EQ(clock.cycles(), 100u);
+  clock.sync_to(150);
+  EXPECT_EQ(clock.cycles(), 150u);
+}
+
+TEST(CostModelEdge, DpaSlowerPerOpThanHost) {
+  const CostTable dpa = CostTable::dpa();
+  const CostTable host = CostTable::host_cpu();
+  EXPECT_GT(dpa.chain_step, host.chain_step);
+  EXPECT_GT(dpa.booking_cas, host.booking_cas);
+  // ...but the host pays more to poll its PCIe-attached CQ.
+  EXPECT_LT(dpa.cqe_poll, host.cqe_poll);
+}
+
+// --- API misuse ------------------------------------------------------------------
+
+TEST(ApiMisuseDeath, InvalidRequestId) {
+  mpi::World world(1, {});
+  mpi::Request bogus{12345};
+  EXPECT_DEATH(world.proc(0).test(bogus), "invalid request");
+}
+
+TEST(ApiMisuseDeath, NegativeSendTagRejected) {
+  mpi::World world(2, {});
+  std::vector<std::byte> buf(4);
+  EXPECT_DEATH(world.proc(0).isend(buf, 1, -5, world.proc(0).world_comm()),
+               "non-negative");
+}
+
+TEST(ApiMisuseDeath, ProcOutOfRange) {
+  mpi::World world(2, {});
+  EXPECT_DEATH(world.proc(7), "");
+}
+
+}  // namespace
+}  // namespace otm

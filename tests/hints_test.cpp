@@ -1,0 +1,260 @@
+// Tests for the Sec. VII communicator-hint extensions:
+//   - assume_no_wildcards: single-index engine (posts with wildcards are
+//     rejected, searches probe one index, unexpected messages are indexed
+//     once) with unchanged ordering semantics.
+//   - allow_overtaking: barrier-free racing matcher; pairing need not be
+//     order-preserving but must remain a valid matching.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/list_matcher.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig base_cfg() {
+  MatchConfig c;
+  c.bins = 16;
+  c.block_size = 8;
+  c.max_receives = 512;
+  c.max_unexpected = 512;
+  c.early_booking_check = false;
+  return c;
+}
+
+// --- assume_no_wildcards ------------------------------------------------------
+
+TEST(NoWildcardHint, WildcardPostRejected) {
+  MatchConfig c = base_cfg();
+  c.assume_no_wildcards = true;
+  MatchEngine eng(c);
+  EXPECT_DEATH(eng.post_receive({kAnySource, 1, 0}), "no-wildcard engine");
+  EXPECT_DEATH(eng.post_receive({1, kAnyTag, 0}), "no-wildcard engine");
+}
+
+TEST(NoWildcardHint, SearchProbesSingleIndex) {
+  MatchConfig c = base_cfg();
+  c.assume_no_wildcards = true;
+  MatchEngine eng(c);
+  eng.post_receive({1, 2, 0});
+  LockstepExecutor ex;
+  const auto o = eng.process_one(IncomingMessage::make(1, 2, 0), ex);
+  EXPECT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
+  EXPECT_EQ(eng.stats().index_searches, 1u)
+      << "the three wildcard indexes must be skipped";
+}
+
+TEST(NoWildcardHint, ModeledSearchIsCheaper) {
+  const CostTable costs = CostTable::dpa();
+  auto run = [&](bool hint) {
+    MatchConfig c = base_cfg();
+    c.block_size = 1;
+    c.assume_no_wildcards = hint;
+    MatchEngine eng(c, &costs);
+    LockstepExecutor ex;
+    eng.post_receive({1, 2, 0});
+    eng.process_one(IncomingMessage::make(1, 2, 0), ex);
+    return eng.last_finish_cycles();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(NoWildcardHint, UnexpectedFlowStillWorks) {
+  MatchConfig c = base_cfg();
+  c.assume_no_wildcards = true;
+  MatchEngine eng(c);
+  LockstepExecutor ex;
+  IncomingMessage m = IncomingMessage::make(4, 9, 0);
+  m.wire_seq = 5;
+  EXPECT_EQ(eng.process_one(m, ex).kind, ArrivalOutcome::Kind::kUnexpected);
+  const auto p = eng.post_receive({4, 9, 0});
+  ASSERT_EQ(p.kind, PostOutcome::Kind::kMatchedUnexpected);
+  EXPECT_EQ(p.message.wire_seq, 5u);
+  EXPECT_EQ(eng.unexpected().size(), 0u);
+}
+
+TEST(NoWildcardHint, OracleEquivalenceOnWildcardFreeStreams) {
+  // The hint must not change semantics, only cost: same pairing as the
+  // sequential reference for random wildcard-free streams with bursts.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    MatchConfig c = base_cfg();
+    c.assume_no_wildcards = true;
+    c.max_receives = 4096;
+    c.max_unexpected = 4096;  // the stream can pile up unexpected messages
+    MatchEngine eng(c);
+    ListMatcher oracle;
+    LockstepExecutor ex;
+    Xoshiro256 rng(seed);
+    std::uint64_t next_msg = 0;
+    std::uint64_t next_recv = 0;
+    std::vector<IncomingMessage> pending;
+
+    auto flush = [&] {
+      const auto outs = eng.process(pending, ex);
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const auto om = oracle.arrive(pending[i].env, pending[i].wire_seq);
+        if (om.has_value()) {
+          ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched);
+          ASSERT_EQ(outs[i].receive_cookie, *om);
+        } else {
+          ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected);
+        }
+      }
+      pending.clear();
+    };
+
+    for (int op = 0; op < 800; ++op) {
+      const Rank src = static_cast<Rank>(rng.below(3));
+      const Tag tag = static_cast<Tag>(rng.below(3));
+      if (rng.chance(0.5)) {
+        flush();
+        const MatchSpec spec{src, tag, 0};
+        const auto id = next_recv++;
+        const auto ep = eng.post_receive(spec, 0, 0, id);
+        const auto op_oracle = oracle.post(spec, id);
+        if (op_oracle.has_value()) {
+          ASSERT_EQ(ep.kind, PostOutcome::Kind::kMatchedUnexpected);
+          ASSERT_EQ(ep.message.wire_seq, *op_oracle);
+        } else {
+          ASSERT_EQ(ep.kind, PostOutcome::Kind::kPending);
+        }
+      } else {
+        const std::uint64_t burst = 1 + rng.below(4);
+        for (std::uint64_t b = 0; b < burst; ++b) {
+          IncomingMessage m = IncomingMessage::make(src, tag, 0);
+          m.wire_seq = next_msg++;
+          pending.push_back(m);
+        }
+        if (rng.chance(0.5)) flush();
+      }
+    }
+    flush();
+  }
+}
+
+// --- allow_overtaking -----------------------------------------------------------
+
+TEST(AllowOvertaking, EveryMessageGetsAValidReceive) {
+  MatchConfig c = base_cfg();
+  c.allow_overtaking = true;
+  MatchEngine eng(c);
+  LockstepExecutor ex;
+  // Mixed receives: exact and wildcard.
+  std::map<std::uint64_t, MatchSpec> specs;
+  std::uint64_t cookie = 0;
+  for (Tag t = 0; t < 4; ++t) {
+    specs[cookie] = {1, t, 0};
+    eng.post_receive({1, t, 0}, 0, 0, cookie++);
+  }
+  specs[cookie] = {kAnySource, kAnyTag, 0};
+  eng.post_receive({kAnySource, kAnyTag, 0}, 0, 0, cookie++);
+
+  std::vector<IncomingMessage> msgs;
+  for (Tag t = 0; t < 5; ++t)
+    msgs.push_back(IncomingMessage::make(1, t % 4, 0));
+  const auto outs = eng.process(msgs, ex);
+
+  std::set<std::uint64_t> used;
+  unsigned matched = 0;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (outs[i].kind != ArrivalOutcome::Kind::kMatched) continue;
+    ++matched;
+    EXPECT_TRUE(used.insert(outs[i].receive_cookie).second)
+        << "a receive was consumed twice";
+    EXPECT_TRUE(specs.at(outs[i].receive_cookie).matches(msgs[i].env))
+        << "matched a receive that does not accept the envelope";
+  }
+  EXPECT_EQ(matched, 5u);
+}
+
+TEST(AllowOvertaking, WildcardFreeStreamsMatchSameCount) {
+  // Without wildcards the envelope classes partition the receives, so any
+  // order-relaxed matcher pairs exactly as many messages as the ordered one.
+  for (const std::uint64_t seed : {11u, 12u}) {
+    MatchConfig c = base_cfg();
+    c.allow_overtaking = true;
+    c.max_receives = 4096;
+    c.max_unexpected = 4096;
+    MatchEngine eng(c);
+    ListMatcher oracle;
+    LockstepExecutor ex;
+    Xoshiro256 rng(seed);
+    std::uint64_t ids = 0;
+    std::uint64_t oracle_matched = 0;
+    std::vector<IncomingMessage> pending;
+
+    auto flush = [&] {
+      for (const auto& o : eng.process(pending, ex)) (void)o;
+      for (const auto& m : pending)
+        if (oracle.arrive(m.env, m.wire_seq).has_value()) ++oracle_matched;
+      pending.clear();
+    };
+    for (int op = 0; op < 600; ++op) {
+      const Rank src = static_cast<Rank>(rng.below(2));
+      const Tag tag = static_cast<Tag>(rng.below(3));
+      if (rng.chance(0.5)) {
+        flush();
+        const auto p = eng.post_receive({src, tag, 0}, 0, 0, ids);
+        if (oracle.post({src, tag, 0}, ids).has_value()) {
+          ASSERT_EQ(p.kind, PostOutcome::Kind::kMatchedUnexpected);
+          ++oracle_matched;
+        }
+        ++ids;
+      } else {
+        IncomingMessage m = IncomingMessage::make(src, tag, 0);
+        m.wire_seq = ids++;
+        pending.push_back(m);
+        if (rng.chance(0.5)) flush();
+      }
+    }
+    flush();
+    const auto& s = eng.stats();
+    EXPECT_EQ(s.messages_matched + s.receives_matched_unexpected,
+              oracle_matched);
+  }
+}
+
+TEST(AllowOvertaking, ThreadedRaceStaysConsistent) {
+  for (int round = 0; round < 20; ++round) {
+    MatchConfig c = base_cfg();
+    c.allow_overtaking = true;
+    MatchEngine eng(c);
+    ThreadedExecutor ex;
+    for (unsigned i = 0; i < 8; ++i) eng.post_receive({1, 5, 0}, 0, 0, i);
+    std::vector<IncomingMessage> msgs(8, IncomingMessage::make(1, 5, 0));
+    const auto outs = eng.process(msgs, ex);
+    std::set<std::uint64_t> used;
+    for (const auto& o : outs) {
+      ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
+      EXPECT_TRUE(used.insert(o.receive_cookie).second);
+    }
+    EXPECT_EQ(used.size(), 8u);
+  }
+}
+
+TEST(AllowOvertaking, ModeledTimeBeatsOrderedConflictResolution) {
+  const CostTable costs = CostTable::dpa();
+  auto run = [&](bool overtaking, bool fast_path) {
+    MatchConfig c = base_cfg();
+    c.block_size = 8;
+    c.allow_overtaking = overtaking;
+    c.enable_fast_path = fast_path;
+    MatchEngine eng(c, &costs);
+    LockstepExecutor ex;
+    for (unsigned i = 0; i < 8; ++i) eng.post_receive({1, 5, 0});
+    std::vector<IncomingMessage> msgs(8, IncomingMessage::make(1, 5, 0));
+    eng.process(msgs, ex);
+    return eng.last_finish_cycles();
+  };
+  const auto overtaking = run(true, true);
+  const auto ordered_slow = run(false, false);
+  EXPECT_LT(overtaking, ordered_slow)
+      << "relaxed ordering must beat slow-path serialization";
+}
+
+}  // namespace
+}  // namespace otm

@@ -1,0 +1,113 @@
+// Tests for the JSON-lines trace format: round trips, cross-format
+// equivalence with DUMPI text, analyzer parity, and malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/analyzer.hpp"
+#include "trace/dumpi_text.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace otm::trace {
+namespace {
+
+Trace sample() {
+  TraceBuilder b("jsonl-sample", 2);
+  b.irecv(1, 0, 5, 64);
+  b.irecv(1, kAnySource, kAnyTag, 32);
+  b.isend(0, 1, 5, 64);
+  b.waitall(1, 2);
+  b.collective_all(OpType::kAllreduce, 8);
+  return b.finish();
+}
+
+TEST(Jsonl, RoundTrip) {
+  const Trace t = sample();
+  std::stringstream ss;
+  write_jsonl(t, ss);
+  const Trace parsed = parse_jsonl(ss);
+  EXPECT_EQ(parsed.app_name, t.app_name);
+  EXPECT_EQ(parsed.num_ranks, t.num_ranks);
+  ASSERT_EQ(parsed.total_ops(), t.total_ops());
+  for (int r = 0; r < t.num_ranks; ++r) {
+    const auto& a = t.ranks[static_cast<std::size_t>(r)].ops;
+    const auto& b = parsed.ranks[static_cast<std::size_t>(r)].ops;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].type, b[i].type);
+      EXPECT_EQ(a[i].peer, b[i].peer);
+      EXPECT_EQ(a[i].tag, b[i].tag);
+      EXPECT_EQ(a[i].bytes, b[i].bytes);
+      EXPECT_NEAR(a[i].start_ts, b[i].start_ts, 1e-9);
+    }
+  }
+}
+
+TEST(Jsonl, AnalyzerParityWithDumpiText) {
+  // The same trace through both formats must analyze identically.
+  const Trace t = make_amg();
+  std::stringstream js;
+  write_jsonl(t, js);
+  const Trace via_jsonl = parse_jsonl(js);
+
+  Trace via_dumpi;
+  via_dumpi.app_name = t.app_name;
+  via_dumpi.num_ranks = t.num_ranks;
+  for (const auto& r : t.ranks) {
+    std::stringstream ds;
+    write_dumpi_text(r, ds);
+    via_dumpi.ranks.push_back(parse_dumpi_text(ds, r.rank));
+  }
+
+  TraceAnalyzer analyzer{AnalyzerConfig{}};
+  const auto a = analyzer.analyze(via_jsonl);
+  const auto b = analyzer.analyze(via_dumpi);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.receives_posted, b.receives_posted);
+  EXPECT_EQ(a.unexpected, b.unexpected);
+  EXPECT_DOUBLE_EQ(a.avg_queue_depth, b.avg_queue_depth);
+  EXPECT_EQ(a.calls.p2p, b.calls.p2p);
+  EXPECT_EQ(a.calls.collective, b.calls.collective);
+}
+
+TEST(Jsonl, WhitespaceTolerated) {
+  std::stringstream ss;
+  ss << "{ \"app\" : \"x\" , \"ranks\" : 1 }\n"
+     << "{ \"rank\" : 0 , \"op\" : \"MPI_Send\" , \"peer\" : 0, \"tag\": 3 }\n";
+  const Trace t = parse_jsonl(ss);
+  ASSERT_EQ(t.total_ops(), 1u);
+  EXPECT_EQ(t.ranks[0].ops[0].tag, 3);
+}
+
+TEST(Jsonl, UnknownOpsAndKeysSkipped) {
+  std::stringstream ss;
+  ss << "{\"app\":\"x\",\"ranks\":1,\"extra\":\"ignored\"}\n"
+     << "{\"rank\":0,\"op\":\"MPI_Comm_rank\"}\n"
+     << "{\"rank\":0,\"op\":\"MPI_Send\",\"peer\":0,\"tag\":1,\"color\":7}\n";
+  const Trace t = parse_jsonl(ss);
+  EXPECT_EQ(t.total_ops(), 1u);
+}
+
+TEST(Jsonl, MalformedInputsThrow) {
+  auto parse_str = [](const std::string& s) {
+    std::stringstream ss(s);
+    return parse_jsonl(ss);
+  };
+  EXPECT_THROW(parse_str(""), std::runtime_error);
+  EXPECT_THROW(parse_str("not json\n"), std::runtime_error);
+  EXPECT_THROW(parse_str("{\"ranks\":2}\n"), std::runtime_error);  // no app
+  EXPECT_THROW(parse_str("{\"app\":\"x\",\"ranks\":0}\n"), std::runtime_error);
+  EXPECT_THROW(parse_str("{\"app\":\"x\",\"ranks\":1}\n{\"op\":\"MPI_Send\"}\n"),
+               std::runtime_error);  // record without rank
+  EXPECT_THROW(
+      parse_str("{\"app\":\"x\",\"ranks\":1}\n"
+                "{\"rank\":5,\"op\":\"MPI_Send\"}\n"),
+      std::runtime_error);  // rank out of range
+  EXPECT_THROW(parse_str("{\"app\":\"x\",\"ranks\":1}\n{\"rank\":0,\n"),
+               std::runtime_error);  // truncated record
+}
+
+}  // namespace
+}  // namespace otm::trace

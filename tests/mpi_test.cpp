@@ -1,0 +1,267 @@
+// Tests for the mini-MPI layer: point-to-point semantics over the offloaded
+// endpoint and the software baseline, wildcards, communicator assertions,
+// flow-control deferral, and the threaded SPMD driver.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "mpi/mpi.hpp"
+
+namespace otm::mpi {
+namespace {
+
+std::vector<std::byte> payload(std::size_t n, int seed = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i + static_cast<std::size_t>(seed) * 17) & 0xFF);
+  return v;
+}
+
+class MpiBackends : public ::testing::TestWithParam<Backend> {
+ protected:
+  WorldOptions options() const {
+    WorldOptions o;
+    o.backend = GetParam();
+    o.match.max_receives = 64;
+    o.match.max_unexpected = 64;
+    o.match.bins = 32;
+    o.match.block_size = 4;
+    return o;
+  }
+};
+
+TEST_P(MpiBackends, BasicSendRecv) {
+  World world(2, options());
+  const Comm comm = world.proc(0).world_comm();
+  const auto tx = payload(128, 1);
+  std::vector<std::byte> rx(128);
+
+  auto req = world.proc(1).irecv(rx, 0, 7, comm);
+  world.proc(0).send(tx, 1, 7, comm);
+  const Status s = world.proc(1).wait(req);
+  EXPECT_EQ(s.source, 0);
+  EXPECT_EQ(s.tag, 7);
+  EXPECT_EQ(s.bytes, 128u);
+  EXPECT_EQ(tx, rx);
+}
+
+TEST_P(MpiBackends, UnexpectedMessageThenRecv) {
+  World world(2, options());
+  const Comm comm = world.proc(0).world_comm();
+  const auto tx = payload(64, 2);
+  std::vector<std::byte> rx(64);
+
+  world.proc(0).send(tx, 1, 3, comm);
+  world.proc(1).progress();  // message lands unexpected
+  const Status s = world.proc(1).recv(rx, 0, 3, comm);
+  EXPECT_EQ(s.bytes, 64u);
+  EXPECT_EQ(tx, rx);
+}
+
+TEST_P(MpiBackends, AnySourceReceivesFromEitherPeer) {
+  World world(3, options());
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(16);
+  auto req = world.proc(0).irecv(rx, kAnySource, 5, comm);
+  world.proc(2).send(payload(16, 9), 0, 5, comm);
+  const Status s = world.proc(0).wait(req);
+  EXPECT_EQ(s.source, 2);
+  EXPECT_EQ(rx, payload(16, 9));
+}
+
+TEST_P(MpiBackends, AnyTagReceives) {
+  World world(2, options());
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(16);
+  auto req = world.proc(0).irecv(rx, 1, kAnyTag, comm);
+  world.proc(1).send(payload(16, 3), 0, 42, comm);
+  const Status s = world.proc(0).wait(req);
+  EXPECT_EQ(s.tag, 42);
+}
+
+TEST_P(MpiBackends, NonOvertakingSameEnvelope) {
+  // C2 at the API level: two sends with the same envelope complete the two
+  // receives in posting order with matching payloads.
+  World world(2, options());
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx1(8);
+  std::vector<std::byte> rx2(8);
+  auto r1 = world.proc(1).irecv(rx1, 0, 4, comm);
+  auto r2 = world.proc(1).irecv(rx2, 0, 4, comm);
+  world.proc(0).send(payload(8, 1), 1, 4, comm);
+  world.proc(0).send(payload(8, 2), 1, 4, comm);
+  world.proc(1).wait(r1);
+  world.proc(1).wait(r2);
+  EXPECT_EQ(rx1, payload(8, 1));
+  EXPECT_EQ(rx2, payload(8, 2));
+}
+
+TEST_P(MpiBackends, CommunicatorsDoNotCross) {
+  World world(2, options());
+  Proc& p0 = world.proc(0);
+  const Comm world_comm = p0.world_comm();
+  const Comm other = p0.comm_create({});
+  std::vector<std::byte> rx_world(8);
+  std::vector<std::byte> rx_other(8);
+  auto rw = world.proc(1).irecv(rx_world, 0, 1, world_comm);
+  auto ro = world.proc(1).irecv(rx_other, 0, 1, other);
+  // Send only on `other`: the world receive must stay pending.
+  world.proc(0).send(payload(8, 5), 1, 1, other);
+  world.proc(1).wait(ro);
+  EXPECT_EQ(rx_other, payload(8, 5));
+  EXPECT_FALSE(world.proc(1).test(rw));
+}
+
+TEST_P(MpiBackends, ManyToOneGather) {
+  // The many-to-one pattern the paper calls out (e.g. MPI_Gatherv).
+  constexpr int kRanks = 6;
+  World world(kRanks, options());
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::vector<std::byte>> rx(kRanks - 1, std::vector<std::byte>(32));
+  std::vector<Request> reqs;
+  for (int r = 1; r < kRanks; ++r)
+    reqs.push_back(world.proc(0).irecv(rx[static_cast<std::size_t>(r - 1)],
+                                       static_cast<Rank>(r), 11, comm));
+  for (int r = 1; r < kRanks; ++r)
+    world.proc(static_cast<Rank>(r)).send(payload(32, r), 0, 11, comm);
+  world.proc(0).wait_all(reqs);
+  for (int r = 1; r < kRanks; ++r)
+    EXPECT_EQ(rx[static_cast<std::size_t>(r - 1)], payload(32, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MpiBackends,
+                         ::testing::Values(Backend::kOffloadDpa,
+                                           Backend::kSoftwareList),
+                         [](const auto& param_info) {
+                           return param_info.param == Backend::kOffloadDpa
+                                      ? "OffloadDpa"
+                                      : "SoftwareList";
+                         });
+
+TEST(MpiOffload, LargeMessagesUseRendezvous) {
+  WorldOptions o;
+  o.endpoint.eager_threshold = 256;
+  World world(2, o);
+  const Comm comm = world.proc(0).world_comm();
+  const auto tx = payload(8192, 3);
+  std::vector<std::byte> rx(8192);
+  auto req = world.proc(1).irecv(rx, 0, 2, comm);
+  world.proc(0).send(tx, 1, 2, comm);
+  world.proc(1).wait(req);
+  EXPECT_EQ(tx, rx);
+}
+
+TEST(MpiOffload, DescriptorPressureDefersAndRecovers) {
+  WorldOptions o;
+  o.match.max_receives = 8;
+  o.match.max_unexpected = 64;
+  World world(2, o);
+  const Comm comm = world.proc(0).world_comm();
+
+  // Post 12 receives: 8 land on the NIC, 4 defer host-side in order.
+  std::vector<std::vector<std::byte>> rx(12, std::vector<std::byte>(8));
+  std::vector<Request> reqs;
+  for (int i = 0; i < 12; ++i)
+    reqs.push_back(world.proc(1).irecv(rx[static_cast<std::size_t>(i)], 0,
+                                       static_cast<Tag>(i), comm));
+  EXPECT_EQ(world.proc(1).pending_posts(), 4u);
+  EXPECT_GE(world.proc(1).stats().fallback_deferrals, 4u);
+
+  for (int i = 0; i < 12; ++i)
+    world.proc(0).send(payload(8, i), 1, static_cast<Tag>(i), comm);
+  world.proc(1).wait_all(reqs);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(rx[static_cast<std::size_t>(i)], payload(8, i));
+  EXPECT_EQ(world.proc(1).pending_posts(), 0u);
+}
+
+TEST(MpiOffload, DeferredPostsPreserveOrder) {
+  // A deferred wildcard receive must still beat a later same-envelope one.
+  WorldOptions o;
+  o.match.max_receives = 2;
+  World world(2, o);
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> b0(8), b1(8), b2(8), b3(8);
+  auto r0 = world.proc(1).irecv(b0, 0, 0, comm);
+  auto r1 = world.proc(1).irecv(b1, 0, 1, comm);
+  auto r2 = world.proc(1).irecv(b2, 0, 9, comm);  // deferred
+  auto r3 = world.proc(1).irecv(b3, 0, 9, comm);  // deferred behind r2
+  EXPECT_EQ(world.proc(1).pending_posts(), 2u);
+
+  // Complete the first two to free slots, then send two tag-9 messages.
+  world.proc(0).send(payload(8, 0), 1, 0, comm);
+  world.proc(0).send(payload(8, 1), 1, 1, comm);
+  world.proc(1).wait(r0);
+  world.proc(1).wait(r1);
+  world.proc(0).send(payload(8, 2), 1, 9, comm);
+  world.proc(0).send(payload(8, 3), 1, 9, comm);
+  world.proc(1).wait(r2);
+  world.proc(1).wait(r3);
+  EXPECT_EQ(b2, payload(8, 2)) << "first posted tag-9 receive gets first message";
+  EXPECT_EQ(b3, payload(8, 3));
+}
+
+TEST(MpiOffload, CommAssertionsRejectWildcards) {
+  World world(2, {});
+  CommInfo info;
+  info.assert_no_any_source = true;
+  info.assert_no_any_tag = true;
+  const Comm comm = world.proc(0).comm_create(info);
+  std::vector<std::byte> rx(8);
+  EXPECT_DEATH(world.proc(0).irecv(rx, kAnySource, 1, comm), "no_any_source");
+  EXPECT_DEATH(world.proc(0).irecv(rx, 1, kAnyTag, comm), "no_any_tag");
+}
+
+TEST(MpiOffload, MatchStatsExposed) {
+  World world(2, {});
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(8);
+  auto req = world.proc(1).irecv(rx, 0, 1, comm);
+  world.proc(0).send(payload(8), 1, 1, comm);
+  world.proc(1).wait(req);
+  const MatchStats* s = world.proc(1).match_stats();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->messages_matched, 1u);
+}
+
+TEST(MpiThreaded, SpmdPingPong) {
+  World world(2, {});
+  std::atomic<int> rounds{0};
+  world.run([&](Proc& proc) {
+    const Comm comm = proc.world_comm();
+    std::vector<std::byte> buf(32);
+    for (int i = 0; i < 20; ++i) {
+      if (proc.rank() == 0) {
+        proc.send(payload(32, i), 1, static_cast<Tag>(i), comm);
+        proc.recv(buf, 1, static_cast<Tag>(i), comm);
+        EXPECT_EQ(buf, payload(32, i + 1));
+      } else {
+        proc.recv(buf, 0, static_cast<Tag>(i), comm);
+        EXPECT_EQ(buf, payload(32, i));
+        proc.send(payload(32, i + 1), 0, static_cast<Tag>(i), comm);
+        rounds.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(rounds.load(), 20);
+}
+
+TEST(MpiThreaded, SpmdRing) {
+  constexpr int kRanks = 4;
+  World world(kRanks, {});
+  world.run([&](Proc& proc) {
+    const Comm comm = proc.world_comm();
+    const Rank next = static_cast<Rank>((proc.rank() + 1) % kRanks);
+    const Rank prev = static_cast<Rank>((proc.rank() + kRanks - 1) % kRanks);
+    std::vector<std::byte> buf(16);
+    auto req = proc.irecv(buf, prev, 1, comm);
+    proc.send(payload(16, proc.rank()), next, 1, comm);
+    proc.wait(req);
+    EXPECT_EQ(buf, payload(16, prev));
+  });
+}
+
+}  // namespace
+}  // namespace otm::mpi

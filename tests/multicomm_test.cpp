@@ -1,0 +1,243 @@
+// Tests for multiple-communicator support (Sec. IV-E): per-communicator
+// index tables on the DPA under a memory budget, and the host software
+// fallback for communicators the DPA cannot accommodate.
+#include <gtest/gtest.h>
+
+#include "dpa/accelerator.hpp"
+#include "mpi/mpi.hpp"
+#include "proto/endpoint.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig small_cfg() {
+  MatchConfig c;
+  c.bins = 16;
+  c.block_size = 4;
+  c.max_receives = 64;
+  c.max_unexpected = 64;
+  return c;
+}
+
+// --- DpaAccelerator -------------------------------------------------------------
+
+TEST(MultiComm, RegisterTracksMemory) {
+  DpaAccelerator dpa(DpaConfig{}, small_cfg());
+  const std::size_t base = dpa.memory_used();
+  EXPECT_GT(base, 0u);
+  ASSERT_TRUE(dpa.register_comm(1, small_cfg()));
+  EXPECT_EQ(dpa.memory_used(), 2 * base);
+  EXPECT_TRUE(dpa.comm_registered(1));
+  EXPECT_FALSE(dpa.comm_registered(2));
+}
+
+TEST(MultiComm, DuplicateRegistrationRejected) {
+  DpaAccelerator dpa(DpaConfig{}, small_cfg());
+  EXPECT_FALSE(dpa.register_comm(0, small_cfg()));
+}
+
+TEST(MultiComm, BudgetExhaustionFailsRegistration) {
+  DpaConfig cfg;
+  cfg.memory_budget_bytes = 64 * 1024;
+  MatchConfig big = small_cfg();
+  big.max_receives = 512;  // ~33 KiB footprint each
+  DpaAccelerator dpa(cfg, big);
+  EXPECT_FALSE(dpa.register_comm(1, big))
+      << "second communicator must exceed the 64 KiB budget";
+  EXPECT_TRUE(dpa.register_comm(2, small_cfg()))
+      << "a smaller configuration still fits";
+}
+
+TEST(MultiComm, PostRoutesToOwnCommunicator) {
+  DpaAccelerator dpa(DpaConfig{}, small_cfg());
+  ASSERT_TRUE(dpa.register_comm(1, small_cfg()));
+  dpa.post_receive({1, 5, /*comm=*/0}, 0, 0, 100);
+  dpa.post_receive({1, 5, /*comm=*/1}, 0, 0, 101);
+  const auto out = dpa.deliver(std::vector<IncomingMessage>{
+      IncomingMessage::make(1, 5, /*comm=*/1)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].receive_cookie, 101u);
+  EXPECT_EQ(dpa.engine(0).stats().messages_processed, 0u);
+  EXPECT_EQ(dpa.engine(1).stats().messages_processed, 1u);
+}
+
+TEST(MultiComm, UnregisteredPostSignalsFallback) {
+  DpaAccelerator dpa(DpaConfig{}, small_cfg());
+  const auto p = dpa.post_receive({1, 5, /*comm=*/9});
+  EXPECT_EQ(p.kind, PostOutcome::Kind::kFallback);
+}
+
+TEST(MultiComm, MixedCommStreamPreservesPerCommOrder) {
+  DpaAccelerator dpa(DpaConfig{}, small_cfg());
+  ASSERT_TRUE(dpa.register_comm(1, small_cfg()));
+  for (unsigned i = 0; i < 3; ++i) dpa.post_receive({1, 5, 0}, 0, 0, i);
+  for (unsigned i = 0; i < 3; ++i) dpa.post_receive({1, 5, 1}, 0, 0, 10 + i);
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < 3; ++i) {
+    msgs.push_back(IncomingMessage::make(1, 5, 0));
+    msgs.push_back(IncomingMessage::make(1, 5, 1));
+  }
+  const auto out = dpa.deliver(msgs);
+  ASSERT_EQ(out.size(), 6u);
+  unsigned next0 = 0;
+  unsigned next1 = 10;
+  for (const auto& o : out) {
+    ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
+    if (o.env.comm == 0) {
+      EXPECT_EQ(o.receive_cookie, next0++) << "comm 0 order broken";
+    } else {
+      EXPECT_EQ(o.receive_cookie, next1++) << "comm 1 order broken";
+    }
+  }
+  const MatchStats total = dpa.total_stats();
+  EXPECT_EQ(total.messages_matched, 6u);
+}
+
+// --- Endpoint host path -----------------------------------------------------------
+
+TEST(MultiComm, EndpointRoutesUnregisteredCommToHost) {
+  rdma::Fabric fabric;
+  proto::EndpointConfig ep_cfg;
+  proto::Endpoint a(fabric, 0, ep_cfg, small_cfg(), DpaConfig{});
+  proto::Endpoint b(fabric, 1, ep_cfg, small_cfg(), DpaConfig{});
+  a.connect(b);
+
+  std::vector<std::byte> data(32, std::byte{7});
+  ASSERT_TRUE(a.send(1, 4, /*comm=*/5, data).ok);
+  EXPECT_TRUE(b.progress().empty()) << "no DPA matching for comm 5";
+  auto host = b.take_host_messages();
+  ASSERT_EQ(host.size(), 1u);
+  EXPECT_EQ(host[0].env.comm, 5u);
+  EXPECT_EQ(host[0].env.tag, 4);
+  ASSERT_EQ(host[0].payload.size(), 32u);
+  EXPECT_EQ(host[0].payload[0], std::byte{7});
+  EXPECT_TRUE(b.take_host_messages().empty()) << "inbox must drain";
+}
+
+TEST(MultiComm, EndpointHostPathRendezvous) {
+  rdma::Fabric fabric;
+  proto::EndpointConfig ep_cfg;
+  ep_cfg.eager_threshold = 64;
+  proto::Endpoint a(fabric, 0, ep_cfg, small_cfg(), DpaConfig{});
+  proto::Endpoint b(fabric, 1, ep_cfg, small_cfg(), DpaConfig{});
+  a.connect(b);
+
+  std::vector<std::byte> data(4096, std::byte{9});
+  ASSERT_TRUE(a.send(1, 4, /*comm=*/5, data).ok);
+  b.progress();
+  auto host = b.take_host_messages();
+  ASSERT_EQ(host.size(), 1u);
+  EXPECT_EQ(host[0].protocol, Protocol::kRendezvous);
+  EXPECT_TRUE(host[0].payload.empty());
+  std::vector<std::byte> user(4096);
+  b.host_rdma_read(0, host[0].remote_key, host[0].remote_addr, user,
+                   host[0].arrival_ns);
+  EXPECT_EQ(user, data);
+}
+
+// --- Mini-MPI integration ------------------------------------------------------------
+
+TEST(MultiComm, NonOffloadedCommWorksEndToEnd) {
+  mpi::WorldOptions opts;
+  mpi::World world(2, opts);
+  mpi::CommInfo no_offload;
+  no_offload.offload = false;
+  const mpi::Comm comm = world.proc(0).comm_create(no_offload);
+  EXPECT_FALSE(world.proc(1).comm_offloaded(comm));
+  EXPECT_TRUE(world.proc(1).comm_offloaded(world.proc(1).world_comm()));
+
+  std::vector<std::byte> tx(64, std::byte{3});
+  std::vector<std::byte> rx(64);
+  auto req = world.proc(1).irecv(rx, 0, 7, comm);
+  world.proc(0).send(tx, 1, 7, comm);
+  const mpi::Status st = world.proc(1).wait(req);
+  EXPECT_EQ(st.bytes, 64u);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(MultiComm, HostCommUnexpectedThenRecv) {
+  mpi::World world(2, {});
+  mpi::CommInfo no_offload;
+  no_offload.offload = false;
+  const mpi::Comm comm = world.proc(0).comm_create(no_offload);
+  std::vector<std::byte> tx(16, std::byte{4});
+  world.proc(0).send(tx, 1, 1, comm);
+  world.proc(1).progress();  // host inbox -> host unexpected store
+  std::vector<std::byte> rx(16);
+  world.proc(1).recv(rx, 0, 1, comm);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(MultiComm, HostCommPreservesOrdering) {
+  mpi::World world(2, {});
+  mpi::CommInfo no_offload;
+  no_offload.offload = false;
+  const mpi::Comm comm = world.proc(0).comm_create(no_offload);
+  std::vector<std::byte> rx1(8);
+  std::vector<std::byte> rx2(8);
+  auto r1 = world.proc(1).irecv(rx1, 0, 4, comm);
+  auto r2 = world.proc(1).irecv(rx2, 0, 4, comm);
+  world.proc(0).send(std::vector<std::byte>(8, std::byte{1}), 1, 4, comm);
+  world.proc(0).send(std::vector<std::byte>(8, std::byte{2}), 1, 4, comm);
+  world.proc(1).wait(r1);
+  world.proc(1).wait(r2);
+  EXPECT_EQ(rx1[0], std::byte{1});
+  EXPECT_EQ(rx2[0], std::byte{2});
+}
+
+TEST(MultiComm, OffloadedAndHostCommsInterleave) {
+  mpi::World world(2, {});
+  mpi::CommInfo no_offload;
+  no_offload.offload = false;
+  const mpi::Comm host_comm = world.proc(0).comm_create(no_offload);
+  const mpi::Comm nic_comm = world.proc(0).world_comm();
+
+  std::vector<std::byte> rx_host(8);
+  std::vector<std::byte> rx_nic(8);
+  auto rh = world.proc(1).irecv(rx_host, 0, 1, host_comm);
+  auto rn = world.proc(1).irecv(rx_nic, 0, 1, nic_comm);
+  world.proc(0).send(std::vector<std::byte>(8, std::byte{0xA}), 1, 1, host_comm);
+  world.proc(0).send(std::vector<std::byte>(8, std::byte{0xB}), 1, 1, nic_comm);
+  world.proc(1).wait(rh);
+  world.proc(1).wait(rn);
+  EXPECT_EQ(rx_host[0], std::byte{0xA});
+  EXPECT_EQ(rx_nic[0], std::byte{0xB});
+}
+
+TEST(MultiComm, BudgetExhaustionFallsBackTransparently) {
+  mpi::WorldOptions opts;
+  opts.dpa.memory_budget_bytes = 80 * 1024;  // fits ~one comm only
+  opts.match.max_receives = 512;
+  opts.match.max_unexpected = 512;
+  mpi::World world(2, opts);
+  // World comm consumed most of the budget; this one must fall back.
+  const mpi::Comm overflow = world.proc(0).comm_create({});
+  EXPECT_FALSE(world.proc(1).comm_offloaded(overflow));
+
+  std::vector<std::byte> tx(32, std::byte{6});
+  std::vector<std::byte> rx(32);
+  auto req = world.proc(1).irecv(rx, 0, 2, overflow);
+  world.proc(0).send(tx, 1, 2, overflow);
+  world.proc(1).wait(req);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(MultiComm, HintsPropagateToEngineConfig) {
+  mpi::World world(2, {});
+  mpi::CommInfo hints;
+  hints.assert_no_any_source = true;
+  hints.assert_no_any_tag = true;
+  const mpi::Comm comm = world.proc(0).comm_create(hints);
+  ASSERT_TRUE(world.proc(1).comm_offloaded(comm));
+
+  // The no-wildcard engine probes a single index per message.
+  std::vector<std::byte> tx(8, std::byte{1});
+  std::vector<std::byte> rx(8);
+  auto req = world.proc(1).irecv(rx, 0, 3, comm);
+  world.proc(0).send(tx, 1, 3, comm);
+  world.proc(1).wait(req);
+  EXPECT_EQ(rx, tx);
+}
+
+}  // namespace
+}  // namespace otm

@@ -1,0 +1,216 @@
+// Oracle property tests: for ANY stream of posted receives and incoming
+// messages — with or without wildcards, across bin counts, block sizes,
+// optimization toggles and execution schedules — the optimistic engine must
+// produce the IDENTICAL message->receive pairing as the sequential
+// two-queue list matcher. This is exactly MPI constraints C1 + C2.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "baseline/list_matcher.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace otm {
+namespace {
+
+enum class Exec { kLockstep, kSequential, kThreaded };
+
+struct OracleParam {
+  std::size_t bins;
+  unsigned block_size;
+  double p_wildcard;   ///< probability a posted receive uses each wildcard
+  int key_space;       ///< sources/tags drawn from [0, key_space)
+  bool fast_path;
+  bool early_booking;
+  bool lazy_removal;
+  Exec exec;
+  std::uint64_t seed;
+  int ops;
+
+  friend std::ostream& operator<<(std::ostream& os, const OracleParam& p) {
+    os << "bins" << p.bins << "_blk" << p.block_size << "_wild"
+       << static_cast<int>(p.p_wildcard * 100) << "_keys" << p.key_space
+       << (p.fast_path ? "_fp" : "_nofp") << (p.early_booking ? "_eb" : "_noeb")
+       << (p.lazy_removal ? "_lazy" : "_eager") << "_exec"
+       << static_cast<int>(p.exec) << "_seed" << p.seed;
+    return os;
+  }
+};
+
+class OracleProperty : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(OracleProperty, PairingMatchesSequentialSemantics) {
+  const OracleParam& p = GetParam();
+
+  MatchConfig cfg;
+  cfg.bins = p.bins;
+  cfg.block_size = p.block_size;
+  cfg.max_receives = 4096;
+  cfg.max_unexpected = 4096;
+  cfg.enable_fast_path = p.fast_path;
+  cfg.early_booking_check = p.early_booking;
+  cfg.lazy_removal = p.lazy_removal;
+
+  MatchEngine engine(cfg);
+  ListMatcher oracle;
+  LockstepExecutor lockstep;
+  SequentialExecutor sequential;
+  ThreadedExecutor threaded;
+  BlockExecutor& ex = p.exec == Exec::kLockstep
+                          ? static_cast<BlockExecutor&>(lockstep)
+                          : p.exec == Exec::kSequential
+                                ? static_cast<BlockExecutor&>(sequential)
+                                : static_cast<BlockExecutor&>(threaded);
+
+  Xoshiro256 rng(p.seed);
+  std::uint64_t next_msg = 0;
+  std::uint64_t next_recv = 0;
+  std::vector<IncomingMessage> pending;
+
+  // Flush buffered arrivals through both matchers in identical order and
+  // compare per-message outcomes.
+  auto flush = [&] {
+    if (pending.empty()) return;
+    const auto outs = engine.process(pending, ex);
+    ASSERT_EQ(outs.size(), pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const auto oracle_match = oracle.arrive(pending[i].env, pending[i].wire_seq);
+      if (oracle_match.has_value()) {
+        ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched)
+            << "msg " << pending[i].wire_seq << " env "
+            << to_string(pending[i].env);
+        ASSERT_EQ(outs[i].receive_cookie, *oracle_match)
+            << "msg " << pending[i].wire_seq << " paired with wrong receive";
+      } else {
+        ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected)
+            << "msg " << pending[i].wire_seq << " env "
+            << to_string(pending[i].env);
+      }
+    }
+    pending.clear();
+  };
+
+  for (int op = 0; op < p.ops; ++op) {
+    const Rank src = static_cast<Rank>(rng.below(static_cast<std::uint64_t>(p.key_space)));
+    const Tag tag = static_cast<Tag>(rng.below(static_cast<std::uint64_t>(p.key_space)));
+
+    if (rng.chance(0.5)) {
+      // Post a receive. Engine semantics: the receive is visible to all
+      // not-yet-processed messages, so flush buffered arrivals first to
+      // keep the oracle's event order identical.
+      flush();
+      MatchSpec spec{src, tag, 0};
+      if (rng.chance(p.p_wildcard)) spec.source = kAnySource;
+      if (rng.chance(p.p_wildcard)) spec.tag = kAnyTag;
+
+      const std::uint64_t id = next_recv++;
+      const auto engine_post = engine.post_receive(spec, 0, 0, id);
+      ASSERT_NE(engine_post.kind, PostOutcome::Kind::kFallback);
+      const auto oracle_post = oracle.post(spec, id);
+      if (oracle_post.has_value()) {
+        ASSERT_EQ(engine_post.kind, PostOutcome::Kind::kMatchedUnexpected)
+            << "post " << id << " spec " << to_string(spec);
+        ASSERT_EQ(engine_post.message.wire_seq, *oracle_post);
+      } else {
+        ASSERT_EQ(engine_post.kind, PostOutcome::Kind::kPending);
+      }
+    } else {
+      // Bursty arrivals: sometimes several messages from the same sender
+      // and tag (the paper's compatible-sequence scenario).
+      const std::uint64_t burst = 1 + rng.below(rng.chance(0.3) ? 6 : 1);
+      for (std::uint64_t b = 0; b < burst; ++b) {
+        IncomingMessage m = IncomingMessage::make(src, tag, 0);
+        m.wire_seq = next_msg++;
+        pending.push_back(m);
+      }
+      if (rng.chance(0.4)) flush();
+    }
+  }
+  flush();
+
+  EXPECT_EQ(engine.receives().posted_count(), oracle.posted_size());
+  EXPECT_EQ(engine.unexpected().size(), oracle.unexpected_size());
+}
+
+std::vector<OracleParam> make_params() {
+  std::vector<OracleParam> out;
+  // Dimension sweeps around a base configuration (lockstep = deterministic
+  // maximum-conflict schedule).
+  const OracleParam base{16, 4, 0.15, 3, true, true, true, Exec::kLockstep, 1, 1500};
+
+  for (const std::size_t bins : {1u, 2u, 16u, 128u}) {
+    OracleParam p = base;
+    p.bins = bins;
+    p.seed = 100 + bins;
+    out.push_back(p);
+  }
+  for (const unsigned blk : {1u, 2u, 7u, 16u, 32u}) {
+    OracleParam p = base;
+    p.block_size = blk;
+    p.seed = 200 + blk;
+    out.push_back(p);
+  }
+  for (const double wild : {0.0, 0.05, 0.4, 1.0}) {
+    OracleParam p = base;
+    p.p_wildcard = wild;
+    p.seed = 300 + static_cast<std::uint64_t>(wild * 100);
+    out.push_back(p);
+  }
+  for (const int keys : {1, 2, 8, 64}) {
+    // keys=1: every message/receive identical -> maximal conflicts.
+    OracleParam p = base;
+    p.key_space = keys;
+    p.seed = 400 + static_cast<std::uint64_t>(keys);
+    out.push_back(p);
+  }
+  // Optimization toggles (including all-off).
+  for (int mask = 0; mask < 8; ++mask) {
+    OracleParam p = base;
+    p.fast_path = (mask & 1) != 0;
+    p.early_booking = (mask & 2) != 0;
+    p.lazy_removal = (mask & 4) != 0;
+    p.seed = 500 + static_cast<std::uint64_t>(mask);
+    out.push_back(p);
+  }
+  // Execution schedules, incl. racy threaded runs with several seeds.
+  for (const Exec e : {Exec::kSequential, Exec::kThreaded}) {
+    for (const std::uint64_t s : {7u, 8u, 9u}) {
+      OracleParam p = base;
+      p.exec = e;
+      p.seed = s;
+      p.ops = e == Exec::kThreaded ? 400 : 1500;
+      p.block_size = 8;
+      out.push_back(p);
+    }
+  }
+  // Conflict-heavy threaded case: single key, big blocks.
+  {
+    OracleParam p = base;
+    p.exec = Exec::kThreaded;
+    p.key_space = 1;
+    p.block_size = 8;
+    p.ops = 300;
+    p.seed = 42;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::string param_name(const ::testing::TestParamInfo<OracleParam>& info) {
+  std::ostringstream ss;
+  ss << info.param;
+  std::string s = ss.str();
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OracleProperty, ::testing::ValuesIn(make_params()),
+                         param_name);
+
+}  // namespace
+}  // namespace otm

@@ -1,0 +1,124 @@
+// Tests for message probing (MPI_Probe/Iprobe semantics): engine-level
+// non-destructive UMQ lookup, endpoint routing, and the mini-MPI API on
+// offloaded, host-path and software backends.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "mpi/mpi.hpp"
+
+namespace otm {
+namespace {
+
+MatchConfig tiny() {
+  MatchConfig c;
+  c.bins = 8;
+  c.block_size = 2;
+  c.max_receives = 32;
+  c.max_unexpected = 32;
+  return c;
+}
+
+TEST(EngineProbe, FindsWithoutConsuming) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  IncomingMessage m = IncomingMessage::make(2, 7, 0, /*bytes=*/96);
+  m.wire_seq = 5;
+  eng.process_one(m, ex);
+
+  const auto p1 = eng.probe({2, 7, 0});
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->env.source, 2);
+  EXPECT_EQ(p1->payload_bytes, 96u);
+  EXPECT_EQ(p1->wire_seq, 5u);
+  // Probing again still finds it: non-destructive.
+  EXPECT_TRUE(eng.probe({2, 7, 0}).has_value());
+  EXPECT_EQ(eng.unexpected().size(), 1u);
+  // The receive then actually consumes it.
+  EXPECT_EQ(eng.post_receive({2, 7, 0}).kind,
+            PostOutcome::Kind::kMatchedUnexpected);
+  EXPECT_FALSE(eng.probe({2, 7, 0}).has_value());
+}
+
+TEST(EngineProbe, WildcardProbeSeesOldest) {
+  MatchEngine eng(tiny());
+  LockstepExecutor ex;
+  IncomingMessage a = IncomingMessage::make(1, 1, 0);
+  a.wire_seq = 10;
+  IncomingMessage b = IncomingMessage::make(2, 2, 0);
+  b.wire_seq = 11;
+  eng.process_one(a, ex);
+  eng.process_one(b, ex);
+  const auto p = eng.probe({kAnySource, kAnyTag, 0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->wire_seq, 10u) << "probe must report the oldest match (C2)";
+}
+
+TEST(EngineProbe, NoMatchReturnsEmpty) {
+  MatchEngine eng(tiny());
+  EXPECT_FALSE(eng.probe({1, 1, 0}).has_value());
+}
+
+class MpiProbe : public ::testing::TestWithParam<mpi::Backend> {
+ protected:
+  mpi::WorldOptions options() const {
+    mpi::WorldOptions o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+
+TEST_P(MpiProbe, IprobeSeesArrivedMessage) {
+  mpi::World world(2, options());
+  const mpi::Comm comm = world.proc(0).world_comm();
+  EXPECT_FALSE(world.proc(1).iprobe(0, 3, comm));
+
+  std::vector<std::byte> tx(48, std::byte{1});
+  world.proc(0).send(tx, 1, 3, comm);
+  mpi::Status st;
+  ASSERT_TRUE(world.proc(1).iprobe(0, 3, comm, &st));
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 3);
+  EXPECT_EQ(st.bytes, 48u);
+
+  // Probe-then-receive with the probed size (the classic idiom).
+  std::vector<std::byte> rx(st.bytes);
+  world.proc(1).recv(rx, st.source, st.tag, comm);
+  EXPECT_EQ(rx, tx);
+  EXPECT_FALSE(world.proc(1).iprobe(0, 3, comm));
+}
+
+TEST_P(MpiProbe, WildcardIprobe) {
+  mpi::World world(3, options());
+  const mpi::Comm comm = world.proc(0).world_comm();
+  world.proc(2).send(std::vector<std::byte>(8, std::byte{2}), 0, 9, comm);
+  mpi::Status st;
+  ASSERT_TRUE(world.proc(0).iprobe(mpi::kAnySource, mpi::kAnyTag, comm, &st));
+  EXPECT_EQ(st.source, 2);
+  EXPECT_EQ(st.tag, 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MpiProbe,
+                         ::testing::Values(mpi::Backend::kOffloadDpa,
+                                           mpi::Backend::kSoftwareList),
+                         [](const auto& param_info) {
+                           return param_info.param == mpi::Backend::kOffloadDpa
+                                      ? "OffloadDpa"
+                                      : "SoftwareList";
+                         });
+
+TEST(MpiProbe, HostPathCommunicatorProbe) {
+  mpi::World world(2, {});
+  mpi::CommInfo no_offload;
+  no_offload.offload = false;
+  const mpi::Comm comm = world.proc(0).comm_create(no_offload);
+  world.proc(0).send(std::vector<std::byte>(16, std::byte{4}), 1, 2, comm);
+  mpi::Status st;
+  ASSERT_TRUE(world.proc(1).iprobe(0, 2, comm, &st));
+  EXPECT_EQ(st.bytes, 16u);
+  std::vector<std::byte> rx(16);
+  world.proc(1).recv(rx, 0, 2, comm);
+  EXPECT_EQ(rx[0], std::byte{4});
+}
+
+}  // namespace
+}  // namespace otm

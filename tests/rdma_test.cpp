@@ -1,0 +1,213 @@
+// Tests for the RDMA substrate: memory registration, bounce pools, CQ
+// ordering/overrun, QP send/recv data movement, RNR behavior, RDMA reads
+// and the link latency/serialization model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "rdma/completion_queue.hpp"
+#include "rdma/fabric.hpp"
+#include "rdma/memory.hpp"
+
+namespace otm::rdma {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 31 + static_cast<std::size_t>(seed)) & 0xFF);
+  return v;
+}
+
+// --- MemoryRegistry -----------------------------------------------------------
+
+TEST(MemoryRegistry, ResolveWithinBounds) {
+  std::vector<std::byte> region(128);
+  MemoryRegistry reg;
+  const auto rkey = reg.register_region(region);
+  const auto span = reg.resolve(rkey, 32, 64);
+  EXPECT_EQ(span.data(), region.data() + 32);
+  EXPECT_EQ(span.size(), 64u);
+}
+
+TEST(MemoryRegistry, OutOfBoundsFaults) {
+  std::vector<std::byte> region(128);
+  MemoryRegistry reg;
+  const auto rkey = reg.register_region(region);
+  EXPECT_DEATH(reg.resolve(rkey, 100, 64), "out of bounds");
+  EXPECT_DEATH(reg.resolve(rkey + 1, 0, 1), "unknown rkey");
+}
+
+// --- BounceBufferPool ----------------------------------------------------------
+
+TEST(BounceBufferPool, AllocateReleaseCycle) {
+  BounceBufferPool pool(4, 256);
+  EXPECT_EQ(pool.capacity(), 4u);
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 4; ++i) {
+    const auto h = pool.allocate();
+    ASSERT_TRUE(h.has_value());
+    handles.push_back(*h);
+  }
+  EXPECT_FALSE(pool.allocate().has_value()) << "pool exhausted";
+  pool.release(handles[2]);
+  EXPECT_TRUE(pool.allocate().has_value());
+}
+
+TEST(BounceBufferPool, BuffersAreDisjoint) {
+  BounceBufferPool pool(3, 64);
+  const auto a = *pool.allocate();
+  const auto b = *pool.allocate();
+  std::memset(pool.data(a).data(), 0xAA, 64);
+  std::memset(pool.data(b).data(), 0xBB, 64);
+  EXPECT_EQ(static_cast<unsigned char>(pool.data(a)[0]), 0xAA);
+  EXPECT_EQ(static_cast<unsigned char>(pool.data(b)[0]), 0xBB);
+}
+
+// --- CompletionQueue -----------------------------------------------------------
+
+TEST(CompletionQueue, FifoOrderAndSequence) {
+  CompletionQueue cq(8);
+  for (std::uint64_t i = 0; i < 3; ++i) cq.push({.wr_id = 100 + i});
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const auto e = cq.poll();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->wr_id, 100 + i);
+    EXPECT_EQ(e->sequence, i);
+  }
+  EXPECT_FALSE(cq.poll().has_value());
+}
+
+TEST(CompletionQueue, OverrunRejected) {
+  CompletionQueue cq(2);
+  EXPECT_TRUE(cq.push({}));
+  EXPECT_TRUE(cq.push({}));
+  EXPECT_FALSE(cq.push({}));
+}
+
+TEST(CompletionQueue, PeekSequenceForPerThreadPolling) {
+  CompletionQueue cq(8);
+  for (std::uint64_t i = 0; i < 5; ++i) cq.push({.wr_id = i});
+  // Thread 1 of a block of 2 polls sequence 1, 3, ...
+  EXPECT_EQ(cq.peek_sequence(1)->wr_id, 1u);
+  EXPECT_EQ(cq.peek_sequence(3)->wr_id, 3u);
+  EXPECT_FALSE(cq.peek_sequence(7).has_value());
+  cq.consume_through(2);
+  EXPECT_FALSE(cq.peek_sequence(1).has_value());
+  EXPECT_EQ(cq.available(), 2u);
+}
+
+// --- Fabric / QueuePair --------------------------------------------------------
+
+struct TwoNodes {
+  Fabric fabric;
+  MemoryRegistry reg_a, reg_b;
+  CompletionQueue cq_a{64}, cq_b{64};
+  SharedReceiveQueue srq_a, srq_b;
+  NodeId na, nb;
+  QueuePair qa, qb;
+
+  TwoNodes()
+      : fabric(FabricConfig{}),
+        na(fabric.add_node()),
+        nb(fabric.add_node()),
+        qa(fabric, na, cq_a, reg_a, srq_a),
+        qb(fabric, nb, cq_b, reg_b, srq_b) {
+    qa.connect(qb);
+  }
+};
+
+TEST(QueuePair, SendMovesBytesAndCompletes) {
+  TwoNodes t;
+  std::vector<std::byte> rx(64);
+  t.qb.post_recv(7, rx);
+  const auto data = pattern(48);
+  const auto r = t.qa.post_send(data, /*send_ns=*/1000);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.recv_wr_id, 7u);
+  EXPECT_GT(r.arrival_ns, 1000u + 500u) << "wire latency applies";
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), rx.begin()));
+  const auto cqe = t.cq_b.poll();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 7u);
+  EXPECT_EQ(cqe->byte_len, 48u);
+  EXPECT_EQ(cqe->timestamp_ns, r.arrival_ns);
+}
+
+TEST(QueuePair, RnrWhenNoReceivePosted) {
+  TwoNodes t;
+  const auto data = pattern(16);
+  const auto r = t.qa.post_send(data, 0);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(QueuePair, ReceivesConsumedInOrder) {
+  TwoNodes t;
+  std::vector<std::byte> rx1(64);
+  std::vector<std::byte> rx2(64);
+  t.qb.post_recv(1, rx1);
+  t.qb.post_recv(2, rx2);
+  EXPECT_EQ(t.qa.post_send(pattern(8, 1), 0).recv_wr_id, 1u);
+  EXPECT_EQ(t.qa.post_send(pattern(8, 2), 0).recv_wr_id, 2u);
+}
+
+TEST(QueuePair, RdmaReadPullsRemoteData) {
+  TwoNodes t;
+  auto remote = pattern(256, 9);
+  const auto rkey = t.reg_b.register_region(remote);
+  std::vector<std::byte> local(128);
+  const auto done = t.qa.rdma_read(rkey, 64, local, /*issue_ns=*/500);
+  EXPECT_TRUE(std::equal(local.begin(), local.end(), remote.begin() + 64));
+  EXPECT_GT(done, 500u + 2 * 600u) << "round trip costs two wire latencies";
+}
+
+TEST(Fabric, LinkSerializesBackToBackMessages) {
+  Fabric f{FabricConfig{}};
+  const auto a = f.add_node();
+  const auto b = f.add_node();
+  const auto t1 = f.transfer(a, b, 4096, 0);
+  const auto t2 = f.transfer(a, b, 4096, 0);
+  EXPECT_GT(t2, t1) << "second message queues behind the first";
+  // Reverse direction is an independent link.
+  const auto t3 = f.transfer(b, a, 4096, 0);
+  EXPECT_EQ(t3, t1);
+}
+
+TEST(Fabric, BandwidthTermScalesWithSize) {
+  FabricConfig cfg;
+  cfg.wire_latency_ns = 0;
+  cfg.bandwidth_bytes_per_ns = 1.0;
+  Fabric f{cfg};
+  const auto a = f.add_node();
+  const auto b = f.add_node();
+  EXPECT_EQ(f.transfer(a, b, 1000, 0), 1000u);
+}
+
+TEST(SharedReceiveQueue, SharedAcrossQps) {
+  // Two senders to one receiver draw from the same staging queue.
+  Fabric fabric{FabricConfig{}};
+  MemoryRegistry reg_r, reg_s1, reg_s2;
+  CompletionQueue cq_r{64}, cq_s1{64}, cq_s2{64};
+  SharedReceiveQueue srq_r, srq_s1, srq_s2;
+  const auto nr = fabric.add_node();
+  const auto n1 = fabric.add_node();
+  const auto n2 = fabric.add_node();
+  QueuePair qr1(fabric, nr, cq_r, reg_r, srq_r);
+  QueuePair qr2(fabric, nr, cq_r, reg_r, srq_r);
+  QueuePair qs1(fabric, n1, cq_s1, reg_s1, srq_s1);
+  QueuePair qs2(fabric, n2, cq_s2, reg_s2, srq_s2);
+  qs1.connect(qr1);
+  qs2.connect(qr2);
+
+  std::vector<std::byte> rx1(32);
+  std::vector<std::byte> rx2(32);
+  srq_r.post(11, rx1);
+  srq_r.post(22, rx2);
+  EXPECT_EQ(qs1.post_send(pattern(8), 0).recv_wr_id, 11u);
+  EXPECT_EQ(qs2.post_send(pattern(8), 0).recv_wr_id, 22u);
+  EXPECT_EQ(cq_r.available(), 2u) << "both completions land on the shared CQ";
+}
+
+}  // namespace
+}  // namespace otm::rdma

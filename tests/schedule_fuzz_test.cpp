@@ -1,0 +1,180 @@
+// Schedule-independence fuzzing: the block matcher's waits all target
+// strictly lower thread ids, so ANY topological order of (phase, thread)
+// tasks respecting
+//     optimistic(j) < detect(t)   for j <= t
+//     detect(j)     < resolve(t)  for j <= t
+//     resolve(j)    < resolve(t)  for j <  t
+// is a legal single-threaded schedule that cannot spin. A RandomSchedule
+// executor samples such linear extensions uniformly at random — far more
+// interleavings than real threads ever produce on a small machine — and
+// the oracle property must hold under every one of them.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/list_matcher.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace otm {
+namespace {
+
+class RandomScheduleExecutor final : public BlockExecutor {
+ public:
+  explicit RandomScheduleExecutor(std::uint64_t seed) : rng_(seed) {}
+
+  void execute(BlockMatcher& m) override {
+    const unsigned n = m.num_threads();
+    // next_phase[t]: 0 = optimistic pending, 1 = detect pending,
+    // 2 = resolve pending, 3 = done.
+    std::vector<unsigned> phase(n, 0);
+
+    auto ready = [&](unsigned t) {
+      switch (phase[t]) {
+        case 0:
+          return true;
+        case 1:  // detect(t) needs optimistic(j) for all j < t
+          for (unsigned j = 0; j < t; ++j)
+            if (phase[j] < 1) return false;
+          return true;
+        case 2:  // resolve(t) needs detect(j<=t) and resolve(j<t)
+          for (unsigned j = 0; j < t; ++j)
+            if (phase[j] < 3) return false;  // j fully resolved
+          // detect(j<t) implied by phase[j]==3; own detect done since
+          // phase[t]==2.
+          return true;
+        default:
+          return false;
+      }
+    };
+
+    unsigned remaining = 3 * n;
+    std::vector<unsigned> candidates;
+    while (remaining > 0) {
+      candidates.clear();
+      for (unsigned t = 0; t < n; ++t)
+        if (phase[t] < 3 && ready(t)) candidates.push_back(t);
+      ASSERT_FALSE(candidates.empty()) << "schedule deadlocked";
+      const unsigned t = candidates[rng_.below(candidates.size())];
+      switch (phase[t]) {
+        case 0: m.run_optimistic(t); break;
+        case 1: m.run_detect(t); break;
+        case 2: m.run_resolve(t); break;
+      }
+      ++phase[t];
+      --remaining;
+    }
+  }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+struct FuzzParam {
+  std::uint64_t seed;
+  unsigned block_size;
+  int key_space;
+  double p_wildcard;
+  bool fast_path;
+  bool early_booking;
+};
+
+class ScheduleFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(ScheduleFuzz, OracleHoldsUnderRandomLegalSchedules) {
+  const FuzzParam& p = GetParam();
+  MatchConfig cfg;
+  cfg.bins = 8;
+  cfg.block_size = p.block_size;
+  cfg.max_receives = 4096;
+  cfg.max_unexpected = 4096;
+  cfg.enable_fast_path = p.fast_path;
+  cfg.early_booking_check = p.early_booking;
+
+  MatchEngine engine(cfg);
+  ListMatcher oracle;
+  RandomScheduleExecutor executor(p.seed * 7919);
+  Xoshiro256 rng(p.seed);
+  std::uint64_t next_id = 0;
+  std::vector<IncomingMessage> pending;
+
+  auto flush = [&] {
+    if (pending.empty()) return;
+    const auto outs = engine.process(pending, executor);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const auto om = oracle.arrive(pending[i].env, pending[i].wire_seq);
+      if (om.has_value()) {
+        ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched)
+            << "msg " << pending[i].wire_seq;
+        ASSERT_EQ(outs[i].receive_cookie, *om);
+      } else {
+        ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected);
+      }
+    }
+    pending.clear();
+  };
+
+  for (int op = 0; op < 800; ++op) {
+    const Rank src = static_cast<Rank>(
+        rng.below(static_cast<std::uint64_t>(p.key_space)));
+    const Tag tag = static_cast<Tag>(
+        rng.below(static_cast<std::uint64_t>(p.key_space)));
+    if (rng.chance(0.5)) {
+      flush();
+      MatchSpec spec{src, tag, 0};
+      if (rng.chance(p.p_wildcard)) spec.source = kAnySource;
+      if (rng.chance(p.p_wildcard)) spec.tag = kAnyTag;
+      const auto id = next_id++;
+      const auto ep = engine.post_receive(spec, 0, 0, id);
+      const auto oo = oracle.post(spec, id);
+      if (oo.has_value()) {
+        ASSERT_EQ(ep.kind, PostOutcome::Kind::kMatchedUnexpected);
+        ASSERT_EQ(ep.message.wire_seq, *oo);
+      } else {
+        ASSERT_EQ(ep.kind, PostOutcome::Kind::kPending);
+      }
+    } else {
+      const std::uint64_t burst = 1 + rng.below(rng.chance(0.4) ? 8 : 2);
+      for (std::uint64_t b = 0; b < burst; ++b) {
+        IncomingMessage m = IncomingMessage::make(src, tag, 0);
+        m.wire_seq = next_id++;
+        pending.push_back(m);
+      }
+      if (rng.chance(0.4)) flush();
+    }
+  }
+  flush();
+  EXPECT_EQ(engine.receives().posted_count(), oracle.posted_size());
+  EXPECT_EQ(engine.unexpected().size(), oracle.unexpected_size());
+}
+
+std::vector<FuzzParam> fuzz_params() {
+  std::vector<FuzzParam> out;
+  // Broad seed sweep on the conflict-heavy configuration.
+  for (std::uint64_t s = 1; s <= 12; ++s)
+    out.push_back({s, 8, 2, 0.1, true, false});
+  // Single-key (maximum conflicts), with and without the fast path.
+  for (std::uint64_t s = 20; s <= 24; ++s) {
+    out.push_back({s, 8, 1, 0.0, true, false});
+    out.push_back({s, 8, 1, 0.0, false, false});
+  }
+  // Wildcard-heavy and early-booking-check variants.
+  for (std::uint64_t s = 30; s <= 33; ++s) {
+    out.push_back({s, 6, 3, 0.5, true, true});
+    out.push_back({s, 32, 4, 0.2, true, false});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleFuzz, ::testing::ValuesIn(fuzz_params()),
+                         [](const auto& param_info) {
+                           const FuzzParam& p = param_info.param;
+                           return "seed" + std::to_string(p.seed) + "_blk" +
+                                  std::to_string(p.block_size) + "_keys" +
+                                  std::to_string(p.key_space) +
+                                  (p.fast_path ? "_fp" : "_nofp") +
+                                  (p.early_booking ? "_eb" : "_noeb");
+                         });
+
+}  // namespace
+}  // namespace otm

@@ -1,0 +1,188 @@
+// Invariant tests over the synthetic application suite: Table-II process
+// counts, send/receive balance, call-mix expectations from Fig. 6 (three
+// pure-p2p apps, two collective-only apps, no one-sided anywhere), and a
+// full analyzer pass over the lighter apps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/analyzer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace otm::trace {
+namespace {
+
+TEST(Suite, SixteenAppsWithTableIIProcessCounts) {
+  const auto suite = application_suite();
+  ASSERT_EQ(suite.size(), 16u);
+  const std::map<std::string, int> expected = {
+      {"AMG", 8},          {"AMR-MiniApp", 64},      {"BigFFT", 1024},
+      {"BoxLib-CNS", 64},  {"BoxLib-MultiGrid", 64}, {"CrystalRouter", 100},
+      {"FillBoundary", 1000}, {"HILO", 256},         {"HILO-2D", 256},
+      {"LULESH", 64},      {"MiniFE", 1152},         {"MOCFE", 64},
+      {"MultiGrid", 1000}, {"Nekbone", 64},          {"PARTISN", 168},
+      {"SNAP", 168},
+  };
+  for (const AppInfo& app : suite) {
+    const auto it = expected.find(app.name);
+    ASSERT_NE(it, expected.end()) << "unexpected app " << app.name;
+    EXPECT_EQ(app.processes, it->second) << app.name;
+  }
+}
+
+TEST(Suite, FindAppLookup) {
+  EXPECT_NE(find_app("LULESH"), nullptr);
+  EXPECT_EQ(find_app("NotAnApp"), nullptr);
+  EXPECT_STREQ(find_app("SNAP")->description,
+               "Proxy application for the PARTISN communication pattern");
+}
+
+struct OpCounts {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t collectives = 0;
+  std::uint64_t one_sided = 0;
+  std::uint64_t wildcard_recvs = 0;
+};
+
+OpCounts count_ops(const Trace& t) {
+  OpCounts c;
+  for (const auto& r : t.ranks) {
+    for (const auto& op : r.ops) {
+      switch (op.type) {
+        case OpType::kSend:
+        case OpType::kIsend:
+          ++c.sends;
+          break;
+        case OpType::kRecv:
+        case OpType::kIrecv:
+          ++c.recvs;
+          if (op.peer == kAnySource || op.tag == kAnyTag) ++c.wildcard_recvs;
+          break;
+        default:
+          if (category_of(op.type) == OpCategory::kCollective) ++c.collectives;
+          if (category_of(op.type) == OpCategory::kOneSided) ++c.one_sided;
+      }
+    }
+  }
+  return c;
+}
+
+class SuiteInvariants : public ::testing::TestWithParam<const AppInfo*> {};
+
+TEST_P(SuiteInvariants, GeneratesConsistentTrace) {
+  const AppInfo& app = *GetParam();
+  const Trace t = app.make();
+  EXPECT_EQ(t.num_ranks, app.processes);
+  EXPECT_EQ(t.ranks.size(), static_cast<std::size_t>(app.processes));
+  EXPECT_GT(t.total_ops(), 0u);
+
+  const OpCounts c = count_ops(t);
+  EXPECT_EQ(c.sends, c.recvs) << "every send needs exactly one receive";
+  EXPECT_EQ(c.one_sided, 0u) << "no analyzed app uses one-sided MPI (Fig. 6)";
+
+  // Every send targets a valid rank and no rank sends to itself.
+  for (const auto& r : t.ranks)
+    for (const auto& op : r.ops)
+      if (op.type == OpType::kSend || op.type == OpType::kIsend) {
+        EXPECT_GE(op.peer, 0);
+        EXPECT_LT(op.peer, t.num_ranks);
+        EXPECT_NE(op.peer, r.rank);
+      }
+}
+
+TEST_P(SuiteInvariants, DeterministicGeneration) {
+  const AppInfo& app = *GetParam();
+  if (app.processes > 300) GTEST_SKIP() << "large app: covered by smaller ones";
+  EXPECT_EQ(app.make(), app.make());
+}
+
+std::vector<const AppInfo*> suite_ptrs() {
+  std::vector<const AppInfo*> v;
+  for (const AppInfo& a : application_suite()) v.push_back(&a);
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, SuiteInvariants, ::testing::ValuesIn(suite_ptrs()),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param->name;
+                           for (char& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(SuiteMix, ThreePureP2pApps) {
+  std::set<std::string> pure;
+  for (const AppInfo& app : application_suite()) {
+    const OpCounts c = count_ops(app.make());
+    if (c.sends > 0 && c.collectives == 0) pure.insert(app.name);
+  }
+  EXPECT_EQ(pure, (std::set<std::string>{"BigFFT", "CrystalRouter",
+                                         "FillBoundary"}))
+      << "Fig. 6: exactly three applications use p2p exclusively";
+}
+
+TEST(SuiteMix, TwoCollectiveOnlyApps) {
+  std::set<std::string> pure;
+  for (const AppInfo& app : application_suite()) {
+    const OpCounts c = count_ops(app.make());
+    if (c.sends == 0 && c.collectives > 0) pure.insert(app.name);
+  }
+  EXPECT_EQ(pure, (std::set<std::string>{"HILO", "HILO-2D"}))
+      << "Fig. 6: the two HILO variants rely entirely on collectives";
+}
+
+TEST(SuiteMix, WildcardUsageIsRare) {
+  std::uint64_t wild = 0;
+  std::uint64_t total = 0;
+  for (const AppInfo& app : application_suite()) {
+    const OpCounts c = count_ops(app.make());
+    wild += c.wildcard_recvs;
+    total += c.recvs;
+  }
+  EXPECT_GT(wild, 0u) << "some apps do use wildcards";
+  EXPECT_LT(static_cast<double>(wild) / static_cast<double>(total), 0.10)
+      << "wildcard receives are the exception, not the rule";
+}
+
+TEST(SuiteAnalysis, CnsIsTheDeepQueueOutlier) {
+  // Paper: BoxLib CNS max queue depth ~25 with one bin, ~1 with 128.
+  AnalyzerConfig one_bin;
+  one_bin.bins = 1;
+  AnalyzerConfig many_bins;
+  many_bins.bins = 128;
+  const Trace cns = make_boxlib_cns();
+  const auto deep = TraceAnalyzer(one_bin).analyze(cns);
+  const auto shallow = TraceAnalyzer(many_bins).analyze(cns);
+  EXPECT_GE(deep.max_queue_depth, 20u);
+  EXPECT_LE(shallow.max_queue_depth, 4u);
+}
+
+TEST(SuiteAnalysis, BinsReduceDepthAcrossLightApps) {
+  // The Fig. 7 claim on the sub-second apps of the suite: 32 bins cut the
+  // average queue depth by an order of magnitude.
+  for (const char* name : {"AMG", "LULESH", "Nekbone", "MOCFE"}) {
+    const AppInfo* app = find_app(name);
+    ASSERT_NE(app, nullptr);
+    const Trace t = app->make();
+    AnalyzerConfig c1;
+    c1.bins = 1;
+    AnalyzerConfig c32;
+    c32.bins = 32;
+    const auto a1 = TraceAnalyzer(c1).analyze(t);
+    const auto a32 = TraceAnalyzer(c32).analyze(t);
+    EXPECT_LT(a32.avg_queue_depth, a1.avg_queue_depth) << name;
+  }
+}
+
+TEST(SuiteAnalysis, CollectiveOnlyAppHasNoMatchingTraffic) {
+  const auto a = TraceAnalyzer(AnalyzerConfig{}).analyze(make_hilo());
+  EXPECT_EQ(a.messages, 0u);
+  EXPECT_EQ(a.receives_posted, 0u);
+  EXPECT_GT(a.calls.collective, 0u);
+  EXPECT_DOUBLE_EQ(a.calls.pct_collective(), 100.0);
+}
+
+}  // namespace
+}  // namespace otm::trace

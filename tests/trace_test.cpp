@@ -1,0 +1,309 @@
+// Tests for the trace substrate: op classification, DUMPI text round
+// trips, binary cache integrity/staleness, and the analyzer's replay
+// semantics on hand-built traces.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/analyzer.hpp"
+#include "trace/cache.hpp"
+#include "trace/dumpi_text.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace otm::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Ops, Categories) {
+  EXPECT_EQ(category_of(OpType::kIsend), OpCategory::kP2p);
+  EXPECT_EQ(category_of(OpType::kIrecv), OpCategory::kP2p);
+  EXPECT_EQ(category_of(OpType::kWaitall), OpCategory::kProgress);
+  EXPECT_EQ(category_of(OpType::kAllreduce), OpCategory::kCollective);
+  EXPECT_EQ(category_of(OpType::kPut), OpCategory::kOneSided);
+  EXPECT_EQ(category_of(OpType::kInit), OpCategory::kOther);
+}
+
+TEST(Ops, MpiNames) {
+  EXPECT_STREQ(mpi_name(OpType::kIsend), "MPI_Isend");
+  EXPECT_STREQ(mpi_name(OpType::kAlltoallv), "MPI_Alltoallv");
+}
+
+// --- TraceBuilder ---------------------------------------------------------
+
+TEST(TraceBuilder, TimestampsMonotonePerRank) {
+  TraceBuilder b("test", 2);
+  b.isend(0, 1, 1, 8);
+  b.isend(0, 1, 2, 8);
+  b.irecv(1, 0, 1, 8);
+  const Trace t = b.finish();
+  for (const auto& r : t.ranks) {
+    for (std::size_t i = 1; i < r.ops.size(); ++i)
+      EXPECT_GT(r.ops[i].start_ts, r.ops[i - 1].start_ts);
+  }
+}
+
+TEST(TraceBuilder, SyncAlignsClocks) {
+  TraceBuilder b("test", 2);
+  for (int i = 0; i < 10; ++i) b.isend(0, 1, 1, 8);  // rank 0 races ahead
+  b.sync_clocks();
+  b.irecv(1, 0, 1, 8);
+  const Trace t = b.finish();
+  // Rank 1's post-sync op must start no earlier than rank 0's last send.
+  const auto& r0 = t.ranks[0].ops;
+  const auto& r1 = t.ranks[1].ops;
+  EXPECT_GE(r1[r1.size() - 2].start_ts, r0[r0.size() - 2].start_ts);
+}
+
+// --- DUMPI text round trip --------------------------------------------------
+
+Trace small_trace() {
+  TraceBuilder b("roundtrip", 2);
+  b.irecv(1, 0, 5, 64);
+  b.irecv(1, kAnySource, kAnyTag, 32);
+  b.isend(0, 1, 5, 64);
+  b.send(0, 1, 6, 32);
+  b.recv(1, 0, 6, 32);
+  b.wait(1, 1);
+  b.waitall(1, 2);
+  b.collective_all(OpType::kAllreduce, 8);
+  b.collective_all(OpType::kBarrier, 0);
+  return b.finish();
+}
+
+TEST(DumpiText, RoundTripPreservesOps) {
+  const Trace t = small_trace();
+  for (const auto& rank_trace : t.ranks) {
+    std::stringstream ss;
+    write_dumpi_text(rank_trace, ss);
+    const RankTrace parsed = parse_dumpi_text(ss, rank_trace.rank);
+    ASSERT_EQ(parsed.ops.size(), rank_trace.ops.size());
+    for (std::size_t i = 0; i < parsed.ops.size(); ++i) {
+      const TraceOp& a = rank_trace.ops[i];
+      const TraceOp& b = parsed.ops[i];
+      EXPECT_EQ(a.type, b.type) << "op " << i;
+      if (category_of(a.type) == OpCategory::kP2p) {
+        EXPECT_EQ(a.peer, b.peer) << "op " << i;
+        EXPECT_EQ(a.tag, b.tag) << "op " << i;
+        EXPECT_EQ(a.bytes, b.bytes) << "op " << i;
+        EXPECT_EQ(a.comm, b.comm) << "op " << i;
+      }
+      EXPECT_NEAR(a.start_ts, b.start_ts, 1e-6);
+    }
+  }
+}
+
+TEST(DumpiText, WildcardsEncodedAsMinusOne) {
+  TraceBuilder b("wild", 1);
+  b.irecv(0, kAnySource, kAnyTag, 8);
+  const Trace t = b.finish();
+  std::stringstream ss;
+  write_dumpi_text(t.ranks[0], ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("source=-1 (MPI_ANY_SOURCE)"), std::string::npos);
+  EXPECT_NE(text.find("tag=-1 (MPI_ANY_TAG)"), std::string::npos);
+  std::stringstream ss2(text);
+  const RankTrace parsed = parse_dumpi_text(ss2, 0);
+  const auto& recv = parsed.ops[1];  // after MPI_Init
+  EXPECT_EQ(recv.peer, kAnySource);
+  EXPECT_EQ(recv.tag, kAnyTag);
+}
+
+TEST(DumpiText, UnknownCallsSkipped) {
+  std::stringstream ss;
+  ss << "MPI_Comm_rank entering at walltime 0.1, cputime 0.0 seconds in thread 0.\n"
+     << "int rank=3\n"
+     << "MPI_Comm_rank returning at walltime 0.2, cputime 0.0 seconds in thread 0.\n"
+     << "MPI_Send entering at walltime 0.3, cputime 0.0 seconds in thread 0.\n"
+     << "int count=8\n"
+     << "int dest=1\n"
+     << "int tag=4\n"
+     << "MPI_Comm comm=0 (MPI_COMM_WORLD)\n"
+     << "MPI_Send returning at walltime 0.4, cputime 0.0 seconds in thread 0.\n";
+  const RankTrace parsed = parse_dumpi_text(ss, 0);
+  ASSERT_EQ(parsed.ops.size(), 1u);
+  EXPECT_EQ(parsed.ops[0].type, OpType::kSend);
+  EXPECT_EQ(parsed.ops[0].peer, 1);
+}
+
+TEST(DumpiText, MalformedBlockThrows) {
+  std::stringstream ss;
+  ss << "MPI_Send entering at walltime 0.3, cputime 0.0 seconds in thread 0.\n"
+     << "int dest=1\n";  // no return line
+  EXPECT_THROW(parse_dumpi_text(ss, 0), std::runtime_error);
+}
+
+TEST(DumpiText, DirectoryRoundTrip) {
+  const Trace t = small_trace();
+  const std::string dir = (fs::temp_directory_path() / "otm_dumpi_test").string();
+  fs::remove_all(dir);
+  const std::string meta = write_trace_dir(t, dir);
+  const Trace loaded = load_trace_dir(meta);
+  EXPECT_EQ(loaded.app_name, t.app_name);
+  EXPECT_EQ(loaded.num_ranks, t.num_ranks);
+  EXPECT_EQ(loaded.total_ops(), t.total_ops());
+  fs::remove_all(dir);
+}
+
+// --- Binary cache -----------------------------------------------------------
+
+TEST(Cache, SaveLoadRoundTrip) {
+  const Trace t = small_trace();
+  const std::string path =
+      (fs::temp_directory_path() / "otm_cache_test.bin").string();
+  ASSERT_TRUE(save_cache(t, path, /*fingerprint=*/42));
+  const auto loaded = load_cache(path, 42);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, t);
+  fs::remove(path);
+}
+
+TEST(Cache, FingerprintMismatchRejected) {
+  const Trace t = small_trace();
+  const std::string path =
+      (fs::temp_directory_path() / "otm_cache_fp.bin").string();
+  ASSERT_TRUE(save_cache(t, path, 42));
+  EXPECT_FALSE(load_cache(path, 43).has_value()) << "stale cache must re-parse";
+  EXPECT_TRUE(load_cache(path, 0).has_value()) << "0 skips the check";
+  fs::remove(path);
+}
+
+TEST(Cache, CorruptionDetected) {
+  const Trace t = small_trace();
+  const std::string path =
+      (fs::temp_directory_path() / "otm_cache_corrupt.bin").string();
+  ASSERT_TRUE(save_cache(t, path));
+  // Flip a byte in the middle of the payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(200);
+  char c = 0x5A;
+  f.write(&c, 1);
+  f.close();
+  EXPECT_FALSE(load_cache(path).has_value());
+  fs::remove(path);
+}
+
+TEST(Cache, CachedLoadUsesCacheSecondTime) {
+  const Trace t = small_trace();
+  const std::string dir = (fs::temp_directory_path() / "otm_cached_load").string();
+  fs::remove_all(dir);
+  const std::string meta = write_trace_dir(t, dir);
+  bool used_cache = true;
+  const Trace first = load_trace_cached(meta, &used_cache);
+  EXPECT_FALSE(used_cache) << "first load parses the text";
+  const Trace second = load_trace_cached(meta, &used_cache);
+  EXPECT_TRUE(used_cache) << "second load hits the cache";
+  EXPECT_EQ(first.total_ops(), second.total_ops());
+  fs::remove_all(dir);
+}
+
+TEST(Cache, RegeneratedTraceInvalidatesCache) {
+  Trace t = small_trace();
+  const std::string dir = (fs::temp_directory_path() / "otm_cache_regen").string();
+  fs::remove_all(dir);
+  const std::string meta = write_trace_dir(t, dir);
+  bool used_cache = false;
+  load_trace_cached(meta, &used_cache);
+  // Regenerate with one extra op: file sizes change, fingerprint changes.
+  TraceBuilder b("roundtrip", 2);
+  b.isend(0, 1, 1, 8);
+  b.isend(0, 1, 1, 8);
+  b.isend(0, 1, 1, 8);
+  write_trace_dir(b.finish(), dir);
+  load_trace_cached(meta, &used_cache);
+  EXPECT_FALSE(used_cache) << "changed source must invalidate the cache";
+  fs::remove_all(dir);
+}
+
+// --- Analyzer ---------------------------------------------------------------
+
+AnalyzerConfig cfg_with_bins(std::size_t bins) {
+  AnalyzerConfig c;
+  c.bins = bins;
+  return c;
+}
+
+TEST(Analyzer, CountsCallDistribution) {
+  const Trace t = small_trace();
+  const auto a = TraceAnalyzer(cfg_with_bins(16)).analyze(t);
+  EXPECT_EQ(a.calls.p2p, 5u);
+  EXPECT_EQ(a.calls.collective, 4u);  // 2 ranks x (allreduce + barrier)
+  EXPECT_EQ(a.calls.one_sided, 0u);
+  EXPECT_EQ(a.calls.progress, 2u);
+  EXPECT_GT(a.calls.other, 0u);  // init/finalize
+  EXPECT_NEAR(a.calls.pct_p2p() + a.calls.pct_collective() + a.calls.pct_one_sided(),
+              100.0, 1e-9);
+}
+
+TEST(Analyzer, MatchesAcrossRanks) {
+  const Trace t = small_trace();
+  const auto a = TraceAnalyzer(cfg_with_bins(16)).analyze(t);
+  EXPECT_EQ(a.messages, 2u);
+  EXPECT_EQ(a.receives_posted, 3u);
+  EXPECT_EQ(a.wildcard_receives, 1u);
+  EXPECT_EQ(a.dropped, 0u);
+}
+
+TEST(Analyzer, QueueDepthDropsWithBins) {
+  // 64 outstanding same-destination receives with distinct tags, then the
+  // matching messages in reverse order: 1 bin scans deep, 128 bins do not.
+  TraceBuilder b("depth", 2);
+  for (Tag tag = 0; tag < 64; ++tag) b.irecv(1, 0, tag, 8);
+  b.sync_clocks();
+  for (Tag tag = 63; tag >= 0; --tag) b.isend(0, 1, tag, 8);
+  b.waitall(1, 64);
+  const Trace t = b.finish();
+
+  const auto a1 = TraceAnalyzer(cfg_with_bins(1)).analyze(t);
+  const auto a128 = TraceAnalyzer(cfg_with_bins(128)).analyze(t);
+  EXPECT_GT(a1.avg_queue_depth, 8.0);
+  EXPECT_LT(a128.avg_queue_depth, a1.avg_queue_depth / 4.0);
+  EXPECT_GT(a1.max_queue_depth, a128.max_queue_depth);
+  EXPECT_EQ(a1.unique_src_tag_pairs, 64u);
+}
+
+TEST(Analyzer, UnexpectedMessagesCounted) {
+  TraceBuilder b("unexpected", 2);
+  b.isend(0, 1, 9, 8);   // arrives before any receive
+  b.sync_clocks();
+  b.waitall(1, 0);       // progress: flushes the arrival into the UMQ
+  b.irecv(1, 0, 9, 8);   // drains it at post time
+  b.wait(1, 1);
+  const Trace t = b.finish();
+  const auto a = TraceAnalyzer(cfg_with_bins(16)).analyze(t);
+  EXPECT_EQ(a.unexpected, 1u);
+  EXPECT_EQ(a.matched_at_post, 1u);
+}
+
+TEST(Analyzer, TagUsageHistogram) {
+  TraceBuilder b("tags", 2);
+  for (int i = 0; i < 5; ++i) b.isend(0, 1, 7, 8);
+  b.isend(0, 1, 3, 8);
+  const Trace t = b.finish();
+  const auto a = TraceAnalyzer(cfg_with_bins(16)).analyze(t);
+  EXPECT_EQ(a.tag_usage.at(7), 5u);
+  EXPECT_EQ(a.tag_usage.at(3), 1u);
+}
+
+TEST(Analyzer, BlockSizeAboveOneExposesConflicts) {
+  // A compatible sequence hit by a burst: with block_size 8 the analyzer
+  // must observe conflicts; with block_size 1 it cannot.
+  TraceBuilder b("conflicts", 2);
+  for (int i = 0; i < 8; ++i) b.irecv(1, 0, 5, 8);
+  b.sync_clocks();
+  for (int i = 0; i < 8; ++i) b.isend(0, 1, 5, 8);
+  b.waitall(1, 8);
+  const Trace t = b.finish();
+
+  AnalyzerConfig c1 = cfg_with_bins(32);
+  c1.block_size = 1;
+  AnalyzerConfig c8 = cfg_with_bins(32);
+  c8.block_size = 8;
+  EXPECT_EQ(TraceAnalyzer(c1).analyze(t).conflicts, 0u);
+  EXPECT_GT(TraceAnalyzer(c8).analyze(t).conflicts, 0u);
+}
+
+}  // namespace
+}  // namespace otm::trace

@@ -1,0 +1,357 @@
+// Unit tests for the util module: booking bitmap generations, partial
+// barrier semantics, hashing stability, RNG determinism, table/arg helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/booking_bitmap.hpp"
+#include "util/hash.hpp"
+#include "util/partial_barrier.hpp"
+#include "util/rng.hpp"
+#include "util/running_stats.hpp"
+#include "util/spinlock.hpp"
+#include "util/table_writer.hpp"
+
+namespace otm {
+namespace {
+
+// --- BookingBitmap ---------------------------------------------------------
+
+TEST(BookingBitmap, BookSetsBit) {
+  BookingBitmap b;
+  EXPECT_EQ(b.booked(1), 0u);
+  b.book(1, 3);
+  EXPECT_EQ(b.booked(1), 1u << 3);
+}
+
+TEST(BookingBitmap, StaleGenerationReadsAsEmpty) {
+  BookingBitmap b;
+  b.book(1, 0);
+  b.book(1, 5);
+  EXPECT_NE(b.booked(1), 0u);
+  EXPECT_EQ(b.booked(2), 0u) << "older generation must be logically empty";
+}
+
+TEST(BookingBitmap, NewGenerationRestartsBitmap) {
+  BookingBitmap b;
+  b.book(1, 0);
+  b.book(1, 1);
+  b.book(2, 7);
+  EXPECT_EQ(b.booked(2), 1u << 7) << "only the new generation's bit survives";
+}
+
+TEST(BookingBitmap, BookedByLower) {
+  BookingBitmap b;
+  b.book(4, 2);
+  EXPECT_FALSE(b.booked_by_lower(4, 2)) << "own bit is not a lower bit";
+  EXPECT_FALSE(b.booked_by_lower(4, 1));
+  EXPECT_TRUE(b.booked_by_lower(4, 3));
+  EXPECT_TRUE(b.booked_by_lower(4, 31));
+  EXPECT_FALSE(b.booked_by_lower(5, 31)) << "different generation";
+}
+
+TEST(BookingBitmap, LowestBooker) {
+  BookingBitmap b;
+  EXPECT_EQ(b.lowest_booker(9), kMaxBlockThreads);
+  b.book(9, 17);
+  b.book(9, 4);
+  EXPECT_EQ(b.lowest_booker(9), 4u);
+}
+
+TEST(BookingBitmap, BookReturnsCumulativeBitmap) {
+  BookingBitmap b;
+  EXPECT_EQ(b.book(3, 0), 1u);
+  EXPECT_EQ(b.book(3, 1), 3u);
+  EXPECT_EQ(b.book(3, 2), 7u);
+}
+
+TEST(BookingBitmap, ConcurrentBookingLosesNoBits) {
+  BookingBitmap b;
+  constexpr unsigned kThreads = 16;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t)
+    ts.emplace_back([&b, t] { b.book(7, t); });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(b.booked(7), (1u << kThreads) - 1);
+}
+
+TEST(BookingBitmap, ConcurrentGenerationTransition) {
+  // Threads racing on two generations: the final word must hold the newest
+  // generation with at least the bits booked after the transition won.
+  for (int round = 0; round < 50; ++round) {
+    BookingBitmap b;
+    b.book(1, 0);
+    std::atomic<bool> go{false};
+    std::thread t1([&] {
+      while (!go.load()) {}
+      b.book(2, 1);
+    });
+    std::thread t2([&] {
+      while (!go.load()) {}
+      b.book(2, 2);
+    });
+    go.store(true);
+    t1.join();
+    t2.join();
+    EXPECT_EQ(b.booked(2) & 0b110u, 0b110u);
+    EXPECT_EQ(b.booked(1), 0u);
+  }
+}
+
+// --- PartialBarrier --------------------------------------------------------
+
+TEST(PartialBarrier, ThreadZeroNeverWaits) {
+  PartialBarrier bar(4);
+  bar.wait_lower(0);  // must return immediately
+  SUCCEED();
+}
+
+TEST(PartialBarrier, PublishedValuesVisibleAfterWait) {
+  PartialBarrier bar(3);
+  bar.arrive(0, 42);
+  bar.arrive(1, 99);
+  bar.wait_lower(2);
+  EXPECT_EQ(bar.published(0), 42u);
+  EXPECT_EQ(bar.published(1), 99u);
+  EXPECT_EQ(bar.max_published_lower(2), 99u);
+}
+
+TEST(PartialBarrier, WaitsOnlyOnLowerThreads) {
+  // Thread 1 can proceed while thread 2 has not arrived.
+  PartialBarrier bar(3);
+  bar.arrive(0, 1);
+  bar.wait_lower(1);  // would deadlock if it waited on thread 2
+  SUCCEED();
+}
+
+TEST(PartialBarrier, ThreadedAscendingRelease) {
+  constexpr unsigned kN = 8;
+  PartialBarrier bar(kN);
+  std::atomic<unsigned> release_order{0};
+  std::vector<unsigned> observed(kN);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kN; ++t) {
+    ts.emplace_back([&, t] {
+      bar.arrive(t, t * 10);
+      bar.wait_lower(t);
+      observed[t] = release_order.fetch_add(1);
+      EXPECT_EQ(bar.max_published_lower(t), t == 0 ? 0u : (t - 1) * 10);
+    });
+  }
+  for (auto& t : ts) t.join();
+  // All threads released; thread 0 cannot be blocked by anyone.
+  EXPECT_EQ(release_order.load(), kN);
+}
+
+TEST(PartialBarrier, ResetClearsState) {
+  PartialBarrier bar(2);
+  bar.arrive(0, 5);
+  bar.reset(3);
+  EXPECT_FALSE(bar.arrived(0));
+  EXPECT_EQ(bar.size(), 3u);
+}
+
+// --- Hashing ---------------------------------------------------------------
+
+TEST(Hash, SrcTagDiffersFromComponents) {
+  EXPECT_NE(hash_src_tag(1, 2), hash_src_tag(2, 1));
+  EXPECT_NE(hash_src(1), hash_tag(1)) << "per-index hash domains are distinct";
+}
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(hash_src_tag(7, 9), hash_src_tag(7, 9));
+  EXPECT_EQ(hash_src(-3), hash_src(-3));
+}
+
+TEST(Hash, SpreadsSequentialKeys) {
+  // Consecutive (src, tag) pairs must not collide excessively in 128 bins.
+  std::set<std::uint64_t> bins;
+  for (std::int32_t src = 0; src < 64; ++src)
+    for (std::int32_t tag = 0; tag < 16; ++tag)
+      bins.insert(hash_src_tag(src, tag) & 127);
+  EXPECT_GE(bins.size(), 120u) << "1024 keys should touch nearly all 128 bins";
+}
+
+TEST(Hash, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(128));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(100));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(128), 128u);
+  EXPECT_EQ(next_pow2(129), 256u);
+}
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a(nullptr, 0), 0xcbf29ce484222325ULL);
+  const char a = 'a';
+  EXPECT_EQ(fnv1a(&a, 1), 0xaf63dc4c8601ec8cULL);
+}
+
+// --- RNG ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BelowIsBounded) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Xoshiro256 r(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// --- RunningStats / Histogram -----------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Xoshiro256 r(5);
+  for (int i = 0; i < 500; ++i) {
+    const double v = r.uniform() * 10;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Histogram, MeanAndQuantiles) {
+  Histogram h;
+  h.add(0, 50);
+  h.add(10, 50);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.quantile(0.25), 0);
+  EXPECT_EQ(h.quantile(0.75), 10);
+  EXPECT_EQ(h.max_bucket(), 10);
+  EXPECT_EQ(h.total(), 100u);
+}
+
+// --- Spinlock ----------------------------------------------------------------
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock lock;
+  int counter = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        SpinGuard g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// --- TableWriter / ArgParser --------------------------------------------------
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.row().cell("x").cell(std::int64_t{1});
+  t.row().cell("longer").cell(3.5, 1);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriter, CsvFormat) {
+  TableWriter t({"a", "b"}, TableWriter::Format::kCsv);
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  EXPECT_EQ(t.str(), "a,b\n1,2\n");
+}
+
+TEST(ArgParser, ParsesForms) {
+  const char* argv[] = {"prog", "--k=v", "--flag", "--n", "42", "pos"};
+  ArgParser p(6, argv);
+  EXPECT_EQ(p.get("k"), "v");
+  EXPECT_TRUE(p.get_bool("flag", false));
+  EXPECT_EQ(p.get_int("n", 0), 42);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "pos");
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+}
+
+TEST(ArgParser, IntList) {
+  const char* argv[] = {"prog", "--bins=1,32,128"};
+  ArgParser p(2, argv);
+  const auto v = p.get_int_list("bins", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 32);
+  EXPECT_EQ(v[2], 128);
+  const auto d = p.get_int_list("other", {5});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 5);
+}
+
+}  // namespace
+}  // namespace otm

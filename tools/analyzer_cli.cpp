@@ -1,0 +1,132 @@
+// otm-analyzer: the MPI trace analyzer as a standalone tool (the paper's
+// artifact A2 workflow). Takes DUMPI trace directories (meta files as
+// positional arguments, or --traces=<dir> holding one subdirectory per
+// application), replays each through the optimistic matching structures
+// for every requested bin count, and writes one CSV per (application,
+// bins) plus a cross-application summary.
+//
+//   $ otm-tracegen --out=traces
+//   $ otm-analyzer --traces=traces --bins=1,2,8,32,128,256 --out=analysis
+//
+// Output layout (mirrors the artifact's "folder per application, one
+// folder per bin count"):
+//   analysis/<app>/<bins>/stats.csv
+//   analysis/summary.csv
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "trace/analyzer.hpp"
+#include "trace/cache.hpp"
+#include "trace/jsonl.hpp"
+#include "util/args.hpp"
+
+using namespace otm;
+using namespace otm::trace;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_stats_csv(const AppAnalysis& a, const fs::path& file) {
+  std::ofstream os(file);
+  os << "metric,value\n";
+  os << "app," << a.app << "\n";
+  os << "ranks," << a.ranks << "\n";
+  os << "bins," << a.bins << "\n";
+  os << "avg_queue_depth," << a.avg_queue_depth << "\n";
+  os << "max_queue_depth," << a.max_queue_depth << "\n";
+  os << "avg_search_attempts," << a.avg_search_attempts << "\n";
+  os << "empty_bin_fraction," << a.avg_empty_bin_fraction << "\n";
+  os << "p2p_calls," << a.calls.p2p << "\n";
+  os << "collective_calls," << a.calls.collective << "\n";
+  os << "one_sided_calls," << a.calls.one_sided << "\n";
+  os << "progress_calls," << a.calls.progress << "\n";
+  os << "receives_posted," << a.receives_posted << "\n";
+  os << "wildcard_receives," << a.wildcard_receives << "\n";
+  os << "messages," << a.messages << "\n";
+  os << "unexpected," << a.unexpected << "\n";
+  os << "matched_at_post," << a.matched_at_post << "\n";
+  os << "conflicts," << a.conflicts << "\n";
+  os << "unique_src_tag_pairs," << a.unique_src_tag_pairs << "\n";
+  os << "data_points," << a.data_points << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto bins_list = args.get_int_list("bins", {1, 2, 8, 32, 128, 256});
+  const std::string out_dir = args.get("out", "analysis");
+  const unsigned block = static_cast<unsigned>(args.get_int("block", 1));
+
+  // Collect meta files: positionals first, else scan --traces.
+  std::vector<std::string> metas(args.positional());
+  if (metas.empty()) {
+    const std::string traces = args.get("traces", "traces");
+    if (!fs::is_directory(traces)) {
+      std::fprintf(stderr,
+                   "usage: %s [meta files...] [--traces=dir] "
+                   "[--bins=1,32,128] [--out=dir] [--block=N]\n",
+                   args.program().c_str());
+      return 2;
+    }
+    for (const auto& sub : fs::recursive_directory_iterator(traces))
+      if (sub.is_regular_file() && (sub.path().extension() == ".meta" ||
+                                    sub.path().extension() == ".jsonl"))
+        metas.push_back(sub.path().string());
+  }
+  if (metas.empty()) {
+    std::fprintf(stderr, "no .meta trace files found\n");
+    return 2;
+  }
+
+  fs::create_directories(out_dir);
+  std::ofstream summary(fs::path(out_dir) / "summary.csv");
+  summary << "app,ranks,bins,avg_queue_depth,max_queue_depth,"
+             "avg_search_attempts,pct_p2p,pct_collective,unexpected,"
+             "conflicts,unique_src_tag_pairs\n";
+
+  for (const std::string& meta : metas) {
+    bool used_cache = false;
+    Trace trace;
+    try {
+      if (fs::path(meta).extension() == ".jsonl") {
+        std::ifstream js(meta);
+        trace = parse_jsonl(js);
+      } else {
+        trace = load_trace_cached(meta, &used_cache);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", meta.c_str(), e.what());
+      continue;
+    }
+    std::printf("%-18s %5d ranks %9zu ops (%s)\n", trace.app_name.c_str(),
+                trace.num_ranks, trace.total_ops(),
+                used_cache ? "cache" : "parsed");
+
+    for (const auto bins : bins_list) {
+      AnalyzerConfig cfg;
+      cfg.bins = static_cast<std::size_t>(bins);
+      cfg.block_size = block;
+      const AppAnalysis a = TraceAnalyzer(cfg).analyze(trace);
+
+      const fs::path dir =
+          fs::path(out_dir) / trace.app_name / std::to_string(bins);
+      fs::create_directories(dir);
+      write_stats_csv(a, dir / "stats.csv");
+
+      summary << a.app << ',' << a.ranks << ',' << a.bins << ','
+              << a.avg_queue_depth << ',' << a.max_queue_depth << ','
+              << a.avg_search_attempts << ',' << a.calls.pct_p2p() << ','
+              << a.calls.pct_collective() << ',' << a.unexpected << ','
+              << a.conflicts << ',' << a.unique_src_tag_pairs << "\n";
+      std::printf("   bins=%-4lld avg=%-6.3f max=%llu\n",
+                  static_cast<long long>(bins), a.avg_queue_depth,
+                  static_cast<unsigned long long>(a.max_queue_depth));
+    }
+  }
+  std::printf("analysis written to %s\n", out_dir.c_str());
+  return 0;
+}
