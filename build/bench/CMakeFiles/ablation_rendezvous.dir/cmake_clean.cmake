@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rendezvous.dir/ablation_rendezvous.cpp.o"
+  "CMakeFiles/ablation_rendezvous.dir/ablation_rendezvous.cpp.o.d"
+  "ablation_rendezvous"
+  "ablation_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_queue_depth.dir/fig7_queue_depth.cpp.o"
+  "CMakeFiles/fig7_queue_depth.dir/fig7_queue_depth.cpp.o.d"
+  "fig7_queue_depth"
+  "fig7_queue_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_queue_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_message_rate.dir/fig8_message_rate.cpp.o"
+  "CMakeFiles/fig8_message_rate.dir/fig8_message_rate.cpp.o.d"
+  "fig8_message_rate"
+  "fig8_message_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_message_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

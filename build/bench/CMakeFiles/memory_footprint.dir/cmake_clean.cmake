@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_footprint.dir/memory_footprint.cpp.o"
+  "CMakeFiles/memory_footprint.dir/memory_footprint.cpp.o.d"
+  "memory_footprint"
+  "memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_matchers.dir/micro_matchers.cpp.o"
+  "CMakeFiles/micro_matchers.dir/micro_matchers.cpp.o.d"
+  "micro_matchers"
+  "micro_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_savings.dir/offload_savings.cpp.o"
+  "CMakeFiles/offload_savings.dir/offload_savings.cpp.o.d"
+  "offload_savings"
+  "offload_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_bench_common.dir/pingpong_common.cpp.o"
+  "CMakeFiles/otm_bench_common.dir/pingpong_common.cpp.o.d"
+  "libotm_bench_common.a"
+  "libotm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_pingpong.dir/offload_pingpong.cpp.o"
+  "CMakeFiles/offload_pingpong.dir/offload_pingpong.cpp.o.d"
+  "offload_pingpong"
+  "offload_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep2d.dir/sweep2d.cpp.o"
+  "CMakeFiles/sweep2d.dir/sweep2d.cpp.o.d"
+  "sweep2d"
+  "sweep2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

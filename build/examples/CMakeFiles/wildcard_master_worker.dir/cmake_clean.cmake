@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildcard_master_worker.dir/wildcard_master_worker.cpp.o"
+  "CMakeFiles/wildcard_master_worker.dir/wildcard_master_worker.cpp.o.d"
+  "wildcard_master_worker"
+  "wildcard_master_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildcard_master_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/core_store_test[1]_include.cmake")
+include("/root/repo/build/tests/core_unexpected_test[1]_include.cmake")
+include("/root/repo/build/tests/core_block_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_property_test[1]_include.cmake")
+include("/root/repo/build/tests/dpa_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/hints_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/multicomm_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_test[1]_include.cmake")
+include("/root/repo/build/tests/dumpi_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/jsonl_test[1]_include.cmake")
+include("/root/repo/build/tests/patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/app_characterization_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/cancel_test[1]_include.cmake")
