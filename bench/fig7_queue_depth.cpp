@@ -10,11 +10,19 @@
 // to 0.80 (32 bins, ~-90%) and 0.33 (128 bins, ~-95%); BoxLib CNS's
 // maximum falls from 25 to 3 to 1. Rows print in descending 1-bin depth,
 // matching the figure's ordering.
+// Observability: --trace-out=f.json / --metrics-out=f.json /
+// --samples-out=f.csv record the replay (matcher events, counters, and the
+// Fig. 7-style PRQ/UMQ depth curves) into one context spanning the whole
+// sweep; metric names carry an "<app>@<bins>." prefix.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/synthetic.hpp"
 #include "util/args.hpp"
@@ -27,6 +35,13 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const auto bins_list = args.get_int_list("bins", {1, 32, 128});
   const std::string only = args.get("app", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string samples_out = args.get("samples-out", "");
+
+  std::unique_ptr<obs::Observability> obs;
+  if (!trace_out.empty() || !metrics_out.empty() || !samples_out.empty())
+    obs = std::make_unique<obs::Observability>(obs::ObsConfig::enabled());
 
   struct AppRow {
     const AppInfo* app;
@@ -41,6 +56,11 @@ int main(int argc, char** argv) {
     for (const auto bins : bins_list) {
       AnalyzerConfig cfg;
       cfg.bins = static_cast<std::size_t>(bins);
+      if (obs != nullptr) {
+        cfg.obs = obs.get();
+        cfg.obs_prefix =
+            std::string(app.name) + "@" + std::to_string(bins) + ".";
+      }
       row.per_bins.push_back(TraceAnalyzer(cfg).analyze(trace));
       std::fprintf(stderr, "analyzed %-18s bins=%-4lld avg=%.2f max=%llu\n",
                    app.name, static_cast<long long>(bins),
@@ -92,6 +112,30 @@ int main(int argc, char** argv) {
       std::printf("  (%.0f%% reduction vs 1 bin)",
                   100.0 * (1.0 - avg / averages[0]));
     std::printf("\n");
+  }
+
+  if (obs != nullptr) {
+    const auto report = [](const std::ofstream& os, const char* what,
+                           const std::string& file) {
+      std::fprintf(stderr, os.good() ? "%s written to %s\n"
+                                     : "error: cannot write %s to %s\n",
+                   what, file.c_str());
+    };
+    if (!trace_out.empty()) {
+      std::ofstream os(trace_out);
+      obs->write_trace_json(os);
+      report(os, "trace", trace_out);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      obs->write_metrics_json(os);
+      report(os, "metrics", metrics_out);
+    }
+    if (!samples_out.empty()) {
+      std::ofstream os(samples_out);
+      obs->write_samples_csv(os);
+      report(os, "samples", samples_out);
+    }
   }
 
   // Shape checks against the paper (only when the standard sweep runs).

@@ -10,9 +10,16 @@
 //
 // Shape checks: RDMA-CPU >= MPI-CPU ~ Optimistic-NC > WC-FP > WC-SP, and
 // host matching cycles are zero for every offloaded configuration.
+//
+// Observability: --trace-out=f.json / --metrics-out=f.json record the
+// offloaded scenarios (per-endpoint counters, matcher events, depth
+// series) under "<scenario>." prefixes.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "obs/observability.hpp"
 #include "pingpong_common.hpp"
 #include "util/args.hpp"
 #include "util/table_writer.hpp"
@@ -22,7 +29,14 @@ using namespace otm::bench;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  std::unique_ptr<obs::Observability> obs;
+  if (!trace_out.empty() || !metrics_out.empty())
+    obs = std::make_unique<obs::Observability>(obs::ObsConfig::enabled());
+
   PingPongConfig base;
+  base.obs = obs.get();
   base.messages_per_seq =
       static_cast<unsigned>(args.get_int("k", base.messages_per_seq));
   base.repetitions =
@@ -54,18 +68,21 @@ int main(int argc, char** argv) {
   {
     PingPongConfig cfg = base;  // NC: distinct source/tag per receive
     cfg.with_conflict = false;
+    cfg.obs_prefix = "nc.";
     rows.push_back({"Optimistic-DPA NC", run_optimistic_dpa(cfg)});
   }
   {
     PingPongConfig cfg = base;  // WC-FP: same source/tag, fast path on
     cfg.with_conflict = true;
     cfg.match.enable_fast_path = true;
+    cfg.obs_prefix = "wc_fp.";
     rows.push_back({"Optimistic-DPA WC-FP", run_optimistic_dpa(cfg)});
   }
   {
     PingPongConfig cfg = base;  // WC-SP: same source/tag, fast path off
     cfg.with_conflict = true;
     cfg.match.enable_fast_path = false;
+    cfg.obs_prefix = "wc_sp.";
     rows.push_back({"Optimistic-DPA WC-SP", run_optimistic_dpa(cfg)});
   }
   {
@@ -94,6 +111,25 @@ int main(int argc, char** argv) {
         .cell(resolution);
   }
   table.print(std::cout);
+
+  if (obs != nullptr) {
+    const auto report = [](const std::ofstream& os, const char* what,
+                           const std::string& file) {
+      std::fprintf(stderr, os.good() ? "%s written to %s\n"
+                                     : "error: cannot write %s to %s\n",
+                   what, file.c_str());
+    };
+    if (!trace_out.empty()) {
+      std::ofstream os(trace_out);
+      obs->write_trace_json(os);
+      report(os, "trace", trace_out);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      obs->write_metrics_json(os);
+      report(os, "metrics", metrics_out);
+    }
+  }
 
   // Shape verification against the paper's figure.
   const double nc = rows[0].r.msg_rate;

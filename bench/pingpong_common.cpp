@@ -27,6 +27,10 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
   proto::Endpoint sender(fabric, 0, cfg.endpoint, sender_match, cfg.dpa);
   proto::Endpoint receiver(fabric, 1, cfg.endpoint, cfg.match, cfg.dpa);
   sender.connect(receiver);
+  if (cfg.obs != nullptr) {
+    sender.attach_observability(cfg.obs, cfg.obs_prefix + "sender");
+    receiver.attach_observability(cfg.obs, cfg.obs_prefix + "receiver");
+  }
 
   const unsigned k = cfg.messages_per_seq;
   std::vector<std::byte> tx(cfg.payload_bytes);

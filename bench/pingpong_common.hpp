@@ -21,6 +21,7 @@
 #include "baseline/list_matcher.hpp"
 #include "core/cost_model.hpp"
 #include "dpa/dpa_config.hpp"
+#include "obs/observability.hpp"
 #include "proto/endpoint.hpp"
 #include "rdma/fabric.hpp"
 
@@ -35,6 +36,11 @@ struct PingPongConfig {
   DpaConfig dpa{};
   proto::EndpointConfig endpoint{};
   rdma::FabricConfig fabric{};
+
+  /// Optional observability sink (DPA scenario only): the two endpoints
+  /// attach under "<obs_prefix>sender" / "<obs_prefix>receiver".
+  obs::Observability* obs = nullptr;
+  std::string obs_prefix;
 };
 
 struct PingPongResult {

@@ -160,11 +160,12 @@ bench/CMakeFiles/ablation_rendezvous.dir/ablation_rendezvous.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
@@ -210,15 +211,20 @@ bench/CMakeFiles/ablation_rendezvous.dir/ablation_rendezvous.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/engine.hpp \
- /usr/include/c++/12/optional /root/repo/src/core/block_matcher.hpp \
- /usr/include/c++/12/atomic /root/repo/src/core/config.hpp \
- /root/repo/src/util/booking_bitmap.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/core/cost_model.hpp /root/repo/src/core/receive_store.hpp \
- /root/repo/src/core/descriptor.hpp \
+ /root/repo/src/core/block_matcher.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/core/config.hpp /root/repo/src/util/booking_bitmap.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/core/cost_model.hpp \
+ /root/repo/src/core/receive_store.hpp /root/repo/src/core/descriptor.hpp \
  /root/repo/src/core/descriptor_table.hpp \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \
  /root/repo/src/core/unexpected_store.hpp \
+ /root/repo/src/obs/observability.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/sampler.hpp \
+ /root/repo/src/obs/tracer.hpp /root/repo/src/obs/trace_event.hpp \
  /root/repo/src/dpa/dpa_config.hpp /root/repo/src/proto/wire.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/rdma/fabric.hpp /usr/include/c++/12/deque \

@@ -118,10 +118,11 @@ examples/CMakeFiles/cg_solver.dir/cg_solver.cpp.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/mpi/mpi.hpp \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
@@ -238,25 +239,27 @@ examples/CMakeFiles/cg_solver.dir/cg_solver.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/baseline/list_matcher.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/span /root/repo/src/baseline/list_matcher.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/reference_matcher.hpp \
  /root/repo/src/core/cost_model.hpp /root/repo/src/core/types.hpp \
- /root/repo/src/util/hash.hpp /root/repo/src/proto/endpoint.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/obs/observability.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/sampler.hpp \
+ /root/repo/src/obs/tracer.hpp /root/repo/src/obs/trace_event.hpp \
+ /root/repo/src/proto/endpoint.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dpa/accelerator.hpp \
  /root/repo/src/core/engine.hpp /root/repo/src/core/block_matcher.hpp \
- /usr/include/c++/12/atomic /root/repo/src/core/config.hpp \
- /root/repo/src/util/booking_bitmap.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/core/receive_store.hpp /root/repo/src/core/descriptor.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/util/booking_bitmap.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/core/receive_store.hpp \
+ /root/repo/src/core/descriptor.hpp \
  /root/repo/src/core/descriptor_table.hpp \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \
  /root/repo/src/core/unexpected_store.hpp \
  /root/repo/src/dpa/dpa_config.hpp /root/repo/src/proto/wire.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/rdma/fabric.hpp /root/repo/src/rdma/completion_queue.hpp \
  /root/repo/src/rdma/memory.hpp /root/repo/src/util/args.hpp

@@ -71,7 +71,7 @@ examples/CMakeFiles/wildcard_master_worker.dir/wildcard_master_worker.cpp.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/mpi/mpi.hpp \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
@@ -218,20 +218,23 @@ examples/CMakeFiles/wildcard_master_worker.dir/wildcard_master_worker.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/baseline/list_matcher.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/span /root/repo/src/baseline/list_matcher.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/reference_matcher.hpp \
  /root/repo/src/core/cost_model.hpp /root/repo/src/core/types.hpp \
- /root/repo/src/util/hash.hpp /root/repo/src/proto/endpoint.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/obs/observability.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/sampler.hpp \
+ /root/repo/src/obs/tracer.hpp /root/repo/src/obs/trace_event.hpp \
+ /root/repo/src/proto/endpoint.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dpa/accelerator.hpp \
  /root/repo/src/core/engine.hpp /root/repo/src/core/block_matcher.hpp \
- /usr/include/c++/12/atomic /root/repo/src/core/config.hpp \
- /root/repo/src/util/booking_bitmap.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/core/receive_store.hpp /root/repo/src/core/descriptor.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/util/booking_bitmap.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/core/receive_store.hpp \
+ /root/repo/src/core/descriptor.hpp \
  /root/repo/src/core/descriptor_table.hpp \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/otm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/otm_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/otm_util.dir/DependInfo.cmake"
   )
 

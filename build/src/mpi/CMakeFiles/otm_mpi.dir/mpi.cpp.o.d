@@ -1,6 +1,6 @@
 src/mpi/CMakeFiles/otm_mpi.dir/mpi.cpp.o: /root/repo/src/mpi/mpi.cpp \
  /usr/include/stdc-predef.h /root/repo/src/mpi/mpi.hpp \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,6 +12,8 @@ src/mpi/CMakeFiles/otm_mpi.dir/mpi.cpp.o: /root/repo/src/mpi/mpi.cpp \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -20,7 +22,11 @@ src/mpi/CMakeFiles/otm_mpi.dir/mpi.cpp.o: /root/repo/src/mpi/mpi.cpp \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/cstring /usr/include/string.h \
+ /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
+ /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
+ /usr/include/strings.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -75,13 +81,10 @@ src/mpi/CMakeFiles/otm_mpi.dir/mpi.cpp.o: /root/repo/src/mpi/mpi.cpp \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/cstdlib \
- /usr/include/stdlib.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
- /usr/include/x86_64-linux-gnu/bits/waitflags.h \
+ /usr/include/stdlib.h /usr/include/x86_64-linux-gnu/bits/waitflags.h \
  /usr/include/x86_64-linux-gnu/bits/waitstatus.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/x86_64-linux-gnu/sys/types.h \
  /usr/include/x86_64-linux-gnu/bits/types/clock_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/clockid_t.h \
@@ -215,26 +218,28 @@ src/mpi/CMakeFiles/otm_mpi.dir/mpi.cpp.o: /root/repo/src/mpi/mpi.cpp \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/baseline/list_matcher.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/span /root/repo/src/baseline/list_matcher.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/reference_matcher.hpp \
  /root/repo/src/core/cost_model.hpp /root/repo/src/core/types.hpp \
- /root/repo/src/util/hash.hpp /root/repo/src/proto/endpoint.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/obs/observability.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/sampler.hpp \
+ /root/repo/src/obs/tracer.hpp /root/repo/src/obs/trace_event.hpp \
+ /root/repo/src/proto/endpoint.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dpa/accelerator.hpp \
  /root/repo/src/core/engine.hpp /root/repo/src/core/block_matcher.hpp \
- /usr/include/c++/12/atomic /root/repo/src/core/config.hpp \
- /root/repo/src/util/booking_bitmap.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/core/receive_store.hpp /root/repo/src/core/descriptor.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/util/booking_bitmap.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/core/receive_store.hpp \
+ /root/repo/src/core/descriptor.hpp \
  /root/repo/src/core/descriptor_table.hpp \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \
  /root/repo/src/core/unexpected_store.hpp \
  /root/repo/src/dpa/dpa_config.hpp /root/repo/src/proto/wire.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/rdma/fabric.hpp /root/repo/src/rdma/completion_queue.hpp \
  /root/repo/src/rdma/memory.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

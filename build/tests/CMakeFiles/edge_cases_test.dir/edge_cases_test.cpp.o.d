@@ -309,14 +309,17 @@ tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cpp.o: \
  /root/repo/src/core/block_matcher.hpp /root/repo/src/core/config.hpp \
  /root/repo/src/core/cost_model.hpp /root/repo/src/core/receive_store.hpp \
  /root/repo/src/core/stats.hpp /root/repo/src/util/partial_barrier.hpp \
- /root/repo/src/core/unexpected_store.hpp /root/repo/src/mpi/mpi.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/unexpected_store.hpp \
+ /root/repo/src/obs/observability.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/sampler.hpp /root/repo/src/obs/tracer.hpp \
+ /root/repo/src/obs/trace_event.hpp /root/repo/src/mpi/mpi.hpp \
+ /usr/include/c++/12/cstring /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/baseline/list_matcher.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/reference_matcher.hpp \
  /root/repo/src/proto/endpoint.hpp /root/repo/src/dpa/accelerator.hpp \
  /root/repo/src/dpa/dpa_config.hpp /root/repo/src/proto/wire.hpp \
- /usr/include/c++/12/cstring /root/repo/src/rdma/fabric.hpp \
- /root/repo/src/rdma/completion_queue.hpp /root/repo/src/rdma/memory.hpp
+ /root/repo/src/rdma/fabric.hpp /root/repo/src/rdma/completion_queue.hpp \
+ /root/repo/src/rdma/memory.hpp

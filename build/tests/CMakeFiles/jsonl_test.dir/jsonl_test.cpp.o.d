@@ -295,7 +295,12 @@ tests/CMakeFiles/jsonl_test.dir/jsonl_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/trace/analyzer.hpp /root/repo/src/core/config.hpp \
  /root/repo/src/util/booking_bitmap.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/util/hash.hpp /root/repo/src/trace/ops.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/obs/observability.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /root/repo/src/obs/sampler.hpp /root/repo/src/obs/tracer.hpp \
+ /root/repo/src/obs/trace_event.hpp /root/repo/src/trace/ops.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/util/running_stats.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -322,5 +327,5 @@ tests/CMakeFiles/jsonl_test.dir/jsonl_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/trace/dumpi_text.hpp /root/repo/src/trace/jsonl.hpp \
- /root/repo/src/trace/synthetic.hpp /usr/include/c++/12/span \
+ /root/repo/src/trace/synthetic.hpp \
  /root/repo/src/trace/trace_builder.hpp

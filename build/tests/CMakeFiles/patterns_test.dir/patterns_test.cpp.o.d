@@ -311,11 +311,14 @@ tests/CMakeFiles/patterns_test.dir/patterns_test.cpp.o: \
  /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/reference_matcher.hpp \
  /root/repo/src/core/cost_model.hpp /root/repo/src/core/types.hpp \
- /root/repo/src/util/hash.hpp /root/repo/src/proto/endpoint.hpp \
- /root/repo/src/dpa/accelerator.hpp /root/repo/src/core/engine.hpp \
- /root/repo/src/core/block_matcher.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/util/booking_bitmap.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/core/receive_store.hpp /root/repo/src/core/descriptor.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/obs/observability.hpp \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/obs/sampler.hpp \
+ /root/repo/src/obs/tracer.hpp /root/repo/src/obs/trace_event.hpp \
+ /root/repo/src/proto/endpoint.hpp /root/repo/src/dpa/accelerator.hpp \
+ /root/repo/src/core/engine.hpp /root/repo/src/core/block_matcher.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/util/booking_bitmap.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/core/receive_store.hpp \
+ /root/repo/src/core/descriptor.hpp \
  /root/repo/src/core/descriptor_table.hpp \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \

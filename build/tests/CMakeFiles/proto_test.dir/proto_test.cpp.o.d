@@ -304,7 +304,12 @@ tests/CMakeFiles/proto_test.dir/proto_test.cpp.o: \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \
  /root/repo/src/core/unexpected_store.hpp \
- /root/repo/src/dpa/dpa_config.hpp /root/repo/src/proto/wire.hpp \
- /root/repo/src/rdma/fabric.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/observability.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/sampler.hpp /root/repo/src/obs/tracer.hpp \
+ /root/repo/src/obs/trace_event.hpp /root/repo/src/dpa/dpa_config.hpp \
+ /root/repo/src/proto/wire.hpp /root/repo/src/rdma/fabric.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/rdma/completion_queue.hpp /root/repo/src/rdma/memory.hpp

@@ -305,4 +305,9 @@ tests/CMakeFiles/schedule_fuzz_test.dir/schedule_fuzz_test.cpp.o: \
  /root/repo/src/core/descriptor_table.hpp \
  /root/repo/src/util/spinlock.hpp /root/repo/src/core/stats.hpp \
  /root/repo/src/util/partial_barrier.hpp \
- /root/repo/src/core/unexpected_store.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/core/unexpected_store.hpp \
+ /root/repo/src/obs/observability.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/sampler.hpp /root/repo/src/obs/tracer.hpp \
+ /root/repo/src/obs/trace_event.hpp /root/repo/src/util/rng.hpp

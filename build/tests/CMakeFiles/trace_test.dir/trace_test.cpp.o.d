@@ -303,6 +303,10 @@ tests/CMakeFiles/trace_test.dir/trace_test.cpp.o: \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/trace/analyzer.hpp \
  /root/repo/src/core/config.hpp /root/repo/src/util/booking_bitmap.hpp \
  /root/repo/src/util/assert.hpp /root/repo/src/util/hash.hpp \
+ /root/repo/src/obs/observability.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/span /root/repo/src/obs/sampler.hpp \
+ /root/repo/src/obs/tracer.hpp /root/repo/src/obs/trace_event.hpp \
  /root/repo/src/trace/ops.hpp /root/repo/src/core/types.hpp \
  /root/repo/src/util/running_stats.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -29,3 +29,4 @@ include("/root/repo/build/tests/patterns_test[1]_include.cmake")
 include("/root/repo/build/tests/app_characterization_test[1]_include.cmake")
 include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
 include("/root/repo/build/tests/cancel_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")

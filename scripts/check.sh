@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build+test pass, then a second build with
+# AddressSanitizer + UBSan (tests only; benches/examples skipped to keep the
+# sanitized run fast).
+#
+#   scripts/check.sh            # tier-1 + sanitizers
+#   scripts/check.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== tier-1 OK (sanitizer pass skipped: --fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan + UBSan build + ctest =="
+cmake -B build-asan -S . \
+  -DOTM_SANITIZE=ON \
+  -DOTM_BUILD_BENCH=OFF \
+  -DOTM_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "== all checks OK =="

@@ -42,6 +42,8 @@ void BlockMatcher::run_optimistic(unsigned tid) {
       const std::uint32_t cand = store_.search(msgs_[tid], gen_, tid,
                                                /*early_skip=*/false, clock,
                                                results_[tid].search);
+      if (results_[tid].first_candidate == kInvalidSlot)
+        results_[tid].first_candidate = cand;
       if (cand == kInvalidSlot) {
         finalize(tid, kInvalidSlot, ResolutionPath::kOptimistic);
         break;
@@ -63,6 +65,7 @@ void BlockMatcher::run_optimistic(unsigned tid) {
 
   st.candidate = store_.search(msgs_[tid], gen_, tid, cfg_.early_booking_check,
                                clock, results_[tid].search);
+  results_[tid].first_candidate = st.candidate;
   if (st.candidate != kInvalidSlot) {
     store_.desc(st.candidate).booking.book(gen_, tid);
     OTM_CHARGE(clock, booking_cas);

@@ -74,6 +74,7 @@ class BlockMatcher {
 
   struct ThreadResult {
     std::uint32_t final_slot = kInvalidSlot;  ///< matched receive, or invalid
+    std::uint32_t first_candidate = kInvalidSlot;  ///< optimistic-phase pick
     ResolutionPath path = ResolutionPath::kOptimistic;
     bool conflicted = false;       ///< lost its optimistic candidate
     bool fast_path_aborted = false;

@@ -1,14 +1,65 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "util/assert.hpp"
 
 namespace otm {
 
+namespace {
+
+// Shared histogram layouts (all engines observe into the same instruments;
+// histogram observation is additive so cross-engine sharing is sound).
+constexpr std::array<std::uint64_t, 8> kChainDepthBounds = {1,  2,  4,  8,
+                                                            16, 32, 64, 128};
+constexpr std::array<std::uint64_t, 6> kBlockOccupancyBounds = {1, 2, 4,
+                                                                8, 16, 32};
+constexpr std::array<std::uint64_t, 8> kConflictLatencyBounds = {
+    64, 128, 256, 512, 1024, 2048, 4096, 8192};
+
+}  // namespace
+
 MatchEngine::MatchEngine(const MatchConfig& cfg, const CostTable* costs)
     : cfg_(cfg), costs_(costs), prq_(cfg), umq_(cfg), umq_clock_(costs) {
   OTM_ASSERT_MSG(cfg.valid(), "invalid MatchConfig");
+}
+
+void MatchEngine::attach_observability(obs::Observability* obs,
+                                       std::string_view prefix) {
+  obs_ = obs;
+  obs_prefix_.assign(prefix);
+  mh_ = MetricHandles{};
+  if (obs_ == nullptr) return;
+  if (obs::MetricsRegistry* reg = obs_->metrics()) {
+    // Per-engine counters/gauge carry the prefix; histograms are shared.
+#define OTM_X(field) mh_.field = &reg->counter(obs_prefix_ + "." #field);
+    OTM_MATCH_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
+    mh_.max_chain_scanned = &reg->gauge(obs_prefix_ + ".max_chain_scanned");
+    mh_.chain_depth = &reg->histogram("match.chain_depth", kChainDepthBounds);
+    mh_.block_occupancy =
+        &reg->histogram("match.block_occupancy", kBlockOccupancyBounds);
+    mh_.conflict_latency =
+        &reg->histogram("match.conflict_latency_cycles", kConflictLatencyBounds);
+    publish_metrics();
+  }
+}
+
+void MatchEngine::publish_metrics() noexcept {
+  if (mh_.receives_posted == nullptr) return;
+#define OTM_X(field) mh_.field->set(stats_.field);
+  OTM_MATCH_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
+  mh_.max_chain_scanned->update_max(stats_.max_chain_scanned);
+}
+
+void MatchEngine::sample_depths(std::uint64_t t) {
+  obs::DepthSampler* s = obs_->sampler();
+  if (s == nullptr) return;
+  s->sample(obs_prefix_ + ".prq_depth", t, posted_depth());
+  s->sample(obs_prefix_ + ".umq_depth", t, umq_.size());
+  s->sample(obs_prefix_ + ".desc_table_live", t, prq_.live_descriptors());
 }
 
 PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
@@ -17,6 +68,7 @@ PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
                                       std::uint64_t cookie) {
   PostOutcome out;
   out.cookie = cookie;
+  obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;
 
   // Fig. 1a step 1: the unexpected store is checked before indexing.
   ThreadClock clock(costs_);
@@ -29,33 +81,62 @@ PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
     out.message = umq_.remove(um);
     ++stats_.receives_matched_unexpected;
     ++stats_.receives_posted;
-    return out;
+    if (tr != nullptr)
+      tr->record(obs::EventKind::kUmqMatch, last_finish_cycles_, 0, cookie,
+                 attempts);
+  } else {
+    const ReceiveStore::PostResult pr =
+        prq_.post(spec, buffer_addr, buffer_capacity, cookie);
+    if (pr.fallback) {
+      out.kind = PostOutcome::Kind::kFallback;
+      ++stats_.post_fallbacks;
+      if (tr != nullptr)
+        tr->record(obs::EventKind::kDescriptorFallback, last_finish_cycles_, 0,
+                   cookie, prq_.live_descriptors());
+    } else {
+      out.kind = PostOutcome::Kind::kPending;
+      ++stats_.receives_posted;
+      if (tr != nullptr)
+        tr->record(obs::EventKind::kPostReceive, last_finish_cycles_, 0, cookie,
+                   attempts);
+    }
   }
-
-  const ReceiveStore::PostResult pr =
-      prq_.post(spec, buffer_addr, buffer_capacity, cookie);
-  if (pr.fallback) {
-    out.kind = PostOutcome::Kind::kFallback;
-    ++stats_.post_fallbacks;
-    return out;
+  if (obs_ != nullptr) {
+    if (mh_.chain_depth != nullptr && attempts > 0)
+      mh_.chain_depth->observe(attempts);
+    publish_metrics();
+    sample_depths(last_finish_cycles_);
   }
-  out.kind = PostOutcome::Kind::kPending;
-  ++stats_.receives_posted;
   return out;
 }
 
-std::optional<MatchEngine::ProbeResult> MatchEngine::probe(const MatchSpec& spec) {
+std::optional<ProbeResult> MatchEngine::probe(const MatchSpec& spec) {
   ThreadClock clock(costs_);
   std::uint64_t attempts = 0;
   const std::uint32_t um = umq_.search(spec, clock, attempts);
   stats_.match_attempts += attempts;
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kProbe, last_finish_cycles_, 0,
+                 um != kInvalidSlot ? 1u : 0u, attempts);
+    publish_metrics();
+  }
   if (um == kInvalidSlot) return std::nullopt;
   const UnexpectedDescriptor& d = umq_.desc(um);
-  return ProbeResult{d.env, d.payload_bytes, d.protocol, d.wire_seq};
+  return ProbeResult{d.env.source, d.env.tag,  d.payload_bytes,
+                     d.env.comm,   d.protocol, d.wire_seq};
 }
 
 std::optional<std::uint64_t> MatchEngine::cancel_receive(std::uint64_t cookie) {
-  return prq_.cancel_by_cookie(cookie);
+  const std::optional<std::uint64_t> r = prq_.cancel_by_cookie(cookie);
+  if (r.has_value()) ++cancelled_receives_;
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kCancel, last_finish_cycles_, 0, cookie,
+                 r.has_value() ? 1u : 0u);
+    sample_depths(last_finish_cycles_);
+  }
+  return r;
 }
 
 std::vector<ArrivalOutcome> MatchEngine::process(
@@ -64,6 +145,7 @@ std::vector<ArrivalOutcome> MatchEngine::process(
   OTM_ASSERT(arrival_cycles.empty() || arrival_cycles.size() == msgs.size());
   std::vector<ArrivalOutcome> outcomes;
   outcomes.reserve(msgs.size());
+  obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;
 
   for (std::size_t base = 0; base < msgs.size(); base += cfg_.block_size) {
     const std::size_t n = std::min<std::size_t>(cfg_.block_size, msgs.size() - base);
@@ -71,17 +153,25 @@ std::vector<ArrivalOutcome> MatchEngine::process(
     const std::span<const std::uint64_t> starts =
         arrival_cycles.empty() ? arrival_cycles : arrival_cycles.subspan(base, n);
 
+    const std::uint64_t block_start =
+        starts.empty() ? last_finish_cycles_ : starts.front();
+    if (tr != nullptr)
+      tr->record(obs::EventKind::kBlockBegin, block_start, 0, n, next_gen_ + 1);
+
     BlockMatcher matcher(cfg_, prq_, ++next_gen_, block, costs_, starts);
     executor.execute(matcher);
     ++stats_.blocks_processed;
+    if (mh_.block_occupancy != nullptr) mh_.block_occupancy->observe(n);
 
     // Epilogue (engine-serialized): collect results in arrival order; insert
     // unexpected messages into the UMQ in thread-id order so constraint C2
     // holds across the block boundary.
+    std::size_t block_matched = 0;
     std::vector<std::uint32_t> consumed_slots;
     for (unsigned t = 0; t < matcher.num_threads(); ++t) {
       const BlockMatcher::ThreadResult& r = matcher.result(t);
       const IncomingMessage& msg = block[t];
+      const std::uint64_t thread_start = starts.empty() ? block_start : starts[t];
 
       stats_.match_attempts += r.search.attempts;
       stats_.index_searches += r.search.index_searches;
@@ -98,28 +188,41 @@ std::vector<ArrivalOutcome> MatchEngine::process(
         ++stats_.slow_path_resolutions;
       }
 
+      if (tr != nullptr) {
+        tr->record(obs::EventKind::kCandidate, thread_start, t,
+                   r.first_candidate, r.search.attempts);
+        if (r.first_candidate != kInvalidSlot)
+          tr->record(obs::EventKind::kBooking, thread_start, t,
+                     r.first_candidate, next_gen_);
+        if (r.conflicted)
+          tr->record(obs::EventKind::kConflict, r.finish_cycles, t,
+                     r.first_candidate, r.fast_path_aborted ? 1u : 0u);
+        tr->record(obs::EventKind::kResolution, r.finish_cycles, t,
+                   r.final_slot, static_cast<std::uint64_t>(r.path));
+      }
+      if (mh_.chain_depth != nullptr && r.search.max_single_chain > 0)
+        mh_.chain_depth->observe(r.search.max_single_chain);
+      if (mh_.conflict_latency != nullptr && r.conflicted)
+        mh_.conflict_latency->observe(r.finish_cycles - thread_start);
+
       ArrivalOutcome o;
       o.env = msg.env;
-      o.path = r.path;
-      o.conflicted = r.conflicted;
-      o.wire_seq = msg.wire_seq;
-      o.protocol = msg.protocol;
-      o.payload_bytes = msg.payload_bytes;
-      o.inline_bytes = msg.inline_bytes;
-      o.bounce_handle = msg.bounce_handle;
-      o.remote_key = msg.remote_key;
-      o.remote_addr = msg.remote_addr;
-      o.finish_cycles = r.finish_cycles;
+      o.match.path = r.path;
+      o.match.conflicted = r.conflicted;
+      o.proto = ProtocolInfo::from(msg);
+      o.timing.start_cycles = thread_start;
+      o.timing.finish_cycles = r.finish_cycles;
 
       if (r.final_slot != kInvalidSlot) {
         const ReceiveDescriptor& d = prq_.desc(r.final_slot);
         OTM_ASSERT_MSG(d.consumed(), "matched receive not consumed");
         OTM_ASSERT_MSG(d.spec.matches(msg.env), "matched receive does not match");
         o.kind = ArrivalOutcome::Kind::kMatched;
-        o.receive_cookie = d.cookie;
-        o.buffer_addr = d.buffer_addr;
-        o.buffer_capacity = d.buffer_capacity;
+        o.match.receive_cookie = d.cookie;
+        o.match.buffer_addr = d.buffer_addr;
+        o.match.buffer_capacity = d.buffer_capacity;
         ++stats_.messages_matched;
+        ++block_matched;
         consumed_slots.push_back(r.final_slot);
       } else {
         // Ordered UMQ insertion; the insert itself is a serialization
@@ -134,9 +237,12 @@ std::vector<ArrivalOutcome> MatchEngine::process(
           o.kind = ArrivalOutcome::Kind::kUnexpected;
           ++stats_.messages_unexpected;
         }
-        if (umq_clock_.enabled()) o.finish_cycles = umq_clock_.cycles();
+        if (umq_clock_.enabled()) o.timing.finish_cycles = umq_clock_.cycles();
+        if (tr != nullptr)
+          tr->record(obs::EventKind::kUmqInsert, o.timing.finish_cycles, t,
+                     slot, msg.wire_seq);
       }
-      last_finish_cycles_ = std::max(last_finish_cycles_, o.finish_cycles);
+      last_finish_cycles_ = std::max(last_finish_cycles_, o.timing.finish_cycles);
       outcomes.push_back(o);
     }
 
@@ -149,7 +255,14 @@ std::vector<ArrivalOutcome> MatchEngine::process(
         ++stats_.eager_removals;
       }
     }
+    stats_.lazy_removals = prq_.lazy_removals();
+
+    if (tr != nullptr)
+      tr->record(obs::EventKind::kBlockEnd, last_finish_cycles_, 0,
+                 block_matched, next_gen_);
+    if (obs_ != nullptr) sample_depths(last_finish_cycles_);
   }
+  if (obs_ != nullptr) publish_metrics();
   return outcomes;
 }
 

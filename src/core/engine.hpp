@@ -14,11 +14,17 @@
 // One engine serves one communicator in the paper's architecture
 // (Sec. IV-E); sharing one engine across communicators is functionally
 // correct (the envelope carries the comm id) at the cost of extra collisions.
+//
+// Observability: attach_observability() wires the engine into a tracer /
+// metrics registry / depth sampler (src/obs). With no observer attached
+// every instrumentation site reduces to one null-pointer test.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/block_matcher.hpp"
@@ -28,6 +34,7 @@
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "core/unexpected_store.hpp"
+#include "obs/observability.hpp"
 
 namespace otm {
 
@@ -43,6 +50,54 @@ struct PostOutcome {
   UnexpectedDescriptor message{};     ///< valid iff kMatchedUnexpected
 };
 
+/// MPI_Iprobe result. The leading fields mirror mpi::Status field-for-field
+/// (source, tag, bytes — enforced by static_asserts at the mini-MPI layer)
+/// so a probe translates into a status object by prefix copy instead of
+/// per-field marshalling.
+struct ProbeResult {
+  Rank source = 0;
+  Tag tag = 0;
+  std::uint32_t bytes = 0;  ///< payload size of the stored message
+
+  CommId comm = 0;
+  Protocol protocol = Protocol::kEager;
+  std::uint64_t wire_seq = 0;
+
+  Envelope envelope() const noexcept { return {source, tag, comm}; }
+};
+
+/// How an arrival paired (or failed to pair) with a posted receive — the
+/// matched-receive info consumed by the protocol-handling stage (Sec. IV-B).
+struct MatchInfo {
+  ResolutionPath path = ResolutionPath::kOptimistic;
+  bool conflicted = false;
+  std::uint64_t receive_cookie = 0;
+  std::uint64_t buffer_addr = 0;
+  std::uint32_t buffer_capacity = 0;
+};
+
+/// Message-side wire/protocol metadata, carried through matching untouched.
+struct ProtocolInfo {
+  std::uint64_t wire_seq = 0;
+  Protocol protocol = Protocol::kEager;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t inline_bytes = 0;
+  std::uint64_t bounce_handle = 0;
+  std::uint64_t remote_key = 0;
+  std::uint64_t remote_addr = 0;
+
+  static ProtocolInfo from(const IncomingMessage& m) noexcept {
+    return {m.wire_seq, m.protocol,   m.payload_bytes, m.inline_bytes,
+            m.bounce_handle, m.remote_key, m.remote_addr};
+  }
+};
+
+/// Modeled-clock accounting (valid when cost accounting is enabled).
+struct TimingInfo {
+  std::uint64_t start_cycles = 0;   ///< modeled dispatch time of the message
+  std::uint64_t finish_cycles = 0;  ///< modeled completion time
+};
+
 /// Result of processing one incoming message.
 struct ArrivalOutcome {
   enum class Kind : std::uint8_t {
@@ -52,25 +107,10 @@ struct ArrivalOutcome {
   };
   Kind kind = Kind::kUnexpected;
   Envelope env{};
-  ResolutionPath path = ResolutionPath::kOptimistic;
-  bool conflicted = false;
 
-  // Matched-receive info for the protocol-handling stage (Sec. IV-B).
-  std::uint64_t receive_cookie = 0;
-  std::uint64_t buffer_addr = 0;
-  std::uint32_t buffer_capacity = 0;
-
-  // Message-side protocol info.
-  std::uint64_t wire_seq = 0;
-  Protocol protocol = Protocol::kEager;
-  std::uint32_t payload_bytes = 0;
-  std::uint32_t inline_bytes = 0;
-  std::uint64_t bounce_handle = 0;
-  std::uint64_t remote_key = 0;
-  std::uint64_t remote_addr = 0;
-
-  /// Modeled completion time (cycles) when cost accounting is enabled.
-  std::uint64_t finish_cycles = 0;
+  MatchInfo match{};     ///< valid iff kMatched (path/conflicted always valid)
+  ProtocolInfo proto{};  ///< echo of the message's wire metadata
+  TimingInfo timing{};   ///< modeled clocks (cost accounting on)
 };
 
 class MatchEngine {
@@ -80,6 +120,15 @@ class MatchEngine {
   MatchEngine(const MatchEngine&) = delete;
   MatchEngine& operator=(const MatchEngine&) = delete;
 
+  /// Wire this engine into an observability context. `prefix` namespaces
+  /// the engine's metric/series names (e.g. "rank0.comm1"); counters become
+  /// "<prefix>.<field>", histograms and depth series are shared across
+  /// engines under "match.*" (they are observe-only, hence additive).
+  /// Pass nullptr to detach.
+  void attach_observability(obs::Observability* obs,
+                            std::string_view prefix = "match");
+  obs::Observability* observability() const noexcept { return obs_; }
+
   /// Fig. 1a: match against stored unexpected messages, else index.
   PostOutcome post_receive(const MatchSpec& spec, std::uint64_t buffer_addr = 0,
                            std::uint32_t buffer_capacity = 0,
@@ -88,12 +137,6 @@ class MatchEngine {
   /// MPI_Iprobe semantics over the arrived stream: non-destructively find
   /// the oldest stored unexpected message matching `spec`. The message
   /// stays queued; a subsequent matching post_receive() consumes it.
-  struct ProbeResult {
-    Envelope env{};
-    std::uint32_t payload_bytes = 0;
-    Protocol protocol = Protocol::kEager;
-    std::uint64_t wire_seq = 0;
-  };
   std::optional<ProbeResult> probe(const MatchSpec& spec);
 
   /// MPI_Cancel semantics: withdraw a pending posted receive identified by
@@ -114,6 +157,8 @@ class MatchEngine {
   ArrivalOutcome process_one(const IncomingMessage& msg, BlockExecutor& executor);
 
   const MatchStats& stats() const noexcept { return stats_; }
+  /// Point-in-time copy of the counters (the registry-facing shim).
+  MatchStats snapshot() const noexcept { return stats_; }
   const MatchConfig& config() const noexcept { return cfg_; }
   ReceiveStore& receives() noexcept { return prq_; }
   const ReceiveStore& receives() const noexcept { return prq_; }
@@ -124,6 +169,28 @@ class MatchEngine {
   std::uint64_t last_finish_cycles() const noexcept { return last_finish_cycles_; }
 
  private:
+  /// Resolved metric handles (one registry lookup at attach time; hot paths
+  /// go straight to the atomics).
+  struct MetricHandles {
+#define OTM_X(field) obs::Counter* field = nullptr;
+    OTM_MATCH_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
+    obs::Gauge* max_chain_scanned = nullptr;
+    obs::Histogram* chain_depth = nullptr;       ///< per-message deepest scan
+    obs::Histogram* block_occupancy = nullptr;   ///< messages per block
+    obs::Histogram* conflict_latency = nullptr;  ///< modeled cycles lost to a conflict
+  };
+
+  /// Mirror stats_ into the registry counters (engine-serialized paths).
+  void publish_metrics() noexcept;
+  /// Record PRQ/UMQ/descriptor-table depth series at modeled time `t`.
+  void sample_depths(std::uint64_t t);
+  /// Pending posted receives, O(1) from the counters.
+  std::uint64_t posted_depth() const noexcept {
+    return stats_.receives_posted - stats_.receives_matched_unexpected -
+           stats_.messages_matched - cancelled_receives_;
+  }
+
   MatchConfig cfg_;
   const CostTable* costs_;
   ReceiveStore prq_;
@@ -131,7 +198,12 @@ class MatchEngine {
   MatchStats stats_;
   std::uint32_t next_gen_ = 0;
   std::uint64_t last_finish_cycles_ = 0;
+  std::uint64_t cancelled_receives_ = 0;
   ThreadClock umq_clock_;  ///< serialization point for ordered UMQ inserts
+
+  obs::Observability* obs_ = nullptr;
+  MetricHandles mh_{};
+  std::string obs_prefix_;
 };
 
 }  // namespace otm

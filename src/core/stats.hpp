@@ -1,58 +1,58 @@
 // Matching statistics gathered by the engine; consumed by the trace
 // analyzer, the benches and the tests.
+//
+// The counter fields are declared once through OTM_MATCH_COUNTER_FIELDS and
+// expanded everywhere they are needed — the POD snapshot below, the
+// aggregation operator, and the registry mirror in MatchEngine (each counter
+// becomes a named obs::Counter when an Observability is attached). Adding a
+// stat means adding one X() line; the summation, snapshot and metric export
+// follow automatically.
 #pragma once
 
 #include <cstdint>
 
 namespace otm {
 
+/// Every monotonically-increasing matching counter. max_chain_scanned is a
+/// high-water mark (aggregated by max, exported as a gauge) and is kept
+/// outside the list.
+#define OTM_MATCH_COUNTER_FIELDS(X)                                      \
+  /* Post-side (Fig. 1a). */                                             \
+  X(receives_posted)                                                     \
+  X(receives_matched_unexpected) /* matched a UMQ entry at post */       \
+  X(post_fallbacks)              /* descriptor table full -> software */ \
+  /* Arrival-side (Fig. 1b / Sec. III). */                               \
+  X(messages_processed)                                                  \
+  X(messages_matched)                                                    \
+  X(messages_unexpected)                                                 \
+  X(blocks_processed)                                                    \
+  /* Conflict behavior (Sec. III-D). */                                  \
+  X(conflicts_detected)      /* threads that lost their candidate */     \
+  X(fast_path_resolutions)                                               \
+  X(slow_path_resolutions)                                               \
+  X(fast_path_aborts)        /* fast path left the compatible seq */     \
+  /* Search effort. */                                                   \
+  X(match_attempts)          /* chain entries examined */                \
+  X(index_searches)          /* per-index lookups performed */           \
+  X(early_booking_skips)                                                 \
+  /* Structure health. */                                                \
+  X(lazy_removals)           /* consumed entries cleaned at insert */    \
+  X(eager_removals)
+
+/// Point-in-time snapshot of one engine's matching counters.
 struct MatchStats {
-  // Post-side (Fig. 1a).
-  std::uint64_t receives_posted = 0;
-  std::uint64_t receives_matched_unexpected = 0;  ///< matched a UMQ entry at post
-  std::uint64_t post_fallbacks = 0;  ///< descriptor table full -> software path
+#define OTM_X(field) std::uint64_t field = 0;
+  OTM_MATCH_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
 
-  // Arrival-side (Fig. 1b / Sec. III).
-  std::uint64_t messages_processed = 0;
-  std::uint64_t messages_matched = 0;
-  std::uint64_t messages_unexpected = 0;
-  std::uint64_t blocks_processed = 0;
-
-  // Conflict behavior (Sec. III-D).
-  std::uint64_t conflicts_detected = 0;   ///< threads that lost their candidate
-  std::uint64_t fast_path_resolutions = 0;
-  std::uint64_t slow_path_resolutions = 0;
-  std::uint64_t fast_path_aborts = 0;  ///< fast path left the compatible sequence
-
-  // Search effort.
-  std::uint64_t match_attempts = 0;   ///< chain entries examined
-  std::uint64_t index_searches = 0;   ///< per-index lookups performed
-  std::uint64_t early_booking_skips = 0;
-  std::uint64_t max_chain_scanned = 0;///< deepest single-chain scan observed
-
-  // Structure health.
-  std::uint64_t lazy_removals = 0;    ///< consumed entries cleaned at insert
-  std::uint64_t eager_removals = 0;
+  std::uint64_t max_chain_scanned = 0;  ///< deepest single-chain scan observed
 
   MatchStats& operator+=(const MatchStats& o) noexcept {
-    receives_posted += o.receives_posted;
-    receives_matched_unexpected += o.receives_matched_unexpected;
-    post_fallbacks += o.post_fallbacks;
-    messages_processed += o.messages_processed;
-    messages_matched += o.messages_matched;
-    messages_unexpected += o.messages_unexpected;
-    blocks_processed += o.blocks_processed;
-    conflicts_detected += o.conflicts_detected;
-    fast_path_resolutions += o.fast_path_resolutions;
-    slow_path_resolutions += o.slow_path_resolutions;
-    fast_path_aborts += o.fast_path_aborts;
-    match_attempts += o.match_attempts;
-    index_searches += o.index_searches;
-    early_booking_skips += o.early_booking_skips;
+#define OTM_X(field) field += o.field;
+    OTM_MATCH_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
     if (o.max_chain_scanned > max_chain_scanned)
       max_chain_scanned = o.max_chain_scanned;
-    lazy_removals += o.lazy_removals;
-    eager_removals += o.eager_removals;
     return *this;
   }
 };

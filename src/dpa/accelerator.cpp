@@ -24,9 +24,43 @@ bool DpaAccelerator::register_comm(CommId comm, const MatchConfig& cfg) {
   if (engines_.find(comm) != engines_.end()) return false;
   const std::size_t need = footprint_of(cfg);
   if (memory_used_ + need > cfg_.memory_budget_bytes) return false;
-  engines_.emplace(comm, std::make_unique<CommEngine>(cfg, &shared_costs_));
+  const auto it =
+      engines_.emplace(comm, std::make_unique<CommEngine>(cfg, &shared_costs_))
+          .first;
   memory_used_ += need;
+  if (obs_ != nullptr) {
+    attach_engine_obs(comm, it->second->engine);
+    publish_gauges();
+  }
   return true;
+}
+
+void DpaAccelerator::attach_observability(obs::Observability* obs,
+                                          std::string_view prefix) {
+  obs_ = obs;
+  obs_prefix_.assign(prefix);
+  g_memory_used_ = g_busy_cycles_ = g_now_ = nullptr;
+  for (auto& [comm, ce] : engines_)
+    attach_engine_obs(comm, ce->engine);  // detaches too when obs == nullptr
+  if (obs_ == nullptr) return;
+  if (obs::MetricsRegistry* reg = obs_->metrics()) {
+    g_memory_used_ = &reg->gauge(obs_prefix_ + ".memory_used_bytes");
+    g_busy_cycles_ = &reg->gauge(obs_prefix_ + ".busy_cycles");
+    g_now_ = &reg->gauge(obs_prefix_ + ".now_cycles");
+    publish_gauges();
+  }
+}
+
+void DpaAccelerator::attach_engine_obs(CommId comm, MatchEngine& eng) {
+  eng.attach_observability(
+      obs_, obs_prefix_ + ".comm" + std::to_string(comm));
+}
+
+void DpaAccelerator::publish_gauges() noexcept {
+  if (g_memory_used_ == nullptr) return;
+  g_memory_used_->set(memory_used_);
+  g_busy_cycles_->set(busy_cycles_);
+  g_now_->set(now_);
 }
 
 MatchEngine& DpaAccelerator::engine(CommId comm) {
@@ -86,12 +120,14 @@ void DpaAccelerator::deliver_run(MatchEngine& eng,
 
     auto block_out = eng.process(msgs.subspan(base, n), executor_, starts);
     for (std::size_t i = 0; i < block_out.size(); ++i) {
-      slot_free_[i] = std::max(slot_free_[i], block_out[i].finish_cycles);
-      now_ = std::max(now_, block_out[i].finish_cycles);
-      busy_cycles_ += block_out[i].finish_cycles - starts[i];
+      const std::uint64_t finish = block_out[i].timing.finish_cycles;
+      slot_free_[i] = std::max(slot_free_[i], finish);
+      now_ = std::max(now_, finish);
+      busy_cycles_ += finish - starts[i];
       out.push_back(block_out[i]);
     }
   }
+  publish_gauges();
 }
 
 std::vector<ArrivalOutcome> DpaAccelerator::deliver(

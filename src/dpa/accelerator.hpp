@@ -39,6 +39,13 @@ class DpaAccelerator {
     return engines_.find(comm) != engines_.end();
   }
 
+  /// Wire every registered engine (and engines registered later) into an
+  /// observability context. Each communicator's engine gets the prefix
+  /// "<prefix>.comm<id>"; accelerator-level gauges live under "<prefix>".
+  void attach_observability(obs::Observability* obs,
+                            std::string_view prefix = "dpa");
+  obs::Observability* observability() const noexcept { return obs_; }
+
   /// DPA memory consumed by all registered communicators' structures.
   std::size_t memory_used() const noexcept { return memory_used_; }
 
@@ -91,6 +98,10 @@ class DpaAccelerator {
                    std::span<const std::uint64_t> arrivals,
                    std::vector<ArrivalOutcome>& out);
 
+  /// Per-comm metric prefix and accelerator gauge refresh.
+  void attach_engine_obs(CommId comm, MatchEngine& eng);
+  void publish_gauges() noexcept;
+
   DpaConfig cfg_;
   CostTable shared_costs_;  ///< cost table scaled for hart/core sharing
   std::map<CommId, std::unique_ptr<CommEngine>> engines_;
@@ -100,6 +111,12 @@ class DpaAccelerator {
   std::uint64_t cqe_ready_ = 0;  ///< next CQE delivery slot (serial NIC)
   std::uint64_t now_ = 0;
   std::uint64_t busy_cycles_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  std::string obs_prefix_;
+  obs::Gauge* g_memory_used_ = nullptr;
+  obs::Gauge* g_busy_cycles_ = nullptr;
+  obs::Gauge* g_now_ = nullptr;
 };
 
 }  // namespace otm

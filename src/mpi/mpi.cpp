@@ -1,6 +1,7 @@
 #include "mpi/mpi.hpp"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "util/assert.hpp"
@@ -13,11 +14,16 @@ World::World(int num_ranks, const WorldOptions& options)
     : options_(options), fabric_(options.fabric) {
   OTM_ASSERT(num_ranks >= 1);
   if (options_.backend == Backend::kOffloadDpa) {
+    if (options_.obs.any())
+      obs_ = std::make_unique<obs::Observability>(options_.obs);
     endpoints_.reserve(static_cast<std::size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
       endpoints_.push_back(std::make_unique<proto::Endpoint>(
           fabric_, static_cast<Rank>(r), options_.endpoint, options_.match,
           options_.dpa));
+      if (obs_ != nullptr)
+        endpoints_.back()->attach_observability(
+            obs_.get(), "rank" + std::to_string(r));
     }
     for (int a = 0; a < num_ranks; ++a)
       for (int b = a + 1; b < num_ranks; ++b)
@@ -298,8 +304,7 @@ bool Proc::iprobe(Rank src, Tag tag, const Comm& comm, Status* status) {
     if (ep.comm_registered(comm.id)) {
       const auto pr = ep.probe(spec);
       if (!pr.has_value()) return false;
-      if (status != nullptr)
-        *status = {pr->env.source, pr->env.tag, pr->payload_bytes};
+      if (status != nullptr) *status = to_status(*pr);
       return true;
     }
     // Host-path communicator: scan the host unexpected store (arrival
@@ -347,6 +352,16 @@ Status Proc::wait(Request req) {
 
 void Proc::wait_all(std::span<Request> reqs) {
   for (const Request r : reqs) wait(r);
+}
+
+std::size_t Proc::wait_any(std::span<const Request> reqs, Status* status) {
+  OTM_ASSERT_MSG(!reqs.empty(), "wait_any on an empty request list");
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (test(reqs[i], status)) return i;
+    }
+    std::this_thread::yield();
+  }
 }
 
 void Proc::send(std::span<const std::byte> data, Rank dst, Tag tag,

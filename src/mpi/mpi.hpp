@@ -15,17 +15,21 @@
 // with blocking wait semantics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "baseline/list_matcher.hpp"
 #include "core/types.hpp"
+#include "obs/observability.hpp"
 #include "proto/endpoint.hpp"
 
 namespace otm::mpi {
@@ -58,6 +62,7 @@ struct WorldOptions {
   DpaConfig dpa{};
   proto::EndpointConfig endpoint{};
   rdma::FabricConfig fabric{};
+  obs::ObsConfig obs{};  ///< observability (off by default; offload backend)
 };
 
 struct Status {
@@ -65,6 +70,21 @@ struct Status {
   Tag tag = 0;
   std::uint32_t bytes = 0;
 };
+
+/// otm::ProbeResult leads with Status's fields in Status's order, so probe
+/// results translate by prefix copy — the asserts pin the alignment.
+inline Status to_status(const ProbeResult& pr) noexcept {
+  static_assert(std::is_trivially_copyable_v<Status>);
+  static_assert(std::is_trivially_copyable_v<ProbeResult>);
+  static_assert(offsetof(ProbeResult, source) == offsetof(Status, source));
+  static_assert(offsetof(ProbeResult, tag) == offsetof(Status, tag));
+  static_assert(offsetof(ProbeResult, bytes) == offsetof(Status, bytes));
+  static_assert(sizeof(Status) <= sizeof(ProbeResult));
+  Status s;
+  std::memcpy(static_cast<void*>(&s), static_cast<const void*>(&pr),
+              sizeof(Status));
+  return s;
+}
 
 /// Opaque request handle.
 struct Request {
@@ -120,6 +140,11 @@ class Proc {
   bool test(Request req, Status* status = nullptr);
   Status wait(Request req);
   void wait_all(std::span<Request> reqs);
+
+  /// MPI_Waitany: block until any request in `reqs` completes; returns its
+  /// index and fills `status` from the completed request. `reqs` must be
+  /// non-empty.
+  std::size_t wait_any(std::span<const Request> reqs, Status* status = nullptr);
 
   // --- Collectives over point-to-point -------------------------------------
   //
@@ -248,11 +273,18 @@ class World {
 
   const WorldOptions& options() const noexcept { return options_; }
 
+  /// The world-owned observability context (null when options.obs is all
+  /// off or the backend is software). Rank r's endpoint publishes under
+  /// the "rank<r>" prefix.
+  obs::Observability* observability() noexcept { return obs_.get(); }
+  const obs::Observability* observability() const noexcept { return obs_.get(); }
+
  private:
   friend class Proc;
 
   WorldOptions options_;
   rdma::Fabric fabric_;
+  std::unique_ptr<obs::Observability> obs_;
   std::vector<std::unique_ptr<proto::Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Proc>> procs_;
   CommId next_comm_ = 1;

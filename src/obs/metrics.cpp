@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace otm::obs {
+
+Histogram::Histogram(std::span<const std::uint64_t> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(upper_bounds.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    OTM_ASSERT_MSG(bounds_[i] > bounds_[i - 1],
+                   "histogram bounds must be ascending");
+  bounds_.push_back(~std::uint64_t{0});  // +inf overflow bucket
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  std::size_t i = 0;
+  while (v > bounds_[i]) ++i;  // last bound is +inf: always terminates
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(
+    std::string_view name, std::span<const std::uint64_t> upper_bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(upper_bounds))
+             .first;
+  return *it->second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+       << h->count() << ", \"sum\": " << h->sum() << ", \"max\": " << h->max()
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i != 0) os << ", ";
+      os << "{\"le\": ";
+      if (h->bound(i) == ~std::uint64_t{0})
+        os << "\"inf\"";
+      else
+        os << h->bound(i);
+      os << ", \"n\": " << h->bucket_count(i) << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_)
+    os << "counter," << name << ",value," << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    os << "gauge," << name << ",value," << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram," << name << ",count," << h->count() << "\n";
+    os << "histogram," << name << ",sum," << h->sum() << "\n";
+    os << "histogram," << name << ",max," << h->max() << "\n";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      os << "histogram," << name << ",le_";
+      if (h->bound(i) == ~std::uint64_t{0})
+        os << "inf";
+      else
+        os << h->bound(i);
+      os << "," << h->bucket_count(i) << "\n";
+    }
+  }
+}
+
+}  // namespace otm::obs

@@ -1,0 +1,122 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms with
+// JSON/CSV snapshot writers (the MPI-Advance-style introspection surface of
+// the observability layer).
+//
+// Metric objects are created once through the registry (mutex-protected,
+// allocation at registration time only) and then updated lock-free through
+// stable references — hot paths resolve their handles at attach time and
+// never touch the registry again. All update operations are relaxed
+// atomics: totals are exact, cross-metric ordering is not promised.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otm::obs {
+
+/// Monotonic counter (set() exists for mirroring engine-local totals).
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value gauge with a fetch-max variant for high-water marks.
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations with
+/// value <= bound[i] (first matching bucket); the last bucket is +inf.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const std::uint64_t> upper_bounds);
+
+  void observe(std::uint64_t v) noexcept;
+
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  /// Inclusive upper bound of bucket i (i == num_buckets()-1 is +inf).
+  std::uint64_t bound(std::size_t i) const noexcept { return bounds_[i]; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;  ///< ascending; last = ~0 (+inf)
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` must be ascending; ignored when the histogram already
+  /// exists (first registration wins).
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> upper_bounds);
+
+  std::size_t size() const;
+
+  /// Snapshot writers. JSON: one object with "counters", "gauges",
+  /// "histograms" sections. CSV: kind,name,field,value rows.
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace otm::obs

@@ -1,0 +1,61 @@
+#include "obs/observability.hpp"
+
+#include <ostream>
+
+namespace otm::obs {
+
+Observability::Observability(const ObsConfig& cfg) : cfg_(cfg) {
+  if (cfg.trace) tracer_ = std::make_unique<Tracer>(cfg.trace_capacity);
+  if (cfg.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+  if (cfg.sampler) sampler_ = std::make_unique<DepthSampler>(cfg.sample_interval);
+}
+
+void Observability::write_trace_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  if (tracer_ != nullptr)
+    for (const TraceEvent& e : tracer_->snapshot())
+      write_chrome_event(os, e, first);
+  if (sampler_ != nullptr) {
+    // One Perfetto counter track per series: lane encodes the series index
+    // so tracks do not merge; the series name becomes the counter name.
+    std::uint32_t lane = 1000;  // clear of block-thread lanes
+    for (const std::string& name : sampler_->series_names()) {
+      for (const DepthSampler::Point& p : sampler_->points(name)) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "  {\"name\":\"" << name << "\",\"ph\":\"C\",\"ts\":" << p.t
+           << ",\"pid\":0,\"tid\":" << lane << ",\"args\":{\"value\":"
+           << p.value << "}}";
+      }
+      ++lane;
+    }
+  }
+  os << "\n]}\n";
+}
+
+void Observability::write_metrics_json(std::ostream& os) const {
+  if (metrics_ != nullptr) {
+    metrics_->write_json(os);
+  } else {
+    os << "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n";
+  }
+}
+
+void Observability::write_metrics_csv(std::ostream& os) const {
+  if (metrics_ != nullptr) {
+    metrics_->write_csv(os);
+  } else {
+    os << "kind,name,field,value\n";
+  }
+}
+
+void Observability::write_samples_csv(std::ostream& os) const {
+  if (sampler_ != nullptr) {
+    sampler_->write_csv(os);
+  } else {
+    os << "series,t,value\n";
+  }
+}
+
+}  // namespace otm::obs

@@ -1,0 +1,80 @@
+// Observability facade: one object bundling the event tracer, the metrics
+// registry and the queue-depth sampler behind a single ObsConfig.
+//
+// Zero-cost-when-disabled contract: instrumented components hold a
+// `Observability*` (null = observability off) and guard every emission with
+// a pointer test on the specific subsystem (`tracer()`, `metrics()`,
+// `sampler()` return null for disabled subsystems). A disabled build path
+// therefore costs one predictable branch per emission site and allocates
+// nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
+
+namespace otm::obs {
+
+struct ObsConfig {
+  bool trace = false;    ///< ring-buffered event tracer
+  bool metrics = false;  ///< counters / gauges / histograms
+  bool sampler = false;  ///< queue-depth time series
+
+  std::size_t trace_capacity = 1 << 16;     ///< events resident in the ring
+  std::uint64_t sample_interval = 0;        ///< min timestamp gap per series
+
+  bool any() const noexcept { return trace || metrics || sampler; }
+
+  /// Everything on — the configuration of the bench/tool --trace-out paths.
+  static ObsConfig enabled(std::size_t trace_capacity = 1 << 16,
+                           std::uint64_t sample_interval = 0) noexcept {
+    ObsConfig c;
+    c.trace = c.metrics = c.sampler = true;
+    c.trace_capacity = trace_capacity;
+    c.sample_interval = sample_interval;
+    return c;
+  }
+};
+
+class Observability {
+ public:
+  explicit Observability(const ObsConfig& cfg);
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  const ObsConfig& config() const noexcept { return cfg_; }
+
+  /// Null when the subsystem is disabled.
+  Tracer* tracer() noexcept { return tracer_.get(); }
+  MetricsRegistry* metrics() noexcept { return metrics_.get(); }
+  DepthSampler* sampler() noexcept { return sampler_.get(); }
+  const Tracer* tracer() const noexcept { return tracer_.get(); }
+  const MetricsRegistry* metrics() const noexcept { return metrics_.get(); }
+  const DepthSampler* sampler() const noexcept { return sampler_.get(); }
+
+  /// Combined Chrome/Perfetto trace: tracer events plus one counter track
+  /// per sampler series. Valid (loadable) even when subsystems are off.
+  void write_trace_json(std::ostream& os) const;
+
+  /// Metrics snapshot writers (no-ops emitting empty documents when the
+  /// metrics subsystem is off).
+  void write_metrics_json(std::ostream& os) const;
+  void write_metrics_csv(std::ostream& os) const;
+
+  /// Sampler CSV (header-only when the sampler is off).
+  void write_samples_csv(std::ostream& os) const;
+
+ private:
+  ObsConfig cfg_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<DepthSampler> sampler_;
+};
+
+}  // namespace otm::obs

@@ -1,0 +1,53 @@
+#include "obs/sampler.hpp"
+
+#include <ostream>
+
+namespace otm::obs {
+
+bool DepthSampler::sample(std::string_view series, std::uint64_t t,
+                          std::uint64_t v) {
+  std::lock_guard lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end())
+    it = series_.emplace(std::string(series), Series{}).first;
+  Series& s = it->second;
+  if (s.has_last && min_interval_ != 0 && t >= s.last_t &&
+      t - s.last_t < min_interval_)
+    return false;
+  s.points.push_back({t, v});
+  s.has_last = true;
+  s.last_t = t;
+  return true;
+}
+
+std::vector<std::string> DepthSampler::series_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+std::vector<DepthSampler::Point> DepthSampler::points(
+    std::string_view series) const {
+  std::lock_guard lock(mu_);
+  const auto it = series_.find(series);
+  return it == series_.end() ? std::vector<Point>{} : it->second.points;
+}
+
+std::size_t DepthSampler::total_points() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, s] : series_) n += s.points.size();
+  return n;
+}
+
+void DepthSampler::write_csv(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "series,t,value\n";
+  for (const auto& [name, s] : series_)
+    for (const Point& p : s.points)
+      os << name << ',' << p.t << ',' << p.value << "\n";
+}
+
+}  // namespace otm::obs

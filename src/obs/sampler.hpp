@@ -1,0 +1,59 @@
+// Time-series sampler for queue depths (PRQ / UMQ / descriptor table),
+// reproducing Fig. 7-style depth-over-time curves from any workload.
+//
+// Each series is an append-only (t, value) vector keyed by name. sample()
+// throttles per series on a minimum timestamp interval so callers can
+// sample at every block boundary without drowning long runs; the first and
+// every value-changing point inside the interval of interest still lands
+// because the interval is measured in the caller's modeled clock.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otm::obs {
+
+class DepthSampler {
+ public:
+  struct Point {
+    std::uint64_t t = 0;
+    std::uint64_t value = 0;
+  };
+
+  /// `min_interval`: minimum timestamp distance between retained samples of
+  /// one series (0 = keep everything).
+  explicit DepthSampler(std::uint64_t min_interval = 0)
+      : min_interval_(min_interval) {}
+
+  DepthSampler(const DepthSampler&) = delete;
+  DepthSampler& operator=(const DepthSampler&) = delete;
+
+  /// Append (t, v) to `series`, creating it on first use. Returns false
+  /// when the sample was dropped by interval throttling.
+  bool sample(std::string_view series, std::uint64_t t, std::uint64_t v);
+
+  std::vector<std::string> series_names() const;
+  std::vector<Point> points(std::string_view series) const;
+  std::size_t total_points() const;
+
+  /// CSV: series,t,value — one row per retained sample.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::vector<Point> points;
+    bool has_last = false;
+    std::uint64_t last_t = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t min_interval_;
+  std::map<std::string, Series, std::less<>> series_;
+};
+
+}  // namespace otm::obs

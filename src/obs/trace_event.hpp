@@ -1,0 +1,53 @@
+// Trace-event vocabulary of the observability layer.
+//
+// Every event is a fixed-size POD: a timestamp in the emitter's clock
+// domain (modeled DPA cycles for matching events, modeled nanoseconds for
+// endpoint events), a lane (block thread id / rank), and two uninterpreted
+// 64-bit arguments whose meaning depends on the kind (documented per
+// enumerator and in docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+
+namespace otm::obs {
+
+enum class EventKind : std::uint8_t {
+  // Engine, arrival side (one matching block = one kBlockBegin/kBlockEnd
+  // span; per-thread events nest inside it).
+  kBlockBegin = 0,   ///< a0 = block size, a1 = generation
+  kBlockEnd = 1,     ///< a0 = block size, a1 = generation
+  kCandidate = 2,    ///< a0 = optimistic candidate slot (~0 = none)
+  kBooking = 3,      ///< a0 = booked slot
+  kConflict = 4,     ///< a0 = lost candidate slot
+  kResolution = 5,   ///< a0 = final slot (~0 = unexpected), a1 = ResolutionPath
+  kUmqInsert = 6,    ///< a0 = UMQ slot (~0 = dropped), a1 = wire_seq
+
+  // Engine, post side (Fig. 1a).
+  kPostReceive = 7,         ///< a0 = cookie
+  kUmqMatch = 8,            ///< a0 = cookie, a1 = matched wire_seq
+  kDescriptorFallback = 9,  ///< a0 = cookie; descriptor table exhausted
+  kProbe = 10,              ///< a0 = 1 if a message was found
+  kCancel = 11,             ///< a0 = cookie
+
+  // Endpoint (clock domain: modeled ns).
+  kSend = 12,      ///< a0 = payload bytes, a1 = Protocol
+  kProgress = 13,  ///< a0 = completions drained, a1 = messages matched-on-NIC
+
+  // Sampler tick (exported as a Perfetto counter track).
+  kSample = 14,  ///< a0 = sampled value, a1 = series id
+};
+
+inline constexpr unsigned kNumEventKinds = 15;
+
+const char* to_string(EventKind k) noexcept;
+
+struct TraceEvent {
+  std::uint64_t ts = 0;  ///< emitter clock (cycles or ns; see EventKind)
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  std::uint64_t seq = 0;  ///< global emission order (assigned by the tracer)
+  std::uint32_t lane = 0; ///< block thread id / rank; rendered as Perfetto tid
+  EventKind kind = EventKind::kBlockBegin;
+};
+
+}  // namespace otm::obs

@@ -1,0 +1,104 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace otm::obs {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kBlockBegin: return "block";
+    case EventKind::kBlockEnd: return "block";
+    case EventKind::kCandidate: return "candidate";
+    case EventKind::kBooking: return "booking";
+    case EventKind::kConflict: return "conflict";
+    case EventKind::kResolution: return "resolution";
+    case EventKind::kUmqInsert: return "umq_insert";
+    case EventKind::kPostReceive: return "post_receive";
+    case EventKind::kUmqMatch: return "umq_match";
+    case EventKind::kDescriptorFallback: return "descriptor_fallback";
+    case EventKind::kProbe: return "probe";
+    case EventKind::kCancel: return "cancel";
+    case EventKind::kSend: return "send";
+    case EventKind::kProgress: return "progress";
+    case EventKind::kSample: return "sample";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : slots_(round_up_pow2(capacity)) {
+  mask_ = slots_.size() - 1;
+}
+
+void Tracer::record(EventKind kind, std::uint64_t ts, std::uint32_t lane,
+                    std::uint64_t a0, std::uint64_t a1) noexcept {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[static_cast<std::size_t>(seq) & mask_];
+  // Invalidate the slot first so a racing snapshot never sees the new stamp
+  // paired with the old payload.
+  s.stamp.store(~std::uint64_t{0}, std::memory_order_release);
+  s.ev = TraceEvent{ts, a0, a1, seq, lane, kind};
+  s.stamp.store(seq, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::uint64_t n = emitted();
+  const std::uint64_t first = n > capacity() ? n - capacity() : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n - first));
+  for (std::uint64_t seq = first; seq < n; ++seq) {
+    const Slot& s = slots_[static_cast<std::size_t>(seq) & mask_];
+    if (s.stamp.load(std::memory_order_acquire) != seq) continue;  // in flight
+    out.push_back(s.ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void Tracer::clear() noexcept {
+  for (Slot& s : slots_) s.stamp.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void write_chrome_event(std::ostream& os, const TraceEvent& e, bool& first) {
+  const char* ph = "i";
+  switch (e.kind) {
+    case EventKind::kBlockBegin: ph = "B"; break;
+    case EventKind::kBlockEnd: ph = "E"; break;
+    case EventKind::kSample: ph = "C"; break;
+    default: break;
+  }
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\":\"" << to_string(e.kind) << "\",\"ph\":\"" << ph
+     << "\",\"ts\":" << e.ts << ",\"pid\":0,\"tid\":" << e.lane;
+  if (e.kind == EventKind::kSample) {
+    os << ",\"args\":{\"value\":" << e.a0 << "}";
+  } else if (ph[0] == 'i') {
+    os << ",\"s\":\"t\",\"args\":{\"a0\":" << e.a0 << ",\"a1\":" << e.a1
+       << ",\"seq\":" << e.seq << "}";
+  } else {
+    os << ",\"args\":{\"a0\":" << e.a0 << ",\"a1\":" << e.a1 << "}";
+  }
+  os << "}";
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : snapshot()) write_chrome_event(os, e, first);
+  os << "\n]}\n";
+}
+
+}  // namespace otm::obs

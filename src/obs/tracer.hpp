@@ -1,0 +1,87 @@
+// Ring-buffered event tracer (the sPIN-style handler instrumentation of the
+// observability layer).
+//
+// record() is wait-free: a relaxed fetch_add claims a slot, the event is
+// written in place, and a per-slot sequence stamp is published with release
+// ordering. The ring overwrites the oldest events once full, so tracing a
+// long run keeps the most recent window — snapshot() returns whatever is
+// still resident, in emission order.
+//
+// Readers are expected to run on quiesced data (end of a bench, test
+// assertions); a snapshot taken while writers are active skips slots whose
+// stamp shows a concurrent overwrite instead of returning torn events.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace otm::obs {
+
+class Tracer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 16).
+  explicit Tracer(std::size_t capacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Append one event. Thread-safe, wait-free, never allocates.
+  void record(EventKind kind, std::uint64_t ts, std::uint32_t lane = 0,
+              std::uint64_t a0 = 0, std::uint64_t a1 = 0) noexcept;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Events emitted since construction/clear (including overwritten ones).
+  std::uint64_t emitted() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Events overwritten by ring wrap-around.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = emitted();
+    return n > capacity() ? n - capacity() : 0;
+  }
+
+  /// Events still resident in the ring.
+  std::size_t size() const noexcept {
+    const std::uint64_t n = emitted();
+    return n < capacity() ? static_cast<std::size_t>(n) : capacity();
+  }
+
+  /// Resident events, oldest first. Slots being overwritten concurrently
+  /// are skipped (their stamp no longer matches the expected sequence).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Drop all events. Not safe against concurrent record().
+  void clear() noexcept;
+
+  /// Chrome/Perfetto trace_event JSON ({"traceEvents": [...]}).
+  /// kBlockBegin/kBlockEnd become "B"/"E" duration events, kSample becomes
+  /// a "C" counter event, everything else an instant event. Timestamps are
+  /// emitted as microsecond ticks carrying the modeled clock verbatim.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Slot {
+    // ~0 = never written; otherwise the seq of the resident event.
+    std::atomic<std::uint64_t> stamp{~std::uint64_t{0}};
+    TraceEvent ev{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Emit one event as a Chrome trace_event JSON object. `first` tracks the
+/// comma state of the enclosing array (shared with the combined exporter in
+/// Observability, which appends sampler counter tracks to the same array).
+void write_chrome_event(std::ostream& os, const TraceEvent& e, bool& first);
+
+}  // namespace otm::obs

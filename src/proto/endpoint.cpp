@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "util/assert.hpp"
 
@@ -36,6 +37,28 @@ void Endpoint::connect(Endpoint& peer) {
   it->second.connect(pit->second);
   peers_.emplace(peer.rank_, &peer);
   peer.peers_.emplace(rank_, this);
+}
+
+void Endpoint::attach_observability(obs::Observability* obs,
+                                    std::string_view prefix) {
+  obs_ = obs;
+  ch_ = CounterHandles{};
+  const std::string p(prefix);
+  dpa_.attach_observability(obs, p + ".dpa");
+  if (obs_ == nullptr) return;
+  if (obs::MetricsRegistry* reg = obs_->metrics()) {
+#define OTM_X(field) ch_.field = &reg->counter(p + "." #field);
+    OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
+    publish_counters();
+  }
+}
+
+void Endpoint::publish_counters() noexcept {
+  if (ch_.sends == nullptr) return;
+#define OTM_X(field) ch_.field->set(counters_.field);
+  OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
 }
 
 void Endpoint::release_send_buffer(std::uint32_t rkey) {
@@ -104,8 +127,15 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   clock_ns_ += static_cast<std::uint64_t>(cfg_.send_overhead_ns);
   const auto r = it->second.post_send(packet, clock_ns_);
   ++counters_.sends;
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kSend, clock_ns_,
+                 static_cast<std::uint32_t>(dst), data.size(),
+                 r.delivered ? 1u : 0u);
+  }
   if (!r.delivered) {
     ++counters_.rnr_failures;
+    publish_counters();
     return {};
   }
   if (eager) {
@@ -113,6 +143,7 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   } else {
     ++counters_.rendezvous_sends;
   }
+  publish_counters();
   return {true, r.arrival_ns};
 }
 
@@ -203,49 +234,53 @@ void Endpoint::recycle_bounce(std::uint64_t handle) {
 }
 
 Endpoint::RecvCompletion Endpoint::complete_matched(const ArrivalOutcome& o) {
-  OTM_ASSERT(o.buffer_addr != 0);
-  const std::size_t idx = static_cast<std::size_t>(o.buffer_addr) - 1;
+  OTM_ASSERT(o.match.buffer_addr != 0);
+  const std::size_t idx = static_cast<std::size_t>(o.match.buffer_addr) - 1;
   OTM_ASSERT(idx < user_buffers_.size() && user_buffers_[idx].live);
   const std::span<std::byte> user = user_buffers_[idx].span;
   user_buffers_[idx].live = false;
   free_user_buffers_.push_back(idx);
 
   RecvCompletion c;
-  c.cookie = o.receive_cookie;
+  c.cookie = o.match.receive_cookie;
   c.env = o.env;
-  c.bytes = std::min<std::uint32_t>(o.payload_bytes,
+  c.bytes = std::min<std::uint32_t>(o.proto.payload_bytes,
                                     static_cast<std::uint32_t>(user.size()));
-  c.path = o.path;
+  c.path = o.match.path;
 
-  if (o.protocol == Protocol::kEager) {
-    const auto src = bounce_.data(o.bounce_handle).subspan(kHeaderBytes, c.bytes);
+  if (o.proto.protocol == Protocol::kEager) {
+    const auto src =
+        bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes, c.bytes);
     std::copy(src.begin(), src.end(), user.begin());
     // On-NIC copy cost is part of the DPA cost model (eager_copy); convert
     // the matcher finish time and add the copy serialization.
     const auto copy_ns = static_cast<std::uint64_t>(
         static_cast<double>(c.bytes) / fabric_->config().bandwidth_bytes_per_ns);
-    c.complete_ns = dpa_ns(o.finish_cycles) + copy_ns;
+    c.complete_ns = dpa_ns(o.timing.finish_cycles) + copy_ns;
   } else {
     // Inline RTS fragment straight from the bounce buffer, remainder via
     // RDMA read (Sec. IV-B).
-    const std::uint32_t inline_n = std::min(o.inline_bytes, c.bytes);
+    const std::uint32_t inline_n = std::min(o.proto.inline_bytes, c.bytes);
     if (inline_n != 0) {
-      const auto src = bounce_.data(o.bounce_handle).subspan(kHeaderBytes, inline_n);
+      const auto src =
+          bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes, inline_n);
       std::copy(src.begin(), src.end(), user.begin());
     }
     if (c.bytes > inline_n) {
       auto it = qps_.find(o.env.source);
       OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
       c.complete_ns = it->second.rdma_read(
-          static_cast<std::uint32_t>(o.remote_key), o.remote_addr + inline_n,
-          user.subspan(inline_n, c.bytes - inline_n), dpa_ns(o.finish_cycles));
+          static_cast<std::uint32_t>(o.proto.remote_key),
+          o.proto.remote_addr + inline_n,
+          user.subspan(inline_n, c.bytes - inline_n),
+          dpa_ns(o.timing.finish_cycles));
       ++counters_.rdma_reads;
     } else {
-      c.complete_ns = dpa_ns(o.finish_cycles);
+      c.complete_ns = dpa_ns(o.timing.finish_cycles);
     }
     // FIN: the sender can free its staged copy.
     peers_.at(o.env.source)
-        ->release_send_buffer(static_cast<std::uint32_t>(o.remote_key));
+        ->release_send_buffer(static_cast<std::uint32_t>(o.proto.remote_key));
   }
   advance_ns(c.complete_ns);
   return c;
@@ -304,28 +339,36 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
     switch (o.kind) {
       case ArrivalOutcome::Kind::kMatched:
         completions.push_back(complete_matched(o));
-        recycle_bounce(o.bounce_handle);
+        recycle_bounce(o.proto.bounce_handle);
         break;
       case ArrivalOutcome::Kind::kUnexpected: {
         // Stash staged payload (full eager message, or the RTS inline
         // fragment) so the bounce buffer can be reposted; the engine's
         // unexpected descriptor references it by wire sequence.
-        const std::uint32_t staged =
-            o.protocol == Protocol::kEager ? o.payload_bytes : o.inline_bytes;
+        const std::uint32_t staged = o.proto.protocol == Protocol::kEager
+                                         ? o.proto.payload_bytes
+                                         : o.proto.inline_bytes;
         if (staged != 0) {
           const auto src =
-              bounce_.data(o.bounce_handle).subspan(kHeaderBytes, staged);
-          um_payloads_.emplace(o.wire_seq,
+              bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes, staged);
+          um_payloads_.emplace(o.proto.wire_seq,
                                std::vector<std::byte>(src.begin(), src.end()));
         }
-        recycle_bounce(o.bounce_handle);
+        recycle_bounce(o.proto.bounce_handle);
         break;
       }
       case ArrivalOutcome::Kind::kDropped:
         ++counters_.messages_dropped;
-        recycle_bounce(o.bounce_handle);
+        recycle_bounce(o.proto.bounce_handle);
         break;
     }
+  }
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kProgress, clock_ns_,
+                 static_cast<std::uint32_t>(rank_), msgs.size(),
+                 completions.size());
+    publish_counters();
   }
   return completions;
 }

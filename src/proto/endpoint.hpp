@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -98,10 +100,17 @@ class Endpoint {
 
   /// MPI_Iprobe against the NIC-side unexpected store (registered comms
   /// only; host-path messages are probed by the caller's own store).
-  std::optional<MatchEngine::ProbeResult> probe(const MatchSpec& spec) {
+  std::optional<ProbeResult> probe(const MatchSpec& spec) {
     if (!dpa_.comm_registered(spec.comm)) return std::nullopt;
     return dpa_.engine(spec.comm).probe(spec);
   }
+
+  /// Wire the endpoint (and its DPA + per-comm engines) into an
+  /// observability context. Endpoint counters live under "<prefix>.*", the
+  /// accelerator under "<prefix>.dpa", engines under "<prefix>.dpa.comm<id>".
+  void attach_observability(obs::Observability* obs,
+                            std::string_view prefix = "ep");
+  obs::Observability* observability() const noexcept { return obs_; }
 
   struct SendResult {
     bool ok = false;             ///< false: receiver had no staging buffer (RNR)
@@ -163,17 +172,31 @@ class Endpoint {
     if (t > clock_ns_) clock_ns_ = t;
   }
 
+  /// Endpoint-level counter fields (same X-macro discipline as MatchStats:
+  /// the list expands into the POD below and the registry mirror).
+#define OTM_ENDPOINT_COUNTER_FIELDS(X)                              \
+  X(sends)                                                          \
+  X(eager_sends)                                                    \
+  X(rendezvous_sends)                                               \
+  X(rnr_failures) /* receiver had no staging buffer */              \
+  X(messages_dropped)                                               \
+  X(rdma_reads)
+
   struct Counters {
-    std::uint64_t sends = 0;
-    std::uint64_t eager_sends = 0;
-    std::uint64_t rendezvous_sends = 0;
-    std::uint64_t rnr_failures = 0;
-    std::uint64_t messages_dropped = 0;
-    std::uint64_t rdma_reads = 0;
+#define OTM_X(field) std::uint64_t field = 0;
+    OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
   };
   const Counters& counters() const noexcept { return counters_; }
 
  private:
+  struct CounterHandles {
+#define OTM_X(field) obs::Counter* field = nullptr;
+    OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
+#undef OTM_X
+  };
+  void publish_counters() noexcept;
+
   RecvCompletion complete_matched(const ArrivalOutcome& o);
   RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
                                           std::span<std::byte> user,
@@ -217,6 +240,9 @@ class Endpoint {
   std::uint64_t clock_ns_ = 0;
   std::uint64_t sender_seq_ = 0;
   Counters counters_;
+
+  obs::Observability* obs_ = nullptr;
+  CounterHandles ch_{};
 };
 
 }  // namespace otm::proto

@@ -39,8 +39,12 @@ AppAnalysis TraceAnalyzer::analyze(const Trace& trace) const {
 
   std::vector<std::unique_ptr<RankState>> ranks;
   ranks.reserve(static_cast<std::size_t>(trace.num_ranks));
-  for (int r = 0; r < trace.num_ranks; ++r)
+  for (int r = 0; r < trace.num_ranks; ++r) {
     ranks.push_back(std::make_unique<RankState>(mc));
+    if (cfg_.obs != nullptr)
+      ranks.back()->engine.attach_observability(
+          cfg_.obs, cfg_.obs_prefix + "rank" + std::to_string(r));
+  }
 
   LockstepExecutor executor;
   std::set<std::pair<Rank, Tag>> src_tag_pairs;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/observability.hpp"
 #include "trace/ops.hpp"
 #include "util/running_stats.hpp"
 
@@ -37,6 +38,11 @@ struct AnalyzerConfig {
   std::size_t max_unexpected = 1 << 16;
   bool enable_fast_path = true;
   bool early_booking_check = false;  ///< off: deterministic replay exposes conflicts
+
+  /// Optional observability sink: each replayed rank's engine attaches
+  /// under "<obs_prefix>rank<r>" (trace events, counters, depth series).
+  obs::Observability* obs = nullptr;
+  std::string obs_prefix;
 };
 
 /// Fig. 6 distribution of MPI call types.

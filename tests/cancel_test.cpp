@@ -64,8 +64,8 @@ TEST(EngineCancel, MidSequenceCancelPreservesOrdering) {
   ASSERT_TRUE(eng.cancel_receive(101).has_value());
   std::vector<IncomingMessage> msgs(3, IncomingMessage::make(1, 5, 0));
   const auto outs = eng.process(msgs, ex);
-  EXPECT_EQ(outs[0].receive_cookie, 100u);
-  EXPECT_EQ(outs[1].receive_cookie, 102u);
+  EXPECT_EQ(outs[0].match.receive_cookie, 100u);
+  EXPECT_EQ(outs[1].match.receive_cookie, 102u);
   EXPECT_EQ(outs[2].kind, ArrivalOutcome::Kind::kUnexpected);
 }
 
@@ -83,8 +83,8 @@ TEST(EngineCancel, PostAfterCancelStartsFreshSequence) {
   LockstepExecutor ex;
   std::vector<IncomingMessage> msgs(2, IncomingMessage::make(1, 5, 0));
   const auto outs = eng.process(msgs, ex);
-  EXPECT_EQ(outs[0].receive_cookie, 2u);
-  EXPECT_EQ(outs[1].receive_cookie, 3u);
+  EXPECT_EQ(outs[0].match.receive_cookie, 2u);
+  EXPECT_EQ(outs[1].match.receive_cookie, 3u);
 }
 
 TEST(MpiCancel, PendingReceiveCancelsAndCompletes) {

@@ -48,9 +48,9 @@ TEST(BlockMatcher, NoConflictAllOptimistic) {
   ASSERT_EQ(out.size(), 4u);
   for (unsigned i = 0; i < 4; ++i) {
     EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
-    EXPECT_EQ(out[i].receive_cookie, 100u + i);
-    EXPECT_EQ(out[i].path, ResolutionPath::kOptimistic);
-    EXPECT_FALSE(out[i].conflicted);
+    EXPECT_EQ(out[i].match.receive_cookie, 100u + i);
+    EXPECT_EQ(out[i].match.path, ResolutionPath::kOptimistic);
+    EXPECT_FALSE(out[i].match.conflicted);
   }
   EXPECT_EQ(eng.stats().conflicts_detected, 0u);
   EXPECT_EQ(eng.stats().fast_path_resolutions, 0u);
@@ -69,12 +69,12 @@ TEST(BlockMatcher, WithConflictFastPath) {
   ASSERT_EQ(out.size(), kN);
   for (unsigned i = 0; i < kN; ++i) {
     EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
-    EXPECT_EQ(out[i].receive_cookie, 200u + i)
+    EXPECT_EQ(out[i].match.receive_cookie, 200u + i)
         << "message i must take the i-th receive of the sequence (C2)";
   }
-  EXPECT_EQ(out[0].path, ResolutionPath::kOptimistic);
+  EXPECT_EQ(out[0].match.path, ResolutionPath::kOptimistic);
   for (unsigned i = 1; i < kN; ++i)
-    EXPECT_EQ(out[i].path, ResolutionPath::kFastPath);
+    EXPECT_EQ(out[i].match.path, ResolutionPath::kFastPath);
   EXPECT_EQ(eng.stats().conflicts_detected, kN - 1);
   EXPECT_EQ(eng.stats().fast_path_resolutions, kN - 1);
   EXPECT_EQ(eng.stats().slow_path_resolutions, 0u);
@@ -90,11 +90,11 @@ TEST(BlockMatcher, WithConflictSlowPath) {
   const auto out = eng.process(same_messages(kN, 1, 5), ex);
   for (unsigned i = 0; i < kN; ++i) {
     EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
-    EXPECT_EQ(out[i].receive_cookie, 300u + i);
+    EXPECT_EQ(out[i].match.receive_cookie, 300u + i);
   }
-  EXPECT_EQ(out[0].path, ResolutionPath::kOptimistic);
+  EXPECT_EQ(out[0].match.path, ResolutionPath::kOptimistic);
   for (unsigned i = 1; i < kN; ++i)
-    EXPECT_EQ(out[i].path, ResolutionPath::kSlowPath);
+    EXPECT_EQ(out[i].match.path, ResolutionPath::kSlowPath);
   EXPECT_EQ(eng.stats().slow_path_resolutions, kN - 1);
   EXPECT_EQ(eng.stats().fast_path_resolutions, 0u);
 }
@@ -110,9 +110,9 @@ TEST(BlockMatcher, FastPathAbortFallsBackToSlowPath) {
   LockstepExecutor ex;
   const auto out = eng.process(same_messages(kN, 1, 5), ex);
   EXPECT_EQ(out[0].kind, ArrivalOutcome::Kind::kMatched);
-  EXPECT_EQ(out[0].receive_cookie, 400u);
+  EXPECT_EQ(out[0].match.receive_cookie, 400u);
   EXPECT_EQ(out[1].kind, ArrivalOutcome::Kind::kMatched);
-  EXPECT_EQ(out[1].receive_cookie, 401u);
+  EXPECT_EQ(out[1].match.receive_cookie, 401u);
   EXPECT_EQ(out[2].kind, ArrivalOutcome::Kind::kUnexpected);
   EXPECT_EQ(out[3].kind, ArrivalOutcome::Kind::kUnexpected);
   EXPECT_EQ(eng.stats().fast_path_aborts, 2u);
@@ -128,10 +128,10 @@ TEST(BlockMatcher, BrokenSequenceRespectsInterposedWildcard) {
 
   LockstepExecutor ex;
   const auto out = eng.process(same_messages(3, 1, 5), ex);
-  EXPECT_EQ(out[0].receive_cookie, 500u);
-  EXPECT_EQ(out[1].receive_cookie, 501u)
+  EXPECT_EQ(out[0].match.receive_cookie, 500u);
+  EXPECT_EQ(out[1].match.receive_cookie, 501u)
       << "the interposed wildcard receive is older than the sequence mate";
-  EXPECT_EQ(out[2].receive_cookie, 502u);
+  EXPECT_EQ(out[2].match.receive_cookie, 502u);
 }
 
 TEST(BlockMatcher, UnexpectedMessagesKeepArrivalOrder) {
@@ -177,7 +177,7 @@ TEST(BlockMatcher, PartialLastBlock) {
   ASSERT_EQ(out.size(), 6u);
   for (unsigned i = 0; i < 6; ++i) {
     EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
-    EXPECT_EQ(out[i].receive_cookie, 700u + i);
+    EXPECT_EQ(out[i].match.receive_cookie, 700u + i);
   }
   EXPECT_EQ(eng.stats().blocks_processed, 2u);
 }
@@ -203,7 +203,7 @@ TEST_P(ExecutorEquivalence, SameKeyBurst) {
     std::vector<std::uint64_t> cookies;
     for (const auto& o : eng.process(same_messages(kN, 1, 5), ex))
       cookies.push_back(o.kind == ArrivalOutcome::Kind::kMatched
-                            ? o.receive_cookie
+                            ? o.match.receive_cookie
                             : ~std::uint64_t{0});
     return cookies;
   };

@@ -24,10 +24,10 @@ TEST(Engine, PostThenArriveMatches) {
   LockstepExecutor ex;
   const auto o = eng.process_one(IncomingMessage::make(1, 2, 0, 16), ex);
   EXPECT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
-  EXPECT_EQ(o.receive_cookie, 42u);
-  EXPECT_EQ(o.buffer_addr, 0xBEEFu);
-  EXPECT_EQ(o.buffer_capacity, 64u);
-  EXPECT_EQ(o.payload_bytes, 16u);
+  EXPECT_EQ(o.match.receive_cookie, 42u);
+  EXPECT_EQ(o.match.buffer_addr, 0xBEEFu);
+  EXPECT_EQ(o.match.buffer_capacity, 64u);
+  EXPECT_EQ(o.proto.payload_bytes, 16u);
 }
 
 TEST(Engine, ArriveThenPostMatchesUnexpected) {
@@ -84,7 +84,7 @@ TEST(Engine, SlotReuseAfterMatchAllowsMoreReceives) {
     ASSERT_EQ(p.kind, PostOutcome::Kind::kPending) << "round " << round;
     const auto o = eng.process_one(IncomingMessage::make(1, 1, 0), ex);
     ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
-    ASSERT_EQ(o.receive_cookie, static_cast<std::uint64_t>(round));
+    ASSERT_EQ(o.match.receive_cookie, static_cast<std::uint64_t>(round));
   }
   EXPECT_EQ(eng.stats().messages_matched, 100u);
 }
@@ -127,9 +127,9 @@ TEST(Engine, MultiCommunicatorIsolation) {
   eng.post_receive({1, 1, /*comm=*/0}, 0, 0, 10);
   eng.post_receive({1, 1, /*comm=*/1}, 0, 0, 11);
   const auto o1 = eng.process_one(IncomingMessage::make(1, 1, 1), ex);
-  EXPECT_EQ(o1.receive_cookie, 11u);
+  EXPECT_EQ(o1.match.receive_cookie, 11u);
   const auto o0 = eng.process_one(IncomingMessage::make(1, 1, 0), ex);
-  EXPECT_EQ(o0.receive_cookie, 10u);
+  EXPECT_EQ(o0.match.receive_cookie, 10u);
 }
 
 TEST(Engine, ArrivalCyclesOffsetModeledClocks) {
@@ -141,7 +141,7 @@ TEST(Engine, ArrivalCyclesOffsetModeledClocks) {
   const std::vector<IncomingMessage> msgs = {IncomingMessage::make(1, 1, 0)};
   const std::vector<std::uint64_t> starts = {5000};
   const auto out = eng.process(msgs, ex, starts);
-  EXPECT_GT(out[0].finish_cycles, 5000u);
+  EXPECT_GT(out[0].timing.finish_cycles, 5000u);
 }
 
 TEST(Engine, RendezvousFieldsFlowThroughMatch) {
@@ -154,10 +154,10 @@ TEST(Engine, RendezvousFieldsFlowThroughMatch) {
   m.remote_addr = 0x9000;
   const auto o = eng.process_one(m, ex);
   ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
-  EXPECT_EQ(o.protocol, Protocol::kRendezvous);
-  EXPECT_EQ(o.remote_key, 0x77u);
-  EXPECT_EQ(o.remote_addr, 0x9000u);
-  EXPECT_EQ(o.buffer_addr, 0x2000u);
+  EXPECT_EQ(o.proto.protocol, Protocol::kRendezvous);
+  EXPECT_EQ(o.proto.remote_key, 0x77u);
+  EXPECT_EQ(o.proto.remote_addr, 0x9000u);
+  EXPECT_EQ(o.match.buffer_addr, 0x2000u);
 }
 
 }  // namespace

@@ -59,7 +59,7 @@ TEST(DpaAccelerator, MatchesAndAdvancesClock) {
   const auto out = dpa.deliver(distinct_messages(4));
   for (unsigned i = 0; i < 4; ++i) {
     EXPECT_EQ(out[i].kind, ArrivalOutcome::Kind::kMatched);
-    EXPECT_EQ(out[i].receive_cookie, 10u + i);
+    EXPECT_EQ(out[i].match.receive_cookie, 10u + i);
   }
   EXPECT_GT(dpa.now(), 0u);
   EXPECT_GT(dpa.busy_cycles(), 0u);
@@ -76,7 +76,7 @@ TEST(DpaAccelerator, SerialCqeDispatchStaggersThreads) {
   // With no conflicts, later messages finish later by at least the
   // dispatch interval (they also start later).
   for (unsigned i = 1; i < 4; ++i)
-    EXPECT_GT(out[i].finish_cycles, out[i - 1].finish_cycles);
+    EXPECT_GT(out[i].timing.finish_cycles, out[i - 1].timing.finish_cycles);
 }
 
 TEST(DpaAccelerator, ExplicitArrivalTimesRespected) {
@@ -85,8 +85,8 @@ TEST(DpaAccelerator, ExplicitArrivalTimesRespected) {
   dpa.post_receive({1, 1, 0});
   const std::vector<std::uint64_t> arrivals = {100'000, 200'000};
   const auto out = dpa.deliver(distinct_messages(2), arrivals);
-  EXPECT_GT(out[0].finish_cycles, 100'000u);
-  EXPECT_GT(out[1].finish_cycles, 200'000u);
+  EXPECT_GT(out[0].timing.finish_cycles, 100'000u);
+  EXPECT_GT(out[1].timing.finish_cycles, 200'000u);
 }
 
 TEST(DpaAccelerator, PipelineBackpressureAcrossBlocks) {

@@ -118,7 +118,7 @@ TEST(BlockEdge, FullWidthBlockFastPath) {
   const auto outs = eng.process(msgs, ex);
   for (unsigned i = 0; i < kMaxBlockThreads; ++i) {
     ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched);
-    ASSERT_EQ(outs[i].receive_cookie, i);
+    ASSERT_EQ(outs[i].match.receive_cookie, i);
   }
   EXPECT_EQ(eng.stats().fast_path_resolutions, kMaxBlockThreads - 1);
 }
@@ -141,7 +141,7 @@ TEST(BlockEdge, EverySmallBlockSizeAgainstOracle) {
     const auto outs = eng.process(msgs, ex);
     for (unsigned i = 0; i < 6; ++i) {
       ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched) << "block " << block;
-      ASSERT_EQ(outs[i].receive_cookie, i) << "block " << block;
+      ASSERT_EQ(outs[i].match.receive_cookie, i) << "block " << block;
     }
     EXPECT_EQ(outs[6].kind, ArrivalOutcome::Kind::kUnexpected);
     EXPECT_EQ(outs[7].kind, ArrivalOutcome::Kind::kUnexpected);

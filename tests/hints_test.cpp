@@ -99,7 +99,7 @@ TEST(NoWildcardHint, OracleEquivalenceOnWildcardFreeStreams) {
         const auto om = oracle.arrive(pending[i].env, pending[i].wire_seq);
         if (om.has_value()) {
           ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched);
-          ASSERT_EQ(outs[i].receive_cookie, *om);
+          ASSERT_EQ(outs[i].match.receive_cookie, *om);
         } else {
           ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected);
         }
@@ -163,9 +163,9 @@ TEST(AllowOvertaking, EveryMessageGetsAValidReceive) {
   for (std::size_t i = 0; i < outs.size(); ++i) {
     if (outs[i].kind != ArrivalOutcome::Kind::kMatched) continue;
     ++matched;
-    EXPECT_TRUE(used.insert(outs[i].receive_cookie).second)
+    EXPECT_TRUE(used.insert(outs[i].match.receive_cookie).second)
         << "a receive was consumed twice";
-    EXPECT_TRUE(specs.at(outs[i].receive_cookie).matches(msgs[i].env))
+    EXPECT_TRUE(specs.at(outs[i].match.receive_cookie).matches(msgs[i].env))
         << "matched a receive that does not accept the envelope";
   }
   EXPECT_EQ(matched, 5u);
@@ -230,7 +230,7 @@ TEST(AllowOvertaking, ThreadedRaceStaysConsistent) {
     std::set<std::uint64_t> used;
     for (const auto& o : outs) {
       ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
-      EXPECT_TRUE(used.insert(o.receive_cookie).second);
+      EXPECT_TRUE(used.insert(o.match.receive_cookie).second);
     }
     EXPECT_EQ(used.size(), 8u);
   }

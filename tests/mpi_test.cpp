@@ -3,9 +3,11 @@
 // flow-control deferral, and the threaded SPMD driver.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <span>
 
 #include "mpi/mpi.hpp"
 
@@ -212,6 +214,74 @@ TEST(MpiOffload, CommAssertionsRejectWildcards) {
   std::vector<std::byte> rx(8);
   EXPECT_DEATH(world.proc(0).irecv(rx, kAnySource, 1, comm), "no_any_source");
   EXPECT_DEATH(world.proc(0).irecv(rx, 1, kAnyTag, comm), "no_any_tag");
+}
+
+TEST_P(MpiBackends, WaitAnyReturnsCompletedRequest) {
+  World world(2, options());
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx1(16), rx2(16);
+  std::array<Request, 2> reqs = {world.proc(1).irecv(rx1, 0, 1, comm),
+                                 world.proc(1).irecv(rx2, 0, 2, comm)};
+
+  // Only the second request can complete; wait_any must pick it and fill
+  // the status from the completed receive.
+  world.proc(0).send(payload(16, 2), 1, 2, comm);
+  Status s;
+  EXPECT_EQ(world.proc(1).wait_any(reqs, &s), 1u);
+  EXPECT_EQ(s.source, 0);
+  EXPECT_EQ(s.tag, 2);
+  EXPECT_EQ(s.bytes, 16u);
+  EXPECT_EQ(rx2, payload(16, 2));
+
+  world.proc(0).send(payload(16, 1), 1, 1, comm);
+  EXPECT_EQ(world.proc(1).wait_any(std::span<const Request>(reqs.data(), 1)),
+            0u);
+  EXPECT_EQ(rx1, payload(16, 1));
+}
+
+TEST(MpiStatus, ProbeResultTranslatesByPrefixCopy) {
+  ProbeResult pr;
+  pr.source = 3;
+  pr.tag = 77;
+  pr.bytes = 4096;
+  pr.comm = 2;
+  pr.wire_seq = 99;
+  const Status s = to_status(pr);
+  EXPECT_EQ(s.source, 3);
+  EXPECT_EQ(s.tag, 77);
+  EXPECT_EQ(s.bytes, 4096u);
+}
+
+TEST(MpiOffload, ObservabilityThreadsThroughWorld) {
+  WorldOptions o;
+  o.obs = obs::ObsConfig::enabled();
+  World world(2, o);
+  ASSERT_NE(world.observability(), nullptr);
+
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(32);
+  auto req = world.proc(1).irecv(rx, 0, 7, comm);
+  world.proc(0).send(payload(32), 1, 7, comm);
+  world.proc(1).wait(req);
+
+  obs::Observability& ob = *world.observability();
+  EXPECT_GT(ob.tracer()->emitted(), 0u);
+  // Per-rank namespacing: rank 1's matcher counted the post and the match.
+  obs::MetricsRegistry& reg = *ob.metrics();
+  EXPECT_EQ(reg.counter("rank1.dpa.comm0.receives_posted").value(), 1u);
+  EXPECT_EQ(reg.counter("rank1.dpa.comm0.messages_matched").value(), 1u);
+  EXPECT_EQ(reg.counter("rank0.sends").value(), 1u);
+}
+
+TEST(MpiOffload, DisabledObsLeavesWorldUninstrumented) {
+  World world(2, {});  // default WorldOptions: observability all off
+  EXPECT_EQ(world.observability(), nullptr);
+  const Comm comm = world.proc(0).world_comm();
+  std::vector<std::byte> rx(8);
+  auto req = world.proc(1).irecv(rx, 0, 1, comm);
+  world.proc(0).send(payload(8), 1, 1, comm);
+  world.proc(1).wait(req);
+  EXPECT_EQ(rx, payload(8));
 }
 
 TEST(MpiOffload, MatchStatsExposed) {

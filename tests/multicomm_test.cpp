@@ -56,7 +56,7 @@ TEST(MultiComm, PostRoutesToOwnCommunicator) {
   const auto out = dpa.deliver(std::vector<IncomingMessage>{
       IncomingMessage::make(1, 5, /*comm=*/1)});
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].receive_cookie, 101u);
+  EXPECT_EQ(out[0].match.receive_cookie, 101u);
   EXPECT_EQ(dpa.engine(0).stats().messages_processed, 0u);
   EXPECT_EQ(dpa.engine(1).stats().messages_processed, 1u);
 }
@@ -84,9 +84,9 @@ TEST(MultiComm, MixedCommStreamPreservesPerCommOrder) {
   for (const auto& o : out) {
     ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
     if (o.env.comm == 0) {
-      EXPECT_EQ(o.receive_cookie, next0++) << "comm 0 order broken";
+      EXPECT_EQ(o.match.receive_cookie, next0++) << "comm 0 order broken";
     } else {
-      EXPECT_EQ(o.receive_cookie, next1++) << "comm 1 order broken";
+      EXPECT_EQ(o.match.receive_cookie, next1++) << "comm 1 order broken";
     }
   }
   const MatchStats total = dpa.total_stats();

@@ -1,0 +1,353 @@
+// Observability layer tests: tracer event ordering (including under a
+// conflicted block), ring-buffer wrap and concurrent writes, histogram
+// bucket edges, depth-sampler curves, the engine's registry mirror, and the
+// regression that disabled observability emits nothing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/observability.hpp"
+
+namespace otm {
+namespace {
+
+using obs::EventKind;
+using obs::ObsConfig;
+using obs::Observability;
+using obs::TraceEvent;
+
+MatchConfig small_config(unsigned block) {
+  MatchConfig c;
+  c.bins = 16;
+  c.block_size = block;
+  c.max_receives = 128;
+  c.max_unexpected = 128;
+  // Off so the lockstep schedule exposes conflicts (see core_block_test).
+  c.early_booking_check = false;
+  return c;
+}
+
+std::vector<TraceEvent> events_of(const Observability& o, EventKind k) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : o.tracer()->snapshot())
+    if (e.kind == k) out.push_back(e);
+  return out;
+}
+
+// --- Tracer core ------------------------------------------------------------
+
+TEST(Tracer, RecordsInOrderAndSnapshotSorted) {
+  obs::Tracer tr(64);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    tr.record(EventKind::kPostReceive, /*ts=*/i * 10, /*lane=*/0, i, 0);
+  const auto snap = tr.snapshot();
+  ASSERT_EQ(snap.size(), 10u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a0, i);
+    if (i > 0) {
+      EXPECT_GT(snap[i].seq, snap[i - 1].seq);
+    }
+  }
+  EXPECT_EQ(tr.emitted(), 10u);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(Tracer, RingWrapKeepsNewestEvents) {
+  obs::Tracer tr(16);  // capacity rounds to 16
+  for (std::uint64_t i = 0; i < 40; ++i)
+    tr.record(EventKind::kProbe, i, 0, i, 0);
+  EXPECT_EQ(tr.emitted(), 40u);
+  EXPECT_EQ(tr.dropped(), 24u);
+  const auto snap = tr.snapshot();
+  ASSERT_EQ(snap.size(), 16u);
+  // Oldest-first and exactly the newest 16 records.
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].a0, 24u + i);
+}
+
+TEST(Tracer, ConcurrentWritersProduceNoTornEvents) {
+  obs::Tracer tr(1 << 10);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&tr, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        // a0 == a1 + lane lets the reader detect torn slot contents.
+        tr.record(EventKind::kSend, i, t, i + t, i);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tr.emitted(), kThreads * kPerThread);
+  const auto snap = tr.snapshot();
+  EXPECT_LE(snap.size(), tr.size());
+  for (const TraceEvent& e : snap) {
+    EXPECT_EQ(e.kind, EventKind::kSend);
+    EXPECT_LT(e.lane, kThreads);
+    EXPECT_EQ(e.a0, e.a1 + e.lane);
+  }
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  Observability o(ObsConfig::enabled(64));
+  o.tracer()->record(EventKind::kBlockBegin, 100, 0, 4, 1);
+  o.tracer()->record(EventKind::kResolution, 150, 2, 7, 0);
+  o.tracer()->record(EventKind::kBlockEnd, 200, 0, 4, 1);
+  o.sampler()->sample("prq", 100, 3);
+  std::ostringstream os;
+  o.write_trace_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);  // block span open
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);  // block span close
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // sampler counter
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketEdges) {
+  constexpr std::array<std::uint64_t, 3> bounds = {1, 4, 16};
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("h", bounds);
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 finite + overflow
+
+  // A value exactly on an upper bound lands in that bucket (le semantics).
+  h.observe(1);   // bucket 0 (le 1)
+  h.observe(2);   // bucket 1 (le 4)
+  h.observe(4);   // bucket 1
+  h.observe(5);   // bucket 2 (le 16)
+  h.observe(16);  // bucket 2
+  h.observe(17);  // overflow
+  h.observe(1000);
+
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.sum(), 1u + 2 + 4 + 5 + 16 + 17 + 1000);
+}
+
+TEST(Metrics, RegistryFindOrCreateIsStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  a.inc(3);
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+
+  obs::Gauge& g = reg.gauge("g");
+  g.update_max(10);
+  g.update_max(4);  // lower: no effect
+  EXPECT_EQ(g.value(), 10u);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_NE(json.str().find("\"x\": 3"), std::string::npos);
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("counter,x,value,3"), std::string::npos);
+}
+
+// --- Sampler ----------------------------------------------------------------
+
+TEST(Sampler, BurstCurveAndMinInterval) {
+  obs::DepthSampler s(/*min_interval=*/10);
+  // Synthetic burst: queue builds 0..5 then drains. Samples 2 time-units
+  // apart; the interval filter must keep every 10th unit only.
+  std::uint64_t t = 0;
+  const int depths[] = {0, 1, 2, 3, 4, 5, 4, 3, 2, 1, 0};
+  for (const int d : depths) {
+    s.sample("q", t, static_cast<std::uint64_t>(d));
+    t += 2;
+  }
+  const auto& pts = s.points("q");
+  ASSERT_EQ(pts.size(), 3u);  // t=0, t=10, t=20
+  EXPECT_EQ(pts[0].t, 0u);
+  EXPECT_EQ(pts[0].value, 0u);
+  EXPECT_EQ(pts[1].t, 10u);
+  EXPECT_EQ(pts[1].value, 5u);
+  EXPECT_EQ(pts[2].t, 20u);
+  EXPECT_EQ(pts[2].value, 0u);
+
+  std::ostringstream os;
+  s.write_csv(os);
+  EXPECT_NE(os.str().find("q,10,5"), std::string::npos);
+}
+
+// --- Engine integration -----------------------------------------------------
+
+TEST(EngineObs, ConflictedBlockEmitsOrderedEvents) {
+  Observability o(ObsConfig::enabled());
+  MatchEngine eng(small_config(4));
+  eng.attach_observability(&o, "m");
+
+  // Four receives sharing (src, tag): every thread of the block picks the
+  // same oldest candidate — three must conflict and re-resolve.
+  for (unsigned i = 0; i < 4; ++i)
+    eng.post_receive({1, 7, 0}, 0, 0, /*cookie=*/i);
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto m = IncomingMessage::make(1, 7, 0);
+    m.wire_seq = i;
+    msgs.push_back(m);
+  }
+  LockstepExecutor ex;
+  const auto out = eng.process(msgs, ex);
+  ASSERT_EQ(out.size(), 4u);
+  ASSERT_GT(eng.stats().conflicts_detected, 0u);
+
+  const auto snap = o.tracer()->snapshot();
+  ASSERT_FALSE(snap.empty());
+
+  // The block span brackets all per-thread events of the block.
+  const auto begins = events_of(o, EventKind::kBlockBegin);
+  const auto ends = events_of(o, EventKind::kBlockEnd);
+  ASSERT_EQ(begins.size(), 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(begins[0].a0, 4u);  // block occupancy
+  for (const TraceEvent& e : snap) {
+    if (e.kind == EventKind::kPostReceive) continue;
+    EXPECT_GE(e.seq, begins[0].seq);
+    EXPECT_LE(e.seq, ends[0].seq);
+  }
+
+  // Per thread: exactly one candidate and one resolution, candidate first.
+  const auto candidates = events_of(o, EventKind::kCandidate);
+  const auto resolutions = events_of(o, EventKind::kResolution);
+  ASSERT_EQ(candidates.size(), 4u);
+  ASSERT_EQ(resolutions.size(), 4u);
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    const auto c = std::find_if(candidates.begin(), candidates.end(),
+                                [&](const TraceEvent& e) { return e.lane == lane; });
+    const auto r = std::find_if(resolutions.begin(), resolutions.end(),
+                                [&](const TraceEvent& e) { return e.lane == lane; });
+    ASSERT_NE(c, candidates.end());
+    ASSERT_NE(r, resolutions.end());
+    EXPECT_LT(c->seq, r->seq);
+    EXPECT_NE(r->a0, kInvalidSlot) << "every thread matched";
+  }
+  // Every detected conflict produced exactly one conflict event.
+  const auto conflicts = events_of(o, EventKind::kConflict);
+  EXPECT_EQ(conflicts.size(), eng.stats().conflicts_detected);
+}
+
+TEST(EngineObs, RegistryMirrorsStatsAndHistogramsFill) {
+  Observability o(ObsConfig::enabled());
+  MatchEngine eng(small_config(2));
+  eng.attach_observability(&o, "rank0.comm0");
+
+  for (unsigned i = 0; i < 6; ++i)
+    eng.post_receive({1, static_cast<Tag>(i), 0}, 0, 0, i);
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < 4; ++i)
+    msgs.push_back(IncomingMessage::make(1, static_cast<Tag>(i), 0));
+  msgs.push_back(IncomingMessage::make(3, 99, 0));  // goes unexpected
+  LockstepExecutor ex;
+  eng.process(msgs, ex);
+
+  const MatchStats s = eng.snapshot();
+  obs::MetricsRegistry& reg = *o.metrics();
+  EXPECT_EQ(reg.counter("rank0.comm0.receives_posted").value(), s.receives_posted);
+  EXPECT_EQ(reg.counter("rank0.comm0.messages_matched").value(), s.messages_matched);
+  EXPECT_EQ(reg.counter("rank0.comm0.messages_unexpected").value(),
+            s.messages_unexpected);
+  EXPECT_EQ(s.messages_matched, 4u);
+  EXPECT_EQ(s.messages_unexpected, 1u);
+
+  // Shared instruments observed at least one sample each.
+  EXPECT_GT(reg.histogram("match.block_occupancy", {}).count(), 0u);
+  EXPECT_GT(reg.histogram("match.chain_depth", {}).count(), 0u);
+
+  // Depth series recorded under the engine prefix.
+  const auto names = o.sampler()->series_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "rank0.comm0.prq_depth"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "rank0.comm0.umq_depth"),
+            names.end());
+  const auto& prq = o.sampler()->points("rank0.comm0.prq_depth");
+  ASSERT_FALSE(prq.empty());
+  // After the run, two receives are still pending (6 posted, 4 matched).
+  EXPECT_EQ(prq.back().value, 2u);
+}
+
+TEST(EngineObs, SamplerTracksBurstDepth) {
+  Observability o(ObsConfig::enabled());
+  MatchEngine eng(small_config(1));
+  eng.attach_observability(&o, "e");
+
+  // Burst of unexpected arrivals, then posts drain them: the UMQ series
+  // must rise and fall back to zero.
+  LockstepExecutor ex;
+  for (unsigned i = 0; i < 8; ++i) {
+    auto m = IncomingMessage::make(2, static_cast<Tag>(i), 0);
+    m.wire_seq = i;
+    eng.process_one(m, ex);
+  }
+  for (unsigned i = 0; i < 8; ++i)
+    eng.post_receive({2, static_cast<Tag>(i), 0}, 0, 0, i);
+
+  const auto& umq = o.sampler()->points("e.umq_depth");
+  ASSERT_FALSE(umq.empty());
+  const auto peak = std::max_element(
+      umq.begin(), umq.end(),
+      [](const auto& a, const auto& b) { return a.value < b.value; });
+  EXPECT_EQ(peak->value, 8u);
+  EXPECT_EQ(umq.back().value, 0u);
+}
+
+TEST(EngineObs, DisabledObservabilityEmitsNothing) {
+  // All-off config: subsystems are never allocated and the engine's
+  // instrumentation must reduce to inert null checks.
+  Observability off{ObsConfig{}};
+  EXPECT_EQ(off.tracer(), nullptr);
+  EXPECT_EQ(off.metrics(), nullptr);
+  EXPECT_EQ(off.sampler(), nullptr);
+
+  MatchEngine eng(small_config(4));
+  eng.attach_observability(&off, "x");
+  for (unsigned i = 0; i < 4; ++i) eng.post_receive({1, 7, 0}, 0, 0, i);
+  std::vector<IncomingMessage> msgs;
+  for (unsigned i = 0; i < 4; ++i) msgs.push_back(IncomingMessage::make(1, 7, 0));
+  LockstepExecutor ex;
+  const auto out = eng.process(msgs, ex);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(eng.stats().messages_matched, 4u);
+
+  // The writers still produce valid (empty) documents.
+  std::ostringstream trace_os, metrics_os, samples_os;
+  off.write_trace_json(trace_os);
+  off.write_metrics_json(metrics_os);
+  off.write_samples_csv(samples_os);
+  EXPECT_NE(trace_os.str().find("\"traceEvents\":[\n\n]"), std::string::npos);
+  EXPECT_NE(metrics_os.str().find("\"counters\": {}"), std::string::npos);
+  EXPECT_EQ(samples_os.str(), "series,t,value\n");
+}
+
+TEST(EngineObs, DetachStopsEmission) {
+  Observability o(ObsConfig::enabled());
+  MatchEngine eng(small_config(1));
+  eng.attach_observability(&o, "m");
+  eng.post_receive({1, 1, 0}, 0, 0, 1);
+  const std::uint64_t mid = o.tracer()->emitted();
+  EXPECT_GT(mid, 0u);
+
+  eng.attach_observability(nullptr);
+  eng.post_receive({1, 2, 0}, 0, 0, 2);
+  LockstepExecutor ex;
+  eng.process_one(IncomingMessage::make(1, 1, 0), ex);
+  EXPECT_EQ(o.tracer()->emitted(), mid);
+}
+
+}  // namespace
+}  // namespace otm

@@ -83,7 +83,7 @@ TEST_P(OracleProperty, PairingMatchesSequentialSemantics) {
         ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched)
             << "msg " << pending[i].wire_seq << " env "
             << to_string(pending[i].env);
-        ASSERT_EQ(outs[i].receive_cookie, *oracle_match)
+        ASSERT_EQ(outs[i].match.receive_cookie, *oracle_match)
             << "msg " << pending[i].wire_seq << " paired with wrong receive";
       } else {
         ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected)

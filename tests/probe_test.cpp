@@ -27,8 +27,8 @@ TEST(EngineProbe, FindsWithoutConsuming) {
 
   const auto p1 = eng.probe({2, 7, 0});
   ASSERT_TRUE(p1.has_value());
-  EXPECT_EQ(p1->env.source, 2);
-  EXPECT_EQ(p1->payload_bytes, 96u);
+  EXPECT_EQ(p1->source, 2);
+  EXPECT_EQ(p1->bytes, 96u);
   EXPECT_EQ(p1->wire_seq, 5u);
   // Probing again still finds it: non-destructive.
   EXPECT_TRUE(eng.probe({2, 7, 0}).has_value());

@@ -106,7 +106,7 @@ TEST_P(ScheduleFuzz, OracleHoldsUnderRandomLegalSchedules) {
       if (om.has_value()) {
         ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched)
             << "msg " << pending[i].wire_seq;
-        ASSERT_EQ(outs[i].receive_cookie, *om);
+        ASSERT_EQ(outs[i].match.receive_cookie, *om);
       } else {
         ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected);
       }

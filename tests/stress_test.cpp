@@ -60,7 +60,7 @@ TEST(Stress, ThreadedOracleLongRun) {
       if (om.has_value()) {
         ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kMatched)
             << "round " << round << " msg " << i;
-        ASSERT_EQ(outs[i].receive_cookie, *om);
+        ASSERT_EQ(outs[i].match.receive_cookie, *om);
       } else {
         ASSERT_EQ(outs[i].kind, ArrivalOutcome::Kind::kUnexpected);
       }
@@ -85,7 +85,7 @@ TEST(Stress, ThreadedOracleLongRun) {
   for (std::size_t i = 0; i < burst.size(); ++i) {
     const auto om = oracle.arrive(burst[i].env, burst[i].wire_seq);
     ASSERT_TRUE(om.has_value());
-    ASSERT_EQ(outs[i].receive_cookie, *om);
+    ASSERT_EQ(outs[i].match.receive_cookie, *om);
   }
   EXPECT_GT(eng.stats().conflicts_detected, 0u)
       << "the lockstep burst must exercise conflicts";
@@ -215,7 +215,7 @@ TEST(Stress, ModeledClockDeterminism) {
         msgs.push_back(
             IncomingMessage::make(1, static_cast<Tag>(rng.below(3)), 0));
       for (const auto& o : eng.process(msgs, ex))
-        finishes.push_back(o.finish_cycles);
+        finishes.push_back(o.timing.finish_cycles);
     }
     return finishes;
   };
@@ -241,11 +241,11 @@ TEST(Stress, RepeatedThreadedRunsNeverViolateInvariants) {
     std::set<std::uint64_t> used;
     for (const auto& o : outs) {
       ASSERT_EQ(o.kind, ArrivalOutcome::Kind::kMatched);
-      ASSERT_TRUE(used.insert(o.receive_cookie).second);
+      ASSERT_TRUE(used.insert(o.match.receive_cookie).second);
     }
     // C2: cookies must be the first 8 receives in order.
     unsigned expect = 0;
-    for (const auto& o : outs) ASSERT_EQ(o.receive_cookie, expect++);
+    for (const auto& o : outs) ASSERT_EQ(o.match.receive_cookie, expect++);
   }
 }
 

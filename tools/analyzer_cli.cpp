@@ -12,11 +12,20 @@
 // folder per bin count"):
 //   analysis/<app>/<bins>/stats.csv
 //   analysis/summary.csv
+//
+// Observability (--trace-out/--metrics-out/--samples-out): each replay
+// additionally records matcher events, counters and queue-depth series;
+// the named files receive a Chrome/Perfetto trace JSON, a metrics
+// snapshot (JSON, or CSV when the name ends in .csv) and the raw depth
+// samples. One observability context spans all (app, bins) runs, with
+// metric names prefixed "<app>@<bins>.".
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/cache.hpp"
 #include "trace/jsonl.hpp"
@@ -60,6 +69,16 @@ int main(int argc, char** argv) {
   const auto bins_list = args.get_int_list("bins", {1, 2, 8, 32, 128, 256});
   const std::string out_dir = args.get("out", "analysis");
   const unsigned block = static_cast<unsigned>(args.get_int("block", 1));
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string samples_out = args.get("samples-out", "");
+
+  std::unique_ptr<obs::Observability> obs;
+  if (!trace_out.empty() || !metrics_out.empty() || !samples_out.empty()) {
+    obs::ObsConfig oc = obs::ObsConfig::enabled(
+        static_cast<std::size_t>(args.get_int("trace-capacity", 1 << 16)));
+    obs = std::make_unique<obs::Observability>(oc);
+  }
 
   // Collect meta files: positionals first, else scan --traces.
   std::vector<std::string> metas(args.positional());
@@ -68,7 +87,9 @@ int main(int argc, char** argv) {
     if (!fs::is_directory(traces)) {
       std::fprintf(stderr,
                    "usage: %s [meta files...] [--traces=dir] "
-                   "[--bins=1,32,128] [--out=dir] [--block=N]\n",
+                   "[--bins=1,32,128] [--out=dir] [--block=N] "
+                   "[--trace-out=f.json] [--metrics-out=f.json|f.csv] "
+                   "[--samples-out=f.csv]\n",
                    args.program().c_str());
       return 2;
     }
@@ -110,6 +131,11 @@ int main(int argc, char** argv) {
       AnalyzerConfig cfg;
       cfg.bins = static_cast<std::size_t>(bins);
       cfg.block_size = block;
+      if (obs != nullptr) {
+        cfg.obs = obs.get();
+        cfg.obs_prefix =
+            trace.app_name + "@" + std::to_string(bins) + ".";
+      }
       const AppAnalysis a = TraceAnalyzer(cfg).analyze(trace);
 
       const fs::path dir =
@@ -127,6 +153,37 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(a.max_queue_depth));
     }
   }
+  bool obs_write_failed = false;
+  const auto report_write = [&obs_write_failed](const std::ofstream& os,
+                                                const char* what,
+                                                const std::string& file) {
+    if (os.good()) {
+      std::printf("%s written to %s\n", what, file.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s to %s\n", what, file.c_str());
+      obs_write_failed = true;
+    }
+  };
+  if (obs != nullptr) {
+    if (!trace_out.empty()) {
+      std::ofstream os(trace_out);
+      obs->write_trace_json(os);
+      report_write(os, "trace", trace_out);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (fs::path(metrics_out).extension() == ".csv")
+        obs->write_metrics_csv(os);
+      else
+        obs->write_metrics_json(os);
+      report_write(os, "metrics", metrics_out);
+    }
+    if (!samples_out.empty()) {
+      std::ofstream os(samples_out);
+      obs->write_samples_csv(os);
+      report_write(os, "samples", samples_out);
+    }
+  }
   std::printf("analysis written to %s\n", out_dir.c_str());
-  return 0;
+  return obs_write_failed ? 1 : 0;
 }
