@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_baseline.dir/bin_matcher.cpp.o"
+  "CMakeFiles/otm_baseline.dir/bin_matcher.cpp.o.d"
+  "CMakeFiles/otm_baseline.dir/list_matcher.cpp.o"
+  "CMakeFiles/otm_baseline.dir/list_matcher.cpp.o.d"
+  "libotm_baseline.a"
+  "libotm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

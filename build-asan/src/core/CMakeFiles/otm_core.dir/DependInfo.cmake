@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_matcher.cpp" "src/core/CMakeFiles/otm_core.dir/block_matcher.cpp.o" "gcc" "src/core/CMakeFiles/otm_core.dir/block_matcher.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/otm_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/otm_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/receive_store.cpp" "src/core/CMakeFiles/otm_core.dir/receive_store.cpp.o" "gcc" "src/core/CMakeFiles/otm_core.dir/receive_store.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/otm_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/otm_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/unexpected_store.cpp" "src/core/CMakeFiles/otm_core.dir/unexpected_store.cpp.o" "gcc" "src/core/CMakeFiles/otm_core.dir/unexpected_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/otm_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/otm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

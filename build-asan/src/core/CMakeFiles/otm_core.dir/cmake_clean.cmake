@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_core.dir/block_matcher.cpp.o"
+  "CMakeFiles/otm_core.dir/block_matcher.cpp.o.d"
+  "CMakeFiles/otm_core.dir/engine.cpp.o"
+  "CMakeFiles/otm_core.dir/engine.cpp.o.d"
+  "CMakeFiles/otm_core.dir/receive_store.cpp.o"
+  "CMakeFiles/otm_core.dir/receive_store.cpp.o.d"
+  "CMakeFiles/otm_core.dir/types.cpp.o"
+  "CMakeFiles/otm_core.dir/types.cpp.o.d"
+  "CMakeFiles/otm_core.dir/unexpected_store.cpp.o"
+  "CMakeFiles/otm_core.dir/unexpected_store.cpp.o.d"
+  "libotm_core.a"
+  "libotm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

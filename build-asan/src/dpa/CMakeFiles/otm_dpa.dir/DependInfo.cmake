@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpa/accelerator.cpp" "src/dpa/CMakeFiles/otm_dpa.dir/accelerator.cpp.o" "gcc" "src/dpa/CMakeFiles/otm_dpa.dir/accelerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/otm_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/otm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/otm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

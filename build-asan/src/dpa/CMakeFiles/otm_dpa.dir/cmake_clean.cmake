@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_dpa.dir/accelerator.cpp.o"
+  "CMakeFiles/otm_dpa.dir/accelerator.cpp.o.d"
+  "libotm_dpa.a"
+  "libotm_dpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/otm_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/otm_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/otm_mpi.dir/mpi.cpp.o.d"
+  "libotm_mpi.a"
+  "libotm_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

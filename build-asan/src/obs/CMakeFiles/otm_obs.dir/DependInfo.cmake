@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/otm_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/otm_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/observability.cpp" "src/obs/CMakeFiles/otm_obs.dir/observability.cpp.o" "gcc" "src/obs/CMakeFiles/otm_obs.dir/observability.cpp.o.d"
+  "/root/repo/src/obs/sampler.cpp" "src/obs/CMakeFiles/otm_obs.dir/sampler.cpp.o" "gcc" "src/obs/CMakeFiles/otm_obs.dir/sampler.cpp.o.d"
+  "/root/repo/src/obs/tracer.cpp" "src/obs/CMakeFiles/otm_obs.dir/tracer.cpp.o" "gcc" "src/obs/CMakeFiles/otm_obs.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/otm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

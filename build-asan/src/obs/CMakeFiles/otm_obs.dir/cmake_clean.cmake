@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_obs.dir/metrics.cpp.o"
+  "CMakeFiles/otm_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/otm_obs.dir/observability.cpp.o"
+  "CMakeFiles/otm_obs.dir/observability.cpp.o.d"
+  "CMakeFiles/otm_obs.dir/sampler.cpp.o"
+  "CMakeFiles/otm_obs.dir/sampler.cpp.o.d"
+  "CMakeFiles/otm_obs.dir/tracer.cpp.o"
+  "CMakeFiles/otm_obs.dir/tracer.cpp.o.d"
+  "libotm_obs.a"
+  "libotm_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_proto.dir/endpoint.cpp.o"
+  "CMakeFiles/otm_proto.dir/endpoint.cpp.o.d"
+  "libotm_proto.a"
+  "libotm_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

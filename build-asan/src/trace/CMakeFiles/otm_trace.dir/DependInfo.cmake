@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/otm_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/otm_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/cache.cpp" "src/trace/CMakeFiles/otm_trace.dir/cache.cpp.o" "gcc" "src/trace/CMakeFiles/otm_trace.dir/cache.cpp.o.d"
+  "/root/repo/src/trace/dumpi_text.cpp" "src/trace/CMakeFiles/otm_trace.dir/dumpi_text.cpp.o" "gcc" "src/trace/CMakeFiles/otm_trace.dir/dumpi_text.cpp.o.d"
+  "/root/repo/src/trace/jsonl.cpp" "src/trace/CMakeFiles/otm_trace.dir/jsonl.cpp.o" "gcc" "src/trace/CMakeFiles/otm_trace.dir/jsonl.cpp.o.d"
+  "/root/repo/src/trace/ops.cpp" "src/trace/CMakeFiles/otm_trace.dir/ops.cpp.o" "gcc" "src/trace/CMakeFiles/otm_trace.dir/ops.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/otm_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/otm_trace.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/otm_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/otm_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/otm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/otm_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/otm_trace.dir/cache.cpp.o"
+  "CMakeFiles/otm_trace.dir/cache.cpp.o.d"
+  "CMakeFiles/otm_trace.dir/dumpi_text.cpp.o"
+  "CMakeFiles/otm_trace.dir/dumpi_text.cpp.o.d"
+  "CMakeFiles/otm_trace.dir/jsonl.cpp.o"
+  "CMakeFiles/otm_trace.dir/jsonl.cpp.o.d"
+  "CMakeFiles/otm_trace.dir/ops.cpp.o"
+  "CMakeFiles/otm_trace.dir/ops.cpp.o.d"
+  "CMakeFiles/otm_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/otm_trace.dir/synthetic.cpp.o.d"
+  "libotm_trace.a"
+  "libotm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

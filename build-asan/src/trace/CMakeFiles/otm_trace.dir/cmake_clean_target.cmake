@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libotm_trace.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_util.dir/args.cpp.o"
+  "CMakeFiles/otm_util.dir/args.cpp.o.d"
+  "CMakeFiles/otm_util.dir/table_writer.cpp.o"
+  "CMakeFiles/otm_util.dir/table_writer.cpp.o.d"
+  "libotm_util.a"
+  "libotm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

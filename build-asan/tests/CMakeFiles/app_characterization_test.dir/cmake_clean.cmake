@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_characterization_test.dir/app_characterization_test.cpp.o"
+  "CMakeFiles/app_characterization_test.dir/app_characterization_test.cpp.o.d"
+  "app_characterization_test"
+  "app_characterization_test.pdb"
+  "app_characterization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_characterization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

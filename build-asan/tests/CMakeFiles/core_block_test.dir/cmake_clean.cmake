@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_block_test.dir/core_block_test.cpp.o"
+  "CMakeFiles/core_block_test.dir/core_block_test.cpp.o.d"
+  "core_block_test"
+  "core_block_test.pdb"
+  "core_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unexpected_test.dir/core_unexpected_test.cpp.o"
+  "CMakeFiles/core_unexpected_test.dir/core_unexpected_test.cpp.o.d"
+  "core_unexpected_test"
+  "core_unexpected_test.pdb"
+  "core_unexpected_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unexpected_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

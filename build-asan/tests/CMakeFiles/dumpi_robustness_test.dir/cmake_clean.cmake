@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumpi_robustness_test.dir/dumpi_robustness_test.cpp.o"
+  "CMakeFiles/dumpi_robustness_test.dir/dumpi_robustness_test.cpp.o.d"
+  "dumpi_robustness_test"
+  "dumpi_robustness_test.pdb"
+  "dumpi_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumpi_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

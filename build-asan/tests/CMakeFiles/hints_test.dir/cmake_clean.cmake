@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hints_test.dir/hints_test.cpp.o"
+  "CMakeFiles/hints_test.dir/hints_test.cpp.o.d"
+  "hints_test"
+  "hints_test.pdb"
+  "hints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

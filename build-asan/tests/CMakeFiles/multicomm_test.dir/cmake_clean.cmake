@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicomm_test.dir/multicomm_test.cpp.o"
+  "CMakeFiles/multicomm_test.dir/multicomm_test.cpp.o.d"
+  "multicomm_test"
+  "multicomm_test.pdb"
+  "multicomm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicomm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

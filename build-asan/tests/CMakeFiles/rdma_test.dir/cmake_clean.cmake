@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_test.dir/rdma_test.cpp.o"
+  "CMakeFiles/rdma_test.dir/rdma_test.cpp.o.d"
+  "rdma_test"
+  "rdma_test.pdb"
+  "rdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_store_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_unexpected_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_block_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/oracle_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dpa_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/proto_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hints_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/multicomm_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/schedule_fuzz_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/probe_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dumpi_robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/jsonl_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/patterns_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/app_characterization_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cancel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/obs_test[1]_include.cmake")

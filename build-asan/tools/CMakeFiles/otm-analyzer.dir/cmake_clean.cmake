@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm-analyzer.dir/analyzer_cli.cpp.o"
+  "CMakeFiles/otm-analyzer.dir/analyzer_cli.cpp.o.d"
+  "otm-analyzer"
+  "otm-analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm-analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm-tracegen.dir/trace_gen.cpp.o"
+  "CMakeFiles/otm-tracegen.dir/trace_gen.cpp.o.d"
+  "otm-tracegen"
+  "otm-tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm-tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
