@@ -53,13 +53,29 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
       const auto s = sender.send(1, tag_for(cfg, i), 0, tx);
       OTM_ASSERT_MSG(s.ok, "ping send failed");
     }
-    const auto done = receiver.progress();
+    auto done = receiver.progress();
+    // Under injected faults one progress pass is not enough: retransmission
+    // timers live on the sender, so pump both sides until the sequence
+    // completes. With a clean fabric the first pass already matched all k
+    // and neither loop body runs.
+    for (unsigned spin = 0; done.size() < k && receiver.reliable() &&
+                            spin < 10'000'000; ++spin) {
+      sender.progress();
+      const auto more = receiver.progress();
+      done.insert(done.end(), more.begin(), more.end());
+    }
     OTM_ASSERT_MSG(done.size() == k, "not all messages matched");
 
     const auto ack = receiver.send(0, kAckTag, 0, std::span<const std::byte>(
                                                       ack_buf.data(), 8));
     OTM_ASSERT(ack.ok);
-    const auto acks = sender.progress();
+    auto acks = sender.progress();
+    for (unsigned spin = 0; acks.empty() && receiver.reliable() &&
+                            spin < 10'000'000; ++spin) {
+      receiver.progress();
+      const auto more = sender.progress();
+      acks.insert(acks.end(), more.begin(), more.end());
+    }
     OTM_ASSERT(acks.size() == 1);
     total_ns += static_cast<double>(acks[0].complete_ns - start);
   }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build+test pass, then a second build with
 # AddressSanitizer + UBSan (tests only; benches/examples skipped to keep the
-# sanitized run fast).
+# sanitized run fast), then the chaos suite (label `chaos`) re-run under the
+# sanitizers across a seed matrix — each seed reshuffles every fault stream.
 #
-#   scripts/check.sh            # tier-1 + sanitizers
+#   scripts/check.sh            # tier-1 + sanitizers + chaos seed matrix
 #   scripts/check.sh --fast     # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,5 +31,13 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "== chaos: sanitized fault-injection suite across seeds =="
+for seed in 1 7 42 999 123456789; do
+  echo "-- chaos seed $seed"
+  OTM_CHAOS_SEED=$seed \
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan -L chaos --output-on-failure -j "$(nproc)"
+done
 
 echo "== all checks OK =="

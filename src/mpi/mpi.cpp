@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -112,7 +113,14 @@ Request Proc::isend(std::span<const std::byte> data, Rank dst, Tag tag,
     const auto r =
         world_->endpoints_[static_cast<std::size_t>(rank_)]->send(dst, tag,
                                                                   comm.id, data);
-    OTM_ASSERT_MSG(r.ok, "send failed: receiver staging exhausted (RNR)");
+    if (!r.ok) {
+      // Graceful degradation instead of a crash: the send was refused
+      // (receiver staging exhausted / CQ backpressure) or its reliable
+      // channel already failed. The request completes as failed; callers
+      // interrogate failed() / take_delivery_errors().
+      requests_[req.id].failed = true;
+      ++stats_.send_failures;
+    }
   } else {
     deliver_software(dst, tag, comm, data);
   }
@@ -253,6 +261,12 @@ void Proc::progress() {
   auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
   for (const auto& c : ep.progress())
     handle_completion(c.cookie, c.env, c.bytes, true);
+  if (ep.reliable()) {
+    for (auto& e : ep.take_delivery_errors()) {
+      ++stats_.delivery_errors;
+      delivery_errors_.push_back(e);
+    }
+  }
   drain_host_messages();
   flush_pending_posts();
 }
@@ -291,6 +305,16 @@ bool Proc::cancel(Request req) {
 bool Proc::cancelled(Request req) {
   std::lock_guard lock(world_->mutex_);
   return state(req).cancelled;
+}
+
+bool Proc::failed(Request req) {
+  std::lock_guard lock(world_->mutex_);
+  return state(req).failed;
+}
+
+std::vector<proto::DeliveryError> Proc::take_delivery_errors() {
+  std::lock_guard lock(world_->mutex_);
+  return std::exchange(delivery_errors_, {});
 }
 
 bool Proc::iprobe(Rank src, Tag tag, const Comm& comm, Status* status) {

@@ -136,6 +136,12 @@ class Proc {
   /// True if the request completed by cancellation rather than by a match.
   bool cancelled(Request req);
 
+  /// True if the request failed instead of completing: the send was refused
+  /// by the fabric (unreliable path) or its reliable-delivery retry budget
+  /// ran out. Failed requests are `done` — wait() returns — so a crashed
+  /// peer degrades the application gracefully instead of wedging it.
+  bool failed(Request req);
+
   /// Non-blocking completion check; fills `status` when done.
   bool test(Request req, Status* status = nullptr);
   Status wait(Request req);
@@ -194,8 +200,14 @@ class Proc {
     std::uint64_t recvs = 0;
     std::uint64_t wildcard_recvs = 0;
     std::uint64_t fallback_deferrals = 0;
+    std::uint64_t send_failures = 0;    ///< isends refused/failed by the fabric
+    std::uint64_t delivery_errors = 0;  ///< retry budgets exhausted (reliable)
   };
   const ProcStats& stats() const noexcept { return stats_; }
+
+  /// Reliable-delivery failures surfaced by the endpoint since the last
+  /// call (drained during progress()).
+  std::vector<proto::DeliveryError> take_delivery_errors();
 
   /// Matching statistics from the backing engine (offload backend).
   const MatchStats* match_stats() const;
@@ -212,6 +224,7 @@ class Proc {
     std::span<std::byte> buffer{};
     MatchSpec spec{};
     std::uint64_t cookie = 0;
+    bool failed = false;  ///< send refused or delivery budget exhausted
   };
 
   struct PendingPost {
@@ -235,6 +248,7 @@ class Proc {
   std::deque<RequestState> requests_;
   std::deque<PendingPost> pending_posts_;
   ProcStats stats_;
+  std::vector<proto::DeliveryError> delivery_errors_;  ///< drained via accessor
 
   // Software-backend state: sequential matcher plus payload staging.
   std::unique_ptr<ListMatcher> sw_matcher_;

@@ -23,6 +23,12 @@ Endpoint::Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
     OTM_ASSERT(h.has_value());
     srq_.post(*h, bounce_.data(*h));
   }
+  // Pay-for-what-you-use: the reliable-delivery sublayer engages only when
+  // asked for, or automatically once the fabric can actually lose packets.
+  using Mode = ReliabilityConfig::Mode;
+  rel_active_ = cfg_.reliability.mode == Mode::kOn ||
+                (cfg_.reliability.mode == Mode::kAuto &&
+                 fabric.config().fault.enabled);
 }
 
 void Endpoint::connect(Endpoint& peer) {
@@ -43,6 +49,7 @@ void Endpoint::attach_observability(obs::Observability* obs,
                                     std::string_view prefix) {
   obs_ = obs;
   ch_ = CounterHandles{};
+  fab_ch_ = FabricCounterHandles{};
   const std::string p(prefix);
   dpa_.attach_observability(obs, p + ".dpa");
   if (obs_ == nullptr) return;
@@ -50,6 +57,13 @@ void Endpoint::attach_observability(obs::Observability* obs,
 #define OTM_X(field) ch_.field = &reg->counter(p + "." #field);
     OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
 #undef OTM_X
+    if (fabric_->injector() != nullptr) {
+      fab_ch_.drops = &reg->counter(p + ".fabric.drops");
+      fab_ch_.dups = &reg->counter(p + ".fabric.dups");
+      fab_ch_.corruptions = &reg->counter(p + ".fabric.corruptions");
+      fab_ch_.holds = &reg->counter(p + ".fabric.holds");
+      fab_ch_.forced_rnrs = &reg->counter(p + ".fabric.forced_rnrs");
+    }
     publish_counters();
   }
 }
@@ -59,6 +73,14 @@ void Endpoint::publish_counters() noexcept {
 #define OTM_X(field) ch_.field->set(counters_.field);
   OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
 #undef OTM_X
+  if (fab_ch_.drops != nullptr) {
+    const auto& s = fabric_->injector()->stats();
+    fab_ch_.drops->set(s.drops);
+    fab_ch_.dups->set(s.duplicates);
+    fab_ch_.corruptions->set(s.corruptions);
+    fab_ch_.holds->set(s.holds);
+    fab_ch_.forced_rnrs->set(s.forced_rnrs);
+  }
 }
 
 void Endpoint::release_send_buffer(std::uint32_t rkey) {
@@ -86,6 +108,22 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   OTM_ASSERT_MSG(it != qps_.end(), "send to unconnected peer");
 
   const bool eager = data.size() <= cfg_.eager_threshold;
+  const Envelope env{rank_, tag, comm};
+
+  PeerTx* tx = nullptr;
+  if (rel_active_) {
+    tx = &tx_[dst];
+    if (tx->failed) {
+      // Graceful degradation: the channel is dead, so fail fast instead of
+      // queueing work that can never complete.
+      delivery_errors_.push_back({dst, tx->next_seq++, env,
+                                  static_cast<std::uint32_t>(data.size()), 0});
+      ++counters_.messages_dropped;
+      publish_counters();
+      return {SendStatus::kFailed, false, 0};
+    }
+  }
+
   WireHeader h;
   h.source = rank_;
   h.tag = tag;
@@ -94,11 +132,14 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
                                                : Protocol::kRendezvous);
   h.payload_bytes = static_cast<std::uint32_t>(data.size());
   h.sender_seq = sender_seq_++;
-  const Envelope env{rank_, tag, comm};
   const InlineHashes hashes = InlineHashes::compute(env);
   h.hash_src_tag = hashes.src_tag;
   h.hash_src = hashes.src;
   h.hash_tag = hashes.tag;
+  if (rel_active_) {
+    h.channel_seq = tx->next_seq++;
+    h.flags = kWireFlagReliable;
+  }
 
   std::vector<std::byte> packet;
   if (eager) {
@@ -125,18 +166,65 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   }
 
   clock_ns_ += static_cast<std::uint64_t>(cfg_.send_overhead_ns);
-  const auto r = it->second.post_send(packet, clock_ns_);
   ++counters_.sends;
+
+  if (rel_active_) {
+    // Reliable path: seal the packet (CRC over the final bytes, so retries
+    // are byte-identical) and queue it on the per-peer send window. The
+    // window, not the fabric, now owns delivery.
+    seal_packet(packet);
+    PendingPacket p;
+    p.seq = h.channel_seq;
+    p.bytes = std::move(packet);
+    p.env = env;
+    p.payload_bytes = h.payload_bytes;
+    p.rkey = h.rkey;
+    p.has_rkey = !eager;
+    p.rto_ns = cfg_.reliability.rto_ns;
+    tx->window.push_back(std::move(p));
+    if (eager) {
+      ++counters_.eager_sends;
+    } else {
+      ++counters_.rendezvous_sends;
+    }
+    try_transmit(dst, *tx);
+    if (obs_ != nullptr) {
+      if (obs::Tracer* tr = obs_->tracer())
+        tr->record(obs::EventKind::kSend, clock_ns_,
+                   static_cast<std::uint32_t>(dst), data.size(), 1u);
+    }
+    if (tx->failed) {
+      publish_counters();
+      return {SendStatus::kFailed, false, 0};
+    }
+    publish_counters();
+    return {SendStatus::kQueued, true, 0};
+  }
+
+  // Unreliable path: one shot at the fabric; refusals surface as typed,
+  // recoverable statuses (the caller may retry after draining/progressing).
+  const auto r = it->second.post_send(packet, clock_ns_);
   if (obs_ != nullptr) {
     if (obs::Tracer* tr = obs_->tracer())
       tr->record(obs::EventKind::kSend, clock_ns_,
                  static_cast<std::uint32_t>(dst), data.size(),
                  r.delivered ? 1u : 0u);
   }
-  if (!r.delivered) {
-    ++counters_.rnr_failures;
+  using FabricStatus = rdma::QueuePair::SendStatus;
+  if (r.status == FabricStatus::kRnr || r.status == FabricStatus::kCqFull) {
+    if (r.status == FabricStatus::kRnr) {
+      ++counters_.rnr_failures;
+    } else {
+      ++counters_.backpressure_stalls;
+    }
+    if (!eager) {
+      // The RTS never left; un-stage the rendezvous payload.
+      release_send_buffer(h.rkey);
+    }
     publish_counters();
-    return {};
+    return {r.status == FabricStatus::kRnr ? SendStatus::kRnr
+                                           : SendStatus::kBackpressure,
+            false, 0};
   }
   if (eager) {
     ++counters_.eager_sends;
@@ -144,7 +232,93 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
     ++counters_.rendezvous_sends;
   }
   publish_counters();
-  return {true, r.arrival_ns};
+  // Accepted by the fabric; under injected faults it may still have been
+  // lost in flight (r.delivered == false) — that is what the reliable
+  // layer exists for.
+  return {SendStatus::kDelivered, r.delivered, r.arrival_ns};
+}
+
+void Endpoint::try_transmit(Rank dst, PeerTx& tx) {
+  if (tx.failed || clock_ns_ < tx.stall_until_ns) return;
+  auto qp = qps_.find(dst);
+  OTM_ASSERT(qp != qps_.end());
+  const ReliabilityConfig& rc = cfg_.reliability;
+
+  std::size_t in_flight = 0;
+  for (auto& p : tx.window) {
+    if (p.sent && clock_ns_ < p.next_retry_ns) {
+      ++in_flight;  // waiting on its ack; deadline not reached
+      continue;
+    }
+    if (in_flight >= rc.window_limit) break;
+    const bool is_retry = p.sent;
+    if (is_retry && p.retries >= rc.retry_budget) {
+      fail_channel(dst, tx);
+      return;
+    }
+    const auto r = qp->second.post_send(p.bytes, clock_ns_);
+    using FabricStatus = rdma::QueuePair::SendStatus;
+    if (r.status != FabricStatus::kOk) {
+      // Receiver can't take anything right now (no WQE / CQ full): stall
+      // the whole channel with exponential backoff instead of hammering it.
+      if (r.status == FabricStatus::kRnr) {
+        ++counters_.rnr_failures;
+      } else {
+        ++counters_.backpressure_stalls;
+      }
+      const std::uint32_t shift = std::min(tx.rnr_strikes, rc.rnr_backoff_cap);
+      tx.stall_until_ns = clock_ns_ + (rc.rnr_backoff_ns << shift);
+      ++tx.rnr_strikes;
+      return;
+    }
+    // Accepted by the fabric. It may still be dropped in flight; the RTO
+    // covers that case.
+    tx.rnr_strikes = 0;
+    if (is_retry) {
+      ++p.retries;
+      ++counters_.retransmits;
+      p.rto_ns = std::min(
+          static_cast<std::uint64_t>(static_cast<double>(p.rto_ns) *
+                                     rc.rto_backoff),
+          rc.rto_max_ns);
+    }
+    p.sent = true;
+    p.next_retry_ns = clock_ns_ + p.rto_ns;
+    ++in_flight;
+  }
+}
+
+void Endpoint::fail_channel(Rank dst, PeerTx& tx) {
+  tx.failed = true;
+  for (auto& p : tx.window) {
+    delivery_errors_.push_back({dst, p.seq, p.env, p.payload_bytes, p.retries});
+    ++counters_.messages_dropped;
+    if (p.has_rkey) {
+      // Tolerant cleanup: the receiver's FIN may already have freed it.
+      const auto sit = send_staging_.find(p.rkey);
+      if (sit != send_staging_.end()) {
+        registry_.unregister(p.rkey);
+        send_staging_.erase(sit);
+      }
+    }
+  }
+  tx.window.clear();
+}
+
+void Endpoint::handle_ack(Rank from, std::uint64_t cum_seq) {
+  const auto it = tx_.find(from);
+  if (it == tx_.end()) return;
+  PeerTx& tx = it->second;
+  while (!tx.window.empty() && tx.window.front().seq < cum_seq) {
+    ++counters_.acked_packets;
+    tx.window.pop_front();
+  }
+  // An ack proves the receiver is alive and draining: lift any RNR stall
+  // and push the window forward immediately.
+  tx.rnr_strikes = 0;
+  tx.stall_until_ns = 0;
+  if (!tx.window.empty()) try_transmit(from, tx);
+  publish_counters();
 }
 
 Endpoint::PostResult Endpoint::post_receive(const MatchSpec& spec,
@@ -301,68 +475,165 @@ std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
 }
 
 std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
+  // Retransmission pass: with unacked traffic outstanding, each progress()
+  // call advances the modeled clock a tick (single-threaded drivers have no
+  // other time source between completions) and re-offers expired packets.
+  if (rel_active_) {
+    bool pending = false;
+    for (const auto& [dst, tx] : tx_) {
+      if (!tx.window.empty()) {
+        pending = true;
+        break;
+      }
+    }
+    if (pending) {
+      clock_ns_ += cfg_.reliability.progress_tick_ns;
+      for (auto& [dst, tx] : tx_)
+        if (!tx.window.empty()) try_transmit(dst, tx);
+    }
+  }
+
   // Drain staged completions into engine-facing descriptors. Messages for
   // communicators without DPA structures go straight to the host inbox.
   std::vector<IncomingMessage> msgs;
   std::vector<std::uint64_t> arrivals;
-  while (const auto cqe = cq_.poll()) {
-    const WireHeader h = decode_header(bounce_.data(cqe->wr_id));
+  std::map<Rank, std::uint64_t> ack_peers;  ///< rank -> cumulative ack
+
+  const auto accept = [&](const WireHeader& h, std::uint64_t wr_id,
+                          std::uint64_t arrival_ns) {
     if (!dpa_.comm_registered(h.comm)) {
       HostMessage hm;
       hm.env = {h.source, h.tag, h.comm};
-      hm.wire_seq = cqe->sequence;
+      hm.wire_seq = rx_delivery_seq_++;
       hm.protocol = static_cast<Protocol>(h.protocol);
       hm.payload_bytes = h.payload_bytes;
       if (hm.protocol == Protocol::kEager) {
-        const auto src = bounce_.data(cqe->wr_id).subspan(kHeaderBytes,
-                                                          h.payload_bytes);
+        const auto src =
+            bounce_.data(wr_id).subspan(kHeaderBytes, h.payload_bytes);
         hm.payload.assign(src.begin(), src.end());
       } else {
         hm.remote_key = h.rkey_valid != 0 ? h.rkey : 0;
         hm.remote_addr = h.remote_offset;
       }
-      hm.arrival_ns = cqe->timestamp_ns;
+      hm.arrival_ns = arrival_ns;
       host_inbox_.push_back(std::move(hm));
+      recycle_bounce(wr_id);
+      return;
+    }
+    msgs.push_back(to_incoming(h, wr_id, rx_delivery_seq_++));
+    arrivals.push_back(
+        dpa_.config().ns_to_cycles(static_cast<double>(arrival_ns)));
+  };
+
+  while (const auto cqe = cq_.poll()) {
+    if (cqe->byte_len < kHeaderBytes) {
+      // Truncated beyond recognition (corruption of the length path).
+      ++counters_.corrupt_discards;
       recycle_bounce(cqe->wr_id);
       continue;
     }
-    msgs.push_back(to_incoming(h, cqe->wr_id, cqe->sequence));
-    arrivals.push_back(dpa_.config().ns_to_cycles(
-        static_cast<double>(cqe->timestamp_ns)));
-  }
-  if (msgs.empty()) return {};
+    const auto packet = bounce_.data(cqe->wr_id).first(cqe->byte_len);
+    const WireHeader h = decode_header(packet);
 
-  const auto outcomes = dpa_.deliver(msgs, arrivals);
+    if (!rel_active_) {
+      // Legacy/unreliable framing: no CRC, no sequencing — deliver as-is.
+      accept(h, cqe->wr_id, cqe->timestamp_ns);
+      continue;
+    }
+
+    // Integrity first: a corrupted packet may lie about everything —
+    // including the reliable-framing flag itself, so a cleared flag must
+    // not route a mangled packet around the CRC/dedup checks. Every packet
+    // reaching a reliability-active endpoint is CRC-sealed by its sender;
+    // anything that fails the check (or lost its framing bit) is dropped
+    // and recovered by retransmission.
+    if (!packet_crc_ok(packet) || (h.flags & kWireFlagReliable) == 0) {
+      ++counters_.corrupt_discards;
+      recycle_bounce(cqe->wr_id);
+      continue;
+    }
+
+    PeerRx& rx = rx_[h.source];
+    if (h.channel_seq < rx.next_expected ||
+        rx.ooo.find(h.channel_seq) != rx.ooo.end()) {
+      // Duplicate (fabric dup or retransmit racing an in-flight ack):
+      // discard, but re-ack so the sender stops resending.
+      ++counters_.dup_discards;
+      recycle_bounce(cqe->wr_id);
+      ack_peers[h.source] = rx.next_expected;
+      continue;
+    }
+    if (h.channel_seq > rx.next_expected) {
+      // Out of order: park it in its bounce buffer until the gap fills.
+      // The SRQ shrinks by one WQE — exactly the backpressure a real NIC
+      // resequencing window exerts.
+      if (rx.ooo.size() >= cfg_.reliability.reorder_stash_cap) {
+        recycle_bounce(cqe->wr_id);  // stash full: treat as loss, RTO recovers
+        continue;
+      }
+      ++counters_.ooo_stashed;
+      rx.ooo.emplace(h.channel_seq,
+                     PeerRx::Stashed{cqe->wr_id, cqe->timestamp_ns});
+      continue;
+    }
+
+    // In order: deliver, then drain any now-consecutive stashed packets.
+    rx.next_expected = h.channel_seq + 1;
+    accept(h, cqe->wr_id, cqe->timestamp_ns);
+    auto sit = rx.ooo.find(rx.next_expected);
+    while (sit != rx.ooo.end()) {
+      const auto stash = sit->second;
+      rx.ooo.erase(sit);
+      const WireHeader sh = decode_header(bounce_.data(stash.bounce_handle));
+      accept(sh, stash.bounce_handle, stash.arrival_ns);
+      ++rx.next_expected;
+      sit = rx.ooo.find(rx.next_expected);
+    }
+    ack_peers[h.source] = rx.next_expected;
+  }
 
   std::vector<RecvCompletion> completions;
-  for (const auto& o : outcomes) {
-    switch (o.kind) {
-      case ArrivalOutcome::Kind::kMatched:
-        completions.push_back(complete_matched(o));
-        recycle_bounce(o.proto.bounce_handle);
-        break;
-      case ArrivalOutcome::Kind::kUnexpected: {
-        // Stash staged payload (full eager message, or the RTS inline
-        // fragment) so the bounce buffer can be reposted; the engine's
-        // unexpected descriptor references it by wire sequence.
-        const std::uint32_t staged = o.proto.protocol == Protocol::kEager
-                                         ? o.proto.payload_bytes
-                                         : o.proto.inline_bytes;
-        if (staged != 0) {
-          const auto src =
-              bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes, staged);
-          um_payloads_.emplace(o.proto.wire_seq,
-                               std::vector<std::byte>(src.begin(), src.end()));
+  if (!msgs.empty()) {
+    const auto outcomes = dpa_.deliver(msgs, arrivals);
+    for (const auto& o : outcomes) {
+      switch (o.kind) {
+        case ArrivalOutcome::Kind::kMatched:
+          completions.push_back(complete_matched(o));
+          recycle_bounce(o.proto.bounce_handle);
+          break;
+        case ArrivalOutcome::Kind::kUnexpected: {
+          // Stash staged payload (full eager message, or the RTS inline
+          // fragment) so the bounce buffer can be reposted; the engine's
+          // unexpected descriptor references it by wire sequence.
+          const std::uint32_t staged = o.proto.protocol == Protocol::kEager
+                                           ? o.proto.payload_bytes
+                                           : o.proto.inline_bytes;
+          if (staged != 0) {
+            const auto src =
+                bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes,
+                                                            staged);
+            um_payloads_.emplace(
+                o.proto.wire_seq,
+                std::vector<std::byte>(src.begin(), src.end()));
+          }
+          recycle_bounce(o.proto.bounce_handle);
+          break;
         }
-        recycle_bounce(o.proto.bounce_handle);
-        break;
+        case ArrivalOutcome::Kind::kDropped:
+          ++counters_.engine_drops;
+          recycle_bounce(o.proto.bounce_handle);
+          break;
       }
-      case ArrivalOutcome::Kind::kDropped:
-        ++counters_.messages_dropped;
-        recycle_bounce(o.proto.bounce_handle);
-        break;
     }
   }
+
+  // Cumulative acks ride the progress call (the modeled piggyback path);
+  // ack loss is harmless — the next retransmit just gets deduplicated.
+  for (const auto& [src, cum] : ack_peers) {
+    const auto pit = peers_.find(src);
+    if (pit != peers_.end()) pit->second->handle_ack(rank_, cum);
+  }
+
   if (obs_ != nullptr) {
     if (obs::Tracer* tr = obs_->tracer())
       tr->record(obs::EventKind::kProgress, clock_ns_,

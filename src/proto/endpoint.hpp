@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <span>
@@ -28,6 +29,28 @@
 
 namespace otm::proto {
 
+/// Reliable-delivery sublayer tuning (docs/RELIABILITY.md). The layer is
+/// pay-for-what-you-use: in kAuto mode it activates only when the fabric
+/// injects faults, leaving the fault-free fast path untouched.
+struct ReliabilityConfig {
+  enum class Mode : std::uint8_t {
+    kAuto,  ///< on iff the fabric has fault injection enabled
+    kOn,
+    kOff,
+  };
+  Mode mode = Mode::kAuto;
+  std::uint64_t rto_ns = 20'000;         ///< initial retransmission timeout
+  double rto_backoff = 2.0;              ///< exponential backoff factor
+  std::uint64_t rto_max_ns = 500'000;    ///< backoff ceiling
+  std::uint32_t retry_budget = 16;       ///< retransmits before giving up
+  std::uint64_t rnr_backoff_ns = 2'000;  ///< base RNR/backpressure stall
+  std::uint32_t rnr_backoff_cap = 8;     ///< stall doubles at most this often
+  std::size_t window_limit = 256;        ///< max unacked in flight per peer
+  std::size_t reorder_stash_cap = 64;    ///< out-of-order packets parked/peer
+  std::uint64_t progress_tick_ns = 100;  ///< clock advance per progress() call
+                                         ///< with unacked traffic (drives RTOs)
+};
+
 struct EndpointConfig {
   std::size_t eager_threshold = 1024;  ///< <= : eager, > : rendezvous
   std::size_t bounce_count = 2048;
@@ -39,9 +62,24 @@ struct EndpointConfig {
   /// the receiver's RDMA read fetches only the remainder.
   bool rts_inline_data = false;
 
+  ReliabilityConfig reliability{};
+
   std::size_t bounce_bytes() const noexcept {
     return kHeaderBytes + eager_threshold;
   }
+};
+
+/// Typed failure surfaced when the reliable-delivery retry budget is
+/// exhausted: the message is dropped, the channel to the peer is marked
+/// failed, and every queued packet fails with its own error record —
+/// graceful degradation instead of an assert (pending receives on the
+/// remote side simply stay pending).
+struct DeliveryError {
+  Rank peer = 0;
+  std::uint64_t channel_seq = 0;
+  Envelope env{};
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t retries = 0;
 };
 
 class Endpoint {
@@ -112,9 +150,18 @@ class Endpoint {
                             std::string_view prefix = "ep");
   obs::Observability* observability() const noexcept { return obs_; }
 
+  enum class SendStatus : std::uint8_t {
+    kDelivered,     ///< handed to the receiver NIC (unreliable path)
+    kQueued,        ///< accepted by the reliable-delivery layer
+    kRnr,           ///< receiver had no staging buffer (unreliable path)
+    kBackpressure,  ///< receiver CQ full (unreliable path); retry later
+    kFailed,        ///< reliable channel failed: see take_delivery_errors()
+  };
+
   struct SendResult {
-    bool ok = false;             ///< false: receiver had no staging buffer (RNR)
-    std::uint64_t arrival_ns = 0;
+    SendStatus status = SendStatus::kRnr;
+    bool ok = false;               ///< delivered or reliably queued
+    std::uint64_t arrival_ns = 0;  ///< modeled arrival (kDelivered only)
   };
 
   /// Send `data` to peer `dst`. Buffered semantics: eager payloads travel
@@ -122,8 +169,33 @@ class Endpoint {
   /// owned staging buffer (registered for the remote read, deregistered
   /// and freed when the receiver's read completes), so `data` is reusable
   /// as soon as send() returns — MPI_Send buffer semantics.
+  ///
+  /// With the reliable-delivery layer active the message is sequenced,
+  /// CRC-sealed and queued on the per-peer send window; retransmission,
+  /// RNR/backpressure backoff and dedup happen inside progress(). A send
+  /// never silently loses a message: transient refusals surface as
+  /// kRnr/kBackpressure (unreliable path) or are retried (reliable path),
+  /// and a retry-budget exhaustion is reported as a DeliveryError.
   SendResult send(Rank dst, Tag tag, CommId comm,
                   std::span<const std::byte> data);
+
+  /// Reliable-delivery failures recorded since the last call.
+  std::vector<DeliveryError> take_delivery_errors() {
+    return std::exchange(delivery_errors_, {});
+  }
+
+  /// True when the reliable-delivery sublayer is active on this endpoint.
+  bool reliable() const noexcept { return rel_active_; }
+
+  /// Unacknowledged packets currently queued for `dst`.
+  std::size_t unacked(Rank dst) const noexcept {
+    const auto it = tx_.find(dst);
+    return it == tx_.end() ? 0 : it->second.window.size();
+  }
+
+  /// Peer-side notification: cumulative ack for every channel_seq < cum_seq
+  /// (piggybacked on the receiver's progress, the modeled ack path).
+  void handle_ack(Rank from, std::uint64_t cum_seq);
 
   /// Peer notification that its rendezvous buffer `rkey` was fully read
   /// (the FIN of a real rendezvous protocol). Frees the staging copy.
@@ -174,13 +246,23 @@ class Endpoint {
 
   /// Endpoint-level counter fields (same X-macro discipline as MatchStats:
   /// the list expands into the POD below and the registry mirror).
+  /// `rnr_failures` counts transient receiver-not-ready refusals (always
+  /// retried when the reliability layer is active); `messages_dropped`
+  /// counts only messages actually lost after the retry budget ran out.
 #define OTM_ENDPOINT_COUNTER_FIELDS(X)                              \
   X(sends)                                                          \
   X(eager_sends)                                                    \
   X(rendezvous_sends)                                               \
-  X(rnr_failures) /* receiver had no staging buffer */              \
-  X(messages_dropped)                                               \
-  X(rdma_reads)
+  X(rnr_failures) /* receiver had no staging buffer (transient) */  \
+  X(messages_dropped) /* retry budget exhausted */                  \
+  X(rdma_reads)                                                     \
+  X(retransmits)                                                    \
+  X(acked_packets)                                                  \
+  X(dup_discards) /* retransmit/duplicate suppressed by dedup */    \
+  X(ooo_stashed) /* out-of-order packets parked for resequencing */ \
+  X(corrupt_discards) /* CRC failures dropped at the receiver */    \
+  X(backpressure_stalls) /* receiver CQ full, send deferred */      \
+  X(engine_drops) /* matcher rejected (unexpected store full) */
 
   struct Counters {
 #define OTM_X(field) std::uint64_t field = 0;
@@ -195,7 +277,52 @@ class Endpoint {
     OTM_ENDPOINT_COUNTER_FIELDS(OTM_X)
 #undef OTM_X
   };
+  /// Registry mirrors of the fabric-wide fault-injector stats, published
+  /// under "<prefix>.fabric.*" (values are global to the fabric).
+  struct FabricCounterHandles {
+    obs::Counter* drops = nullptr;
+    obs::Counter* dups = nullptr;
+    obs::Counter* corruptions = nullptr;
+    obs::Counter* holds = nullptr;
+    obs::Counter* forced_rnrs = nullptr;
+  };
   void publish_counters() noexcept;
+
+  // --- Reliable-delivery sublayer (docs/RELIABILITY.md) ---------------------
+
+  struct PendingPacket {
+    std::uint64_t seq = 0;
+    std::vector<std::byte> bytes;  ///< sealed packet, byte-identical retries
+    Envelope env{};
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t rkey = 0;  ///< rendezvous staging to free on failure
+    bool has_rkey = false;   ///< rkey 0 is valid, so flag it explicitly
+    std::uint32_t retries = 0;
+    bool sent = false;
+    std::uint64_t rto_ns = 0;         ///< current (backed-off) timeout
+    std::uint64_t next_retry_ns = 0;  ///< retransmit deadline
+  };
+
+  struct PeerTx {
+    std::uint64_t next_seq = 0;
+    std::deque<PendingPacket> window;  ///< unacked, channel_seq order
+    std::uint64_t stall_until_ns = 0;  ///< RNR/backpressure backoff gate
+    std::uint32_t rnr_strikes = 0;
+    bool failed = false;  ///< retry budget exhausted; channel is dead
+  };
+
+  struct PeerRx {
+    std::uint64_t next_expected = 0;  ///< cumulative-ack watermark
+    /// Out-of-order packets parked in their bounce buffers, keyed by seq.
+    struct Stashed {
+      std::uint64_t bounce_handle = 0;
+      std::uint64_t arrival_ns = 0;
+    };
+    std::map<std::uint64_t, Stashed> ooo;
+  };
+
+  void try_transmit(Rank dst, PeerTx& tx);
+  void fail_channel(Rank dst, PeerTx& tx);
 
   RecvCompletion complete_matched(const ArrivalOutcome& o);
   RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
@@ -241,8 +368,16 @@ class Endpoint {
   std::uint64_t sender_seq_ = 0;
   Counters counters_;
 
+  // Reliable-delivery state (empty/idle when rel_active_ is false).
+  bool rel_active_ = false;
+  std::map<Rank, PeerTx> tx_;
+  std::map<Rank, PeerRx> rx_;
+  std::vector<DeliveryError> delivery_errors_;
+  std::uint64_t rx_delivery_seq_ = 0;  ///< matcher-facing wire_seq source
+
   obs::Observability* obs_ = nullptr;
   CounterHandles ch_{};
+  FabricCounterHandles fab_ch_{};
 };
 
 }  // namespace otm::proto

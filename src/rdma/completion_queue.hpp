@@ -56,6 +56,7 @@ class CompletionQueue {
   }
 
   std::size_t available() const noexcept { return entries_.size(); }
+  bool full() const noexcept { return entries_.size() >= depth_; }
   std::size_t depth() const noexcept { return depth_; }
   std::uint64_t next_sequence() const noexcept { return next_seq_; }
 

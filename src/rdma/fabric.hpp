@@ -8,12 +8,15 @@
 // reproducible rather than host-machine artifacts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "rdma/completion_queue.hpp"
+#include "rdma/fault.hpp"
 #include "rdma/memory.hpp"
 #include "util/assert.hpp"
 
@@ -24,6 +27,7 @@ struct FabricConfig {
   double bandwidth_bytes_per_ns = 50.0;///< 400 Gb/s
   double pcie_latency_ns = 300.0;      ///< NIC <-> host memory crossing
   double host_copy_bytes_per_ns = 20.0;///< host-side memcpy bandwidth
+  FaultConfig fault{};                 ///< chaos model (off by default)
 
   double serialize_ns(std::size_t bytes) const noexcept {
     return bandwidth_bytes_per_ns <= 0
@@ -32,12 +36,13 @@ struct FabricConfig {
   }
 };
 
-using NodeId = std::uint32_t;
-
 /// Transfer-time bookkeeping for the directed links of the fabric.
 class Fabric {
  public:
-  explicit Fabric(const FabricConfig& cfg = {}) : cfg_(cfg) {}
+  explicit Fabric(const FabricConfig& cfg = {}) : cfg_(cfg) {
+    if (cfg_.fault.enabled)
+      injector_ = std::make_unique<FaultInjector>(cfg_.fault);
+  }
 
   NodeId add_node() {
     const NodeId id = static_cast<NodeId>(num_nodes_++);
@@ -45,6 +50,10 @@ class Fabric {
   }
 
   const FabricConfig& config() const noexcept { return cfg_; }
+
+  /// Non-null iff fault injection is enabled for this fabric.
+  FaultInjector* injector() noexcept { return injector_.get(); }
+  const FaultInjector* injector() const noexcept { return injector_.get(); }
 
   /// Model one message of `bytes` leaving `src` for `dst` at `send_ns`.
   /// Returns its arrival time; the link serializes back-to-back messages.
@@ -66,6 +75,7 @@ class Fabric {
   FabricConfig cfg_;
   std::size_t num_nodes_ = 0;
   std::vector<std::uint64_t> link_free_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 /// Shared receive queue: receive WQEs consumable by any QP of the owning
@@ -125,30 +135,58 @@ class QueuePair {
 
   std::size_t posted_recvs() const noexcept { return srq_->size(); }
 
+  enum class SendStatus : std::uint8_t {
+    kOk,      ///< accepted by the fabric (delivery not guaranteed under faults)
+    kRnr,     ///< receiver-not-ready: no receive WQE posted
+    kCqFull,  ///< receiver CQ full: backpressure, nothing was consumed
+  };
+
   struct SendResult {
-    bool delivered = false;        ///< false: receiver-not-ready (RNR)
+    SendStatus status = SendStatus::kRnr;
+    bool delivered = false;        ///< a copy reached the receiver synchronously
     std::uint64_t arrival_ns = 0;  ///< completion timestamp at the receiver
     std::uint64_t recv_wr_id = 0;  ///< which receive WQE absorbed it
   };
 
   /// Two-sided send: consume the peer's oldest posted receive, copy the
-  /// payload, and push a completion on the peer's CQ.
+  /// payload, and push a completion on the peer's CQ. A full receiver CQ is
+  /// reported as recoverable backpressure (kCqFull) — no WQE is consumed and
+  /// the caller may retry after the receiver drains. Under fault injection
+  /// the packet may additionally be dropped, duplicated, corrupted or held
+  /// back behind later sends; `delivered` then reflects only the synchronous
+  /// outcome the sender-side NIC could observe.
   SendResult post_send(std::span<const std::byte> data, std::uint64_t send_ns) {
     OTM_ASSERT_MSG(peer_ != nullptr, "QP not connected");
-    if (peer_->srq_->empty()) return {};  // RNR: no receive posted
-    const auto [wr_id, buffer] = peer_->srq_->consume();
-    OTM_ASSERT_MSG(buffer.size() >= data.size(), "receive buffer too small");
+    FaultInjector* fi = fabric_->injector();
+    if (fi != nullptr && fi->forced_rnr(node_, peer_->node_))
+      return {SendStatus::kRnr, false, 0, 0};
 
-    std::copy(data.begin(), data.end(), buffer.begin());
-    const std::uint64_t arrival =
-        fabric_->transfer(node_, peer_->node_, data.size(), send_ns);
-    Cqe cqe;
-    cqe.wr_id = wr_id;
-    cqe.byte_len = static_cast<std::uint32_t>(data.size());
-    cqe.timestamp_ns = arrival;
-    const bool ok = peer_->recv_cq_->push(cqe);
-    OTM_ASSERT_MSG(ok, "receiver CQ overrun");
-    return {true, arrival, wr_id};
+    const auto fate = fi != nullptr ? fi->next_fate(node_, peer_->node_)
+                                    : FaultInjector::Fate::kDeliver;
+    SendResult result{};
+    switch (fate) {
+      case FaultInjector::Fate::kDrop:
+        result = {SendStatus::kOk, false, 0, 0};  // lost in flight
+        break;
+      case FaultInjector::Fate::kHold:
+        held_.push_back({std::vector<std::byte>(data.begin(), data.end()),
+                         fi->hold_delay(node_, peer_->node_)});
+        result = {SendStatus::kOk, false, 0, 0};
+        break;
+      case FaultInjector::Fate::kDuplicate:
+        result = deliver_one(data, send_ns, /*corrupt=*/false);
+        if (result.delivered)  // second copy is best-effort
+          deliver_one(data, send_ns, /*corrupt=*/false);
+        break;
+      case FaultInjector::Fate::kCorrupt:
+        result = deliver_one(data, send_ns, /*corrupt=*/true);
+        break;
+      case FaultInjector::Fate::kDeliver:
+        result = deliver_one(data, send_ns, /*corrupt=*/false);
+        break;
+    }
+    flush_held(send_ns);
+    return result;
   }
 
   /// One-sided read from the peer's registered memory into `dst`.
@@ -165,12 +203,57 @@ class QueuePair {
   }
 
  private:
+  SendResult deliver_one(std::span<const std::byte> data, std::uint64_t send_ns,
+                         bool corrupt) {
+    if (peer_->recv_cq_->full()) return {SendStatus::kCqFull, false, 0, 0};
+    if (peer_->srq_->empty()) return {SendStatus::kRnr, false, 0, 0};
+    const auto [wr_id, buffer] = peer_->srq_->consume();
+    OTM_ASSERT_MSG(buffer.size() >= data.size(), "receive buffer too small");
+
+    std::copy(data.begin(), data.end(), buffer.begin());
+    if (corrupt)
+      fabric_->injector()->corrupt(node_, peer_->node_,
+                                   buffer.first(data.size()));
+    const std::uint64_t arrival =
+        fabric_->transfer(node_, peer_->node_, data.size(), send_ns);
+    Cqe cqe;
+    cqe.wr_id = wr_id;
+    cqe.byte_len = static_cast<std::uint32_t>(data.size());
+    cqe.timestamp_ns = arrival;
+    const bool ok = peer_->recv_cq_->push(cqe);
+    OTM_ASSERT(ok);  // full() was checked above
+    return {SendStatus::kOk, true, arrival, wr_id};
+  }
+
+  /// Release held-back (reordered) packets whose delay elapsed. Delivery is
+  /// best-effort: a release that hits RNR/CQ-full turns into a drop, which
+  /// the reliability layer recovers via retransmission.
+  void flush_held(std::uint64_t now_ns) {
+    for (auto& h : held_) {
+      if (h.release_after > 0) --h.release_after;
+    }
+    for (;;) {
+      const auto it = std::find_if(held_.begin(), held_.end(), [](const Held& h) {
+        return h.release_after == 0;
+      });
+      if (it == held_.end()) break;
+      deliver_one(it->bytes, now_ns, /*corrupt=*/false);
+      held_.erase(it);
+    }
+  }
+
+  struct Held {
+    std::vector<std::byte> bytes;
+    std::uint32_t release_after;  ///< remaining sends before delivery
+  };
+
   Fabric* fabric_;
   NodeId node_;
   CompletionQueue* recv_cq_;
   MemoryRegistry* registry_;
   SharedReceiveQueue* srq_;
   QueuePair* peer_ = nullptr;
+  std::deque<Held> held_;
 };
 
 }  // namespace otm::rdma

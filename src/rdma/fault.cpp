@@ -1,0 +1,75 @@
+#include "rdma/fault.hpp"
+
+#include "util/hash.hpp"
+
+namespace otm::rdma {
+
+FaultInjector::LinkState& FaultInjector::link(NodeId src, NodeId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = links_.find(key);
+  if (it == links_.end())
+    it = links_.emplace(key, LinkState(cfg_.seed ^ mix64(key + 1))).first;
+  return it->second;
+}
+
+bool FaultInjector::forced_rnr(NodeId src, NodeId dst) {
+  if (cfg_.rnr_period == 0 || cfg_.rnr_burst == 0) return false;
+  LinkState& l = link(src, dst);
+  const bool refused = (l.attempts++ % cfg_.rnr_period) < cfg_.rnr_burst;
+  if (refused) ++stats_.forced_rnrs;
+  return refused;
+}
+
+FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst) {
+  LinkState& l = link(src, dst);
+  const std::uint64_t pos = l.packets++;
+  if (pos < cfg_.drop_first) {
+    ++stats_.drops;
+    return Fate::kDrop;
+  }
+  if (pos < cfg_.drop_first + cfg_.corrupt_first) {
+    ++stats_.corruptions;
+    return Fate::kCorrupt;
+  }
+  const double u = l.rng.uniform();
+  double edge = cfg_.drop_probability;
+  if (u < edge) {
+    ++stats_.drops;
+    return Fate::kDrop;
+  }
+  edge += cfg_.duplicate_probability;
+  if (u < edge) {
+    ++stats_.duplicates;
+    return Fate::kDuplicate;
+  }
+  edge += cfg_.corrupt_probability;
+  if (u < edge) {
+    ++stats_.corruptions;
+    return Fate::kCorrupt;
+  }
+  edge += cfg_.reorder_probability;
+  if (u < edge && cfg_.reorder_window > 0) {
+    ++stats_.holds;
+    return Fate::kHold;
+  }
+  return Fate::kDeliver;
+}
+
+std::uint32_t FaultInjector::hold_delay(NodeId src, NodeId dst) {
+  if (cfg_.reorder_window <= 1) return 1;
+  return 1 + static_cast<std::uint32_t>(
+                 link(src, dst).rng.below(cfg_.reorder_window));
+}
+
+void FaultInjector::corrupt(NodeId src, NodeId dst,
+                            std::span<std::byte> packet) {
+  if (packet.empty()) return;
+  LinkState& l = link(src, dst);
+  const std::uint64_t flips = 1 + l.rng.below(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t pos = l.rng.below(packet.size());
+    packet[pos] ^= static_cast<std::byte>(1 + l.rng.below(255));
+  }
+}
+
+}  // namespace otm::rdma

@@ -1,0 +1,86 @@
+// Deterministic fault injection for the simulated RDMA fabric.
+//
+// The paper's Sec. IV architecture assumes a lossless fabric; real deployments
+// still see receiver-not-ready NAKs, CQ overruns and — across cables, adapters
+// and firmware — lost, duplicated, reordered or corrupted deliveries. The
+// injector models those edges per directed link with a seeded xoshiro stream,
+// so every chaos run is exactly reproducible from (seed, traffic). The
+// reliable-delivery sublayer in proto::Endpoint (docs/RELIABILITY.md) is what
+// turns these faults back into exactly-once, in-order message streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace otm::rdma {
+
+using NodeId = std::uint32_t;
+
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0xc7a05;        ///< per-link streams derive from this
+  double drop_probability = 0.0;       ///< packet vanishes in flight
+  double duplicate_probability = 0.0;  ///< packet delivered twice
+  double corrupt_probability = 0.0;    ///< packet bytes flipped in flight
+  double reorder_probability = 0.0;    ///< packet held back behind later sends
+  std::uint32_t reorder_window = 3;    ///< max sends a held packet may lag
+  std::uint32_t rnr_period = 0;        ///< link sends per forced-RNR cycle (0 = off)
+  std::uint32_t rnr_burst = 0;         ///< refused sends opening each cycle
+
+  /// Deterministic prefixes for unit tests: the first `drop_first` packets of
+  /// every link are dropped and the next `corrupt_first` corrupted, before
+  /// the probabilistic model takes over.
+  std::uint32_t drop_first = 0;
+  std::uint32_t corrupt_first = 0;
+};
+
+class FaultInjector {
+ public:
+  /// What happens to the next packet entering a link.
+  enum class Fate : std::uint8_t { kDeliver, kDrop, kDuplicate, kCorrupt, kHold };
+
+  explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  /// True when link (src -> dst) sits inside a forced-RNR window; the fabric
+  /// then refuses the send exactly as an empty SRQ would.
+  bool forced_rnr(NodeId src, NodeId dst);
+
+  /// Draw the fate of the next packet on link (src -> dst).
+  Fate next_fate(NodeId src, NodeId dst);
+
+  /// How many subsequent sends a held packet lags (1..reorder_window).
+  std::uint32_t hold_delay(NodeId src, NodeId dst);
+
+  /// Flip a few bytes of an in-flight packet (after the copy, before the
+  /// completion) — detected by the wire-header CRC on the receive path.
+  void corrupt(NodeId src, NodeId dst, std::span<std::byte> packet);
+
+  struct Stats {
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t holds = 0;
+    std::uint64_t forced_rnrs = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  const FaultConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct LinkState {
+    explicit LinkState(std::uint64_t seed) : rng(seed) {}
+    Xoshiro256 rng;
+    std::uint64_t attempts = 0;  ///< forced-RNR phase counter
+    std::uint64_t packets = 0;   ///< drop_first / corrupt_first positions
+  };
+  LinkState& link(NodeId src, NodeId dst);
+
+  FaultConfig cfg_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  Stats stats_;
+};
+
+}  // namespace otm::rdma

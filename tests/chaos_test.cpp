@@ -1,0 +1,620 @@
+// Chaos tests for the fault-injecting fabric + reliable-delivery sublayer
+// (docs/RELIABILITY.md): deterministic single-fault recovery scenarios, the
+// graceful-degradation path when the retry budget runs out, and seeded
+// randomized soaks asserting every posted receive completes exactly once —
+// with payload integrity and ReferenceMatcher-agreeing match order — while
+// the fabric drops, duplicates, corrupts and reorders packets.
+//
+// The soak seed is overridable via OTM_CHAOS_SEED (scripts/check.sh runs a
+// small seed matrix under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baseline/list_matcher.hpp"
+#include "mpi/mpi.hpp"
+#include "proto/endpoint.hpp"
+#include "rdma/fault.hpp"
+
+namespace otm::proto {
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* s = std::getenv("OTM_CHAOS_SEED")) {
+    const auto v = std::strtoull(s, nullptr, 10);
+    if (v != 0) return v;
+  }
+  return 42;
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 131 + seed * 7) & 0xFF);
+  return v;
+}
+
+/// Stamp a per-message sequence number into the payload's first 8 bytes so
+/// receivers can verify which message landed in which buffer.
+std::vector<std::byte> stamped(std::size_t n, std::uint64_t seq) {
+  auto v = pattern(n, seq);
+  OTM_ASSERT(n >= sizeof(seq));
+  std::memcpy(v.data(), &seq, sizeof(seq));
+  return v;
+}
+
+std::uint64_t read_stamp(std::span<const std::byte> buf) {
+  std::uint64_t seq = 0;
+  OTM_ASSERT(buf.size() >= sizeof(seq));
+  std::memcpy(&seq, buf.data(), sizeof(seq));
+  return seq;
+}
+
+MatchConfig match_cfg() {
+  MatchConfig c;
+  c.bins = 32;
+  c.block_size = 4;
+  c.max_receives = 64;
+  return c;
+}
+
+/// Reliability tuning scaled to test drivers: the modeled clock advances
+/// ~100 ns per progress() call, so timeouts must be a handful of ticks.
+ReliabilityConfig fast_reliability() {
+  ReliabilityConfig r;
+  r.rto_ns = 500;
+  r.rto_max_ns = 4'000;
+  r.rnr_backoff_ns = 200;
+  r.progress_tick_ns = 100;
+  return r;
+}
+
+class ChaosPair {
+ public:
+  ChaosPair(const rdma::FaultConfig& fault, EndpointConfig ep_cfg)
+      : fabric_(make_fabric(fault)),
+        a_(fabric_, 0, ep_cfg, match_cfg(), DpaConfig{}),
+        b_(fabric_, 1, ep_cfg, match_cfg(), DpaConfig{}) {
+    a_.connect(b_);
+  }
+
+  static rdma::FabricConfig make_fabric(const rdma::FaultConfig& fault) {
+    rdma::FabricConfig f;
+    f.fault = fault;
+    return f;
+  }
+
+  static EndpointConfig default_ep() {
+    EndpointConfig c;
+    c.eager_threshold = 256;
+    c.bounce_count = 64;
+    c.reliability = fast_reliability();
+    return c;
+  }
+
+  /// Drive both endpoints until `want` completions surface at b (or the
+  /// iteration budget is exhausted — then the test fails loudly).
+  std::vector<Endpoint::RecvCompletion> pump(std::size_t want,
+                                             int max_iters = 4000) {
+    std::vector<Endpoint::RecvCompletion> done;
+    for (int i = 0; i < max_iters && done.size() < want; ++i) {
+      a_.progress();
+      for (auto& c : b_.progress()) done.push_back(c);
+    }
+    return done;
+  }
+
+  rdma::Fabric fabric_;
+  Endpoint a_;
+  Endpoint b_;
+};
+
+// --- Deterministic single-fault scenarios ------------------------------------
+
+TEST(Reliability, ActivationFollowsModeAndFaults) {
+  rdma::FaultConfig off;
+  rdma::FaultConfig on;
+  on.enabled = true;
+
+  EndpointConfig auto_cfg = ChaosPair::default_ep();
+  EXPECT_FALSE(ChaosPair(off, auto_cfg).a_.reliable())
+      << "kAuto without faults stays on the fast path";
+  EXPECT_TRUE(ChaosPair(on, auto_cfg).a_.reliable())
+      << "kAuto engages once the fabric can lose packets";
+
+  EndpointConfig forced = auto_cfg;
+  forced.reliability.mode = ReliabilityConfig::Mode::kOn;
+  EXPECT_TRUE(ChaosPair(off, forced).a_.reliable());
+  forced.reliability.mode = ReliabilityConfig::Mode::kOff;
+  EXPECT_FALSE(ChaosPair(on, forced).a_.reliable());
+}
+
+TEST(Reliability, NoFaultPassThrough) {
+  // Reliability forced on over a clean fabric: everything completes on the
+  // first transmission, no retransmits, no dedup work. Stock timeouts: the
+  // fast test RTO would fire spuriously before the first ack round.
+  EndpointConfig cfg = ChaosPair::default_ep();
+  cfg.reliability = ReliabilityConfig{};
+  cfg.reliability.mode = ReliabilityConfig::Mode::kOn;
+  ChaosPair p(rdma::FaultConfig{}, cfg);
+
+  std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(64));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    p.b_.post_receive({0, static_cast<Tag>(i), 0}, bufs[i], i);
+    const auto r = p.a_.send(1, static_cast<Tag>(i), 0, stamped(64, i));
+    EXPECT_EQ(r.status, Endpoint::SendStatus::kQueued);
+    EXPECT_TRUE(r.ok);
+  }
+  const auto done = p.pump(8);
+  ASSERT_EQ(done.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(done[i].cookie, i);
+    EXPECT_EQ(read_stamp(bufs[i]), i);
+  }
+  EXPECT_EQ(p.a_.counters().retransmits, 0u);
+  EXPECT_EQ(p.b_.counters().dup_discards, 0u);
+  EXPECT_EQ(p.a_.unacked(1), 0u) << "acks drained the send window";
+}
+
+TEST(Reliability, RetransmitRecoversDroppedPacket) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_first = 1;  // first packet on every link vanishes
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  std::vector<std::byte> buf(64);
+  p.b_.post_receive({0, 5, 0}, buf, 1);
+  const auto r = p.a_.send(1, 5, 0, stamped(64, 9));
+  ASSERT_TRUE(r.ok);
+
+  const auto done = p.pump(1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cookie, 1u);
+  EXPECT_EQ(read_stamp(buf), 9u);
+  EXPECT_GE(p.a_.counters().retransmits, 1u);
+  EXPECT_EQ(p.a_.counters().messages_dropped, 0u)
+      << "a recovered drop is not a lost message";
+  EXPECT_EQ(p.a_.unacked(1), 0u);
+}
+
+TEST(Reliability, DuplicatesNeverDoubleComplete) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.duplicate_probability = 1.0;  // every packet delivered twice
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  std::vector<std::vector<std::byte>> bufs(5, std::vector<std::byte>(64));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    p.b_.post_receive({0, 1, 0}, bufs[i], i);
+    ASSERT_TRUE(p.a_.send(1, 1, 0, stamped(64, i)).ok);
+  }
+  const auto done = p.pump(5);
+  ASSERT_EQ(done.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(done[i].cookie, i) << "same-tag stream completes in order";
+    EXPECT_EQ(read_stamp(bufs[i]), i);
+  }
+  // Drain any trailing duplicates still in flight, then confirm nothing
+  // else ever completes.
+  for (int i = 0; i < 50; ++i) {
+    p.a_.progress();
+    EXPECT_TRUE(p.b_.progress().empty());
+  }
+  EXPECT_GE(p.b_.counters().dup_discards, 5u);
+}
+
+TEST(Reliability, CorruptionDetectedByCrcAndRetransmitted) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.corrupt_first = 1;  // first packet on the link arrives mangled
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  std::vector<std::byte> buf(64);
+  p.b_.post_receive({0, 3, 0}, buf, 7);
+  ASSERT_TRUE(p.a_.send(1, 3, 0, stamped(64, 3)).ok);
+
+  const auto done = p.pump(1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cookie, 7u);
+  EXPECT_EQ(read_stamp(buf), 3u) << "user buffer got the clean retransmit";
+  EXPECT_GE(p.b_.counters().corrupt_discards, 1u);
+  EXPECT_GE(p.a_.counters().retransmits, 1u);
+}
+
+TEST(Reliability, ForcedRnrBacksOffAndDelivers) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.rnr_period = 4;  // first 2 of every 4 attempts per link refused
+  fault.rnr_burst = 2;
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  std::vector<std::vector<std::byte>> bufs(3, std::vector<std::byte>(32));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    p.b_.post_receive({0, 2, 0}, bufs[i], i);
+    ASSERT_TRUE(p.a_.send(1, 2, 0, stamped(32, i)).ok);
+  }
+  const auto done = p.pump(3);
+  ASSERT_EQ(done.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(done[i].cookie, i);
+  EXPECT_GE(p.a_.counters().rnr_failures, 1u)
+      << "transient refusals are counted as RNR, not as drops";
+  EXPECT_EQ(p.a_.counters().messages_dropped, 0u);
+  EXPECT_GT(p.fabric_.injector()->stats().forced_rnrs, 0u);
+}
+
+TEST(Reliability, ReorderingResequencedBeforeMatching) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.reorder_probability = 0.5;
+  fault.reorder_window = 3;
+  fault.seed = chaos_seed();
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  constexpr std::uint64_t kN = 32;
+  std::vector<std::vector<std::byte>> bufs(kN, std::vector<std::byte>(32));
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    p.b_.post_receive({0, 1, 0}, bufs[i], i);
+    ASSERT_TRUE(p.a_.send(1, 1, 0, stamped(32, i)).ok);
+  }
+  const auto done = p.pump(kN);
+  ASSERT_EQ(done.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(done[i].cookie, i)
+        << "C2: same-(source,tag) stream must not be overtaken";
+    EXPECT_EQ(read_stamp(bufs[i]), i);
+  }
+}
+
+TEST(Reliability, RendezvousSurvivesDropsAndFreesStaging) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_first = 1;
+  ChaosPair p(fault, ChaosPair::default_ep());  // eager_threshold = 256
+
+  std::vector<std::byte> buf(2048);
+  p.b_.post_receive({0, 4, 0}, buf, 11);
+  const auto tx = stamped(2048, 21);
+  ASSERT_TRUE(p.a_.send(1, 4, 0, tx).ok);
+  EXPECT_EQ(p.a_.pending_rendezvous(), 1u);
+
+  const auto done = p.pump(1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].bytes, 2048u);
+  EXPECT_EQ(tx, buf);
+  EXPECT_EQ(p.a_.pending_rendezvous(), 0u)
+      << "receiver's read FIN freed the staged payload";
+  EXPECT_GE(p.a_.counters().retransmits, 1u);
+}
+
+// --- Graceful degradation ----------------------------------------------------
+
+TEST(Reliability, RetryBudgetExhaustionSurfacesDeliveryError) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_probability = 1.0;  // black-hole link
+  EndpointConfig cfg = ChaosPair::default_ep();
+  cfg.reliability.retry_budget = 3;
+  ChaosPair p(fault, cfg);
+
+  std::vector<std::byte> buf(32);
+  p.b_.post_receive({0, 6, 0}, buf, 1);
+  ASSERT_TRUE(p.a_.send(1, 6, 0, stamped(32, 1)).ok) << "queued, not yet failed";
+
+  for (int i = 0; i < 400; ++i) p.a_.progress();
+
+  const auto errs = p.a_.take_delivery_errors();
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_EQ(errs[0].peer, 1);
+  EXPECT_EQ(errs[0].env.tag, 6);
+  EXPECT_EQ(errs[0].retries, 3u);
+  EXPECT_EQ(p.a_.counters().messages_dropped, 1u);
+  EXPECT_EQ(p.a_.unacked(1), 0u) << "failed window is flushed";
+
+  // The channel is dead: further sends fail fast with their own record.
+  const auto r = p.a_.send(1, 6, 0, stamped(32, 2));
+  EXPECT_EQ(r.status, Endpoint::SendStatus::kFailed);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(p.a_.take_delivery_errors().size(), 1u);
+  EXPECT_TRUE(p.b_.progress().empty()) << "nothing ever arrived";
+}
+
+TEST(Reliability, FailedRendezvousChannelFreesStaging) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_probability = 1.0;
+  EndpointConfig cfg = ChaosPair::default_ep();
+  cfg.reliability.retry_budget = 2;
+  ChaosPair p(fault, cfg);
+
+  ASSERT_TRUE(p.a_.send(1, 4, 0, stamped(2048, 5)).ok);
+  EXPECT_EQ(p.a_.pending_rendezvous(), 1u);
+  for (int i = 0; i < 200; ++i) p.a_.progress();
+  EXPECT_EQ(p.a_.take_delivery_errors().size(), 1u);
+  EXPECT_EQ(p.a_.pending_rendezvous(), 0u)
+      << "failing the channel releases the staged payload";
+}
+
+TEST(Reliability, EndpointCqOverrunBackpressuresInsteadOfCrashing) {
+  // Tiny receiver CQ + reliability forced on: sends beyond the CQ depth are
+  // deferred with backpressure and delivered once the receiver drains.
+  EndpointConfig cfg = ChaosPair::default_ep();
+  cfg.cq_depth = 2;
+  cfg.reliability.mode = ReliabilityConfig::Mode::kOn;
+  ChaosPair p(rdma::FaultConfig{}, cfg);
+
+  constexpr std::uint64_t kN = 6;
+  std::vector<std::vector<std::byte>> bufs(kN, std::vector<std::byte>(32));
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    p.b_.post_receive({0, 1, 0}, bufs[i], i);
+    ASSERT_TRUE(p.a_.send(1, 1, 0, stamped(32, i)).ok);
+  }
+  EXPECT_GE(p.a_.counters().backpressure_stalls, 1u);
+
+  const auto done = p.pump(kN);
+  ASSERT_EQ(done.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(done[i].cookie, i);
+    EXPECT_EQ(read_stamp(bufs[i]), i);
+  }
+  EXPECT_EQ(p.a_.counters().messages_dropped, 0u);
+}
+
+// --- Observability -----------------------------------------------------------
+
+TEST(Reliability, FaultStatsSurfaceInMetricsRegistry) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_first = 1;
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  obs::ObsConfig oc;
+  oc.metrics = true;
+  obs::Observability obs(oc);
+  p.a_.attach_observability(&obs, "ep");
+
+  std::vector<std::byte> buf(32);
+  p.b_.post_receive({0, 1, 0}, buf, 1);
+  ASSERT_TRUE(p.a_.send(1, 1, 0, stamped(32, 1)).ok);
+  ASSERT_EQ(p.pump(1).size(), 1u);
+
+  auto* reg = obs.metrics();
+  ASSERT_NE(reg, nullptr);
+  EXPECT_GE(reg->counter("ep.fabric.drops").value(), 1u);
+  EXPECT_GE(reg->counter("ep.retransmits").value(), 1u);
+}
+
+// --- Seeded randomized soaks -------------------------------------------------
+
+struct SoakOutcome {
+  std::size_t completions = 0;
+  bool exactly_once = true;
+  bool in_order = true;
+  bool payload_ok = true;
+  bool matches_reference = true;
+};
+
+/// Windowed streaming soak over one endpoint pair: kMessages messages across
+/// kTags same-communicator tag streams, mixed eager/rendezvous sizes, with a
+/// ListMatcher replay as the C1/C2 pairing oracle.
+SoakOutcome run_endpoint_soak(const rdma::FaultConfig& fault,
+                              std::size_t messages, std::size_t window,
+                              bool mix_rendezvous) {
+  EndpointConfig cfg = ChaosPair::default_ep();
+  ChaosPair p(fault, cfg);
+
+  constexpr std::uint32_t kTags = 4;
+  ListMatcher oracle;
+  std::map<std::uint64_t, std::uint64_t> expected;  // cookie -> message seq
+
+  std::vector<std::vector<std::byte>> bufs(messages);
+  std::vector<std::vector<std::byte>> sent(messages);
+  std::vector<bool> seen(messages, false);
+  SoakOutcome out;
+
+  std::size_t posted = 0;
+  std::uint64_t next_expected_per_tag[kTags] = {};
+  auto harvest = [&](const std::vector<Endpoint::RecvCompletion>& done) {
+    for (const auto& c : done) {
+      ++out.completions;
+      if (c.cookie >= messages || seen[c.cookie]) {
+        out.exactly_once = false;
+        continue;
+      }
+      seen[c.cookie] = true;
+      const auto tag = static_cast<std::uint32_t>(c.env.tag);
+      const std::uint64_t stamp = read_stamp(bufs[c.cookie]);
+      // C2: each (source,tag) stream completes in send order.
+      if (stamp / kTags != next_expected_per_tag[tag]++) out.in_order = false;
+      if (bufs[c.cookie] != sent[stamp]) out.payload_ok = false;
+      const auto it = expected.find(c.cookie);
+      if (it == expected.end() || it->second != stamp)
+        out.matches_reference = false;
+    }
+  };
+
+  for (std::uint64_t i = 0; i < messages; ++i) {
+    const Tag tag = static_cast<Tag>(i % kTags);
+    const std::size_t bytes =
+        mix_rendezvous && (i % 7 == 3) ? 2048 : 64;  // past/below threshold
+    bufs[i].resize(bytes);
+    // Post the receive, then send: the oracle replays the same interleaving.
+    p.b_.post_receive({0, tag, 0}, bufs[i], i);
+    EXPECT_FALSE(oracle.post({0, tag, 0}, i).has_value())
+        << "soak posts receives before their messages";
+    sent[i] = stamped(bytes, i);
+    const auto r = p.a_.send(1, tag, 0, sent[i]);
+    if (!r.ok) out.exactly_once = false;  // reliable sends must queue
+    if (const auto m = oracle.arrive({0, tag, 0}, i); m.has_value())
+      expected[*m] = i;
+    ++posted;
+    if (posted - out.completions >= window) {
+      // Window full: pump until something completes.
+      for (int spin = 0; spin < 4000 && posted - out.completions >= window;
+           ++spin) {
+        p.a_.progress();
+        harvest(p.b_.progress());
+      }
+    }
+  }
+  for (int spin = 0; spin < 20000 && out.completions < messages; ++spin) {
+    p.a_.progress();
+    harvest(p.b_.progress());
+  }
+  // Settle: nothing further may ever complete.
+  for (int spin = 0; spin < 100; ++spin) {
+    p.a_.progress();
+    harvest(p.b_.progress());
+  }
+  if (out.completions != messages) out.exactly_once = false;
+  EXPECT_EQ(p.a_.take_delivery_errors().size(), 0u);
+  return out;
+}
+
+TEST(ChaosSoak, TenThousandMessagesExactlyOnceUnderDrops) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = chaos_seed();
+  fault.drop_probability = 0.05;
+  fault.duplicate_probability = 0.02;
+  fault.reorder_probability = 0.05;
+  fault.reorder_window = 3;
+
+  const auto out = run_endpoint_soak(fault, 10'000, 16, /*mix_rendezvous=*/false);
+  EXPECT_EQ(out.completions, 10'000u);
+  EXPECT_TRUE(out.exactly_once) << "a posted receive completed 0 or 2+ times";
+  EXPECT_TRUE(out.in_order) << "C2 violated within a (source,tag) stream";
+  EXPECT_TRUE(out.payload_ok);
+  EXPECT_TRUE(out.matches_reference)
+      << "matching disagrees with the ListMatcher oracle";
+}
+
+TEST(ChaosSoak, MixedProtocolAllFaultClasses) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = chaos_seed() + 1;
+  fault.drop_probability = 0.03;
+  fault.duplicate_probability = 0.02;
+  fault.corrupt_probability = 0.02;
+  fault.reorder_probability = 0.04;
+  fault.reorder_window = 3;
+  fault.rnr_period = 64;
+  fault.rnr_burst = 2;
+
+  const auto out = run_endpoint_soak(fault, 2'000, 8, /*mix_rendezvous=*/true);
+  EXPECT_EQ(out.completions, 2'000u);
+  EXPECT_TRUE(out.exactly_once);
+  EXPECT_TRUE(out.in_order);
+  EXPECT_TRUE(out.payload_ok);
+  EXPECT_TRUE(out.matches_reference);
+}
+
+// --- Mini-MPI under chaos ----------------------------------------------------
+
+mpi::WorldOptions chaos_world(double drop, std::uint64_t seed) {
+  mpi::WorldOptions opt;
+  opt.fabric.fault.enabled = true;
+  opt.fabric.fault.seed = seed;
+  opt.fabric.fault.drop_probability = drop;
+  opt.fabric.fault.duplicate_probability = 0.01;
+  opt.fabric.fault.reorder_probability = 0.03;
+  opt.fabric.fault.reorder_window = 3;
+  opt.endpoint.reliability = fast_reliability();
+  return opt;
+}
+
+TEST(ChaosSoak, MiniMpiHaloExchangeCompletes) {
+  // 4 ranks in a ring, driven round-robin from one thread: every iteration
+  // each rank exchanges a stamped halo with both neighbors. The mini-MPI
+  // request layer asserts against double completion, so a duplicate that
+  // slipped the dedup layer would abort the run.
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kIters = 250;
+  mpi::World world(kRanks, chaos_world(0.03, chaos_seed()));
+  const auto comm = world.proc(0).world_comm();
+
+  for (std::uint64_t iter = 0; iter < kIters; ++iter) {
+    std::vector<std::vector<std::byte>> rx(2 * kRanks);
+    std::vector<std::vector<std::byte>> tx(2 * kRanks);
+    std::vector<mpi::Request> reqs;
+    std::vector<Rank> owner;
+    for (int r = 0; r < kRanks; ++r) {
+      auto& p = world.proc(r);
+      const Rank left = (r + kRanks - 1) % kRanks;
+      const Rank right = (r + 1) % kRanks;
+      const auto ri = 2 * static_cast<std::size_t>(r);
+      rx[ri].resize(64);
+      rx[ri + 1].resize(64);
+      reqs.push_back(p.irecv(rx[ri], left, /*tag=*/0, comm));
+      owner.push_back(r);
+      reqs.push_back(p.irecv(rx[ri + 1], right, /*tag=*/1, comm));
+      owner.push_back(r);
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      auto& p = world.proc(r);
+      const Rank left = (r + kRanks - 1) % kRanks;
+      const Rank right = (r + 1) % kRanks;
+      const auto ri = 2 * static_cast<std::size_t>(r);
+      tx[ri] = stamped(64, iter * kRanks + static_cast<std::uint64_t>(r));
+      tx[ri + 1] = tx[ri];
+      reqs.push_back(p.isend(tx[ri], right, /*tag=*/0, comm));
+      owner.push_back(r);
+      reqs.push_back(p.isend(tx[ri + 1], left, /*tag=*/1, comm));
+      owner.push_back(r);
+    }
+    bool all_done = false;
+    for (int spin = 0; spin < 20000 && !all_done; ++spin) {
+      for (int r = 0; r < kRanks; ++r) world.proc(r).progress();
+      all_done = true;
+      for (std::size_t i = 0; i < reqs.size(); ++i)
+        if (!world.proc(owner[i]).test(reqs[i])) all_done = false;
+    }
+    ASSERT_TRUE(all_done) << "halo iteration " << iter << " wedged";
+    for (int r = 0; r < kRanks; ++r) {
+      const Rank left = (r + kRanks - 1) % kRanks;
+      const Rank right = (r + 1) % kRanks;
+      const auto ri = 2 * static_cast<std::size_t>(r);
+      EXPECT_EQ(read_stamp(rx[ri]),
+                iter * kRanks + static_cast<std::uint64_t>(left));
+      EXPECT_EQ(read_stamp(rx[ri + 1]),
+                iter * kRanks + static_cast<std::uint64_t>(right));
+    }
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(world.proc(r).stats().delivery_errors, 0u);
+    EXPECT_EQ(world.proc(r).stats().send_failures, 0u);
+  }
+}
+
+TEST(ChaosSoak, MiniMpiBlackHolePeerDegradesGracefully) {
+  // A fully lossy fabric with a tiny retry budget: the isend never lands,
+  // the delivery error surfaces through the Proc stats, and nothing crashes.
+  mpi::WorldOptions opt;
+  opt.fabric.fault.enabled = true;
+  opt.fabric.fault.drop_probability = 1.0;
+  opt.endpoint.reliability = fast_reliability();
+  opt.endpoint.reliability.retry_budget = 3;
+  mpi::World world(2, opt);
+  const auto comm = world.proc(0).world_comm();
+
+  const auto tx = stamped(32, 1);
+  const auto req = world.proc(0).isend(tx, 1, 0, comm);
+  EXPECT_FALSE(world.proc(0).failed(req)) << "queued reliably at first";
+  for (int i = 0; i < 500; ++i) world.proc(0).progress();
+
+  EXPECT_EQ(world.proc(0).stats().delivery_errors, 1u);
+  const auto errs = world.proc(0).take_delivery_errors();
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_EQ(errs[0].peer, 1);
+
+  // The dead channel now fails sends immediately.
+  const auto req2 = world.proc(0).isend(tx, 1, 0, comm);
+  EXPECT_TRUE(world.proc(0).failed(req2));
+  EXPECT_EQ(world.proc(0).stats().send_failures, 1u);
+}
+
+}  // namespace
+}  // namespace otm::proto

@@ -209,5 +209,130 @@ TEST(SharedReceiveQueue, SharedAcrossQps) {
   EXPECT_EQ(cq_r.available(), 2u) << "both completions land on the shared CQ";
 }
 
+// --- CQ overrun backpressure --------------------------------------------------
+
+TEST(CompletionQueue, FullTracksDepth) {
+  CompletionQueue cq(2);
+  EXPECT_FALSE(cq.full());
+  EXPECT_TRUE(cq.push({}));
+  EXPECT_TRUE(cq.push({}));
+  EXPECT_TRUE(cq.full());
+  EXPECT_TRUE(cq.poll().has_value());
+  EXPECT_FALSE(cq.full());
+}
+
+TEST(QueuePair, CqOverrunBackpressuresWithoutConsumingRecv) {
+  // A full receiver CQ must surface as recoverable backpressure: the posted
+  // receive stays posted and the send succeeds after the receiver drains.
+  Fabric fabric{FabricConfig{}};
+  MemoryRegistry reg_a, reg_b;
+  CompletionQueue cq_a{64}, cq_b{1};  // receiver CQ of depth 1
+  SharedReceiveQueue srq_a, srq_b;
+  const auto na = fabric.add_node();
+  const auto nb = fabric.add_node();
+  QueuePair qa(fabric, na, cq_a, reg_a, srq_a);
+  QueuePair qb(fabric, nb, cq_b, reg_b, srq_b);
+  qa.connect(qb);
+
+  std::vector<std::byte> rx1(64), rx2(64);
+  qb.post_recv(1, rx1);
+  qb.post_recv(2, rx2);
+
+  ASSERT_EQ(qa.post_send(pattern(16, 1), 0).status, QueuePair::SendStatus::kOk);
+  const auto r = qa.post_send(pattern(16, 2), 0);
+  EXPECT_EQ(r.status, QueuePair::SendStatus::kCqFull);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(qb.posted_recvs(), 1u) << "refused send must not consume a WQE";
+
+  ASSERT_TRUE(cq_b.poll().has_value());  // receiver drains
+  const auto r2 = qa.post_send(pattern(16, 2), 0);
+  EXPECT_EQ(r2.status, QueuePair::SendStatus::kOk);
+  EXPECT_TRUE(r2.delivered);
+  EXPECT_EQ(r2.recv_wr_id, 2u);
+}
+
+// --- FaultInjector ------------------------------------------------------------
+
+TEST(FaultInjector, FateStreamIsDeterministicPerSeed) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 1234;
+  cfg.drop_probability = 0.2;
+  cfg.duplicate_probability = 0.2;
+  cfg.corrupt_probability = 0.2;
+  cfg.reorder_probability = 0.2;
+  FaultInjector x(cfg), y(cfg);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(x.next_fate(0, 1), y.next_fate(0, 1)) << "packet " << i;
+  }
+}
+
+TEST(FaultInjector, LinksDrawIndependentStreams) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.drop_probability = 0.5;
+  FaultInjector fi(cfg);
+  int differ = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (fi.next_fate(0, 1) != fi.next_fate(1, 0)) ++differ;
+  }
+  EXPECT_GT(differ, 0) << "opposite link directions share a stream";
+}
+
+TEST(FaultInjector, DropFirstPrefixIsExact) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.drop_first = 2;
+  cfg.corrupt_first = 1;
+  FaultInjector fi(cfg);
+  EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDrop);
+  EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDrop);
+  EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kCorrupt);
+  EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDeliver)
+      << "no probabilities configured: clean after the prefix";
+  EXPECT_EQ(fi.stats().drops, 2u);
+  EXPECT_EQ(fi.stats().corruptions, 1u);
+}
+
+TEST(FaultInjector, ForcedRnrWindowsFollowPeriodAndBurst) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.rnr_period = 4;
+  cfg.rnr_burst = 2;
+  FaultInjector fi(cfg);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_TRUE(fi.forced_rnr(0, 1));
+    EXPECT_TRUE(fi.forced_rnr(0, 1));
+    EXPECT_FALSE(fi.forced_rnr(0, 1));
+    EXPECT_FALSE(fi.forced_rnr(0, 1));
+  }
+  EXPECT_EQ(fi.stats().forced_rnrs, 6u);
+}
+
+TEST(QueuePair, InjectedDropLosesPacketInFlight) {
+  FabricConfig cfg;
+  cfg.fault.enabled = true;
+  cfg.fault.drop_first = 1;
+  Fabric fabric{cfg};
+  MemoryRegistry reg_a, reg_b;
+  CompletionQueue cq_a{64}, cq_b{64};
+  SharedReceiveQueue srq_a, srq_b;
+  QueuePair qa(fabric, fabric.add_node(), cq_a, reg_a, srq_a);
+  QueuePair qb(fabric, fabric.add_node(), cq_b, reg_b, srq_b);
+  qa.connect(qb);
+
+  std::vector<std::byte> rx(64);
+  qb.post_recv(1, rx);
+  const auto r = qa.post_send(pattern(16), 0);
+  EXPECT_EQ(r.status, QueuePair::SendStatus::kOk)
+      << "the sender NIC accepted it";
+  EXPECT_FALSE(r.delivered) << "but the fabric ate it";
+  EXPECT_FALSE(cq_b.poll().has_value());
+  // Second packet (past the drop prefix) lands normally.
+  const auto r2 = qa.post_send(pattern(16), 0);
+  EXPECT_TRUE(r2.delivered);
+  EXPECT_EQ(fabric.injector()->stats().drops, 1u);
+}
+
 }  // namespace
 }  // namespace otm::rdma
