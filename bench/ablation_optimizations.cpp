@@ -20,8 +20,10 @@ using namespace otm::bench;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);  // tier-1 perf-smoke
   PingPongConfig base;
-  base.repetitions = static_cast<unsigned>(args.get_int("reps", 200));
+  base.repetitions =
+      static_cast<unsigned>(args.get_int("reps", smoke ? 5 : 200));
   base.match.early_booking_check = false;  // timing-faithful WC conflicts
 
   struct Variant {

@@ -52,6 +52,9 @@ double one_message_latency(std::size_t bytes, bool inline_rts,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  // Already fast enough for tier-1; --smoke is accepted so every bench
+  // binary exposes a uniform perf-smoke interface.
+  (void)args.get_bool("smoke", false);
   const std::size_t threshold =
       static_cast<std::size_t>(args.get_int("eager-threshold", 1024));
 

@@ -1,0 +1,66 @@
+#include "bench_json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace otm::bench {
+namespace {
+
+/// Shortest round-trippable representation, and always valid JSON (no
+/// inf/nan: the cost model never produces them, but clamp defensively).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+bool write_bench_json(const std::string& path, const BenchJsonDoc& doc) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n";
+  os << "  \"schema_version\": " << kBenchSchemaVersion << ",\n";
+  os << "  \"bench\": \"" << doc.bench << "\",\n";
+  os << "  \"smoke\": " << (doc.smoke ? "true" : "false") << ",\n";
+  os << "  \"config\": {";
+  for (std::size_t i = 0; i < doc.config.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    \"" << doc.config[i].first
+       << "\": " << num(doc.config[i].second);
+  }
+  os << (doc.config.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"scenarios\": [";
+  for (std::size_t i = 0; i < doc.scenarios.size(); ++i) {
+    const ScenarioRecord& s = doc.scenarios[i];
+    os << (i == 0 ? "" : ",") << "\n    {\n";
+    os << "      \"name\": \"" << s.name << "\",\n";
+    os << "      \"kind\": \"" << s.kind << "\",\n";
+    os << "      \"msgs_per_sec\": " << num(s.msgs_per_sec) << ",\n";
+    os << "      \"ns_per_msg\": " << num(s.ns_per_msg) << ",\n";
+    os << "      \"p50_seq_ns\": " << num(s.p50_seq_ns) << ",\n";
+    os << "      \"p99_seq_ns\": " << num(s.p99_seq_ns) << ",\n";
+    os << "      \"host_match_cycles_per_msg\": "
+       << num(s.host_match_cycles_per_msg) << ",\n";
+    os << "      \"conflicts_per_seq\": " << num(s.conflicts_per_seq) << "\n";
+    os << "    }";
+  }
+  os << (doc.scenarios.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.good();
+}
+
+}  // namespace otm::bench

@@ -1,0 +1,58 @@
+// Schema-versioned JSON emission for the benchmark harness (--json=FILE).
+//
+// Every bench that emits machine-readable results writes the same document
+// shape, so `bench/harness.py` can merge them into BENCH_matching.json and
+// `scripts/perf_gate.py` can diff any two documents:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "smoke": false,
+//     "config": { "<knob>": <number>, ... },   // pinned reps/seeds/sizes
+//     "scenarios": [
+//       { "name": "...", "kind": "modeled" | "walltime",
+//         "msgs_per_sec": ..., "ns_per_msg": ...,
+//         "p50_seq_ns": ..., "p99_seq_ns": ...,
+//         "host_match_cycles_per_msg": ..., "conflicts_per_seq": ... }
+//     ]
+//   }
+//
+// "modeled" scenarios are deterministic (cost-model clock), so the perf
+// gate can hold them to a tight tolerance; "walltime" scenarios are real
+// measurements and get a wide noise band.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace otm::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Percentile over a sample set, p in [0, 100], linear interpolation
+/// between order statistics. Returns 0 for an empty set.
+double percentile(std::vector<double> samples, double p);
+
+struct ScenarioRecord {
+  std::string name;
+  std::string kind = "modeled";  ///< "modeled" (deterministic) | "walltime"
+  double msgs_per_sec = 0.0;
+  double ns_per_msg = 0.0;
+  double p50_seq_ns = 0.0;
+  double p99_seq_ns = 0.0;
+  double host_match_cycles_per_msg = 0.0;
+  double conflicts_per_seq = 0.0;
+};
+
+struct BenchJsonDoc {
+  std::string bench;  ///< binary name, e.g. "fig8_message_rate"
+  bool smoke = false;
+  std::vector<std::pair<std::string, double>> config;  ///< pinned knobs
+  std::vector<ScenarioRecord> scenarios;
+};
+
+/// Writes `doc` to `path`; returns false on I/O failure.
+bool write_bench_json(const std::string& path, const BenchJsonDoc& doc);
+
+}  // namespace otm::bench

@@ -33,6 +33,10 @@ using namespace otm::trace;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  // --smoke: analyze only the cheap traces (tier-1 perf-smoke); the
+  // cross-application shape checks need the full suite, so smoke runs
+  // gate only on completing cleanly.
+  const bool smoke = args.get_bool("smoke", false);
   const auto bins_list = args.get_int_list("bins", {1, 32, 128});
   const std::string only = args.get("app", "");
   const std::string trace_out = args.get("trace-out", "");
@@ -51,6 +55,9 @@ int main(int argc, char** argv) {
 
   for (const AppInfo& app : application_suite()) {
     if (!only.empty() && only != app.name) continue;
+    if (smoke && std::string(app.name) != "AMG" &&
+        std::string(app.name) != "LULESH" && std::string(app.name) != "HILO")
+      continue;
     const Trace trace = app.make();
     AppRow row{&app, {}};
     for (const auto bins : bins_list) {
@@ -139,7 +146,7 @@ int main(int argc, char** argv) {
   }
 
   // Shape checks against the paper (only when the standard sweep runs).
-  if (bins_list.size() >= 3 && only.empty()) {
+  if (bins_list.size() >= 3 && only.empty() && !smoke) {
     const bool reduction_32 = averages[1] < 0.25 * averages[0];
     const bool reduction_128 = averages[2] < 0.15 * averages[0];
     std::printf("\nshape: 32 bins cut avg depth by >75%% (paper: 90%%) .... %s\n",

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Benchmark harness: run the JSON-capable bench binaries and merge their
+results into one schema-versioned BENCH_matching.json document.
+
+Usage:
+  bench/harness.py --build-dir build --out BENCH_matching.json [--smoke]
+                   [--skip-micro] [--reps N] [--k N]
+
+The merged document is what scripts/perf_gate.py diffs:
+
+  {
+    "schema_version": 1,
+    "name": "BENCH_matching",
+    "smoke": false,
+    "benches": {
+      "fig8_message_rate": { ...bench_json.hpp document... },
+      "micro_matchers":    { "scenarios": [ {"name", "kind": "walltime",
+                             "msgs_per_sec", ...} ] }
+    }
+  }
+
+Scenario rates from the modeled cost clock are deterministic for fixed
+seeds/reps (pinned below), so the committed baseline is reproducible;
+micro_matchers scenarios are wall-clock and tagged "walltime" so the gate
+holds them to a wide noise band only.
+
+No dependencies beyond the Python 3 standard library.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+
+# Pinned full-run parameters: the committed baseline and every candidate
+# run must use the same workload or the diff is meaningless.
+PINNED_FIG8 = {"reps": 500, "k": 100, "bytes": 8}
+
+
+def run(cmd):
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        sys.exit(f"error: {cmd[0]} exited with {proc.returncode}")
+
+
+def run_fig8(binary, smoke, reps, k):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
+        out = tf.name
+    try:
+        cmd = [binary, f"--json={out}"]
+        if smoke:
+            cmd.append("--smoke")
+        else:
+            cmd += [f"--reps={reps}", f"--k={k}",
+                    f"--bytes={PINNED_FIG8['bytes']}"]
+        run(cmd)
+        with open(out, encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(out)
+
+
+def run_micro(binary, smoke):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
+        out = tf.name
+    try:
+        cmd = [binary, f"--json={out}"]
+        if smoke:
+            cmd.append("--smoke")
+        run(cmd)
+        with open(out, encoding="utf-8") as f:
+            gbench = json.load(f)
+    finally:
+        os.unlink(out)
+    # Normalize google-benchmark output into the shared scenario schema.
+    scenarios = []
+    for b in gbench.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scenarios.append({
+            "name": b["name"],
+            "kind": "walltime",
+            "msgs_per_sec": b.get("items_per_second", 0.0),
+            "ns_per_msg": b.get("real_time", 0.0),
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "micro_matchers",
+        "smoke": smoke,
+        "config": {},
+        "scenarios": scenarios,
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_matching.json")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny pinned runs (tier-1 perf-smoke)")
+    ap.add_argument("--skip-micro", action="store_true",
+                    help="skip the wall-clock micro benchmarks")
+    ap.add_argument("--reps", type=int, default=PINNED_FIG8["reps"])
+    ap.add_argument("--k", type=int, default=PINNED_FIG8["k"])
+    args = ap.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    fig8 = os.path.join(bench_dir, "fig8_message_rate")
+    micro = os.path.join(bench_dir, "micro_matchers")
+    if not os.path.exists(fig8):
+        sys.exit(f"error: {fig8} not found (build with -DOTM_BUILD_BENCH=ON)")
+
+    benches = {"fig8_message_rate": run_fig8(fig8, args.smoke, args.reps,
+                                             args.k)}
+    if not args.skip_micro:
+        if os.path.exists(micro):
+            benches["micro_matchers"] = run_micro(micro, args.smoke)
+        else:
+            print(f"warning: {micro} not found, skipping micro benchmarks",
+                  file=sys.stderr)
+
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "name": "BENCH_matching",
+        "smoke": args.smoke,
+        "benches": benches,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(benches)} benches, "
+          f"{sum(len(b['scenarios']) for b in benches.values())} scenarios)",
+          file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

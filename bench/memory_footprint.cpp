@@ -8,11 +8,16 @@
 #include <iostream>
 
 #include "core/config.hpp"
+#include "util/args.hpp"
 #include "util/table_writer.hpp"
 
 using namespace otm;
 
-int main() {
+int main(int argc, char** argv) {
+  // Purely analytic and instant; --smoke is accepted so every bench
+  // binary exposes a uniform perf-smoke interface.
+  ArgParser args(argc, argv);
+  (void)args.get_bool("smoke", false);
   std::printf("Sec. IV-E: DPA memory footprint of the matching structures\n");
   std::printf("(20 B/bin x 3 hash indexes, 64 B/receive descriptor; "
               "BF3 DPA caches: L2 1.5 MiB, L3 3 MiB)\n\n");

@@ -3,7 +3,16 @@
 // matcher and the optimistic receive store, across bin counts and queue
 // depths. These quantify the data-structure effects independent of the
 // DPA cost model.
+//
+// Harness flags (translated to google-benchmark flags before Initialize):
+//   --json=f.json   write results in google-benchmark's JSON format
+//                   (bench/harness.py folds them into BENCH_matching.json)
+//   --smoke         minimal per-benchmark runtime for the tier-1
+//                   perf-smoke tests
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "baseline/bin_matcher.hpp"
 #include "baseline/list_matcher.hpp"
@@ -148,4 +157,36 @@ BENCHMARK(BM_Engine_ThreadedBlock)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace otm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_out;
+  std::vector<std::string> passthrough;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_out = a.substr(7);
+    } else if (a == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      passthrough.push_back(a);
+    }
+  }
+  if (smoke) passthrough.push_back("--benchmark_min_time=0.001");
+  if (!json_out.empty()) {
+    passthrough.push_back("--benchmark_out_format=json");
+    passthrough.push_back("--benchmark_out=" + json_out);
+  }
+
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (std::string& s : passthrough) bench_argv.push_back(s.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

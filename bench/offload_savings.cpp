@@ -39,6 +39,8 @@ double matching_cycles(const AppAnalysis& a, const CostTable& c,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  // --smoke: cheap-trace subset for the tier-1 perf-smoke tests.
+  const bool smoke = args.get_bool("smoke", false);
   const auto bins = static_cast<std::size_t>(args.get_int("bins", 128));
   const CostTable host = CostTable::host_cpu();
   const CostTable dpa = CostTable::dpa();
@@ -56,6 +58,9 @@ int main(int argc, char** argv) {
   AnalyzerConfig cfg;
   cfg.bins = bins;
   for (const AppInfo& app : application_suite()) {
+    if (smoke && std::string(app.name) != "AMG" &&
+        std::string(app.name) != "LULESH" && std::string(app.name) != "HILO")
+      continue;
     const Trace trace = app.make();
     const AppAnalysis a = TraceAnalyzer(cfg).analyze(trace);
     if (a.messages == 0) {

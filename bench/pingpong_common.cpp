@@ -39,6 +39,8 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
   std::vector<std::byte> ack_buf(8);
 
   double total_ns = 0.0;
+  std::vector<double> seq_samples;
+  seq_samples.reserve(cfg.repetitions);
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     for (unsigned i = 0; i < k; ++i) {
       const auto r = receiver.post_receive({0, tag_for(cfg, i), 0}, user[i], i);
@@ -77,7 +79,9 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
       acks.insert(acks.end(), more.begin(), more.end());
     }
     OTM_ASSERT(acks.size() == 1);
-    total_ns += static_cast<double>(acks[0].complete_ns - start);
+    const auto ns = static_cast<double>(acks[0].complete_ns - start);
+    total_ns += ns;
+    seq_samples.push_back(ns);
   }
 
   const MatchStats& s = receiver.dpa().engine().stats();
@@ -88,6 +92,7 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
   r.conflicts = s.conflicts_detected;
   r.fast_path = s.fast_path_resolutions;
   r.slow_path = s.slow_path_resolutions;
+  r.seq_ns = std::move(seq_samples);
   return r;
 }
 
@@ -150,6 +155,8 @@ PingPongResult run_host(const PingPongConfig& cfg, bool do_matching) {
   std::uint64_t match_cycles = 0;
   std::uint64_t sender_ns = 0;
   std::uint64_t host_free_ns = 0;  // receiver CPU availability
+  std::vector<double> seq_samples;
+  seq_samples.reserve(cfg.repetitions);
 
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     ListMatcher matcher;
@@ -160,7 +167,10 @@ PingPongResult run_host(const PingPongConfig& cfg, bool do_matching) {
     const std::uint64_t start = sender_ns;
     std::uint64_t last_completion = 0;
     for (unsigned i = 0; i < k; ++i) {
-      sender_ns += static_cast<std::uint64_t>(cfg.endpoint.send_overhead_ns);
+      // Doorbell batching, same as the offloaded endpoint: the first send
+      // of the burst rings the doorbell, the rest chain into the post list.
+      sender_ns += static_cast<std::uint64_t>(
+          i == 0 ? cfg.endpoint.send_overhead_ns : cfg.endpoint.send_post_ns);
       hs.send(hs.qa, 0, tag_for(cfg, i), cfg.payload_bytes, sender_ns);
     }
     // The receiver host drains its CQ serially: poll, decode, match, copy.
@@ -197,12 +207,14 @@ PingPongResult run_host(const PingPongConfig& cfg, bool do_matching) {
                           static_cast<double>(host_costs.cqe_poll) / cpu_ghz);
     sender_ns = end;
     total_ns += static_cast<double>(end - start);
+    seq_samples.push_back(static_cast<double>(end - start));
   }
 
   PingPongResult r;
   r.avg_seq_ns = total_ns / cfg.repetitions;
   r.msg_rate = static_cast<double>(k) * 1e9 / r.avg_seq_ns;
   r.host_match_cycles = do_matching ? match_cycles : 0;
+  r.seq_ns = std::move(seq_samples);
   return r;
 }
 

@@ -50,6 +50,7 @@ struct PingPongResult {
   std::uint64_t conflicts = 0;
   std::uint64_t fast_path = 0;
   std::uint64_t slow_path = 0;
+  std::vector<double> seq_ns;      ///< per-repetition sequence time (for p50/p99)
 };
 
 /// Optimistic tag matching offloaded to the simulated DPA.

@@ -2,29 +2,57 @@
 # Repo verification: the tier-1 build+test pass, then a second build with
 # AddressSanitizer + UBSan (tests only; benches/examples skipped to keep the
 # sanitized run fast), then the chaos suite (label `chaos`) re-run under the
-# sanitizers across a seed matrix — each seed reshuffles every fault stream.
+# sanitizers across a seed matrix — each seed reshuffles every fault stream —
+# and finally a ThreadSanitizer build running the concurrency suite
+# (core_block_test, schedule_fuzz_test, stress_test: the tests that drive
+# real racing threads through the block matcher).
 #
-#   scripts/check.sh            # tier-1 + sanitizers + chaos seed matrix
+#   scripts/check.sh            # tier-1 + ASan/UBSan + chaos + TSan
 #   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh --tsan     # TSan pass only (CI runs --fast + --tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+MODE=all
+case "${1:-}" in
+  --fast) MODE=fast ;;
+  --tsan) MODE=tsan ;;
+esac
+
+run_tsan() {
+  echo "== sanitizers: TSan build + concurrency suite =="
+  cmake -B build-tsan -S . \
+    -DOTM_SANITIZE=thread \
+    -DOTM_BUILD_BENCH=OFF \
+    -DOTM_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j \
+    --target core_block_test schedule_fuzz_test stress_test
+  for t in core_block_test schedule_fuzz_test stress_test; do
+    echo "-- tsan: $t"
+    TSAN_OPTIONS=halt_on_error=1 "./build-tsan/tests/$t"
+  done
+}
+
+if [[ "$MODE" == "tsan" ]]; then
+  run_tsan
+  echo "== TSan pass OK =="
+  exit 0
+fi
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-if [[ "$FAST" == "1" ]]; then
-  echo "== tier-1 OK (sanitizer pass skipped: --fast) =="
+if [[ "$MODE" == "fast" ]]; then
+  echo "== tier-1 OK (sanitizer passes skipped: --fast) =="
   exit 0
 fi
 
 echo "== sanitizers: ASan + UBSan build + ctest =="
 cmake -B build-asan -S . \
-  -DOTM_SANITIZE=ON \
+  -DOTM_SANITIZE=address \
   -DOTM_BUILD_BENCH=OFF \
   -DOTM_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -39,5 +67,7 @@ for seed in 1 7 42 999 123456789; do
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan -L chaos --output-on-failure -j "$(nproc)"
 done
+
+run_tsan
 
 echo "== all checks OK =="

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Performance gate: diff a candidate benchmark document against the
+committed baseline and fail on regressions beyond the noise band.
+
+Usage:
+  scripts/perf_gate.py BASELINE.json CANDIDATE.json
+                       [--tolerance-modeled 0.03] [--tolerance-walltime 0.35]
+                       [--allow-missing]
+  scripts/perf_gate.py --validate FILE.json
+  scripts/perf_gate.py --self-test
+
+Documents are either the merged harness output (bench/harness.py, with a
+top-level "benches" map) or a single bench's --json output (bench_json.hpp,
+with a top-level "scenarios" list). Scenarios are keyed by (bench, name)
+and compared on msgs_per_sec.
+
+Tolerances are per scenario *kind*: "modeled" rates come from the
+deterministic cost-model clock, so only a small band covers workload
+drift; "walltime" rates are real measurements on a shared machine and get
+a wide band. A candidate below baseline * (1 - tolerance) fails the gate.
+
+Exit codes: 0 ok, 1 regression (or invalid document), 2 usage error.
+No dependencies beyond the Python 3 standard library.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+DEFAULT_TOL = {"modeled": 0.03, "walltime": 0.35}
+
+
+class DocumentError(Exception):
+    pass
+
+
+def _check_scenarios(bench, scenarios):
+    if not isinstance(scenarios, list) or not scenarios:
+        raise DocumentError(f"{bench}: 'scenarios' must be a non-empty list")
+    for s in scenarios:
+        if not isinstance(s, dict) or "name" not in s:
+            raise DocumentError(f"{bench}: scenario without a name")
+        kind = s.get("kind", "modeled")
+        if kind not in DEFAULT_TOL:
+            raise DocumentError(f"{bench}/{s['name']}: unknown kind {kind!r}")
+        rate = s.get("msgs_per_sec")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            raise DocumentError(
+                f"{bench}/{s['name']}: msgs_per_sec must be a positive number")
+
+
+def load_scenarios(path):
+    """Returns {(bench, scenario_name): scenario_dict}, validating as it goes."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise DocumentError(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        raise DocumentError(f"{path}: top level must be an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise DocumentError(
+            f"{path}: schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}")
+    out = {}
+    if "benches" in doc:
+        if not isinstance(doc["benches"], dict) or not doc["benches"]:
+            raise DocumentError(f"{path}: 'benches' must be a non-empty map")
+        for bench, sub in doc["benches"].items():
+            _check_scenarios(bench, sub.get("scenarios"))
+            for s in sub["scenarios"]:
+                out[(bench, s["name"])] = s
+    elif "scenarios" in doc:
+        bench = doc.get("bench", "?")
+        _check_scenarios(bench, doc["scenarios"])
+        for s in doc["scenarios"]:
+            out[(bench, s["name"])] = s
+    else:
+        raise DocumentError(f"{path}: need 'benches' or 'scenarios'")
+    return out
+
+
+def gate(baseline, candidate, tol, allow_missing):
+    """Compares scenario maps; returns (regressions, lines-of-report)."""
+    regressions = []
+    report = []
+    for key, base in sorted(baseline.items()):
+        cand = candidate.get(key)
+        name = f"{key[0]}/{key[1]}"
+        if cand is None:
+            if allow_missing:
+                report.append(f"  MISSING  {name} (allowed)")
+                continue
+            regressions.append(name)
+            report.append(f"  MISSING  {name}")
+            continue
+        kind = base.get("kind", "modeled")
+        band = tol[kind]
+        b, c = base["msgs_per_sec"], cand["msgs_per_sec"]
+        delta = c / b - 1.0
+        status = "ok"
+        if c < b * (1.0 - band):
+            regressions.append(name)
+            status = "REGRESSION"
+        report.append(f"  {status:10s} {name}: {b:.4g} -> {c:.4g} "
+                      f"msgs/s ({delta:+.1%}, band ±{band:.0%}, {kind})")
+    for key in sorted(set(candidate) - set(baseline)):
+        report.append(f"  NEW      {key[0]}/{key[1]} (not gated)")
+    return regressions, report
+
+
+def self_test():
+    """In-memory checks of the gate arithmetic and document validation."""
+    base = {("f", "nc"): {"kind": "modeled", "msgs_per_sec": 100.0},
+            ("m", "bm"): {"kind": "walltime", "msgs_per_sec": 1000.0}}
+
+    # Within band: modeled -2%, walltime -30% -> pass.
+    cand = {("f", "nc"): {"kind": "modeled", "msgs_per_sec": 98.0},
+            ("m", "bm"): {"kind": "walltime", "msgs_per_sec": 700.0}}
+    r, _ = gate(base, cand, DEFAULT_TOL, allow_missing=False)
+    assert r == [], f"within-band run flagged: {r}"
+
+    # Modeled regression beyond band -> fail.
+    cand[("f", "nc")] = {"kind": "modeled", "msgs_per_sec": 90.0}
+    r, _ = gate(base, cand, DEFAULT_TOL, allow_missing=False)
+    assert r == ["f/nc"], f"expected f/nc regression, got {r}"
+
+    # Missing scenario -> fail unless allowed.
+    del cand[("m", "bm")]
+    cand[("f", "nc")] = {"kind": "modeled", "msgs_per_sec": 100.0}
+    r, _ = gate(base, cand, DEFAULT_TOL, allow_missing=False)
+    assert r == ["m/bm"], f"expected m/bm missing, got {r}"
+    r, _ = gate(base, cand, DEFAULT_TOL, allow_missing=True)
+    assert r == [], f"allow-missing still flagged: {r}"
+
+    # Validation rejects malformed scenario lists.
+    for bad in ([], [{"kind": "modeled"}],
+                [{"name": "x", "kind": "warp", "msgs_per_sec": 1}],
+                [{"name": "x", "kind": "modeled", "msgs_per_sec": 0}]):
+        try:
+            _check_scenarios("b", bad)
+        except DocumentError:
+            pass
+        else:
+            raise AssertionError(f"validation accepted {bad!r}")
+
+    print("self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("candidate", nargs="?")
+    ap.add_argument("--tolerance-modeled", type=float,
+                    default=DEFAULT_TOL["modeled"])
+    ap.add_argument("--tolerance-walltime", type=float,
+                    default=DEFAULT_TOL["walltime"])
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="baseline scenarios absent from the candidate "
+                         "are reported but not fatal")
+    ap.add_argument("--validate", metavar="FILE",
+                    help="only validate FILE against the schema")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if args.validate:
+        try:
+            scenarios = load_scenarios(args.validate)
+        except DocumentError as e:
+            print(f"perf_gate: invalid: {e}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid ({len(scenarios)} scenarios)")
+        return 0
+    if not args.baseline or not args.candidate:
+        ap.error("need BASELINE and CANDIDATE (or --validate / --self-test)")
+
+    try:
+        baseline = load_scenarios(args.baseline)
+        candidate = load_scenarios(args.candidate)
+    except DocumentError as e:
+        print(f"perf_gate: invalid: {e}", file=sys.stderr)
+        return 1
+
+    tol = {"modeled": args.tolerance_modeled,
+           "walltime": args.tolerance_walltime}
+    regressions, report = gate(baseline, candidate, tol, args.allow_missing)
+    print(f"perf gate: {args.candidate} vs {args.baseline}")
+    for line in report:
+        print(line)
+    if regressions:
+        print(f"perf gate: FAIL ({len(regressions)} regression(s): "
+              f"{', '.join(regressions)})")
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

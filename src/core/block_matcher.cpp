@@ -7,25 +7,35 @@
 namespace otm {
 
 BlockMatcher::BlockMatcher(const MatchConfig& cfg, ReceiveStore& store,
+                           const CostTable* costs)
+    : cfg_(cfg), store_(store), costs_(costs) {}
+
+BlockMatcher::BlockMatcher(const MatchConfig& cfg, ReceiveStore& store,
                            std::uint32_t generation,
                            std::span<const IncomingMessage> msgs,
                            const CostTable* costs,
                            std::span<const std::uint64_t> start_cycles)
-    : cfg_(cfg),
-      store_(store),
-      gen_(generation),
-      msgs_(msgs),
-      costs_(costs),
-      threads_(msgs.size()),
-      results_(msgs.size()),
-      booked_barrier_(static_cast<unsigned>(msgs.size())),
-      detect_barrier_(static_cast<unsigned>(msgs.size())),
-      first_loser_(static_cast<std::uint32_t>(msgs.size())),
-      resolved_time_(msgs.size()) {
+    : BlockMatcher(cfg, store, costs) {
+  begin_block(generation, msgs, start_cycles);
+}
+
+void BlockMatcher::begin_block(std::uint32_t generation,
+                               std::span<const IncomingMessage> msgs,
+                               std::span<const std::uint64_t> start_cycles) {
   OTM_ASSERT(msgs.size() >= 1 && msgs.size() <= kMaxBlockThreads);
-  for (unsigned t = 0; t < num_threads(); ++t) {
+  gen_ = generation;
+  msgs_ = msgs;
+  const unsigned n = num_threads();
+  booked_barrier_.reset(n);
+  detect_barrier_.reset(n);
+  first_loser_.store(n, std::memory_order_relaxed);
+  resolved_bits_.store(0, std::memory_order_relaxed);
+  for (unsigned t = 0; t < n; ++t) {
+    threads_[t] = ThreadState{};
     const std::uint64_t start = t < start_cycles.size() ? start_cycles[t] : 0;
     threads_[t].clock = ThreadClock(costs_, start);
+    results_[t] = ThreadResult{};
+    resolved_time_[t].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -64,7 +74,7 @@ void BlockMatcher::run_optimistic(unsigned tid) {
   }
 
   st.candidate = store_.search(msgs_[tid], gen_, tid, cfg_.early_booking_check,
-                               clock, results_[tid].search);
+                               clock, results_[tid].search, &st.cursor);
   results_[tid].first_candidate = st.candidate;
   if (st.candidate != kInvalidSlot) {
     store_.desc(st.candidate).booking.book(gen_, tid);
@@ -144,11 +154,12 @@ void BlockMatcher::run_resolve(unsigned tid) {
 
   // Fast path: if *all* threads of the block booked my candidate, they all
   // want the head of one compatible sequence; my replacement is the entry
-  // shifted by my thread id, with no extra synchronization.
+  // shifted by my thread id, with no extra synchronization. The cursor
+  // recorded by the optimistic search resumes the scan in place.
   if (cfg_.enable_fast_path && num_threads() > 1 &&
       store_.desc(st.candidate).booking.booked(gen_) == full_mask()) {
     const std::uint32_t shifted = store_.fast_path_candidate(
-        st.candidate, msgs_[tid].env, tid, clock, results_[tid].search);
+        st.cursor, msgs_[tid].env, tid, clock, results_[tid].search);
     if (shifted != kInvalidSlot) {
       const bool ok = store_.desc(shifted).try_consume();
       OTM_ASSERT_MSG(ok, "fast-path candidate consumed by another thread");

@@ -21,8 +21,13 @@
 // sequentially in ascending thread order is always a legal schedule — the
 // LockstepExecutor exploits this for deterministic tests and trace replay,
 // while the ThreadedExecutor provides real concurrency.
+//
+// A BlockMatcher is reusable: the engine constructs one per store and calls
+// begin_block() for each matching block, recycling the fixed-size per-thread
+// scratch (states, results, barriers) instead of reallocating per block.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <span>
@@ -45,6 +50,11 @@ enum class ResolutionPath : std::uint8_t {
 
 class BlockMatcher {
  public:
+  /// Reusable form: bind the store once, then begin_block() per block.
+  BlockMatcher(const MatchConfig& cfg, ReceiveStore& store,
+               const CostTable* costs = nullptr);
+
+  /// One-shot convenience (tests): construct ready-to-run for one block.
   /// `generation` must be unique per block (booking-bitmap epoch).
   /// `start_cycles[t]`, when accounting is on, is thread t's modeled
   /// dispatch time (e.g. CQE arrival); pass empty for zero.
@@ -55,6 +65,12 @@ class BlockMatcher {
 
   BlockMatcher(const BlockMatcher&) = delete;
   BlockMatcher& operator=(const BlockMatcher&) = delete;
+
+  /// Arm the matcher for a new block, resetting all per-block scratch.
+  /// Must not be called while a previous block is still executing.
+  void begin_block(std::uint32_t generation,
+                   std::span<const IncomingMessage> msgs,
+                   std::span<const std::uint64_t> start_cycles = {});
 
   unsigned num_threads() const noexcept {
     return static_cast<unsigned>(msgs_.size());
@@ -95,6 +111,7 @@ class BlockMatcher {
   struct ThreadState {
     std::uint32_t candidate = kInvalidSlot;
     bool lost = false;
+    ReceiveStore::Cursor cursor;  ///< candidate's position (fast-path start)
     ThreadClock clock;
   };
 
@@ -114,21 +131,21 @@ class BlockMatcher {
 
   const MatchConfig& cfg_;
   ReceiveStore& store_;
-  std::uint32_t gen_;
-  std::span<const IncomingMessage> msgs_;
   const CostTable* costs_;
+  std::uint32_t gen_ = 0;
+  std::span<const IncomingMessage> msgs_;
 
-  std::vector<ThreadState> threads_;
-  std::vector<ThreadResult> results_;
+  std::array<ThreadState, kMaxBlockThreads> threads_;
+  std::array<ThreadResult, kMaxBlockThreads> results_;
 
   PartialBarrier booked_barrier_;
   PartialBarrier detect_barrier_;
-  std::atomic<std::uint32_t> first_loser_;
+  std::atomic<std::uint32_t> first_loser_{0};
 
   // resolved[t] set (release) once thread t's decision is final; the
   // published value is its modeled finish time for slow-path joins.
   std::atomic<std::uint32_t> resolved_bits_{0};
-  std::vector<std::atomic<std::uint64_t>> resolved_time_;
+  std::array<std::atomic<std::uint64_t>, kMaxBlockThreads> resolved_time_{};
 };
 
 /// Scheduling strategy for a block (see class comment of BlockMatcher).

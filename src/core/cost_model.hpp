@@ -21,6 +21,7 @@ struct CostTable {
   std::uint64_t hash_compute = 0;     ///< one hash evaluation (src/tag mixes)
   std::uint64_t bin_lookup = 0;       ///< index into a bin, read head
   std::uint64_t chain_step = 0;       ///< examine one chain entry (load+compare)
+  std::uint64_t hot_scan_step = 0;    ///< examine one packed hot-array entry
   std::uint64_t label_compare = 0;    ///< cross-index candidate selection
   std::uint64_t booking_cas = 0;      ///< CAS on the booking bitmap
   std::uint64_t barrier_overhead = 0; ///< arrive + observe a partial barrier
@@ -42,6 +43,7 @@ struct CostTable {
     c.hash_compute = 24;
     c.bin_lookup = 30;
     c.chain_step = 38;
+    c.hot_scan_step = 10;  // packed 32 B entries: sequential NIC-SRAM scan
     c.label_compare = 6;
     c.booking_cas = 60;
     c.barrier_overhead = 90;
@@ -65,6 +67,7 @@ struct CostTable {
     c.hash_compute = 8;
     c.bin_lookup = 10;
     c.chain_step = 12;
+    c.hot_scan_step = 4;  // contiguous scan: prefetcher-friendly
     c.label_compare = 2;
     c.booking_cas = 20;
     c.barrier_overhead = 30;

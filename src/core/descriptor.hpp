@@ -1,8 +1,12 @@
 // Receive and unexpected-message descriptors (Sec. III-B / IV-C).
 //
-// Descriptors live in fixed-size tables addressed by 32-bit slot ids; the
-// index structures chain slots intrusively, so a bin is just {lock, head,
-// tail} — the 20-byte bin layout of Sec. IV-E.
+// Descriptors live in fixed-size tables addressed by 32-bit slot ids. The
+// index structures no longer chain slots intrusively: each bin owns a packed
+// hot-entry array (core/slab.hpp) carrying the match key, posting label and
+// slot id, so index probes scan contiguous memory and the cold descriptor
+// fields below are loaded only on a key match. The paper's 20-byte bin /
+// 64-byte descriptor accounting (Sec. IV-E) is kept as the reported memory
+// model (config.hpp).
 #pragma once
 
 #include <atomic>
@@ -24,7 +28,9 @@ enum class ReceiveState : std::uint8_t {
 
 /// A posted receive. 64 bytes in the paper's accounting (Sec. IV-E); the
 /// layout here mirrors that budget: spec + ordering labels + booking bitmap
-/// + buffer reference + chain link.
+/// + buffer reference. The index-side copy of the hot fields lives in the
+/// bin's packed array; this descriptor holds the cold fields plus the
+/// atomic state/booking words that matching threads mutate.
 struct ReceiveDescriptor {
   MatchSpec spec;                 ///< matching fields (may hold wildcards)
   std::uint64_t label = 0;        ///< global posting order (constraint C1)
@@ -32,7 +38,6 @@ struct ReceiveDescriptor {
   WildcardClass wclass = WildcardClass::kNone;
   std::atomic<ReceiveState> state{ReceiveState::kFree};
   BookingBitmap booking;          ///< per-block tentative bookings (C2)
-  std::uint32_t next = kInvalidSlot;  ///< chain link inside its one index
   std::uint64_t buffer_addr = 0;  ///< user-provided receive buffer
   std::uint32_t buffer_capacity = 0;
   std::uint64_t cookie = 0;       ///< upper-layer request handle
@@ -61,7 +66,6 @@ struct ReceiveDescriptor {
     wclass = WildcardClass::kNone;
     state.store(ReceiveState::kFree, std::memory_order_relaxed);
     booking.reset();
-    next = kInvalidSlot;
     buffer_addr = 0;
     buffer_capacity = 0;
     cookie = 0;
@@ -69,9 +73,10 @@ struct ReceiveDescriptor {
 };
 
 /// An unexpected message. Unlike receives — which live in exactly one index
-/// — an unexpected message is chained into *all four* structures
-/// (Sec. IV-C), because a later receive searches only the index matching its
-/// own wildcard class. Doubly linked for O(1) removal from every chain.
+/// — an unexpected message is indexed in *all four* structures (Sec. IV-C),
+/// because a later receive searches only the index matching its own wildcard
+/// class. The per-index membership lives in the bins' packed hot arrays;
+/// removal compacts those arrays on the engine-serialized posting path.
 struct UnexpectedDescriptor {
   Envelope env;
   std::uint64_t arrival = 0;   ///< global arrival order (constraint C2)
@@ -82,10 +87,6 @@ struct UnexpectedDescriptor {
   std::uint64_t bounce_handle = 0;
   std::uint64_t remote_key = 0;
   std::uint64_t remote_addr = 0;
-  std::uint32_t next[kNumIndexes] = {kInvalidSlot, kInvalidSlot, kInvalidSlot,
-                                     kInvalidSlot};
-  std::uint32_t prev[kNumIndexes] = {kInvalidSlot, kInvalidSlot, kInvalidSlot,
-                                     kInvalidSlot};
   bool active = false;
 
   void reset() noexcept {
@@ -98,10 +99,6 @@ struct UnexpectedDescriptor {
     bounce_handle = 0;
     remote_key = 0;
     remote_addr = 0;
-    for (unsigned i = 0; i < kNumIndexes; ++i) {
-      next[i] = kInvalidSlot;
-      prev[i] = kInvalidSlot;
-    }
     active = false;
   }
 };

@@ -21,7 +21,12 @@ constexpr std::array<std::uint64_t, 8> kConflictLatencyBounds = {
 }  // namespace
 
 MatchEngine::MatchEngine(const MatchConfig& cfg, const CostTable* costs)
-    : cfg_(cfg), costs_(costs), prq_(cfg), umq_(cfg), umq_clock_(costs) {
+    : cfg_(cfg),
+      costs_(costs),
+      prq_(cfg),
+      umq_(cfg),
+      umq_clock_(costs),
+      matcher_(cfg_, prq_, costs) {
   OTM_ASSERT_MSG(cfg.valid(), "invalid MatchConfig");
 }
 
@@ -158,8 +163,10 @@ std::vector<ArrivalOutcome> MatchEngine::process(
     if (tr != nullptr)
       tr->record(obs::EventKind::kBlockBegin, block_start, 0, n, next_gen_ + 1);
 
-    BlockMatcher matcher(cfg_, prq_, ++next_gen_, block, costs_, starts);
-    executor.execute(matcher);
+    // The matcher is reused across blocks: begin_block() rearms the fixed
+    // per-thread scratch instead of reallocating it for every block.
+    matcher_.begin_block(++next_gen_, block, starts);
+    executor.execute(matcher_);
     ++stats_.blocks_processed;
     if (mh_.block_occupancy != nullptr) mh_.block_occupancy->observe(n);
 
@@ -167,9 +174,9 @@ std::vector<ArrivalOutcome> MatchEngine::process(
     // unexpected messages into the UMQ in thread-id order so constraint C2
     // holds across the block boundary.
     std::size_t block_matched = 0;
-    std::vector<std::uint32_t> consumed_slots;
-    for (unsigned t = 0; t < matcher.num_threads(); ++t) {
-      const BlockMatcher::ThreadResult& r = matcher.result(t);
+    consumed_scratch_.clear();
+    for (unsigned t = 0; t < matcher_.num_threads(); ++t) {
+      const BlockMatcher::ThreadResult& r = matcher_.result(t);
       const IncomingMessage& msg = block[t];
       const std::uint64_t thread_start = starts.empty() ? block_start : starts[t];
 
@@ -223,7 +230,7 @@ std::vector<ArrivalOutcome> MatchEngine::process(
         o.match.buffer_capacity = d.buffer_capacity;
         ++stats_.messages_matched;
         ++block_matched;
-        consumed_slots.push_back(r.final_slot);
+        consumed_scratch_.push_back(r.final_slot);
       } else {
         // Ordered UMQ insertion; the insert itself is a serialization
         // point, modeled by threading the umq_clock_ through the inserts.
@@ -250,7 +257,7 @@ std::vector<ArrivalOutcome> MatchEngine::process(
     // already paid the modeled lock/unlink cost); lazy removal leaves them
     // marked for the amortized insert-time cleanup.
     if (!cfg_.lazy_removal) {
-      for (const std::uint32_t slot : consumed_slots) {
+      for (const std::uint32_t slot : consumed_scratch_) {
         prq_.unlink_and_release(slot);
         ++stats_.eager_removals;
       }

@@ -200,6 +200,8 @@ class MatchEngine {
   std::uint64_t last_finish_cycles_ = 0;
   std::uint64_t cancelled_receives_ = 0;
   ThreadClock umq_clock_;  ///< serialization point for ordered UMQ inserts
+  BlockMatcher matcher_;   ///< reused across blocks (fixed scratch)
+  std::vector<std::uint32_t> consumed_scratch_;  ///< block epilogue reuse
 
   obs::Observability* obs_ = nullptr;
   MetricHandles mh_{};

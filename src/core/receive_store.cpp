@@ -15,6 +15,7 @@ ReceiveStore::ReceiveStore(const MatchConfig& cfg)
                               ? 1
                               : cfg_.bins;
     bins_[idx] = std::vector<Bin>(n);
+    for (Bin& bin : bins_[idx]) bin.hot.bind(&arena_);
   }
 }
 
@@ -85,10 +86,9 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
 
   ReceiveDescriptor& d = table_[slot];
   d.spec = spec;
-  d.label = next_label_++;
+  d.label = next_label_;
   d.seq_id = next_seq_;
   d.wclass = spec.wildcard_class();
-  d.next = kInvalidSlot;
   d.buffer_addr = buffer_addr;
   d.buffer_capacity = buffer_capacity;
   d.cookie = cookie;
@@ -97,114 +97,127 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
   const auto [idx, bin_id] = route_spec(spec);
   Bin& bin = bins_[idx][bin_id];
   SpinGuard g(bin.lock);
-  // Lazy removal amortizes chain cleanup into the (engine-serialized)
-  // insert path: consumed entries encountered here are unlinked now.
-  if (cfg_.lazy_removal) {
-    std::uint32_t prev = kInvalidSlot;
-    std::uint32_t cur = bin.head;
-    while (cur != kInvalidSlot) {
-      ReceiveDescriptor& c = table_[cur];
-      const std::uint32_t nxt = c.next;
-      if (c.consumed()) {
-        if (prev == kInvalidSlot) {
-          bin.head = nxt;
-        } else {
-          table_[prev].next = nxt;
-        }
-        if (bin.tail == cur) bin.tail = prev;
-        table_.release(cur);
-        ++lazy_removals_;
+  // Lazy removal amortizes cleanup into the (engine-serialized) insert
+  // path: consumed entries encountered here are compacted away now.
+  if (cfg_.lazy_removal && !bin.hot.empty()) {
+    const std::uint32_t before = bin.hot.size();
+    std::uint32_t w = 0;
+    for (std::uint32_t r = 0; r < before; ++r) {
+      const HotEntry& e = bin.hot[r];
+      if (table_[e.slot].consumed()) {
+        table_.release(e.slot);
       } else {
-        prev = cur;
+        bin.hot[w++] = e;
       }
-      cur = nxt;
     }
+    bin.hot.truncate(w);
+    lazy_removals_ += before - w;
+    index_count_[idx] -= before - w;
   }
-  if (bin.tail == kInvalidSlot) {
-    bin.head = slot;
-    bin.tail = slot;
-  } else {
-    table_[bin.tail].next = slot;
-    bin.tail = slot;
-  }
+  HotEntry e;
+  e.spec = spec;
+  e.slot = slot;
+  e.label = next_label_++;
+  e.seq_id = next_seq_;
+  bin.hot.push_back(e);
+  ++index_count_[idx];
   return {slot, /*fallback=*/false};
 }
 
-std::uint32_t ReceiveStore::chain_search(unsigned idx, std::size_t bin_id,
-                                         const Envelope& env, std::uint32_t gen,
-                                         unsigned thread_id, bool early_skip,
-                                         ThreadClock& clock,
-                                         SearchLocal& local) const {
+std::uint32_t ReceiveStore::scan_bin(unsigned idx, std::size_t bin_id,
+                                     const Envelope& env, std::uint32_t gen,
+                                     unsigned thread_id, bool early_skip,
+                                     ThreadClock& clock, SearchLocal& local,
+                                     std::uint32_t& pos) const {
   OTM_CHARGE(clock, bin_lookup);
-  std::uint32_t cur = bins_[idx][bin_id].head;
+  const Bin& bin = bins_[idx][bin_id];
+  const std::uint32_t n = bin.hot.size();
   std::uint64_t walked = 0;
-  for (; cur != kInvalidSlot; cur = table_[cur].next) {
-    const ReceiveDescriptor& d = table_[cur];
+  std::uint32_t found = kInvalidSlot;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const HotEntry& e = bin.hot[i];
     ++local.attempts;
     ++walked;
-    OTM_CHARGE(clock, chain_step);
-    if (!d.consumed() && d.spec.matches(env)) {
-      if (early_skip && d.booking.booked_by_lower(gen, thread_id)) {
-        // Early booking check (Sec. III-D): a lower-id thread will win this
-        // receive; skip it instead of conflicting later.
-        ++local.early_skips;
-        OTM_CHARGE(clock, conflict_check);
-      } else {
-        break;
-      }
+    OTM_CHARGE(clock, hot_scan_step);
+    // Key compare on the packed entry; the cold descriptor is loaded only
+    // on a match (liveness + booking live there).
+    if (!e.spec.matches(env)) continue;
+    const ReceiveDescriptor& d = table_[e.slot];
+    if (d.consumed()) continue;
+    if (early_skip && d.booking.booked_by_lower(gen, thread_id)) {
+      // Early booking check (Sec. III-D): a lower-id thread will win this
+      // receive; skip it instead of conflicting later.
+      ++local.early_skips;
+      OTM_CHARGE(clock, conflict_check);
+      continue;
     }
+    found = e.slot;
+    pos = i;
+    break;
   }
   if (walked > local.max_single_chain) local.max_single_chain = walked;
-  return cur;
+  return found;
 }
 
 std::uint32_t ReceiveStore::search(const IncomingMessage& msg, std::uint32_t gen,
                                    unsigned thread_id, bool early_skip,
-                                   ThreadClock& clock, SearchLocal& local) const {
+                                   ThreadClock& clock, SearchLocal& local,
+                                   Cursor* hit) const {
   std::uint32_t best = kInvalidSlot;
   std::uint64_t best_label = 0;
   // Sec. VII: with the no-wildcard assertion only the hash(src,tag) index
   // can hold receives, so the other three probes are skipped entirely.
   const unsigned num_indexes = cfg_.assume_no_wildcards ? 1 : kNumIndexes;
   for (unsigned idx = 0; idx < num_indexes; ++idx) {
+    // Occupancy skip: an index with no entries at all cannot produce a
+    // candidate. The four counters share a cache line, so the check costs
+    // one packed-word examine instead of a hash + bin probe. (The static
+    // no-wildcard hint above skips even this — the probe loop is compiled
+    // to a single index.)
+    if (index_count_[idx] == 0) {
+      OTM_CHARGE(clock, hot_scan_step);
+      continue;
+    }
     ++local.index_searches;
     const std::size_t bin_id = probe_bin(idx, msg, clock);
-    const std::uint32_t hit =
-        chain_search(idx, bin_id, msg.env, gen, thread_id, early_skip, clock, local);
-    if (hit == kInvalidSlot) continue;
-    const std::uint64_t label = table_[hit].label;
+    std::uint32_t pos = 0;
+    const std::uint32_t found = scan_bin(idx, bin_id, msg.env, gen, thread_id,
+                                         early_skip, clock, local, pos);
+    if (found == kInvalidSlot) continue;
+    const std::uint64_t label = bins_[idx][bin_id].hot[pos].label;
     OTM_CHARGE(clock, label_compare);
     if (best == kInvalidSlot || label < best_label) {
-      best = hit;
+      best = found;
       best_label = label;
+      if (hit != nullptr)
+        *hit = {idx, static_cast<std::uint32_t>(bin_id), pos};
     }
   }
   return best;
 }
 
-std::uint32_t ReceiveStore::fast_path_candidate(std::uint32_t slot,
+std::uint32_t ReceiveStore::fast_path_candidate(const Cursor& from,
                                                 const Envelope& env,
                                                 unsigned shift,
                                                 ThreadClock& clock,
                                                 SearchLocal& local) const {
-  OTM_ASSERT(slot != kInvalidSlot);
-  const std::uint32_t base_seq = table_[slot].seq_id;
-  std::uint32_t cur = slot;
+  const Bin& bin = bins_[from.idx][from.bin];
+  const std::uint32_t n = bin.hot.size();
+  OTM_ASSERT(from.pos < n);
+  const std::uint32_t base_seq = bin.hot[from.pos].seq_id;
   unsigned advanced = 0;
-  while (advanced < shift) {
-    cur = table_[cur].next;
-    if (cur == kInvalidSlot) return kInvalidSlot;  // sequence exhausted
-    const ReceiveDescriptor& d = table_[cur];
+  for (std::uint32_t i = from.pos + 1; i < n; ++i) {
+    const HotEntry& e = bin.hot[i];
     ++local.attempts;
     OTM_CHARGE(clock, fast_path_step);
-    if (!d.spec.matches(env)) continue;  // hash-collision interposer
-    if (d.seq_id != base_seq) return kInvalidSlot;  // sequence broken (C1)
+    if (!e.spec.matches(env)) continue;  // hash-collision interposer
+    if (e.seq_id != base_seq) return kInvalidSlot;  // sequence broken (C1)
     // Same-sequence entries after the first live one are live at block
     // start; entries consumed during this block belong to lower-id threads
     // and are counted toward the shift, so no consumed-skip here.
-    ++advanced;
+    if (++advanced == shift) return e.slot;
   }
-  return cur;
+  return kInvalidSlot;  // sequence exhausted
 }
 
 void ReceiveStore::charge_eager_removal(std::uint32_t slot, ThreadClock& clock) {
@@ -231,64 +244,50 @@ void ReceiveStore::unlink_and_release(std::uint32_t slot) {
   const auto [idx, bin_id] = route_spec(d.spec);
   Bin& bin = bins_[idx][bin_id];
   SpinGuard g(bin.lock);
-  std::uint32_t prev = kInvalidSlot;
-  std::uint32_t cur = bin.head;
-  while (cur != kInvalidSlot) {
-    if (cur == slot) {
-      const std::uint32_t nxt = table_[cur].next;
-      if (prev == kInvalidSlot) {
-        bin.head = nxt;
-      } else {
-        table_[prev].next = nxt;
-      }
-      if (bin.tail == cur) bin.tail = prev;
-      table_.release(cur);
-      return;
-    }
-    prev = cur;
-    cur = table_[cur].next;
+  for (std::uint32_t i = 0; i < bin.hot.size(); ++i) {
+    if (bin.hot[i].slot != slot) continue;
+    bin.hot.erase_at(i);
+    --index_count_[idx];
+    table_.release(slot);
+    return;
   }
-  OTM_ASSERT_MSG(false, "consumed receive not found in its bin chain");
+  OTM_ASSERT_MSG(false, "consumed receive not found in its bin array");
 }
 
 std::size_t ReceiveStore::cleanup_bin(unsigned idx, Bin& bin) {
-  (void)idx;
-  std::size_t reclaimed = 0;
   SpinGuard g(bin.lock);
-  std::uint32_t prev = kInvalidSlot;
-  std::uint32_t cur = bin.head;
-  while (cur != kInvalidSlot) {
-    ReceiveDescriptor& d = table_[cur];
-    const std::uint32_t nxt = d.next;
-    if (d.consumed()) {
-      if (prev == kInvalidSlot) {
-        bin.head = nxt;
-      } else {
-        table_[prev].next = nxt;
-      }
-      if (bin.tail == cur) bin.tail = prev;
-      table_.release(cur);
-      ++reclaimed;
+  const std::uint32_t before = bin.hot.size();
+  std::uint32_t w = 0;
+  for (std::uint32_t r = 0; r < before; ++r) {
+    const HotEntry& e = bin.hot[r];
+    if (table_[e.slot].consumed()) {
+      table_.release(e.slot);
     } else {
-      prev = cur;
+      bin.hot[w++] = e;
     }
-    cur = nxt;
   }
-  return reclaimed;
+  bin.hot.truncate(w);
+  index_count_[idx] -= before - w;
+  return before - w;
 }
 
 std::optional<std::uint64_t> ReceiveStore::cancel_by_cookie(
     std::uint64_t cookie) {
   for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
     for (Bin& bin : bins_[idx]) {
-      for (std::uint32_t cur = bin.head; cur != kInvalidSlot;
-           cur = table_[cur].next) {
-        ReceiveDescriptor& d = table_[cur];
+      for (std::uint32_t i = 0; i < bin.hot.size(); ++i) {
+        ReceiveDescriptor& d = table_[bin.hot[i].slot];
         if (d.cookie != cookie || !d.posted()) continue;
         const std::uint64_t buffer_addr = d.buffer_addr;
         const bool ok = d.try_consume();
         OTM_ASSERT_MSG(ok, "cancel raced a concurrent match");
-        unlink_and_release(cur);
+        const std::uint32_t slot = bin.hot[i].slot;
+        {
+          SpinGuard g(bin.lock);
+          bin.hot.erase_at(i);
+          --index_count_[idx];
+        }
+        table_.release(slot);
         // A cancelled receive may have ended a compatible sequence; the
         // next post must not extend it across the gap.
         have_last_spec_ = false;
@@ -311,8 +310,8 @@ std::size_t ReceiveStore::posted_count() const noexcept {
   std::size_t n = 0;
   for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
     for (const Bin& bin : bins_[idx]) {
-      for (std::uint32_t cur = bin.head; cur != kInvalidSlot; cur = table_[cur].next)
-        if (table_[cur].posted()) ++n;
+      for (const HotEntry& e : bin.hot)
+        if (table_[e.slot].posted()) ++n;
     }
   }
   return n;
@@ -327,8 +326,8 @@ ReceiveStore::DepthMetrics ReceiveStore::depth_metrics() const {
     for (const Bin& bin : bins_[idx]) {
       ++total_bins;
       std::size_t len = 0;
-      for (std::uint32_t cur = bin.head; cur != kInvalidSlot; cur = table_[cur].next)
-        if (table_[cur].posted()) ++len;
+      for (const HotEntry& e : bin.hot)
+        if (table_[e.slot].posted()) ++len;
       if (len > 0) {
         ++nonempty;
         nonempty_sum += len;

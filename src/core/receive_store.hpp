@@ -9,12 +9,17 @@
 // For each incoming message all four indexes are probed with the matching
 // key and the oldest candidate (minimum posting label) wins — constraint C1.
 //
-// Chains are append-at-tail, so every chain is ordered by posting label;
-// the first matching live entry in a chain is the oldest in that index.
+// Layout: each bin holds a packed hot-entry array (core/slab.hpp) with the
+// fields a probe needs — match key, posting label, compatible-sequence id,
+// slot — appended at tail, so every array is posting-label ordered and a
+// probe is a linear scan over contiguous memory. The 64-byte descriptor
+// (atomic state, booking bitmap, buffer) is loaded only on a key match.
+// A per-index live-entry count lets a search skip structurally empty
+// indexes without probing them (one counter word, hot in cache).
 //
 // Concurrency contract: posting (insert/cleanup/unlink/release) is
 // serialized by the engine and never overlaps a matching block; during a
-// block the chains are structurally immutable and threads only flip
+// block the hot arrays are structurally immutable and threads only flip
 // descriptor state Posted->Consumed and set booking bits, so searches are
 // lock-free.
 #pragma once
@@ -27,6 +32,7 @@
 #include "core/cost_model.hpp"
 #include "core/descriptor.hpp"
 #include "core/descriptor_table.hpp"
+#include "core/slab.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "util/spinlock.hpp"
@@ -35,10 +41,10 @@ namespace otm {
 
 /// Per-thread search accounting, merged into MatchStats at block epilogue.
 struct SearchLocal {
-  std::uint64_t attempts = 0;        ///< chain entries examined
-  std::uint64_t index_searches = 0;  ///< indexes probed
+  std::uint64_t attempts = 0;        ///< hot entries examined
+  std::uint64_t index_searches = 0;  ///< non-empty indexes probed
   std::uint64_t early_skips = 0;     ///< entries skipped via booking check
-  std::uint64_t max_single_chain = 0;///< deepest single-chain scan (queue depth)
+  std::uint64_t max_single_chain = 0;///< deepest single-bin scan (queue depth)
 };
 
 class ReceiveStore {
@@ -53,28 +59,39 @@ class ReceiveStore {
     bool fallback = false;  ///< table exhausted -> software tag matching
   };
 
+  /// Position of a search hit inside the index structures; valid while the
+  /// arrays are structurally immutable (i.e. for the rest of the current
+  /// matching block). The fast path resumes the scan from here.
+  struct Cursor {
+    unsigned idx = 0;
+    std::uint32_t bin = 0;
+    std::uint32_t pos = 0;
+  };
+
   /// Index a new receive. Assigns the posting label and the
   /// compatible-sequence id (Sec. III-D fast path). Engine-serialized.
   PostResult post(const MatchSpec& spec, std::uint64_t buffer_addr,
                   std::uint32_t buffer_capacity, std::uint64_t cookie);
 
-  /// Optimistic search (Sec. III-C): probe every index with the message key
-  /// and return the oldest matching live receive, or kInvalidSlot.
-  /// `early_skip` enables the early-booking-check optimization: entries
-  /// already booked by a lower-id thread under `gen` are skipped.
+  /// Optimistic search (Sec. III-C): probe every non-empty index with the
+  /// message key and return the oldest matching live receive, or
+  /// kInvalidSlot. `early_skip` enables the early-booking-check
+  /// optimization: entries already booked by a lower-id thread under `gen`
+  /// are skipped. On a hit, `*hit` (when non-null) receives the winning
+  /// entry's position for a later fast-path walk.
   std::uint32_t search(const IncomingMessage& msg, std::uint32_t gen,
                        unsigned thread_id, bool early_skip, ThreadClock& clock,
-                       SearchLocal& local) const;
+                       SearchLocal& local, Cursor* hit = nullptr) const;
 
-  /// Fast-path walk (Sec. III-D-3a): starting from `slot` (the conflicted
-  /// candidate), return the `shift`-th subsequent receive matching `env`
-  /// within the same compatible sequence; kInvalidSlot means the sequence
-  /// ended or was broken and the caller must take the slow path.
-  std::uint32_t fast_path_candidate(std::uint32_t slot, const Envelope& env,
+  /// Fast-path walk (Sec. III-D-3a): starting from the conflicted
+  /// candidate at `from`, return the `shift`-th subsequent receive matching
+  /// `env` within the same compatible sequence; kInvalidSlot means the
+  /// sequence ended or was broken and the caller must take the slow path.
+  std::uint32_t fast_path_candidate(const Cursor& from, const Envelope& env,
                                     unsigned shift, ThreadClock& clock,
                                     SearchLocal& local) const;
 
-  /// Unlink one consumed receive from its bin chain and release the slot.
+  /// Unlink one consumed receive from its bin array and release the slot.
   /// Engine-serialized (block epilogue in eager-removal mode).
   void unlink_and_release(std::uint32_t slot);
 
@@ -82,8 +99,8 @@ class ReceiveStore {
   /// acquiring the bin's remove lock serializes with every other removal
   /// from the same bin (the overhead lazy removal exists to avoid,
   /// Sec. III-D). Advances `clock` past the bin's modeled removal chain.
-  /// The structural unlink itself stays in the engine epilogue so chains
-  /// are immutable while a block is in flight.
+  /// The structural unlink itself stays in the engine epilogue so the hot
+  /// arrays are immutable while a block is in flight.
   void charge_eager_removal(std::uint32_t slot, ThreadClock& clock);
 
   /// Withdraw the oldest pending receive whose cookie matches: mark it
@@ -108,10 +125,15 @@ class ReceiveStore {
   /// Number of posted (unconsumed) receives currently indexed.
   std::size_t posted_count() const noexcept;
 
+  /// Indexed entries (posted or consumed-awaiting-cleanup) in index `idx`.
+  std::size_t index_entries(unsigned idx) const noexcept {
+    return index_count_[idx];
+  }
+
   /// Structure-health metrics for the trace analyzer (Fig. 7 queue depth).
   struct DepthMetrics {
-    std::size_t live_entries = 0;      ///< posted entries across all chains
-    std::size_t max_chain = 0;         ///< longest chain (live entries)
+    std::size_t live_entries = 0;      ///< posted entries across all bins
+    std::size_t max_chain = 0;         ///< longest bin array (live entries)
     double avg_nonempty_chain = 0.0;   ///< mean live length of non-empty bins
     double empty_bin_fraction = 0.0;   ///< empty bins / total bins
   };
@@ -121,10 +143,21 @@ class ReceiveStore {
   std::uint64_t next_label() const noexcept { return next_label_; }
 
  private:
+  /// Index-side copy of the fields a probe scans: 32 packed bytes, two per
+  /// cache line, no pointer chasing. `spec`/`label`/`seq_id` are immutable
+  /// once posted; liveness truth stays in the descriptor's atomic state.
+  struct HotEntry {
+    MatchSpec spec;
+    std::uint32_t slot = kInvalidSlot;
+    std::uint64_t label = 0;
+    std::uint32_t seq_id = 0;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(HotEntry) == 32);
+
   struct Bin {
     Spinlock lock;  // 4-byte remove lock of Sec. IV-E (structural mutation)
-    std::uint32_t head = kInvalidSlot;
-    std::uint32_t tail = kInvalidSlot;
+    SlabVec<HotEntry> hot;
     /// Modeled time until which the remove lock is held (eager removal).
     std::atomic<std::uint64_t> removal_clock{0};
   };
@@ -136,20 +169,23 @@ class ReceiveStore {
   std::size_t probe_bin(unsigned idx, const IncomingMessage& msg,
                         ThreadClock& clock) const noexcept;
 
-  /// First live matching entry in the chain of (idx, bin); kInvalidSlot if
-  /// none. Accounts attempts/skips into `local`.
-  std::uint32_t chain_search(unsigned idx, std::size_t bin, const Envelope& env,
-                             std::uint32_t gen, unsigned thread_id,
-                             bool early_skip, ThreadClock& clock,
-                             SearchLocal& local) const;
+  /// First live matching entry in the hot array of (idx, bin); kInvalidSlot
+  /// if none. Accounts attempts/skips into `local`; `pos` receives the hit
+  /// position.
+  std::uint32_t scan_bin(unsigned idx, std::size_t bin, const Envelope& env,
+                         std::uint32_t gen, unsigned thread_id,
+                         bool early_skip, ThreadClock& clock,
+                         SearchLocal& local, std::uint32_t& pos) const;
 
-  /// Remove consumed entries from one bin's chain, releasing their slots.
+  /// Remove consumed entries from one bin's array, releasing their slots.
   std::size_t cleanup_bin(unsigned idx, Bin& bin);
 
   MatchConfig cfg_;
   mutable DescriptorTable<ReceiveDescriptor> table_;
+  SlabArena arena_;
   std::vector<Bin> bins_[kNumIndexes];  // [3] has exactly one bin (the list)
   std::size_t bin_mask_ = 0;
+  std::size_t index_count_[kNumIndexes] = {0, 0, 0, 0};
 
   std::uint64_t next_label_ = 0;
   std::uint32_t next_seq_ = 0;

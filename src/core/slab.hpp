@@ -1,0 +1,168 @@
+// Slab arena backing the per-bin packed hot-entry arrays (the cache-locality
+// overhaul of the store indexes).
+//
+// The pointer-chasing per-bin descriptor chains made every probe step a
+// dependent load into a 64-byte descriptor; the hot fields a scan actually
+// needs (match key, posting label, live slot) now live in small packed
+// arrays, one per bin, so an index probe is a linear scan over contiguous
+// memory and the cold descriptor is touched only on a key match.
+//
+// All hot arrays of one store draw their storage from one SlabArena: a bump
+// allocator over large slabs with power-of-two size-class recycling, so
+// growing a bin never hits the global heap on the hot path and neighboring
+// bins stay densely packed. Blocks are 64-byte (cache-line) granular.
+//
+// Concurrency contract (same as the stores): structural mutation — push,
+// erase, grow — happens only on engine-serialized paths; matching threads
+// scan concurrently but never mutate, so the arrays need no locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+class SlabArena {
+ public:
+  explicit SlabArena(std::size_t slab_bytes = 64 * 1024) noexcept
+      : slab_bytes_(slab_bytes) {}
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Allocate `bytes` rounded up to a 64-byte-granular power-of-two class.
+  void* allocate(std::size_t bytes) {
+    const unsigned cls = size_class(bytes);
+    if (cls < kClasses && !free_[cls].empty()) {
+      void* p = free_[cls].back();
+      free_[cls].pop_back();
+      return p;
+    }
+    const std::size_t need = class_bytes(cls);
+    if (slabs_.empty() || offset_ + need > current_bytes_) {
+      current_bytes_ = need > slab_bytes_ ? need : slab_bytes_;
+      slabs_.push_back(std::make_unique<std::byte[]>(current_bytes_));
+      offset_ = 0;
+    }
+    void* p = slabs_.back().get() + offset_;
+    offset_ += need;
+    return p;
+  }
+
+  /// Return a block to its size-class free list for reuse.
+  void deallocate(void* p, std::size_t bytes) {
+    const unsigned cls = size_class(bytes);
+    OTM_ASSERT(cls < kClasses);
+    free_[cls].push_back(p);
+  }
+
+  /// Bytes reserved from the system (slabs), for footprint introspection.
+  std::size_t reserved_bytes() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i + 1 < slabs_.size(); ++i) total += slab_bytes_;
+    if (!slabs_.empty()) total += current_bytes_;
+    return total;
+  }
+
+  /// Rounded allocation size for a request of `bytes`.
+  static std::size_t class_bytes(std::size_t bytes) noexcept {
+    return class_bytes(size_class(bytes));
+  }
+
+ private:
+  static constexpr unsigned kClasses = 24;  // 64 B .. 512 MiB
+
+  static unsigned size_class(std::size_t bytes) noexcept {
+    unsigned cls = 0;
+    std::size_t cap = 64;
+    while (cap < bytes) {
+      cap <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+
+  static std::size_t class_bytes(unsigned cls) noexcept {
+    return std::size_t{64} << cls;
+  }
+
+  std::size_t slab_bytes_;
+  std::size_t current_bytes_ = 0;
+  std::size_t offset_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<void*> free_[kClasses];
+};
+
+/// A packed, order-preserving array of trivially-copyable hot entries backed
+/// by a SlabArena. Append-at-tail keeps posting/arrival order; erase
+/// compacts with memmove so scans stay branchless over contiguous entries.
+template <typename T>
+class SlabVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SlabVec() noexcept = default;
+
+  SlabVec(const SlabVec&) = delete;
+  SlabVec& operator=(const SlabVec&) = delete;
+
+  /// Bind the backing arena before first use (bins are default-constructed
+  /// in bulk, then bound by the owning store).
+  void bind(SlabArena* arena) noexcept { arena_ = arena; }
+
+  std::uint32_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const T& operator[](std::uint32_t i) const noexcept { return data_[i]; }
+  T& operator[](std::uint32_t i) noexcept { return data_[i]; }
+
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+
+  /// Remove entry `i`, shifting the tail down (order-preserving).
+  void erase_at(std::uint32_t i) noexcept {
+    OTM_ASSERT(i < size_);
+    if (i + 1 < size_)
+      std::memmove(data_ + i, data_ + i + 1, (size_ - i - 1) * sizeof(T));
+    --size_;
+  }
+
+  /// Shrink to `n` entries (compaction passes rewrite in place, then trim).
+  void truncate(std::uint32_t n) noexcept {
+    OTM_ASSERT(n <= size_);
+    size_ = n;
+  }
+
+ private:
+  void grow() {
+    OTM_ASSERT(arena_ != nullptr);
+    const std::uint32_t new_cap = static_cast<std::uint32_t>(
+        SlabArena::class_bytes((cap_ == 0 ? 2u : cap_ * 2u) * sizeof(T)) /
+        sizeof(T));
+    T* fresh = static_cast<T*>(arena_->allocate(new_cap * sizeof(T)));
+    if (data_ != nullptr) {
+      std::memcpy(fresh, data_, size_ * sizeof(T));
+      arena_->deallocate(data_, cap_ * sizeof(T));
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  SlabArena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = 0;
+};
+
+}  // namespace otm

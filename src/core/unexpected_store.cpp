@@ -15,6 +15,7 @@ UnexpectedStore::UnexpectedStore(const MatchConfig& cfg)
                               ? 1
                               : cfg_.bins;
     bins_[idx] = std::vector<Bin>(n);
+    for (Bin& bin : bins_[idx]) bin.hot.bind(&arena_);
   }
 }
 
@@ -53,14 +54,8 @@ std::uint32_t UnexpectedStore::insert(const IncomingMessage& msg,
   const unsigned num_indexes = cfg_.assume_no_wildcards ? 1 : kNumIndexes;
   for (unsigned idx = 0; idx < num_indexes; ++idx) {
     Bin& bin = bins_[idx][bin_for(idx, msg.env)];
-    d.prev[idx] = bin.tail;
-    d.next[idx] = kInvalidSlot;
-    if (bin.tail == kInvalidSlot) {
-      bin.head = slot;
-    } else {
-      table_[bin.tail].next[idx] = slot;
-    }
-    bin.tail = slot;
+    bin.hot.push_back({msg.env, slot});
+    ++index_count_[idx];
   }
   return slot;
 }
@@ -68,6 +63,12 @@ std::uint32_t UnexpectedStore::insert(const IncomingMessage& msg,
 std::uint32_t UnexpectedStore::search(const MatchSpec& spec, ThreadClock& clock,
                                       std::uint64_t& attempts) const {
   const auto idx = static_cast<unsigned>(spec.wildcard_class());
+  // Occupancy skip: nothing indexed under this class -> no hash, no bin
+  // probe; just the one packed-word examine of the occupancy counter.
+  if (index_count_[idx] == 0) {
+    OTM_CHARGE(clock, hot_scan_step);
+    return kInvalidSlot;
+  }
   std::size_t bin_id = 0;
   switch (spec.wildcard_class()) {
     case WildcardClass::kNone:
@@ -87,11 +88,11 @@ std::uint32_t UnexpectedStore::search(const MatchSpec& spec, ThreadClock& clock,
       break;
   }
   OTM_CHARGE(clock, bin_lookup);
-  for (std::uint32_t cur = bins_[idx][bin_id].head; cur != kInvalidSlot;
-       cur = table_[cur].next[idx]) {
+  const Bin& bin = bins_[idx][bin_id];
+  for (const HotEntry& e : bin.hot) {
     ++attempts;
-    OTM_CHARGE(clock, chain_step);
-    if (spec.matches(table_[cur].env)) return cur;
+    OTM_CHARGE(clock, hot_scan_step);
+    if (spec.matches(e.env)) return e.slot;
   }
   return kInvalidSlot;
 }
@@ -102,18 +103,15 @@ UnexpectedDescriptor UnexpectedStore::remove(std::uint32_t slot) {
   const unsigned num_indexes = cfg_.assume_no_wildcards ? 1 : kNumIndexes;
   for (unsigned idx = 0; idx < num_indexes; ++idx) {
     Bin& bin = bins_[idx][bin_for(idx, d.env)];
-    const std::uint32_t nxt = d.next[idx];
-    const std::uint32_t prv = d.prev[idx];
-    if (prv == kInvalidSlot) {
-      bin.head = nxt;
-    } else {
-      table_[prv].next[idx] = nxt;
+    bool found = false;
+    for (std::uint32_t i = 0; i < bin.hot.size(); ++i) {
+      if (bin.hot[i].slot != slot) continue;
+      bin.hot.erase_at(i);
+      --index_count_[idx];
+      found = true;
+      break;
     }
-    if (nxt == kInvalidSlot) {
-      bin.tail = prv;
-    } else {
-      table_[nxt].prev[idx] = prv;
-    }
+    OTM_ASSERT_MSG(found, "unexpected descriptor missing from an index");
   }
   UnexpectedDescriptor out = d;
   table_.release(slot);
@@ -128,10 +126,7 @@ UnexpectedStore::DepthMetrics UnexpectedStore::depth_metrics() const {
   for (unsigned idx = 0; idx < kNumIndexes; ++idx) {
     for (const Bin& bin : bins_[idx]) {
       ++total_bins;
-      std::size_t len = 0;
-      for (std::uint32_t cur = bin.head; cur != kInvalidSlot;
-           cur = table_[cur].next[idx])
-        ++len;
+      const std::size_t len = bin.hot.size();
       if (len > 0) ++nonempty;
       m.max_chain = std::max(m.max_chain, len);
     }

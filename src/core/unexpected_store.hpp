@@ -2,9 +2,13 @@
 //
 // An unexpected message is indexed in *all four* structures: a later receive
 // probes only the index matching its own wildcard class, so every class must
-// be able to find the message. Chains are arrival-ordered (append at tail),
-// which preserves constraint C2 — the first match in any probed chain is the
-// oldest message that receive can match.
+// be able to find the message. Bin membership is an arrival-ordered packed
+// hot-entry array (core/slab.hpp) of {envelope, slot}: a probe is a linear
+// key scan over contiguous 16-byte entries and the cold descriptor is loaded
+// only on the winning match. Append at tail preserves constraint C2 — the
+// first match in any probed array is the oldest message that receive can
+// match. A per-index entry count lets a probe skip structurally empty
+// indexes (the common case for the wildcard indexes).
 //
 // Concurrency contract: mutation only happens on the engine-serialized paths
 // (block epilogue inserts in thread-id order; receive posting removes).
@@ -17,6 +21,7 @@
 #include "core/cost_model.hpp"
 #include "core/descriptor.hpp"
 #include "core/descriptor_table.hpp"
+#include "core/slab.hpp"
 #include "core/types.hpp"
 
 namespace otm {
@@ -34,11 +39,11 @@ class UnexpectedStore {
 
   /// Search for the oldest stored message matching `spec`, probing only the
   /// index of the spec's wildcard class. Returns kInvalidSlot if none.
-  /// `attempts` accumulates examined chain entries (queue-depth metric).
+  /// `attempts` accumulates examined hot entries (queue-depth metric).
   std::uint32_t search(const MatchSpec& spec, ThreadClock& clock,
                        std::uint64_t& attempts) const;
 
-  /// Unlink from all four structures and release the slot. The descriptor
+  /// Unlink from all indexed structures and release the slot. The descriptor
   /// contents are returned by value so the caller can run protocol handling.
   UnexpectedDescriptor remove(std::uint32_t slot);
 
@@ -49,6 +54,11 @@ class UnexpectedStore {
   std::size_t size() const noexcept { return table_.live(); }
   std::size_t capacity() const noexcept { return table_.capacity(); }
 
+  /// Indexed entries in index `idx` (all live; removal is immediate).
+  std::size_t index_entries(unsigned idx) const noexcept {
+    return index_count_[idx];
+  }
+
   struct DepthMetrics {
     std::size_t entries = 0;
     std::size_t max_chain = 0;
@@ -57,17 +67,25 @@ class UnexpectedStore {
   DepthMetrics depth_metrics() const;
 
  private:
+  /// Index-side copy of the probe key: 16 packed bytes, four per cache line.
+  struct HotEntry {
+    Envelope env;
+    std::uint32_t slot = kInvalidSlot;
+  };
+  static_assert(sizeof(HotEntry) == 16);
+
   struct Bin {
-    std::uint32_t head = kInvalidSlot;
-    std::uint32_t tail = kInvalidSlot;
+    SlabVec<HotEntry> hot;
   };
 
   std::size_t bin_for(unsigned idx, const Envelope& env) const noexcept;
 
   MatchConfig cfg_;
   DescriptorTable<UnexpectedDescriptor> table_;
+  SlabArena arena_;
   std::vector<Bin> bins_[kNumIndexes];
   std::size_t bin_mask_ = 0;
+  std::size_t index_count_[kNumIndexes] = {0, 0, 0, 0};
   std::uint64_t next_arrival_ = 0;
 };
 

@@ -108,8 +108,10 @@ void DpaAccelerator::deliver_run(MatchEngine& eng,
     const std::size_t n = std::min<std::size_t>(block, msgs.size() - base);
 
     // Dispatch time per message: serial CQE delivery (the NIC hands out
-    // completions one at a time) plus hart-slot availability.
-    std::vector<std::uint64_t> starts(n);
+    // completions one at a time) plus hart-slot availability. The scratch
+    // is accelerator-owned and reused across blocks.
+    std::vector<std::uint64_t>& starts = starts_scratch_;
+    starts.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t g = base + i;
       const std::uint64_t arrival =

@@ -107,6 +107,7 @@ class DpaAccelerator {
   std::map<CommId, std::unique_ptr<CommEngine>> engines_;
   LockstepExecutor executor_;  ///< deterministic; clocks model concurrency
   std::vector<std::uint64_t> slot_free_;  ///< per hart-slot pipeline time
+  std::vector<std::uint64_t> starts_scratch_;  ///< per-block dispatch times
   std::size_t memory_used_ = 0;
   std::uint64_t cqe_ready_ = 0;  ///< next CQE delivery slot (serial NIC)
   std::uint64_t now_ = 0;

@@ -44,6 +44,7 @@ struct DpaConfig {
     c.hash_compute *= f;
     c.bin_lookup *= f;
     c.chain_step *= f;
+    c.hot_scan_step *= f;
     c.label_compare *= f;
     c.booking_cas *= f;
     c.conflict_check *= f;

@@ -125,10 +125,13 @@ TEST_F(StoreTest, FastPathWalk) {
   const auto r0 = post(1, 1);
   const auto r1 = post(1, 1);
   const auto r2 = post(1, 1);
-  const Envelope env{1, 1, 0};
-  EXPECT_EQ(store_.fast_path_candidate(r0, env, 1, clock_, local_), r1);
-  EXPECT_EQ(store_.fast_path_candidate(r0, env, 2, clock_, local_), r2);
-  EXPECT_EQ(store_.fast_path_candidate(r0, env, 3, clock_, local_), kInvalidSlot)
+  const IncomingMessage m = IncomingMessage::make(1, 1, 0);
+  ReceiveStore::Cursor cur;
+  ASSERT_EQ(store_.search(m, 1, 0, false, clock_, local_, &cur), r0);
+  EXPECT_EQ(store_.fast_path_candidate(cur, m.env, 1, clock_, local_), r1);
+  EXPECT_EQ(store_.fast_path_candidate(cur, m.env, 2, clock_, local_), r2);
+  EXPECT_EQ(store_.fast_path_candidate(cur, m.env, 3, clock_, local_),
+            kInvalidSlot)
       << "walk past the end of the sequence must abort";
 }
 
@@ -136,8 +139,11 @@ TEST_F(StoreTest, FastPathWalkAbortsOnBrokenSequence) {
   const auto r0 = post(1, 1);
   post(2, 2);  // breaks the sequence
   post(1, 1);  // same key, later sequence
-  const Envelope env{1, 1, 0};
-  EXPECT_EQ(store_.fast_path_candidate(r0, env, 1, clock_, local_), kInvalidSlot);
+  const IncomingMessage m = IncomingMessage::make(1, 1, 0);
+  ReceiveStore::Cursor cur;
+  ASSERT_EQ(store_.search(m, 1, 0, false, clock_, local_, &cur), r0);
+  EXPECT_EQ(store_.fast_path_candidate(cur, m.env, 1, clock_, local_),
+            kInvalidSlot);
 }
 
 TEST_F(StoreTest, TableExhaustionSignalsFallback) {
@@ -205,7 +211,22 @@ TEST_F(StoreTest, SearchAttemptsCounted) {
   post(1, 1);
   search(1, 1);
   EXPECT_GE(local_.attempts, 1u);
-  EXPECT_EQ(local_.index_searches, kNumIndexes);
+  // Only the no-wildcard index holds entries; the three structurally empty
+  // indexes are skipped by the occupancy check.
+  EXPECT_EQ(local_.index_searches, 1u);
+}
+
+TEST_F(StoreTest, OccupancySkipProbesOnlyNonEmptyIndexes) {
+  EXPECT_EQ(store_.index_entries(0), 0u);
+  post(1, 1);
+  store_.post({kAnySource, 2, 0}, 0, 0, 0);
+  EXPECT_EQ(store_.index_entries(0), 1u);
+  EXPECT_EQ(store_.index_entries(1), 1u);
+  EXPECT_EQ(store_.index_entries(2), 0u);
+  EXPECT_EQ(store_.index_entries(3), 0u);
+  search(1, 1);
+  EXPECT_EQ(local_.index_searches, 2u)
+      << "exactly the two non-empty indexes are probed";
 }
 
 TEST_F(StoreTest, InlineHashesMatchComputedRouting) {

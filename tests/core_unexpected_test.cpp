@@ -1,6 +1,6 @@
-// Unit tests for the unexpected-message store: all-index chaining,
-// class-specific probing at post time, arrival-order matching (C2) and
-// O(1) removal from every chain.
+// Unit tests for the unexpected-message store: packed per-bin hot arrays
+// across all four indexes, class-specific probing at post time,
+// arrival-order matching (C2) and removal from every index.
 #include <gtest/gtest.h>
 
 #include "core/unexpected_store.hpp"
