@@ -10,6 +10,11 @@
 #   scripts/check.sh            # tier-1 + ASan/UBSan + chaos + TSan
 #   scripts/check.sh --fast     # tier-1 only
 #   scripts/check.sh --tsan     # TSan pass only (CI runs --fast + --tsan)
+#   scripts/check.sh --lint     # static-analysis gate (docs/STATIC_ANALYSIS.md):
+#                               #   1. src-only OTM_LINT build (-Werror; plus
+#                               #      -Wthread-safety when CXX is clang)
+#                               #   2. tools/otmlint fixtures + full tree (R1-R6)
+#                               #   3. clang-tidy over src/ (when installed)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +22,7 @@ MODE=all
 case "${1:-}" in
   --fast) MODE=fast ;;
   --tsan) MODE=tsan ;;
+  --lint) MODE=lint ;;
 esac
 
 run_tsan() {
@@ -34,9 +40,47 @@ run_tsan() {
   done
 }
 
+run_lint() {
+  # Prefer clang so the thread-safety annotations are actually analyzed;
+  # fall back to the default compiler (annotations become no-ops, but
+  # -Werror and otmlint still gate).
+  local lint_cxx="${CXX:-}"
+  if [[ -z "$lint_cxx" ]] && command -v clang++ >/dev/null 2>&1; then
+    lint_cxx=clang++
+  fi
+
+  echo "== lint 1/3: OTM_LINT build (src only, -Werror) =="
+  cmake -B build-lint -S . \
+    -DOTM_LINT=ON \
+    -DOTM_BUILD_TESTS=OFF \
+    -DOTM_BUILD_BENCH=OFF \
+    -DOTM_BUILD_EXAMPLES=OFF \
+    ${lint_cxx:+-DCMAKE_CXX_COMPILER="$lint_cxx"} >/dev/null
+  cmake --build build-lint -j
+
+  echo "== lint 2/3: otmlint (fixtures + tree, R1-R6) =="
+  python3 tools/otmlint --root . --self-test --fixtures tests/lint_fixtures
+  python3 tools/otmlint --root . \
+    --compile-commands build-lint/compile_commands.json
+
+  echo "== lint 3/3: clang-tidy (src/) =="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    find src -name '*.cpp' -print0 |
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build-lint --quiet
+  else
+    echo "-- clang-tidy not installed; skipping (CI lint job runs it)"
+  fi
+}
+
 if [[ "$MODE" == "tsan" ]]; then
   run_tsan
   echo "== TSan pass OK =="
+  exit 0
+fi
+
+if [[ "$MODE" == "lint" ]]; then
+  run_lint
+  echo "== lint pass OK =="
   exit 0
 fi
 

@@ -28,6 +28,8 @@ void BlockMatcher::begin_block(std::uint32_t generation,
   const unsigned n = num_threads();
   booked_barrier_.reset(n);
   detect_barrier_.reset(n);
+  // relaxed: begin_block runs engine-serialized between blocks; no matching
+  // thread observes the scratch until the executor starts them.
   first_loser_.store(n, std::memory_order_relaxed);
   resolved_bits_.store(0, std::memory_order_relaxed);
   for (unsigned t = 0; t < n; ++t) {
@@ -35,10 +37,12 @@ void BlockMatcher::begin_block(std::uint32_t generation,
     const std::uint64_t start = t < start_cycles.size() ? start_cycles[t] : 0;
     threads_[t].clock = ThreadClock(costs_, start);
     results_[t] = ThreadResult{};
+    // relaxed: same serialized-phase argument as above.
     resolved_time_[t].store(0, std::memory_order_relaxed);
   }
 }
 
+// otmlint: hot
 void BlockMatcher::run_optimistic(unsigned tid) {
   ThreadState& st = threads_[tid];
   ThreadClock& clock = st.clock;
@@ -83,11 +87,14 @@ void BlockMatcher::run_optimistic(unsigned tid) {
   booked_barrier_.arrive(tid, clock.cycles());
 }
 
+// otmlint: hot
 void BlockMatcher::run_detect(unsigned tid) {
   ThreadState& st = threads_[tid];
   ThreadClock& clock = st.clock;
 
   // Already finalized (allow-overtaking path): nothing to detect.
+  // acquire: pairs with finalize()'s release fetch_or (own bit, same
+  // thread, but keeps the idiom uniform and future-proof).
   if ((resolved_bits_.load(std::memory_order_acquire) & (1u << tid)) != 0) {
     detect_barrier_.arrive(tid, clock.cycles());
     return;
@@ -106,6 +113,9 @@ void BlockMatcher::run_detect(unsigned tid) {
       // Publish the lowest losing thread id: every thread above it must
       // enter conflict resolution (a loser's re-booking can steal the
       // candidate of any later, apparently-unconflicted thread).
+      // relaxed seed/failure: the fetch-min loop carries no payload of its
+      // own; release on success pairs with run_resolve()'s acquire load,
+      // ordered behind the detect barrier either way.
       std::uint32_t cur = first_loser_.load(std::memory_order_relaxed);
       while (tid < cur && !first_loser_.compare_exchange_weak(
                               cur, tid, std::memory_order_release,
@@ -116,11 +126,13 @@ void BlockMatcher::run_detect(unsigned tid) {
   detect_barrier_.arrive(tid, clock.cycles());
 }
 
+// otmlint: hot
 void BlockMatcher::run_resolve(unsigned tid) {
   ThreadState& st = threads_[tid];
   ThreadClock& clock = st.clock;
 
   // Already finalized (allow-overtaking path): nothing to resolve.
+  // acquire: same pairing as in run_detect().
   if ((resolved_bits_.load(std::memory_order_acquire) & (1u << tid)) != 0)
     return;
 
@@ -130,6 +142,8 @@ void BlockMatcher::run_resolve(unsigned tid) {
     clock.charge(costs_->barrier_overhead);
   }
 
+  // acquire: pairs with the release CAS in run_detect(); the detect barrier
+  // already orders the phases, the acquire keeps the pairing explicit.
   const std::uint32_t first_loser = first_loser_.load(std::memory_order_acquire);
   results_[tid].conflicted = st.lost;
 
@@ -176,12 +190,17 @@ void BlockMatcher::run_resolve(unsigned tid) {
   // sequential matching order exactly (constraints C1 + C2).
   if (tid > 0) {
     const std::uint32_t mask = (1u << tid) - 1u;
+    // acquire: pairs with finalize()'s release fetch_or — once all lower
+    // bits are visible, the lower threads' consumptions and resolved_time_
+    // stores are too (the slow-path re-search depends on this, C1+C2).
     while ((resolved_bits_.load(std::memory_order_acquire) & mask) != mask) {
       // spin: lower threads always terminate (thread 0 never waits)
     }
     if (clock.enabled()) {
       std::uint64_t latest = 0;
       for (unsigned j = 0; j < tid; ++j) {
+        // relaxed: ordered by the acquire spin above (resolved bit j set
+        // implies resolved_time_[j] published).
         const std::uint64_t t = resolved_time_[j].load(std::memory_order_relaxed);
         if (t > latest) latest = t;
       }
@@ -209,7 +228,11 @@ void BlockMatcher::finalize(unsigned tid, std::uint32_t slot,
   r.final_slot = slot;
   r.path = path;
   r.finish_cycles = threads_[tid].clock.cycles();
+  // relaxed: published by the release fetch_or below (bit-then-value
+  // protocol, same shape as PartialBarrier::arrive).
   resolved_time_[tid].store(r.finish_cycles, std::memory_order_relaxed);
+  // release: pairs with the acquire loads in run_detect/run_resolve; makes
+  // this thread's consumption and resolved_time_ visible to waiters.
   resolved_bits_.fetch_or(1u << tid, std::memory_order_release);
 }
 

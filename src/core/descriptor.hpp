@@ -42,18 +42,28 @@ struct ReceiveDescriptor {
   std::uint32_t buffer_capacity = 0;
   std::uint64_t cookie = 0;       ///< upper-layer request handle
 
+  // otmlint: hot
   bool posted() const noexcept {
+    // acquire: pairs with the release store in ReceiveStore::post() so an
+    // observer of kPosted also sees the descriptor fields written before it.
     return state.load(std::memory_order_acquire) == ReceiveState::kPosted;
   }
 
+  // otmlint: hot
   bool consumed() const noexcept {
+    // acquire: pairs with the release side of try_consume() — seeing
+    // kConsumed implies seeing the consumer's prior bookkeeping.
     return state.load(std::memory_order_acquire) == ReceiveState::kConsumed;
   }
 
   /// Finalize the match: Posted -> Consumed. Returns false if another
   /// thread already consumed this receive.
+  // otmlint: hot
   bool try_consume() noexcept {
     ReceiveState expected = ReceiveState::kPosted;
+    // acq_rel on success: the winner publishes its consumption (release)
+    // and observes the poster's descriptor writes (acquire). acquire on
+    // failure: the loser must see the winner's transition before re-search.
     return state.compare_exchange_strong(expected, ReceiveState::kConsumed,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire);
@@ -64,6 +74,8 @@ struct ReceiveDescriptor {
     label = 0;
     seq_id = 0;
     wclass = WildcardClass::kNone;
+    // relaxed: reset runs on the engine-serialized release path; the slot
+    // is unreachable from any index until a later post() republishes it.
     state.store(ReceiveState::kFree, std::memory_order_relaxed);
     booking.reset();
     buffer_addr = 0;

@@ -12,6 +12,7 @@
 #include "core/descriptor.hpp"
 #include "util/assert.hpp"
 #include "util/spinlock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm {
 
@@ -70,8 +71,8 @@ class DescriptorTable {
   std::unique_ptr<Descriptor[]> slots_;
   std::size_t capacity_;
   mutable Spinlock lock_;
-  std::vector<std::uint32_t> free_;
-  std::size_t live_ = 0;
+  std::vector<std::uint32_t> free_ OTM_GUARDED_BY(lock_);
+  std::size_t live_ OTM_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace otm

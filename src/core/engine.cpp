@@ -32,6 +32,7 @@ MatchEngine::MatchEngine(const MatchConfig& cfg, const CostTable* costs)
 
 void MatchEngine::attach_observability(obs::Observability* obs,
                                        std::string_view prefix) {
+  SerialSection ingress(ingress_);
   obs_ = obs;
   obs_prefix_.assign(prefix);
   mh_ = MetricHandles{};
@@ -71,6 +72,12 @@ PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
                                       std::uint64_t buffer_addr,
                                       std::uint32_t buffer_capacity,
                                       std::uint64_t cookie) {
+  // The engine-serialized phase: command-QP posts never overlap a message
+  // block (header contract), mechanized as capability acquisition.
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
+  SerialSection umq_serial(umq_.serial());
+
   PostOutcome out;
   out.cookie = cookie;
   obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;
@@ -116,6 +123,7 @@ PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
 }
 
 std::optional<ProbeResult> MatchEngine::probe(const MatchSpec& spec) {
+  SerialSection ingress(ingress_);
   ThreadClock clock(costs_);
   std::uint64_t attempts = 0;
   const std::uint32_t um = umq_.search(spec, clock, attempts);
@@ -133,6 +141,8 @@ std::optional<ProbeResult> MatchEngine::probe(const MatchSpec& spec) {
 }
 
 std::optional<std::uint64_t> MatchEngine::cancel_receive(std::uint64_t cookie) {
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
   const std::optional<std::uint64_t> r = prq_.cancel_by_cookie(cookie);
   if (r.has_value()) ++cancelled_receives_;
   if (obs_ != nullptr) {
@@ -148,6 +158,12 @@ std::vector<ArrivalOutcome> MatchEngine::process(
     std::span<const IncomingMessage> msgs, BlockExecutor& executor,
     std::span<const std::uint64_t> arrival_cycles) {
   OTM_ASSERT(arrival_cycles.empty() || arrival_cycles.size() == msgs.size());
+  // Holding the serial capabilities across executor.execute() is sound: the
+  // matching threads only flip atomic descriptor state — the serialized
+  // structural mutation (epilogue inserts/unlinks) stays on this thread.
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
+  SerialSection umq_serial(umq_.serial());
   std::vector<ArrivalOutcome> outcomes;
   outcomes.reserve(msgs.size());
   obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;

@@ -35,6 +35,7 @@
 #include "core/types.hpp"
 #include "core/unexpected_store.hpp"
 #include "obs/observability.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm {
 
@@ -156,9 +157,15 @@ class MatchEngine {
   /// Single message convenience (block of one).
   ArrivalOutcome process_one(const IncomingMessage& msg, BlockExecutor& executor);
 
+  /// Borrow the live counters. Binding the reference is capability-free;
+  /// the caller reads it between engine operations (same serialization
+  /// phase that guards every other accessor here).
   const MatchStats& stats() const noexcept { return stats_; }
   /// Point-in-time copy of the counters (the registry-facing shim).
-  MatchStats snapshot() const noexcept { return stats_; }
+  MatchStats snapshot() const noexcept {
+    SerialSection s(ingress_);
+    return stats_;
+  }
   const MatchConfig& config() const noexcept { return cfg_; }
   ReceiveStore& receives() noexcept { return prq_; }
   const ReceiveStore& receives() const noexcept { return prq_; }
@@ -166,7 +173,10 @@ class MatchEngine {
   const UnexpectedStore& unexpected() const noexcept { return umq_; }
 
   /// Modeled time of the latest completed message (cycles).
-  std::uint64_t last_finish_cycles() const noexcept { return last_finish_cycles_; }
+  std::uint64_t last_finish_cycles() const noexcept {
+    SerialSection s(ingress_);
+    return last_finish_cycles_;
+  }
 
  private:
   /// Resolved metric handles (one registry lookup at attach time; hot paths
@@ -182,11 +192,11 @@ class MatchEngine {
   };
 
   /// Mirror stats_ into the registry counters (engine-serialized paths).
-  void publish_metrics() noexcept;
+  void publish_metrics() noexcept OTM_REQUIRES(ingress_);
   /// Record PRQ/UMQ/descriptor-table depth series at modeled time `t`.
-  void sample_depths(std::uint64_t t);
+  void sample_depths(std::uint64_t t) OTM_REQUIRES(ingress_);
   /// Pending posted receives, O(1) from the counters.
-  std::uint64_t posted_depth() const noexcept {
+  std::uint64_t posted_depth() const noexcept OTM_REQUIRES(ingress_) {
     return stats_.receives_posted - stats_.receives_matched_unexpected -
            stats_.messages_matched - cancelled_receives_;
   }
@@ -195,13 +205,23 @@ class MatchEngine {
   const CostTable* costs_;
   ReceiveStore prq_;
   UnexpectedStore umq_;
-  MatchStats stats_;
-  std::uint32_t next_gen_ = 0;
-  std::uint64_t last_finish_cycles_ = 0;
-  std::uint64_t cancelled_receives_ = 0;
-  ThreadClock umq_clock_;  ///< serialization point for ordered UMQ inserts
-  BlockMatcher matcher_;   ///< reused across blocks (fixed scratch)
-  std::vector<std::uint32_t> consumed_scratch_;  ///< block epilogue reuse
+
+  /// The engine-level serialization domain ("the DPA dispatcher serializes
+  /// command-QP posts against message blocks"): every public entry point
+  /// opens a SerialSection on it, and the fields below are written only
+  /// inside one. Compile-time enforcement of the header's concurrency
+  /// contract — zero runtime cost.
+  SerialDomain ingress_;
+
+  MatchStats stats_ OTM_GUARDED_BY(ingress_);
+  std::uint32_t next_gen_ OTM_GUARDED_BY(ingress_) = 0;
+  std::uint64_t last_finish_cycles_ OTM_GUARDED_BY(ingress_) = 0;
+  std::uint64_t cancelled_receives_ OTM_GUARDED_BY(ingress_) = 0;
+  /// Serialization point for ordered UMQ inserts.
+  ThreadClock umq_clock_ OTM_GUARDED_BY(ingress_);
+  BlockMatcher matcher_;  ///< reused across blocks (fixed scratch)
+  /// Block epilogue reuse.
+  std::vector<std::uint32_t> consumed_scratch_ OTM_GUARDED_BY(ingress_);
 
   obs::Observability* obs_ = nullptr;
   MetricHandles mh_{};

@@ -92,6 +92,8 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
   d.buffer_addr = buffer_addr;
   d.buffer_capacity = buffer_capacity;
   d.cookie = cookie;
+  // release: publishes the descriptor fields written above to any matching
+  // thread whose acquire load in posted()/consumed() observes kPosted.
   d.state.store(ReceiveState::kPosted, std::memory_order_release);
 
   const auto [idx, bin_id] = route_spec(spec);
@@ -99,21 +101,8 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
   SpinGuard g(bin.lock);
   // Lazy removal amortizes cleanup into the (engine-serialized) insert
   // path: consumed entries encountered here are compacted away now.
-  if (cfg_.lazy_removal && !bin.hot.empty()) {
-    const std::uint32_t before = bin.hot.size();
-    std::uint32_t w = 0;
-    for (std::uint32_t r = 0; r < before; ++r) {
-      const HotEntry& e = bin.hot[r];
-      if (table_[e.slot].consumed()) {
-        table_.release(e.slot);
-      } else {
-        bin.hot[w++] = e;
-      }
-    }
-    bin.hot.truncate(w);
-    lazy_removals_ += before - w;
-    index_count_[idx] -= before - w;
-  }
+  if (cfg_.lazy_removal && !bin.hot.empty())
+    lazy_removals_ += compact_bin_locked(idx, bin);
   HotEntry e;
   e.spec = spec;
   e.slot = slot;
@@ -124,6 +113,7 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
   return {slot, /*fallback=*/false};
 }
 
+// otmlint: hot
 std::uint32_t ReceiveStore::scan_bin(unsigned idx, std::size_t bin_id,
                                      const Envelope& env, std::uint32_t gen,
                                      unsigned thread_id, bool early_skip,
@@ -159,6 +149,7 @@ std::uint32_t ReceiveStore::scan_bin(unsigned idx, std::size_t bin_id,
   return found;
 }
 
+// otmlint: hot
 std::uint32_t ReceiveStore::search(const IncomingMessage& msg, std::uint32_t gen,
                                    unsigned thread_id, bool early_skip,
                                    ThreadClock& clock, SearchLocal& local,
@@ -196,6 +187,7 @@ std::uint32_t ReceiveStore::search(const IncomingMessage& msg, std::uint32_t gen
   return best;
 }
 
+// otmlint: hot
 std::uint32_t ReceiveStore::fast_path_candidate(const Cursor& from,
                                                 const Envelope& env,
                                                 unsigned shift,
@@ -226,10 +218,14 @@ void ReceiveStore::charge_eager_removal(std::uint32_t slot, ThreadClock& clock) 
   std::atomic<std::uint64_t>& removal = bins_[idx][bin_id].removal_clock;
   const std::uint64_t cost =
       clock.costs()->lock_acquire + clock.costs()->unlink;
+  // relaxed: only seeds the CAS loop; the CAS itself re-reads on failure.
   std::uint64_t cur = removal.load(std::memory_order_relaxed);
   for (;;) {
     const std::uint64_t start = std::max(clock.cycles(), cur);
     const std::uint64_t done = start + cost;
+    // acq_rel on success: the modeled remove-lock clock is a serialization
+    // point — each consumer must observe the previous holder's extension
+    // and publish its own. relaxed on failure: the retry recomputes.
     if (removal.compare_exchange_weak(cur, done, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
       clock.set(done);
@@ -256,6 +252,10 @@ void ReceiveStore::unlink_and_release(std::uint32_t slot) {
 
 std::size_t ReceiveStore::cleanup_bin(unsigned idx, Bin& bin) {
   SpinGuard g(bin.lock);
+  return compact_bin_locked(idx, bin);
+}
+
+std::size_t ReceiveStore::compact_bin_locked(unsigned idx, Bin& bin) {
   const std::uint32_t before = bin.hot.size();
   std::uint32_t w = 0;
   for (std::uint32_t r = 0; r < before; ++r) {

@@ -36,6 +36,7 @@
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "util/spinlock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm {
 
@@ -68,10 +69,21 @@ class ReceiveStore {
     std::uint32_t pos = 0;
   };
 
+  /// Capability token for the engine-serialized posting path. Functions
+  /// below marked OTM_REQUIRES(serial_) mutate posting-ordered state
+  /// (posting labels — constraint C1 — sequence ids, bin arrays) and must
+  /// only run inside a SerialSection on this domain; the engine owns the
+  /// only such section, which is exactly the paper's "the DPA dispatcher
+  /// serializes command-QP posts against message blocks" contract.
+  const SerialDomain& serial() const noexcept OTM_RETURN_CAPABILITY(serial_) {
+    return serial_;
+  }
+
   /// Index a new receive. Assigns the posting label and the
   /// compatible-sequence id (Sec. III-D fast path). Engine-serialized.
   PostResult post(const MatchSpec& spec, std::uint64_t buffer_addr,
-                  std::uint32_t buffer_capacity, std::uint64_t cookie);
+                  std::uint32_t buffer_capacity, std::uint64_t cookie)
+      OTM_REQUIRES(serial_);
 
   /// Optimistic search (Sec. III-C): probe every non-empty index with the
   /// message key and return the oldest matching live receive, or
@@ -93,7 +105,7 @@ class ReceiveStore {
 
   /// Unlink one consumed receive from its bin array and release the slot.
   /// Engine-serialized (block epilogue in eager-removal mode).
-  void unlink_and_release(std::uint32_t slot);
+  void unlink_and_release(std::uint32_t slot) OTM_REQUIRES(serial_);
 
   /// Model the eager-removal cost for the thread consuming `slot`:
   /// acquiring the bin's remove lock serializes with every other removal
@@ -107,12 +119,13 @@ class ReceiveStore {
   /// consumed (so in-flight searches skip it) and unlink it. Returns the
   /// cancelled receive's buffer_addr, or nullopt if no posted receive
   /// carries the cookie. Engine-serialized.
-  std::optional<std::uint64_t> cancel_by_cookie(std::uint64_t cookie);
+  std::optional<std::uint64_t> cancel_by_cookie(std::uint64_t cookie)
+      OTM_REQUIRES(serial_);
 
   /// Sweep every bin, unlinking and releasing all consumed entries.
   /// Returns the number of entries reclaimed. Used by lazy removal when the
   /// descriptor table runs dry, and by tests.
-  std::size_t cleanup_all();
+  std::size_t cleanup_all() OTM_REQUIRES(serial_);
 
   ReceiveDescriptor& desc(std::uint32_t slot) noexcept { return table_[slot]; }
   const ReceiveDescriptor& desc(std::uint32_t slot) const noexcept {
@@ -139,8 +152,12 @@ class ReceiveStore {
   };
   DepthMetrics depth_metrics() const;
 
-  std::uint64_t lazy_removals() const noexcept { return lazy_removals_; }
-  std::uint64_t next_label() const noexcept { return next_label_; }
+  std::uint64_t lazy_removals() const noexcept OTM_REQUIRES(serial_) {
+    return lazy_removals_;
+  }
+  std::uint64_t next_label() const noexcept OTM_REQUIRES(serial_) {
+    return next_label_;
+  }
 
  private:
   /// Index-side copy of the fields a probe scans: 32 packed bytes, two per
@@ -157,6 +174,13 @@ class ReceiveStore {
 
   struct Bin {
     Spinlock lock;  // 4-byte remove lock of Sec. IV-E (structural mutation)
+    /// NOT annotated OTM_GUARDED_BY(lock) by design: searches scan `hot`
+    /// lock-free while a block is in flight (the arrays are structurally
+    /// immutable during a block — a *phase* discipline the lock-based
+    /// analysis cannot express). Structural mutation still happens only
+    /// under `lock`, enforced by routing every mutation through
+    /// compact_bin_locked()/the guarded sections below and checked
+    /// dynamically by the TSan suite.
     SlabVec<HotEntry> hot;
     /// Modeled time until which the remove lock is held (eager removal).
     std::atomic<std::uint64_t> removal_clock{0};
@@ -178,21 +202,38 @@ class ReceiveStore {
                          SearchLocal& local, std::uint32_t& pos) const;
 
   /// Remove consumed entries from one bin's array, releasing their slots.
-  std::size_t cleanup_bin(unsigned idx, Bin& bin);
+  /// Takes the bin's remove lock, then delegates to compact_bin_locked().
+  std::size_t cleanup_bin(unsigned idx, Bin& bin) OTM_REQUIRES(serial_);
+
+  /// Compact one bin's hot array in place, releasing the slots of consumed
+  /// entries. The single implementation behind both the lazy-removal insert
+  /// path and the bulk cleanup sweep. Caller must hold the bin's remove
+  /// lock (checked: OTM_REQUIRES).
+  std::size_t compact_bin_locked(unsigned idx, Bin& bin)
+      OTM_REQUIRES(serial_, bin.lock);
 
   MatchConfig cfg_;
   mutable DescriptorTable<ReceiveDescriptor> table_;
   SlabArena arena_;
   std::vector<Bin> bins_[kNumIndexes];  // [3] has exactly one bin (the list)
   std::size_t bin_mask_ = 0;
+  /// Read lock-free by search() (occupancy skip) while blocks are in
+  /// flight; mutated only on the serialized posting path. Unannotated for
+  /// the same phase-discipline reason as Bin::hot.
   std::size_t index_count_[kNumIndexes] = {0, 0, 0, 0};
 
-  std::uint64_t next_label_ = 0;
-  std::uint32_t next_seq_ = 0;
-  bool have_last_spec_ = false;
-  MatchSpec last_spec_{};
+  /// The posting-path serialization domain (see serial()).
+  SerialDomain serial_;
 
-  std::uint64_t lazy_removals_ = 0;
+  /// C1 state: the global posting label. Produced *only* here (otmlint R4);
+  /// every index entry carries the label so cross-index age comparison is a
+  /// single integer compare.
+  std::uint64_t next_label_ OTM_GUARDED_BY(serial_) = 0;
+  std::uint32_t next_seq_ OTM_GUARDED_BY(serial_) = 0;
+  bool have_last_spec_ OTM_GUARDED_BY(serial_) = false;
+  MatchSpec last_spec_ OTM_GUARDED_BY(serial_){};
+
+  std::uint64_t lazy_removals_ OTM_GUARDED_BY(serial_) = 0;
 };
 
 }  // namespace otm

@@ -23,6 +23,7 @@
 #include "core/descriptor_table.hpp"
 #include "core/slab.hpp"
 #include "core/types.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm {
 
@@ -33,9 +34,18 @@ class UnexpectedStore {
   UnexpectedStore(const UnexpectedStore&) = delete;
   UnexpectedStore& operator=(const UnexpectedStore&) = delete;
 
+  /// Capability token for the engine-serialized mutation path (same
+  /// contract as ReceiveStore::serial()): insert/remove reshape the hot
+  /// arrays and advance the arrival clock — constraint C2 — so they must
+  /// run inside a SerialSection on this domain.
+  const SerialDomain& serial() const noexcept OTM_RETURN_CAPABILITY(serial_) {
+    return serial_;
+  }
+
   /// Store an unexpected message; returns its slot or kInvalidSlot when the
-  /// table is exhausted (software-fallback signal).
-  std::uint32_t insert(const IncomingMessage& msg, ThreadClock& clock);
+  /// table is exhausted (software-fallback signal). Engine-serialized.
+  std::uint32_t insert(const IncomingMessage& msg, ThreadClock& clock)
+      OTM_REQUIRES(serial_);
 
   /// Search for the oldest stored message matching `spec`, probing only the
   /// index of the spec's wildcard class. Returns kInvalidSlot if none.
@@ -45,7 +55,8 @@ class UnexpectedStore {
 
   /// Unlink from all indexed structures and release the slot. The descriptor
   /// contents are returned by value so the caller can run protocol handling.
-  UnexpectedDescriptor remove(std::uint32_t slot);
+  /// Engine-serialized.
+  UnexpectedDescriptor remove(std::uint32_t slot) OTM_REQUIRES(serial_);
 
   const UnexpectedDescriptor& desc(std::uint32_t slot) const noexcept {
     return table_[slot];
@@ -85,8 +96,16 @@ class UnexpectedStore {
   SlabArena arena_;
   std::vector<Bin> bins_[kNumIndexes];
   std::size_t bin_mask_ = 0;
+  /// Read lock-free by search(); mutated only on the serialized path.
+  /// Unannotated for the same phase-discipline reason as the bin arrays.
   std::size_t index_count_[kNumIndexes] = {0, 0, 0, 0};
-  std::uint64_t next_arrival_ = 0;
+
+  /// The mutation-path serialization domain (see serial()).
+  SerialDomain serial_;
+
+  /// C2 state: the global arrival clock; thread-id-ordered epilogue inserts
+  /// stamp each message with its sequential arrival position.
+  std::uint64_t next_arrival_ OTM_GUARDED_BY(serial_) = 0;
 };
 
 }  // namespace otm

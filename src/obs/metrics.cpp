@@ -18,9 +18,14 @@ Histogram::Histogram(std::span<const std::uint64_t> upper_bounds)
 void Histogram::observe(std::uint64_t v) noexcept {
   std::size_t i = 0;
   while (v > bounds_[i]) ++i;  // last bound is +inf: always terminates
+  // All updates relaxed: each total is individually exact; readers accept
+  // that count/sum/buckets may be from different instants (class contract),
+  // and the observed hot paths must not inherit fences from metrics.
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);  // relaxed: see above
+
+  // relaxed fetch-max loop: value-monotonic, ordering irrelevant.
   std::uint64_t cur = max_.load(std::memory_order_relaxed);
   while (v > cur &&
          !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -28,7 +33,7 @@ void Histogram::observe(std::uint64_t v) noexcept {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -36,7 +41,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -45,7 +50,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(
     std::string_view name, std::span<const std::uint64_t> upper_bounds) {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -55,12 +60,12 @@ Histogram& MetricsRegistry::histogram(
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -95,7 +100,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   os << "kind,name,field,value\n";
   for (const auto& [name, c] : counters_)
     os << "counter," << name << ",value," << c->value() << "\n";

@@ -14,21 +14,28 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace otm::obs {
 
 /// Monotonic counter (set() exists for mirroring engine-local totals).
+/// All operations relaxed: totals are exact, cross-metric ordering is not
+/// promised (header contract), and metrics must never add fences to the
+/// paths they observe.
 class Counter {
  public:
+  // relaxed: see class comment (totals exact, no ordering promised).
   void inc(std::uint64_t d = 1) noexcept {
     v_.fetch_add(d, std::memory_order_relaxed);
   }
+  // relaxed: see class comment.
   void set(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  // relaxed: see class comment.
   std::uint64_t value() const noexcept {
     return v_.load(std::memory_order_relaxed);
   }
@@ -38,15 +45,20 @@ class Counter {
 };
 
 /// Last-value gauge with a fetch-max variant for high-water marks.
+/// All operations relaxed for the same reason as Counter.
 class Gauge {
  public:
+  // relaxed: observe-only metric, no ordering promised.
   void set(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  // relaxed fetch-max loop: the maximum is value-monotonic, so ordering
+  // between contending writers is irrelevant.
   void update_max(std::uint64_t v) noexcept {
     std::uint64_t cur = v_.load(std::memory_order_relaxed);
-    while (v > cur &&
+    while (v > cur &&  // relaxed CAS: same fetch-max argument as above
            !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
   }
+  // relaxed: observe-only metric.
   std::uint64_t value() const noexcept {
     return v_.load(std::memory_order_relaxed);
   }
@@ -66,15 +78,21 @@ class Histogram {
   std::size_t num_buckets() const noexcept { return buckets_.size(); }
   /// Inclusive upper bound of bucket i (i == num_buckets()-1 is +inf).
   std::uint64_t bound(std::size_t i) const noexcept { return bounds_[i]; }
+  // All reads relaxed: each total is individually exact; a snapshot taken
+  // concurrently with observe() may see count/sum/buckets from different
+  // instants, which the JSON/CSV writers document.
   std::uint64_t bucket_count(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  // relaxed: see bucket_count().
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
+  // relaxed: see bucket_count().
   std::uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  // relaxed: see bucket_count().
   std::uint64_t max() const noexcept {
     return max_.load(std::memory_order_relaxed);
   }
@@ -113,10 +131,13 @@ class MetricsRegistry {
   void write_csv(std::ostream& os) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable AnnotatedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      OTM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      OTM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      OTM_GUARDED_BY(mu_);
 };
 
 }  // namespace otm::obs

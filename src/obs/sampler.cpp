@@ -6,7 +6,7 @@ namespace otm::obs {
 
 bool DepthSampler::sample(std::string_view series, std::uint64_t t,
                           std::uint64_t v) {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   auto it = series_.find(series);
   if (it == series_.end())
     it = series_.emplace(std::string(series), Series{}).first;
@@ -21,7 +21,7 @@ bool DepthSampler::sample(std::string_view series, std::uint64_t t,
 }
 
 std::vector<std::string> DepthSampler::series_names() const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   std::vector<std::string> names;
   names.reserve(series_.size());
   for (const auto& [name, s] : series_) names.push_back(name);
@@ -30,20 +30,20 @@ std::vector<std::string> DepthSampler::series_names() const {
 
 std::vector<DepthSampler::Point> DepthSampler::points(
     std::string_view series) const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   const auto it = series_.find(series);
   return it == series_.end() ? std::vector<Point>{} : it->second.points;
 }
 
 std::size_t DepthSampler::total_points() const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   std::size_t n = 0;
   for (const auto& [name, s] : series_) n += s.points.size();
   return n;
 }
 
 void DepthSampler::write_csv(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  MutexGuard lock(mu_);
   os << "series,t,value\n";
   for (const auto& [name, s] : series_)
     for (const Point& p : s.points)

@@ -11,10 +11,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace otm::obs {
 
@@ -51,9 +52,9 @@ class DepthSampler {
     std::uint64_t last_t = 0;
   };
 
-  mutable std::mutex mu_;
+  mutable AnnotatedMutex mu_;
   std::uint64_t min_interval_;
-  std::map<std::string, Series, std::less<>> series_;
+  std::map<std::string, Series, std::less<>> series_ OTM_GUARDED_BY(mu_);
 };
 
 }  // namespace otm::obs

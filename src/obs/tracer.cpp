@@ -42,10 +42,13 @@ Tracer::Tracer(std::size_t capacity) : slots_(round_up_pow2(capacity)) {
 
 void Tracer::record(EventKind kind, std::uint64_t ts, std::uint32_t lane,
                     std::uint64_t a0, std::uint64_t a1) noexcept {
+  // relaxed: the claim only needs a unique seq; publication order is
+  // carried entirely by the stamp protocol below.
   const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& s = slots_[static_cast<std::size_t>(seq) & mask_];
   // Invalidate the slot first so a racing snapshot never sees the new stamp
-  // paired with the old payload.
+  // paired with the old payload. Both stores release: they pair with
+  // snapshot()'s acquire load, ordering the payload write between them.
   s.stamp.store(~std::uint64_t{0}, std::memory_order_release);
   s.ev = TraceEvent{ts, a0, a1, seq, lane, kind};
   s.stamp.store(seq, std::memory_order_release);
@@ -58,6 +61,8 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   out.reserve(static_cast<std::size_t>(n - first));
   for (std::uint64_t seq = first; seq < n; ++seq) {
     const Slot& s = slots_[static_cast<std::size_t>(seq) & mask_];
+    // acquire: pairs with record()'s release stamp — a matching stamp
+    // implies the slot's payload write is visible.
     if (s.stamp.load(std::memory_order_acquire) != seq) continue;  // in flight
     out.push_back(s.ev);
   }
@@ -67,6 +72,8 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 }
 
 void Tracer::clear() noexcept {
+  // relaxed: clear() is documented single-threaded (no concurrent record);
+  // there is no payload to order against the invalidation stamps.
   for (Slot& s : slots_) s.stamp.store(~std::uint64_t{0}, std::memory_order_relaxed);
   next_.store(0, std::memory_order_relaxed);
 }

@@ -38,6 +38,8 @@ class Tracer {
   std::size_t capacity() const noexcept { return slots_.size(); }
 
   /// Events emitted since construction/clear (including overwritten ones).
+  // relaxed: a point-in-time count; slot visibility is carried by the
+  // per-slot stamp protocol, not by this counter.
   std::uint64_t emitted() const noexcept {
     return next_.load(std::memory_order_relaxed);
   }

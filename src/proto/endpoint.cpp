@@ -33,12 +33,13 @@ Endpoint::Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
 
 void Endpoint::connect(Endpoint& peer) {
   OTM_ASSERT_MSG(qps_.find(peer.rank_) == qps_.end(), "already connected");
-  auto [it, ok] = qps_.emplace(
-      peer.rank_, rdma::QueuePair(*fabric_, node_, cq_, registry_, srq_));
+  // In-place construction: QueuePair owns a capability token and is
+  // intentionally immovable.
+  auto [it, ok] =
+      qps_.try_emplace(peer.rank_, *fabric_, node_, cq_, registry_, srq_);
   OTM_ASSERT(ok);
-  auto [pit, pok] = peer.qps_.emplace(
-      rank_, rdma::QueuePair(*fabric_, peer.node_, peer.cq_, peer.registry_,
-                             peer.srq_));
+  auto [pit, pok] = peer.qps_.try_emplace(rank_, *fabric_, peer.node_, peer.cq_,
+                                          peer.registry_, peer.srq_);
   OTM_ASSERT(pok);
   it->second.connect(pit->second);
   peers_.emplace(peer.rank_, &peer);
@@ -104,6 +105,7 @@ bool Endpoint::cancel_receive(CommId comm, std::uint64_t cookie) {
 
 Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
                                     std::span<const std::byte> data) {
+  SerialSection host(host_);
   auto it = qps_.find(dst);
   OTM_ASSERT_MSG(it != qps_.end(), "send to unconnected peer");
 
@@ -312,6 +314,7 @@ void Endpoint::fail_channel(Rank dst, PeerTx& tx) {
 }
 
 void Endpoint::handle_ack(Rank from, std::uint64_t cum_seq) {
+  SerialSection host(host_);
   const auto it = tx_.find(from);
   if (it == tx_.end()) return;
   PeerTx& tx = it->second;
@@ -481,6 +484,7 @@ std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
 }
 
 std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
+  SerialSection host(host_);
   // Any host attention ends the current send burst: the next send() rings
   // a fresh doorbell.
   send_burst_open_ = false;

@@ -26,6 +26,7 @@
 #include "proto/wire.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/memory.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm::proto {
 
@@ -187,6 +188,7 @@ class Endpoint {
 
   /// Reliable-delivery failures recorded since the last call.
   std::vector<DeliveryError> take_delivery_errors() {
+    SerialSection host(host_);
     return std::exchange(delivery_errors_, {});
   }
 
@@ -195,6 +197,7 @@ class Endpoint {
 
   /// Unacknowledged packets currently queued for `dst`.
   std::size_t unacked(Rank dst) const noexcept {
+    SerialSection host(host_);
     const auto it = tx_.find(dst);
     return it == tx_.end() ? 0 : it->second.window.size();
   }
@@ -327,8 +330,8 @@ class Endpoint {
     std::map<std::uint64_t, Stashed> ooo;
   };
 
-  void try_transmit(Rank dst, PeerTx& tx);
-  void fail_channel(Rank dst, PeerTx& tx);
+  void try_transmit(Rank dst, PeerTx& tx) OTM_REQUIRES(host_);
+  void fail_channel(Rank dst, PeerTx& tx) OTM_REQUIRES(host_);
 
   RecvCompletion complete_matched(const ArrivalOutcome& o);
   RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
@@ -380,11 +383,17 @@ class Endpoint {
   std::vector<IncomingMessage> ingress_msgs_;
   std::vector<std::uint64_t> ingress_arrivals_;
 
+  /// Host-API serialization domain: send/progress/handle_ack run on the
+  /// host thread, never concurrently with each other (the header contract
+  /// above), and the reliability windows below are written only inside a
+  /// SerialSection on this domain.
+  SerialDomain host_;
+
   // Reliable-delivery state (empty/idle when rel_active_ is false).
   bool rel_active_ = false;
-  std::map<Rank, PeerTx> tx_;
-  std::map<Rank, PeerRx> rx_;
-  std::vector<DeliveryError> delivery_errors_;
+  std::map<Rank, PeerTx> tx_ OTM_GUARDED_BY(host_);
+  std::map<Rank, PeerRx> rx_ OTM_GUARDED_BY(host_);
+  std::vector<DeliveryError> delivery_errors_ OTM_GUARDED_BY(host_);
   std::uint64_t rx_delivery_seq_ = 0;  ///< matcher-facing wire_seq source
 
   obs::Observability* obs_ = nullptr;

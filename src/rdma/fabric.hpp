@@ -19,6 +19,7 @@
 #include "rdma/fault.hpp"
 #include "rdma/memory.hpp"
 #include "util/assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm::rdma {
 
@@ -59,6 +60,7 @@ class Fabric {
   /// Returns its arrival time; the link serializes back-to-back messages.
   std::uint64_t transfer(NodeId src, NodeId dst, std::size_t bytes,
                          std::uint64_t send_ns) {
+    SerialSection wire(wire_);
     OTM_ASSERT(src < num_nodes_ && dst < num_nodes_);
     if (link_free_.size() < num_nodes_ * num_nodes_)
       link_free_.resize(num_nodes_ * num_nodes_, 0);
@@ -74,7 +76,11 @@ class Fabric {
  private:
   FabricConfig cfg_;
   std::size_t num_nodes_ = 0;
-  std::vector<std::uint64_t> link_free_;
+  /// Fabric-wide serialization domain: all endpoints of one fabric live on
+  /// one driver thread (simulation contract), so the shared link-occupancy
+  /// table is written only inside a SerialSection here.
+  SerialDomain wire_;
+  std::vector<std::uint64_t> link_free_ OTM_GUARDED_BY(wire_);
   std::unique_ptr<FaultInjector> injector_;
 };
 
@@ -156,6 +162,7 @@ class QueuePair {
   /// back behind later sends; `delivered` then reflects only the synchronous
   /// outcome the sender-side NIC could observe.
   SendResult post_send(std::span<const std::byte> data, std::uint64_t send_ns) {
+    SerialSection qp(serial_);
     OTM_ASSERT_MSG(peer_ != nullptr, "QP not connected");
     FaultInjector* fi = fabric_->injector();
     if (fi != nullptr && fi->forced_rnr(node_, peer_->node_))
@@ -228,7 +235,7 @@ class QueuePair {
   /// Release held-back (reordered) packets whose delay elapsed. Delivery is
   /// best-effort: a release that hits RNR/CQ-full turns into a drop, which
   /// the reliability layer recovers via retransmission.
-  void flush_held(std::uint64_t now_ns) {
+  void flush_held(std::uint64_t now_ns) OTM_REQUIRES(serial_) {
     for (auto& h : held_) {
       if (h.release_after > 0) --h.release_after;
     }
@@ -253,7 +260,10 @@ class QueuePair {
   MemoryRegistry* registry_;
   SharedReceiveQueue* srq_;
   QueuePair* peer_ = nullptr;
-  std::deque<Held> held_;
+  /// QP serialization domain (sends on one QP never overlap — the verbs
+  /// contract a real provider imposes on an unlocked QP).
+  SerialDomain serial_;
+  std::deque<Held> held_ OTM_GUARDED_BY(serial_);
 };
 
 }  // namespace otm::rdma

@@ -31,9 +31,12 @@ class BookingBitmap {
   /// If the stored generation is older, the bitmap is restarted at this
   /// generation with only this thread's bit. Returns the bitmap of threads
   /// (including this one) booked under `gen` after the update.
+  // otmlint: hot
   std::uint32_t book(std::uint32_t gen, unsigned thread_id) noexcept {
     OTM_ASSERT(thread_id < kMaxBlockThreads);
     const std::uint32_t bit = 1u << thread_id;
+    // acquire: seed the CAS loop with a word at least as fresh as any bit
+    // already published by another booking thread this block.
     std::uint64_t cur = word_.load(std::memory_order_acquire);
     for (;;) {
       std::uint64_t desired;
@@ -43,6 +46,10 @@ class BookingBitmap {
         // Stale generation: restart the bitmap for the current block.
         desired = (static_cast<std::uint64_t>(gen) << 32) | bit;
       }
+      // acq_rel on success: publish this thread's bit (release) and observe
+      // all earlier bookings (acquire) in one edge — the partial-barrier
+      // conflict check depends on both directions. acquire on failure: the
+      // retry must see the word that beat us.
       if (word_.compare_exchange_weak(cur, desired, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
         return static_cast<std::uint32_t>(desired);
@@ -52,7 +59,10 @@ class BookingBitmap {
 
   /// Bitmap of threads booked under generation `gen` (zero if the stored
   /// generation differs).
+  // otmlint: hot
   std::uint32_t booked(std::uint32_t gen) const noexcept {
+    // acquire: pairs with the release side of book()'s CAS so a reader that
+    // sees a bit also sees the booking thread's prior work (C2 detection).
     const std::uint64_t cur = word_.load(std::memory_order_acquire);
     return generation(cur) == gen ? static_cast<std::uint32_t>(cur) : 0u;
   }
@@ -72,7 +82,11 @@ class BookingBitmap {
                      : static_cast<unsigned>(std::countr_zero(bits));
   }
 
-  void reset() noexcept { word_.store(0, std::memory_order_relaxed); }
+  void reset() noexcept {
+    // relaxed: reset only runs on the engine-serialized descriptor-release
+    // path; no matching thread can hold a reference to this bitmap.
+    word_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   static std::uint32_t generation(std::uint64_t word) noexcept {

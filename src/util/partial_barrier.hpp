@@ -12,6 +12,7 @@
 
 #include "util/assert.hpp"
 #include "util/booking_bitmap.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace otm {
 
@@ -25,21 +26,31 @@ class PartialBarrier {
   void reset(unsigned num_threads) noexcept {
     OTM_ASSERT(num_threads <= kMaxBlockThreads);
     num_threads_ = num_threads;
+    // relaxed: reset runs on the engine-serialized path between blocks; no
+    // matching thread is concurrently observing the barrier.
     bits_.store(0, std::memory_order_relaxed);
     for (auto& v : published_) v.store(0, std::memory_order_relaxed);
   }
 
   /// Publish `value` and mark thread `tid` as arrived. The value is readable
   /// by any thread that has observed the bit (release/acquire pairing).
+  // otmlint: hot
   void arrive(unsigned tid, std::uint64_t value = 0) noexcept {
     OTM_ASSERT(tid < num_threads_);
+    // relaxed: the value is published by the release fetch_or below — the
+    // bit, not the value store, is the synchronization edge.
     published_[tid].store(value, std::memory_order_relaxed);
+    // release: pairs with the acquire load in wait_lower()/arrived(), making
+    // the published value (and the phase work before it) visible to waiters.
     bits_.fetch_or(1u << tid, std::memory_order_release);
   }
 
   /// Spin until all threads j < tid have arrived.
+  // otmlint: hot
   void wait_lower(unsigned tid) const noexcept {
     const std::uint32_t mask = (tid == 0) ? 0u : ((1u << tid) - 1u);
+    // acquire: pairs with the release fetch_or in arrive(); once all lower
+    // bits are visible, so are the lower threads' published values.
     while ((bits_.load(std::memory_order_acquire) & mask) != mask) {
       // Busy-wait: block threads are short-lived, run-to-completion tasks.
     }
@@ -49,6 +60,8 @@ class PartialBarrier {
   /// wait_lower() has returned for a tid greater than `tid`.
   std::uint64_t published(unsigned tid) const noexcept {
     OTM_ASSERT(tid < num_threads_);
+    // relaxed: ordered by the acquire in wait_lower() that the caller must
+    // have executed first (see contract above).
     return published_[tid].load(std::memory_order_relaxed);
   }
 
@@ -63,6 +76,8 @@ class PartialBarrier {
   }
 
   bool arrived(unsigned tid) const noexcept {
+    // acquire: observing the bit must also make the published value visible
+    // (same pairing as wait_lower()).
     return (bits_.load(std::memory_order_acquire) & (1u << tid)) != 0;
   }
 

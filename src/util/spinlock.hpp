@@ -4,41 +4,58 @@
 // no blocking primitives, so contention is resolved by spinning. The lock is
 // only taken on structural mutation (insert, unlink); searches are lock-free
 // when lazy removal is enabled.
+//
+// The class is a clang thread-safety *capability*: fields annotated
+// OTM_GUARDED_BY(lock) and helpers annotated OTM_REQUIRES(lock) are checked
+// at compile time under OTM_LINT (-Wthread-safety).
 #pragma once
 
 #include <atomic>
 
+#include "util/thread_annotations.hpp"
+
 namespace otm {
 
-class Spinlock {
+class OTM_CAPABILITY("spinlock") Spinlock {
  public:
   Spinlock() noexcept = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept OTM_ACQUIRE() {
+    // acquire: the critical section must observe all writes published by
+    // the previous holder's release store in unlock().
     while (flag_.exchange(true, std::memory_order_acquire)) {
+      // relaxed: the inner test-loop only waits for the flag to drop; the
+      // synchronizing read is the acquire exchange above that ends the wait.
       while (flag_.load(std::memory_order_relaxed)) {
         // spin
       }
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept OTM_TRY_ACQUIRE(true) {
+    // acquire: same ordering contract as lock() when the exchange wins.
     return !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept OTM_RELEASE() {
+    // release: publishes the critical section to the next acquirer.
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
 };
 
-/// RAII guard; std::lock_guard works too, this one adds try semantics.
-class SpinGuard {
+/// RAII guard; std::lock_guard works too, this one adds try semantics and
+/// is visible to the thread-safety analysis (scoped capability).
+class OTM_SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(Spinlock& l) noexcept : lock_(l) { lock_.lock(); }
-  ~SpinGuard() { lock_.unlock(); }
+  explicit SpinGuard(Spinlock& l) noexcept OTM_ACQUIRE(l) : lock_(l) {
+    lock_.lock();
+  }
+  ~SpinGuard() OTM_RELEASE() { lock_.unlock(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 

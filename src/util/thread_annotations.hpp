@@ -1,0 +1,122 @@
+// Clang Thread Safety Analysis macros (the OTM_LINT compile-time gate).
+//
+// Under clang with -Wthread-safety (scripts/check.sh --lint, CI lint job)
+// these expand to the capability attributes and every annotated lock,
+// guarded field and REQUIRES contract is checked on every build; under any
+// other compiler they expand to nothing, so the annotations are free.
+//
+// Two kinds of capabilities are annotated in this tree:
+//
+//   1. Real locks — util::Spinlock and util::AnnotatedMutex. Fields written
+//      only under a lock carry OTM_GUARDED_BY(lock); helpers that assume the
+//      lock is already held carry OTM_REQUIRES(lock).
+//
+//   2. Serialization domains — otm::SerialDomain, a zero-size phantom
+//      capability naming a single-owner phase of the concurrency contract
+//      (e.g. "engine-serialized posting path", DESIGN.md C1). Acquiring one
+//      compiles to nothing; the value is that clang then proves serialized
+//      state is never touched from an unannotated (i.e. potentially
+//      concurrent) code path. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OTM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OTM_THREAD_ANNOTATION
+#define OTM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define OTM_CAPABILITY(name) OTM_THREAD_ANNOTATION(capability(name))
+#define OTM_SCOPED_CAPABILITY OTM_THREAD_ANNOTATION(scoped_lockable)
+#define OTM_GUARDED_BY(x) OTM_THREAD_ANNOTATION(guarded_by(x))
+#define OTM_PT_GUARDED_BY(x) OTM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define OTM_ACQUIRE(...) \
+  OTM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OTM_ACQUIRE_SHARED(...) \
+  OTM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define OTM_RELEASE(...) \
+  OTM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OTM_RELEASE_SHARED(...) \
+  OTM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define OTM_TRY_ACQUIRE(...) \
+  OTM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define OTM_REQUIRES(...) \
+  OTM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OTM_REQUIRES_SHARED(...) \
+  OTM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define OTM_EXCLUDES(...) OTM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define OTM_RETURN_CAPABILITY(x) OTM_THREAD_ANNOTATION(lock_returned(x))
+#define OTM_NO_THREAD_SAFETY_ANALYSIS \
+  OTM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace otm {
+
+/// std::mutex wrapper that clang's analysis can see (std::mutex itself is
+/// unannotated, so GUARDED_BY fields behind it would go unchecked). Used by
+/// the registry-style components (src/obs); src/core must not use it
+/// (otmlint R3: spinlock / partial-barrier discipline only).
+class OTM_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() OTM_ACQUIRE() { mu_.lock(); }
+  void unlock() OTM_RELEASE() { mu_.unlock(); }
+  bool try_lock() OTM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard for AnnotatedMutex (std::lock_guard is itself unannotated).
+class OTM_SCOPED_CAPABILITY MutexGuard {
+ public:
+  explicit MutexGuard(AnnotatedMutex& mu) OTM_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexGuard() OTM_RELEASE() { mu_.unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  AnnotatedMutex& mu_;
+};
+
+/// Phantom capability naming a serialization domain: a phase of the
+/// concurrency contract enforced by construction (one owner at a time)
+/// rather than by a runtime lock. Examples: the engine-serialized posting
+/// path (post_receive/process never overlap — the DPA dispatcher serializes
+/// them), the endpoint's host-call domain. Acquire/release compile to
+/// nothing; clang's analysis still tracks them, so fields marked
+/// OTM_GUARDED_BY(domain) are provably untouched outside the domain.
+class OTM_CAPABILITY("serial-domain") SerialDomain {
+ public:
+  SerialDomain() = default;
+  SerialDomain(const SerialDomain&) = delete;
+  SerialDomain& operator=(const SerialDomain&) = delete;
+
+  void acquire() const noexcept OTM_ACQUIRE() {}
+  void release() const noexcept OTM_RELEASE() {}
+};
+
+/// RAII entry into a serialization domain (zero runtime cost).
+class OTM_SCOPED_CAPABILITY SerialSection {
+ public:
+  explicit SerialSection(const SerialDomain& d) noexcept OTM_ACQUIRE(d)
+      : d_(d) {
+    d_.acquire();
+  }
+  ~SerialSection() OTM_RELEASE() { d_.release(); }
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+
+ private:
+  const SerialDomain& d_;
+};
+
+}  // namespace otm

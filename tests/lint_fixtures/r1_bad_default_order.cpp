@@ -1,0 +1,18 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R1 bad twin: default-argument atomics are seq_cst, banned on matching
+// paths; and even an explicit order without a justifying comment fails.
+#include <atomic>
+
+namespace otm {
+
+std::atomic<unsigned> counter{0};
+
+unsigned bump_default_order() {
+  return counter.fetch_add(1);  // no memory_order argument at all
+}
+
+unsigned load_without_justification() {
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace otm

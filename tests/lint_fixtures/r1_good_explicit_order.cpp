@@ -1,0 +1,19 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R1 good twin: explicit order with an adjacent justification comment.
+#include <atomic>
+
+namespace otm {
+
+std::atomic<unsigned> counter{0};
+
+unsigned bump() {
+  // relaxed: standalone statistic, no ordering with other state.
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned observe() {
+  // acquire: pairs with the release increment published by the producer.
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace otm

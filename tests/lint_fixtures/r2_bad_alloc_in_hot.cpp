@@ -1,0 +1,15 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R2 bad twin: a hot (block-matching) function that grows a container.
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+
+std::vector<std::uint32_t> results;
+
+// otmlint: hot
+void scan_and_record(std::uint32_t slot) {
+  results.push_back(slot);  // allocation on the matching hot path
+}
+
+}  // namespace otm

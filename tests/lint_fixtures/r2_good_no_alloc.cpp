@@ -1,0 +1,20 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R2 good twin: the hot function writes into preallocated scratch; the
+// allocation happens in untagged setup code.
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+
+std::vector<std::uint32_t> results;
+
+void setup(std::size_t n) {
+  results.resize(n);  // fine: not a hot function
+}
+
+// otmlint: hot
+void scan_and_record(std::size_t i, std::uint32_t slot) {
+  results[i] = slot;  // fixed-capacity scratch, no growth
+}
+
+}  // namespace otm

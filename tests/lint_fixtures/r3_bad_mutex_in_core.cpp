@@ -1,0 +1,17 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R3 bad twin: an OS blocking primitive inside the matching core.
+#include <mutex>
+
+namespace otm {
+
+struct BadStore {
+  std::mutex mu;  // core must use Spinlock / PartialBarrier
+  int value = 0;
+
+  void set(int v) {
+    std::lock_guard<std::mutex> g(mu);
+    value = v;
+  }
+};
+
+}  // namespace otm

@@ -1,0 +1,18 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R3 good twin: the core-sanctioned lock. (A std::mutex in src/obs would
+// also be fine — R3 only covers src/core and src/util.)
+#include "util/spinlock.hpp"
+
+namespace otm {
+
+struct GoodStore {
+  Spinlock lock;
+  int value = 0;
+
+  void set(int v) {
+    SpinGuard g(lock);
+    value = v;
+  }
+};
+
+}  // namespace otm

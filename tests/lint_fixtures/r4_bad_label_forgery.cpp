@@ -1,0 +1,16 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R4 bad twin: forging a posting label outside the receive store breaks
+// constraint C1 (global posting order is a single allocator's monopoly).
+#include <cstdint>
+
+namespace otm {
+
+struct FakeDescriptor {
+  std::uint64_t label = 0;
+};
+
+void forge(FakeDescriptor& d, std::uint64_t mine) {
+  d.label = mine;  // label written outside receive_store's allocator
+}
+
+}  // namespace otm

@@ -1,0 +1,16 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R4 good twin: reading / comparing posting labels is how every consumer
+// uses them; only producing them is restricted.
+#include <cstdint>
+
+namespace otm {
+
+struct FakeDescriptor {
+  std::uint64_t label = 0;
+};
+
+bool older(const FakeDescriptor& a, const FakeDescriptor& b) {
+  return a.label < b.label;  // comparison: C1 age test, always allowed
+}
+
+}  // namespace otm

@@ -1,0 +1,20 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R5 bad twin: raw bit fiddling on a booking word bypasses the
+// generation-check protocol inside BookingBitmap (constraint C2).
+#include <atomic>
+#include <cstdint>
+
+namespace otm {
+
+struct FakeBooking {
+  std::atomic<std::uint64_t> word{0};
+  std::uint64_t fetch_or(std::uint64_t m, std::memory_order o) {
+    return word.fetch_or(m, o);  // relaxed: fixture scaffolding only
+  }
+};
+
+void raw_book(FakeBooking& booking, unsigned tid) {
+  booking.fetch_or(1u << tid, std::memory_order_acq_rel);
+}
+
+}  // namespace otm

@@ -1,0 +1,16 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R5 good twin: bookings go through the BookingBitmap API, which stamps the
+// block generation alongside the bit (constraint C2).
+#include "util/booking_bitmap.hpp"
+
+namespace otm {
+
+void book_properly(BookingBitmap& booking, std::uint32_t gen, unsigned tid) {
+  booking.book(gen, tid);
+}
+
+bool check(const BookingBitmap& booking, std::uint32_t gen, unsigned tid) {
+  return booking.booked_by_lower(gen, tid);
+}
+
+}  // namespace otm

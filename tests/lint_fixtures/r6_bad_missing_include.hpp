@@ -1,0 +1,14 @@
+// otmlint-fixture: src/core/fixture.hpp
+// R6 bad twin: uses std::vector without including <vector> — compiles only
+// when some other header happens to drag the definition in first.
+#pragma once
+
+#include <cstdint>
+
+namespace otm {
+
+struct NotSelfSufficient {
+  std::vector<std::uint32_t> slots;  // <vector> never included
+};
+
+}  // namespace otm

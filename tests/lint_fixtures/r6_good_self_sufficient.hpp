@@ -1,0 +1,14 @@
+// otmlint-fixture: src/core/fixture.hpp
+// R6 good twin: every name the header uses comes from an include it owns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+
+struct SelfSufficient {
+  std::vector<std::uint32_t> slots;
+};
+
+}  // namespace otm
