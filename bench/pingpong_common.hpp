@@ -62,4 +62,15 @@ PingPongResult run_mpi_cpu(const PingPongConfig& cfg);
 /// Pure RDMA message exchange, no matching (the RDMA-CPU reference).
 PingPongResult run_rdma_cpu(const PingPongConfig& cfg);
 
+/// Senders in the incast scenario (uniform across 2- and 4-shard masks).
+inline constexpr unsigned kIncastSenders = 4;
+
+/// Incast onto a sharded receiver (docs/SHARDING.md): kIncastSenders nodes
+/// stream k/kIncastSenders messages each at one receiver whose matching
+/// structures are split into `shards` source-routed engines; the sequence
+/// closes with an ack to every sender. With shards == 1 this is the paper's
+/// single-serializer DPA; higher shard counts fan the CQE stream out across
+/// per-shard completion queues.
+PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards);
+
 }  // namespace otm::bench

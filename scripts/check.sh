@@ -4,8 +4,9 @@
 # sanitized run fast), then the chaos suite (label `chaos`) re-run under the
 # sanitizers across a seed matrix — each seed reshuffles every fault stream —
 # and finally a ThreadSanitizer build running the concurrency suite
-# (core_block_test, schedule_fuzz_test, stress_test: the tests that drive
-# real racing threads through the block matcher).
+# (core_block_test, schedule_fuzz_test, sharded_fuzz_test, stress_test: the
+# tests that drive real racing threads through the block matcher and the
+# cross-shard claim/label protocol).
 #
 #   scripts/check.sh            # tier-1 + ASan/UBSan + chaos + TSan
 #   scripts/check.sh --fast     # tier-1 only
@@ -33,8 +34,8 @@ run_tsan() {
     -DOTM_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j \
-    --target core_block_test schedule_fuzz_test stress_test
-  for t in core_block_test schedule_fuzz_test stress_test; do
+    --target core_block_test schedule_fuzz_test sharded_fuzz_test stress_test
+  for t in core_block_test schedule_fuzz_test sharded_fuzz_test stress_test; do
     echo "-- tsan: $t"
     TSAN_OPTIONS=halt_on_error=1 "./build-tsan/tests/$t"
   done

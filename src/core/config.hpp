@@ -11,6 +11,11 @@
 
 namespace otm {
 
+/// Upper bound on ShardedEngine instances (power-of-two source-mask routing;
+/// docs/SHARDING.md). Small on purpose: each shard owns full descriptor
+/// tables, so the footprint model multiplies by this.
+inline constexpr unsigned kMaxShards = 8;
+
 struct MatchConfig {
   /// Bins per hash-table index (three tables; Sec. IV-E sizes 20 B/bin).
   /// Must be a power of two. 1 bin degenerates to the traditional list.
@@ -59,9 +64,18 @@ struct MatchConfig {
   /// receives with atomic state transitions and simply re-search on loss.
   bool allow_overtaking = false;
 
+  // --- Multi-engine sharding (docs/SHARDING.md) ---------------------------
+
+  /// Number of MatchEngine shards, routed by `source & (shards - 1)`. Must
+  /// be a power of two; 1 keeps the single-engine behavior bit-for-bit.
+  /// Wildcard-source receives are replicated into every shard and claimed
+  /// at most once through the cross-shard label (ShardedEngine).
+  std::size_t shards = 1;
+
   bool valid() const noexcept {
     return is_pow2(bins) && block_size >= 1 && block_size <= kMaxBlockThreads &&
-           max_receives > 0 && max_unexpected > 0;
+           max_receives > 0 && max_unexpected > 0 && is_pow2(shards) &&
+           shards >= 1 && shards <= kMaxShards;
   }
 
   /// Paper Fig. 8 prototype configuration: hash tables twice the maximum

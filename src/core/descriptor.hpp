@@ -41,6 +41,9 @@ struct ReceiveDescriptor {
   std::uint64_t buffer_addr = 0;  ///< user-provided receive buffer
   std::uint32_t buffer_capacity = 0;
   std::uint64_t cookie = 0;       ///< upper-layer request handle
+  /// ShardedEngine claim-table slot for wildcard-source replicas (all
+  /// replicas of one logical receive share it); kInvalidSlot otherwise.
+  std::uint32_t claim_idx = kInvalidSlot;
 
   // otmlint: hot
   bool posted() const noexcept {
@@ -81,6 +84,7 @@ struct ReceiveDescriptor {
     buffer_addr = 0;
     buffer_capacity = 0;
     cookie = 0;
+    claim_idx = kInvalidSlot;
   }
 };
 

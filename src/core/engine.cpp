@@ -107,6 +107,7 @@ PostOutcome MatchEngine::post_receive(const MatchSpec& spec,
                    cookie, prq_.live_descriptors());
     } else {
       out.kind = PostOutcome::Kind::kPending;
+      out.slot = pr.slot;
       ++stats_.receives_posted;
       if (tr != nullptr)
         tr->record(obs::EventKind::kPostReceive, last_finish_cycles_, 0, cookie,
@@ -154,138 +155,183 @@ std::optional<std::uint64_t> MatchEngine::cancel_receive(std::uint64_t cookie) {
   return r;
 }
 
+BlockMatcher& MatchEngine::arm_block(std::span<const IncomingMessage> msgs,
+                                     std::span<const std::uint64_t> starts) {
+  SerialSection ingress(ingress_);
+  OTM_ASSERT_MSG(!armed_, "arm_block while a block is armed");
+  OTM_ASSERT(!msgs.empty() && msgs.size() <= cfg_.block_size);
+  OTM_ASSERT(starts.empty() || starts.size() == msgs.size());
+  armed_msgs_ = msgs;
+  armed_starts_ = starts;
+  armed_block_start_ = starts.empty() ? last_finish_cycles_ : starts.front();
+  armed_ = true;
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kBlockBegin, armed_block_start_, 0,
+                 msgs.size(), next_gen_ + 1);
+  }
+  // The matcher is reused across blocks: begin_block() rearms the fixed
+  // per-thread scratch instead of reallocating it for every block.
+  matcher_.begin_block(++next_gen_, msgs, starts);
+  return matcher_;
+}
+
+void MatchEngine::rollback_block() {
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
+  OTM_ASSERT_MSG(armed_, "rollback_block without an armed block");
+  for (unsigned t = 0; t < matcher_.num_threads(); ++t) {
+    const BlockMatcher::ThreadResult& r = matcher_.result(t);
+    if (r.final_slot != kInvalidSlot) prq_.unconsume(r.final_slot);
+  }
+  armed_ = false;
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kBlockEnd, armed_block_start_, 0, 0, next_gen_);
+  }
+}
+
+void MatchEngine::commit_block(std::vector<ArrivalOutcome>& outcomes,
+                               std::span<const std::uint64_t> arrival_stamps) {
+  // Holding the serial capabilities here is sound: the matching threads
+  // finished in arm_block()'s executor run; only this (serialized) epilogue
+  // mutates structural state.
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
+  SerialSection umq_serial(umq_.serial());
+  OTM_ASSERT_MSG(armed_, "commit_block without an armed block");
+  OTM_ASSERT(arrival_stamps.empty() ||
+             arrival_stamps.size() == armed_msgs_.size());
+  armed_ = false;
+  obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;
+  const std::span<const IncomingMessage> block = armed_msgs_;
+  const std::span<const std::uint64_t> starts = armed_starts_;
+  const std::uint64_t block_start = armed_block_start_;
+
+  ++stats_.blocks_processed;
+  if (mh_.block_occupancy != nullptr) mh_.block_occupancy->observe(block.size());
+
+  // Epilogue (engine-serialized): collect results in arrival order; insert
+  // unexpected messages into the UMQ in thread-id order so constraint C2
+  // holds across the block boundary.
+  std::size_t block_matched = 0;
+  consumed_scratch_.clear();
+  for (unsigned t = 0; t < matcher_.num_threads(); ++t) {
+    const BlockMatcher::ThreadResult& r = matcher_.result(t);
+    const IncomingMessage& msg = block[t];
+    const std::uint64_t thread_start = starts.empty() ? block_start : starts[t];
+
+    stats_.match_attempts += r.search.attempts;
+    stats_.index_searches += r.search.index_searches;
+    stats_.early_booking_skips += r.search.early_skips;
+    if (r.search.max_single_chain > stats_.max_chain_scanned)
+      stats_.max_chain_scanned = r.search.max_single_chain;
+    ++stats_.messages_processed;
+    if (r.conflicted) ++stats_.conflicts_detected;
+    if (r.fast_path_aborted) ++stats_.fast_path_aborts;
+    if (r.final_slot != kInvalidSlot) {
+      if (r.path == ResolutionPath::kFastPath) ++stats_.fast_path_resolutions;
+      if (r.path == ResolutionPath::kSlowPath) ++stats_.slow_path_resolutions;
+    } else if (r.path == ResolutionPath::kSlowPath) {
+      ++stats_.slow_path_resolutions;
+    }
+
+    if (tr != nullptr) {
+      tr->record(obs::EventKind::kCandidate, thread_start, t,
+                 r.first_candidate, r.search.attempts);
+      if (r.first_candidate != kInvalidSlot)
+        tr->record(obs::EventKind::kBooking, thread_start, t,
+                   r.first_candidate, next_gen_);
+      if (r.conflicted)
+        tr->record(obs::EventKind::kConflict, r.finish_cycles, t,
+                   r.first_candidate, r.fast_path_aborted ? 1u : 0u);
+      tr->record(obs::EventKind::kResolution, r.finish_cycles, t,
+                 r.final_slot, static_cast<std::uint64_t>(r.path));
+    }
+    if (mh_.chain_depth != nullptr && r.search.max_single_chain > 0)
+      mh_.chain_depth->observe(r.search.max_single_chain);
+    if (mh_.conflict_latency != nullptr && r.conflicted)
+      mh_.conflict_latency->observe(r.finish_cycles - thread_start);
+
+    ArrivalOutcome o;
+    o.env = msg.env;
+    o.match.path = r.path;
+    o.match.conflicted = r.conflicted;
+    o.proto = ProtocolInfo::from(msg);
+    o.timing.start_cycles = thread_start;
+    o.timing.finish_cycles = r.finish_cycles;
+
+    if (r.final_slot != kInvalidSlot) {
+      const ReceiveDescriptor& d = prq_.desc(r.final_slot);
+      OTM_ASSERT_MSG(d.consumed(), "matched receive not consumed");
+      OTM_ASSERT_MSG(d.spec.matches(msg.env), "matched receive does not match");
+      o.kind = ArrivalOutcome::Kind::kMatched;
+      o.match.receive_cookie = d.cookie;
+      o.match.buffer_addr = d.buffer_addr;
+      o.match.buffer_capacity = d.buffer_capacity;
+      ++stats_.messages_matched;
+      ++block_matched;
+      consumed_scratch_.push_back(r.final_slot);
+    } else {
+      // Ordered UMQ insertion; the insert itself is a serialization
+      // point, modeled by threading the umq_clock_ through the inserts.
+      if (umq_clock_.enabled()) {
+        umq_clock_.sync_to(r.finish_cycles);
+      }
+      const std::uint64_t* stamp =
+          arrival_stamps.empty() ? nullptr : &arrival_stamps[t];
+      const std::uint32_t slot = umq_.insert(msg, umq_clock_, stamp);
+      if (slot == kInvalidSlot) {
+        o.kind = ArrivalOutcome::Kind::kDropped;
+      } else {
+        o.kind = ArrivalOutcome::Kind::kUnexpected;
+        ++stats_.messages_unexpected;
+      }
+      if (umq_clock_.enabled()) o.timing.finish_cycles = umq_clock_.cycles();
+      if (tr != nullptr)
+        tr->record(obs::EventKind::kUmqInsert, o.timing.finish_cycles, t,
+                   slot, msg.wire_seq);
+    }
+    last_finish_cycles_ = std::max(last_finish_cycles_, o.timing.finish_cycles);
+    outcomes.push_back(o);
+  }
+
+  // Eager removal: unlink consumed receives now (the matching threads
+  // already paid the modeled lock/unlink cost); lazy removal leaves them
+  // marked for the amortized insert-time cleanup.
+  if (!cfg_.lazy_removal) {
+    for (const std::uint32_t slot : consumed_scratch_) {
+      prq_.unlink_and_release(slot);
+      ++stats_.eager_removals;
+    }
+  }
+  stats_.lazy_removals = prq_.lazy_removals();
+
+  if (tr != nullptr)
+    tr->record(obs::EventKind::kBlockEnd, last_finish_cycles_, 0,
+               block_matched, next_gen_);
+  if (obs_ != nullptr) sample_depths(last_finish_cycles_);
+}
+
 std::vector<ArrivalOutcome> MatchEngine::process(
     std::span<const IncomingMessage> msgs, BlockExecutor& executor,
     std::span<const std::uint64_t> arrival_cycles) {
   OTM_ASSERT(arrival_cycles.empty() || arrival_cycles.size() == msgs.size());
-  // Holding the serial capabilities across executor.execute() is sound: the
-  // matching threads only flip atomic descriptor state — the serialized
-  // structural mutation (epilogue inserts/unlinks) stays on this thread.
-  SerialSection ingress(ingress_);
-  SerialSection prq_serial(prq_.serial());
-  SerialSection umq_serial(umq_.serial());
   std::vector<ArrivalOutcome> outcomes;
   outcomes.reserve(msgs.size());
-  obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;
 
   for (std::size_t base = 0; base < msgs.size(); base += cfg_.block_size) {
     const std::size_t n = std::min<std::size_t>(cfg_.block_size, msgs.size() - base);
-    const std::span<const IncomingMessage> block = msgs.subspan(base, n);
     const std::span<const std::uint64_t> starts =
         arrival_cycles.empty() ? arrival_cycles : arrival_cycles.subspan(base, n);
-
-    const std::uint64_t block_start =
-        starts.empty() ? last_finish_cycles_ : starts.front();
-    if (tr != nullptr)
-      tr->record(obs::EventKind::kBlockBegin, block_start, 0, n, next_gen_ + 1);
-
-    // The matcher is reused across blocks: begin_block() rearms the fixed
-    // per-thread scratch instead of reallocating it for every block.
-    matcher_.begin_block(++next_gen_, block, starts);
-    executor.execute(matcher_);
-    ++stats_.blocks_processed;
-    if (mh_.block_occupancy != nullptr) mh_.block_occupancy->observe(n);
-
-    // Epilogue (engine-serialized): collect results in arrival order; insert
-    // unexpected messages into the UMQ in thread-id order so constraint C2
-    // holds across the block boundary.
-    std::size_t block_matched = 0;
-    consumed_scratch_.clear();
-    for (unsigned t = 0; t < matcher_.num_threads(); ++t) {
-      const BlockMatcher::ThreadResult& r = matcher_.result(t);
-      const IncomingMessage& msg = block[t];
-      const std::uint64_t thread_start = starts.empty() ? block_start : starts[t];
-
-      stats_.match_attempts += r.search.attempts;
-      stats_.index_searches += r.search.index_searches;
-      stats_.early_booking_skips += r.search.early_skips;
-      if (r.search.max_single_chain > stats_.max_chain_scanned)
-        stats_.max_chain_scanned = r.search.max_single_chain;
-      ++stats_.messages_processed;
-      if (r.conflicted) ++stats_.conflicts_detected;
-      if (r.fast_path_aborted) ++stats_.fast_path_aborts;
-      if (r.final_slot != kInvalidSlot) {
-        if (r.path == ResolutionPath::kFastPath) ++stats_.fast_path_resolutions;
-        if (r.path == ResolutionPath::kSlowPath) ++stats_.slow_path_resolutions;
-      } else if (r.path == ResolutionPath::kSlowPath) {
-        ++stats_.slow_path_resolutions;
-      }
-
-      if (tr != nullptr) {
-        tr->record(obs::EventKind::kCandidate, thread_start, t,
-                   r.first_candidate, r.search.attempts);
-        if (r.first_candidate != kInvalidSlot)
-          tr->record(obs::EventKind::kBooking, thread_start, t,
-                     r.first_candidate, next_gen_);
-        if (r.conflicted)
-          tr->record(obs::EventKind::kConflict, r.finish_cycles, t,
-                     r.first_candidate, r.fast_path_aborted ? 1u : 0u);
-        tr->record(obs::EventKind::kResolution, r.finish_cycles, t,
-                   r.final_slot, static_cast<std::uint64_t>(r.path));
-      }
-      if (mh_.chain_depth != nullptr && r.search.max_single_chain > 0)
-        mh_.chain_depth->observe(r.search.max_single_chain);
-      if (mh_.conflict_latency != nullptr && r.conflicted)
-        mh_.conflict_latency->observe(r.finish_cycles - thread_start);
-
-      ArrivalOutcome o;
-      o.env = msg.env;
-      o.match.path = r.path;
-      o.match.conflicted = r.conflicted;
-      o.proto = ProtocolInfo::from(msg);
-      o.timing.start_cycles = thread_start;
-      o.timing.finish_cycles = r.finish_cycles;
-
-      if (r.final_slot != kInvalidSlot) {
-        const ReceiveDescriptor& d = prq_.desc(r.final_slot);
-        OTM_ASSERT_MSG(d.consumed(), "matched receive not consumed");
-        OTM_ASSERT_MSG(d.spec.matches(msg.env), "matched receive does not match");
-        o.kind = ArrivalOutcome::Kind::kMatched;
-        o.match.receive_cookie = d.cookie;
-        o.match.buffer_addr = d.buffer_addr;
-        o.match.buffer_capacity = d.buffer_capacity;
-        ++stats_.messages_matched;
-        ++block_matched;
-        consumed_scratch_.push_back(r.final_slot);
-      } else {
-        // Ordered UMQ insertion; the insert itself is a serialization
-        // point, modeled by threading the umq_clock_ through the inserts.
-        if (umq_clock_.enabled()) {
-          umq_clock_.sync_to(r.finish_cycles);
-        }
-        const std::uint32_t slot = umq_.insert(msg, umq_clock_);
-        if (slot == kInvalidSlot) {
-          o.kind = ArrivalOutcome::Kind::kDropped;
-        } else {
-          o.kind = ArrivalOutcome::Kind::kUnexpected;
-          ++stats_.messages_unexpected;
-        }
-        if (umq_clock_.enabled()) o.timing.finish_cycles = umq_clock_.cycles();
-        if (tr != nullptr)
-          tr->record(obs::EventKind::kUmqInsert, o.timing.finish_cycles, t,
-                     slot, msg.wire_seq);
-      }
-      last_finish_cycles_ = std::max(last_finish_cycles_, o.timing.finish_cycles);
-      outcomes.push_back(o);
-    }
-
-    // Eager removal: unlink consumed receives now (the matching threads
-    // already paid the modeled lock/unlink cost); lazy removal leaves them
-    // marked for the amortized insert-time cleanup.
-    if (!cfg_.lazy_removal) {
-      for (const std::uint32_t slot : consumed_scratch_) {
-        prq_.unlink_and_release(slot);
-        ++stats_.eager_removals;
-      }
-    }
-    stats_.lazy_removals = prq_.lazy_removals();
-
-    if (tr != nullptr)
-      tr->record(obs::EventKind::kBlockEnd, last_finish_cycles_, 0,
-                 block_matched, next_gen_);
-    if (obs_ != nullptr) sample_depths(last_finish_cycles_);
+    BlockMatcher& m = arm_block(msgs.subspan(base, n), starts);
+    executor.execute(m);
+    commit_block(outcomes);
   }
-  if (obs_ != nullptr) publish_metrics();
+  {
+    SerialSection ingress(ingress_);
+    if (obs_ != nullptr) publish_metrics();
+  }
   return outcomes;
 }
 
@@ -293,6 +339,85 @@ ArrivalOutcome MatchEngine::process_one(const IncomingMessage& msg,
                                         BlockExecutor& executor) {
   const auto v = process(std::span<const IncomingMessage>(&msg, 1), executor);
   return v.front();
+}
+
+std::optional<MatchEngine::UnexpectedPeek> MatchEngine::peek_unexpected(
+    const MatchSpec& spec) {
+  SerialSection ingress(ingress_);
+  ThreadClock clock(costs_);
+  std::uint64_t attempts = 0;
+  const std::uint32_t um = umq_.search(spec, clock, attempts);
+  stats_.match_attempts += attempts;
+  if (attempts > stats_.max_chain_scanned) stats_.max_chain_scanned = attempts;
+  if (um == kInvalidSlot) return std::nullopt;
+  return UnexpectedPeek{um, umq_.desc(um).arrival};
+}
+
+PostOutcome MatchEngine::take_unexpected(std::uint32_t slot,
+                                         std::uint64_t cookie) {
+  SerialSection ingress(ingress_);
+  SerialSection umq_serial(umq_.serial());
+  PostOutcome out;
+  out.cookie = cookie;
+  out.kind = PostOutcome::Kind::kMatchedUnexpected;
+  out.message = umq_.remove(slot);
+  ++stats_.receives_matched_unexpected;
+  ++stats_.receives_posted;
+  if (obs_ != nullptr) {
+    if (obs::Tracer* tr = obs_->tracer())
+      tr->record(obs::EventKind::kUmqMatch, last_finish_cycles_, 0, cookie, 0);
+    publish_metrics();
+    sample_depths(last_finish_cycles_);
+  }
+  return out;
+}
+
+PostOutcome MatchEngine::post_pending(const MatchSpec& spec,
+                                      std::uint64_t buffer_addr,
+                                      std::uint32_t buffer_capacity,
+                                      std::uint64_t cookie, std::uint64_t label,
+                                      std::uint32_t claim_idx) {
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
+  PostOutcome out;
+  out.cookie = cookie;
+  obs::Tracer* tr = obs_ != nullptr ? obs_->tracer() : nullptr;
+  const ReceiveStore::PostResult pr = prq_.post_labeled(
+      spec, buffer_addr, buffer_capacity, cookie, label, claim_idx);
+  if (pr.fallback) {
+    out.kind = PostOutcome::Kind::kFallback;
+    ++stats_.post_fallbacks;
+    if (tr != nullptr)
+      tr->record(obs::EventKind::kDescriptorFallback, last_finish_cycles_, 0,
+                 cookie, prq_.live_descriptors());
+  } else {
+    out.kind = PostOutcome::Kind::kPending;
+    out.slot = pr.slot;
+    ++stats_.receives_posted;
+    if (tr != nullptr)
+      tr->record(obs::EventKind::kPostReceive, last_finish_cycles_, 0, cookie,
+                 0);
+  }
+  if (obs_ != nullptr) {
+    publish_metrics();
+    sample_depths(last_finish_cycles_);
+  }
+  return out;
+}
+
+void MatchEngine::retire_replica(std::uint32_t slot) {
+  SerialSection ingress(ingress_);
+  SerialSection prq_serial(prq_.serial());
+  const bool ok = prq_.desc(slot).try_consume();
+  OTM_ASSERT_MSG(ok, "replica retire raced a live consumption");
+  ++stats_.cross_shard_retired;
+  // Same removal discipline as a locally-matched receive: eager mode
+  // unlinks now, lazy mode leaves the consumed entry to the insert-time
+  // compaction (the "losers treat it as lazily-removed" rule).
+  if (!cfg_.lazy_removal) {
+    prq_.unlink_and_release(slot);
+    ++stats_.eager_removals;
+  }
 }
 
 }  // namespace otm

@@ -49,6 +49,9 @@ struct PostOutcome {
   Kind kind = Kind::kPending;
   std::uint64_t cookie = 0;           ///< echo of the caller's request handle
   UnexpectedDescriptor message{};     ///< valid iff kMatchedUnexpected
+  /// PRQ descriptor slot of the indexed receive, valid iff kPending. The
+  /// sharded driver records it to link wildcard replicas to a claim record.
+  std::uint32_t slot = kInvalidSlot;
 };
 
 /// MPI_Iprobe result. The leading fields mirror mpi::Status field-for-field
@@ -157,6 +160,66 @@ class MatchEngine {
   /// Single message convenience (block of one).
   ArrivalOutcome process_one(const IncomingMessage& msg, BlockExecutor& executor);
 
+  // --- ShardedEngine integration (docs/SHARDING.md) -----------------------
+  // The sharded driver splits process() into phases so K engines can run
+  // their matching phases concurrently and cross-shard claims can be
+  // arbitrated *before* any engine commits structural state:
+  //
+  //   arm_block() -> caller executes the matcher -> commit_block()
+  //                                              or rollback_block()
+  //
+  // process() itself is implemented on top of these, so the single-engine
+  // path and the per-shard path are the same code.
+
+  /// Rearm the matcher for one block (engine-serialized). `msgs` must stay
+  /// alive until commit_block()/rollback_block(); at most cfg.block_size
+  /// messages.
+  BlockMatcher& arm_block(std::span<const IncomingMessage> msgs,
+                          std::span<const std::uint64_t> starts = {});
+
+  /// Block epilogue (engine-serialized): merge stats, append one
+  /// ArrivalOutcome per armed message to `out`, insert misses into the UMQ
+  /// in thread-id order. `arrival_stamps`, when non-empty, is parallel to
+  /// the armed block and overrides the UMQ arrival clock with
+  /// externally-allocated (cross-shard) arrival positions — constraint C2
+  /// across per-shard stores.
+  void commit_block(std::vector<ArrivalOutcome>& out,
+                    std::span<const std::uint64_t> arrival_stamps = {});
+
+  /// Void the armed block instead of committing it: flip every tentative
+  /// Posted->Consumed transition back (ShardedEngine repair of a contested
+  /// cross-shard claim). No stats, no UMQ inserts; the burned generation
+  /// makes the block's booking bits stale. Engine-serialized.
+  void rollback_block();
+
+  /// Non-destructive UMQ lookup for cross-shard post arbitration: slot and
+  /// arrival stamp of the oldest stored message matching `spec`.
+  struct UnexpectedPeek {
+    std::uint32_t slot = kInvalidSlot;
+    std::uint64_t arrival = 0;
+  };
+  std::optional<UnexpectedPeek> peek_unexpected(const MatchSpec& spec);
+
+  /// Consume a previously peeked UMQ entry exactly as post_receive() would
+  /// on a UMQ hit (the sharded driver already arbitrated which shard holds
+  /// the oldest candidate).
+  PostOutcome take_unexpected(std::uint32_t slot, std::uint64_t cookie);
+
+  /// Index a receive with an externally-allocated posting label, skipping
+  /// the UMQ check (the sharded driver performs it across all shards
+  /// first). `claim_idx` links wildcard-source replicas to their shared
+  /// claim word; kInvalidSlot for single-shard residents.
+  PostOutcome post_pending(const MatchSpec& spec, std::uint64_t buffer_addr,
+                           std::uint32_t buffer_capacity, std::uint64_t cookie,
+                           std::uint64_t label, std::uint32_t claim_idx);
+
+  /// Consume + (eager mode) unlink a wildcard replica whose claim a sibling
+  /// shard won. The replica must still be Posted — the claim protocol
+  /// guarantees at most one shard ever consumes a replicated receive. In
+  /// lazy-removal mode the consumed entry is left for the amortized
+  /// insert-time compaction, exactly like a locally-matched receive.
+  void retire_replica(std::uint32_t slot);
+
   /// Borrow the live counters. Binding the reference is capability-free;
   /// the caller reads it between engine operations (same serialization
   /// phase that guards every other accessor here).
@@ -195,10 +258,12 @@ class MatchEngine {
   void publish_metrics() noexcept OTM_REQUIRES(ingress_);
   /// Record PRQ/UMQ/descriptor-table depth series at modeled time `t`.
   void sample_depths(std::uint64_t t) OTM_REQUIRES(ingress_);
-  /// Pending posted receives, O(1) from the counters.
+  /// Pending posted receives, O(1) from the counters. Replicas retired by a
+  /// sibling shard's claim win left this engine without a local match.
   std::uint64_t posted_depth() const noexcept OTM_REQUIRES(ingress_) {
     return stats_.receives_posted - stats_.receives_matched_unexpected -
-           stats_.messages_matched - cancelled_receives_;
+           stats_.messages_matched - stats_.cross_shard_retired -
+           cancelled_receives_;
   }
 
   MatchConfig cfg_;
@@ -222,6 +287,11 @@ class MatchEngine {
   BlockMatcher matcher_;  ///< reused across blocks (fixed scratch)
   /// Block epilogue reuse.
   std::vector<std::uint32_t> consumed_scratch_ OTM_GUARDED_BY(ingress_);
+  /// Armed-block state between arm_block() and commit/rollback_block().
+  std::span<const IncomingMessage> armed_msgs_ OTM_GUARDED_BY(ingress_);
+  std::span<const std::uint64_t> armed_starts_ OTM_GUARDED_BY(ingress_);
+  std::uint64_t armed_block_start_ OTM_GUARDED_BY(ingress_) = 0;
+  bool armed_ OTM_GUARDED_BY(ingress_) = false;
 
   obs::Observability* obs_ = nullptr;
   MetricHandles mh_{};

@@ -66,6 +66,21 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
                                             std::uint64_t buffer_addr,
                                             std::uint32_t buffer_capacity,
                                             std::uint64_t cookie) {
+  // The single-engine entry point stamps from this store's own allocator;
+  // post_labeled() advances next_label_ past the stamp, so the combined
+  // label stream stays strictly monotone (constraint C1, otmlint R4).
+  return post_labeled(spec, buffer_addr, buffer_capacity, cookie, next_label_,
+                      kInvalidSlot);
+}
+
+ReceiveStore::PostResult ReceiveStore::post_labeled(const MatchSpec& spec,
+                                                    std::uint64_t buffer_addr,
+                                                    std::uint32_t buffer_capacity,
+                                                    std::uint64_t cookie,
+                                                    std::uint64_t label,
+                                                    std::uint32_t claim_idx) {
+  OTM_ASSERT_MSG(label >= next_label_,
+                 "external posting label below this store's high-water mark");
   std::uint32_t slot = table_.allocate();
   if (slot == kInvalidSlot && cfg_.lazy_removal) {
     // Lazily-removed entries can pin every slot; reclaim and retry before
@@ -86,12 +101,13 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
 
   ReceiveDescriptor& d = table_[slot];
   d.spec = spec;
-  d.label = next_label_;
+  d.label = label;
   d.seq_id = next_seq_;
   d.wclass = spec.wildcard_class();
   d.buffer_addr = buffer_addr;
   d.buffer_capacity = buffer_capacity;
   d.cookie = cookie;
+  d.claim_idx = claim_idx;
   // release: publishes the descriptor fields written above to any matching
   // thread whose acquire load in posted()/consumed() observes kPosted.
   d.state.store(ReceiveState::kPosted, std::memory_order_release);
@@ -106,11 +122,21 @@ ReceiveStore::PostResult ReceiveStore::post(const MatchSpec& spec,
   HotEntry e;
   e.spec = spec;
   e.slot = slot;
-  e.label = next_label_++;
+  e.label = label;
   e.seq_id = next_seq_;
   bin.hot.push_back(e);
   ++index_count_[idx];
+  next_label_ = label + 1;
   return {slot, /*fallback=*/false};
+}
+
+void ReceiveStore::unconsume(std::uint32_t slot) {
+  ReceiveDescriptor& d = table_[slot];
+  OTM_ASSERT_MSG(d.consumed(), "unconsume of a non-consumed receive");
+  // release: republishes the (unchanged) descriptor fields; the repair
+  // re-match that follows runs engine-serialized, but a later block's
+  // acquire load in posted() must still pair with a release store.
+  d.state.store(ReceiveState::kPosted, std::memory_order_release);
 }
 
 // otmlint: hot

@@ -85,6 +85,25 @@ class ReceiveStore {
                   std::uint32_t buffer_capacity, std::uint64_t cookie)
       OTM_REQUIRES(serial_);
 
+  /// post() with an externally-allocated posting label: the ShardedEngine
+  /// stamps every receive from its cross-shard allocator so C1 age
+  /// comparison stays a single integer compare across shards
+  /// (docs/SHARDING.md). `claim_idx` links wildcard-source replicas of one
+  /// logical receive to their shared claim word (kInvalidSlot when the
+  /// receive lives in exactly one shard). The external label must be >= this
+  /// store's next_label_ (asserted) and advances it past the stamp, so bin
+  /// arrays stay posting-label ordered even if posts mix both entry points.
+  PostResult post_labeled(const MatchSpec& spec, std::uint64_t buffer_addr,
+                          std::uint32_t buffer_capacity, std::uint64_t cookie,
+                          std::uint64_t label, std::uint32_t claim_idx)
+      OTM_REQUIRES(serial_);
+
+  /// Roll a Consumed receive back to Posted (ShardedEngine block repair:
+  /// a contested cross-shard claim voids the block's tentative matches
+  /// before the serial re-match). Engine-serialized — runs strictly between
+  /// blocks, never while matching threads are live.
+  void unconsume(std::uint32_t slot) OTM_REQUIRES(serial_);
+
   /// Optimistic search (Sec. III-C): probe every non-empty index with the
   /// message key and return the oldest matching live receive, or
   /// kInvalidSlot. `early_skip` enables the early-booking-check

@@ -1,0 +1,435 @@
+#include "core/sharded_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace otm {
+
+// --- ClaimTable --------------------------------------------------------------
+
+ClaimTable::ClaimTable(std::size_t capacity)
+    : words_(capacity), records_(capacity) {
+  free_list_.reserve(capacity);
+  for (std::size_t i = capacity; i > 0; --i) {
+    free_list_.push_back(static_cast<std::uint32_t>(i - 1));
+    // relaxed: construction precedes any sharing.
+    words_[i - 1].store(kUnclaimed, std::memory_order_relaxed);
+  }
+  for (Record& r : records_) r.replica_slot.fill(kInvalidSlot);
+}
+
+std::uint32_t ClaimTable::allocate(std::uint64_t cookie, std::uint64_t label) {
+  if (free_list_.empty()) return kInvalidSlot;
+  const std::uint32_t idx = free_list_.back();
+  free_list_.pop_back();
+  Record& r = records_[idx];
+  r.replica_slot.fill(kInvalidSlot);
+  r.cookie = cookie;
+  r.label = label;
+  r.live = true;
+  ++live_;
+  OTM_ASSERT(claim_word(idx) == kUnclaimed);
+  return idx;
+}
+
+void ClaimTable::release(std::uint32_t idx) {
+  Record& r = records_[idx];
+  OTM_ASSERT_MSG(r.live, "release of a dead claim");
+  r.live = false;
+  r.replica_slot.fill(kInvalidSlot);
+  reset_claim(idx);
+  free_list_.push_back(idx);
+  --live_;
+}
+
+// otmlint: hot
+void ClaimTable::try_claim(std::uint32_t idx, std::uint64_t seq) noexcept {
+  std::atomic<std::uint64_t>& word = words_[idx];
+  // relaxed seed: the CAS below re-reads on failure.
+  std::uint64_t cur = word.load(std::memory_order_relaxed);
+  bool saw_other = false;
+  for (;;) {
+    if (cur != kUnclaimed) {
+      saw_other = true;
+      if (cur <= seq) break;  // an older registration already holds the word
+    }
+    // release on success: publishes this shard's matching state to the
+    // arbitration pass's acquire load of claim_word(). relaxed on failure:
+    // the loop re-examines the freshly observed value.
+    if (word.compare_exchange_weak(cur, seq, std::memory_order_release,
+                                   std::memory_order_relaxed))
+      break;
+  }
+  if (saw_other) {
+    // release: pairs with the acquire load in contested() — the arbiter
+    // observing the flag also observes both registrations.
+    contested_.store(true, std::memory_order_release);
+  }
+}
+
+std::optional<std::uint32_t> ClaimTable::find_by_cookie(
+    std::uint64_t cookie) const {
+  std::optional<std::uint32_t> best;
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    if (!r.live || r.cookie != cookie) continue;
+    if (!best || r.label < records_[*best].label) best = i;
+  }
+  return best;
+}
+
+// --- ShardedEngine -----------------------------------------------------------
+
+namespace {
+
+MatchConfig shard_config(const MatchConfig& cfg) {
+  MatchConfig c = cfg;
+  c.shards = 1;  // each shard is a plain single engine
+  return c;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const MatchConfig& cfg, const CostTable* costs)
+    : cfg_(cfg),
+      shard_mask_(static_cast<std::uint32_t>(cfg.shards - 1)),
+      claims_(cfg.max_receives) {
+  OTM_ASSERT_MSG(cfg.valid(), "invalid MatchConfig");
+  shards_.reserve(cfg.shards);
+  for (std::size_t k = 0; k < cfg.shards; ++k)
+    shards_.push_back(std::make_unique<MatchEngine>(shard_config(cfg), costs));
+  scratch_.resize(cfg.shards);
+}
+
+void ShardedEngine::attach_observability(obs::Observability* obs,
+                                         std::string_view prefix) {
+  if (shard_count() == 1) {
+    shards_[0]->attach_observability(obs, prefix);
+    return;
+  }
+  SerialSection ingress(ingress_);
+  obs_ = obs;
+  mh_replicated_posts_ = nullptr;
+  mh_claims_won_ = nullptr;
+  mh_claims_contested_ = nullptr;
+  mh_block_repairs_ = nullptr;
+  const std::string base(prefix);
+  for (unsigned k = 0; k < shard_count(); ++k)
+    shards_[k]->attach_observability(obs,
+                                     base + ".shard" + std::to_string(k));
+  if (obs == nullptr) return;
+  if (obs::MetricsRegistry* reg = obs->metrics()) {
+    mh_replicated_posts_ =
+        &reg->counter(base + ".sharded.replicated_posts");
+    mh_claims_won_ = &reg->counter(base + ".sharded.claims_won");
+    mh_claims_contested_ = &reg->counter(base + ".sharded.claims_contested");
+    mh_block_repairs_ = &reg->counter(base + ".sharded.block_repairs");
+    publish_sharded_metrics();
+  }
+}
+
+void ShardedEngine::publish_sharded_metrics() noexcept {
+  if (mh_replicated_posts_ == nullptr) return;
+  mh_replicated_posts_->set(sstats_.replicated_posts);
+  mh_claims_won_->set(sstats_.claims_won);
+  mh_claims_contested_->set(sstats_.claims_contested);
+  mh_block_repairs_->set(sstats_.block_repairs);
+}
+
+PostOutcome ShardedEngine::post_receive(const MatchSpec& spec,
+                                        std::uint64_t buffer_addr,
+                                        std::uint32_t buffer_capacity,
+                                        std::uint64_t cookie) {
+  if (shard_count() == 1)
+    return shards_[0]->post_receive(spec, buffer_addr, buffer_capacity, cookie);
+  SerialSection ingress(ingress_);
+  const WildcardClass wc = spec.wildcard_class();
+  const bool replicated =
+      wc == WildcardClass::kSourceWild || wc == WildcardClass::kBothWild;
+
+  // Fig. 1a step 1, across shards: the oldest stored unexpected message.
+  // Global arrival stamps make the cross-shard age compare exact (C2).
+  if (replicated) {
+    unsigned best_shard = 0;
+    std::optional<MatchEngine::UnexpectedPeek> best;
+    for (unsigned k = 0; k < shard_count(); ++k) {
+      const auto p = shards_[k]->peek_unexpected(spec);
+      if (p && (!best || p->arrival < best->arrival)) {
+        best = p;
+        best_shard = k;
+      }
+    }
+    if (best) return shards_[best_shard]->take_unexpected(best->slot, cookie);
+  } else {
+    const unsigned home = shard_of(spec.source);
+    if (const auto p = shards_[home]->peek_unexpected(spec))
+      return shards_[home]->take_unexpected(p->slot, cookie);
+  }
+
+  const std::uint64_t label = labels_.allocate();
+  if (!replicated) {
+    return shards_[shard_of(spec.source)]->post_pending(
+        spec, buffer_addr, buffer_capacity, cookie, label, kInvalidSlot);
+  }
+
+  // Wildcard-source: replicate into every shard under one label + claim.
+  const std::uint32_t claim_idx = claims_.allocate(cookie, label);
+  if (claim_idx == kInvalidSlot) {
+    PostOutcome out;
+    out.kind = PostOutcome::Kind::kFallback;
+    out.cookie = cookie;
+    return out;
+  }
+  ClaimTable::Record& rec = claims_.record(claim_idx);
+  for (unsigned k = 0; k < shard_count(); ++k) {
+    const PostOutcome r = shards_[k]->post_pending(
+        spec, buffer_addr, buffer_capacity, cookie, label, claim_idx);
+    if (r.kind == PostOutcome::Kind::kFallback) {
+      // One shard's table is full: unwind the replicas already indexed so
+      // the caller sees an atomic fallback, not a half-replicated receive.
+      for (unsigned k2 = 0; k2 < k; ++k2) {
+        const auto cancelled = shards_[k2]->cancel_receive(cookie);
+        OTM_ASSERT_MSG(cancelled.has_value(), "replica unwind failed");
+      }
+      claims_.release(claim_idx);
+      return r;
+    }
+    rec.replica_slot[k] = r.slot;
+  }
+  ++sstats_.replicated_posts;
+  publish_sharded_metrics();
+  PostOutcome out;
+  out.kind = PostOutcome::Kind::kPending;
+  out.cookie = cookie;
+  return out;
+}
+
+std::optional<ProbeResult> ShardedEngine::probe(const MatchSpec& spec) {
+  if (shard_count() == 1) return shards_[0]->probe(spec);
+  SerialSection ingress(ingress_);
+  const WildcardClass wc = spec.wildcard_class();
+  if (wc == WildcardClass::kNone || wc == WildcardClass::kTagWild)
+    return shards_[shard_of(spec.source)]->probe(spec);
+  unsigned best_shard = 0;
+  std::optional<MatchEngine::UnexpectedPeek> best;
+  for (unsigned k = 0; k < shard_count(); ++k) {
+    const auto p = shards_[k]->peek_unexpected(spec);
+    if (p && (!best || p->arrival < best->arrival)) {
+      best = p;
+      best_shard = k;
+    }
+  }
+  if (!best) return std::nullopt;
+  const UnexpectedDescriptor& d = shards_[best_shard]->unexpected().desc(best->slot);
+  return ProbeResult{d.env.source, d.env.tag,  d.payload_bytes,
+                     d.env.comm,   d.protocol, d.wire_seq};
+}
+
+std::optional<std::uint64_t> ShardedEngine::cancel_receive(
+    std::uint64_t cookie) {
+  if (shard_count() == 1) return shards_[0]->cancel_receive(cookie);
+  SerialSection ingress(ingress_);
+  if (const auto claim_idx = claims_.find_by_cookie(cookie)) {
+    std::optional<std::uint64_t> buffer;
+    for (unsigned k = 0; k < shard_count(); ++k) {
+      const auto r = shards_[k]->cancel_receive(cookie);
+      OTM_ASSERT_MSG(r.has_value(), "replicated cancel missed a shard");
+      buffer = r;
+    }
+    claims_.release(*claim_idx);
+    return buffer;
+  }
+  for (unsigned k = 0; k < shard_count(); ++k) {
+    if (const auto r = shards_[k]->cancel_receive(cookie)) return r;
+  }
+  return std::nullopt;
+}
+
+// Runs on a shard worker thread while the driver waits at the join barrier;
+// the scratch slot it touches is thread-private by construction (one worker
+// per shard), a phase discipline the lock-based analysis cannot express.
+void ShardedEngine::register_claims(unsigned s) noexcept
+    OTM_NO_THREAD_SAFETY_ANALYSIS {
+  ShardScratch& sc = scratch_[s];
+  BlockMatcher& m = *sc.armed;
+  for (unsigned t = 0; t < m.num_threads(); ++t) {
+    const BlockMatcher::ThreadResult& r = m.result(t);
+    if (r.final_slot == kInvalidSlot) continue;
+    const std::uint32_t claim_idx =
+        shards_[s]->receives().desc(r.final_slot).claim_idx;
+    if (claim_idx == kInvalidSlot) continue;
+    claims_.try_claim(claim_idx, sc.stamps[t]);
+    sc.regs.push_back({claim_idx, t});
+  }
+}
+
+void ShardedEngine::win_claim(std::uint32_t claim_idx, unsigned winner_shard) {
+  const ClaimTable::Record& rec = claims_.record(claim_idx);
+  for (unsigned k = 0; k < shard_count(); ++k) {
+    if (k == winner_shard || rec.replica_slot[k] == kInvalidSlot) continue;
+    shards_[k]->retire_replica(rec.replica_slot[k]);
+  }
+  claims_.release(claim_idx);
+  ++sstats_.claims_won;
+}
+
+void ShardedEngine::process_block(std::span<const IncomingMessage> block,
+                                  std::span<const std::uint64_t> starts,
+                                  BlockExecutor& executor,
+                                  std::span<ArrivalOutcome> out) {
+  // Order-preserving partition by source shard; every message gets a
+  // global arrival stamp (C2 across per-shard UMQ stores + claim seq).
+  for (ShardScratch& sc : scratch_) {
+    sc.msgs.clear();
+    sc.starts.clear();
+    sc.stamps.clear();
+    sc.global_pos.clear();
+    sc.regs.clear();
+    sc.out.clear();
+    sc.armed = nullptr;
+  }
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ShardScratch& sc = scratch_[shard_of(block[i].env.source)];
+    sc.msgs.push_back(block[i]);
+    if (!starts.empty()) sc.starts.push_back(starts[i]);
+    sc.stamps.push_back(global_arrival_++);
+    sc.global_pos.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    ShardScratch& sc = scratch_[s];
+    if (sc.msgs.empty()) continue;
+    sc.armed = &shards_[s]->arm_block(sc.msgs, sc.starts);
+  }
+
+  // Matching phase: each armed shard runs independently; replica matches
+  // register on their claim words as they surface.
+  if (threaded_) {
+    std::vector<std::thread> workers;
+    workers.reserve(shard_count());
+    for (unsigned s = 0; s < shard_count(); ++s) {
+      if (scratch_[s].armed == nullptr) continue;
+      workers.emplace_back([this, s, &executor] {
+        executor.execute(*scratch_[s].armed);
+        register_claims(s);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  } else {
+    for (unsigned s = 0; s < shard_count(); ++s) {
+      if (scratch_[s].armed == nullptr) continue;
+      executor.execute(*scratch_[s].armed);
+      register_claims(s);
+    }
+  }
+
+  if (claims_.contested()) {
+    // Two shards matched replicas of one receive inside this block: void
+    // the whole tentative block and re-match serially in global order —
+    // the claim protocol's deterministic ground truth.
+    ++sstats_.claims_contested;
+    ++sstats_.block_repairs;
+    claims_.clear_contested();
+    for (ShardScratch& sc : scratch_)
+      for (const Registration& reg : sc.regs) claims_.reset_claim(reg.claim_idx);
+    for (unsigned s = 0; s < shard_count(); ++s)
+      if (scratch_[s].armed != nullptr) shards_[s]->rollback_block();
+
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const unsigned s = shard_of(block[i].env.source);
+      const std::span<const IncomingMessage> one(&block[i], 1);
+      const std::span<const std::uint64_t> one_start =
+          starts.empty() ? starts : starts.subspan(i, 1);
+      // The stamp allocated in the partition pass above, re-derived from
+      // the block base so repair and commit agree.
+      const std::uint64_t stamp =
+          global_arrival_ - static_cast<std::uint64_t>(block.size()) +
+          static_cast<std::uint64_t>(i);
+      BlockMatcher& m = shards_[s]->arm_block(one, one_start);
+      executor.execute(m);
+      const std::uint32_t slot = m.result(0).final_slot;
+      repair_out_.clear();
+      shards_[s]->commit_block(repair_out_,
+                               std::span<const std::uint64_t>(&stamp, 1));
+      out[i] = repair_out_.front();
+      if (slot != kInvalidSlot) {
+        const std::uint32_t claim_idx =
+            shards_[s]->receives().desc(slot).claim_idx;
+        // Retire the siblings *now* so no later message in this repair run
+        // can match a replica of an already-won receive.
+        if (claim_idx != kInvalidSlot) win_claim(claim_idx, s);
+      }
+    }
+    return;
+  }
+
+  // Uncontested: every registered claim has a single registrant — the
+  // parallel outcome equals the serial one. Retire the losers' replicas,
+  // then commit each shard's epilogue and reassemble in global order.
+  for (unsigned s = 0; s < shard_count(); ++s)
+    for (const Registration& reg : scratch_[s].regs) win_claim(reg.claim_idx, s);
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    ShardScratch& sc = scratch_[s];
+    if (sc.armed == nullptr) continue;
+    shards_[s]->commit_block(sc.out, sc.stamps);
+    for (std::size_t j = 0; j < sc.out.size(); ++j)
+      out[sc.global_pos[j]] = sc.out[j];
+  }
+}
+
+std::vector<ArrivalOutcome> ShardedEngine::process(
+    std::span<const IncomingMessage> msgs, BlockExecutor& executor,
+    std::span<const std::uint64_t> arrival_cycles) {
+  if (shard_count() == 1)
+    return shards_[0]->process(msgs, executor, arrival_cycles);
+  OTM_ASSERT(arrival_cycles.empty() || arrival_cycles.size() == msgs.size());
+  SerialSection ingress(ingress_);
+  std::vector<ArrivalOutcome> outcomes(msgs.size());
+  for (std::size_t base = 0; base < msgs.size(); base += cfg_.block_size) {
+    const std::size_t n =
+        std::min<std::size_t>(cfg_.block_size, msgs.size() - base);
+    const std::span<const std::uint64_t> starts =
+        arrival_cycles.empty() ? arrival_cycles
+                               : arrival_cycles.subspan(base, n);
+    process_block(msgs.subspan(base, n), starts, executor,
+                  std::span<ArrivalOutcome>(outcomes).subspan(base, n));
+  }
+  publish_sharded_metrics();
+  return outcomes;
+}
+
+ArrivalOutcome ShardedEngine::process_one(const IncomingMessage& msg,
+                                          BlockExecutor& executor) {
+  const auto v = process(std::span<const IncomingMessage>(&msg, 1), executor);
+  return v.front();
+}
+
+MatchStats ShardedEngine::stats() const {
+  MatchStats total;
+  for (const auto& e : shards_) total += e->snapshot();
+  return total;
+}
+
+std::size_t ShardedEngine::posted_count() const {
+  std::size_t n = 0;
+  for (const auto& e : shards_) n += e->receives().posted_count();
+  // Each live replicated receive is posted once per shard; count it once.
+  n -= (shard_count() - 1) * claims_.live_claims();
+  return n;
+}
+
+std::size_t ShardedEngine::unexpected_total() const {
+  std::size_t n = 0;
+  for (const auto& e : shards_) n += e->unexpected().size();
+  return n;
+}
+
+std::uint64_t ShardedEngine::last_finish_cycles() const {
+  std::uint64_t t = 0;
+  for (const auto& e : shards_) t = std::max(t, e->last_finish_cycles());
+  return t;
+}
+
+}  // namespace otm

@@ -1,0 +1,278 @@
+// Multi-engine sharding (docs/SHARDING.md): a ShardedEngine owns K
+// MatchEngine instances keyed by source-rank range (power-of-two mask
+// routing, MatchConfig::shards) so message blocks from distinct sources can
+// be matched by independent engines — the path past the single ingress
+// serializer the paper's prototype dispatches through.
+//
+// Constraint preservation:
+//   C1 (oldest posted receive wins): every receive is stamped from ONE
+//     monotonic cross-shard label allocator at post time, so "oldest" stays
+//     a single integer compare no matter which shard holds the candidate.
+//   C2 (non-overtaking): routing is by source, so each (source, comm)
+//     stream lands in exactly one shard in arrival order; unexpected
+//     messages carry a global arrival stamp so post-time UMQ arbitration
+//     across shards picks the true oldest.
+//
+// Wildcard-source receives must be visible to every shard: they are
+// replicated into all K ANY_SOURCE indexes with the SAME label and a shared
+// claim word. A shard that matches a replica registers its message's global
+// sequence on the claim word (min-CAS). After the block's matching phase:
+//   - uncontested claims (single registrant): the winner keeps the match,
+//     sibling replicas are retired — consumed without a message, then
+//     reaped by the paper's lazy-removal machinery ("losers treat the entry
+//     as lazily-removed");
+//   - any contested claim (two shards matched replicas of one receive in
+//     the same block): the tentative block is rolled back on every shard
+//     and re-matched serially in global arrival order — the deterministic
+//     ground truth the oracle tests compare against.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace otm {
+
+/// The single C1 authority of a sharded engine: every posting label comes
+/// from here (otmlint R4 extends the label-allocator monopoly to this
+/// class). Atomic so the TSan fuzz suite can hammer it from K shard
+/// threads; in production the posting path is engine-serialized and the
+/// atomicity is belt-and-braces.
+class CrossShardLabelAllocator {
+ public:
+  // otmlint: hot
+  std::uint64_t allocate() noexcept {
+    // relaxed: uniqueness/monotonicity need only atomicity — the label is
+    // published with the descriptor's release store in
+    // ReceiveStore::post_labeled(), which is what searchers acquire.
+    return next_label_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Next label to be handed out (test/metrics accessor).
+  std::uint64_t peek() const noexcept {
+    // relaxed: monitoring read; no ordering required.
+    return next_label_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_label_{0};
+};
+
+/// Claim words + replica bookkeeping for wildcard-source receives. One
+/// record per replicated logical receive; the word arbitrates
+/// matched-at-most-once across shards.
+class ClaimTable {
+ public:
+  static constexpr std::uint64_t kUnclaimed = ~std::uint64_t{0};
+
+  struct Record {
+    /// Per-shard descriptor slot of this receive's replica.
+    std::array<std::uint32_t, kMaxShards> replica_slot{};
+    std::uint64_t cookie = 0;
+    std::uint64_t label = 0;
+    bool live = false;
+  };
+
+  explicit ClaimTable(std::size_t capacity);
+
+  ClaimTable(const ClaimTable&) = delete;
+  ClaimTable& operator=(const ClaimTable&) = delete;
+
+  /// Engine-serialized (posting path). Returns kInvalidSlot when full.
+  std::uint32_t allocate(std::uint64_t cookie, std::uint64_t label);
+  /// Engine-serialized; resets the claim word back to kUnclaimed.
+  void release(std::uint32_t idx);
+
+  Record& record(std::uint32_t idx) noexcept { return records_[idx]; }
+  const Record& record(std::uint32_t idx) const noexcept {
+    return records_[idx];
+  }
+
+  /// Register `seq` (a global message sequence) on claim `idx`: keeps the
+  /// minimum registered seq and raises the shared contested flag when any
+  /// other registration is observed. Safe from concurrent shard threads.
+  // otmlint: hot
+  void try_claim(std::uint32_t idx, std::uint64_t seq) noexcept;
+
+  /// Current claim word (kUnclaimed or the minimum registered seq).
+  std::uint64_t claim_word(std::uint32_t idx) const noexcept {
+    // acquire: pairs with try_claim's release CAS so the arbitration pass
+    // reading the word also observes the registrant's prior matching state.
+    return words_[idx].load(std::memory_order_acquire);
+  }
+
+  /// Reset one claim word to kUnclaimed (block repair / win cleanup).
+  void reset_claim(std::uint32_t idx) noexcept {
+    // relaxed: runs engine-serialized between blocks.
+    words_[idx].store(kUnclaimed, std::memory_order_relaxed);
+  }
+
+  bool contested() const noexcept {
+    // acquire: pairs with the release store in try_claim.
+    return contested_.load(std::memory_order_acquire);
+  }
+  void clear_contested() noexcept {
+    // relaxed: runs engine-serialized between blocks.
+    contested_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Oldest live claim whose record carries `cookie` (cancel path).
+  std::optional<std::uint32_t> find_by_cookie(std::uint64_t cookie) const;
+
+  std::size_t capacity() const noexcept { return records_.size(); }
+  std::size_t live_claims() const noexcept { return live_; }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> words_;
+  std::vector<Record> records_;
+  std::vector<std::uint32_t> free_list_;
+  std::atomic<bool> contested_{false};
+  std::size_t live_ = 0;
+};
+
+/// K MatchEngines behind the MatchEngine-shaped API. With cfg.shards == 1
+/// every call delegates verbatim to the single engine (bit-identical
+/// behavior and modeled timing); with K > 1 the sharded post/claim/commit
+/// protocol above runs.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const MatchConfig& cfg,
+                         const CostTable* costs = nullptr);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// K == 1: delegates with `prefix` unchanged. K > 1: each shard registers
+  /// under "<prefix>.shard<k>" and the sharding counters under
+  /// "<prefix>.sharded.*".
+  void attach_observability(obs::Observability* obs,
+                            std::string_view prefix = "match");
+
+  /// Fig. 1a across shards: arbitrate the oldest unexpected candidate over
+  /// every shard that can hold one, else stamp a label and index (into the
+  /// home shard, or all shards + claim for wildcard-source specs).
+  PostOutcome post_receive(const MatchSpec& spec, std::uint64_t buffer_addr = 0,
+                           std::uint32_t buffer_capacity = 0,
+                           std::uint64_t cookie = 0);
+
+  std::optional<ProbeResult> probe(const MatchSpec& spec);
+
+  /// Cookies of replicated receives must be unique among live receives
+  /// (the endpoint's request indexes are); a replicated cancel withdraws
+  /// every replica and frees the claim.
+  std::optional<std::uint64_t> cancel_receive(std::uint64_t cookie);
+
+  /// Fig. 1b: global blocks of cfg.block_size, partitioned by source shard
+  /// (order-preserving), matched per shard, claim-arbitrated, committed —
+  /// or rolled back and re-matched serially on a contested claim.
+  /// `executor` drives each shard's sub-block and must be stateless (the
+  /// stock executors are); with set_threaded(true) shards run concurrently.
+  std::vector<ArrivalOutcome> process(
+      std::span<const IncomingMessage> msgs, BlockExecutor& executor,
+      std::span<const std::uint64_t> arrival_cycles = {});
+
+  ArrivalOutcome process_one(const IncomingMessage& msg,
+                             BlockExecutor& executor);
+
+  /// Run each shard's matching phase on its own std::thread. Outcomes are
+  /// schedule-independent (the claim protocol repairs every cross-shard
+  /// race deterministically); off by default so modeled runs stay cheap.
+  void set_threaded(bool on) noexcept { threaded_ = on; }
+
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  unsigned shard_of(Rank source) const noexcept {
+    return static_cast<unsigned>(static_cast<std::uint32_t>(source) &
+                                 shard_mask_);
+  }
+  MatchEngine& shard(unsigned k) noexcept { return *shards_[k]; }
+  const MatchEngine& shard(unsigned k) const noexcept { return *shards_[k]; }
+  const MatchConfig& config() const noexcept { return cfg_; }
+
+  /// Summed per-shard counters. A replicated receive posts once per shard,
+  /// so receives_posted counts it K times; the matching K-1
+  /// cross_shard_retired (or cancels) balance the depth arithmetic.
+  MatchStats stats() const;
+
+  /// Logical pending receives: per-shard posted counts minus the extra
+  /// K-1 replicas of each live replicated receive.
+  std::size_t posted_count() const;
+  std::size_t unexpected_total() const;
+  std::uint64_t last_finish_cycles() const;
+
+  struct ShardingStats {
+    std::uint64_t replicated_posts = 0;  ///< wildcard-source posts fanned out
+    std::uint64_t claims_won = 0;        ///< uncontested replica matches
+    std::uint64_t claims_contested = 0;  ///< claim words seen contested
+    std::uint64_t block_repairs = 0;     ///< blocks rolled back + re-matched
+  };
+  ShardingStats sharding_stats() const {
+    SerialSection s(ingress_);
+    return sstats_;
+  }
+
+  const ClaimTable& claims() const noexcept { return claims_; }
+  CrossShardLabelAllocator& label_allocator() noexcept { return labels_; }
+
+ private:
+  struct Registration {
+    std::uint32_t claim_idx = kInvalidSlot;
+    unsigned tid = 0;
+  };
+
+  /// Per-shard partition scratch, reused across blocks.
+  struct ShardScratch {
+    std::vector<IncomingMessage> msgs;
+    std::vector<std::uint64_t> starts;
+    std::vector<std::uint64_t> stamps;      ///< global arrival stamps
+    std::vector<std::uint32_t> global_pos;  ///< index into the global block
+    std::vector<Registration> regs;
+    std::vector<ArrivalOutcome> out;
+    BlockMatcher* armed = nullptr;
+  };
+
+  void process_block(std::span<const IncomingMessage> block,
+                     std::span<const std::uint64_t> starts,
+                     BlockExecutor& executor,
+                     std::span<ArrivalOutcome> out) OTM_REQUIRES(ingress_);
+  /// Retire the sibling replicas of a won claim and free it.
+  void win_claim(std::uint32_t claim_idx, unsigned winner_shard)
+      OTM_REQUIRES(ingress_);
+  /// Scan one executed shard matcher for replica matches and register them.
+  void register_claims(unsigned s) noexcept;
+  void publish_sharded_metrics() noexcept OTM_REQUIRES(ingress_);
+
+  MatchConfig cfg_;
+  std::uint32_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<MatchEngine>> shards_;
+
+  /// Serialization domain of the sharded orchestration (same contract as
+  /// MatchEngine::ingress_: posts never overlap process()).
+  SerialDomain ingress_;
+
+  CrossShardLabelAllocator labels_;
+  ClaimTable claims_;
+  std::uint64_t global_arrival_ OTM_GUARDED_BY(ingress_) = 0;
+  std::vector<ShardScratch> scratch_ OTM_GUARDED_BY(ingress_);
+  std::vector<ArrivalOutcome> repair_out_ OTM_GUARDED_BY(ingress_);
+  ShardingStats sstats_ OTM_GUARDED_BY(ingress_);
+  bool threaded_ = false;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* mh_replicated_posts_ = nullptr;
+  obs::Counter* mh_claims_won_ = nullptr;
+  obs::Counter* mh_claims_contested_ = nullptr;
+  obs::Counter* mh_block_repairs_ = nullptr;
+};
+
+}  // namespace otm

@@ -37,7 +37,8 @@ namespace otm {
   X(early_booking_skips)                                                 \
   /* Structure health. */                                                \
   X(lazy_removals)           /* consumed entries cleaned at insert */    \
-  X(eager_removals)
+  X(eager_removals)                                                      \
+  X(cross_shard_retired)     /* replicas retired by a sibling's claim */
 
 /// Point-in-time snapshot of one engine's matching counters.
 struct MatchStats {

@@ -34,11 +34,19 @@ std::size_t UnexpectedStore::bin_for(unsigned idx, const Envelope& env) const no
 }
 
 std::uint32_t UnexpectedStore::insert(const IncomingMessage& msg,
-                                      ThreadClock& clock) {
+                                      ThreadClock& clock,
+                                      const std::uint64_t* arrival_override) {
   const std::uint32_t slot = table_.allocate();
   if (slot == kInvalidSlot) return kInvalidSlot;
   UnexpectedDescriptor& d = table_[slot];
   d.env = msg.env;
+  if (arrival_override != nullptr) {
+    OTM_ASSERT_MSG(*arrival_override >= next_arrival_,
+                   "external arrival stamp below this store's clock");
+    // Advance past the stamp so mixed internal/external inserts stay
+    // append-ordered by arrival (constraint C2).
+    next_arrival_ = *arrival_override;
+  }
   d.arrival = next_arrival_++;
   d.wire_seq = msg.wire_seq;
   d.protocol = msg.protocol;

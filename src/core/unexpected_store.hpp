@@ -44,7 +44,13 @@ class UnexpectedStore {
 
   /// Store an unexpected message; returns its slot or kInvalidSlot when the
   /// table is exhausted (software-fallback signal). Engine-serialized.
-  std::uint32_t insert(const IncomingMessage& msg, ThreadClock& clock)
+  /// `arrival_override`, when non-null, stamps the descriptor with an
+  /// externally-allocated arrival position instead of this store's own
+  /// clock: the ShardedEngine assigns global arrival stamps so C2 age
+  /// comparison works across per-shard stores (docs/SHARDING.md). The
+  /// override must be >= next_arrival_ (asserted) and advances it.
+  std::uint32_t insert(const IncomingMessage& msg, ThreadClock& clock,
+                       const std::uint64_t* arrival_override = nullptr)
       OTM_REQUIRES(serial_);
 
   /// Search for the oldest stored message matching `spec`, probing only the

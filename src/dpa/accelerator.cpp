@@ -51,7 +51,7 @@ void DpaAccelerator::attach_observability(obs::Observability* obs,
   }
 }
 
-void DpaAccelerator::attach_engine_obs(CommId comm, MatchEngine& eng) {
+void DpaAccelerator::attach_engine_obs(CommId comm, ShardedEngine& eng) {
   eng.attach_observability(
       obs_, obs_prefix_ + ".comm" + std::to_string(comm));
 }
@@ -64,12 +64,26 @@ void DpaAccelerator::publish_gauges() noexcept {
 }
 
 MatchEngine& DpaAccelerator::engine(CommId comm) {
+  ShardedEngine& se = sharded_engine(comm);
+  OTM_ASSERT_MSG(se.shard_count() == 1,
+                 "sharded communicator: use sharded_engine()");
+  return se.shard(0);
+}
+
+const MatchEngine& DpaAccelerator::engine(CommId comm) const {
+  const ShardedEngine& se = sharded_engine(comm);
+  OTM_ASSERT_MSG(se.shard_count() == 1,
+                 "sharded communicator: use sharded_engine()");
+  return se.shard(0);
+}
+
+ShardedEngine& DpaAccelerator::sharded_engine(CommId comm) {
   const auto it = engines_.find(comm);
   OTM_ASSERT_MSG(it != engines_.end(), "communicator not registered on the DPA");
   return it->second->engine;
 }
 
-const MatchEngine& DpaAccelerator::engine(CommId comm) const {
+const ShardedEngine& DpaAccelerator::sharded_engine(CommId comm) const {
   const auto it = engines_.find(comm);
   OTM_ASSERT_MSG(it != engines_.end(), "communicator not registered on the DPA");
   return it->second->engine;
@@ -97,10 +111,27 @@ PostOutcome DpaAccelerator::post_receive(const MatchSpec& spec,
                                          cookie);
 }
 
-void DpaAccelerator::deliver_run(MatchEngine& eng,
+std::optional<ProbeResult> DpaAccelerator::probe(const MatchSpec& spec) {
+  const auto it = engines_.find(spec.comm);
+  if (it == engines_.end()) return std::nullopt;
+  return it->second->engine.probe(spec);
+}
+
+std::optional<std::uint64_t> DpaAccelerator::cancel_receive(
+    CommId comm, std::uint64_t cookie) {
+  const auto it = engines_.find(comm);
+  if (it == engines_.end()) return std::nullopt;
+  return it->second->engine.cancel_receive(cookie);
+}
+
+void DpaAccelerator::deliver_run(ShardedEngine& eng,
                                  std::span<const IncomingMessage> msgs,
                                  std::span<const std::uint64_t> arrivals,
                                  std::vector<ArrivalOutcome>& out) {
+  if (eng.shard_count() > 1) {
+    deliver_run_sharded(eng, msgs, arrivals, out);
+    return;
+  }
   const unsigned block = eng.config().block_size;
   // Process block by block so hart-slot pipeline backpressure from block b
   // constrains the dispatch times of block b+1.
@@ -132,6 +163,49 @@ void DpaAccelerator::deliver_run(MatchEngine& eng,
   publish_gauges();
 }
 
+void DpaAccelerator::deliver_run_sharded(ShardedEngine& eng,
+                                         std::span<const IncomingMessage> msgs,
+                                         std::span<const std::uint64_t> arrivals,
+                                         std::vector<ArrivalOutcome>& out) {
+  const unsigned block = eng.config().block_size;
+  for (std::size_t base = 0; base < msgs.size(); base += block) {
+    const std::size_t n = std::min<std::size_t>(block, msgs.size() - base);
+
+    // Dispatch time per message: CQEs fan out to one completion queue per
+    // shard (routed on the packet's source, like the messages themselves),
+    // so only same-shard completions serialize on cqe_interval, and each
+    // shard pipelines its own hart slots. Lane = this message's position
+    // among its shard's messages within the block — the hart slot its
+    // shard's sub-block assigns it.
+    std::vector<std::uint64_t>& starts = starts_scratch_;
+    starts.assign(n, 0);
+    std::array<unsigned, kMaxShards> lane{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t g = base + i;
+      const unsigned s = eng.shard_of(msgs[g].env.source);
+      const std::uint64_t arrival =
+          arrivals.empty() ? cqe_shard_ready_[s]
+                           : std::max(arrivals[g], cqe_shard_ready_[s]);
+      cqe_shard_ready_[s] = arrival + cfg_.cqe_interval;
+      starts[i] = std::max(arrival, shard_slot_free_[s][lane[s]]);
+      ++lane[s];
+    }
+
+    auto block_out = eng.process(msgs.subspan(base, n), executor_, starts);
+    lane.fill(0);
+    for (std::size_t i = 0; i < block_out.size(); ++i) {
+      const unsigned s = eng.shard_of(msgs[base + i].env.source);
+      const std::uint64_t finish = block_out[i].timing.finish_cycles;
+      std::uint64_t& slot = shard_slot_free_[s][lane[s]++];
+      slot = std::max(slot, finish);
+      now_ = std::max(now_, finish);
+      busy_cycles_ += finish - starts[i];
+      out.push_back(block_out[i]);
+    }
+  }
+  publish_gauges();
+}
+
 std::vector<ArrivalOutcome> DpaAccelerator::deliver(
     std::span<const IncomingMessage> msgs,
     std::span<const std::uint64_t> arrival_cycles) {
@@ -149,7 +223,7 @@ std::vector<ArrivalOutcome> DpaAccelerator::deliver(
     const CommId comm = msgs[base].env.comm;
     std::size_t end = base + 1;
     while (end < msgs.size() && msgs[end].env.comm == comm) ++end;
-    deliver_run(engine(comm), msgs.subspan(base, end - base),
+    deliver_run(sharded_engine(comm), msgs.subspan(base, end - base),
                 arrival_cycles.empty()
                     ? arrival_cycles
                     : arrival_cycles.subspan(base, end - base),

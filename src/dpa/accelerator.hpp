@@ -17,7 +17,10 @@
 #include <span>
 #include <vector>
 
+#include <array>
+
 #include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "dpa/dpa_config.hpp"
 
 namespace otm {
@@ -55,6 +58,14 @@ class DpaAccelerator {
                            std::uint32_t buffer_capacity = 0,
                            std::uint64_t cookie = 0);
 
+  /// MPI_Iprobe routed on spec.comm (nullopt for unregistered comms, which
+  /// the endpoint probes in software).
+  std::optional<ProbeResult> probe(const MatchSpec& spec);
+
+  /// MPI_Cancel routed on `comm` (nullopt when the comm is unregistered or
+  /// no pending receive carries the cookie).
+  std::optional<std::uint64_t> cancel_receive(CommId comm, std::uint64_t cookie);
+
   /// Messages arriving at the NIC at `arrival_cycles` (DPA clock domain,
   /// parallel to msgs; empty = back-to-back from now()). All messages must
   /// target registered communicators (the endpoint routes others to the
@@ -62,9 +73,15 @@ class DpaAccelerator {
   std::vector<ArrivalOutcome> deliver(std::span<const IncomingMessage> msgs,
                                       std::span<const std::uint64_t> arrival_cycles = {});
 
-  /// The engine of communicator `comm` (must be registered).
+  /// The single engine of an unsharded communicator `comm` (must be
+  /// registered with cfg.shards == 1 — asserted). Sharded communicators are
+  /// inspected through sharded_engine().
   MatchEngine& engine(CommId comm = 0);
   const MatchEngine& engine(CommId comm = 0) const;
+
+  /// The (possibly K == 1) sharded engine of communicator `comm`.
+  ShardedEngine& sharded_engine(CommId comm = 0);
+  const ShardedEngine& sharded_engine(CommId comm = 0) const;
 
   /// Statistics aggregated over every registered communicator.
   MatchStats total_stats() const;
@@ -84,22 +101,34 @@ class DpaAccelerator {
   struct CommEngine {
     explicit CommEngine(const MatchConfig& cfg, const CostTable* costs)
         : engine(cfg, costs) {}
-    MatchEngine engine;
+    ShardedEngine engine;  ///< K == 1 delegates verbatim to one MatchEngine
   };
 
   static std::size_t footprint_of(const MatchConfig& cfg) noexcept {
     const auto f = MemoryFootprint::of(cfg.bins, cfg.max_receives);
     // Unexpected descriptors consume DPA memory too (same 64 B layout).
-    return f.total() + cfg.max_unexpected * MemoryFootprint::kBytesPerDescriptor;
+    // Sharding replicates the full structure set K times (docs/SHARDING.md:
+    // the throughput is bought with memory).
+    return (f.total() +
+            cfg.max_unexpected * MemoryFootprint::kBytesPerDescriptor) *
+           cfg.shards;
   }
 
-  /// Process one maximal same-comm run of the arrival stream.
-  void deliver_run(MatchEngine& engine, std::span<const IncomingMessage> msgs,
+  /// Process one maximal same-comm run of the arrival stream (single CQ:
+  /// serial CQE dispatch + shared hart-slot pipeline).
+  void deliver_run(ShardedEngine& engine, std::span<const IncomingMessage> msgs,
                    std::span<const std::uint64_t> arrivals,
                    std::vector<ArrivalOutcome>& out);
+  /// Sharded variant: CQEs fan out to one queue per shard, each drained
+  /// serially but independently, and each shard pipelines its own hart
+  /// slots — the modeled win of docs/SHARDING.md.
+  void deliver_run_sharded(ShardedEngine& engine,
+                           std::span<const IncomingMessage> msgs,
+                           std::span<const std::uint64_t> arrivals,
+                           std::vector<ArrivalOutcome>& out);
 
   /// Per-comm metric prefix and accelerator gauge refresh.
-  void attach_engine_obs(CommId comm, MatchEngine& eng);
+  void attach_engine_obs(CommId comm, ShardedEngine& eng);
   void publish_gauges() noexcept;
 
   DpaConfig cfg_;
@@ -110,6 +139,10 @@ class DpaAccelerator {
   std::vector<std::uint64_t> starts_scratch_;  ///< per-block dispatch times
   std::size_t memory_used_ = 0;
   std::uint64_t cqe_ready_ = 0;  ///< next CQE delivery slot (serial NIC)
+  /// Per-shard CQE clocks + hart-slot pipelines (sharded communicators).
+  std::array<std::uint64_t, kMaxShards> cqe_shard_ready_{};
+  std::array<std::array<std::uint64_t, kMaxBlockThreads>, kMaxShards>
+      shard_slot_free_{};
   std::uint64_t now_ = 0;
   std::uint64_t busy_cycles_ = 0;
 

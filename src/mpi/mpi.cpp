@@ -73,6 +73,7 @@ Comm Proc::comm_create(const CommInfo& info) {
   MatchConfig cfg = world_->options_.match;
   cfg.assume_no_wildcards = info.assert_no_any_source && info.assert_no_any_tag;
   cfg.allow_overtaking = info.assert_allow_overtaking;
+  if (info.shards != 0) cfg.shards = info.shards;
   for (auto& ep : world_->endpoints_) ep->register_comm(comm.id, cfg);
   return comm;
 }
@@ -399,7 +400,11 @@ Status Proc::recv(std::span<std::byte> buf, Rank src, Tag tag, const Comm& comm)
 
 const MatchStats* Proc::match_stats() const {
   if (world_->options_.backend != Backend::kOffloadDpa) return nullptr;
-  return &world_->endpoints_[static_cast<std::size_t>(rank_)]->dpa().engine().stats();
+  const ShardedEngine& se =
+      world_->endpoints_[static_cast<std::size_t>(rank_)]->dpa().sharded_engine();
+  if (se.shard_count() == 1) return &se.shard(0).stats();
+  sharded_stats_ = se.stats();
+  return &sharded_stats_;
 }
 
 }  // namespace otm::mpi

@@ -43,6 +43,9 @@ struct CommInfo {
   bool assert_no_any_tag = false;
   bool assert_allow_overtaking = false;
   bool offload = true;  ///< request DPA offload for this communicator
+  /// Matching shards for this communicator (docs/SHARDING.md). 0 inherits
+  /// WorldOptions.match.shards; otherwise a power of two <= kMaxShards.
+  unsigned shards = 0;
 };
 
 struct Comm {
@@ -209,7 +212,9 @@ class Proc {
   /// call (drained during progress()).
   std::vector<proto::DeliveryError> take_delivery_errors();
 
-  /// Matching statistics from the backing engine (offload backend).
+  /// Matching statistics from the backing engine (offload backend). For a
+  /// sharded default communicator the counters are summed over shards into
+  /// a per-Proc snapshot (the pointer stays valid until the next call).
   const MatchStats* match_stats() const;
 
  private:
@@ -249,6 +254,7 @@ class Proc {
   std::deque<PendingPost> pending_posts_;
   ProcStats stats_;
   std::vector<proto::DeliveryError> delivery_errors_;  ///< drained via accessor
+  mutable MatchStats sharded_stats_;  ///< match_stats() snapshot (sharded)
 
   // Software-backend state: sequential matcher plus payload staging.
   std::unique_ptr<ListMatcher> sw_matcher_;

@@ -92,8 +92,7 @@ void Endpoint::release_send_buffer(std::uint32_t rkey) {
 }
 
 bool Endpoint::cancel_receive(CommId comm, std::uint64_t cookie) {
-  if (!dpa_.comm_registered(comm)) return false;
-  const auto buffer_addr = dpa_.engine(comm).cancel_receive(cookie);
+  const auto buffer_addr = dpa_.cancel_receive(comm, cookie);
   if (!buffer_addr.has_value()) return false;
   OTM_ASSERT(*buffer_addr != 0);
   const std::size_t idx = static_cast<std::size_t>(*buffer_addr) - 1;

@@ -146,8 +146,7 @@ class Endpoint {
   /// MPI_Iprobe against the NIC-side unexpected store (registered comms
   /// only; host-path messages are probed by the caller's own store).
   std::optional<ProbeResult> probe(const MatchSpec& spec) {
-    if (!dpa_.comm_registered(spec.comm)) return std::nullopt;
-    return dpa_.engine(spec.comm).probe(spec);
+    return dpa_.probe(spec);
   }
 
   /// Wire the endpoint (and its DPA + per-comm engines) into an

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -510,6 +511,109 @@ TEST(ChaosSoak, MixedProtocolAllFaultClasses) {
   EXPECT_TRUE(out.in_order);
   EXPECT_TRUE(out.payload_ok);
   EXPECT_TRUE(out.matches_reference);
+}
+
+// --- Sharded receiver under chaos (docs/SHARDING.md) -------------------------
+
+/// Incast soak: four senders stream at one receiver whose matching engine
+/// is split into four source-routed shards, over a faulted fabric. Every
+/// receive names a specific (source, tag), so the expected pairing is
+/// deterministic per stream no matter how the fault injector interleaves
+/// the streams: the k-th receive of stream (s, t) gets the k-th message of
+/// stream (s, t). Asserts exactly-once completion, payload integrity, and
+/// per-(peer, tag) FIFO even though CQEs fan out across shards.
+TEST(ChaosSoak, ShardedIncastExactlyOnceFifoUnderFaults) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = chaos_seed() + 2;
+  fault.drop_probability = 0.03;
+  fault.duplicate_probability = 0.02;
+  fault.corrupt_probability = 0.01;
+  fault.reorder_probability = 0.04;
+  fault.reorder_window = 3;
+
+  constexpr std::size_t kMessages = 10'000;
+  constexpr std::size_t kWindow = 16;
+  constexpr unsigned kSenders = 4;
+  constexpr std::uint32_t kTags = 2;
+
+  rdma::Fabric fabric(ChaosPair::make_fabric(fault));
+  EndpointConfig ep_cfg = ChaosPair::default_ep();
+  MatchConfig recv_cfg = match_cfg();
+  recv_cfg.shards = 4;
+  Endpoint receiver(fabric, 0, ep_cfg, recv_cfg, DpaConfig{});
+  std::vector<std::unique_ptr<Endpoint>> senders;
+  for (unsigned s = 0; s < kSenders; ++s) {
+    senders.push_back(std::make_unique<Endpoint>(
+        fabric, static_cast<Rank>(s + 1), ep_cfg, match_cfg(), DpaConfig{}));
+    senders.back()->connect(receiver);
+  }
+  ASSERT_EQ(receiver.dpa().sharded_engine().shard_count(), 4u);
+
+  std::vector<std::vector<std::byte>> bufs(kMessages);
+  std::vector<std::vector<std::byte>> sent(kMessages);
+  std::vector<bool> seen(kMessages, false);
+  // Completion order per (sender, tag) stream must be send order (C2
+  // survives the CQE fan-out because routing is by source).
+  std::map<std::pair<Rank, Tag>, std::uint64_t> last_stamp;
+  std::size_t completions = 0;
+  bool exactly_once = true, in_order = true, payload_ok = true,
+       pairing_ok = true;
+
+  auto harvest = [&](const std::vector<Endpoint::RecvCompletion>& done) {
+    for (const auto& c : done) {
+      ++completions;
+      if (c.cookie >= kMessages || seen[c.cookie]) {
+        exactly_once = false;
+        continue;
+      }
+      seen[c.cookie] = true;
+      const std::uint64_t stamp = read_stamp(bufs[c.cookie]);
+      if (stamp != c.cookie) pairing_ok = false;  // k-th receive, k-th msg
+      if (bufs[c.cookie] != sent[stamp]) payload_ok = false;
+      const std::pair<Rank, Tag> stream{c.env.source, c.env.tag};
+      const auto it = last_stamp.find(stream);
+      if (it != last_stamp.end() && stamp <= it->second) in_order = false;
+      last_stamp[stream] = stamp;
+    }
+  };
+  auto pump_all = [&] {
+    for (auto& s : senders) s->progress();
+    harvest(receiver.progress());
+  };
+
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    const unsigned s = static_cast<unsigned>(i % kSenders);
+    const Tag tag = static_cast<Tag>((i / kSenders) % kTags);
+    const std::size_t bytes = (i % 7 == 3) ? 2048 : 64;  // mixed protocol
+    bufs[i].resize(bytes);
+    const auto pr =
+        receiver.post_receive({static_cast<Rank>(s + 1), tag, 0}, bufs[i], i);
+    ASSERT_NE(pr.status, Endpoint::PostStatus::kFallback);
+    if (pr.status == Endpoint::PostStatus::kCompleted) harvest({pr.completion});
+    sent[i] = stamped(bytes, i);
+    const auto r = senders[s]->send(0, tag, 0, sent[i]);
+    if (!r.ok) exactly_once = false;  // reliable sends must queue
+    if (i + 1 - completions >= kWindow) {
+      for (int spin = 0; spin < 4000 && i + 1 - completions >= kWindow; ++spin)
+        pump_all();
+    }
+  }
+  for (int spin = 0; spin < 20000 && completions < kMessages; ++spin)
+    pump_all();
+  for (int spin = 0; spin < 100; ++spin) pump_all();  // settle: no extras
+
+  EXPECT_EQ(completions, kMessages);
+  EXPECT_TRUE(exactly_once) << "a posted receive completed 0 or 2+ times";
+  EXPECT_TRUE(in_order) << "C2 violated within a (peer, tag) stream";
+  EXPECT_TRUE(payload_ok);
+  EXPECT_TRUE(pairing_ok) << "receive paired with the wrong stream message";
+  for (auto& s : senders) EXPECT_EQ(s->take_delivery_errors().size(), 0u);
+  // The traffic really spread across all four shards.
+  const auto& se = receiver.dpa().sharded_engine();
+  for (unsigned k = 0; k < se.shard_count(); ++k)
+    EXPECT_GT(se.shard(k).stats().messages_processed, 0u)
+        << "shard " << k << " never saw a message";
 }
 
 // --- Mini-MPI under chaos ----------------------------------------------------

@@ -1,0 +1,19 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R4 bad twin: minting labels from a private atomic counter outside the
+// sanctioned allocators breaks constraint C1 across shards — two counters
+// cannot agree on "oldest" (docs/SHARDING.md).
+#include <atomic>
+#include <cstdint>
+
+namespace otm {
+
+struct RogueAllocator {
+  std::atomic<std::uint64_t> next_label_{0};
+
+  std::uint64_t mint() {
+    // Atomic or not, producing labels is the allocator's monopoly.
+    return next_label_.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace otm

@@ -1,0 +1,20 @@
+// otmlint-fixture: src/core/fixture.cpp
+// R4 good twin: observing the label counter (loads) and comparing labels is
+// fine anywhere; only mutation mints new labels.
+#include <atomic>
+#include <cstdint>
+
+namespace otm {
+
+struct AllocatorView {
+  std::atomic<std::uint64_t> next_label_{0};
+
+  std::uint64_t peek() const {
+    // Monotone counter; relaxed read is a diagnostic snapshot only.
+    return next_label_.load(std::memory_order_relaxed);
+  }
+};
+
+bool older(std::uint64_t a, std::uint64_t b) { return a < b; }
+
+}  // namespace otm
