@@ -45,7 +45,7 @@ double one_message_latency(std::size_t bytes, bool inline_rts,
   const auto done = receiver.progress();
   OTM_ASSERT(done.size() == 1);
   OTM_ASSERT(std::equal(rx.begin(), rx.end(), tx.begin()));
-  return static_cast<double>(done[0].complete_ns - start);
+  return static_cast<double>(done[0].completion_ns - start);
 }
 
 }  // namespace

@@ -18,7 +18,9 @@
 // Harness: --json=f.json writes the schema-versioned per-scenario results
 // (see bench_json.hpp); --smoke pins a tiny repetition count for the
 // tier-1 perf-smoke tests and always exits 0 (the shape checks still
-// print but only gate the full-length run).
+// print but only gate the full-length run). --wall additionally records
+// real-clock rates for the small-message storm scenarios as "walltime"
+// entries (docs/COALESCING.md).
 #include <cstdio>
 #include <deque>
 #include <fstream>
@@ -37,6 +39,7 @@ using namespace otm::bench;
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const bool smoke = args.get_bool("smoke", false);
+  const bool wall = args.get_bool("wall", false);
   const std::string json_out = args.get("json", "");
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
@@ -96,6 +99,9 @@ int main(int argc, char** argv) {
     const char* name;
     const char* json_name;
     PingPongResult r;
+    /// Messages per sequence for this row; 0 = the shared base.messages_per_seq
+    /// (the storm rows run kStormMessages instead of --k).
+    unsigned k = 0;
   };
   std::vector<Row> rows;
 
@@ -159,8 +165,49 @@ int main(int argc, char** argv) {
     rows.push_back({name.c_str(), json_name.c_str(), r});
   }
 
+  // Small-message storm (docs/COALESCING.md): one sender streams
+  // kStormMessages tiny eager messages, with and without merged-message
+  // coalescing. The coalesced/baseline rate ratio at 8 B is the headline
+  // number the perf gate holds (>= 3x, full runs only).
+  double storm_8_base = 0.0, storm_8_coal = 0.0;
+  std::deque<std::string> storm_names;
+  std::vector<Row> storm_walls;  // separate rows: "walltime" kind in JSON
+  for (const std::uint32_t bytes : {8u, 64u}) {
+    for (const bool coalesced : {false, true}) {
+      PingPongConfig cfg = base;
+      cfg.payload_bytes = bytes;
+      cfg.fabric.fault = fault;
+      const std::string stem = "storm_" + std::to_string(bytes) + "B_" +
+                               (coalesced ? "coalesced" : "baseline");
+      cfg.obs_prefix = stem + ".";
+      const std::string& name = storm_names.emplace_back(
+          "Storm " + std::to_string(bytes) + "B " +
+          (coalesced ? "coalesced" : "baseline"));
+      const std::string& json_name = storm_names.emplace_back(stem);
+      const PingPongResult r = run_small_storm(cfg, coalesced);
+      if (bytes == 8 && !coalesced) storm_8_base = r.msg_rate;
+      if (bytes == 8 && coalesced) storm_8_coal = r.msg_rate;
+      rows.push_back({name.c_str(), json_name.c_str(), r, kStormMessages});
+      if (wall) {
+        const std::string& wall_name =
+            storm_names.emplace_back(name + " (wall)");
+        const std::string& wall_json = storm_names.emplace_back(stem + "_wall");
+        PingPongResult wr = r;  // same run, real-clock rate
+        const double msgs = static_cast<double>(kStormMessages) *
+                            cfg.repetitions;
+        wr.msg_rate = msgs * 1e9 / r.wall_ns;
+        wr.avg_seq_ns = r.wall_ns / cfg.repetitions;
+        wr.seq_ns.assign(1, wr.avg_seq_ns);
+        storm_walls.push_back(
+            {wall_name.c_str(), wall_json.c_str(), wr, kStormMessages});
+      }
+    }
+  }
+
   for (const Row& row : rows) {
     const PingPongResult& r = row.r;
+    const double row_per_msg =
+        row.k != 0 ? static_cast<double>(row.k) * base.repetitions : per_msg;
     std::string resolution = "-";
     if (r.fast_path + r.slow_path > 0)
       resolution = r.fast_path >= r.slow_path ? "fast path" : "slow path";
@@ -169,11 +216,19 @@ int main(int argc, char** argv) {
         .cell(fmt_rate(r.msg_rate))
         .cell(r.msg_rate / 1e6, 2)
         .cell(r.avg_seq_ns / 1e3, 2)
-        .cell(static_cast<double>(r.host_match_cycles) / per_msg, 1)
+        .cell(static_cast<double>(r.host_match_cycles) / row_per_msg, 1)
         .cell(static_cast<double>(r.conflicts) / base.repetitions, 1)
         .cell(resolution);
   }
   table.print(std::cout);
+  if (wall) {
+    std::printf("\nwall-clock storm rates (kind \"walltime\", +/-35%% gate "
+                "band):\n");
+    for (const Row& row : storm_walls)
+      std::printf("  %-28s %s (%.2f ns/msg real)\n", row.name,
+                  fmt_rate(row.r.msg_rate).c_str(),
+                  row.r.avg_seq_ns / kStormMessages);
+  }
 
   if (obs != nullptr) {
     const auto report = [](const std::ofstream& os, const char* what,
@@ -208,21 +263,25 @@ int main(int argc, char** argv) {
         {"faults", fault.enabled ? 1.0 : 0.0},
         {"fault_seed", static_cast<double>(fault.seed)},
     };
-    for (const Row& row : rows) {
+    const auto record = [&](const Row& row, const char* kind) {
+      const double row_k = static_cast<double>(
+          row.k != 0 ? row.k : base.messages_per_seq);
       ScenarioRecord s;
       s.name = row.json_name;
-      s.kind = "modeled";
+      s.kind = kind;
       s.msgs_per_sec = row.r.msg_rate;
-      s.ns_per_msg =
-          row.r.avg_seq_ns / static_cast<double>(base.messages_per_seq);
+      s.ns_per_msg = row.r.avg_seq_ns / row_k;
       s.p50_seq_ns = percentile(row.r.seq_ns, 50.0);
       s.p99_seq_ns = percentile(row.r.seq_ns, 99.0);
       s.host_match_cycles_per_msg =
-          static_cast<double>(row.r.host_match_cycles) / per_msg;
+          static_cast<double>(row.r.host_match_cycles) /
+          (row_k * base.repetitions);
       s.conflicts_per_seq =
           static_cast<double>(row.r.conflicts) / base.repetitions;
       doc.scenarios.push_back(std::move(s));
-    }
+    };
+    for (const Row& row : rows) record(row, "modeled");
+    for (const Row& row : storm_walls) record(row, "walltime");
     if (!write_bench_json(json_out, doc)) {
       std::fprintf(stderr, "error: cannot write json to %s\n", json_out.c_str());
       return 1;
@@ -263,8 +322,20 @@ int main(int argc, char** argv) {
                 "(ratio %.2f)\n",
                 sharding_ok ? "OK" : "VIOLATED", incast_s4 / incast_s1);
   }
+  // Coalescing headline (docs/COALESCING.md): merged packets must buy at
+  // least 3x the message rate on the 8 B storm. Like the other cross-family
+  // bands, retransmission latency under injected faults makes the ratio
+  // informational only.
+  bool storm_ok = true;
+  if (storm_8_base > 0.0 && storm_8_coal > 0.0) {
+    storm_ok = fault.enabled || storm_8_coal >= 3.0 * storm_8_base;
+    std::printf("shape: 8B storm coalesced >= 3x baseline ............... %s "
+                "(ratio %.2f)\n",
+                storm_ok ? "OK" : "VIOLATED", storm_8_coal / storm_8_base);
+  }
   // Smoke runs are too short for the shape band to be meaningful; they
   // gate only on "ran to completion and wrote valid output".
   if (smoke) return 0;
-  return (order_ok && comparable && offloaded && sharding_ok) ? 0 : 1;
+  return (order_ok && comparable && offloaded && sharding_ok && storm_ok) ? 0
+                                                                          : 1;
 }

@@ -56,8 +56,10 @@ def run_fig8(binary, smoke, reps, k):
         if smoke:
             cmd.append("--smoke")
         else:
+            # Full runs also record the wall-clock storm scenarios (PR-3
+            # convention: real measurements ride the wide "walltime" band).
             cmd += [f"--reps={reps}", f"--k={k}",
-                    f"--bytes={PINNED_FIG8['bytes']}"]
+                    f"--bytes={PINNED_FIG8['bytes']}", "--wall"]
         run(cmd)
         with open(out, encoding="utf-8") as f:
             return json.load(f)

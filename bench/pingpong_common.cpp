@@ -1,6 +1,7 @@
 #include "pingpong_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "proto/wire.hpp"
@@ -45,11 +46,11 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     for (unsigned i = 0; i < k; ++i) {
       const auto r = receiver.post_receive({0, tag_for(cfg, i), 0}, user[i], i);
-      OTM_ASSERT_MSG(r.status == proto::Endpoint::PostStatus::kPending,
+      OTM_ASSERT_MSG(r.outcome == proto::Outcome::kPending,
                      "receive did not stay pending");
     }
     const auto ack_post = sender.post_receive({1, kAckTag, 0}, ack_buf, 0);
-    OTM_ASSERT(ack_post.status == proto::Endpoint::PostStatus::kPending);
+    OTM_ASSERT(ack_post.outcome == proto::Outcome::kPending);
 
     const std::uint64_t start = sender.now_ns();
     for (unsigned i = 0; i < k; ++i) {
@@ -80,7 +81,7 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
       acks.insert(acks.end(), more.begin(), more.end());
     }
     OTM_ASSERT(acks.size() == 1);
-    const auto ns = static_cast<double>(acks[0].complete_ns - start);
+    const auto ns = static_cast<double>(acks[0].completion_ns - start);
     total_ns += ns;
     seq_samples.push_back(ns);
   }
@@ -94,6 +95,141 @@ PingPongResult run_optimistic_dpa(const PingPongConfig& cfg) {
   r.fast_path = s.fast_path_resolutions;
   r.slow_path = s.slow_path_resolutions;
   r.seq_ns = std::move(seq_samples);
+  return r;
+}
+
+PingPongResult run_small_storm(const PingPongConfig& cfg, bool coalesced) {
+  rdma::Fabric fabric(cfg.fabric);
+
+  // The storm keeps 512 receives in flight. Keep the caller's table
+  // geometry (block_size is also the hart-lane width: narrowing it would
+  // throttle the match pipeline below the CQE savings under test) but make
+  // sure the posting and unexpected budgets cover the burst.
+  MatchConfig recv_match = cfg.match;
+  recv_match.max_receives = std::max<std::size_t>(recv_match.max_receives,
+                                                  2 * kStormMessages);
+  recv_match.max_unexpected =
+      std::max<std::size_t>(recv_match.max_unexpected, 64);
+  MatchConfig sender_match;  // acks only
+  sender_match.bins = 16;
+  sender_match.block_size = 1;
+  sender_match.max_receives = 8;
+  sender_match.max_unexpected = 8;
+
+  // Storm endpoints use a 4 KiB eager/bounce budget so a merged packet can
+  // carry 32 sub-messages (32 x (48 B header + payload) exceeds the 1 KiB
+  // default). Applied to both runs: for eager traffic the threshold only
+  // sizes buffers, it has no modeled per-message cost.
+  proto::EndpointConfig storm_ep = cfg.endpoint;
+  storm_ep.eager_threshold = std::max<std::size_t>(storm_ep.eager_threshold,
+                                                   4096);
+  // The non-coalesced run keeps one wire packet (one bounce buffer, one CQ
+  // slot) per in-flight message; recycling only happens on progress(), so
+  // the pools must cover the whole burst.
+  storm_ep.bounce_count = std::max<std::size_t>(storm_ep.bounce_count,
+                                                2 * kStormMessages);
+  storm_ep.cq_depth = std::max<std::size_t>(storm_ep.cq_depth,
+                                            2 * kStormMessages);
+  // Under injected faults the reliable channel must survive the whole
+  // kStormMessages-deep burst: acks trail a full 256-packet window drain,
+  // so the stock 20 us RTO fires spuriously (the lockstep caveat in
+  // docs/RELIABILITY.md) and its 16-retry budget can kill a healthy
+  // channel mid-storm. Scale the timeout and budget to the storm depth;
+  // with faults off reliability stays inactive (kAuto) and the modeled
+  // numbers are byte-identical.
+  if (cfg.fabric.fault.enabled) {
+    storm_ep.reliability.rto_ns =
+        std::max<std::uint64_t>(storm_ep.reliability.rto_ns, 100'000);
+    storm_ep.reliability.rto_max_ns =
+        std::max<std::uint64_t>(storm_ep.reliability.rto_max_ns, 2'000'000);
+    storm_ep.reliability.retry_budget =
+        std::max<std::uint32_t>(storm_ep.reliability.retry_budget, 64);
+  }
+  // Only the sender coalesces: the receiver unpacks kMerged packets off the
+  // wire flag regardless of its own config, and coalescing its lone ack
+  // would just strand it in a buffer until the next doorbell.
+  proto::EndpointConfig ep = storm_ep;
+  ep.coalescing.enabled = coalesced;
+  if (coalesced) {
+    ep.coalescing.max_messages = 32;
+    ep.coalescing.eligible_bytes = 64;
+  }
+
+  proto::Endpoint sender(fabric, 0, ep, sender_match, cfg.dpa);
+  proto::Endpoint receiver(fabric, 1, storm_ep, recv_match, cfg.dpa);
+  sender.connect(receiver);
+  if (cfg.obs != nullptr) {
+    sender.attach_observability(cfg.obs, cfg.obs_prefix + "sender");
+    receiver.attach_observability(cfg.obs, cfg.obs_prefix + "receiver");
+  }
+
+  const unsigned k = kStormMessages;
+  std::vector<std::byte> tx(cfg.payload_bytes);
+  std::vector<std::vector<std::byte>> user(k,
+                                           std::vector<std::byte>(cfg.payload_bytes));
+  std::vector<std::byte> ack_buf(8);
+
+  double total_ns = 0.0;
+  std::vector<double> seq_samples;
+  seq_samples.reserve(cfg.repetitions);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    for (unsigned i = 0; i < k; ++i) {
+      const auto r = receiver.post_receive({0, static_cast<Tag>(i), 0},
+                                           user[i], i);
+      OTM_ASSERT_MSG(r.outcome == proto::Outcome::kPending,
+                     "storm receive did not stay pending");
+    }
+    const auto ack_post = sender.post_receive({1, kAckTag, 0}, ack_buf, 0);
+    OTM_ASSERT(ack_post.outcome == proto::Outcome::kPending);
+
+    const std::uint64_t start = sender.now_ns();
+    for (unsigned i = 0; i < k; ++i) {
+      const auto s = sender.send(1, static_cast<Tag>(i), 0, tx);
+      OTM_ASSERT_MSG(s.ok, "storm send failed");
+    }
+    // Doorbell-flush the coalescing tail (no-op without coalescing) and let
+    // the receiver drain; under injected faults pump both sides like the
+    // ping-pong scenario does.
+    sender.progress();
+    auto done = receiver.progress();
+    for (unsigned spin = 0; done.size() < k && receiver.reliable() &&
+                            spin < 10'000'000; ++spin) {
+      sender.progress();
+      const auto more = receiver.progress();
+      done.insert(done.end(), more.begin(), more.end());
+    }
+    OTM_ASSERT_MSG(done.size() == k, "not all storm messages matched");
+
+    const auto ack = receiver.send(0, kAckTag, 0, std::span<const std::byte>(
+                                                      ack_buf.data(), 8));
+    OTM_ASSERT(ack.ok);
+    auto acks = sender.progress();
+    for (unsigned spin = 0; acks.empty() && receiver.reliable() &&
+                            spin < 10'000'000; ++spin) {
+      receiver.progress();
+      const auto more = sender.progress();
+      acks.insert(acks.end(), more.begin(), more.end());
+    }
+    OTM_ASSERT(acks.size() == 1);
+    const auto ns = static_cast<double>(acks[0].completion_ns - start);
+    total_ns += ns;
+    seq_samples.push_back(ns);
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const MatchStats& s = receiver.dpa().engine().stats();
+  PingPongResult r;
+  r.avg_seq_ns = total_ns / cfg.repetitions;
+  r.msg_rate = static_cast<double>(k) * 1e9 / r.avg_seq_ns;
+  r.host_match_cycles = receiver.dpa().host_matching_cycles();  // 0: offloaded
+  r.conflicts = s.conflicts_detected;
+  r.fast_path = s.fast_path_resolutions;
+  r.slow_path = s.slow_path_resolutions;
+  r.seq_ns = std::move(seq_samples);
+  r.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start)
+          .count());
   return r;
 }
 
@@ -136,13 +272,13 @@ PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
       const auto src = static_cast<Rank>(1 + i % kIncastSenders);
       const auto r = receiver.post_receive({src, static_cast<Tag>(i), 0},
                                            user[i], i);
-      OTM_ASSERT_MSG(r.status == proto::Endpoint::PostStatus::kPending,
+      OTM_ASSERT_MSG(r.outcome == proto::Outcome::kPending,
                      "receive did not stay pending");
     }
     for (unsigned s = 0; s < kIncastSenders; ++s) {
       const auto ack_post =
           senders[s]->post_receive({0, kAckTag, 0}, ack_bufs[s], 0);
-      OTM_ASSERT(ack_post.status == proto::Endpoint::PostStatus::kPending);
+      OTM_ASSERT(ack_post.outcome == proto::Outcome::kPending);
     }
 
     std::uint64_t start = 0;
@@ -179,7 +315,7 @@ PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
         acks.insert(acks.end(), more.begin(), more.end());
       }
       OTM_ASSERT(acks.size() == 1);
-      end = std::max(end, acks[0].complete_ns);
+      end = std::max(end, acks[0].completion_ns);
     }
     const auto ns = static_cast<double>(end - start);
     total_ns += ns;

@@ -51,6 +51,7 @@ struct PingPongResult {
   std::uint64_t fast_path = 0;
   std::uint64_t slow_path = 0;
   std::vector<double> seq_ns;      ///< per-repetition sequence time (for p50/p99)
+  double wall_ns = 0.0;            ///< real elapsed time for the whole run
 };
 
 /// Optimistic tag matching offloaded to the simulated DPA.
@@ -72,5 +73,22 @@ inline constexpr unsigned kIncastSenders = 4;
 /// single-serializer DPA; higher shard counts fan the CQE stream out across
 /// per-shard completion queues.
 PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards);
+
+/// Messages per storm sequence (docs/COALESCING.md). Deliberately larger
+/// than the paper's k=100 ping-pong: the fixed wire/ack round-trip plus the
+/// pipeline fill is ~2.4 us, so a short sequence would bury the
+/// per-message savings the merged path is after.
+inline constexpr unsigned kStormMessages = 4096;
+
+/// Small-message storm: one sender streams kStormMessages tiny eager
+/// messages (cfg.payload_bytes, intended 8-64 B) at one receiver, distinct
+/// tags, then the receiver acks the sequence. With `coalesced` the sender's
+/// endpoint packs the burst into kMerged wire packets (one doorbell and one
+/// CQE per packet instead of per message); without it every message rides
+/// its own packet. Sizes the match table and buffer pools for the
+/// kStormMessages-deep burst; cfg.messages_per_seq is ignored. wall_ns in
+/// the result covers
+/// the whole repetition loop with a real clock.
+PingPongResult run_small_storm(const PingPongConfig& cfg, bool coalesced);
 
 }  // namespace otm::bench

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   for (const auto& c : receiver.progress())
     std::printf("   cookie %llu: %u bytes at t=%.2f us (%s)\n",
                 static_cast<unsigned long long>(c.cookie), c.bytes,
-                static_cast<double>(c.complete_ns) / 1000.0,
+                static_cast<double>(c.completion_ns) / 1000.0,
                 c.cookie == 100 ? "eager: staged in NIC bounce buffer"
                                 : "rendezvous: RDMA read from sender");
   std::printf("   eager sends: %llu, rendezvous sends: %llu, RDMA reads: %llu\n\n",

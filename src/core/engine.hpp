@@ -89,10 +89,11 @@ struct ProtocolInfo {
   std::uint64_t bounce_handle = 0;
   std::uint64_t remote_key = 0;
   std::uint64_t remote_addr = 0;
+  std::uint32_t payload_offset = 0;  ///< payload start inside the staged body
 
   static ProtocolInfo from(const IncomingMessage& m) noexcept {
     return {m.wire_seq, m.protocol,   m.payload_bytes, m.inline_bytes,
-            m.bounce_handle, m.remote_key, m.remote_addr};
+            m.bounce_handle, m.remote_key, m.remote_addr, m.payload_offset};
   }
 };
 

@@ -107,6 +107,10 @@ struct IncomingMessage {
   std::uint64_t bounce_handle = 0;  ///< staging location (opaque to core)
   std::uint64_t remote_key = 0;     ///< rendezvous: rkey of the send buffer
   std::uint64_t remote_addr = 0;    ///< rendezvous: address of the send buffer
+  std::uint32_t payload_offset = 0;  ///< payload start inside the staged body
+                                     ///< (non-zero for coalesced sub-messages)
+  bool merged_sub = false;  ///< dispatched by a merged-packet unpack handler,
+                            ///< not by its own CQE (smaller dispatch cost)
 
   static IncomingMessage make(Rank src, Tag tag, CommId comm,
                               std::uint32_t bytes = 0) noexcept {

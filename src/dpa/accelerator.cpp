@@ -147,7 +147,10 @@ void DpaAccelerator::deliver_run(ShardedEngine& eng,
       const std::size_t g = base + i;
       const std::uint64_t arrival =
           arrivals.empty() ? cqe_ready_ : std::max(arrivals[g], cqe_ready_);
-      cqe_ready_ = arrival + cfg_.cqe_interval;
+      // Sub-messages of a merged packet share its single CQE: all but the
+      // first dispatch from the unpack handler's table walk instead.
+      cqe_ready_ = arrival + (msgs[g].merged_sub ? cfg_.merged_sub_interval
+                                                 : cfg_.cqe_interval);
       starts[i] = std::max(arrival, slot_free_[i]);
     }
 
@@ -186,7 +189,9 @@ void DpaAccelerator::deliver_run_sharded(ShardedEngine& eng,
       const std::uint64_t arrival =
           arrivals.empty() ? cqe_shard_ready_[s]
                            : std::max(arrivals[g], cqe_shard_ready_[s]);
-      cqe_shard_ready_[s] = arrival + cfg_.cqe_interval;
+      cqe_shard_ready_[s] =
+          arrival + (msgs[g].merged_sub ? cfg_.merged_sub_interval
+                                        : cfg_.cqe_interval);
       starts[i] = std::max(arrival, shard_slot_free_[s][lane[s]]);
       ++lane[s];
     }

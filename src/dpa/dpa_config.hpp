@@ -25,6 +25,13 @@ struct DpaConfig {
   /// back-to-back (NIC processing of one small message).
   std::uint64_t cqe_interval = 80;
 
+  /// Cycles between consecutive sub-message dispatches unpacked from one
+  /// kMerged packet. A merged packet consumes a single CQE; its unpack
+  /// handler runs next to the matcher and hands out sub-messages from a
+  /// table walk, which is much cheaper than full CQE processing — the
+  /// modeled win of merged-message coalescing (docs/COALESCING.md).
+  std::uint64_t merged_sub_interval = 15;
+
   /// DPA memory available to matching structures across all registered
   /// communicators (BF3 DPA L3 cache: 3 MiB, Sec. IV-E). Communicator
   /// registration beyond the budget fails -> software tag matching.

@@ -150,16 +150,18 @@ bool Proc::try_post_offload(const MatchSpec& spec, std::span<std::byte> buf,
                             std::uint64_t request_index) {
   auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
   const auto r = ep.post_receive(spec, buf, request_index);
-  switch (r.status) {
-    case proto::Endpoint::PostStatus::kCompleted:
+  switch (r.outcome) {
+    case proto::Outcome::kCompleted:
       handle_completion(request_index, r.completion.env, r.completion.bytes, true);
       return true;
-    case proto::Endpoint::PostStatus::kPending:
+    case proto::Outcome::kPending:
       return true;
-    case proto::Endpoint::PostStatus::kFallback:
+    case proto::Outcome::kFallback:
+      return false;
+    default:  // post_receive never reports the send-side outcomes
+      OTM_ASSERT_MSG(false, "unexpected post_receive outcome");
       return false;
   }
-  return false;
 }
 
 Request Proc::irecv(std::span<std::byte> buf, Rank src, Tag tag,

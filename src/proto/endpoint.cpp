@@ -84,11 +84,26 @@ void Endpoint::publish_counters() noexcept {
   }
 }
 
-void Endpoint::release_send_buffer(std::uint32_t rkey) {
+void Endpoint::release_staged(std::uint32_t rkey) {
   const auto it = send_staging_.find(rkey);
   OTM_ASSERT_MSG(it != send_staging_.end(), "releasing unknown send buffer");
-  registry_.unregister(rkey);
+  // The StagedBuffer destructor deregisters the region and frees the copy.
   send_staging_.erase(it);
+}
+
+Endpoint::Channel& Endpoint::channel(Rank dst, std::uint16_t cls) {
+  const ChannelKey key{dst, cls};
+  auto it = channels_.find(key);
+  if (it != channels_.end()) return it->second;
+  it = channels_.emplace(key, Channel{}).first;
+  Channel& ch = it->second;
+  if (cfg_.coalescing.enabled) {
+    // Size the merge buffer once so the per-send append path never
+    // allocates (tools/otmlint R2 guards it).
+    ch.buf.resize(kMergedCountBytes + cfg_.merged_body_budget());
+    ch.subs.resize(std::max<std::size_t>(cfg_.coalescing.max_messages, 1));
+  }
+  return ch;
 }
 
 bool Endpoint::cancel_receive(CommId comm, std::uint64_t cookie) {
@@ -110,18 +125,71 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
 
   const bool eager = data.size() <= cfg_.eager_threshold;
   const Envelope env{rank_, tag, comm};
+  const std::uint16_t cls = tag_class(tag);
+  const CoalescingConfig& co = cfg_.coalescing;
 
-  PeerTx* tx = nullptr;
-  if (rel_active_) {
-    tx = &tx_[dst];
-    if (tx->failed) {
+  Channel* ch = nullptr;
+  if (rel_active_ || co.enabled) {
+    ch = &channel(dst, cls);
+    if (rel_active_ && ch->failed) {
       // Graceful degradation: the channel is dead, so fail fast instead of
       // queueing work that can never complete.
-      delivery_errors_.push_back({dst, tx->next_seq++, env,
+      delivery_errors_.push_back({dst, ch->next_seq++, env,
                                   static_cast<std::uint32_t>(data.size()), 0});
       ++counters_.messages_dropped;
       publish_counters();
-      return {SendStatus::kFailed, false, 0};
+      return {Outcome::kFailed, false, 0};
+    }
+  }
+
+  if (co.enabled) {
+    const std::size_t budget = cfg_.merged_body_budget();
+    const bool eligible =
+        eager && data.size() <= co.eligible_bytes &&
+        kMergedCountBytes + merged_sub_footprint(data.size()) <= budget;
+    if (eligible) {
+      // Age-based flush first: a buffered batch past its modeled deadline
+      // goes out before this message starts a fresh accounting window.
+      if (ch->buf_count != 0 && co.deadline_ns != 0 &&
+          clock_ns_ >= ch->oldest_ns + co.deadline_ns)
+        flush_channel({dst, cls}, *ch, FlushReason::kDeadline);
+      // Byte budget: flush whatever is buffered if this one would not fit.
+      if (kMergedCountBytes + ch->buf_bytes +
+              merged_sub_footprint(data.size()) >
+          budget)
+        flush_channel({dst, cls}, *ch, FlushReason::kSize);
+      coalesce_append(*ch, env, data);
+      ++counters_.sends;
+      ++counters_.eager_sends;
+      ++counters_.coalesced_sends;
+      // Message-count / byte-budget trigger.
+      if (ch->buf_count >= std::max<std::size_t>(co.max_messages, 1) ||
+          kMergedCountBytes + ch->buf_bytes >= budget)
+        flush_channel({dst, cls}, *ch, FlushReason::kSize);
+      if (obs_ != nullptr) {
+        if (obs::Tracer* tr = obs_->tracer())
+          tr->record(obs::EventKind::kSend, clock_ns_,
+                     static_cast<std::uint32_t>(dst), data.size(), 1u);
+      }
+      if (rel_active_ && ch->failed) {
+        // The flush exhausted the retry budget; the append above is among
+        // the reported DeliveryErrors.
+        publish_counters();
+        return {Outcome::kFailed, false, 0};
+      }
+      publish_counters();
+      return {Outcome::kQueued, true, 0};
+    }
+    // Ineligible (rendezvous, large eager, ...): everything buffered for
+    // this peer must reach the wire first, or the coalesced messages would
+    // be overtaken — the per-(peer,tag) FIFO guarantee (docs/COALESCING.md).
+    flush_peer(dst, FlushReason::kOrder);
+    if (rel_active_ && ch->failed) {
+      delivery_errors_.push_back({dst, ch->next_seq++, env,
+                                  static_cast<std::uint32_t>(data.size()), 0});
+      ++counters_.messages_dropped;
+      publish_counters();
+      return {Outcome::kFailed, false, 0};
     }
   }
 
@@ -131,6 +199,7 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   h.comm = comm;
   h.protocol = static_cast<std::uint8_t>(eager ? Protocol::kEager
                                                : Protocol::kRendezvous);
+  h.channel_class = cls;
   h.payload_bytes = static_cast<std::uint32_t>(data.size());
   h.sender_seq = sender_seq_++;
   const InlineHashes hashes = InlineHashes::compute(env);
@@ -138,10 +207,15 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   h.hash_src = hashes.src;
   h.hash_tag = hashes.tag;
   if (rel_active_) {
-    h.channel_seq = tx->next_seq++;
+    h.channel_seq = ch->next_seq++;
     h.flags = kWireFlagReliable;
   }
 
+  // Rendezvous staging is RAII: if this send bails out before the fabric
+  // (or the send window) accepts the packet, the local handle deregisters
+  // and frees the copy on return — the leak-on-early-return hazard of the
+  // raw-rkey protocol is gone.
+  StagedBuffer staged;
   std::vector<std::byte> packet;
   if (eager) {
     h.inline_bytes = h.payload_bytes;
@@ -156,9 +230,9 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
                          ? static_cast<std::uint32_t>(
                                std::min(cfg_.eager_threshold, data.size()))
                          : 0;
-    std::vector<std::byte> staged(data.begin(), data.end());
-    h.rkey = registry_.register_region(staged);
-    send_staging_.emplace(h.rkey, std::move(staged));
+    staged = StagedBuffer(registry_,
+                          std::vector<std::byte>(data.begin(), data.end()));
+    h.rkey = staged.rkey();
     h.rkey_valid = 1;
     h.remote_offset = 0;
     packet.resize(kHeaderBytes + h.inline_bytes);
@@ -177,7 +251,7 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
 
   if (rel_active_) {
     // Reliable path: seal the packet (CRC over the final bytes, so retries
-    // are byte-identical) and queue it on the per-peer send window. The
+    // are byte-identical) and queue it on the channel's send window. The
     // window, not the fabric, now owns delivery.
     seal_packet(packet);
     PendingPacket p;
@@ -188,24 +262,27 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
     p.rkey = h.rkey;
     p.has_rkey = !eager;
     p.rto_ns = cfg_.reliability.rto_ns;
-    tx->window.push_back(std::move(p));
+    ch->window.push_back(std::move(p));
+    // Hand the staging to the endpoint before transmission is attempted so
+    // a failing channel frees it alongside its window entry.
+    if (!eager) send_staging_.emplace(h.rkey, std::move(staged));
     if (eager) {
       ++counters_.eager_sends;
     } else {
       ++counters_.rendezvous_sends;
     }
-    try_transmit(dst, *tx);
+    try_transmit({dst, cls}, *ch);
     if (obs_ != nullptr) {
       if (obs::Tracer* tr = obs_->tracer())
         tr->record(obs::EventKind::kSend, clock_ns_,
                    static_cast<std::uint32_t>(dst), data.size(), 1u);
     }
-    if (tx->failed) {
+    if (ch->failed) {
       publish_counters();
-      return {SendStatus::kFailed, false, 0};
+      return {Outcome::kFailed, false, 0};
     }
     publish_counters();
-    return {SendStatus::kQueued, true, 0};
+    return {Outcome::kQueued, true, 0};
   }
 
   // Unreliable path: one shot at the fabric; refusals surface as typed,
@@ -224,35 +301,159 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
     } else {
       ++counters_.backpressure_stalls;
     }
-    if (!eager) {
-      // The RTS never left; un-stage the rendezvous payload.
-      release_send_buffer(h.rkey);
-    }
     publish_counters();
-    return {r.status == FabricStatus::kRnr ? SendStatus::kRnr
-                                           : SendStatus::kBackpressure,
+    // The RTS never left; `staged` un-stages the rendezvous copy here.
+    return {r.status == FabricStatus::kRnr ? Outcome::kRnr
+                                           : Outcome::kBackpressure,
             false, 0};
   }
   if (eager) {
     ++counters_.eager_sends;
   } else {
     ++counters_.rendezvous_sends;
+    send_staging_.emplace(h.rkey, std::move(staged));
   }
   publish_counters();
   // Accepted by the fabric; under injected faults it may still have been
   // lost in flight (r.delivered == false) — that is what the reliable
   // layer exists for.
-  return {SendStatus::kDelivered, r.delivered, r.arrival_ns};
+  return {Outcome::kCompleted, r.delivered, r.arrival_ns};
 }
 
-void Endpoint::try_transmit(Rank dst, PeerTx& tx) {
-  if (tx.failed || clock_ns_ < tx.stall_until_ns) return;
+// otmlint: hot
+// Per-message coalescing append (docs/COALESCING.md): one sub-header encode
+// plus one payload memcpy into the channel's preallocated merge buffer —
+// this replaces a full WQE build + doorbell on the small-message fast path,
+// so it must stay allocation-free.
+void Endpoint::coalesce_append(Channel& ch, const Envelope& env,
+                               std::span<const std::byte> data) {
+  if (ch.buf_count == 0) ch.oldest_ns = clock_ns_;
+  MergedSubHeader sh;
+  sh.tag = env.tag;
+  sh.comm = env.comm;
+  sh.payload_bytes = static_cast<std::uint32_t>(data.size());
+  sh.sender_seq = sender_seq_++;
+  const InlineHashes hashes = InlineHashes::compute(env);
+  sh.hash_src_tag = hashes.src_tag;
+  sh.hash_src = hashes.src;
+  sh.hash_tag = hashes.tag;
+  std::byte* out = ch.buf.data() + kMergedCountBytes + ch.buf_bytes;
+  std::memcpy(out, &sh, kMergedSubBytes);
+  if (!data.empty())
+    std::memcpy(out + kMergedSubBytes, data.data(), data.size());
+  ch.buf_bytes += merged_sub_footprint(data.size());
+  ch.subs[ch.buf_count] = {env, sh.payload_bytes};
+  ++ch.buf_count;
+  clock_ns_ += static_cast<std::uint64_t>(cfg_.coalescing.pack_ns);
+}
+
+void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
+  if (ch.buf_count == 0) return;
+  const Rank dst = key.first;
+  if (rel_active_ && ch.failed) {
+    // Channel died between append and flush: surface the buffered
+    // sub-messages as delivery errors instead of sending into the void.
+    for (std::uint32_t i = 0; i < ch.buf_count; ++i) {
+      delivery_errors_.push_back({dst, ch.next_seq++, ch.subs[i].env,
+                                  ch.subs[i].payload_bytes, 0});
+      ++counters_.messages_dropped;
+    }
+    ch.buf_bytes = 0;
+    ch.buf_count = 0;
+    return;
+  }
   auto qp = qps_.find(dst);
+  OTM_ASSERT(qp != qps_.end());
+
+  WireHeader h;
+  h.source = rank_;
+  h.tag = 0;  // envelopes travel per sub-message
+  h.comm = ch.subs[0].env.comm;
+  h.protocol = static_cast<std::uint8_t>(Protocol::kEager);
+  h.has_inline_hashes = 0;
+  h.channel_class = key.second;
+  h.payload_bytes =
+      static_cast<std::uint32_t>(kMergedCountBytes + ch.buf_bytes);
+  h.inline_bytes = h.payload_bytes;
+  h.sender_seq = sender_seq_++;
+  h.flags = kWireFlagMerged;
+  if (rel_active_) {
+    h.channel_seq = ch.next_seq++;
+    h.flags |= kWireFlagReliable;
+  }
+
+  std::vector<std::byte> packet(kHeaderBytes + h.payload_bytes);
+  encode_header(h, packet);
+  std::memcpy(packet.data() + kHeaderBytes, &ch.buf_count, kMergedCountBytes);
+  std::memcpy(packet.data() + kHeaderBytes + kMergedCountBytes,
+              ch.buf.data() + kMergedCountBytes, ch.buf_bytes);
+  // Merged packets are always CRC-sealed — even on an unreliable fabric — a
+  // corrupted sub-message table could misdirect every message it carries.
+  seal_packet(packet);
+
+  // The flush is the doorbell the buffered sends never rang.
+  clock_ns_ += static_cast<std::uint64_t>(send_burst_open_ ? cfg_.send_post_ns
+                                                           : cfg_.send_overhead_ns);
+  send_burst_open_ = true;
+
+  switch (why) {
+    case FlushReason::kSize: ++counters_.flushes_by_size; break;
+    case FlushReason::kDeadline: ++counters_.flushes_by_deadline; break;
+    case FlushReason::kDoorbell: ++counters_.flushes_by_doorbell; break;
+    case FlushReason::kOrder: ++counters_.flushes_by_order; break;
+  }
+
+  if (rel_active_) {
+    PendingPacket p;
+    p.seq = h.channel_seq;
+    p.bytes = std::move(packet);
+    p.env = ch.subs[0].env;
+    p.payload_bytes = h.payload_bytes;
+    p.rto_ns = cfg_.reliability.rto_ns;
+    p.subs.assign(ch.subs.begin(), ch.subs.begin() + ch.buf_count);
+    ch.window.push_back(std::move(p));
+    ++counters_.merged_packets;
+    ch.buf_bytes = 0;
+    ch.buf_count = 0;
+    try_transmit(key, ch);
+    return;
+  }
+
+  const auto r = qp->second.post_send(packet, clock_ns_);
+  using FabricStatus = rdma::QueuePair::SendStatus;
+  if (r.status == FabricStatus::kRnr || r.status == FabricStatus::kCqFull) {
+    // Receiver can't take the merged packet right now: keep the buffered
+    // sub-messages; the next flush trigger retries.
+    if (r.status == FabricStatus::kRnr) {
+      ++counters_.rnr_failures;
+    } else {
+      ++counters_.backpressure_stalls;
+    }
+    return;
+  }
+  ++counters_.merged_packets;
+  ch.buf_bytes = 0;
+  ch.buf_count = 0;
+}
+
+void Endpoint::flush_peer(Rank dst, FlushReason why) {
+  for (auto it = channels_.lower_bound({dst, 0});
+       it != channels_.end() && it->first.first == dst; ++it)
+    flush_channel(it->first, it->second, why);
+}
+
+void Endpoint::flush_all(FlushReason why) {
+  for (auto& [key, ch] : channels_) flush_channel(key, ch, why);
+}
+
+void Endpoint::try_transmit(ChannelKey key, Channel& ch) {
+  if (ch.failed || clock_ns_ < ch.stall_until_ns) return;
+  auto qp = qps_.find(key.first);
   OTM_ASSERT(qp != qps_.end());
   const ReliabilityConfig& rc = cfg_.reliability;
 
   std::size_t in_flight = 0;
-  for (auto& p : tx.window) {
+  for (auto& p : ch.window) {
     if (p.sent && clock_ns_ < p.next_retry_ns) {
       ++in_flight;  // waiting on its ack; deadline not reached
       continue;
@@ -260,7 +461,7 @@ void Endpoint::try_transmit(Rank dst, PeerTx& tx) {
     if (in_flight >= rc.window_limit) break;
     const bool is_retry = p.sent;
     if (is_retry && p.retries >= rc.retry_budget) {
-      fail_channel(dst, tx);
+      fail_channel(key, ch);
       return;
     }
     const auto r = qp->second.post_send(p.bytes, clock_ns_);
@@ -273,14 +474,14 @@ void Endpoint::try_transmit(Rank dst, PeerTx& tx) {
       } else {
         ++counters_.backpressure_stalls;
       }
-      const std::uint32_t shift = std::min(tx.rnr_strikes, rc.rnr_backoff_cap);
-      tx.stall_until_ns = clock_ns_ + (rc.rnr_backoff_ns << shift);
-      ++tx.rnr_strikes;
+      const std::uint32_t shift = std::min(ch.rnr_strikes, rc.rnr_backoff_cap);
+      ch.stall_until_ns = clock_ns_ + (rc.rnr_backoff_ns << shift);
+      ++ch.rnr_strikes;
       return;
     }
     // Accepted by the fabric. It may still be dropped in flight; the RTO
     // covers that case.
-    tx.rnr_strikes = 0;
+    ch.rnr_strikes = 0;
     if (is_retry) {
       ++p.retries;
       ++counters_.retransmits;
@@ -295,37 +496,47 @@ void Endpoint::try_transmit(Rank dst, PeerTx& tx) {
   }
 }
 
-void Endpoint::fail_channel(Rank dst, PeerTx& tx) {
-  tx.failed = true;
-  for (auto& p : tx.window) {
-    delivery_errors_.push_back({dst, p.seq, p.env, p.payload_bytes, p.retries});
-    ++counters_.messages_dropped;
+void Endpoint::fail_channel(ChannelKey key, Channel& ch) {
+  ch.failed = true;
+  for (auto& p : ch.window) {
+    if (!p.subs.empty()) {
+      // A merged packet fails as its individual messages: callers reason
+      // about sends, not about the wire packing underneath them.
+      for (const auto& sub : p.subs) {
+        delivery_errors_.push_back(
+            {key.first, p.seq, sub.env, sub.payload_bytes, p.retries});
+        ++counters_.messages_dropped;
+      }
+    } else {
+      delivery_errors_.push_back(
+          {key.first, p.seq, p.env, p.payload_bytes, p.retries});
+      ++counters_.messages_dropped;
+    }
     if (p.has_rkey) {
       // Tolerant cleanup: the receiver's FIN may already have freed it.
       const auto sit = send_staging_.find(p.rkey);
-      if (sit != send_staging_.end()) {
-        registry_.unregister(p.rkey);
-        send_staging_.erase(sit);
-      }
+      if (sit != send_staging_.end()) send_staging_.erase(sit);
     }
   }
-  tx.window.clear();
+  ch.window.clear();
 }
 
-void Endpoint::handle_ack(Rank from, std::uint64_t cum_seq) {
+void Endpoint::handle_ack(Rank from, std::uint16_t channel_class,
+                          std::uint64_t cum_seq) {
   SerialSection host(host_);
-  const auto it = tx_.find(from);
-  if (it == tx_.end()) return;
-  PeerTx& tx = it->second;
-  while (!tx.window.empty() && tx.window.front().seq < cum_seq) {
+  const ChannelKey key{from, channel_class};
+  const auto it = channels_.find(key);
+  if (it == channels_.end()) return;
+  Channel& ch = it->second;
+  while (!ch.window.empty() && ch.window.front().seq < cum_seq) {
     ++counters_.acked_packets;
-    tx.window.pop_front();
+    ch.window.pop_front();
   }
   // An ack proves the receiver is alive and draining: lift any RNR stall
   // and push the window forward immediately.
-  tx.rnr_strikes = 0;
-  tx.stall_until_ns = 0;
-  if (!tx.window.empty()) try_transmit(from, tx);
+  ch.rnr_strikes = 0;
+  ch.stall_until_ns = 0;
+  if (!ch.window.empty()) try_transmit(key, ch);
   publish_counters();
 }
 
@@ -348,19 +559,19 @@ Endpoint::PostResult Endpoint::post_receive(const MatchSpec& spec,
 
   switch (out.kind) {
     case PostOutcome::Kind::kPending:
-      return {PostStatus::kPending, {}};
+      return {Outcome::kPending, {}};
     case PostOutcome::Kind::kFallback:
       user_buffers_[idx].live = false;
       free_user_buffers_.push_back(idx);
-      return {PostStatus::kFallback, {}};
+      return {Outcome::kFallback, {}};
     case PostOutcome::Kind::kMatchedUnexpected: {
       user_buffers_[idx].live = false;
       free_user_buffers_.push_back(idx);
-      return {PostStatus::kCompleted,
+      return {Outcome::kCompleted,
               complete_from_unexpected(out.message, user, cookie)};
     }
   }
-  return {PostStatus::kPending, {}};
+  return {Outcome::kPending, {}};
 }
 
 Endpoint::RecvCompletion Endpoint::complete_from_unexpected(
@@ -381,7 +592,7 @@ Endpoint::RecvCompletion Endpoint::complete_from_unexpected(
     const auto copy_ns = static_cast<std::uint64_t>(
         static_cast<double>(c.bytes) / fabric_->config().host_copy_bytes_per_ns);
     clock_ns_ += copy_ns;
-    c.complete_ns = clock_ns_;
+    c.completion_ns = clock_ns_;
   } else {
     // Rendezvous: deliver the inline RTS fragment (if any), then RDMA-read
     // the remainder from the sender's registered buffer.
@@ -395,22 +606,29 @@ Endpoint::RecvCompletion Endpoint::complete_from_unexpected(
     if (c.bytes > inline_n) {
       auto it = qps_.find(um.env.source);
       OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
-      c.complete_ns = it->second.rdma_read(
+      c.completion_ns = it->second.rdma_read(
           static_cast<std::uint32_t>(um.remote_key), um.remote_addr + inline_n,
           user.subspan(inline_n, c.bytes - inline_n), clock_ns_);
       ++counters_.rdma_reads;
-      advance_ns(c.complete_ns);
+      advance_ns(c.completion_ns);
     } else {
-      c.complete_ns = clock_ns_;
+      c.completion_ns = clock_ns_;
     }
     // FIN: the sender can free its staged copy.
     peers_.at(um.env.source)
-        ->release_send_buffer(static_cast<std::uint32_t>(um.remote_key));
+        ->release_staged(static_cast<std::uint32_t>(um.remote_key));
   }
   return c;
 }
 
 void Endpoint::recycle_bounce(std::uint64_t handle) {
+  // A merged packet's bounce buffer is shared by all its sub-messages; it
+  // reposts only once the last consumer releases it.
+  const auto it = bounce_refs_.find(handle);
+  if (it != bounce_refs_.end()) {
+    if (--it->second > 0) return;
+    bounce_refs_.erase(it);
+  }
   // Repost immediately so the staging window stays full (Sec. IV-A).
   srq_.post(handle, bounce_.data(handle));
 }
@@ -431,14 +649,15 @@ Endpoint::RecvCompletion Endpoint::complete_matched(const ArrivalOutcome& o) {
   c.path = o.match.path;
 
   if (o.proto.protocol == Protocol::kEager) {
-    const auto src =
-        bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes, c.bytes);
+    const auto src = bounce_.data(o.proto.bounce_handle)
+                         .subspan(kHeaderBytes + o.proto.payload_offset,
+                                  c.bytes);
     std::copy(src.begin(), src.end(), user.begin());
     // On-NIC copy cost is part of the DPA cost model (eager_copy); convert
     // the matcher finish time and add the copy serialization.
     const auto copy_ns = static_cast<std::uint64_t>(
         static_cast<double>(c.bytes) / fabric_->config().bandwidth_bytes_per_ns);
-    c.complete_ns = dpa_ns(o.timing.finish_cycles) + copy_ns;
+    c.completion_ns = dpa_ns(o.timing.finish_cycles) + copy_ns;
   } else {
     // Inline RTS fragment straight from the bounce buffer, remainder via
     // RDMA read (Sec. IV-B).
@@ -451,20 +670,20 @@ Endpoint::RecvCompletion Endpoint::complete_matched(const ArrivalOutcome& o) {
     if (c.bytes > inline_n) {
       auto it = qps_.find(o.env.source);
       OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
-      c.complete_ns = it->second.rdma_read(
+      c.completion_ns = it->second.rdma_read(
           static_cast<std::uint32_t>(o.proto.remote_key),
           o.proto.remote_addr + inline_n,
           user.subspan(inline_n, c.bytes - inline_n),
           dpa_ns(o.timing.finish_cycles));
       ++counters_.rdma_reads;
     } else {
-      c.complete_ns = dpa_ns(o.timing.finish_cycles);
+      c.completion_ns = dpa_ns(o.timing.finish_cycles);
     }
     // FIN: the sender can free its staged copy.
     peers_.at(o.env.source)
-        ->release_send_buffer(static_cast<std::uint32_t>(o.proto.remote_key));
+        ->release_staged(static_cast<std::uint32_t>(o.proto.remote_key));
   }
-  advance_ns(c.complete_ns);
+  advance_ns(c.completion_ns);
   return c;
 }
 
@@ -478,14 +697,16 @@ std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
   const std::uint64_t done = it->second.rdma_read(
       static_cast<std::uint32_t>(rkey), addr, dst, issue_ns);
   advance_ns(done);
-  peers_.at(src)->release_send_buffer(static_cast<std::uint32_t>(rkey));
+  peers_.at(src)->release_staged(static_cast<std::uint32_t>(rkey));
   return done;
 }
 
 std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
   SerialSection host(host_);
-  // Any host attention ends the current send burst: the next send() rings
-  // a fresh doorbell.
+  // Host attention is the coalescing backstop: whatever is buffered goes to
+  // the wire now (while the burst is still open, so the flush doorbells
+  // chain), and the burst then closes — the next send() rings a fresh one.
+  if (cfg_.coalescing.enabled) flush_all(FlushReason::kDoorbell);
   send_burst_open_ = false;
 
   // Retransmission pass: with unacked traffic outstanding, each progress()
@@ -493,16 +714,16 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
   // other time source between completions) and re-offers expired packets.
   if (rel_active_) {
     bool pending = false;
-    for (const auto& [dst, tx] : tx_) {
-      if (!tx.window.empty()) {
+    for (const auto& [key, ch] : channels_) {
+      if (!ch.window.empty()) {
         pending = true;
         break;
       }
     }
     if (pending) {
       clock_ns_ += cfg_.reliability.progress_tick_ns;
-      for (auto& [dst, tx] : tx_)
-        if (!tx.window.empty()) try_transmit(dst, tx);
+      for (auto& [key, ch] : channels_)
+        if (!ch.window.empty()) try_transmit(key, ch);
     }
   }
 
@@ -515,10 +736,74 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
   std::vector<std::uint64_t>& arrivals = ingress_arrivals_;
   msgs.clear();
   arrivals.clear();
-  std::map<Rank, std::uint64_t> ack_peers;  ///< rank -> cumulative ack
+  std::map<ChannelKey, std::uint64_t> ack_peers;  ///< channel -> cum. ack
 
   const auto accept = [&](const WireHeader& h, std::uint64_t wr_id,
                           std::uint64_t arrival_ns) {
+    if ((h.flags & kWireFlagMerged) != 0) {
+      // Merged packet: unpack the sub-message table into individual
+      // messages BEFORE matching, so the engine (and the host inbox) only
+      // ever see ordinary eager messages. Validate the whole table first —
+      // a mangled count or length must not deliver a partial batch.
+      const auto body =
+          bounce_.data(wr_id).subspan(kHeaderBytes, h.payload_bytes);
+      std::uint32_t count = 0;
+      bool ok = body.size() >= kMergedCountBytes;
+      if (ok) std::memcpy(&count, body.data(), kMergedCountBytes);
+      std::size_t off = kMergedCountBytes;
+      for (std::uint32_t i = 0; ok && i < count; ++i) {
+        if (off + kMergedSubBytes > body.size()) {
+          ok = false;
+          break;
+        }
+        const MergedSubHeader sh = decode_sub_header(body.subspan(off));
+        off += kMergedSubBytes + sh.payload_bytes;
+        if (off > body.size()) ok = false;
+      }
+      if (!ok || count == 0) {
+        ++counters_.corrupt_discards;
+        recycle_bounce(wr_id);
+        return;
+      }
+      // Emit pass. Each sub-message is charged a table-walk unpack cost on
+      // top of the carrier's arrival; engine-bound subs share the carrier's
+      // bounce buffer (refcounted) and reference their payload by offset.
+      const double unpack = cfg_.coalescing.unpack_ns_per_msg;
+      std::uint32_t engine_subs = 0;
+      off = kMergedCountBytes;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const MergedSubHeader sh = decode_sub_header(body.subspan(off));
+        off += kMergedSubBytes;
+        const double sub_arrival_ns =
+            static_cast<double>(arrival_ns) +
+            static_cast<double>(i + 1) * unpack;
+        if (!dpa_.comm_registered(sh.comm)) {
+          HostMessage hm;
+          hm.env = {h.source, sh.tag, sh.comm};
+          hm.wire_seq = rx_delivery_seq_++;
+          hm.protocol = Protocol::kEager;
+          hm.payload_bytes = sh.payload_bytes;
+          const auto src = body.subspan(off, sh.payload_bytes);
+          hm.payload.assign(src.begin(), src.end());
+          hm.arrival_ns = static_cast<std::uint64_t>(sub_arrival_ns);
+          host_inbox_.push_back(std::move(hm));
+        } else {
+          msgs.push_back(sub_to_incoming(h, sh,
+                                         static_cast<std::uint32_t>(off),
+                                         engine_subs != 0, wr_id,
+                                         rx_delivery_seq_++));
+          arrivals.push_back(dpa_.config().ns_to_cycles(sub_arrival_ns));
+          ++engine_subs;
+        }
+        off += sh.payload_bytes;
+      }
+      if (engine_subs > 0) {
+        bounce_refs_[wr_id] = engine_subs;
+      } else {
+        recycle_bounce(wr_id);
+      }
+      return;
+    }
     if (!dpa_.comm_registered(h.comm)) {
       HostMessage hm;
       hm.env = {h.source, h.tag, h.comm};
@@ -555,6 +840,13 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
 
     if (!rel_active_) {
       // Legacy/unreliable framing: no CRC, no sequencing — deliver as-is.
+      // Exception: merged packets are always sealed (their sub-message
+      // table can misdirect a whole batch), so they are checked even here.
+      if ((h.flags & kWireFlagMerged) != 0 && !packet_crc_ok(packet)) {
+        ++counters_.corrupt_discards;
+        recycle_bounce(cqe->wr_id);
+        continue;
+      }
       accept(h, cqe->wr_id, cqe->timestamp_ns);
       continue;
     }
@@ -571,14 +863,15 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       continue;
     }
 
-    PeerRx& rx = rx_[h.source];
+    const ChannelKey rx_key{h.source, h.channel_class};
+    ChannelRx& rx = rx_channels_[rx_key];
     if (h.channel_seq < rx.next_expected ||
         rx.ooo.find(h.channel_seq) != rx.ooo.end()) {
       // Duplicate (fabric dup or retransmit racing an in-flight ack):
       // discard, but re-ack so the sender stops resending.
       ++counters_.dup_discards;
       recycle_bounce(cqe->wr_id);
-      ack_peers[h.source] = rx.next_expected;
+      ack_peers[rx_key] = rx.next_expected;
       continue;
     }
     if (h.channel_seq > rx.next_expected) {
@@ -591,7 +884,7 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       }
       ++counters_.ooo_stashed;
       rx.ooo.emplace(h.channel_seq,
-                     PeerRx::Stashed{cqe->wr_id, cqe->timestamp_ns});
+                     ChannelRx::Stashed{cqe->wr_id, cqe->timestamp_ns});
       continue;
     }
 
@@ -607,7 +900,7 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       ++rx.next_expected;
       sit = rx.ooo.find(rx.next_expected);
     }
-    ack_peers[h.source] = rx.next_expected;
+    ack_peers[rx_key] = rx.next_expected;
   }
 
   std::vector<RecvCompletion> completions;
@@ -627,9 +920,9 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
                                            ? o.proto.payload_bytes
                                            : o.proto.inline_bytes;
           if (staged != 0) {
-            const auto src =
-                bounce_.data(o.proto.bounce_handle).subspan(kHeaderBytes,
-                                                            staged);
+            const auto src = bounce_.data(o.proto.bounce_handle)
+                                 .subspan(kHeaderBytes + o.proto.payload_offset,
+                                          staged);
             um_payloads_.emplace(
                 o.proto.wire_seq,
                 std::vector<std::byte>(src.begin(), src.end()));
@@ -647,9 +940,9 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
 
   // Cumulative acks ride the progress call (the modeled piggyback path);
   // ack loss is harmless — the next retransmit just gets deduplicated.
-  for (const auto& [src, cum] : ack_peers) {
-    const auto pit = peers_.find(src);
-    if (pit != peers_.end()) pit->second->handle_ack(rank_, cum);
+  for (const auto& [key, cum] : ack_peers) {
+    const auto pit = peers_.find(key.first);
+    if (pit != peers_.end()) pit->second->handle_ack(rank_, key.second, cum);
   }
 
   if (obs_ != nullptr) {

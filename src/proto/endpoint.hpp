@@ -52,6 +52,36 @@ struct ReliabilityConfig {
                                          ///< with unacked traffic (drives RTOs)
 };
 
+/// Merged-message coalescing (docs/COALESCING.md): small eager sends to the
+/// same (peer, tag-class) channel are packed into one CRC-sealed kMerged
+/// wire message and unpacked at the receiver before matching. Flush
+/// triggers: byte budget / message count (checked on every append), modeled
+/// deadline (the oldest buffered message's age), and doorbell — progress()
+/// always flushes every channel, so a buffered message is never stranded
+/// across a progress call.
+struct CoalescingConfig {
+  bool enabled = false;
+  std::size_t max_bytes = 0;      ///< body budget per merged packet
+                                  ///< (0 = whatever the bounce buffer fits)
+  std::size_t max_messages = 16;  ///< sub-messages per merged packet
+  std::uint64_t deadline_ns = 0;  ///< max buffered age (0 = doorbell only)
+  std::size_t eligible_bytes = 64;  ///< only payloads <= this coalesce
+
+  /// Channels per peer: tag class = tag mod tag_classes. With one class
+  /// (default) every send to a peer shares a channel and full per-peer
+  /// FIFO is preserved; more classes trade cross-class (ANY_TAG) ordering
+  /// for less head-of-line blocking between unrelated tag streams —
+  /// per-(peer,tag) FIFO always holds (same tag => same class).
+  std::uint16_t tag_classes = 1;
+
+  /// Host cost of appending one sub-message to a channel buffer (a WQE-less
+  /// memcpy; replaces the per-send doorbell cost which is paid per flush).
+  double pack_ns = 4.0;
+  /// Receiver-side modeled unpack cost per sub-message (the DPA-resident
+  /// unpack handler's table-walk, staggering sub-message arrivals).
+  double unpack_ns_per_msg = 10.0;
+};
+
 struct EndpointConfig {
   std::size_t eager_threshold = 1024;  ///< <= : eager, > : rendezvous
   std::size_t bounce_count = 2048;
@@ -70,23 +100,101 @@ struct EndpointConfig {
   bool rts_inline_data = false;
 
   ReliabilityConfig reliability{};
+  CoalescingConfig coalescing{};
 
   std::size_t bounce_bytes() const noexcept {
     return kHeaderBytes + eager_threshold;
   }
+
+  /// Largest kMerged body that fits the receiver's bounce buffers and the
+  /// configured byte budget.
+  std::size_t merged_body_budget() const noexcept {
+    const std::size_t fit = eager_threshold;
+    return coalescing.max_bytes == 0 ? fit
+                                     : std::min(coalescing.max_bytes, fit);
+  }
+};
+
+/// Unified outcome vocabulary of the host-facing API: send, post_receive
+/// and the error-drain path all report from this one enum (each operation
+/// documents the subset it can produce). The per-operation result structs
+/// below pair an Outcome with that operation's typed payload.
+enum class Outcome : std::uint8_t {
+  kCompleted,     ///< finished now: send handed to the receiver NIC /
+                  ///< receive matched and data delivered
+  kQueued,        ///< accepted: the reliable-delivery window or a channel's
+                  ///< coalescing buffer now owns delivery
+  kPending,       ///< receive indexed on the NIC; completes via progress()
+  kRnr,           ///< receiver had no staging buffer (unreliable path)
+  kBackpressure,  ///< receiver CQ full (unreliable path); retry later
+  kFallback,      ///< NIC out of descriptors: caller must match in software
+  kFailed,        ///< reliable channel failed: see take_delivery_errors()
 };
 
 /// Typed failure surfaced when the reliable-delivery retry budget is
 /// exhausted: the message is dropped, the channel to the peer is marked
 /// failed, and every queued packet fails with its own error record —
 /// graceful degradation instead of an assert (pending receives on the
-/// remote side simply stay pending).
+/// remote side simply stay pending). A failed merged packet reports one
+/// DeliveryError per coalesced sub-message.
 struct DeliveryError {
   Rank peer = 0;
   std::uint64_t channel_seq = 0;
   Envelope env{};
   std::uint32_t payload_bytes = 0;
   std::uint32_t retries = 0;
+  Outcome outcome = Outcome::kFailed;  ///< unified-outcome vocabulary
+};
+
+/// RAII handle for a staged rendezvous payload: owns the byte copy and its
+/// registration in a MemoryRegistry. Registration happens on construction,
+/// deregistration (and storage release) on destruction, so every exit path
+/// through the send flow — including early returns on RNR/backpressure —
+/// releases the staging exactly once; the raw-rkey release protocol this
+/// replaces leaked the copy on those paths unless the caller remembered to
+/// release by hand.
+class StagedBuffer {
+ public:
+  StagedBuffer() = default;
+  StagedBuffer(rdma::MemoryRegistry& registry, std::vector<std::byte> bytes)
+      : registry_(&registry), bytes_(std::move(bytes)) {
+    rkey_ = registry_->register_region(bytes_);
+  }
+  ~StagedBuffer() { reset(); }
+
+  StagedBuffer(StagedBuffer&& other) noexcept
+      : registry_(std::exchange(other.registry_, nullptr)),
+        rkey_(other.rkey_),
+        bytes_(std::move(other.bytes_)) {}
+  StagedBuffer& operator=(StagedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      registry_ = std::exchange(other.registry_, nullptr);
+      rkey_ = other.rkey_;
+      bytes_ = std::move(other.bytes_);
+    }
+    return *this;
+  }
+  StagedBuffer(const StagedBuffer&) = delete;
+  StagedBuffer& operator=(const StagedBuffer&) = delete;
+
+  bool valid() const noexcept { return registry_ != nullptr; }
+  std::uint32_t rkey() const noexcept { return rkey_; }
+  std::span<const std::byte> bytes() const noexcept { return bytes_; }
+
+  /// Deregister and free the staging copy (idempotent).
+  void reset() noexcept {
+    if (registry_ != nullptr) {
+      registry_->unregister(rkey_);
+      registry_ = nullptr;
+    }
+    bytes_.clear();
+  }
+
+ private:
+  rdma::MemoryRegistry* registry_ = nullptr;
+  std::uint32_t rkey_ = 0;
+  std::vector<std::byte> bytes_;  ///< heap storage: spans survive moves
 };
 
 class Endpoint {
@@ -118,20 +226,23 @@ class Endpoint {
     std::uint64_t cookie = 0;
     Envelope env{};
     std::uint32_t bytes = 0;          ///< payload delivered to the user buffer
-    std::uint64_t complete_ns = 0;    ///< modeled completion time
+    std::uint64_t completion_ns = 0;  ///< modeled completion time
     bool was_unexpected = false;      ///< satisfied from the unexpected store
     ResolutionPath path = ResolutionPath::kOptimistic;
+
+    /// ProbeResult-style envelope accessor (naming alignment).
+    const Envelope& envelope() const noexcept { return env; }
   };
 
-  enum class PostStatus : std::uint8_t {
-    kCompleted,  ///< matched a stored unexpected message; data delivered
-    kPending,    ///< indexed on the NIC; completes via progress()
-    kFallback,   ///< NIC out of descriptors: caller must match in software
-  };
+  /// Deprecated spellings of the unified outcome enum, kept for one PR so
+  /// downstream code migrates at its own pace. (The former
+  /// SendStatus::kDelivered is now Outcome::kCompleted.)
+  using PostStatus [[deprecated("use proto::Outcome")]] = Outcome;
+  using SendStatus [[deprecated("use proto::Outcome")]] = Outcome;
 
   struct PostResult {
-    PostStatus status = PostStatus::kPending;
-    RecvCompletion completion{};  ///< valid iff kCompleted
+    Outcome outcome = Outcome::kPending;  ///< kCompleted/kPending/kFallback
+    RecvCompletion completion{};          ///< valid iff kCompleted
   };
 
   /// Post a receive targeting `user` (Fig. 1a through the offloaded path).
@@ -156,18 +267,11 @@ class Endpoint {
                             std::string_view prefix = "ep");
   obs::Observability* observability() const noexcept { return obs_; }
 
-  enum class SendStatus : std::uint8_t {
-    kDelivered,     ///< handed to the receiver NIC (unreliable path)
-    kQueued,        ///< accepted by the reliable-delivery layer
-    kRnr,           ///< receiver had no staging buffer (unreliable path)
-    kBackpressure,  ///< receiver CQ full (unreliable path); retry later
-    kFailed,        ///< reliable channel failed: see take_delivery_errors()
-  };
-
   struct SendResult {
-    SendStatus status = SendStatus::kRnr;
-    bool ok = false;               ///< delivered or reliably queued
-    std::uint64_t arrival_ns = 0;  ///< modeled arrival (kDelivered only)
+    Outcome outcome = Outcome::kRnr;  ///< kCompleted/kQueued/kRnr/
+                                      ///< kBackpressure/kFailed
+    bool ok = false;                  ///< delivered, queued, or coalesced
+    std::uint64_t arrival_ns = 0;     ///< modeled arrival (kCompleted only)
   };
 
   /// Send `data` to peer `dst`. Buffered semantics: eager payloads travel
@@ -177,11 +281,18 @@ class Endpoint {
   /// as soon as send() returns — MPI_Send buffer semantics.
   ///
   /// With the reliable-delivery layer active the message is sequenced,
-  /// CRC-sealed and queued on the per-peer send window; retransmission,
-  /// RNR/backpressure backoff and dedup happen inside progress(). A send
-  /// never silently loses a message: transient refusals surface as
-  /// kRnr/kBackpressure (unreliable path) or are retried (reliable path),
-  /// and a retry-budget exhaustion is reported as a DeliveryError.
+  /// CRC-sealed and queued on its (peer, tag-class) channel's send window;
+  /// retransmission, RNR/backpressure backoff and dedup happen inside
+  /// progress(). A send never silently loses a message: transient refusals
+  /// surface as kRnr/kBackpressure (unreliable path) or are retried
+  /// (reliable path), and a retry-budget exhaustion is reported as a
+  /// DeliveryError.
+  ///
+  /// With coalescing enabled, small eager payloads are appended to the
+  /// channel's merge buffer (outcome kQueued) and reach the wire as one
+  /// kMerged packet when a flush trigger fires — byte/count budget,
+  /// modeled deadline, the next progress() call, or an ineligible send to
+  /// the same peer (which flushes first to preserve FIFO).
   SendResult send(Rank dst, Tag tag, CommId comm,
                   std::span<const std::byte> data);
 
@@ -194,20 +305,44 @@ class Endpoint {
   /// True when the reliable-delivery sublayer is active on this endpoint.
   bool reliable() const noexcept { return rel_active_; }
 
-  /// Unacknowledged packets currently queued for `dst`.
+  /// Unacknowledged packets currently queued for `dst` (summed over that
+  /// peer's channels).
   std::size_t unacked(Rank dst) const noexcept {
     SerialSection host(host_);
-    const auto it = tx_.find(dst);
-    return it == tx_.end() ? 0 : it->second.window.size();
+    std::size_t n = 0;
+    for (auto it = channels_.lower_bound({dst, 0});
+         it != channels_.end() && it->first.first == dst; ++it)
+      n += it->second.window.size();
+    return n;
+  }
+
+  /// Sub-messages currently parked in coalescing buffers (all channels).
+  std::size_t coalesced_buffered() const noexcept {
+    SerialSection host(host_);
+    std::size_t n = 0;
+    for (const auto& [key, ch] : channels_) n += ch.buf_count;
+    return n;
   }
 
   /// Peer-side notification: cumulative ack for every channel_seq < cum_seq
-  /// (piggybacked on the receiver's progress, the modeled ack path).
-  void handle_ack(Rank from, std::uint64_t cum_seq);
+  /// on the (peer, tag-class) channel (piggybacked on the receiver's
+  /// progress, the modeled ack path).
+  void handle_ack(Rank from, std::uint16_t channel_class,
+                  std::uint64_t cum_seq);
+
+  [[deprecated("pass the channel class; this overload acks class 0")]]
+  void handle_ack(Rank from, std::uint64_t cum_seq) {
+    handle_ack(from, /*channel_class=*/0, cum_seq);
+  }
 
   /// Peer notification that its rendezvous buffer `rkey` was fully read
   /// (the FIN of a real rendezvous protocol). Frees the staging copy.
-  void release_send_buffer(std::uint32_t rkey);
+  [[deprecated("staging is RAII-managed (StagedBuffer); use release_staged")]]
+  void release_send_buffer(std::uint32_t rkey) { release_staged(rkey); }
+
+  /// FIN handler behind the deprecated raw-rkey protocol above: drops the
+  /// StagedBuffer, which deregisters the region and frees the copy.
+  void release_staged(std::uint32_t rkey);
 
   /// Rendezvous payloads currently staged awaiting their remote read.
   std::size_t pending_rendezvous() const noexcept {
@@ -270,7 +405,13 @@ class Endpoint {
   X(ooo_stashed) /* out-of-order packets parked for resequencing */ \
   X(corrupt_discards) /* CRC failures dropped at the receiver */    \
   X(backpressure_stalls) /* receiver CQ full, send deferred */      \
-  X(engine_drops) /* matcher rejected (unexpected store full) */
+  X(engine_drops) /* matcher rejected (unexpected store full) */    \
+  X(coalesced_sends) /* sends appended to a channel buffer */       \
+  X(merged_packets) /* kMerged packets flushed to the wire */       \
+  X(flushes_by_size) /* byte-budget / message-count flushes */      \
+  X(flushes_by_deadline) /* oldest buffered message aged out */     \
+  X(flushes_by_doorbell) /* progress() swept the channels */        \
+  X(flushes_by_order) /* ineligible send flushed first (FIFO) */
 
   struct Counters {
 #define OTM_X(field) std::uint64_t field = 0;
@@ -296,7 +437,24 @@ class Endpoint {
   };
   void publish_counters() noexcept;
 
-  // --- Reliable-delivery sublayer (docs/RELIABILITY.md) ---------------------
+  // --- Channels: sequencing + reliable window + coalescing buffer -----------
+  //
+  // One Channel per (peer, tag-class) on the send side owns that stream's
+  // channel_seq space, its reliable-delivery window (docs/RELIABILITY.md)
+  // and its merged-message coalescing buffer (docs/COALESCING.md); the
+  // receive side mirrors it with a ChannelRx resequencing window. With the
+  // default single tag class this degenerates to the former flat per-peer
+  // maps, byte-identically on the wire.
+
+  /// (peer rank, tag class) — the channel identity on both sides.
+  using ChannelKey = std::pair<Rank, std::uint16_t>;
+
+  /// One sub-message record of a pending merged packet (error reporting:
+  /// a failed merged packet surfaces one DeliveryError per sub-message).
+  struct SubRecord {
+    Envelope env{};
+    std::uint32_t payload_bytes = 0;
+  };
 
   struct PendingPacket {
     std::uint64_t seq = 0;
@@ -309,17 +467,28 @@ class Endpoint {
     bool sent = false;
     std::uint64_t rto_ns = 0;         ///< current (backed-off) timeout
     std::uint64_t next_retry_ns = 0;  ///< retransmit deadline
+    std::vector<SubRecord> subs;      ///< merged packets: coalesced contents
   };
 
-  struct PeerTx {
+  struct Channel {
+    // Sequencing + reliable-delivery window.
     std::uint64_t next_seq = 0;
     std::deque<PendingPacket> window;  ///< unacked, channel_seq order
     std::uint64_t stall_until_ns = 0;  ///< RNR/backpressure backoff gate
     std::uint32_t rnr_strikes = 0;
     bool failed = false;  ///< retry budget exhausted; channel is dead
+
+    // Coalescing buffer: a kMerged body under construction. `buf` is sized
+    // once to the full body budget so the per-send append path never
+    // allocates; `buf_bytes`/`buf_count` track the filled prefix.
+    std::vector<std::byte> buf;
+    std::size_t buf_bytes = 0;
+    std::uint32_t buf_count = 0;
+    std::uint64_t oldest_ns = 0;  ///< append time of the oldest sub-message
+    std::vector<SubRecord> subs;  ///< parallel records, sized like `buf`
   };
 
-  struct PeerRx {
+  struct ChannelRx {
     std::uint64_t next_expected = 0;  ///< cumulative-ack watermark
     /// Out-of-order packets parked in their bounce buffers, keyed by seq.
     struct Stashed {
@@ -329,8 +498,35 @@ class Endpoint {
     std::map<std::uint64_t, Stashed> ooo;
   };
 
-  void try_transmit(Rank dst, PeerTx& tx) OTM_REQUIRES(host_);
-  void fail_channel(Rank dst, PeerTx& tx) OTM_REQUIRES(host_);
+  /// Tag class of `tag` under the configured channel split.
+  std::uint16_t tag_class(Tag tag) const noexcept {
+    const std::uint16_t n = cfg_.coalescing.tag_classes;
+    if (n <= 1) return 0;
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) % n);
+  }
+
+  /// The channel for (dst, cls), created (with a preallocated coalescing
+  /// buffer) on first use.
+  Channel& channel(Rank dst, std::uint16_t cls) OTM_REQUIRES(host_);
+
+  /// Why a coalescing buffer is being flushed (counter attribution).
+  enum class FlushReason : std::uint8_t { kSize, kDeadline, kDoorbell, kOrder };
+
+  /// Append one eligible small send to the channel's coalescing buffer.
+  void coalesce_append(Channel& ch, const Envelope& env,
+                       std::span<const std::byte> data) OTM_REQUIRES(host_);
+  /// Seal the channel's buffered sub-messages into one kMerged packet and
+  /// hand it to the wire (reliable window or one-shot fabric post).
+  void flush_channel(ChannelKey key, Channel& ch, FlushReason why)
+      OTM_REQUIRES(host_);
+  /// Flush every non-empty coalescing buffer of `dst` (FIFO barrier before
+  /// an ineligible send) or of all peers (doorbell/deadline sweep).
+  void flush_peer(Rank dst, FlushReason why) OTM_REQUIRES(host_);
+  void flush_all(FlushReason why) OTM_REQUIRES(host_);
+
+  void try_transmit(ChannelKey key, Channel& ch) OTM_REQUIRES(host_);
+  void fail_channel(ChannelKey key, Channel& ch) OTM_REQUIRES(host_);
 
   RecvCompletion complete_matched(const ArrivalOutcome& o);
   RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
@@ -366,8 +562,14 @@ class Endpoint {
   /// Messages for unregistered communicators awaiting host matching.
   std::vector<HostMessage> host_inbox_;
 
-  /// Staged rendezvous payloads keyed by their rkey (buffered sends).
-  std::unordered_map<std::uint32_t, std::vector<std::byte>> send_staging_;
+  /// Staged rendezvous payloads keyed by their rkey (buffered sends). Each
+  /// entry is an RAII StagedBuffer: erasing it deregisters and frees.
+  std::unordered_map<std::uint32_t, StagedBuffer> send_staging_;
+
+  /// Live sub-message references into shared merged-packet bounce buffers:
+  /// the buffer is reposted to the SRQ only after its last sub-message is
+  /// recycled. Absent handles are plain packets (refcount 1 semantics).
+  std::unordered_map<std::uint64_t, std::uint32_t> bounce_refs_;
 
   /// Peer endpoints by rank (for the read-completion notification).
   std::map<Rank, Endpoint*> peers_;
@@ -388,10 +590,13 @@ class Endpoint {
   /// SerialSection on this domain.
   SerialDomain host_;
 
-  // Reliable-delivery state (empty/idle when rel_active_ is false).
+  // Channel state. Send-side channels carry reliable-delivery windows
+  // (empty/idle when rel_active_ is false) and coalescing buffers
+  // (empty/idle when coalescing is off); receive-side resequencing state
+  // exists only under reliability.
   bool rel_active_ = false;
-  std::map<Rank, PeerTx> tx_ OTM_GUARDED_BY(host_);
-  std::map<Rank, PeerRx> rx_ OTM_GUARDED_BY(host_);
+  std::map<ChannelKey, Channel> channels_ OTM_GUARDED_BY(host_);
+  std::map<ChannelKey, ChannelRx> rx_channels_ OTM_GUARDED_BY(host_);
   std::vector<DeliveryError> delivery_errors_ OTM_GUARDED_BY(host_);
   std::uint64_t rx_delivery_seq_ = 0;  ///< matcher-facing wire_seq source
 

@@ -23,7 +23,7 @@ struct WireHeader {
   CommId comm = 0;
   std::uint8_t protocol = 0;  ///< otm::Protocol
   std::uint8_t has_inline_hashes = 1;
-  std::uint16_t reserved = 0;
+  std::uint16_t channel_class = 0;  ///< tag class of the carrying channel
   std::uint32_t payload_bytes = 0;  ///< full message payload size
   std::uint32_t inline_bytes = 0;   ///< payload bytes carried in this packet
   std::uint64_t sender_seq = 0;     ///< sender-side sequence (debug/trace)
@@ -33,7 +33,7 @@ struct WireHeader {
   std::uint32_t rkey = 0;            ///< rendezvous: send-buffer region
   std::uint32_t rkey_valid = 0;
   std::uint64_t remote_offset = 0;   ///< rendezvous: offset inside the region
-  std::uint64_t channel_seq = 0;     ///< reliable delivery: per-(sender,peer) seq
+  std::uint64_t channel_seq = 0;     ///< reliable delivery: per-channel seq
   std::uint32_t header_crc = 0;      ///< CRC-32C over packet (this field as 0)
   std::uint32_t flags = 0;           ///< kWireFlag* bits
 };
@@ -42,8 +42,39 @@ struct WireHeader {
 /// are live); receivers run dedup/ordering/integrity checks on it.
 inline constexpr std::uint32_t kWireFlagReliable = 1u << 0;
 
+/// kMerged packet kind: the body is a sub-message table — a u32 count
+/// followed by `count` (MergedSubHeader, payload) pairs — carrying several
+/// coalesced eager sends in one wire message (docs/COALESCING.md). The
+/// receiver unpacks the table into per-sub-message descriptors before any
+/// matching runs; envelope order inside the table is the send order.
+inline constexpr std::uint32_t kWireFlagMerged = 1u << 1;
+
 static_assert(std::is_trivially_copyable_v<WireHeader>);
 inline constexpr std::size_t kHeaderBytes = sizeof(WireHeader);
+
+/// Per-sub-message header inside a kMerged body. Source and channel class
+/// come from the carrying WireHeader (one channel per merged packet); the
+/// rest of the envelope plus the inline-hash triple travel per sub-message
+/// so the unpacked descriptors are indistinguishable from plain eager ones.
+struct MergedSubHeader {
+  Tag tag = 0;
+  CommId comm = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t sender_seq = 0;
+  std::uint64_t hash_src_tag = 0;
+  std::uint64_t hash_src = 0;
+  std::uint64_t hash_tag = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<MergedSubHeader>);
+inline constexpr std::size_t kMergedSubBytes = sizeof(MergedSubHeader);
+inline constexpr std::size_t kMergedCountBytes = sizeof(std::uint32_t);
+
+/// Wire footprint of one coalesced sub-message of `payload` bytes.
+inline constexpr std::size_t merged_sub_footprint(std::size_t payload) noexcept {
+  return kMergedSubBytes + payload;
+}
 
 /// CRC-32C (Castagnoli, reflected), nibble-table variant: cheap enough for
 /// the modeled NIC cores, strong enough to catch injected byte flips.
@@ -117,6 +148,42 @@ inline IncomingMessage to_incoming(const WireHeader& h, std::uint64_t bounce_han
   m.bounce_handle = bounce_handle;
   m.remote_key = h.rkey_valid != 0 ? h.rkey : 0;
   m.remote_addr = h.remote_offset;
+  return m;
+}
+
+inline void encode_sub_header(const MergedSubHeader& sh, std::span<std::byte> out) {
+  OTM_ASSERT(out.size() >= kMergedSubBytes);
+  std::memcpy(out.data(), &sh, kMergedSubBytes);
+}
+
+inline MergedSubHeader decode_sub_header(std::span<const std::byte> in) {
+  OTM_ASSERT(in.size() >= kMergedSubBytes);
+  MergedSubHeader sh;
+  std::memcpy(&sh, in.data(), kMergedSubBytes);
+  return sh;
+}
+
+/// Engine-facing descriptor for one sub-message unpacked from a kMerged
+/// packet: its payload sits at `payload_offset` into the shared body, and
+/// every sub after the first is dispatched by the unpack handler rather
+/// than by its own CQE (`merged_sub` drives the DPA dispatch cost).
+inline IncomingMessage sub_to_incoming(const WireHeader& carrier,
+                                       const MergedSubHeader& sh,
+                                       std::uint32_t payload_offset,
+                                       bool merged_sub,
+                                       std::uint64_t bounce_handle,
+                                       std::uint64_t wire_seq) {
+  IncomingMessage m;
+  m.env = {carrier.source, sh.tag, sh.comm};
+  m.hashes = {sh.hash_src_tag, sh.hash_src, sh.hash_tag};
+  m.has_inline_hashes = true;
+  m.protocol = Protocol::kEager;
+  m.payload_bytes = sh.payload_bytes;
+  m.inline_bytes = sh.payload_bytes;
+  m.wire_seq = wire_seq;
+  m.bounce_handle = bounce_handle;
+  m.payload_offset = payload_offset;
+  m.merged_sub = merged_sub;
   return m;
 }
 

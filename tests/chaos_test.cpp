@@ -147,7 +147,7 @@ TEST(Reliability, NoFaultPassThrough) {
   for (std::uint64_t i = 0; i < 8; ++i) {
     p.b_.post_receive({0, static_cast<Tag>(i), 0}, bufs[i], i);
     const auto r = p.a_.send(1, static_cast<Tag>(i), 0, stamped(64, i));
-    EXPECT_EQ(r.status, Endpoint::SendStatus::kQueued);
+    EXPECT_EQ(r.outcome, Outcome::kQueued);
     EXPECT_TRUE(r.ok);
   }
   const auto done = p.pump(8);
@@ -317,7 +317,7 @@ TEST(Reliability, RetryBudgetExhaustionSurfacesDeliveryError) {
 
   // The channel is dead: further sends fail fast with their own record.
   const auto r = p.a_.send(1, 6, 0, stamped(32, 2));
-  EXPECT_EQ(r.status, Endpoint::SendStatus::kFailed);
+  EXPECT_EQ(r.outcome, Outcome::kFailed);
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(p.a_.take_delivery_errors().size(), 1u);
   EXPECT_TRUE(p.b_.progress().empty()) << "nothing ever arrived";
@@ -589,8 +589,8 @@ TEST(ChaosSoak, ShardedIncastExactlyOnceFifoUnderFaults) {
     bufs[i].resize(bytes);
     const auto pr =
         receiver.post_receive({static_cast<Rank>(s + 1), tag, 0}, bufs[i], i);
-    ASSERT_NE(pr.status, Endpoint::PostStatus::kFallback);
-    if (pr.status == Endpoint::PostStatus::kCompleted) harvest({pr.completion});
+    ASSERT_NE(pr.outcome, Outcome::kFallback);
+    if (pr.outcome == Outcome::kCompleted) harvest({pr.completion});
     sent[i] = stamped(bytes, i);
     const auto r = senders[s]->send(0, tag, 0, sent[i]);
     if (!r.ok) exactly_once = false;  // reliable sends must queue
@@ -614,6 +614,175 @@ TEST(ChaosSoak, ShardedIncastExactlyOnceFifoUnderFaults) {
   for (unsigned k = 0; k < se.shard_count(); ++k)
     EXPECT_GT(se.shard(k).stats().messages_processed, 0u)
         << "shard " << k << " never saw a message";
+}
+
+// --- Coalesced small-message storm under chaos (docs/COALESCING.md) ----------
+
+/// Small-payload storm through the merged-message path: `messages` stamped
+/// 8–64 B sends across two tag streams, coalescing enabled, over a faulted
+/// fabric, into a receiver with `shards` source-routed engine shards. Every
+/// receive names (source, tag), so the expected pairing is deterministic:
+/// the k-th receive of a stream gets the k-th message of that stream. A
+/// ListMatcher replay cross-checks the pairing; payloads must come back
+/// byte-identical through the pack → merge → CRC → unpack pipeline.
+void run_coalesced_storm(unsigned shards, std::uint64_t seed) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = seed;
+  fault.drop_probability = 0.03;
+  fault.duplicate_probability = 0.02;
+  fault.corrupt_probability = 0.01;
+  fault.reorder_probability = 0.04;
+  fault.reorder_window = 3;
+
+  constexpr std::size_t kMessages = 10'000;
+  constexpr std::size_t kWindow = 16;
+  constexpr std::uint32_t kTags = 2;
+
+  rdma::Fabric fabric(ChaosPair::make_fabric(fault));
+  EndpointConfig ep_cfg = ChaosPair::default_ep();
+  ep_cfg.coalescing.enabled = true;
+  ep_cfg.coalescing.max_messages = 8;
+  ep_cfg.coalescing.eligible_bytes = 64;
+  MatchConfig recv_cfg = match_cfg();
+  recv_cfg.shards = shards;
+  Endpoint receiver(fabric, 0, ep_cfg, recv_cfg, DpaConfig{});
+  Endpoint sender(fabric, 1, ep_cfg, match_cfg(), DpaConfig{});
+  sender.connect(receiver);
+  ASSERT_EQ(receiver.dpa().sharded_engine().shard_count(), shards);
+
+  ListMatcher oracle;
+  std::map<std::uint64_t, std::uint64_t> expected;  // cookie -> message seq
+  std::vector<std::vector<std::byte>> bufs(kMessages);
+  std::vector<std::vector<std::byte>> sent(kMessages);
+  std::vector<bool> seen(kMessages, false);
+  std::map<Tag, std::uint64_t> last_stamp;
+  std::size_t completions = 0;
+  bool exactly_once = true, in_order = true, payload_ok = true,
+       pairing_ok = true;
+
+  auto harvest = [&](const std::vector<Endpoint::RecvCompletion>& done) {
+    for (const auto& c : done) {
+      ++completions;
+      if (c.cookie >= kMessages || seen[c.cookie]) {
+        exactly_once = false;
+        continue;
+      }
+      seen[c.cookie] = true;
+      const std::uint64_t stamp = read_stamp(bufs[c.cookie]);
+      if (bufs[c.cookie] != sent[stamp]) payload_ok = false;
+      const auto it = expected.find(c.cookie);
+      if (it == expected.end() || it->second != stamp) pairing_ok = false;
+      const auto lit = last_stamp.find(c.env.tag);
+      if (lit != last_stamp.end() && stamp <= lit->second) in_order = false;
+      last_stamp[c.env.tag] = stamp;
+    }
+  };
+  auto pump_all = [&] {
+    sender.progress();
+    harvest(receiver.progress());
+  };
+
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    const Tag tag = static_cast<Tag>(i % kTags);
+    const std::size_t bytes = 8 + (i % 8) * 8;  // 8..64 B
+    bufs[i].resize(bytes);
+    const auto pr = receiver.post_receive({1, tag, 0}, bufs[i], i);
+    ASSERT_NE(pr.outcome, Outcome::kFallback);
+    if (pr.outcome == Outcome::kCompleted) harvest({pr.completion});
+    EXPECT_FALSE(oracle.post({1, tag, 0}, i).has_value())
+        << "storm posts receives before their messages";
+    sent[i] = stamped(bytes, i);
+    const auto r = sender.send(0, tag, 0, sent[i]);
+    if (!r.ok) exactly_once = false;  // reliable sends must queue
+    if (const auto m = oracle.arrive({1, tag, 0}, i); m.has_value())
+      expected[*m] = i;
+    if (i + 1 - completions >= kWindow) {
+      for (int spin = 0; spin < 4000 && i + 1 - completions >= kWindow; ++spin)
+        pump_all();
+    }
+  }
+  for (int spin = 0; spin < 20000 && completions < kMessages; ++spin)
+    pump_all();
+  for (int spin = 0; spin < 100; ++spin) pump_all();  // settle: no extras
+
+  EXPECT_EQ(completions, kMessages);
+  EXPECT_TRUE(exactly_once) << "a posted receive completed 0 or 2+ times";
+  EXPECT_TRUE(in_order) << "per-(peer,tag) FIFO violated through coalescing";
+  EXPECT_TRUE(payload_ok) << "unpacked payload differs from the sent bytes";
+  EXPECT_TRUE(pairing_ok) << "matching disagrees with the ListMatcher oracle";
+  EXPECT_EQ(sender.take_delivery_errors().size(), 0u);
+  EXPECT_GT(sender.counters().coalesced_sends, 0u);
+  EXPECT_GT(sender.counters().merged_packets, 0u);
+  EXPECT_LT(sender.counters().merged_packets,
+            sender.counters().coalesced_sends)
+      << "coalescing never actually merged anything";
+}
+
+TEST(ChaosSoak, CoalescedStormExactlyOnceFifoUnderFaults) {
+  run_coalesced_storm(/*shards=*/1, chaos_seed() + 3);
+}
+
+TEST(ChaosSoak, CoalescedStormExactlyOnceFifoUnderFaultsSharded) {
+  run_coalesced_storm(/*shards=*/4, chaos_seed() + 4);
+}
+
+/// Differential: the same deterministic fault-free traffic with coalescing
+/// off and on must produce identical completion streams (cookie order,
+/// envelopes, and payload bytes). The off run is the pre-coalescing
+/// protocol byte-for-byte — wire headers carry channel_class 0 where the
+/// reserved field always sat (pinned by Wire.CoalescingOff* in proto_test).
+TEST(ChaosSoak, CoalescingOffIsByteIdenticalDifferential) {
+  struct Run {
+    std::vector<std::uint64_t> cookies;
+    std::vector<Envelope> envs;
+    std::vector<std::vector<std::byte>> payloads;
+  };
+  const auto run_once = [](bool coalesced) {
+    EndpointConfig cfg = ChaosPair::default_ep();
+    cfg.coalescing.enabled = coalesced;
+    cfg.coalescing.max_messages = 8;
+    ChaosPair p(rdma::FaultConfig{}, cfg);  // faults off: deterministic
+
+    constexpr std::size_t kMessages = 512;
+    Run out;
+    std::vector<std::vector<std::byte>> bufs(kMessages);
+    std::size_t done_count = 0;
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      const Tag tag = static_cast<Tag>(i % 3);
+      const std::size_t bytes = 8 + (i % 8) * 8;
+      bufs[i].resize(bytes);
+      p.b_.post_receive({0, tag, 0}, bufs[i], i);
+      p.a_.send(1, tag, 0, stamped(bytes, i));
+      if (i % 16 == 15) {
+        p.a_.progress();
+        for (auto& c : p.b_.progress()) {
+          out.cookies.push_back(c.cookie);
+          out.envs.push_back(c.env);
+          ++done_count;
+        }
+      }
+    }
+    for (int spin = 0; spin < 1000 && done_count < kMessages; ++spin) {
+      p.a_.progress();
+      for (auto& c : p.b_.progress()) {
+        out.cookies.push_back(c.cookie);
+        out.envs.push_back(c.env);
+        ++done_count;
+      }
+    }
+    for (auto& b : bufs) out.payloads.push_back(b);
+    EXPECT_EQ(done_count, kMessages);
+    return out;
+  };
+
+  const Run off = run_once(false);
+  const Run on = run_once(true);
+  EXPECT_EQ(off.cookies, on.cookies)
+      << "coalescing changed the completion order";
+  EXPECT_TRUE(off.envs == on.envs);
+  EXPECT_EQ(off.payloads, on.payloads)
+      << "coalescing changed delivered payload bytes";
 }
 
 // --- Mini-MPI under chaos ----------------------------------------------------

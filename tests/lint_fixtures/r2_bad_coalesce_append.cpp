@@ -1,0 +1,22 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R2 bad twin (channel coalescing path): the hot per-send append into a
+// channel's merge buffer grows the buffer instead of writing into the
+// capacity reserved when the channel was created.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+
+struct Channel {
+  std::vector<std::byte> buf;
+  std::size_t buf_bytes = 0;
+};
+
+// otmlint: hot
+void coalesce_append(Channel& ch, const std::byte* data, std::size_t n) {
+  ch.buf.insert(ch.buf.end(), data, data + n);  // growth on the send path
+  ch.buf_bytes += n;
+}
+
+}  // namespace otm

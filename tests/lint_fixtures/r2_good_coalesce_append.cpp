@@ -1,0 +1,30 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R2 good twin (channel coalescing path): the channel's merge buffer is
+// sized once at channel creation (untagged setup code); the hot append is
+// a bounds-checked memcpy into that fixed capacity, mirroring
+// Endpoint::coalesce_append.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace otm {
+
+struct Channel {
+  std::vector<std::byte> buf;
+  std::size_t buf_bytes = 0;
+};
+
+void open_channel(Channel& ch, std::size_t budget) {
+  ch.buf.resize(budget);  // fine: one-time setup, not a hot function
+}
+
+// otmlint: hot
+bool coalesce_append(Channel& ch, const std::byte* data, std::size_t n) {
+  if (ch.buf_bytes + n > ch.buf.size()) return false;  // caller flushes
+  std::memcpy(ch.buf.data() + ch.buf_bytes, data, n);
+  ch.buf_bytes += n;
+  return true;
+}
+
+}  // namespace otm

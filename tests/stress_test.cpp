@@ -178,7 +178,7 @@ TEST(Stress, EndpointMessageStorm) {
       for (unsigned i = 0; i < n; ++i) {
         const auto p = b.post_receive({0, static_cast<Tag>(i), 0}, rx[i],
                                       static_cast<std::uint64_t>(i));
-        if (p.status == proto::Endpoint::PostStatus::kCompleted) ++completed;
+        if (p.outcome == proto::Outcome::kCompleted) ++completed;
       }
       ASSERT_EQ(completed, n);
       delivered += completed;
