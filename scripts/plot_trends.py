@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Trend lines across per-commit benchmark documents.
+
+CI uploads one BENCH_matching.json artifact per commit (see the perf-gate
+job); this script turns an ordered series of those documents into
+per-scenario trajectories so rate history can be inspected without
+re-running the harness:
+
+  scripts/plot_trends.py BENCH_a.json BENCH_b.json BENCH_c.json \
+      [--out trends] [--labels sha1,sha2,sha3] [--bench fig8_message_rate]
+
+Outputs (no dependencies beyond the Python 3 standard library):
+  <out>.csv  — bench,scenario,label,msgs_per_sec rows, document order
+  <out>.svg  — one polyline per scenario, normalized to its first point,
+               so modeled and walltime scenarios share one axis
+  stdout     — per-scenario ASCII sparkline + first->last delta
+
+Documents are validated with the perf-gate loader, so anything this script
+accepts is also gate-compatible. Order of the positional arguments is the
+commit order; --labels (comma-separated, same length) names the points.
+
+Exit codes: 0 ok, 1 invalid document, 2 usage error.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from perf_gate import DocumentError, load_scenarios  # noqa: E402
+
+SPARKS = "▁▂▃▄▅▆▇█"
+
+SVG_W, SVG_H, SVG_PAD = 720, 360, 48
+PALETTE = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+)
+
+
+def sparkline(values):
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARKS[0] * len(values)
+    step = (hi - lo) / (len(SPARKS) - 1)
+    return "".join(SPARKS[int(round((v - lo) / step))] for v in values)
+
+
+def collect(paths, bench_filter):
+    """[(label-less) series] -> {(bench, scenario): [rate or None per doc]}."""
+    series = {}
+    for i, path in enumerate(paths):
+        doc = load_scenarios(path)
+        for (bench, name), s in doc.items():
+            if bench_filter and bench != bench_filter:
+                continue
+            series.setdefault((bench, name), [None] * len(paths))
+            series[(bench, name)][i] = float(s["msgs_per_sec"])
+    return series
+
+
+def write_csv(out_csv, series, labels):
+    with open(out_csv, "w", newline="", encoding="utf-8") as f:
+        w = csv.writer(f)
+        w.writerow(["bench", "scenario", "label", "msgs_per_sec"])
+        for (bench, name), rates in sorted(series.items()):
+            for label, rate in zip(labels, rates):
+                if rate is not None:
+                    w.writerow([bench, name, label, f"{rate:.3f}"])
+
+
+def write_svg(out_svg, series, labels):
+    """Normalized polylines (first present point == 1.0) in a plain SVG."""
+    n = len(labels)
+    plot_w = SVG_W - 2 * SVG_PAD
+    plot_h = SVG_H - 2 * SVG_PAD
+    norm = {}
+    lo, hi = 1.0, 1.0
+    for key, rates in sorted(series.items()):
+        base = next((r for r in rates if r is not None), None)
+        if base is None or base <= 0:
+            continue
+        vals = [None if r is None else r / base for r in rates]
+        norm[key] = vals
+        for v in vals:
+            if v is not None:
+                lo, hi = min(lo, v), max(hi, v)
+    span = (hi - lo) or 1.0
+
+    def xy(i, v):
+        x = SVG_PAD + (plot_w * i / max(n - 1, 1))
+        y = SVG_PAD + plot_h * (1.0 - (v - lo) / span)
+        return f"{x:.1f},{y:.1f}"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{SVG_W}" '
+        f'height="{SVG_H + 14 * len(norm)}" font-family="monospace" '
+        'font-size="11">',
+        f'<rect x="{SVG_PAD}" y="{SVG_PAD}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#ccc"/>',
+        f'<text x="{SVG_PAD}" y="{SVG_PAD - 8}">msgs_per_sec, '
+        'normalized to first point per scenario</text>',
+    ]
+    baseline_y = SVG_PAD + plot_h * (1.0 - (1.0 - lo) / span)
+    parts.append(
+        f'<line x1="{SVG_PAD}" y1="{baseline_y:.1f}" x2="{SVG_PAD + plot_w}" '
+        f'y2="{baseline_y:.1f}" stroke="#eee"/>')
+    for i, label in enumerate(labels):
+        x = SVG_PAD + (plot_w * i / max(n - 1, 1))
+        parts.append(
+            f'<text x="{x:.1f}" y="{SVG_H - SVG_PAD + 16}" '
+            f'text-anchor="middle">{label}</text>')
+    for ci, (key, vals) in enumerate(sorted(norm.items())):
+        color = PALETTE[ci % len(PALETTE)]
+        pts = " ".join(xy(i, v) for i, v in enumerate(vals) if v is not None)
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            'stroke-width="1.5"/>')
+        parts.append(
+            f'<text x="{SVG_PAD}" y="{SVG_H + 14 * ci}" fill="{color}">'
+            f'{key[0]}/{key[1]}</text>')
+    parts.append("</svg>")
+    with open(out_svg, "w", encoding="utf-8") as f:
+        f.write("\n".join(parts) + "\n")
+
+
+def self_test():
+    import json
+    import tempfile
+
+    def doc(rate):
+        return {
+            "schema_version": 1,
+            "bench": "fig8_message_rate",
+            "scenarios": [
+                {"name": "optimistic_nc", "kind": "modeled",
+                 "msgs_per_sec": rate},
+                {"name": "storm_8b", "kind": "modeled",
+                 "msgs_per_sec": rate * 2},
+            ],
+        }
+
+    with tempfile.TemporaryDirectory() as td:
+        paths = []
+        for i, rate in enumerate([100.0, 110.0, 104.0]):
+            p = os.path.join(td, f"d{i}.json")
+            with open(p, "w", encoding="utf-8") as f:
+                json.dump(doc(rate), f)
+            paths.append(p)
+        series = collect(paths, None)
+        assert len(series) == 2, series
+        key = ("fig8_message_rate", "optimistic_nc")
+        assert series[key] == [100.0, 110.0, 104.0]
+        out = os.path.join(td, "t")
+        write_csv(out + ".csv", series, ["a", "b", "c"])
+        write_svg(out + ".svg", series, ["a", "b", "c"])
+        with open(out + ".csv", encoding="utf-8") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["bench", "scenario", "label", "msgs_per_sec"]
+        assert len(rows) == 1 + 6, rows
+        with open(out + ".svg", encoding="utf-8") as f:
+            svg = f.read()
+        assert "polyline" in svg and "optimistic_nc" in svg
+        assert sparkline([1.0, 2.0, 3.0]) == "▁▅█"
+    print("plot_trends self-test OK")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("docs", nargs="*", help="bench documents, commit order")
+    ap.add_argument("--out", default="trends", help="output basename")
+    ap.add_argument("--labels", help="comma-separated point labels")
+    ap.add_argument("--bench", help="restrict to one bench family")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        self_test()
+        return 0
+    if len(args.docs) < 2:
+        ap.error("need at least two documents to draw a trend")
+    labels = (args.labels.split(",") if args.labels
+              else [os.path.splitext(os.path.basename(p))[0]
+                    for p in args.docs])
+    if len(labels) != len(args.docs):
+        ap.error("--labels length must match the number of documents")
+
+    try:
+        series = collect(args.docs, args.bench)
+    except DocumentError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not series:
+        print("error: no scenarios matched", file=sys.stderr)
+        return 1
+
+    write_csv(args.out + ".csv", series, labels)
+    write_svg(args.out + ".svg", series, labels)
+    for (bench, name), rates in sorted(series.items()):
+        present = [r for r in rates if r is not None]
+        delta = (present[-1] / present[0] - 1.0) * 100 if len(present) > 1 else 0
+        print(f"{bench}/{name:32s} {sparkline(present)}  "
+              f"{present[0]:.3g} -> {present[-1]:.3g}  ({delta:+.1f}%)")
+    print(f"wrote {args.out}.csv, {args.out}.svg")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

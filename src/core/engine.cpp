@@ -155,6 +155,48 @@ std::optional<std::uint64_t> MatchEngine::cancel_receive(std::uint64_t cookie) {
   return r;
 }
 
+void MatchEngine::collect_pending(std::vector<DrainedReceive>& out) const {
+  SerialSection ingress(ingress_);
+  const auto first = static_cast<std::ptrdiff_t>(out.size());
+  for (std::uint32_t slot = 0; slot < prq_.capacity(); ++slot) {
+    const ReceiveDescriptor& d = prq_.desc(slot);
+    if (!d.posted()) continue;
+    out.push_back({d.spec, d.label, d.cookie, d.buffer_addr, d.buffer_capacity,
+                   d.claim_idx});
+  }
+  std::sort(out.begin() + first, out.end(),
+            [](const DrainedReceive& a, const DrainedReceive& b) {
+              return a.label < b.label;
+            });
+}
+
+std::size_t MatchEngine::drain_pending(std::vector<DrainedReceive>& out) {
+  const std::size_t first = out.size();
+  collect_pending(out);
+  // Live cookies are unique (the endpoint's request ids are), so the cancel
+  // path withdraws exactly the collected receive.
+  for (std::size_t i = first; i < out.size(); ++i)
+    cancel_receive(out[i].cookie);
+  return out.size() - first;
+}
+
+std::size_t MatchEngine::drain_unexpected(std::vector<UnexpectedDescriptor>& out) {
+  SerialSection ingress(ingress_);
+  SerialSection umq_serial(umq_.serial());
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;  // (arrival, slot)
+  for (std::uint32_t slot = 0; slot < umq_.capacity(); ++slot) {
+    const UnexpectedDescriptor& d = umq_.desc(slot);
+    if (d.active) order.emplace_back(d.arrival, slot);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [arrival, slot] : order) out.push_back(umq_.remove(slot));
+  if (obs_ != nullptr) {
+    publish_metrics();
+    sample_depths(last_finish_cycles_);
+  }
+  return order.size();
+}
+
 BlockMatcher& MatchEngine::arm_block(std::span<const IncomingMessage> msgs,
                                      std::span<const std::uint64_t> starts) {
   SerialSection ingress(ingress_);

@@ -151,6 +151,31 @@ class MatchEngine {
   /// Engine-serialized like post_receive().
   std::optional<std::uint64_t> cancel_receive(std::uint64_t cookie);
 
+  /// One pending posted receive surfaced by collect_pending()/
+  /// drain_pending() — the DPA watchdog's demotion path evicts NIC-resident
+  /// matching state to the host software domain through these.
+  struct DrainedReceive {
+    MatchSpec spec{};
+    std::uint64_t label = 0;  ///< global posting order (constraint C1)
+    std::uint64_t cookie = 0;
+    std::uint64_t buffer_addr = 0;
+    std::uint32_t buffer_capacity = 0;
+    std::uint32_t claim_idx = kInvalidSlot;
+  };
+
+  /// Append every pending posted receive to `out` in posting-label order
+  /// (non-destructive; engine-serialized).
+  void collect_pending(std::vector<DrainedReceive>& out) const;
+
+  /// Withdraw every pending posted receive, appending them to `out` in
+  /// posting-label order. Each withdrawal runs the cancel path, so the
+  /// depth arithmetic and cookie bookkeeping stay exact. Returns the count.
+  std::size_t drain_pending(std::vector<DrainedReceive>& out);
+
+  /// Remove every stored unexpected message, appending the descriptors to
+  /// `out` in arrival order (constraint C2). Returns the count.
+  std::size_t drain_unexpected(std::vector<UnexpectedDescriptor>& out);
+
   /// Fig. 1b / Sec. III: process `msgs` in arrival order, in blocks of at
   /// most cfg.block_size. `arrival_cycles`, when non-empty, gives each
   /// message's modeled dispatch time (parallel to `msgs`).

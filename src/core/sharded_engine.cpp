@@ -247,6 +247,46 @@ std::optional<std::uint64_t> ShardedEngine::cancel_receive(
   return std::nullopt;
 }
 
+std::size_t ShardedEngine::drain_pending(
+    std::vector<MatchEngine::DrainedReceive>& out) {
+  if (shard_count() == 1) return shards_[0]->drain_pending(out);
+  const auto first = static_cast<std::ptrdiff_t>(out.size());
+  for (unsigned k = 0; k < shard_count(); ++k)
+    shards_[k]->collect_pending(out);
+  // Wildcard-source replicas show up once per shard under one shared
+  // (label, cookie); keep one logical entry each.
+  std::sort(out.begin() + first, out.end(),
+            [](const MatchEngine::DrainedReceive& a,
+               const MatchEngine::DrainedReceive& b) {
+              return a.label != b.label ? a.label < b.label
+                                        : a.cookie < b.cookie;
+            });
+  out.erase(std::unique(out.begin() + first, out.end(),
+                        [](const MatchEngine::DrainedReceive& a,
+                           const MatchEngine::DrainedReceive& b) {
+                          return a.label == b.label && a.cookie == b.cookie;
+                        }),
+            out.end());
+  for (std::size_t i = static_cast<std::size_t>(first); i < out.size(); ++i)
+    cancel_receive(out[i].cookie);
+  return out.size() - static_cast<std::size_t>(first);
+}
+
+std::size_t ShardedEngine::drain_unexpected(
+    std::vector<UnexpectedDescriptor>& out) {
+  if (shard_count() == 1) return shards_[0]->drain_unexpected(out);
+  const auto first = static_cast<std::ptrdiff_t>(out.size());
+  for (unsigned k = 0; k < shard_count(); ++k)
+    shards_[k]->drain_unexpected(out);
+  // Per-shard drains are arrival-ordered already; the merge re-sorts by the
+  // global arrival stamps the sharded driver assigned (C2 across shards).
+  std::sort(out.begin() + first, out.end(),
+            [](const UnexpectedDescriptor& a, const UnexpectedDescriptor& b) {
+              return a.arrival < b.arrival;
+            });
+  return out.size() - static_cast<std::size_t>(first);
+}
+
 // Runs on a shard worker thread while the driver waits at the join barrier;
 // the scratch slot it touches is thread-private by construction (one worker
 // per shard), a phase discipline the lock-based analysis cannot express.

@@ -171,6 +171,16 @@ class ShardedEngine {
   /// every replica and frees the claim.
   std::optional<std::uint64_t> cancel_receive(std::uint64_t cookie);
 
+  /// Withdraw every pending receive across all shards, appending one entry
+  /// per *logical* receive (wildcard replicas deduped by label) to `out` in
+  /// posting-label order — the DPA watchdog's demotion eviction. Claims of
+  /// replicated receives are released through the regular cancel path.
+  std::size_t drain_pending(std::vector<MatchEngine::DrainedReceive>& out);
+
+  /// Remove every stored unexpected message across all shards, appending
+  /// the descriptors to `out` in global arrival-stamp order (C2).
+  std::size_t drain_unexpected(std::vector<UnexpectedDescriptor>& out);
+
   /// Fig. 1b: global blocks of cfg.block_size, partitioned by source shard
   /// (order-preserving), matched per shard, claim-arbitrated, committed —
   /// or rolled back and re-matched serially on a contested claim.

@@ -23,7 +23,13 @@ bool DpaAccelerator::register_comm(CommId comm, const MatchConfig& cfg) {
                  "block threads exceed DPA hardware threads");
   if (engines_.find(comm) != engines_.end()) return false;
   const std::size_t need = footprint_of(cfg);
-  if (memory_used_ + need > cfg_.memory_budget_bytes) return false;
+  if (memory_used_ + need > cfg_.memory_budget_bytes) {
+    // Memory-budget exhaustion is a watchdog demotion signal (Sec. IV-E
+    // fallback escalated to a health event).
+    if (cfg_.watchdog.enabled && cfg_.watchdog.demote_on_memory_exhaustion)
+      memory_event_ = true;
+    return false;
+  }
   const auto it =
       engines_.emplace(comm, std::make_unique<CommEngine>(cfg, &shared_costs_))
           .first;
@@ -47,8 +53,46 @@ void DpaAccelerator::attach_observability(obs::Observability* obs,
     g_memory_used_ = &reg->gauge(obs_prefix_ + ".memory_used_bytes");
     g_busy_cycles_ = &reg->gauge(obs_prefix_ + ".busy_cycles");
     g_now_ = &reg->gauge(obs_prefix_ + ".now_cycles");
+    g_degraded_ = &reg->gauge(obs_prefix_ + ".degraded");
     publish_gauges();
   }
+}
+
+void DpaAccelerator::watchdog_tick(bool pressure) noexcept {
+  if (!cfg_.watchdog.enabled) return;
+  const bool dirty = pressure || stall_pending_ || memory_event_;
+  pressure_streak_ = pressure ? pressure_streak_ + 1 : 0;
+  stall_pending_ = false;
+  if (!degraded_) {
+    if (pressure_streak_ >= cfg_.watchdog.pressure_streak ||
+        (cfg_.watchdog.stall_cycles != 0 &&
+         stall_events_ >= cfg_.watchdog.stall_streak) ||
+        (memory_event_ && cfg_.watchdog.demote_on_memory_exhaustion))
+      demote();
+  } else {
+    // Hysteresis: the healthy window restarts on any dirty tick.
+    healthy_ticks_ = dirty ? 0 : healthy_ticks_ + 1;
+  }
+  publish_gauges();
+}
+
+void DpaAccelerator::promote() noexcept {
+  degraded_ = false;
+  pressure_streak_ = 0;
+  stall_events_ = 0;
+  healthy_ticks_ = 0;
+  memory_event_ = false;
+  publish_gauges();
+}
+
+void DpaAccelerator::drain_all(
+    std::vector<MatchEngine::DrainedReceive>& receives,
+    std::vector<UnexpectedDescriptor>& ums) {
+  for (auto& [comm, ce] : engines_) {
+    ce->engine.drain_pending(receives);
+    ce->engine.drain_unexpected(ums);
+  }
+  publish_gauges();
 }
 
 void DpaAccelerator::attach_engine_obs(CommId comm, ShardedEngine& eng) {
@@ -61,6 +105,7 @@ void DpaAccelerator::publish_gauges() noexcept {
   g_memory_used_->set(memory_used_);
   g_busy_cycles_->set(busy_cycles_);
   g_now_->set(now_);
+  if (g_degraded_ != nullptr) g_degraded_->set(degraded_ ? 1 : 0);
 }
 
 MatchEngine& DpaAccelerator::engine(CommId comm) {
@@ -160,6 +205,7 @@ void DpaAccelerator::deliver_run(ShardedEngine& eng,
       slot_free_[i] = std::max(slot_free_[i], finish);
       now_ = std::max(now_, finish);
       busy_cycles_ += finish - starts[i];
+      note_service_time(finish - starts[i]);
       out.push_back(block_out[i]);
     }
   }
@@ -205,6 +251,7 @@ void DpaAccelerator::deliver_run_sharded(ShardedEngine& eng,
       slot = std::max(slot, finish);
       now_ = std::max(now_, finish);
       busy_cycles_ += finish - starts[i];
+      note_service_time(finish - starts[i]);
       out.push_back(block_out[i]);
     }
   }

@@ -97,7 +97,66 @@ class DpaAccelerator {
   std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
   std::uint64_t host_matching_cycles() const noexcept { return 0; }
 
+  // --- Health watchdog (DpaConfig::Watchdog, docs/RELIABILITY.md §5) ------
+  // The watchdog extends the paper's Sec. IV-E fallback from a static
+  // capacity limit to a dynamic health signal: a sick DPA demotes new
+  // traffic to the host software-matching path; a healthy window re-offers
+  // promotion. The *endpoint* owns the route flip — it evicts NIC state via
+  // drain_all() on demotion and re-promotes only once the host domain is
+  // drained, so matching order is never split across two live domains.
+
+  bool watchdog_enabled() const noexcept { return cfg_.watchdog.enabled; }
+
+  /// True while demoted: new posts and arrivals belong on the host path.
+  bool degraded() const noexcept { return degraded_; }
+
+  /// True when a demoted accelerator has stayed clean for
+  /// `healthy_window` consecutive ticks (hysteresis) and may be re-promoted.
+  bool promotable() const noexcept {
+    return degraded_ && healthy_ticks_ >= cfg_.watchdog.healthy_window;
+  }
+
+  /// One watchdog tick per endpoint progress() call; `pressure` reports
+  /// CQ-full / engine-drop evidence the endpoint observed this tick.
+  /// Advances streaks, demotes on threshold, accrues the healthy window.
+  void watchdog_tick(bool pressure) noexcept;
+
+  /// Close a demotion window: clear the streaks and the degraded flag. The
+  /// endpoint calls this only after the host matching domain is empty.
+  void promote() noexcept;
+
+  /// Operational/test override: demote immediately (no-op when the
+  /// watchdog is disabled).
+  void force_demote() noexcept {
+    if (cfg_.watchdog.enabled) demote();
+  }
+
+  /// Stall events observed since the last promotion (test/metrics).
+  std::uint32_t stall_events() const noexcept { return stall_events_; }
+
+  /// Demotion eviction: withdraw every communicator's pending receives
+  /// (appended to `receives`, posting-label order per comm) and stored
+  /// unexpected messages (appended to `ums`, arrival order per comm) so
+  /// the endpoint can migrate them into the host matching domain.
+  void drain_all(std::vector<MatchEngine::DrainedReceive>& receives,
+                 std::vector<UnexpectedDescriptor>& ums);
+
  private:
+  void demote() noexcept {
+    degraded_ = true;
+    healthy_ticks_ = 0;
+  }
+
+  /// Stall detection: a handler whose modeled service time blows past the
+  /// configured bound counts a stall event for the watchdog.
+  void note_service_time(std::uint64_t cycles) noexcept {
+    if (!cfg_.watchdog.enabled || cfg_.watchdog.stall_cycles == 0) return;
+    if (cycles > cfg_.watchdog.stall_cycles) {
+      stall_pending_ = true;
+      ++stall_events_;
+    }
+  }
+
   struct CommEngine {
     explicit CommEngine(const MatchConfig& cfg, const CostTable* costs)
         : engine(cfg, costs) {}
@@ -146,11 +205,20 @@ class DpaAccelerator {
   std::uint64_t now_ = 0;
   std::uint64_t busy_cycles_ = 0;
 
+  /// Watchdog state (single driver thread, like the clocks above).
+  bool degraded_ = false;
+  bool stall_pending_ = false;   ///< stall seen since the last tick
+  bool memory_event_ = false;    ///< register_comm hit the memory budget
+  std::uint32_t pressure_streak_ = 0;
+  std::uint32_t stall_events_ = 0;   ///< since the last promotion
+  std::uint32_t healthy_ticks_ = 0;  ///< consecutive clean ticks while demoted
+
   obs::Observability* obs_ = nullptr;
   std::string obs_prefix_;
   obs::Gauge* g_memory_used_ = nullptr;
   obs::Gauge* g_busy_cycles_ = nullptr;
   obs::Gauge* g_now_ = nullptr;
+  obs::Gauge* g_degraded_ = nullptr;
 };
 
 }  // namespace otm

@@ -37,6 +37,29 @@ struct DpaConfig {
   /// registration beyond the budget fails -> software tag matching.
   std::size_t memory_budget_bytes = 3u * 1024u * 1024u;
 
+  /// DPA health watchdog (docs/RELIABILITY.md §5): demote traffic to the
+  /// host software-matching path when the accelerator looks sick —
+  /// sustained CQ pressure, stalled hart progress, or memory-budget
+  /// exhaustion — and re-promote only after `healthy_window` consecutive
+  /// clean ticks (hysteresis, so the route cannot flap).
+  struct Watchdog {
+    bool enabled = false;
+    /// Consecutive pressure ticks (receive CQ full or engine drops observed
+    /// by the endpoint) before demotion.
+    std::uint32_t pressure_streak = 4;
+    /// A single message whose modeled service time (finish - dispatch)
+    /// exceeds this many cycles counts a stall event; 0 disables stall
+    /// detection.
+    std::uint64_t stall_cycles = 0;
+    /// Stall events before demotion.
+    std::uint32_t stall_streak = 2;
+    /// Demote when register_comm() fails against the memory budget.
+    bool demote_on_memory_exhaustion = true;
+    /// Consecutive clean ticks before a demoted DPA offers re-promotion.
+    std::uint32_t healthy_window = 16;
+  };
+  Watchdog watchdog{};
+
   /// Compute-cost multiplier for `threads` resident block threads.
   std::uint64_t sharing_factor(unsigned threads) const noexcept {
     if (execution_units == 0) return 1;

@@ -116,10 +116,23 @@ Request Proc::isend(std::span<const std::byte> data, Rank dst, Tag tag,
                                                                   comm.id, data);
     if (!r.ok) {
       // Graceful degradation instead of a crash: the send was refused
-      // (receiver staging exhausted / CQ backpressure) or its reliable
-      // channel already failed. The request completes as failed; callers
-      // interrogate failed() / take_delivery_errors().
-      requests_[req.id].failed = true;
+      // (receiver staging exhausted / CQ backpressure), its reliable
+      // channel already failed, or the peer was declared Dead. The request
+      // completes as failed with a typed cause; callers interrogate
+      // failed() / request_error() / take_delivery_errors().
+      RequestState& rs = requests_[req.id];
+      rs.failed = true;
+      switch (r.outcome) {
+        case proto::Outcome::kPeerDead:
+          rs.error = RequestError::kPeerDead;
+          break;
+        case proto::Outcome::kFailed:
+          rs.error = RequestError::kDeliveryFailed;
+          break;
+        default:
+          rs.error = RequestError::kSendRefused;
+          break;
+      }
       ++stats_.send_failures;
     }
   } else {
@@ -178,8 +191,10 @@ Request Proc::irecv(std::span<std::byte> buf, Rank src, Tag tag,
 
   if (world_->options_.backend == Backend::kOffloadDpa) {
     auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
-    if (!ep.comm_registered(comm.id)) {
-      // Host software matching for non-offloaded communicators.
+    if (!ep.comm_registered(comm.id) || ep.dpa_degraded()) {
+      // Host software matching for non-offloaded communicators — and for
+      // every communicator while the DPA watchdog has demoted matching to
+      // the host (docs/RELIABILITY.md §5).
       const auto match = host_matcher_.post(spec, req.id);
       if (match.has_value()) {
         auto it = std::find_if(host_unexpected_.begin(), host_unexpected_.end(),
@@ -258,10 +273,27 @@ void Proc::drain_host_messages() {
   }
 }
 
+void Proc::repost_host(const MatchSpec& spec, std::uint64_t request_index) {
+  if (requests_[request_index].done) return;  // raced a cancel/completion
+  const auto match = host_matcher_.post(spec, request_index);
+  if (match.has_value()) {
+    auto it = std::find_if(host_unexpected_.begin(), host_unexpected_.end(),
+                           [&](const auto& p) { return p.first == *match; });
+    OTM_ASSERT(it != host_unexpected_.end());
+    complete_host_message(request_index, std::move(it->second));
+    host_unexpected_.erase(it);
+  }
+}
+
 void Proc::progress() {
   std::lock_guard lock(world_->mutex_);
   if (world_->options_.backend != Backend::kOffloadDpa) return;
   auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+  // Promotion gate: report whether this rank's host matching domain is
+  // empty, so the endpoint re-promotes a recovered DPA only when no
+  // matching state would be split across two live domains.
+  ep.note_host_drained(host_matcher_.posted_size() == 0 &&
+                       host_unexpected_.empty());
   for (const auto& c : ep.progress())
     handle_completion(c.cookie, c.env, c.bytes, true);
   if (ep.reliable()) {
@@ -270,7 +302,23 @@ void Proc::progress() {
       delivery_errors_.push_back(e);
     }
   }
+  // Watchdog demotion: receives evicted from the NIC re-enter the host
+  // matcher first (they predate everything host-queued). Drained host
+  // messages follow — migrated NIC unexpecteds lead that inbox — and
+  // cannot match the evicted receives (they were pairwise unmatchable on
+  // the NIC already). Finally, posts deferred by NIC flow control migrate
+  // host-side too: they are younger than every evicted receive and must
+  // observe the migrated unexpected store when they post.
+  for (const auto& er : ep.take_evicted_receives())
+    repost_host(er.spec, er.cookie);
   drain_host_messages();
+  if (ep.dpa_degraded()) {
+    while (!pending_posts_.empty()) {
+      const PendingPost p = pending_posts_.front();
+      pending_posts_.pop_front();
+      repost_host(p.spec, p.request_index);
+    }
+  }
   flush_pending_posts();
 }
 
@@ -290,8 +338,10 @@ bool Proc::cancel(Request req) {
       }
     }
     if (!withdrawn) {
+      // While the watchdog has matching demoted, NIC-registered comms'
+      // receives live in the host matcher (eviction moved them there).
       auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
-      withdrawn = ep.comm_registered(rs.spec.comm)
+      withdrawn = ep.comm_registered(rs.spec.comm) && !ep.dpa_degraded()
                       ? ep.cancel_receive(rs.spec.comm, req.id)
                       : host_matcher_.cancel_post(req.id);
     }
@@ -305,6 +355,48 @@ bool Proc::cancel(Request req) {
   return true;
 }
 
+std::size_t Proc::drain_peer(Rank peer) {
+  std::lock_guard lock(world_->mutex_);
+  std::size_t drained = 0;
+  for (std::uint64_t i = 0; i < requests_.size(); ++i) {
+    RequestState& rs = requests_[i];
+    if (rs.kind != RequestState::Kind::kRecv || rs.done) continue;
+    if (rs.spec.source != peer) continue;  // wildcards may still match others
+    bool withdrawn = false;
+    if (world_->options_.backend == Backend::kOffloadDpa) {
+      for (auto it = pending_posts_.begin(); it != pending_posts_.end(); ++it) {
+        if (it->request_index == i) {
+          pending_posts_.erase(it);
+          withdrawn = true;
+          break;
+        }
+      }
+      if (!withdrawn) {
+        auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+        withdrawn = ep.comm_registered(rs.spec.comm) && !ep.dpa_degraded()
+                        ? ep.cancel_receive(rs.spec.comm, i)
+                        : host_matcher_.cancel_post(i);
+      }
+    } else {
+      withdrawn = sw_matcher_->cancel_post(i);
+    }
+    if (!withdrawn) continue;  // already matched (completes normally)
+    rs.done = true;
+    rs.failed = true;
+    rs.error = RequestError::kPeerDead;
+    rs.status = {};
+    ++drained;
+  }
+  return drained;
+}
+
+bool Proc::peer_dead(Rank peer) const {
+  if (world_->options_.backend != Backend::kOffloadDpa) return false;
+  std::lock_guard lock(world_->mutex_);
+  return world_->endpoints_[static_cast<std::size_t>(rank_)]->peer_health(
+             peer) == proto::PeerHealth::kDead;
+}
+
 bool Proc::cancelled(Request req) {
   std::lock_guard lock(world_->mutex_);
   return state(req).cancelled;
@@ -313,6 +405,11 @@ bool Proc::cancelled(Request req) {
 bool Proc::failed(Request req) {
   std::lock_guard lock(world_->mutex_);
   return state(req).failed;
+}
+
+Proc::RequestError Proc::request_error(Request req) {
+  std::lock_guard lock(world_->mutex_);
+  return state(req).error;
 }
 
 std::vector<proto::DeliveryError> Proc::take_delivery_errors() {

@@ -29,6 +29,7 @@
 
 #include "baseline/list_matcher.hpp"
 #include "core/types.hpp"
+#include "util/assert.hpp"
 #include "obs/observability.hpp"
 #include "proto/endpoint.hpp"
 
@@ -145,6 +146,26 @@ class Proc {
   /// peer degrades the application gracefully instead of wedging it.
   bool failed(Request req);
 
+  /// Typed cause of a failed request (kNone while not failed).
+  enum class RequestError : std::uint8_t {
+    kNone,
+    kSendRefused,     ///< transient fabric refusal (RNR / CQ backpressure)
+    kDeliveryFailed,  ///< reliable channel failed (retry budget exhausted)
+    kPeerDead,        ///< peer declared Dead by the health state machine
+  };
+  RequestError request_error(Request req);
+
+  /// True when the endpoint's recovery state machine declared `peer` Dead
+  /// (offload backend only; the software backend has no fault model).
+  bool peer_dead(Rank peer) const;
+
+  /// Fault cleanup after a peer death: cancel every pending receive that
+  /// only `peer` could satisfy (non-wildcard source == peer). Each drained
+  /// request completes done + failed with RequestError::kPeerDead — its
+  /// buffer is released and wait() returns. Wildcard-source receives stay
+  /// posted (another peer may still match them). Returns the count drained.
+  std::size_t drain_peer(Rank peer);
+
   /// Non-blocking completion check; fills `status` when done.
   bool test(Request req, Status* status = nullptr);
   Status wait(Request req);
@@ -230,6 +251,7 @@ class Proc {
     MatchSpec spec{};
     std::uint64_t cookie = 0;
     bool failed = false;  ///< send refused or delivery budget exhausted
+    RequestError error = RequestError::kNone;  ///< typed cause when failed
   };
 
   struct PendingPost {
@@ -241,6 +263,9 @@ class Proc {
   RequestState& state(Request req);
   void validate_spec(const MatchSpec& spec, const CommInfo& info);
   void flush_pending_posts();
+  /// Post (or re-post, after a watchdog eviction) a receive into the host
+  /// matcher, completing it immediately against the host unexpected store.
+  void repost_host(const MatchSpec& spec, std::uint64_t request_index);
   void handle_completion(std::uint64_t cookie, const Envelope& env,
                          std::uint32_t bytes, bool offload_path);
   bool try_post_offload(const MatchSpec& spec, std::span<std::byte> buf,
@@ -292,6 +317,15 @@ class World {
   void run(const std::function<void(Proc&)>& program);
 
   const WorldOptions& options() const noexcept { return options_; }
+
+  /// Rank r's endpoint (offload backend only — asserted): operational and
+  /// test access to recovery counters and DPA watchdog state.
+  proto::Endpoint& endpoint(Rank r) {
+    OTM_ASSERT_MSG(options_.backend == Backend::kOffloadDpa &&
+                       r >= 0 && static_cast<std::size_t>(r) < endpoints_.size(),
+                   "endpoint() requires the offload backend and a valid rank");
+    return *endpoints_[static_cast<std::size_t>(r)];
+  }
 
   /// The world-owned observability context (null when options.obs is all
   /// off or the backend is software). Rank r's endpoint publishes under

@@ -64,6 +64,8 @@ void Endpoint::attach_observability(obs::Observability* obs,
       fab_ch_.corruptions = &reg->counter(p + ".fabric.corruptions");
       fab_ch_.holds = &reg->counter(p + ".fabric.holds");
       fab_ch_.forced_rnrs = &reg->counter(p + ".fabric.forced_rnrs");
+      fab_ch_.flap_drops = &reg->counter(p + ".fabric.flap_drops");
+      fab_ch_.qp_errors = &reg->counter(p + ".fabric.qp_errors");
     }
     publish_counters();
   }
@@ -81,6 +83,8 @@ void Endpoint::publish_counters() noexcept {
     fab_ch_.corruptions->set(s.corruptions);
     fab_ch_.holds->set(s.holds);
     fab_ch_.forced_rnrs->set(s.forced_rnrs);
+    fab_ch_.flap_drops->set(s.flap_drops);
+    fab_ch_.qp_errors->set(s.qp_errors);
   }
 }
 
@@ -131,6 +135,19 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   Channel* ch = nullptr;
   if (rel_active_ || co.enabled) {
     ch = &channel(dst, cls);
+    if (rel_active_) {
+      const auto ph = peer_health_.find(dst);
+      if (ph != peer_health_.end() && ph->second.health == PeerHealth::kDead) {
+        // The health state machine declared the peer Dead: fail fast with
+        // the typed outcome instead of the generic channel failure.
+        delivery_errors_.push_back({dst, ch->next_seq++, env,
+                                    static_cast<std::uint32_t>(data.size()), 0,
+                                    Outcome::kPeerDead});
+        ++counters_.messages_dropped;
+        publish_counters();
+        return {Outcome::kPeerDead, false, 0};
+      }
+    }
     if (rel_active_ && ch->failed) {
       // Graceful degradation: the channel is dead, so fail fast instead of
       // queueing work that can never complete.
@@ -208,7 +225,9 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   h.hash_tag = hashes.tag;
   if (rel_active_) {
     h.channel_seq = ch->next_seq++;
-    h.flags = kWireFlagReliable;
+    // Epoch 0 encodes to zero bits: the wire stays byte-identical until the
+    // channel's first recovery.
+    h.flags = kWireFlagReliable | wire_epoch_bits(ch->epoch);
   }
 
   // Rendezvous staging is RAII: if this send bails out before the fabric
@@ -295,6 +314,15 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
                  r.delivered ? 1u : 0u);
   }
   using FabricStatus = rdma::QueuePair::SendStatus;
+  if (r.status == FabricStatus::kQpError) {
+    // Unreliable path has no retransmit machinery to recover a QP error:
+    // surface a typed delivery failure (the QP stays errored until reset).
+    delivery_errors_.push_back({dst, 0, env,
+                                static_cast<std::uint32_t>(data.size()), 0});
+    ++counters_.messages_dropped;
+    publish_counters();
+    return {Outcome::kFailed, false, 0};
+  }
   if (r.status == FabricStatus::kRnr || r.status == FabricStatus::kCqFull) {
     if (r.status == FabricStatus::kRnr) {
       ++counters_.rnr_failures;
@@ -379,7 +407,7 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
   h.flags = kWireFlagMerged;
   if (rel_active_) {
     h.channel_seq = ch.next_seq++;
-    h.flags |= kWireFlagReliable;
+    h.flags |= kWireFlagReliable | wire_epoch_bits(ch.epoch);
   }
 
   std::vector<std::byte> packet(kHeaderBytes + h.payload_bytes);
@@ -421,9 +449,9 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
 
   const auto r = qp->second.post_send(packet, clock_ns_);
   using FabricStatus = rdma::QueuePair::SendStatus;
-  if (r.status == FabricStatus::kRnr || r.status == FabricStatus::kCqFull) {
-    // Receiver can't take the merged packet right now: keep the buffered
-    // sub-messages; the next flush trigger retries.
+  if (r.status != FabricStatus::kOk) {
+    // Receiver can't take the merged packet right now (or the QP errored):
+    // keep the buffered sub-messages; the next flush trigger retries.
     if (r.status == FabricStatus::kRnr) {
       ++counters_.rnr_failures;
     } else {
@@ -461,11 +489,23 @@ void Endpoint::try_transmit(ChannelKey key, Channel& ch) {
     if (in_flight >= rc.window_limit) break;
     const bool is_retry = p.sent;
     if (is_retry && p.retries >= rc.retry_budget) {
+      // Retry budget exhausted. With recovery enabled this is the hard
+      // evidence that starts a peer recovery (epoch bump + window replay)
+      // instead of a terminal channel failure.
+      if (recovery_active() && begin_recovery(key.first)) return;
       fail_channel(key, ch);
       return;
     }
     const auto r = qp->second.post_send(p.bytes, clock_ns_);
     using FabricStatus = rdma::QueuePair::SendStatus;
+    if (r.status == FabricStatus::kQpError) {
+      // The QP entered the error state: nothing posts until a reset. With
+      // recovery off the channel dies (the verbs semantics the reliability
+      // layer inherited); with recovery on, the reset is part of recovery.
+      if (recovery_active() && begin_recovery(key.first)) return;
+      fail_channel(key, ch);
+      return;
+    }
     if (r.status != FabricStatus::kOk) {
       // Receiver can't take anything right now (no WQE / CQ full): stall
       // the whole channel with exponential backoff instead of hammering it.
@@ -496,20 +536,20 @@ void Endpoint::try_transmit(ChannelKey key, Channel& ch) {
   }
 }
 
-void Endpoint::fail_channel(ChannelKey key, Channel& ch) {
+void Endpoint::fail_channel(ChannelKey key, Channel& ch, Outcome outcome) {
   ch.failed = true;
   for (auto& p : ch.window) {
     if (!p.subs.empty()) {
       // A merged packet fails as its individual messages: callers reason
       // about sends, not about the wire packing underneath them.
       for (const auto& sub : p.subs) {
-        delivery_errors_.push_back(
-            {key.first, p.seq, sub.env, sub.payload_bytes, p.retries});
+        delivery_errors_.push_back({key.first, p.seq, sub.env,
+                                    sub.payload_bytes, p.retries, outcome});
         ++counters_.messages_dropped;
       }
     } else {
       delivery_errors_.push_back(
-          {key.first, p.seq, p.env, p.payload_bytes, p.retries});
+          {key.first, p.seq, p.env, p.payload_bytes, p.retries, outcome});
       ++counters_.messages_dropped;
     }
     if (p.has_rkey) {
@@ -521,13 +561,101 @@ void Endpoint::fail_channel(ChannelKey key, Channel& ch) {
   ch.window.clear();
 }
 
+bool Endpoint::begin_recovery(Rank peer) {
+  PeerState& ps = peer_health_[peer];
+  if (ps.health == PeerHealth::kDead) return false;
+  if (ps.health == PeerHealth::kHealthy) {
+    ps.health = PeerHealth::kSuspect;
+    ++counters_.peers_suspected;
+  }
+  if (ps.attempts >= cfg_.recovery.max_attempts) {
+    mark_peer_dead(peer);
+    return false;
+  }
+  ++ps.attempts;
+  ps.health = PeerHealth::kRecovering;
+  ps.keepalive_misses = 0;
+  ps.probe_outstanding = false;
+  // Fence the fault domain: reset the QP (flushing in-flight WQEs), then
+  // recover every channel of the peer under a fresh epoch.
+  const auto qit = qps_.find(peer);
+  if (qit != qps_.end()) qit->second.reset();
+  for (auto it = channels_.lower_bound({peer, 0});
+       it != channels_.end() && it->first.first == peer; ++it)
+    recover_channel(it->first, it->second);
+  return true;
+}
+
+void Endpoint::recover_channel(ChannelKey key, Channel& ch) {
+  (void)key;
+  ch.rnr_strikes = 0;
+  if (ch.window.empty()) return;
+  // The epoch bump fences the old wire state: stale retransmits still in
+  // flight are discarded by the receiver, stale acks are ignored here. The
+  // seq space continues, so the receiver's dedup watermark keeps
+  // exactly-once through the replay.
+  ++ch.epoch;
+  ++counters_.epoch_bumps;
+  for (auto& p : ch.window) {
+    restamp_epoch(p.bytes, ch.epoch);
+    p.retries = 0;
+    p.sent = false;
+    p.rto_ns = cfg_.reliability.rto_ns;
+    p.next_retry_ns = 0;
+  }
+  // Quiesce: let in-flight stale packets drain before the replay starts.
+  ch.stall_until_ns = clock_ns_ + cfg_.recovery.quiesce_ns;
+}
+
+void Endpoint::mark_peer_dead(Rank peer) {
+  PeerState& ps = peer_health_[peer];
+  ps.health = PeerHealth::kDead;
+  for (auto it = channels_.lower_bound({peer, 0});
+       it != channels_.end() && it->first.first == peer; ++it) {
+    Channel& ch = it->second;
+    // Death is final: drain the coalescing buffer eagerly (fail_channel
+    // normally leaves it to the next flush) so every buffered sub-message
+    // reports kPeerDead now.
+    if (ch.buf_count != 0) {
+      for (std::uint32_t i = 0; i < ch.buf_count; ++i) {
+        delivery_errors_.push_back({peer, ch.next_seq++, ch.subs[i].env,
+                                    ch.subs[i].payload_bytes, 0,
+                                    Outcome::kPeerDead});
+        ++counters_.messages_dropped;
+      }
+      ch.buf_bytes = 0;
+      ch.buf_count = 0;
+    }
+    fail_channel(it->first, ch, Outcome::kPeerDead);
+  }
+}
+
+void Endpoint::note_peer_alive(Rank peer) {
+  const auto it = peer_health_.find(peer);
+  if (it == peer_health_.end()) return;
+  PeerState& ps = it->second;
+  ps.keepalive_misses = 0;
+  ps.probe_outstanding = false;
+  if (ps.health == PeerHealth::kRecovering) {
+    // First ack at the recovered epoch: the recovery worked.
+    ps.health = PeerHealth::kHealthy;
+    ps.attempts = 0;
+    ++counters_.recoveries_completed;
+  } else if (ps.health == PeerHealth::kSuspect) {
+    ps.health = PeerHealth::kHealthy;
+    ps.attempts = 0;
+  }
+}
+
 void Endpoint::handle_ack(Rank from, std::uint16_t channel_class,
-                          std::uint64_t cum_seq) {
+                          std::uint16_t epoch, std::uint64_t cum_seq) {
   SerialSection host(host_);
   const ChannelKey key{from, channel_class};
   const auto it = channels_.find(key);
   if (it == channels_.end()) return;
   Channel& ch = it->second;
+  if (epoch != ch.epoch) return;  // stale-epoch ack: fenced
+  if (recovery_active()) note_peer_alive(from);
   while (!ch.window.empty() && ch.window.front().seq < cum_seq) {
     ++counters_.acked_packets;
     ch.window.pop_front();
@@ -540,9 +668,22 @@ void Endpoint::handle_ack(Rank from, std::uint16_t channel_class,
   publish_counters();
 }
 
+void Endpoint::handle_ack(Rank from, std::uint16_t channel_class,
+                          std::uint64_t cum_seq) {
+  std::uint16_t epoch = 0;
+  {
+    SerialSection host(host_);
+    const auto it = channels_.find({from, channel_class});
+    if (it != channels_.end()) epoch = it->second.epoch;
+  }
+  handle_ack(from, channel_class, epoch, cum_seq);
+}
+
 Endpoint::PostResult Endpoint::post_receive(const MatchSpec& spec,
                                             std::span<std::byte> user,
                                             std::uint64_t cookie) {
+  // While watchdog-demoted every post belongs to the host matching path.
+  if (dpa_degraded_) return {Outcome::kFallback, {}};
   // Reserve a user-buffer slot first; index+1 travels in the descriptor.
   std::size_t idx;
   if (!free_user_buffers_.empty()) {
@@ -701,6 +842,131 @@ std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
   return done;
 }
 
+void Endpoint::send_keepalives() {
+  const RecoveryConfig& rc = cfg_.recovery;
+  for (auto& [peer, qp] : qps_) {
+    PeerState& ps = peer_health_[peer];
+    if (ps.health == PeerHealth::kDead) continue;
+    // Idle = no unacked window and no coalesced bytes on any channel of the
+    // peer; live traffic carries its own liveness evidence (acks).
+    bool idle = true;
+    for (auto it = channels_.lower_bound({peer, 0});
+         it != channels_.end() && it->first.first == peer; ++it) {
+      if (!it->second.window.empty() || it->second.buf_count != 0) {
+        idle = false;
+        break;
+      }
+    }
+    if (!idle) {
+      ps.probe_outstanding = false;
+      ps.next_keepalive_ns = clock_ns_ + rc.keepalive_idle_ns;
+      continue;
+    }
+    if (ps.next_keepalive_ns == 0) {
+      // First idle observation starts the probe clock.
+      ps.next_keepalive_ns = clock_ns_ + rc.keepalive_idle_ns;
+      continue;
+    }
+    if (clock_ns_ < ps.next_keepalive_ns) continue;
+    if (ps.probe_outstanding) {
+      // The previous probe went unanswered through a whole idle period.
+      ++ps.keepalive_misses;
+      if (ps.health == PeerHealth::kHealthy &&
+          ps.keepalive_misses >= rc.keepalive_miss_budget) {
+        ps.health = PeerHealth::kSuspect;
+        ++counters_.peers_suspected;
+      }
+      if (ps.keepalive_misses >= 2 * rc.keepalive_miss_budget) {
+        // Soft evidence exhausted: escalate to a recovery attempt (which
+        // eventually escalates to Dead via the attempts cap).
+        if (!begin_recovery(peer)) continue;
+        ps.next_keepalive_ns = clock_ns_ + rc.keepalive_idle_ns;
+        continue;
+      }
+    }
+    // Probe: a sealed reliable packet that carries no payload and consumes
+    // no sequence number — the receiver re-acks its watermark and drops it.
+    Channel& ch = channel(peer, 0);
+    WireHeader h;
+    h.source = rank_;
+    h.tag = 0;
+    h.comm = 0;
+    h.protocol = static_cast<std::uint8_t>(Protocol::kEager);
+    h.has_inline_hashes = 0;
+    h.channel_class = 0;
+    h.payload_bytes = 0;
+    h.inline_bytes = 0;
+    h.sender_seq = sender_seq_++;
+    h.channel_seq = ch.next_seq;  // informational: not consumed
+    h.flags =
+        kWireFlagReliable | kWireFlagKeepalive | wire_epoch_bits(ch.epoch);
+    std::vector<std::byte> packet(kHeaderBytes);
+    encode_header(h, packet);
+    seal_packet(packet);
+    qp.post_send(packet, clock_ns_);  // best-effort: a lost probe is a miss
+    ++counters_.keepalives_sent;
+    ps.probe_outstanding = true;
+    ps.next_keepalive_ns = clock_ns_ + rc.keepalive_idle_ns;
+  }
+}
+
+void Endpoint::demote_to_host() {
+  dpa_degraded_ = true;
+  ++counters_.watchdog_demotions;
+  std::vector<MatchEngine::DrainedReceive> pend;
+  std::vector<UnexpectedDescriptor> ums;
+  dpa_.drain_all(pend, ums);
+
+  // Stored unexpected messages migrate as host messages, globally ordered
+  // by wire_seq (the endpoint's delivery order) and PREPENDED to the inbox:
+  // everything NIC-resident predates anything already queued for the host.
+  std::sort(ums.begin(), ums.end(),
+            [](const UnexpectedDescriptor& a, const UnexpectedDescriptor& b) {
+              return a.wire_seq < b.wire_seq;
+            });
+  std::vector<HostMessage> inbox;
+  inbox.reserve(ums.size() + host_inbox_.size());
+  for (const auto& um : ums) {
+    HostMessage hm;
+    hm.env = um.env;
+    hm.wire_seq = um.wire_seq;
+    hm.protocol = um.protocol;
+    hm.payload_bytes = um.payload_bytes;
+    hm.arrival_ns = clock_ns_;
+    const auto pit = um_payloads_.find(um.wire_seq);
+    if (um.protocol == Protocol::kEager) {
+      OTM_ASSERT_MSG(pit != um_payloads_.end(), "missing unexpected payload");
+      hm.payload = std::move(pit->second);
+      um_payloads_.erase(pit);
+    } else {
+      // Drop the staged RTS inline fragment: the host path reads the whole
+      // payload through the sender's registered staging buffer.
+      if (pit != um_payloads_.end()) um_payloads_.erase(pit);
+      hm.remote_key = um.remote_key;
+      hm.remote_addr = um.remote_addr;
+    }
+    inbox.push_back(std::move(hm));
+  }
+  for (auto& hm : host_inbox_) inbox.push_back(std::move(hm));
+  host_inbox_ = std::move(inbox);
+
+  // Pending receives: release their user-buffer slots (mirroring
+  // cancel_receive) and surface {spec, cookie} for the caller to repost
+  // into its software matcher — per-comm posting order preserved, and NIC-
+  // resident receives can never have matched the evicted messages above
+  // (they coexisted unmatched), so the repost order between the two sets
+  // carries no matching semantics.
+  for (const auto& r : pend) {
+    if (r.buffer_addr != 0) {
+      const std::size_t idx = static_cast<std::size_t>(r.buffer_addr) - 1;
+      OTM_ASSERT(idx < user_buffers_.size() && user_buffers_[idx].live);
+      user_buffers_[idx].live = false;
+      free_user_buffers_.push_back(idx);
+    }
+    evicted_receives_.push_back({r.spec, r.cookie});
+  }
+}
+
 std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
   SerialSection host(host_);
   // Host attention is the coalescing backstop: whatever is buffered goes to
@@ -724,8 +990,19 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       clock_ns_ += cfg_.reliability.progress_tick_ns;
       for (auto& [key, ch] : channels_)
         if (!ch.window.empty()) try_transmit(key, ch);
+    } else if (recovery_active() && cfg_.recovery.keepalive_idle_ns != 0) {
+      // Keepalive mode keeps the modeled clock ticking on idle endpoints so
+      // probe deadlines can expire (off by default: byte-identity with the
+      // pre-recovery clock behavior).
+      clock_ns_ += cfg_.reliability.progress_tick_ns;
     }
+    if (recovery_active() && cfg_.recovery.keepalive_idle_ns != 0)
+      send_keepalives();
   }
+
+  // Watchdog evidence, sampled before the drain empties the CQ.
+  const bool cq_pressure = cq_.full();
+  const std::uint64_t drops_before = counters_.engine_drops;
 
   // Drain staged completions into engine-facing descriptors, assembling the
   // full matching block in one pass over the CQ. The batch scratch is
@@ -736,7 +1013,11 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
   std::vector<std::uint64_t>& arrivals = ingress_arrivals_;
   msgs.clear();
   arrivals.clear();
-  std::map<ChannelKey, std::uint64_t> ack_peers;  ///< channel -> cum. ack
+  struct AckVal {
+    std::uint16_t epoch = 0;
+    std::uint64_t cum = 0;
+  };
+  std::map<ChannelKey, AckVal> ack_peers;  ///< channel -> (epoch, cum. ack)
 
   const auto accept = [&](const WireHeader& h, std::uint64_t wr_id,
                           std::uint64_t arrival_ns) {
@@ -777,7 +1058,7 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
         const double sub_arrival_ns =
             static_cast<double>(arrival_ns) +
             static_cast<double>(i + 1) * unpack;
-        if (!dpa_.comm_registered(sh.comm)) {
+        if (dpa_degraded_ || !dpa_.comm_registered(sh.comm)) {
           HostMessage hm;
           hm.env = {h.source, sh.tag, sh.comm};
           hm.wire_seq = rx_delivery_seq_++;
@@ -804,7 +1085,7 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       }
       return;
     }
-    if (!dpa_.comm_registered(h.comm)) {
+    if (dpa_degraded_ || !dpa_.comm_registered(h.comm)) {
       HostMessage hm;
       hm.env = {h.source, h.tag, h.comm};
       hm.wire_seq = rx_delivery_seq_++;
@@ -865,13 +1146,39 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
 
     const ChannelKey rx_key{h.source, h.channel_class};
     ChannelRx& rx = rx_channels_[rx_key];
+    const std::uint16_t pkt_epoch = wire_epoch(h.flags);
+    if ((h.flags & kWireFlagKeepalive) != 0) {
+      // Liveness probe: no payload, no sequence consumption. Adopt a newer
+      // epoch and re-ack the current watermark — the evidence the sender's
+      // peer-health machine is waiting for.
+      if (pkt_epoch > rx.epoch) rx.epoch = pkt_epoch;
+      ack_peers[rx_key] = {rx.epoch, rx.next_expected};
+      recycle_bounce(cqe->wr_id);
+      continue;
+    }
+    if (pkt_epoch < rx.epoch) {
+      // Stale retransmit from before the sender's recovery: fence it (the
+      // replayed copy carries the live epoch) but re-ack so a confused
+      // sender stops resending.
+      ++counters_.dup_discards;
+      recycle_bounce(cqe->wr_id);
+      ack_peers[rx_key] = {rx.epoch, rx.next_expected};
+      continue;
+    }
+    if (pkt_epoch > rx.epoch) {
+      // Recovery replay reached us: adopt the new epoch. The watermark and
+      // the ooo stash survive — the seq space continues across epochs, so
+      // stashed packets are either still-valid futures or harmless
+      // duplicates of the replay.
+      rx.epoch = pkt_epoch;
+    }
     if (h.channel_seq < rx.next_expected ||
         rx.ooo.find(h.channel_seq) != rx.ooo.end()) {
       // Duplicate (fabric dup or retransmit racing an in-flight ack):
       // discard, but re-ack so the sender stops resending.
       ++counters_.dup_discards;
       recycle_bounce(cqe->wr_id);
-      ack_peers[rx_key] = rx.next_expected;
+      ack_peers[rx_key] = {rx.epoch, rx.next_expected};
       continue;
     }
     if (h.channel_seq > rx.next_expected) {
@@ -900,7 +1207,7 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       ++rx.next_expected;
       sit = rx.ooo.find(rx.next_expected);
     }
-    ack_peers[rx_key] = rx.next_expected;
+    ack_peers[rx_key] = {rx.epoch, rx.next_expected};
   }
 
   std::vector<RecvCompletion> completions;
@@ -938,11 +1245,30 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
     }
   }
 
+  // One watchdog tick per progress call: CQ pressure and engine drops are
+  // the endpoint-observable sickness evidence. Demotion evicts the NIC
+  // domain in one shot; promotion waits for the accelerator's healthy
+  // window AND an empty host domain (both inboxes + the caller's hint), so
+  // matching order is never split across two live domains.
+  if (dpa_.watchdog_enabled()) {
+    dpa_.watchdog_tick(cq_pressure ||
+                       counters_.engine_drops != drops_before);
+    if (dpa_.degraded() && !dpa_degraded_) {
+      demote_to_host();
+    } else if (dpa_degraded_ && dpa_.promotable() && host_drained_hint_ &&
+               host_inbox_.empty() && evicted_receives_.empty()) {
+      dpa_.promote();
+      dpa_degraded_ = false;
+      ++counters_.degraded_windows;
+    }
+  }
+
   // Cumulative acks ride the progress call (the modeled piggyback path);
   // ack loss is harmless — the next retransmit just gets deduplicated.
-  for (const auto& [key, cum] : ack_peers) {
+  for (const auto& [key, ack] : ack_peers) {
     const auto pit = peers_.find(key.first);
-    if (pit != peers_.end()) pit->second->handle_ack(rank_, key.second, cum);
+    if (pit != peers_.end())
+      pit->second->handle_ack(rank_, key.second, ack.epoch, ack.cum);
   }
 
   if (obs_ != nullptr) {

@@ -52,6 +52,27 @@ struct ReliabilityConfig {
                                          ///< with unacked traffic (drives RTOs)
 };
 
+/// Fault-domain recovery (docs/RELIABILITY.md §5). Off by default: retry-
+/// budget exhaustion then stays a terminal channel failure, byte-identical
+/// to the pre-recovery behavior. Enabled, an exhausted budget (or a QP
+/// error) instead quiesces the peer's channels, resets the QP, bumps each
+/// windowed channel's epoch and replays its unacked packets under the new
+/// epoch — stale retransmits and acks from the old epoch are fenced on both
+/// sides, so exactly-once and per-(peer,tag) FIFO survive the recovery.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Consecutive failed recoveries before the peer is declared Dead
+  /// (resets whenever an ack lands at the current epoch).
+  std::uint32_t max_attempts = 4;
+  /// Channel stall after a recovery, letting in-flight stale packets drain.
+  std::uint64_t quiesce_ns = 2'000;
+  /// Probe idle channels for liveness every this many ns (0 = no probes).
+  std::uint64_t keepalive_idle_ns = 0;
+  /// Unanswered probes before the peer turns Suspect; twice this budget
+  /// triggers a recovery attempt.
+  std::uint32_t keepalive_miss_budget = 4;
+};
+
 /// Merged-message coalescing (docs/COALESCING.md): small eager sends to the
 /// same (peer, tag-class) channel are packed into one CRC-sealed kMerged
 /// wire message and unpacked at the receiver before matching. Flush
@@ -100,6 +121,7 @@ struct EndpointConfig {
   bool rts_inline_data = false;
 
   ReliabilityConfig reliability{};
+  RecoveryConfig recovery{};
   CoalescingConfig coalescing{};
 
   std::size_t bounce_bytes() const noexcept {
@@ -129,6 +151,21 @@ enum class Outcome : std::uint8_t {
   kBackpressure,  ///< receiver CQ full (unreliable path); retry later
   kFallback,      ///< NIC out of descriptors: caller must match in software
   kFailed,        ///< reliable channel failed: see take_delivery_errors()
+  kPeerDead,      ///< peer declared Dead by the health state machine
+};
+
+/// Per-peer health (docs/RELIABILITY.md §5). Healthy peers carry traffic;
+/// hard delivery evidence (retry-budget exhaustion, QP errors) or a missed
+/// keepalive budget turns a peer Suspect, a recovery attempt makes it
+/// Recovering, and the first ack at the recovered epoch returns it to
+/// Healthy. `RecoveryConfig::max_attempts` consecutive failed recoveries
+/// declare the peer Dead — terminal: its channels fail with kPeerDead and
+/// new sends fail fast.
+enum class PeerHealth : std::uint8_t {
+  kHealthy,
+  kSuspect,
+  kRecovering,
+  kDead,
 };
 
 /// Typed failure surfaced when the reliable-delivery retry budget is
@@ -326,13 +363,33 @@ class Endpoint {
 
   /// Peer-side notification: cumulative ack for every channel_seq < cum_seq
   /// on the (peer, tag-class) channel (piggybacked on the receiver's
-  /// progress, the modeled ack path).
+  /// progress, the modeled ack path). `epoch` is the receiver's view of the
+  /// channel epoch; acks from a stale epoch are fenced — harmless, since the
+  /// recovery replay provokes fresh acks at the new epoch.
+  void handle_ack(Rank from, std::uint16_t channel_class, std::uint16_t epoch,
+                  std::uint64_t cum_seq);
+
+  /// Epoch-less compatibility overload: acks at the channel's current epoch.
   void handle_ack(Rank from, std::uint16_t channel_class,
                   std::uint64_t cum_seq);
 
   [[deprecated("pass the channel class; this overload acks class 0")]]
   void handle_ack(Rank from, std::uint64_t cum_seq) {
     handle_ack(from, /*channel_class=*/0, cum_seq);
+  }
+
+  /// Health of `peer` as seen by the recovery state machine (kHealthy for
+  /// peers with no recorded events, including unconnected ones).
+  PeerHealth peer_health(Rank peer) const noexcept {
+    SerialSection host(host_);
+    const auto it = peer_health_.find(peer);
+    return it == peer_health_.end() ? PeerHealth::kHealthy : it->second.health;
+  }
+
+  /// True when the fault-recovery machinery is live (reliable sublayer
+  /// active AND RecoveryConfig::enabled).
+  bool recovery_active() const noexcept {
+    return rel_active_ && cfg_.recovery.enabled;
   }
 
   /// Peer notification that its rendezvous buffer `rkey` was fully read
@@ -370,6 +427,41 @@ class Endpoint {
   /// Messages accumulated for host-side matching since the last call.
   std::vector<HostMessage> take_host_messages() {
     return std::exchange(host_inbox_, {});
+  }
+
+  // --- DPA watchdog degradation (docs/RELIABILITY.md §5) ------------------
+  // When the accelerator's watchdog demotes, the endpoint evicts all NIC-
+  // resident matching state in one shot: stored unexpected messages migrate
+  // into the host inbox (ahead of anything already there — they are older),
+  // and pending receives surface through take_evicted_receives() for the
+  // caller to repost into its software matcher. While degraded, post_receive
+  // returns kFallback and every arrival routes to the host inbox. Promotion
+  // happens only once the accelerator reports a clean healthy window AND the
+  // caller has confirmed (note_host_drained) that the host matching domain
+  // is empty — matching order is never split across two live domains.
+
+  /// True while arrivals and posts are routed to the host matching path.
+  bool dpa_degraded() const noexcept { return dpa_degraded_; }
+
+  /// A pending receive evicted from the NIC by a watchdog demotion, in
+  /// posting order per communicator. The user-buffer slot is already freed;
+  /// the caller reposts into its own software matcher.
+  struct EvictedReceive {
+    MatchSpec spec{};
+    std::uint64_t cookie = 0;
+  };
+
+  /// Receives evicted by demotions since the last call.
+  std::vector<EvictedReceive> take_evicted_receives() {
+    SerialSection host(host_);
+    return std::exchange(evicted_receives_, {});
+  }
+
+  /// Caller's promotion gate: report whether its host matching domain
+  /// (software-posted receives + unexpected queue) is empty. Raw-endpoint
+  /// users with no host matcher leave the hint at its default (drained).
+  void note_host_drained(bool drained) noexcept {
+    host_drained_hint_ = drained;
   }
 
   /// Host-side rendezvous completion: RDMA-read the sender's buffer.
@@ -411,7 +503,13 @@ class Endpoint {
   X(flushes_by_size) /* byte-budget / message-count flushes */      \
   X(flushes_by_deadline) /* oldest buffered message aged out */     \
   X(flushes_by_doorbell) /* progress() swept the channels */        \
-  X(flushes_by_order) /* ineligible send flushed first (FIFO) */
+  X(flushes_by_order) /* ineligible send flushed first (FIFO) */    \
+  X(epoch_bumps) /* channel recoveries: epoch advanced + replayed */ \
+  X(keepalives_sent) /* idle-channel liveness probes */             \
+  X(peers_suspected) /* Healthy -> Suspect transitions */           \
+  X(recoveries_completed) /* Recovering -> Healthy (new-epoch ack) */ \
+  X(degraded_windows) /* demotion windows closed by a promotion */  \
+  X(watchdog_demotions) /* DPA -> host matching demotions */
 
   struct Counters {
 #define OTM_X(field) std::uint64_t field = 0;
@@ -434,6 +532,8 @@ class Endpoint {
     obs::Counter* corruptions = nullptr;
     obs::Counter* holds = nullptr;
     obs::Counter* forced_rnrs = nullptr;
+    obs::Counter* flap_drops = nullptr;
+    obs::Counter* qp_errors = nullptr;
   };
   void publish_counters() noexcept;
 
@@ -477,6 +577,10 @@ class Endpoint {
     std::uint64_t stall_until_ns = 0;  ///< RNR/backpressure backoff gate
     std::uint32_t rnr_strikes = 0;
     bool failed = false;  ///< retry budget exhausted; channel is dead
+    /// Recovery epoch carried in the wire flags (high 16 bits): bumped per
+    /// recovery; the seq space continues across epochs, so the receiver's
+    /// dedup watermark keeps exactly-once through the replay.
+    std::uint16_t epoch = 0;
 
     // Coalescing buffer: a kMerged body under construction. `buf` is sized
     // once to the full body budget so the per-send append path never
@@ -490,6 +594,9 @@ class Endpoint {
 
   struct ChannelRx {
     std::uint64_t next_expected = 0;  ///< cumulative-ack watermark
+    /// Highest sender epoch seen; packets from older epochs are stale
+    /// retransmits fenced (re-acked + discarded) here.
+    std::uint16_t epoch = 0;
     /// Out-of-order packets parked in their bounce buffers, keyed by seq.
     struct Stashed {
       std::uint64_t bounce_handle = 0;
@@ -526,7 +633,37 @@ class Endpoint {
   void flush_all(FlushReason why) OTM_REQUIRES(host_);
 
   void try_transmit(ChannelKey key, Channel& ch) OTM_REQUIRES(host_);
-  void fail_channel(ChannelKey key, Channel& ch) OTM_REQUIRES(host_);
+  void fail_channel(ChannelKey key, Channel& ch,
+                    Outcome outcome = Outcome::kFailed) OTM_REQUIRES(host_);
+
+  // --- Fault-domain recovery (docs/RELIABILITY.md §5) ---------------------
+
+  /// Per-peer health record of the recovery state machine.
+  struct PeerState {
+    PeerHealth health = PeerHealth::kHealthy;
+    std::uint32_t attempts = 0;  ///< consecutive failed recoveries
+    std::uint32_t keepalive_misses = 0;
+    std::uint64_t next_keepalive_ns = 0;
+    bool probe_outstanding = false;
+  };
+
+  /// Hard-evidence entry point (retry-budget exhaustion / QP error): start
+  /// a recovery of every windowed channel to `peer`. Returns false when the
+  /// peer is (or just became) Dead — the caller then fails the channel.
+  bool begin_recovery(Rank peer) OTM_REQUIRES(host_);
+  /// One channel's recovery: bump the epoch, restamp + rewind the window
+  /// for replay, quiesce the channel while stale packets drain.
+  void recover_channel(ChannelKey key, Channel& ch) OTM_REQUIRES(host_);
+  /// Terminal transition: fail every channel to `peer` with kPeerDead.
+  void mark_peer_dead(Rank peer) OTM_REQUIRES(host_);
+  /// Ack-derived liveness: clear keepalive debt; close a recovery window.
+  void note_peer_alive(Rank peer) OTM_REQUIRES(host_);
+  /// Probe idle peers for liveness; escalate unanswered probes.
+  void send_keepalives() OTM_REQUIRES(host_);
+
+  /// Watchdog demotion: evict all NIC-resident matching state into the
+  /// host domain (host_inbox_ + evicted_receives_) and flip the route.
+  void demote_to_host() OTM_REQUIRES(host_);
 
   RecvCompletion complete_matched(const ArrivalOutcome& o);
   RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
@@ -599,6 +736,14 @@ class Endpoint {
   std::map<ChannelKey, ChannelRx> rx_channels_ OTM_GUARDED_BY(host_);
   std::vector<DeliveryError> delivery_errors_ OTM_GUARDED_BY(host_);
   std::uint64_t rx_delivery_seq_ = 0;  ///< matcher-facing wire_seq source
+
+  /// Peer-health records of the recovery state machine (absent = Healthy).
+  std::map<Rank, PeerState> peer_health_ OTM_GUARDED_BY(host_);
+
+  /// DPA watchdog degradation: route flip + demotion eviction output.
+  bool dpa_degraded_ = false;
+  bool host_drained_hint_ = true;  ///< caller's host matching domain empty
+  std::vector<EvictedReceive> evicted_receives_ OTM_GUARDED_BY(host_);
 
   obs::Observability* obs_ = nullptr;
   CounterHandles ch_{};

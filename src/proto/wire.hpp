@@ -49,6 +49,30 @@ inline constexpr std::uint32_t kWireFlagReliable = 1u << 0;
 /// matching runs; envelope order inside the table is the send order.
 inline constexpr std::uint32_t kWireFlagMerged = 1u << 1;
 
+/// Keepalive probe (fault recovery, docs/RELIABILITY.md): a sealed, reliable
+/// packet that carries no payload and consumes no channel sequence number.
+/// The receiver re-acks its current watermark and discards the packet —
+/// liveness evidence for the peer-health state machine on idle channels.
+inline constexpr std::uint32_t kWireFlagKeepalive = 1u << 2;
+
+/// The channel epoch (fault recovery) rides in the high 16 bits of `flags`,
+/// so epoch 0 — every channel before its first recovery — leaves the wire
+/// bytes exactly what they were before epochs existed. A recovery bumps the
+/// sender's epoch and replays the window under it; receivers fence anything
+/// from an older epoch (stale retransmits) and senders fence stale acks.
+inline constexpr unsigned kWireEpochShift = 16;
+inline constexpr std::uint32_t kWireEpochMask = 0xFFFF'0000u;
+
+/// Extract the channel epoch from a header's flags word.
+inline constexpr std::uint16_t wire_epoch(std::uint32_t flags) noexcept {
+  return static_cast<std::uint16_t>(flags >> kWireEpochShift);
+}
+
+/// Flag bits encoding `epoch` (OR into the rest of the flags).
+inline constexpr std::uint32_t wire_epoch_bits(std::uint16_t epoch) noexcept {
+  return static_cast<std::uint32_t>(epoch) << kWireEpochShift;
+}
+
 static_assert(std::is_trivially_copyable_v<WireHeader>);
 inline constexpr std::size_t kHeaderBytes = sizeof(WireHeader);
 
@@ -111,6 +135,23 @@ inline void seal_packet(std::span<std::byte> packet) noexcept {
   const std::uint32_t crc = packet_crc(packet);
   std::memcpy(packet.data() + offsetof(WireHeader, header_crc), &crc,
               sizeof(crc));
+}
+
+/// Re-stamp a sealed packet with a new channel epoch and re-seal it
+/// (recovery replay: the replayed bytes stay identical except for the epoch
+/// bits and the CRC covering them).
+inline void restamp_epoch(std::span<std::byte> packet,
+                          std::uint16_t epoch) noexcept {
+  OTM_ASSERT(packet.size() >= kHeaderBytes);
+  constexpr std::size_t flags_off = offsetof(WireHeader, flags);
+  std::uint32_t flags = 0;
+  std::memcpy(&flags, packet.data() + flags_off, sizeof(flags));
+  flags = (flags & ~kWireEpochMask) | wire_epoch_bits(epoch);
+  std::memcpy(packet.data() + flags_off, &flags, sizeof(flags));
+  constexpr std::uint32_t zero = 0;
+  std::memcpy(packet.data() + offsetof(WireHeader, header_crc), &zero,
+              sizeof(zero));
+  seal_packet(packet);
 }
 
 /// Verify a received packet against its embedded CRC.

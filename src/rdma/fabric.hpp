@@ -142,10 +142,18 @@ class QueuePair {
   std::size_t posted_recvs() const noexcept { return srq_->size(); }
 
   enum class SendStatus : std::uint8_t {
-    kOk,      ///< accepted by the fabric (delivery not guaranteed under faults)
-    kRnr,     ///< receiver-not-ready: no receive WQE posted
-    kCqFull,  ///< receiver CQ full: backpressure, nothing was consumed
+    kOk,       ///< accepted by the fabric (delivery not guaranteed under faults)
+    kRnr,      ///< receiver-not-ready: no receive WQE posted
+    kCqFull,   ///< receiver CQ full: backpressure, nothing was consumed
+    kQpError,  ///< QP is in the error state: every post fails until reset()
   };
+
+  /// Explicit QP error lifecycle (IB verbs RTS -> ERR -> RESET -> RTS,
+  /// collapsed to the three states the simulation distinguishes). A QP
+  /// enters kError via the fault injector's forced QP errors or fail();
+  /// while errored every post_send returns kQpError. reset() walks
+  /// kError -> kDraining -> kReady, flushing in-flight WQEs.
+  enum class State : std::uint8_t { kReady, kError, kDraining };
 
   struct SendResult {
     SendStatus status = SendStatus::kRnr;
@@ -164,7 +172,12 @@ class QueuePair {
   SendResult post_send(std::span<const std::byte> data, std::uint64_t send_ns) {
     SerialSection qp(serial_);
     OTM_ASSERT_MSG(peer_ != nullptr, "QP not connected");
+    if (state_ != State::kReady) return {SendStatus::kQpError, false, 0, 0};
     FaultInjector* fi = fabric_->injector();
+    if (fi != nullptr && fi->forced_qp_error(node_, peer_->node_)) {
+      state_ = State::kError;
+      return {SendStatus::kQpError, false, 0, 0};
+    }
     if (fi != nullptr && fi->forced_rnr(node_, peer_->node_))
       return {SendStatus::kRnr, false, 0, 0};
 
@@ -195,6 +208,36 @@ class QueuePair {
     flush_held(send_ns);
     return result;
   }
+
+  /// Current lifecycle state. Reads race nothing: all QP calls run on the
+  /// owning endpoint's driver thread (the serial_ contract below).
+  State state() const noexcept { return state_; }
+
+  /// Force the QP into the error state (peer teardown, tests, upper-layer
+  /// fencing). Idempotent.
+  void fail() noexcept {
+    SerialSection qp(serial_);
+    state_ = State::kError;
+  }
+
+  /// Recover an errored QP: kError -> kDraining -> kReady. In-flight WQEs
+  /// (the held/reordered packets still owned by this QP) are flushed — the
+  /// modeled analogue of flushed-error CQEs on the send queue; since sends
+  /// complete synchronously here, the flush reduces to dropping them and
+  /// counting `flushed_wqes()`. Returns the number flushed. Callable from
+  /// any state (a ready QP just drains its held packets).
+  std::size_t reset() {
+    SerialSection qp(serial_);
+    state_ = State::kDraining;
+    const std::size_t flushed = held_.size();
+    held_.clear();
+    flushed_wqes_ += flushed;
+    state_ = State::kReady;
+    return flushed;
+  }
+
+  /// Total WQEs flushed as errors across every reset() of this QP.
+  std::uint64_t flushed_wqes() const noexcept { return flushed_wqes_; }
 
   /// One-sided read from the peer's registered memory into `dst`.
   /// Returns the completion time (round trip + serialization).
@@ -264,6 +307,11 @@ class QueuePair {
   /// contract a real provider imposes on an unlocked QP).
   SerialDomain serial_;
   std::deque<Held> held_ OTM_GUARDED_BY(serial_);
+  /// Lifecycle state; mutated only inside serial sections, read by the same
+  /// driver thread (unannotated for the accessor, same phase discipline as
+  /// the rest of the QP).
+  State state_ = State::kReady;
+  std::uint64_t flushed_wqes_ = 0;
 };
 
 }  // namespace otm::rdma

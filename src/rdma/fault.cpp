@@ -20,6 +20,19 @@ bool FaultInjector::forced_rnr(NodeId src, NodeId dst) {
   return refused;
 }
 
+bool FaultInjector::forced_qp_error(NodeId src, NodeId dst) {
+  const bool periodic = cfg_.qp_error_period != 0;
+  if (!periodic && cfg_.qp_error_probability <= 0.0) return false;
+  LinkState& l = link(src, dst);
+  const std::uint64_t n = ++l.posts;
+  bool hit = periodic && (n % cfg_.qp_error_period) == 0;
+  if (!hit && cfg_.qp_error_probability > 0.0 &&
+      l.rng.uniform() < cfg_.qp_error_probability)
+    hit = true;
+  if (hit) ++stats_.qp_errors;
+  return hit;
+}
+
 FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst) {
   LinkState& l = link(src, dst);
   const std::uint64_t pos = l.packets++;
@@ -30,6 +43,23 @@ FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst) {
   if (pos < cfg_.drop_first + cfg_.corrupt_first) {
     ++stats_.corruptions;
     return Fate::kCorrupt;
+  }
+  // Temporally-correlated flap windows come before the i.i.d. fates: within
+  // a down-window the link drops everything. The episode draw only runs when
+  // flaps are configured, so legacy configs keep byte-identical RNG streams.
+  bool flapped = cfg_.flap_period != 0 && cfg_.flap_down != 0 &&
+                 (pos % cfg_.flap_period) < cfg_.flap_down;
+  if (!flapped && pos < l.flap_until) flapped = true;
+  if (!flapped && cfg_.flap_probability > 0.0 &&
+      l.rng.uniform() < cfg_.flap_probability) {
+    const std::uint32_t len = cfg_.flap_length == 0 ? 1 : cfg_.flap_length;
+    l.flap_until = pos + 1 + l.rng.below(len);
+    flapped = true;
+  }
+  if (flapped) {
+    ++stats_.flap_drops;
+    ++stats_.drops;
+    return Fate::kDrop;
   }
   const double u = l.rng.uniform();
   double edge = cfg_.drop_probability;

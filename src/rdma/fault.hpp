@@ -36,6 +36,23 @@ struct FaultConfig {
   /// the probabilistic model takes over.
   std::uint32_t drop_first = 0;
   std::uint32_t corrupt_first = 0;
+
+  /// Temporally-correlated link flaps: unlike the i.i.d. fates above, a flap
+  /// opens a down-window on one directed link during which *every* packet is
+  /// dropped, then the link heals. Deterministic flavor: the first
+  /// `flap_down` packets of every `flap_period`-packet cycle drop.
+  /// Probabilistic flavor: each delivered position opens a down-window of
+  /// 1..flap_length packets with `flap_probability`.
+  std::uint32_t flap_period = 0;   ///< packets per flap cycle (0 = off)
+  std::uint32_t flap_down = 0;     ///< packets dropped opening each cycle
+  double flap_probability = 0.0;   ///< chance a packet opens a down-window
+  std::uint32_t flap_length = 8;   ///< max packets per probabilistic window
+
+  /// Forced QP errors: the transport-level failure class (IBV_WC_RETRY_EXC
+  /// and friends) that moves a QueuePair into the error state until the
+  /// owner resets it. Drawn per post, before the per-packet fates.
+  std::uint32_t qp_error_period = 0;   ///< every Nth post errors (0 = off)
+  double qp_error_probability = 0.0;   ///< chance any post errors the QP
 };
 
 class FaultInjector {
@@ -49,6 +66,12 @@ class FaultInjector {
   /// then refuses the send exactly as an empty SRQ would.
   bool forced_rnr(NodeId src, NodeId dst);
 
+  /// True when the next post on link (src -> dst) must move the sending
+  /// QueuePair into the error state (transport retry exceeded / fatal NAK).
+  /// Drawn per post from its own position counter so enabling QP errors
+  /// leaves the per-packet fate stream untouched.
+  bool forced_qp_error(NodeId src, NodeId dst);
+
   /// Draw the fate of the next packet on link (src -> dst).
   Fate next_fate(NodeId src, NodeId dst);
 
@@ -60,11 +83,13 @@ class FaultInjector {
   void corrupt(NodeId src, NodeId dst, std::span<std::byte> packet);
 
   struct Stats {
-    std::uint64_t drops = 0;
+    std::uint64_t drops = 0;        ///< includes flap_drops
     std::uint64_t duplicates = 0;
     std::uint64_t corruptions = 0;
     std::uint64_t holds = 0;
     std::uint64_t forced_rnrs = 0;
+    std::uint64_t flap_drops = 0;   ///< drops attributed to a down-window
+    std::uint64_t qp_errors = 0;    ///< forced QP error-state transitions
   };
   const Stats& stats() const noexcept { return stats_; }
   const FaultConfig& config() const noexcept { return cfg_; }
@@ -73,8 +98,10 @@ class FaultInjector {
   struct LinkState {
     explicit LinkState(std::uint64_t seed) : rng(seed) {}
     Xoshiro256 rng;
-    std::uint64_t attempts = 0;  ///< forced-RNR phase counter
-    std::uint64_t packets = 0;   ///< drop_first / corrupt_first positions
+    std::uint64_t attempts = 0;    ///< forced-RNR phase counter
+    std::uint64_t packets = 0;     ///< drop_first / corrupt_first positions
+    std::uint64_t posts = 0;       ///< forced-QP-error phase counter
+    std::uint64_t flap_until = 0;  ///< packets below this position drop
   };
   LinkState& link(NodeId src, NodeId dst);
 

@@ -147,6 +147,98 @@ TEST(MpiCancel, HostPathCommCancel) {
   EXPECT_TRUE(world.proc(1).cancelled(req));
 }
 
+// --- Peer death at the request layer (docs/RELIABILITY.md §5) ----------------
+
+/// Black-hole fabric with a tight retry/attempt budget: the first send
+/// escalates through recovery to a Dead peer in a few hundred ticks.
+mpi::WorldOptions black_hole_world() {
+  mpi::WorldOptions opt;
+  opt.fabric.fault.enabled = true;
+  opt.fabric.fault.drop_probability = 1.0;
+  opt.endpoint.reliability.rto_ns = 500;
+  opt.endpoint.reliability.rto_max_ns = 4'000;
+  opt.endpoint.reliability.progress_tick_ns = 100;
+  opt.endpoint.reliability.retry_budget = 2;
+  opt.endpoint.recovery.enabled = true;
+  opt.endpoint.recovery.max_attempts = 2;
+  opt.endpoint.recovery.quiesce_ns = 200;
+  return opt;
+}
+
+TEST(MpiPeerDeath, SendsFailFastWithTypedErrorAndFreeStaging) {
+  mpi::World world(2, black_hole_world());
+  const mpi::Comm comm = world.proc(0).world_comm();
+  auto& p0 = world.proc(0);
+
+  // A rendezvous-sized send into the black hole: queued at first, then the
+  // recovery attempts burn out and the peer is declared Dead.
+  const auto req = p0.isend(std::vector<std::byte>(2048), 1, 0, comm);
+  EXPECT_FALSE(p0.failed(req)) << "queued reliably at first";
+  for (int i = 0; i < 2000 && !p0.peer_dead(1); ++i) p0.progress();
+  ASSERT_TRUE(p0.peer_dead(1));
+
+  const auto errs = p0.take_delivery_errors();
+  ASSERT_FALSE(errs.empty());
+  for (const auto& e : errs) {
+    EXPECT_EQ(e.peer, 1);
+    EXPECT_EQ(e.outcome, proto::Outcome::kPeerDead);
+  }
+  EXPECT_EQ(world.endpoint(0).pending_rendezvous(), 0u)
+      << "peer death leaked the staged rendezvous payload";
+
+  // New sends to the dead peer fail fast with the typed request error.
+  const auto req2 = p0.isend(std::vector<std::byte>(64), 1, 0, comm);
+  EXPECT_TRUE(p0.failed(req2));
+  EXPECT_EQ(p0.request_error(req2), mpi::Proc::RequestError::kPeerDead);
+  EXPECT_EQ(p0.request_error(req), mpi::Proc::RequestError::kNone)
+      << "the already-completed send keeps its clean record";
+}
+
+TEST(MpiPeerDeath, DrainPeerWithdrawsSourceSpecificReceivesOnly) {
+  mpi::World world(2, black_hole_world());
+  const mpi::Comm comm = world.proc(0).world_comm();
+  auto& p0 = world.proc(0);
+
+  // Kill peer 1 with an undeliverable send.
+  p0.isend(std::vector<std::byte>(64), 1, 0, comm);
+  for (int i = 0; i < 2000 && !p0.peer_dead(1); ++i) p0.progress();
+  ASSERT_TRUE(p0.peer_dead(1));
+
+  // Receives posted before the application learns of the death: one names
+  // the dead peer, one is a wildcard that another rank could still satisfy.
+  std::vector<std::byte> rx1(64), rx2(64);
+  const auto dead_req = p0.irecv(rx1, 1, 3, comm);
+  const auto wild_req = p0.irecv(rx2, kAnySource, 3, comm);
+
+  EXPECT_EQ(p0.drain_peer(1), 1u) << "exactly the source-specific receive";
+  EXPECT_TRUE(p0.test(dead_req)) << "drained receives are complete";
+  EXPECT_TRUE(p0.failed(dead_req));
+  EXPECT_EQ(p0.request_error(dead_req), mpi::Proc::RequestError::kPeerDead);
+  EXPECT_FALSE(p0.test(wild_req)) << "wildcards survive a peer drain";
+  EXPECT_EQ(p0.request_error(wild_req), mpi::Proc::RequestError::kNone);
+
+  EXPECT_EQ(p0.drain_peer(1), 0u) << "drain is idempotent";
+  // A drained request cannot be cancelled again — it is already complete.
+  EXPECT_FALSE(p0.cancel(dead_req));
+}
+
+TEST(MpiPeerDeath, CancelStillWorksOnReceivesNamingADeadPeer) {
+  mpi::World world(2, black_hole_world());
+  const mpi::Comm comm = world.proc(0).world_comm();
+  auto& p0 = world.proc(0);
+
+  p0.isend(std::vector<std::byte>(64), 1, 0, comm);
+  for (int i = 0; i < 2000 && !p0.peer_dead(1); ++i) p0.progress();
+  ASSERT_TRUE(p0.peer_dead(1));
+
+  std::vector<std::byte> rx(64);
+  const auto req = p0.irecv(rx, 1, 7, comm);
+  ASSERT_TRUE(p0.cancel(req));
+  EXPECT_TRUE(p0.cancelled(req));
+  EXPECT_EQ(p0.request_error(req), mpi::Proc::RequestError::kNone)
+      << "a user cancel is not a peer-death failure";
+}
+
 TEST(MpiCancel, SoftwareBackendCancel) {
   mpi::WorldOptions opts;
   opts.backend = mpi::Backend::kSoftwareList;

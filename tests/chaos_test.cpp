@@ -889,5 +889,422 @@ TEST(ChaosSoak, MiniMpiBlackHolePeerDegradesGracefully) {
   EXPECT_EQ(world.proc(0).stats().send_failures, 1u);
 }
 
+// --- Fault-domain recovery (docs/RELIABILITY.md §5) --------------------------
+
+/// Endpoint config with the recovery state machine armed: small retry
+/// budget so faults escalate quickly, short quiesce so tests converge.
+EndpointConfig recovery_ep(std::uint32_t retry_budget,
+                           std::uint32_t max_attempts) {
+  EndpointConfig c = ChaosPair::default_ep();
+  c.reliability.retry_budget = retry_budget;
+  c.recovery.enabled = true;
+  c.recovery.max_attempts = max_attempts;
+  c.recovery.quiesce_ns = 200;
+  return c;
+}
+
+TEST(Recovery, RetryExhaustionResurrectsChannel) {
+  // 12 consecutive drops outlive one retry budget (1 + 3 retries) three
+  // times over: recovery must bump the epoch and replay until the fabric
+  // heals, instead of declaring the message lost.
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_first = 12;
+  ChaosPair p(fault, recovery_ep(3, 16));
+
+  std::vector<std::byte> buf(64);
+  p.b_.post_receive({0, 5, 0}, buf, 1);
+  ASSERT_TRUE(p.a_.send(1, 5, 0, stamped(64, 9)).ok);
+
+  const auto done = p.pump(1, 20000);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cookie, 1u);
+  EXPECT_EQ(read_stamp(buf), 9u);
+  EXPECT_GE(p.a_.counters().epoch_bumps, 1u);
+  EXPECT_GE(p.a_.counters().recoveries_completed, 1u);
+  EXPECT_EQ(p.a_.counters().messages_dropped, 0u)
+      << "a recovered channel loses nothing";
+  EXPECT_TRUE(p.a_.take_delivery_errors().empty());
+  EXPECT_EQ(p.a_.peer_health(1), PeerHealth::kHealthy);
+  EXPECT_EQ(p.a_.unacked(1), 0u);
+}
+
+TEST(Recovery, QpErrorRecoversAndPreservesFifo) {
+  // Every 5th post wedges the QP. Recovery resets it, replays the window at
+  // the new epoch, and the same-tag stream still completes in send order.
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.qp_error_period = 20;
+  ChaosPair p(fault, recovery_ep(3, 16));
+
+  constexpr std::uint64_t kN = 50;
+  std::vector<std::vector<std::byte>> bufs(kN, std::vector<std::byte>(64));
+  std::vector<Endpoint::RecvCompletion> done;
+  auto pump_once = [&] {
+    p.a_.progress();
+    for (auto& c : p.b_.progress()) done.push_back(c);
+  };
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    p.b_.post_receive({0, 1, 0}, bufs[i], i);
+    ASSERT_TRUE(p.a_.send(1, 1, 0, stamped(64, i)).ok);
+    for (int s = 0; s < 8; ++s) pump_once();  // streaming, not batch
+  }
+  for (int s = 0; s < 4000 && done.size() < kN; ++s) pump_once();
+  ASSERT_EQ(done.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(done[i].cookie, i) << "C2 must survive QP resets";
+    EXPECT_EQ(read_stamp(bufs[i]), i);
+  }
+  EXPECT_GT(p.fabric_.injector()->stats().qp_errors, 0u);
+  EXPECT_GE(p.a_.counters().epoch_bumps, 1u);
+  EXPECT_EQ(p.a_.counters().messages_dropped, 0u);
+  EXPECT_TRUE(p.a_.take_delivery_errors().empty());
+}
+
+TEST(Recovery, QpErrorWithoutRecoveryIsTerminal) {
+  // RecoveryConfig off (the default): a QP error keeps the legacy
+  // fail-the-channel semantics — typed delivery error, fail-fast sends, no
+  // epoch machinery engaged.
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.qp_error_period = 1;  // the very first post errors the QP
+  ChaosPair p(fault, ChaosPair::default_ep());
+
+  p.a_.send(1, 1, 0, stamped(64, 0));
+  for (int i = 0; i < 200; ++i) p.a_.progress();
+
+  const auto errs = p.a_.take_delivery_errors();
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_EQ(errs[0].outcome, Outcome::kFailed);
+  EXPECT_EQ(p.a_.counters().epoch_bumps, 0u);
+  EXPECT_EQ(p.a_.counters().messages_dropped, 1u);
+
+  const auto r = p.a_.send(1, 1, 0, stamped(64, 1));
+  EXPECT_EQ(r.outcome, Outcome::kFailed);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Recovery, RecoveryOnIsByteIdenticalOnCleanFabric) {
+  // Differential: with no faults, arming RecoveryConfig must not change a
+  // single observable — same completion order, same payloads, zero
+  // retransmits, zero epoch bumps, zero probes. Epoch 0 keeps the wire
+  // byte-identical to the legacy format.
+  struct Run {
+    std::vector<std::uint64_t> cookies;
+    std::vector<std::vector<std::byte>> payloads;
+    std::uint64_t retransmits = 0;
+  };
+  const auto run_once = [](bool recovery) {
+    EndpointConfig cfg = ChaosPair::default_ep();
+    cfg.reliability = ReliabilityConfig{};  // stock timeouts
+    cfg.reliability.mode = ReliabilityConfig::Mode::kOn;
+    cfg.recovery.enabled = recovery;
+    ChaosPair p(rdma::FaultConfig{}, cfg);
+
+    constexpr std::size_t kMessages = 256;
+    Run out;
+    std::vector<std::vector<std::byte>> bufs(kMessages);
+    std::size_t done_count = 0;
+    auto harvest = [&] {
+      p.a_.progress();
+      for (auto& c : p.b_.progress()) {
+        out.cookies.push_back(c.cookie);
+        ++done_count;
+      }
+    };
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      const Tag tag = static_cast<Tag>(i % 3);
+      const std::size_t bytes = 8 + (i % 8) * 8;
+      bufs[i].resize(bytes);
+      p.b_.post_receive({0, tag, 0}, bufs[i], i);
+      p.a_.send(1, tag, 0, stamped(bytes, i));
+      if (i % 16 == 15) harvest();
+    }
+    for (int spin = 0; spin < 2000 && done_count < kMessages; ++spin) harvest();
+    EXPECT_EQ(done_count, kMessages);
+    out.retransmits = p.a_.counters().retransmits;
+    EXPECT_EQ(p.a_.counters().epoch_bumps, 0u);
+    EXPECT_EQ(p.a_.counters().keepalives_sent, 0u);
+    EXPECT_EQ(p.a_.counters().peers_suspected, 0u);
+    for (auto& b : bufs) out.payloads.push_back(std::move(b));
+    return out;
+  };
+
+  const Run off = run_once(false);
+  const Run on = run_once(true);
+  EXPECT_EQ(off.cookies, on.cookies)
+      << "recovery machinery changed fault-free completion order";
+  EXPECT_EQ(off.payloads, on.payloads);
+  EXPECT_EQ(off.retransmits, on.retransmits);
+}
+
+TEST(Recovery, SilentPeerSuspectedThenDead) {
+  // Keepalive probing over a clean fabric against a peer that simply stops
+  // progressing: missed probes turn it Suspect, empty-window recoveries
+  // burn the attempt budget, and the peer lands in the terminal Dead state.
+  EndpointConfig cfg = ChaosPair::default_ep();
+  cfg.reliability.mode = ReliabilityConfig::Mode::kOn;
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_attempts = 2;
+  cfg.recovery.quiesce_ns = 200;
+  cfg.recovery.keepalive_idle_ns = 500;
+  cfg.recovery.keepalive_miss_budget = 2;
+  ChaosPair p(rdma::FaultConfig{}, cfg);
+
+  // One delivered message proves the link before b falls silent.
+  std::vector<std::byte> buf(64);
+  p.b_.post_receive({0, 1, 0}, buf, 1);
+  ASSERT_TRUE(p.a_.send(1, 1, 0, stamped(64, 1)).ok);
+  ASSERT_EQ(p.pump(1).size(), 1u);
+  ASSERT_EQ(p.a_.peer_health(1), PeerHealth::kHealthy);
+
+  bool saw_suspect = false;
+  for (int i = 0; i < 3000 && p.a_.peer_health(1) != PeerHealth::kDead; ++i) {
+    p.a_.progress();  // b never progresses: probes go unanswered
+    if (p.a_.peer_health(1) == PeerHealth::kSuspect) saw_suspect = true;
+  }
+  EXPECT_TRUE(saw_suspect) << "death must pass through Suspect first";
+  EXPECT_EQ(p.a_.peer_health(1), PeerHealth::kDead);
+  EXPECT_GE(p.a_.counters().keepalives_sent, 2u);
+  EXPECT_GE(p.a_.counters().peers_suspected, 1u);
+
+  // Sends to a Dead peer fail fast with the typed outcome.
+  const auto r = p.a_.send(1, 1, 0, stamped(64, 2));
+  EXPECT_EQ(r.outcome, Outcome::kPeerDead);
+  EXPECT_FALSE(r.ok);
+  const auto errs = p.a_.take_delivery_errors();
+  ASSERT_FALSE(errs.empty());
+  EXPECT_EQ(errs.back().outcome, Outcome::kPeerDead);
+  EXPECT_EQ(p.a_.counters().messages_dropped, 1u);
+}
+
+TEST(Recovery, PeerDeathFreesRendezvousStagingAndCoalesceBuffer) {
+  // A black-hole link with a tight attempt budget: the peer dies holding a
+  // staged rendezvous payload and a coalesce buffer. Death must surface
+  // every queued message as kPeerDead and release the staging.
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.drop_probability = 1.0;
+  EndpointConfig cfg = recovery_ep(2, 2);
+  cfg.coalescing.enabled = true;
+  cfg.coalescing.max_messages = 8;
+  cfg.coalescing.eligible_bytes = 64;
+  ChaosPair p(fault, cfg);
+
+  ASSERT_TRUE(p.a_.send(1, 4, 0, stamped(2048, 1)).ok);  // rendezvous: staged
+  ASSERT_TRUE(p.a_.send(1, 4, 0, stamped(32, 2)).ok);    // eager: coalesced
+  EXPECT_EQ(p.a_.pending_rendezvous(), 1u);
+
+  for (int i = 0; i < 2000 && p.a_.peer_health(1) != PeerHealth::kDead; ++i)
+    p.a_.progress();
+
+  EXPECT_EQ(p.a_.peer_health(1), PeerHealth::kDead);
+  EXPECT_EQ(p.a_.pending_rendezvous(), 0u)
+      << "peer death must release staged rendezvous payloads";
+  const auto errs = p.a_.take_delivery_errors();
+  ASSERT_GE(errs.size(), 2u) << "both queued messages surface an error";
+  for (const auto& e : errs) EXPECT_EQ(e.outcome, Outcome::kPeerDead);
+  EXPECT_GE(p.a_.counters().epoch_bumps, 1u)
+      << "death followed failed recovery attempts, not a straight fail";
+  EXPECT_EQ(p.a_.unacked(1), 0u);
+}
+
+// --- Chaos recovery storm ----------------------------------------------------
+
+/// Recovery soak: 10k stamped messages across two tag streams and mixed
+/// eager/rendezvous sizes, over a fabric that — on top of the usual
+/// drop/dup/corrupt/reorder noise — flaps the link down for 25-packet
+/// bursts and wedges the QP every 503 posts. The recovery machinery must
+/// resurrect the channel through every episode: exactly-once, per-(peer,
+/// tag) FIFO, zero lost messages, and at least one completed recovery.
+void run_recovery_storm(unsigned shards, std::uint64_t seed) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = seed;
+  fault.drop_probability = 0.02;
+  fault.duplicate_probability = 0.01;
+  fault.corrupt_probability = 0.01;
+  fault.reorder_probability = 0.03;
+  fault.reorder_window = 3;
+  fault.flap_period = 97;  // correlated outages: 25 drops every 97 packets
+  fault.flap_down = 25;
+  fault.qp_error_period = 503;
+
+  constexpr std::size_t kMessages = 10'000;
+  constexpr std::size_t kWindow = 16;
+  constexpr std::uint32_t kTags = 2;
+
+  rdma::Fabric fabric(ChaosPair::make_fabric(fault));
+  EndpointConfig ep_cfg = recovery_ep(/*retry_budget=*/3, /*max_attempts=*/64);
+  MatchConfig recv_cfg = match_cfg();
+  recv_cfg.shards = shards;
+  Endpoint receiver(fabric, 0, ep_cfg, recv_cfg, DpaConfig{});
+  Endpoint sender(fabric, 1, ep_cfg, match_cfg(), DpaConfig{});
+  sender.connect(receiver);
+  ASSERT_EQ(receiver.dpa().sharded_engine().shard_count(), shards);
+
+  ListMatcher oracle;
+  std::map<std::uint64_t, std::uint64_t> expected;  // cookie -> message seq
+  std::vector<std::vector<std::byte>> bufs(kMessages);
+  std::vector<std::vector<std::byte>> sent(kMessages);
+  std::vector<bool> seen(kMessages, false);
+  std::map<Tag, std::uint64_t> last_stamp;
+  std::size_t completions = 0;
+  bool exactly_once = true, in_order = true, payload_ok = true,
+       pairing_ok = true;
+
+  auto harvest = [&](const std::vector<Endpoint::RecvCompletion>& done) {
+    for (const auto& c : done) {
+      ++completions;
+      if (c.cookie >= kMessages || seen[c.cookie]) {
+        exactly_once = false;
+        continue;
+      }
+      seen[c.cookie] = true;
+      const std::uint64_t stamp = read_stamp(bufs[c.cookie]);
+      if (bufs[c.cookie] != sent[stamp]) payload_ok = false;
+      const auto it = expected.find(c.cookie);
+      if (it == expected.end() || it->second != stamp) pairing_ok = false;
+      const auto lit = last_stamp.find(c.env.tag);
+      if (lit != last_stamp.end() && stamp <= lit->second) in_order = false;
+      last_stamp[c.env.tag] = stamp;
+    }
+  };
+  auto pump_all = [&] {
+    sender.progress();
+    harvest(receiver.progress());
+  };
+
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    const Tag tag = static_cast<Tag>(i % kTags);
+    const std::size_t bytes = (i % 7 == 3) ? 2048 : 64;  // mixed protocol
+    bufs[i].resize(bytes);
+    const auto pr = receiver.post_receive({1, tag, 0}, bufs[i], i);
+    ASSERT_NE(pr.outcome, Outcome::kFallback);
+    if (pr.outcome == Outcome::kCompleted) harvest({pr.completion});
+    EXPECT_FALSE(oracle.post({1, tag, 0}, i).has_value())
+        << "storm posts receives before their messages";
+    sent[i] = stamped(bytes, i);
+    const auto r = sender.send(0, tag, 0, sent[i]);
+    if (!r.ok) exactly_once = false;  // reliable sends must queue
+    if (const auto m = oracle.arrive({1, tag, 0}, i); m.has_value())
+      expected[*m] = i;
+    if (i + 1 - completions >= kWindow) {
+      for (int spin = 0; spin < 4000 && i + 1 - completions >= kWindow; ++spin)
+        pump_all();
+    }
+  }
+  for (int spin = 0; spin < 20000 && completions < kMessages; ++spin)
+    pump_all();
+  for (int spin = 0; spin < 100; ++spin) pump_all();  // settle: no extras
+
+  EXPECT_EQ(completions, kMessages);
+  EXPECT_TRUE(exactly_once) << "a posted receive completed 0 or 2+ times";
+  EXPECT_TRUE(in_order) << "per-(peer,tag) FIFO violated across recoveries";
+  EXPECT_TRUE(payload_ok) << "replayed payload differs from the sent bytes";
+  EXPECT_TRUE(pairing_ok) << "matching disagrees with the ListMatcher oracle";
+  EXPECT_EQ(sender.take_delivery_errors().size(), 0u);
+  EXPECT_EQ(sender.counters().messages_dropped, 0u)
+      << "recovery must not lose messages";
+  EXPECT_GE(sender.counters().epoch_bumps, 1u)
+      << "the storm never exercised a channel recovery";
+  EXPECT_GE(sender.counters().recoveries_completed, 1u);
+  EXPECT_NE(sender.peer_health(0), PeerHealth::kDead);
+  const auto& fs = fabric.injector()->stats();
+  EXPECT_GT(fs.flap_drops, 0u) << "flap episodes never fired";
+  EXPECT_GT(fs.qp_errors, 0u) << "forced QP errors never fired";
+}
+
+TEST(ChaosRecovery, StormFullRecoveryZeroLoss) {
+  run_recovery_storm(/*shards=*/1, chaos_seed() + 10);
+}
+
+TEST(ChaosRecovery, StormFullRecoveryZeroLossSharded) {
+  run_recovery_storm(/*shards=*/4, chaos_seed() + 11);
+}
+
+// --- DPA watchdog degradation (docs/RELIABILITY.md §5) -----------------------
+
+TEST(Watchdog, ForcedDemotionIsResultIdenticalAndRepromotes) {
+  // Differential at the mini-MPI layer: the same 300-message traffic with
+  // and without a mid-stream forced demotion must complete with identical
+  // statuses and payloads — host software matching is result-identical to
+  // the NIC engine — and the demoted DPA must re-promote once the host
+  // domain drains.
+  struct Run {
+    std::vector<mpi::Status> statuses;
+    std::vector<std::vector<std::byte>> payloads;
+  };
+  constexpr std::uint64_t kN = 300;
+  const auto run_once = [&](bool demote_midway) {
+    mpi::WorldOptions opt;
+    opt.endpoint.reliability = fast_reliability();
+    opt.dpa.watchdog.enabled = true;
+    opt.dpa.watchdog.healthy_window = 4;
+    mpi::World world(2, opt);
+    const auto comm = world.proc(0).world_comm();
+
+    Run out;
+    std::vector<std::vector<std::byte>> rx(kN);
+    std::vector<std::vector<std::byte>> tx(kN);
+    std::vector<mpi::Request> rreqs, sreqs;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      const Tag tag = static_cast<Tag>(i % 3);
+      const std::size_t bytes = (i % 9 == 7) ? 2048 : 64;
+      rx[i].resize(bytes);
+      rreqs.push_back(world.proc(1).irecv(rx[i], 0, tag, comm));
+      tx[i] = stamped(bytes, i);
+      sreqs.push_back(world.proc(0).isend(tx[i], 1, tag, comm));
+      if (demote_midway && i == kN / 2)
+        world.endpoint(1).dpa().force_demote();
+      world.proc(0).progress();
+      world.proc(1).progress();
+    }
+    for (int spin = 0; spin < 20000; ++spin) {
+      world.proc(0).progress();
+      world.proc(1).progress();
+      bool all = true;
+      for (auto& r : rreqs)
+        if (!world.proc(1).test(r)) all = false;
+      for (auto& r : sreqs)
+        if (!world.proc(0).test(r)) all = false;
+      if (all) break;
+    }
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      mpi::Status st{};
+      EXPECT_TRUE(world.proc(1).test(rreqs[i], &st)) << "receive " << i;
+      EXPECT_FALSE(world.proc(1).failed(rreqs[i]));
+      out.statuses.push_back(st);
+      out.payloads.push_back(rx[i]);
+    }
+    EXPECT_EQ(world.proc(1).stats().delivery_errors, 0u);
+
+    auto& ep = world.endpoint(1);
+    if (demote_midway) {
+      EXPECT_GE(ep.counters().watchdog_demotions, 1u);
+      // With the host domain drained, hysteresis re-promotes the DPA.
+      for (int spin = 0; spin < 2000 && ep.dpa_degraded(); ++spin)
+        world.proc(1).progress();
+      EXPECT_FALSE(ep.dpa_degraded()) << "DPA never re-promoted";
+      EXPECT_GE(ep.counters().degraded_windows, 1u);
+    } else {
+      EXPECT_EQ(ep.counters().watchdog_demotions, 0u);
+      EXPECT_FALSE(ep.dpa_degraded());
+    }
+    return out;
+  };
+
+  const Run baseline = run_once(false);
+  const Run demoted = run_once(true);
+  ASSERT_EQ(baseline.statuses.size(), demoted.statuses.size());
+  for (std::size_t i = 0; i < baseline.statuses.size(); ++i) {
+    EXPECT_EQ(baseline.statuses[i].source, demoted.statuses[i].source);
+    EXPECT_EQ(baseline.statuses[i].tag, demoted.statuses[i].tag);
+    EXPECT_EQ(baseline.statuses[i].bytes, demoted.statuses[i].bytes);
+  }
+  EXPECT_EQ(baseline.payloads, demoted.payloads)
+      << "host-fallback matching delivered different bytes";
+}
+
 }  // namespace
 }  // namespace otm::proto

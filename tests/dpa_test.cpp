@@ -139,5 +139,90 @@ TEST(DpaAccelerator, RejectsBlocksBeyondHardwareThreads) {
   EXPECT_DEATH(DpaAccelerator(cfg, mc), "exceed DPA hardware threads");
 }
 
+TEST(DpaWatchdog, PressureStreakDemotesAndHealthyWindowRepromotes) {
+  DpaConfig cfg;
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.pressure_streak = 3;
+  cfg.watchdog.healthy_window = 2;
+  DpaAccelerator dpa(cfg, match_cfg(4));
+
+  // Two dirty ticks are under the streak threshold; a clean tick in between
+  // resets the streak entirely.
+  dpa.watchdog_tick(true);
+  dpa.watchdog_tick(true);
+  EXPECT_FALSE(dpa.degraded());
+  dpa.watchdog_tick(false);
+  dpa.watchdog_tick(true);
+  dpa.watchdog_tick(true);
+  EXPECT_FALSE(dpa.degraded()) << "clean tick must reset the pressure streak";
+
+  // Third consecutive dirty tick demotes.
+  dpa.watchdog_tick(true);
+  EXPECT_TRUE(dpa.degraded());
+  EXPECT_FALSE(dpa.promotable());
+
+  // Hysteresis: a dirty tick while degraded restarts the healthy window.
+  dpa.watchdog_tick(false);
+  dpa.watchdog_tick(true);
+  EXPECT_FALSE(dpa.promotable());
+  dpa.watchdog_tick(false);
+  dpa.watchdog_tick(false);
+  EXPECT_TRUE(dpa.promotable());
+
+  dpa.promote();
+  EXPECT_FALSE(dpa.degraded());
+  EXPECT_FALSE(dpa.promotable());
+}
+
+TEST(DpaWatchdog, ForceDemoteIsNoopWhenDisabled) {
+  DpaAccelerator off(DpaConfig{}, match_cfg(4));
+  off.force_demote();
+  EXPECT_FALSE(off.degraded());
+
+  DpaConfig cfg;
+  cfg.watchdog.enabled = true;
+  DpaAccelerator on(cfg, match_cfg(4));
+  on.force_demote();
+  EXPECT_TRUE(on.degraded());
+}
+
+TEST(DpaWatchdog, DrainAllEvictsPendingAndUnexpected) {
+  DpaConfig cfg;
+  cfg.watchdog.enabled = true;
+  DpaAccelerator dpa(cfg, match_cfg(4));
+
+  // A pending receive that matches nothing in flight, plus one unexpected
+  // arrival that matches no posted receive.
+  MatchSpec spec;
+  spec.source = 7;
+  spec.tag = 99;
+  ASSERT_EQ(dpa.post_receive(spec, /*buffer_addr=*/0x1000,
+                             /*buffer_capacity=*/64, /*cookie=*/41)
+                .kind,
+            PostOutcome::Kind::kPending);
+  dpa.deliver(distinct_messages(1));  // source 1, tag 0: goes unexpected
+
+  dpa.force_demote();
+  std::vector<MatchEngine::DrainedReceive> receives;
+  std::vector<UnexpectedDescriptor> ums;
+  dpa.drain_all(receives, ums);
+
+  ASSERT_EQ(receives.size(), 1u);
+  EXPECT_EQ(receives[0].spec.source, 7);
+  EXPECT_EQ(receives[0].spec.tag, 99);
+  EXPECT_EQ(receives[0].cookie, 41u);
+  EXPECT_EQ(receives[0].buffer_addr, 0x1000u);
+  ASSERT_EQ(ums.size(), 1u);
+  EXPECT_EQ(ums[0].env.source, 1);
+  EXPECT_EQ(ums[0].env.tag, 0);
+
+  // The NIC domain is now empty: draining again yields nothing.
+  receives.clear();
+  ums.clear();
+  dpa.drain_all(receives, ums);
+  EXPECT_TRUE(receives.empty());
+  EXPECT_TRUE(ums.empty());
+}
+
 }  // namespace
 }  // namespace otm

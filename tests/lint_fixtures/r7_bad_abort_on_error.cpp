@@ -1,0 +1,16 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R7 bad twin: runtime errors that kill the process instead of surfacing a
+// typed outcome the caller can handle.
+#include <cassert>
+#include <cstdlib>
+
+namespace otm::proto {
+
+int deliver(int status) {
+  if (status == -1) std::abort();  // crash on a runtime error
+  if (status == -2) exit(1);       // so does this
+  assert(status >= 0);             // bare C assert in an error path
+  return status;
+}
+
+}  // namespace otm::proto

@@ -1,0 +1,21 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R7 good twin: runtime errors surface as typed outcomes; OTM_ASSERT-style
+// invariant traps and static_assert are not error paths and stay legal.
+#include <cstdint>
+
+#define OTM_ASSERT(cond) ((void)(cond))
+
+namespace otm::proto {
+
+enum class Outcome : std::uint8_t { kOk, kFailed, kPeerDead };
+
+static_assert(sizeof(Outcome) == 1, "wire-stable");
+
+Outcome deliver(int status) {
+  OTM_ASSERT(status >= -2);  // programming-error trap, not an error path
+  if (status == -1) return Outcome::kFailed;
+  if (status == -2) return Outcome::kPeerDead;
+  return Outcome::kOk;
+}
+
+}  // namespace otm::proto

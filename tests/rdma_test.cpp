@@ -309,6 +309,79 @@ TEST(FaultInjector, ForcedRnrWindowsFollowPeriodAndBurst) {
   EXPECT_EQ(fi.stats().forced_rnrs, 6u);
 }
 
+TEST(FaultInjector, FlapWindowsDropDeterministically) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.flap_period = 4;
+  cfg.flap_down = 2;
+  FaultInjector fi(cfg);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDrop)
+        << "cycle " << cycle << " opens with a down-window";
+    EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDrop);
+    EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDeliver);
+    EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDeliver);
+  }
+  EXPECT_EQ(fi.stats().flap_drops, 6u);
+  EXPECT_EQ(fi.stats().drops, 6u) << "flap drops count as drops too";
+}
+
+TEST(FaultInjector, ForcedQpErrorPeriodIsExactAndSeparate) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.qp_error_period = 3;
+  FaultInjector fi(cfg);
+  EXPECT_FALSE(fi.forced_qp_error(0, 1));
+  EXPECT_FALSE(fi.forced_qp_error(0, 1));
+  EXPECT_TRUE(fi.forced_qp_error(0, 1));
+  EXPECT_FALSE(fi.forced_qp_error(0, 1));
+  EXPECT_EQ(fi.stats().qp_errors, 1u);
+  EXPECT_EQ(fi.next_fate(0, 1), FaultInjector::Fate::kDeliver)
+      << "QP errors draw from their own counter, not the packet fate stream";
+}
+
+TEST(QueuePair, ErrorStateLifecycle) {
+  FabricConfig cfg;
+  cfg.fault.enabled = true;
+  cfg.fault.qp_error_period = 2;  // second post errors the QP
+  Fabric fabric{cfg};
+  MemoryRegistry reg_a, reg_b;
+  CompletionQueue cq_a{64}, cq_b{64};
+  SharedReceiveQueue srq_a, srq_b;
+  QueuePair qa(fabric, fabric.add_node(), cq_a, reg_a, srq_a);
+  QueuePair qb(fabric, fabric.add_node(), cq_b, reg_b, srq_b);
+  qa.connect(qb);
+
+  std::vector<std::byte> rx1(64), rx2(64);
+  qb.post_recv(1, rx1);
+  qb.post_recv(2, rx2);
+  EXPECT_EQ(qa.post_send(pattern(16), 0).status, QueuePair::SendStatus::kOk);
+  EXPECT_EQ(qa.state(), QueuePair::State::kReady);
+
+  // The second post trips the injector: the QP enters the error state and
+  // the packet never reaches the fabric.
+  EXPECT_EQ(qa.post_send(pattern(16), 0).status,
+            QueuePair::SendStatus::kQpError);
+  EXPECT_EQ(qa.state(), QueuePair::State::kError);
+  // While errored, every post fails fast without consuming injector state.
+  EXPECT_EQ(qa.post_send(pattern(16), 0).status,
+            QueuePair::SendStatus::kQpError);
+  EXPECT_EQ(fabric.injector()->stats().qp_errors, 1u);
+
+  // reset() re-arms the QP; the next post (past the error period) delivers.
+  qa.reset();
+  EXPECT_EQ(qa.state(), QueuePair::State::kReady);
+  const auto r = qa.post_send(pattern(16), 0);
+  EXPECT_EQ(r.status, QueuePair::SendStatus::kOk);
+  EXPECT_TRUE(r.delivered);
+
+  // Explicit fail() (owner-driven, e.g. peer-death fencing) behaves the same.
+  qa.fail();
+  EXPECT_EQ(qa.state(), QueuePair::State::kError);
+  qa.reset();
+  EXPECT_EQ(qa.state(), QueuePair::State::kReady);
+}
+
 TEST(QueuePair, InjectedDropLosesPacketInFlight) {
   FabricConfig cfg;
   cfg.fault.enabled = true;
