@@ -55,8 +55,10 @@ bool write_bench_json(const std::string& path, const BenchJsonDoc& doc) {
     os << "      \"p99_seq_ns\": " << num(s.p99_seq_ns) << ",\n";
     os << "      \"host_match_cycles_per_msg\": "
        << num(s.host_match_cycles_per_msg) << ",\n";
-    os << "      \"conflicts_per_seq\": " << num(s.conflicts_per_seq) << "\n";
-    os << "    }";
+    os << "      \"conflicts_per_seq\": " << num(s.conflicts_per_seq);
+    for (const auto& [key, value] : s.extra)
+      os << ",\n      \"" << key << "\": " << num(value);
+    os << "\n    }";
   }
   os << (doc.scenarios.empty() ? "" : "\n  ") << "]\n";
   os << "}\n";

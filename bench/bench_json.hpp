@@ -43,6 +43,9 @@ struct ScenarioRecord {
   double p99_seq_ns = 0.0;
   double host_match_cycles_per_msg = 0.0;
   double conflicts_per_seq = 0.0;
+  /// Bench-specific metrics serialized as additional scenario keys (the
+  /// perf gate ignores keys it does not know; trends can still plot them).
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 struct BenchJsonDoc {

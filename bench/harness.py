@@ -14,6 +14,7 @@ The merged document is what scripts/perf_gate.py diffs:
     "smoke": false,
     "benches": {
       "fig8_message_rate": { ...bench_json.hpp document... },
+      "replay_soak":       { ...128-1024-rank trace replay rates... },
       "micro_matchers":    { "scenarios": [ {"name", "kind": "walltime",
                              "msgs_per_sec", ...} ] }
     }
@@ -39,6 +40,7 @@ SCHEMA_VERSION = 1
 # Pinned full-run parameters: the committed baseline and every candidate
 # run must use the same workload or the diff is meaningless.
 PINNED_FIG8 = {"reps": 500, "k": 100, "bytes": 8}
+PINNED_REPLAY = {"slice": 0.25, "shards": 4}
 
 
 def run(cmd):
@@ -60,6 +62,27 @@ def run_fig8(binary, smoke, reps, k):
             # convention: real measurements ride the wide "walltime" band).
             cmd += [f"--reps={reps}", f"--k={k}",
                     f"--bytes={PINNED_FIG8['bytes']}", "--wall"]
+        run(cmd)
+        with open(out, encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(out)
+
+
+def run_replay(binary, smoke):
+    """replay_soak: 128-1024-rank trace replay through the full offloaded
+    stack (PR-8). Modeled rates are deterministic for the pinned slice and
+    shard count; full runs add the wall-clock twins."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
+        out = tf.name
+    try:
+        cmd = [binary, f"--json={out}",
+               f"--slice={PINNED_REPLAY['slice']}",
+               f"--shards={PINNED_REPLAY['shards']}"]
+        if smoke:
+            cmd.append("--smoke")
+        else:
+            cmd.append("--wall")
         run(cmd)
         with open(out, encoding="utf-8") as f:
             return json.load(f)
@@ -119,6 +142,12 @@ def main():
 
     benches = {"fig8_message_rate": run_fig8(fig8, args.smoke, args.reps,
                                              args.k)}
+    replay = os.path.join(bench_dir, "replay_soak")
+    if os.path.exists(replay):
+        benches["replay_soak"] = run_replay(replay, args.smoke)
+    else:
+        print(f"warning: {replay} not found, skipping replay soak",
+              file=sys.stderr)
     if not args.skip_micro:
         if os.path.exists(micro):
             benches["micro_matchers"] = run_micro(micro, args.smoke)

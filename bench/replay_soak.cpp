@@ -1,0 +1,231 @@
+// Replay soak — full-stack trace replay rates at 128-1024 simulated ranks
+// (docs/SCALING.md): each scenario tiles a NERSC-style synthetic trace onto
+// a WorldScheduler-multiplexed world and replays it through the complete
+// offloaded endpoint stack (proto channels, reliability windows, sharded
+// DPA matcher). The ListMatcher differential, FIFO and exactly-once
+// verdicts ride along with every run and gate the full-length exit code.
+//
+// Scenario family: replay_<app>_r<ranks> —
+//   replay_lulesh_r{128,512,1024}  (64-rank LULESH tiled 2x/8x/16x)
+//   replay_bigfft_r1024            (native 1024-rank pure point-to-point)
+//
+// Rates are modeled (the endpoint cost-model clock), so the perf gate
+// holds them to the tight "modeled" band. Queue-depth and collision
+// metrics publish as extra scenario keys the gate ignores but the trend
+// plots can track.
+//
+// Harness: --json=f.json writes the schema-versioned results; --smoke pins
+// a tiny trace slice and always exits 0. --wall adds real-clock "walltime"
+// twins (wide gate band) for every scenario. --faults enables the PR-2
+// injector plus recovery — informational only (retransmission latency
+// makes modeled rates incomparable to the clean-fabric baseline).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "trace/replay.hpp"
+#include "trace/synthetic.hpp"
+#include "util/args.hpp"
+#include "util/table_writer.hpp"
+
+using namespace otm;
+using namespace otm::bench;
+using namespace otm::trace;
+
+namespace {
+
+struct Scenario {
+  const char* json_name;
+  const char* app;  ///< synthetic registry name (trace/synthetic.hpp)
+  int ranks;        ///< target world size (multiple of the app's ranks)
+};
+
+constexpr Scenario kScenarios[] = {
+    {"replay_lulesh_r128", "LULESH", 128},
+    {"replay_lulesh_r512", "LULESH", 512},
+    {"replay_lulesh_r1024", "LULESH", 1024},
+    {"replay_bigfft_r1024", "BigFFT", 1024},
+};
+
+struct Run {
+  const Scenario* scn;
+  ReplayResult r;
+  double wall_ns = 0.0;
+  bool clean = false;  ///< completed with every verification verdict green
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const bool wall = args.get_bool("wall", false);
+  const std::string json_out = args.get("json", "");
+
+  ReplayConfig cfg;
+  cfg.shards = static_cast<unsigned>(args.get_int("shards", 4));
+  cfg.sched_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  cfg.faults = args.get_bool("faults", false);
+  cfg.fault_seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0xc7a05));
+  // Pinned workload: the committed baseline and every candidate must slice
+  // identically or the modeled-rate diff is meaningless. Smoke runs use the
+  // same slice — slicing below ~0.25 can cut BigFFT's first sync boundary
+  // before any message is sent, and the whole family finishes in seconds.
+  cfg.slice = args.get_double("slice", 0.25);
+
+  std::printf("Replay soak: full-stack trace replay at 128-1024 ranks "
+              "(slice=%.2f, shards=%u, sched_seed=%llu%s)\n\n",
+              cfg.slice, cfg.shards,
+              static_cast<unsigned long long>(cfg.sched_seed),
+              cfg.faults ? ", faults ON" : "");
+
+  std::vector<Run> runs;
+  for (const Scenario& scn : kScenarios) {
+    const AppInfo* info = find_app(scn.app);
+    if (info == nullptr) {
+      std::fprintf(stderr, "error: unknown app %s\n", scn.app);
+      return 1;
+    }
+    const Trace t = info->make();
+    TraceReplayDriver driver(t, scn.ranks, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    Run run{&scn, driver.run(), 0.0, false};
+    run.wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const ReplayResult& r = run.r;
+    run.clean = r.completed && !r.deadlock && r.fifo_violations == 0 &&
+                r.exactly_once_violations == 0 && r.oracle_mismatches == 0 &&
+                r.messages_dropped == 0 &&
+                r.recvs_completed == r.messages_sent;
+    runs.push_back(std::move(run));
+  }
+
+  TableWriter table({"scenario", "ranks", "messages", "Mmsg/s (modeled)",
+                     "qdepth max", "qdepth avg", "collisions/msg",
+                     "verdict"});
+  for (const Run& run : runs) {
+    const ReplayResult& r = run.r;
+    const double secs = static_cast<double>(r.modeled_ns) / 1e9;
+    const double rate =
+        secs > 0.0 ? static_cast<double>(r.messages_sent) / secs : 0.0;
+    const double coll =
+        r.messages_sent > 0
+            ? static_cast<double>(r.conflicts) /
+                  static_cast<double>(r.messages_sent)
+            : 0.0;
+    table.row()
+        .cell(run.scn->json_name)
+        .cell(static_cast<double>(run.scn->ranks), 0)
+        .cell(static_cast<double>(r.messages_sent), 0)
+        .cell(rate / 1e6, 2)
+        .cell(static_cast<double>(r.queue_depth_max), 0)
+        .cell(r.queue_depth_avg, 2)
+        .cell(coll, 4)
+        .cell(run.clean ? "clean" : "VIOLATED");
+  }
+  table.print(std::cout);
+  if (wall) {
+    std::printf("\nwall-clock replay rates (kind \"walltime\", +/-35%% gate "
+                "band):\n");
+    for (const Run& run : runs) {
+      const double rate = run.wall_ns > 0.0
+                              ? static_cast<double>(run.r.messages_sent) *
+                                    1e9 / run.wall_ns
+                              : 0.0;
+      std::printf("  %-22s %.2f Mmsg/s (%.0f ms real)\n",
+                  run.scn->json_name, rate / 1e6, run.wall_ns / 1e6);
+    }
+  }
+
+  if (!json_out.empty()) {
+    BenchJsonDoc doc;
+    doc.bench = "replay_soak";
+    doc.smoke = smoke;
+    doc.config = {
+        {"slice", cfg.slice},
+        {"shards", static_cast<double>(cfg.shards)},
+        {"sched_seed", static_cast<double>(cfg.sched_seed)},
+        {"faults", cfg.faults ? 1.0 : 0.0},
+        {"fault_seed", static_cast<double>(cfg.fault_seed)},
+    };
+    for (const Run& run : runs) {
+      const ReplayResult& r = run.r;
+      ScenarioRecord s;
+      s.name = run.scn->json_name;
+      s.kind = "modeled";
+      const double secs = static_cast<double>(r.modeled_ns) / 1e9;
+      s.msgs_per_sec =
+          secs > 0.0 ? static_cast<double>(r.messages_sent) / secs : 0.0;
+      s.ns_per_msg = r.messages_sent > 0
+                         ? static_cast<double>(r.modeled_ns) /
+                               static_cast<double>(r.messages_sent)
+                         : 0.0;
+      // The matching runs entirely on the simulated DPA; the host never
+      // spends a matching cycle, same as fig8's offloaded scenarios.
+      s.host_match_cycles_per_msg = 0.0;
+      s.conflicts_per_seq =
+          r.messages_sent > 0 ? static_cast<double>(r.conflicts) /
+                                    static_cast<double>(r.messages_sent)
+                              : 0.0;
+      s.extra = {
+          {"queue_depth_max", static_cast<double>(r.queue_depth_max)},
+          {"queue_depth_avg", r.queue_depth_avg},
+          {"ranks", static_cast<double>(run.scn->ranks)},
+          {"messages", static_cast<double>(r.messages_sent)},
+          {"retransmits", static_cast<double>(r.retransmits)},
+      };
+      doc.scenarios.push_back(std::move(s));
+      if (wall) {
+        ScenarioRecord w;
+        w.name = std::string(run.scn->json_name) + "_wall";
+        w.kind = "walltime";
+        w.msgs_per_sec = run.wall_ns > 0.0
+                             ? static_cast<double>(r.messages_sent) * 1e9 /
+                                   run.wall_ns
+                             : 0.0;
+        w.ns_per_msg = r.messages_sent > 0
+                           ? run.wall_ns /
+                                 static_cast<double>(r.messages_sent)
+                           : 0.0;
+        doc.scenarios.push_back(std::move(w));
+      }
+    }
+    if (!write_bench_json(json_out, doc)) {
+      std::fprintf(stderr, "error: cannot write json to %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "json written to %s\n", json_out.c_str());
+  }
+
+  // The verification verdicts are the oracle: every scenario must replay
+  // clean at every scale. Smoke runs still print the verdicts but gate only
+  // on "ran to completion and wrote valid output".
+  bool all_clean = true;
+  for (const Run& run : runs) {
+    if (!run.clean) {
+      all_clean = false;
+      std::printf("\nVIOLATED: %s (completed=%d deadlock=%d fifo=%llu "
+                  "once=%llu oracle=%llu dropped=%llu)\n",
+                  run.scn->json_name, run.r.completed ? 1 : 0,
+                  run.r.deadlock ? 1 : 0,
+                  static_cast<unsigned long long>(run.r.fifo_violations),
+                  static_cast<unsigned long long>(
+                      run.r.exactly_once_violations),
+                  static_cast<unsigned long long>(run.r.oracle_mismatches),
+                  static_cast<unsigned long long>(run.r.messages_dropped));
+    }
+  }
+  std::printf("\nverdict: %s (exactly-once, FIFO, differential oracle, "
+              "zero drops at every scale)\n",
+              all_clean ? "CLEAN" : "VIOLATED");
+  if (smoke) return 0;
+  return all_clean ? 0 : 1;
+}

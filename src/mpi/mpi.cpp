@@ -26,10 +26,14 @@ World::World(int num_ranks, const WorldOptions& options)
         endpoints_.back()->attach_observability(
             obs_.get(), "rank" + std::to_string(r));
     }
-    for (int a = 0; a < num_ranks; ++a)
-      for (int b = a + 1; b < num_ranks; ++b)
-        endpoints_[static_cast<std::size_t>(a)]->connect(
-            *endpoints_[static_cast<std::size_t>(b)]);
+    // The eager full mesh is right for small worlds (every pair talks, and
+    // tests poke arbitrary pairs); on_demand_connect defers each QP pair to
+    // the first send between the two ranks (docs/SCALING.md).
+    if (!options_.on_demand_connect)
+      for (int a = 0; a < num_ranks; ++a)
+        for (int b = a + 1; b < num_ranks; ++b)
+          endpoints_[static_cast<std::size_t>(a)]->connect(
+              *endpoints_[static_cast<std::size_t>(b)]);
   }
   procs_.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r)
@@ -41,6 +45,15 @@ World::~World() = default;
 Proc& World::proc(Rank r) {
   OTM_ASSERT(r >= 0 && static_cast<std::size_t>(r) < procs_.size());
   return *procs_[static_cast<std::size_t>(r)];
+}
+
+void World::ensure_connected(Rank a, Rank b) {
+  if (options_.backend != Backend::kOffloadDpa || a == b) return;
+  OTM_ASSERT(a >= 0 && static_cast<std::size_t>(a) < endpoints_.size() &&
+             b >= 0 && static_cast<std::size_t>(b) < endpoints_.size());
+  std::lock_guard lock(mutex_);
+  auto& ea = *endpoints_[static_cast<std::size_t>(a)];
+  if (!ea.connected_to(b)) ea.connect(*endpoints_[static_cast<std::size_t>(b)]);
 }
 
 void World::run(const std::function<void(Proc&)>& program) {
@@ -111,6 +124,8 @@ Request Proc::isend(std::span<const std::byte> data, Rank dst, Tag tag,
   const Request req{requests_.size() - 1};
 
   if (world_->options_.backend == Backend::kOffloadDpa) {
+    if (world_->options_.on_demand_connect)
+      world_->ensure_connected(rank_, dst);
     const auto r =
         world_->endpoints_[static_cast<std::size_t>(rank_)]->send(dst, tag,
                                                                   comm.id, data);
@@ -138,6 +153,7 @@ Request Proc::isend(std::span<const std::byte> data, Rank dst, Tag tag,
   } else {
     deliver_software(dst, tag, comm, data);
   }
+  if (world_->send_listener_) world_->send_listener_(rank_, dst);
   return req;
 }
 
@@ -468,6 +484,11 @@ bool Proc::test(Request req, Status* status) {
   return rs.done;
 }
 
+bool Proc::request_done(Request req) {
+  std::lock_guard lock(world_->mutex_);
+  return state(req).done;
+}
+
 Status Proc::wait(Request req) {
   Status s;
   while (!test(req, &s)) std::this_thread::yield();
@@ -478,12 +499,40 @@ void Proc::wait_all(std::span<Request> reqs) {
   for (const Request r : reqs) wait(r);
 }
 
+bool Proc::fail_dead_peer_waits(std::span<const Request> reqs) {
+  std::lock_guard lock(world_->mutex_);
+  // Only conclude "nothing can ever complete" when EVERY incomplete request
+  // is a source-specific receive naming a Dead peer. Wildcard receives may
+  // still be satisfied by a live rank, and sends complete on their own.
+  std::vector<Rank> dead;
+  bool any_incomplete = false;
+  for (const Request r : reqs) {
+    RequestState& rs = state(r);
+    if (rs.done) continue;
+    any_incomplete = true;
+    if (rs.kind != RequestState::Kind::kRecv || rs.spec.any_source() ||
+        !peer_dead(rs.spec.source))
+      return false;
+    dead.push_back(rs.spec.source);
+  }
+  if (!any_incomplete) return false;
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  std::size_t drained = 0;
+  for (const Rank peer : dead) drained += drain_peer(peer);
+  return drained > 0;
+}
+
 std::size_t Proc::wait_any(std::span<const Request> reqs, Status* status) {
   OTM_ASSERT_MSG(!reqs.empty(), "wait_any on an empty request list");
   for (;;) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (test(reqs[i], status)) return i;
     }
+    // Dead-peer escape: once recovery declares the only peers that could
+    // satisfy this list Dead, spinning would never terminate. Drain those
+    // receives so the next pass returns them done + failed (kPeerDead).
+    if (fail_dead_peer_waits(reqs)) continue;
     std::this_thread::yield();
   }
 }

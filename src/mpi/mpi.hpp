@@ -67,6 +67,11 @@ struct WorldOptions {
   proto::EndpointConfig endpoint{};
   rdma::FabricConfig fabric{};
   obs::ObsConfig obs{};  ///< observability (off by default; offload backend)
+  /// Skip the O(N^2) pairwise QP mesh at construction and connect endpoint
+  /// pairs lazily on the first send between them (docs/SCALING.md). Large
+  /// simulated worlds (128-1024 ranks) only pay for the pairs that actually
+  /// communicate; a 1024-rank full mesh would be ~524k QP pairs.
+  bool on_demand_connect = false;
 };
 
 struct Status {
@@ -168,6 +173,12 @@ class Proc {
 
   /// Non-blocking completion check; fills `status` when done.
   bool test(Request req, Status* status = nullptr);
+
+  /// Completion check WITHOUT driving progress (unlike test()). The event-
+  /// driven scheduler (mpi/scheduler.hpp) evaluates blocked tasks' wait
+  /// predicates with this after progressing exactly the ranks its event
+  /// queue names, keeping the event accounting honest.
+  bool request_done(Request req);
   Status wait(Request req);
   void wait_all(std::span<Request> reqs);
 
@@ -240,6 +251,7 @@ class Proc {
 
  private:
   friend class World;
+  friend class WorldScheduler;  ///< dead-peer sweep reuses the wait escape
   Proc(World& world, Rank rank);
 
   struct RequestState {
@@ -262,6 +274,11 @@ class Proc {
 
   RequestState& state(Request req);
   void validate_spec(const MatchSpec& spec, const CommInfo& info);
+  /// wait_any escape hatch: when every incomplete request in `reqs` is a
+  /// source-specific receive naming a Dead peer, drain those peers so the
+  /// requests complete failed (RequestError::kPeerDead) instead of spinning
+  /// forever. Returns true when a drain happened (re-test the list).
+  bool fail_dead_peer_waits(std::span<const Request> reqs);
   void flush_pending_posts();
   /// Post (or re-post, after a watchdog eviction) a receive into the host
   /// matcher, completing it immediately against the host unexpected store.
@@ -333,6 +350,22 @@ class World {
   obs::Observability* observability() noexcept { return obs_.get(); }
   const obs::Observability* observability() const noexcept { return obs_.get(); }
 
+  /// Connect the QP pair between `a` and `b` if it does not exist yet
+  /// (no-op for a == b, the software backend, or an already-connected
+  /// pair). isend() calls this under on_demand_connect; drivers that know
+  /// the communication graph up front (trace replay) may pre-connect.
+  void ensure_connected(Rank a, Rank b);
+
+  /// Observer invoked after every isend (src, dst), under the world mutex.
+  /// The event-driven scheduler uses it to schedule delivery/progress
+  /// events instead of polling every rank. The listener must not re-enter
+  /// Proc/World calls. Replaces any previous listener; pass {} to clear.
+  using SendListener = std::function<void(Rank src, Rank dst)>;
+  void set_send_listener(SendListener listener) {
+    std::lock_guard lock(mutex_);
+    send_listener_ = std::move(listener);
+  }
+
  private:
   friend class Proc;
 
@@ -341,6 +374,7 @@ class World {
   std::unique_ptr<obs::Observability> obs_;
   std::vector<std::unique_ptr<proto::Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Proc>> procs_;
+  SendListener send_listener_;  ///< scheduler hook (may be empty)
   CommId next_comm_ = 1;
   std::recursive_mutex mutex_;  ///< serializes cross-rank fabric access
   bool threaded_run_ = false;

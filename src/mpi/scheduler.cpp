@@ -1,0 +1,240 @@
+#include "mpi/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace otm::mpi {
+
+WorldScheduler::WorldScheduler(World& world, const Config& cfg)
+    : world_(&world), cfg_(cfg), rng_(cfg.seed) {
+  tasks_.resize(static_cast<std::size_t>(world.size()));
+  next_event_at_.assign(static_cast<std::size_t>(world.size()), kNoEvent);
+  // Delivery edge: every isend schedules a progress pair — the sender (to
+  // flush coalescing buffers and reap acks) and the receiver (to drain its
+  // CQ / host inbox into completions). This is what makes the scheduler
+  // event-driven rather than poll-everything.
+  world_->set_send_listener([this](Rank src, Rank dst) {
+    const std::uint64_t at = vtime_ + cfg_.delivery_delay_ns;
+    schedule_progress(src, at);
+    schedule_progress(dst, at);
+  });
+}
+
+WorldScheduler::~WorldScheduler() { world_->set_send_listener({}); }
+
+void WorldScheduler::add_task(Rank r, Program program) {
+  OTM_ASSERT_MSG(r >= 0 && static_cast<std::size_t>(r) < tasks_.size(),
+                 "task rank outside the world");
+  Task& t = tasks_[static_cast<std::size_t>(r)];
+  OTM_ASSERT_MSG(t.program == nullptr, "rank already has a task");
+  t.program = std::move(program);
+  t.state = Task::State::kRunnable;
+  runnable_.push_back(r);
+  ++live_tasks_;
+}
+
+WorldScheduler::Task* WorldScheduler::task(Rank r) {
+  if (r < 0 || static_cast<std::size_t>(r) >= tasks_.size()) return nullptr;
+  Task& t = tasks_[static_cast<std::size_t>(r)];
+  return t.program == nullptr ? nullptr : &t;
+}
+
+std::uint64_t WorldScheduler::steps(Rank r) const {
+  if (r < 0 || static_cast<std::size_t>(r) >= tasks_.size()) return 0;
+  return tasks_[static_cast<std::size_t>(r)].steps;
+}
+
+std::vector<Rank> WorldScheduler::blocked_ranks() const {
+  std::vector<Rank> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].program != nullptr && tasks_[i].state == Task::State::kBlocked)
+      out.push_back(static_cast<Rank>(i));
+  return out;
+}
+
+/// splitmix64 — small, deterministic, and good enough to fuzz pick order.
+std::uint64_t WorldScheduler::next_rng() noexcept {
+  rng_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = rng_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+bool WorldScheduler::wait_satisfied(Task& t) {
+  if (t.wait_reqs.empty()) return true;
+  Proc& p = world_->proc(static_cast<Rank>(&t - tasks_.data()));
+  if (t.wait == Step::Wait::kAny) {
+    for (const Request r : t.wait_reqs)
+      if (p.request_done(r)) return true;
+    return false;
+  }
+  for (const Request r : t.wait_reqs)
+    if (!p.request_done(r)) return false;
+  return true;
+}
+
+void WorldScheduler::make_runnable(Rank r) {
+  Task& t = tasks_[static_cast<std::size_t>(r)];
+  t.state = Task::State::kRunnable;
+  t.wait_reqs.clear();
+  runnable_.push_back(r);
+  last_useful_vt_ = vtime_;
+}
+
+void WorldScheduler::schedule_progress(Rank r, std::uint64_t at) {
+  const auto idx = static_cast<std::size_t>(r);
+  if (next_event_at_[idx] <= at) return;  // an earlier/equal event is pending
+  events_heap_.push(Event{at, event_seq_++, r});
+  next_event_at_[idx] = at;
+}
+
+void WorldScheduler::run_task(Rank r) {
+  Task& t = tasks_[static_cast<std::size_t>(r)];
+  Proc& p = world_->proc(r);
+  for (std::uint32_t s = 0; s < std::max<std::uint32_t>(cfg_.quantum, 1); ++s) {
+    Step st = t.program(p);
+    ++t.steps;
+    if (cfg_.log_steps) step_log_.push_back(r);
+    vtime_ += 1;  // a step occupies virtual time so event order stays total
+    last_useful_vt_ = vtime_;
+    switch (st.kind) {
+      case Step::Kind::kDone:
+        t.state = Task::State::kDone;
+        t.wait_reqs.clear();
+        --live_tasks_;
+        // A finished rank's endpoint still owes the fabric liveness —
+        // acks for peers' retransmits, keepalive replies — so keep it on
+        // the periodic tick until every task is done.
+        if (live_tasks_ > 0)
+          schedule_progress(r, vtime_ + cfg_.progress_period_ns);
+        return;
+      case Step::Kind::kBlocked:
+        t.state = Task::State::kBlocked;
+        t.wait = st.wait;
+        t.wait_reqs = std::move(st.reqs);
+        if (wait_satisfied(t)) {
+          make_runnable(r);
+        } else {
+          // Guaranteed wake-up source even if no further send targets this
+          // rank: periodic progress drives RTOs/keepalives/watchdog and
+          // re-evaluates the predicate.
+          schedule_progress(r, vtime_ + cfg_.progress_period_ns);
+        }
+        return;
+      case Step::Kind::kYield:
+        break;  // next quantum slice (or requeue below)
+    }
+  }
+  runnable_.push_back(r);
+}
+
+void WorldScheduler::progress_event(const Event& ev) {
+  const auto idx = static_cast<std::size_t>(ev.rank);
+  if (next_event_at_[idx] == ev.at) next_event_at_[idx] = kNoEvent;
+  world_->proc(ev.rank).progress();
+  ++events_;
+  Task* t = task(ev.rank);
+  if (t != nullptr && t->state == Task::State::kBlocked) {
+    if (wait_satisfied(*t))
+      make_runnable(ev.rank);
+    else
+      schedule_progress(ev.rank, vtime_ + cfg_.progress_period_ns);
+  } else if (t != nullptr && t->state == Task::State::kDone &&
+             live_tasks_ > 0) {
+    // Done ranks keep ticking (ack/keepalive liveness for live peers).
+    schedule_progress(ev.rank, vtime_ + cfg_.progress_period_ns);
+  }
+}
+
+bool WorldScheduler::sweep_dead_peers() {
+  bool drained = false;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    Task& t = tasks_[i];
+    if (t.program == nullptr || t.state != Task::State::kBlocked) continue;
+    const Rank r = static_cast<Rank>(i);
+    Proc& p = world_->proc(r);
+    if (t.wait == Step::Wait::kAny) {
+      // Only safe when the whole list is receives from Dead peers — the
+      // same all-or-nothing rule wait_any applies.
+      if (p.fail_dead_peer_waits(t.wait_reqs)) {
+        ++dead_drains_;
+        drained = true;
+      }
+    } else {
+      // wait-all: each incomplete receive naming a Dead peer blocks the
+      // task forever on its own, so drain them individually.
+      for (const Request q : t.wait_reqs) {
+        if (p.request_done(q)) continue;
+        if (p.fail_dead_peer_waits({&q, 1})) {
+          ++dead_drains_;
+          drained = true;
+        }
+      }
+    }
+    if (wait_satisfied(t)) make_runnable(r);
+  }
+  return drained;
+}
+
+std::size_t WorldScheduler::pick_runnable() {
+  if (cfg_.seed == 0 || runnable_.size() == 1) return 0;
+  return static_cast<std::size_t>(next_rng() % runnable_.size());
+}
+
+WorldScheduler::Outcome WorldScheduler::run() {
+  last_useful_vt_ = vtime_;
+  bool swept = false;  // dead-peer sweep already ran in this dry window
+  while (live_tasks_ > 0) {
+    if (!runnable_.empty()) {
+      const std::size_t pick = pick_runnable();
+      const Rank r = runnable_[pick];
+      runnable_.erase(runnable_.begin() +
+                      static_cast<std::deque<Rank>::difference_type>(pick));
+      if (tasks_[static_cast<std::size_t>(r)].state != Task::State::kRunnable)
+        continue;  // stale entry (rank re-queued then completed elsewhere)
+      swept = false;
+      run_task(r);
+      continue;
+    }
+    if (!events_heap_.empty()) {
+      const Event ev = events_heap_.top();
+      events_heap_.pop();
+      if (vtime_ < ev.at) vtime_ = ev.at;
+      progress_event(ev);
+      if (!runnable_.empty()) swept = false;
+      if (runnable_.empty() &&
+          vtime_ - last_useful_vt_ > cfg_.idle_timeout_ns) {
+        if (sweep_dead_peers()) {
+          swept = true;
+          continue;
+        }
+        if (swept) return Outcome::kDeadlock;  // second dry window
+        swept = true;
+        last_useful_vt_ = vtime_;  // grant one more window before giving up
+      }
+      continue;
+    }
+    // No runnable task and no pending event: progress every blocked rank
+    // once (idle sweep), then try the dead-peer drain, then give up.
+    bool moved = false;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      Task& t = tasks_[i];
+      if (t.program == nullptr || t.state != Task::State::kBlocked) continue;
+      const Rank r = static_cast<Rank>(i);
+      world_->proc(r).progress();
+      if (wait_satisfied(t)) {
+        make_runnable(r);
+        moved = true;
+      }
+    }
+    if (moved) continue;
+    if (sweep_dead_peers()) continue;
+    return Outcome::kDeadlock;
+  }
+  return Outcome::kCompleted;
+}
+
+}  // namespace otm::mpi

@@ -1,0 +1,164 @@
+// Event-driven rank scheduler (docs/SCALING.md): multiplexes N simulated
+// ranks as cooperative run-to-completion state machines over one shared
+// event queue, so 128-1024-rank worlds execute on a single OS thread
+// instead of thread-per-rank (World::run).
+//
+// Each rank's program is a step function invoked repeatedly; every
+// invocation runs to completion and returns what the rank does next —
+// yield, finish, or block on a request list (wait-any / wait-all). Blocked
+// ranks never poll: completions are driven by events. Proc::isend feeds a
+// delivery event for (src, dst) through World's send listener (the
+// send-complete / delivery edge); blocked ranks get periodic progress
+// events (the keepalive / RTO / watchdog tick edge) so reliable-delivery
+// retransmission, recovery, and DPA-watchdog state machines keep running
+// in virtual time while a rank waits.
+//
+// Determinism: events are ordered by (virtual time, push sequence) and the
+// runnable queue is FIFO, so a run is a pure function of the programs and
+// the seed. A nonzero seed perturbs which runnable rank is picked each
+// turn (schedule fuzz, tests/scheduler_test.cpp) without touching event
+// order — fairness and starvation-freedom hold for every seed.
+//
+// Liveness: when no useful work (a task step or an unblock) happens for
+// idle_timeout_ns of virtual time, the scheduler sweeps blocked ranks for
+// receives naming Dead peers (Proc::drain_peer) and, failing that, stops
+// and reports the deadlocked ranks instead of spinning.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace otm::mpi {
+
+class WorldScheduler {
+ public:
+  struct Config {
+    /// 0 = strict FIFO service of runnable ranks; nonzero seeds a
+    /// deterministic perturbation of the pick (schedule fuzz).
+    std::uint64_t seed = 0;
+    /// Virtual-time delay between an isend and the progress event it
+    /// schedules on the sender/receiver pair (the modeled wire hop).
+    std::uint64_t delivery_delay_ns = 50;
+    /// Re-progress period for blocked ranks: drives RTO retransmission,
+    /// keepalives, recovery and watchdog ticks while a rank waits.
+    std::uint64_t progress_period_ns = 200;
+    /// Virtual time without a task step or an unblock before the
+    /// dead-peer sweep runs; a second dry window declares deadlock.
+    std::uint64_t idle_timeout_ns = 400'000;
+    /// Consecutive steps a rank may take before it re-queues (quantum).
+    std::uint32_t quantum = 1;
+    /// Record every step into step_log() (determinism/fairness witness).
+    /// Off by default: a 1024-rank replay takes millions of steps.
+    bool log_steps = false;
+  };
+
+  /// What a task does after one run-to-completion step.
+  struct Step {
+    enum class Kind : std::uint8_t { kDone, kYield, kBlocked };
+    enum class Wait : std::uint8_t { kAll, kAny };
+    Kind kind = Kind::kYield;
+    Wait wait = Wait::kAll;
+    std::vector<Request> reqs;  ///< kBlocked only
+
+    static Step done() { return {Kind::kDone, Wait::kAll, {}}; }
+    static Step yield() { return {Kind::kYield, Wait::kAll, {}}; }
+    static Step wait_all(std::vector<Request> r) {
+      return {Kind::kBlocked, Wait::kAll, std::move(r)};
+    }
+    static Step wait_any(std::vector<Request> r) {
+      return {Kind::kBlocked, Wait::kAny, std::move(r)};
+    }
+  };
+
+  /// One rank's program: called with its Proc, runs to completion, returns
+  /// the rank's next state. Rank-local state lives in the closure.
+  using Program = std::function<Step(Proc&)>;
+
+  enum class Outcome : std::uint8_t {
+    kCompleted,  ///< every task returned Step::done()
+    kDeadlock,   ///< blocked tasks remained after the dead-peer sweep
+  };
+
+  explicit WorldScheduler(World& world) : WorldScheduler(world, Config{}) {}
+  WorldScheduler(World& world, const Config& cfg);
+  ~WorldScheduler();
+
+  WorldScheduler(const WorldScheduler&) = delete;
+  WorldScheduler& operator=(const WorldScheduler&) = delete;
+
+  /// Register rank r's program. Every rank that participates must be added
+  /// before run(); ranks without a task are progressed but never stepped.
+  void add_task(Rank r, Program program);
+
+  /// Drive all tasks to completion (or deadlock). Call once.
+  Outcome run();
+
+  // --- Introspection (tests, docs/SCALING.md) ------------------------------
+
+  std::uint64_t virtual_now() const noexcept { return vtime_; }
+  std::uint64_t events_processed() const noexcept { return events_; }
+  std::uint64_t steps(Rank r) const;
+  /// Order in which task steps ran — the determinism/fairness witness.
+  const std::vector<Rank>& step_log() const noexcept { return step_log_; }
+  /// Requests failed kPeerDead by the idle-time dead-peer sweep.
+  std::uint64_t dead_peer_drains() const noexcept { return dead_drains_; }
+  /// Ranks still blocked when run() returned kDeadlock (empty otherwise).
+  std::vector<Rank> blocked_ranks() const;
+
+ private:
+  struct Task {
+    Program program;
+    enum class State : std::uint8_t { kRunnable, kBlocked, kDone } state =
+        State::kRunnable;
+    Step::Wait wait = Step::Wait::kAll;
+    std::vector<Request> wait_reqs;
+    std::uint64_t steps = 0;
+  };
+
+  struct Event {
+    std::uint64_t at = 0;   ///< virtual time
+    std::uint64_t seq = 0;  ///< push order (total-order tiebreak)
+    Rank rank = 0;          ///< rank to progress
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Task* task(Rank r);
+  bool wait_satisfied(Task& t);
+  void make_runnable(Rank r);
+  void run_task(Rank r);
+  void schedule_progress(Rank r, std::uint64_t at);
+  void progress_event(const Event& ev);
+  bool sweep_dead_peers();
+  std::size_t pick_runnable();
+  std::uint64_t next_rng() noexcept;
+
+  World* world_;
+  Config cfg_;
+  std::vector<Task> tasks_;  ///< indexed by rank; program==nullptr => none
+  std::deque<Rank> runnable_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_heap_;
+  std::vector<std::uint64_t> next_event_at_;  ///< pending event per rank
+                                              ///< (kNoEvent = none queued)
+  std::uint64_t vtime_ = 0;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t last_useful_vt_ = 0;
+  std::uint64_t dead_drains_ = 0;
+  std::uint64_t rng_;
+  std::size_t live_tasks_ = 0;
+  std::vector<Rank> step_log_;
+
+  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+};
+
+}  // namespace otm::mpi

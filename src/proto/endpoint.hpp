@@ -245,6 +245,13 @@ class Endpoint {
   /// Create and connect the QP pair between this endpoint and `peer`.
   void connect(Endpoint& peer);
 
+  /// True when a QP pair to `peer` exists. Lets large worlds connect
+  /// lazily (docs/SCALING.md): connect() asserts on double connection, so
+  /// on-demand callers probe here first.
+  bool connected_to(Rank peer) const noexcept {
+    return qps_.find(peer) != qps_.end();
+  }
+
   Rank rank() const noexcept { return rank_; }
 
   /// Allocate matching structures for a communicator on the DPA

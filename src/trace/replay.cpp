@@ -1,0 +1,520 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace otm::trace {
+namespace {
+
+/// Reserved tag space for replayed collectives (dissemination-barrier
+/// rounds); application traces never use tags this large.
+constexpr Tag kCollTagBase = 1'000'000;
+constexpr std::uint32_t kCollBytes = 16;
+constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
+
+/// Packed (src, dst, tag) stream key: ranks < 2^20, tags < 2^24.
+std::uint64_t stream_key(Rank src, Rank dst, Tag tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 44) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) &
+          0xFFFFFFu);
+}
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Fold one completed receive into a fingerprint word.
+std::uint64_t fold_receive(Rank src, Tag tag, std::uint64_t stamp,
+                           std::uint32_t bytes) noexcept {
+  std::uint64_t h = 0x2545F4914F6CDD1Dull;
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix64(h ^ stamp);
+  h = mix64(h ^ bytes);
+  return h;
+}
+
+int ceil_log2(int n) noexcept {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+
+bool has_wildcards(const Trace& trace) noexcept {
+  for (const auto& rt : trace.ranks)
+    for (const auto& op : rt.ops) {
+      if (op.type != OpType::kRecv && op.type != OpType::kIrecv) continue;
+      if (op.peer == kAnySource || op.tag == kAnyTag) return true;
+    }
+  return false;
+}
+
+}  // namespace
+
+Trace slice_trace(const Trace& trace, double fraction) {
+  if (fraction >= 1.0 || trace.total_ops() == 0) return trace;
+  struct Span {
+    double start = 0.0;
+    double end = 0.0;
+    std::uint64_t stream = 0;  ///< matching stream key (0 = not p2p)
+    int delta = 0;             ///< +1 send, -1 receive
+  };
+  const bool wildcards = has_wildcards(trace);
+  std::vector<Span> spans;
+  spans.reserve(trace.total_ops());
+  double makespan = 0.0;
+  for (const auto& rt : trace.ranks)
+    for (const auto& op : rt.ops) {
+      Span s{op.start_ts, op.end_ts, 0, 0};
+      // Wildcard traces collapse the stream key to the destination rank:
+      // counts still have to balance even if pairing is ambiguous.
+      switch (op.type) {
+        case OpType::kSend:
+        case OpType::kIsend:
+          s.stream = wildcards ? stream_key(0, op.peer, 0)
+                               : stream_key(rt.rank, op.peer, op.tag);
+          s.delta = 1;
+          break;
+        case OpType::kRecv:
+        case OpType::kIrecv:
+          s.stream = wildcards ? stream_key(0, rt.rank, 0)
+                               : stream_key(op.peer, rt.rank, op.tag);
+          s.delta = -1;
+          break;
+        default:
+          break;
+      }
+      spans.push_back(s);
+      makespan = std::max(makespan, op.end_ts);
+    }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.start < b.start; });
+  // A boundary is a start time by which (a) every earlier-starting op has
+  // ended — nothing in flight on any rank — and (b) every message stream
+  // is balanced: each send issued before the boundary has its matching
+  // receive issued too. (a) alone is not enough: the generators' lockstep
+  // 1us ops make almost every tick look quiescent even mid-phase, and a
+  // cut between a phase's receives and its sends strands half the pairs.
+  std::vector<double> boundaries;
+  std::unordered_map<std::uint64_t, std::int64_t> stream_diff;
+  std::size_t unbalanced = 0;
+  double running_end = 0.0;
+  for (const Span& s : spans) {
+    if (s.start > 0.0 && running_end <= s.start && unbalanced == 0 &&
+        (boundaries.empty() || boundaries.back() != s.start))
+      boundaries.push_back(s.start);
+    running_end = std::max(running_end, s.end);
+    if (s.delta != 0) {
+      std::int64_t& diff = stream_diff[s.stream];
+      if (diff == 0) ++unbalanced;
+      diff += s.delta;
+      if (diff == 0) --unbalanced;
+    }
+  }
+  if (boundaries.empty()) return trace;
+  const double target = fraction * makespan;
+  double best = boundaries.front();
+  for (const double b : boundaries)
+    if (std::abs(b - target) < std::abs(best - target)) best = b;
+  Trace out;
+  out.app_name = trace.app_name;
+  out.num_ranks = trace.num_ranks;
+  out.ranks.resize(trace.ranks.size());
+  for (std::size_t i = 0; i < trace.ranks.size(); ++i) {
+    out.ranks[i].rank = trace.ranks[i].rank;
+    for (const auto& op : trace.ranks[i].ops)
+      if (op.start_ts < best) out.ranks[i].ops.push_back(op);
+  }
+  return out;
+}
+
+struct TraceReplayDriver::ReqInfo {
+  bool is_recv = false;
+  bool counted = false;  ///< harvested once already (exactly-once guard)
+  std::uint64_t expected_stamp = kNoStamp;  ///< oracle prediction
+  std::uint64_t oracle_cookie = 0;
+  std::vector<std::byte> buffer;  ///< payload storage, freed at harvest
+};
+
+struct TraceReplayDriver::RankState {
+  const std::vector<TraceOp>* ops = nullptr;  ///< trace rank's op list
+  std::size_t pc = 0;
+  int group_size = 0;   ///< T: ranks per instance
+  Rank group_base = 0;  ///< first global rank of this instance
+  /// Trace request id -> live mpi request (issued, not yet waited).
+  std::unordered_map<std::uint64_t, mpi::Request> live;
+  /// Issue order of live trace request ids.
+  std::deque<std::uint64_t> outstanding;
+  /// mpi request id -> bookkeeping, for everything issued and not yet
+  /// harvested (includes collective-round requests, which bypass `live`).
+  std::unordered_map<std::uint64_t, ReqInfo> inflight;
+  /// Requests the task blocked on; harvested at the next step entry.
+  std::vector<mpi::Request> to_harvest;
+  int coll_round = -1;  ///< -1 = not inside a collective
+  int coll_rounds = 0;
+  std::size_t queue_depth = 0;  ///< posted receives not yet harvested
+};
+
+TraceReplayDriver::TraceReplayDriver(const Trace& trace, int target_ranks,
+                                     const ReplayConfig& cfg)
+    : trace_(slice_trace(trace, cfg.slice)),
+      target_ranks_(target_ranks),
+      cfg_(cfg) {
+  OTM_ASSERT_MSG(trace_.num_ranks > 0 && target_ranks_ >= trace_.num_ranks &&
+                     target_ranks_ % trace_.num_ranks == 0,
+                 "target world must be an integer multiple of the trace");
+  instances_ = target_ranks_ / trace_.num_ranks;
+  wildcard_free_ = !has_wildcards(trace_);
+
+  mpi::WorldOptions opt;
+  opt.backend = mpi::Backend::kOffloadDpa;
+  opt.on_demand_connect = true;  // a 1024-rank full mesh is ~524k QP pairs
+  opt.match.bins = 64;
+  opt.match.block_size = 4;
+  opt.match.max_receives = 1024;
+  opt.match.max_unexpected = 1024;
+  opt.match.shards = cfg_.shards;
+  // Per-endpoint footprint shrunk so 1024 endpoints fit in one process.
+  opt.endpoint.eager_threshold = 512;
+  opt.endpoint.bounce_count = 128;
+  opt.endpoint.cq_depth = 1024;
+  opt.endpoint.reliability.mode = proto::ReliabilityConfig::Mode::kOn;
+  opt.endpoint.reliability.rto_ns = 500;
+  opt.endpoint.reliability.rto_max_ns = 4'000;
+  opt.endpoint.reliability.progress_tick_ns = 100;
+  opt.endpoint.reliability.retry_budget = cfg_.faults ? 64 : 16;
+  opt.endpoint.coalescing.enabled = cfg_.coalescing;
+  if (cfg_.faults) {
+    opt.fabric.fault.enabled = true;
+    opt.fabric.fault.seed = cfg_.fault_seed;
+    opt.fabric.fault.drop_probability = 0.01;
+    opt.fabric.fault.duplicate_probability = 0.005;
+    opt.fabric.fault.reorder_probability = 0.01;
+    opt.endpoint.recovery.enabled = true;
+    opt.endpoint.recovery.max_attempts = 16;
+    opt.endpoint.recovery.quiesce_ns = 200;
+  }
+  world_ = std::make_unique<mpi::World>(target_ranks_, opt);
+
+  const int T = trace_.num_ranks;
+  states_.resize(static_cast<std::size_t>(target_ranks_));
+  for (int g = 0; g < target_ranks_; ++g) {
+    RankState& st = states_[static_cast<std::size_t>(g)];
+    st.ops = &trace_.ranks[static_cast<std::size_t>(g % T)].ops;
+    st.group_size = T;
+    st.group_base = static_cast<Rank>((g / T) * T);
+  }
+  if (cfg_.oracle) {
+    oracle_.resize(static_cast<std::size_t>(target_ranks_));
+    cookie_req_.resize(static_cast<std::size_t>(target_ranks_));
+  }
+  result_.fingerprints.resize(static_cast<std::size_t>(T));
+  result_.match_counts.assign(static_cast<std::size_t>(T), 0);
+  result_.oracle_strict = cfg_.oracle && wildcard_free_;
+}
+
+TraceReplayDriver::~TraceReplayDriver() = default;
+
+std::size_t TraceReplayDriver::payload_len(std::uint32_t bytes) const noexcept {
+  return std::clamp<std::size_t>(bytes, 8, cfg_.max_payload_bytes);
+}
+
+mpi::Request TraceReplayDriver::issue_send(mpi::Proc& p, RankState& st,
+                                           Rank dst, Tag tag,
+                                           std::uint32_t bytes) {
+  ReqInfo info;
+  info.buffer.resize(payload_len(bytes));
+  const std::uint64_t stamp = send_seq_[stream_key(p.rank(), dst, tag)]++;
+  std::memcpy(info.buffer.data(), &stamp, sizeof(stamp));
+  const mpi::Request req =
+      p.isend(info.buffer, dst, tag, p.world_comm());
+  ++result_.messages_sent;
+  if (cfg_.oracle) oracle_arrive(dst, p.rank(), tag, stamp);
+  st.inflight.emplace(req.id, std::move(info));
+  return req;
+}
+
+mpi::Request TraceReplayDriver::issue_recv(mpi::Proc& p, RankState& st,
+                                           Rank src, Tag tag,
+                                           std::uint32_t bytes) {
+  ReqInfo info;
+  info.is_recv = true;
+  info.buffer.resize(payload_len(bytes));
+  const mpi::Request req = p.irecv(info.buffer, src, tag, p.world_comm());
+  ++result_.recvs_posted;
+  ++st.queue_depth;
+  result_.queue_depth_max = std::max(result_.queue_depth_max, st.queue_depth);
+  depth_sum_ += st.queue_depth;
+  ++depth_samples_;
+  if (cfg_.oracle) {
+    const std::uint64_t cookie = next_cookie_++;
+    info.oracle_cookie = cookie;
+    const auto idx = static_cast<std::size_t>(p.rank());
+    if (const auto matched =
+            oracle_[idx].post(MatchSpec{src, tag, 0}, cookie)) {
+      info.expected_stamp = *matched;  // paired with a stored unexpected
+    } else {
+      cookie_req_[idx].emplace(cookie, req.id);
+    }
+  }
+  st.inflight.emplace(req.id, std::move(info));
+  return req;
+}
+
+void TraceReplayDriver::oracle_arrive(Rank dst, Rank src, Tag tag,
+                                      std::uint64_t stamp) {
+  const auto idx = static_cast<std::size_t>(dst);
+  const auto receive =
+      oracle_[idx].arrive(Envelope{src, tag, 0}, /*message_id=*/stamp);
+  if (!receive) return;
+  auto& cookies = cookie_req_[idx];
+  const auto it = cookies.find(*receive);
+  if (it == cookies.end()) return;  // receive already harvested
+  RankState& dst_state = states_[idx];
+  const auto inflight = dst_state.inflight.find(it->second);
+  if (inflight != dst_state.inflight.end())
+    inflight->second.expected_stamp = stamp;
+  cookies.erase(it);
+}
+
+void TraceReplayDriver::harvest(mpi::Proc& p, RankState& st) {
+  for (const mpi::Request req : st.to_harvest) {
+    const auto it = st.inflight.find(req.id);
+    OTM_ASSERT_MSG(it != st.inflight.end(), "harvest of an unknown request");
+    ReqInfo& info = it->second;
+    mpi::Status status{};
+    const bool done = p.test(req, &status);
+    OTM_ASSERT_MSG(done, "harvest of an incomplete request");
+    if (info.is_recv) {
+      OTM_ASSERT(st.queue_depth > 0);
+      --st.queue_depth;
+      if (p.failed(req) || p.cancelled(req)) {
+        ++result_.recvs_failed;
+      } else {
+        if (info.counted) ++result_.exactly_once_violations;
+        info.counted = true;
+        ++result_.recvs_completed;
+        std::uint64_t stamp = 0;
+        std::memcpy(&stamp, info.buffer.data(), sizeof(stamp));
+        // FIFO: the k-th delivered message of each (src, dst, tag) stream
+        // must carry stamp k. Resync after a violation so one slip does
+        // not cascade into thousands of counts.
+        std::uint64_t& next =
+            recv_seq_[stream_key(status.source, p.rank(), status.tag)];
+        if (stamp != next) ++result_.fifo_violations;
+        next = stamp + 1;
+        if (result_.oracle_strict && info.expected_stamp != stamp)
+          ++result_.oracle_mismatches;
+        if (st.group_base == 0) {
+          const auto t = static_cast<std::size_t>(p.rank());
+          result_.fingerprints[t].push_back(
+              fold_receive(status.source, status.tag, stamp, status.bytes));
+          ++result_.match_counts[t];
+        }
+      }
+      if (cfg_.oracle && info.expected_stamp == kNoStamp)
+        cookie_req_[static_cast<std::size_t>(p.rank())].erase(
+            info.oracle_cookie);
+    } else if (p.failed(req)) {
+      ++result_.sends_failed;
+    }
+    st.inflight.erase(it);
+  }
+  st.to_harvest.clear();
+}
+
+mpi::WorldScheduler::Step TraceReplayDriver::wait_outstanding(
+    RankState& st, std::size_t count) {
+  count = std::min(count, st.outstanding.size());
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t trace_req = st.outstanding.front();
+    st.outstanding.pop_front();
+    const auto it = st.live.find(trace_req);
+    if (it == st.live.end()) continue;
+    reqs.push_back(it->second);
+    st.live.erase(it);
+  }
+  if (reqs.empty()) return mpi::WorldScheduler::Step::yield();
+  st.to_harvest = reqs;
+  return mpi::WorldScheduler::Step::wait_all(std::move(reqs));
+}
+
+mpi::WorldScheduler::Step TraceReplayDriver::collective_step(mpi::Proc& p,
+                                                             RankState& st) {
+  const int t = static_cast<int>(p.rank() - st.group_base);
+  const int dist = 1 << st.coll_round;
+  const Rank dst =
+      st.group_base + static_cast<Rank>((t + dist) % st.group_size);
+  const Rank src = st.group_base +
+                   static_cast<Rank>((t - dist % st.group_size +
+                                      st.group_size) %
+                                     st.group_size);
+  const Tag tag = kCollTagBase + static_cast<Tag>(st.coll_round);
+  const mpi::Request s = issue_send(p, st, dst, tag, kCollBytes);
+  const mpi::Request r = issue_recv(p, st, src, tag, kCollBytes);
+  ++st.coll_round;
+  st.to_harvest = {s, r};
+  return mpi::WorldScheduler::Step::wait_all({s, r});
+}
+
+mpi::WorldScheduler::Step TraceReplayDriver::step(mpi::Proc& p,
+                                                  RankState& st) {
+  harvest(p, st);
+  for (;;) {
+    if (st.coll_round >= 0) {
+      if (st.coll_round < st.coll_rounds) return collective_step(p, st);
+      st.coll_round = -1;
+      ++st.pc;
+      continue;
+    }
+    if (st.pc >= st.ops->size()) {
+      // Final drain: everything still outstanding (sends that were never
+      // waited, receives past the slice's last waitall) must land so the
+      // exactly-once accounting closes.
+      if (!st.outstanding.empty())
+        return wait_outstanding(st, st.outstanding.size());
+      return mpi::WorldScheduler::Step::done();
+    }
+    const TraceOp& op = (*st.ops)[st.pc];
+    switch (op.type) {
+      case OpType::kIsend: {
+        const Rank dst = st.group_base + op.peer;
+        const mpi::Request req = issue_send(p, st, dst, op.tag, op.bytes);
+        st.live.emplace(op.request, req);
+        st.outstanding.push_back(op.request);
+        ++st.pc;
+        break;
+      }
+      case OpType::kIrecv: {
+        const Rank src =
+            op.peer == kAnySource ? kAnySource : st.group_base + op.peer;
+        const mpi::Request req = issue_recv(p, st, src, op.tag, op.bytes);
+        st.live.emplace(op.request, req);
+        st.outstanding.push_back(op.request);
+        ++st.pc;
+        break;
+      }
+      case OpType::kSend: {
+        const Rank dst = st.group_base + op.peer;
+        const mpi::Request req = issue_send(p, st, dst, op.tag, op.bytes);
+        ++st.pc;
+        st.to_harvest = {req};
+        return mpi::WorldScheduler::Step::wait_all({req});
+      }
+      case OpType::kRecv: {
+        const Rank src =
+            op.peer == kAnySource ? kAnySource : st.group_base + op.peer;
+        const mpi::Request req = issue_recv(p, st, src, op.tag, op.bytes);
+        ++st.pc;
+        st.to_harvest = {req};
+        return mpi::WorldScheduler::Step::wait_all({req});
+      }
+      case OpType::kWait: {
+        ++st.pc;
+        const auto it = st.live.find(op.request);
+        if (it == st.live.end()) break;  // already waited (or sliced)
+        const mpi::Request req = it->second;
+        st.live.erase(it);
+        const auto pos = std::find(st.outstanding.begin(),
+                                   st.outstanding.end(), op.request);
+        if (pos != st.outstanding.end()) st.outstanding.erase(pos);
+        st.to_harvest = {req};
+        return mpi::WorldScheduler::Step::wait_all({req});
+      }
+      case OpType::kWaitall:
+      case OpType::kWaitany:
+      case OpType::kTest: {
+        // The generators' waitall counts are array lengths, not request
+        // identities; the sync point the apps express is "everything I
+        // have issued so far is finished".
+        ++st.pc;
+        if (st.outstanding.empty()) break;
+        return wait_outstanding(st, st.outstanding.size());
+      }
+      case OpType::kBarrier:
+      case OpType::kBcast:
+      case OpType::kReduce:
+      case OpType::kAllreduce:
+      case OpType::kGather:
+      case OpType::kGatherv:
+      case OpType::kScatter:
+      case OpType::kAlltoall:
+      case OpType::kAlltoallv:
+      case OpType::kAllgather: {
+        if (st.group_size <= 1) {
+          ++st.pc;
+          break;
+        }
+        st.coll_rounds = ceil_log2(st.group_size);
+        st.coll_round = 0;
+        return collective_step(p, st);
+      }
+      default:  // kInit, kFinalize, one-sided ops: bookkeeping only
+        ++st.pc;
+        break;
+    }
+  }
+}
+
+void TraceReplayDriver::collect_counters() {
+  for (int g = 0; g < target_ranks_; ++g) {
+    const auto& c = world_->endpoint(g).counters();
+    result_.messages_dropped += c.messages_dropped;
+    result_.retransmits += c.retransmits;
+    result_.epoch_bumps += c.epoch_bumps;
+    result_.modeled_ns =
+        std::max(result_.modeled_ns, world_->endpoint(g).now_ns());
+    if (const MatchStats* ms = world_->proc(g).match_stats()) {
+      result_.conflicts += ms->conflicts_detected;
+      result_.match_attempts += ms->match_attempts;
+    }
+  }
+}
+
+ReplayResult TraceReplayDriver::run() {
+  mpi::WorldScheduler::Config sched_cfg;
+  sched_cfg.seed = cfg_.sched_seed;
+  mpi::WorldScheduler sched(*world_, sched_cfg);
+  for (int g = 0; g < target_ranks_; ++g) {
+    RankState& st = states_[static_cast<std::size_t>(g)];
+    sched.add_task(g, [this, &st](mpi::Proc& p) { return step(p, st); });
+  }
+  const auto outcome = sched.run();
+  result_.completed = outcome == mpi::WorldScheduler::Outcome::kCompleted;
+  result_.deadlock = outcome == mpi::WorldScheduler::Outcome::kDeadlock;
+  result_.blocked = sched.blocked_ranks();
+  // Settle: a few quiet progress rounds so trailing acks/keepalives drain
+  // and the endpoint counters stop moving.
+  for (int round = 0; round < 64; ++round)
+    for (int g = 0; g < target_ranks_; ++g) world_->proc(g).progress();
+  result_.virtual_ns = sched.virtual_now();
+  result_.events = sched.events_processed();
+  result_.dead_peer_drains = sched.dead_peer_drains();
+  for (int g = 0; g < target_ranks_; ++g)
+    result_.scheduler_steps += sched.steps(g);
+  if (result_.completed) {
+    // Exactly-once closure: nothing may remain in flight.
+    for (const RankState& st : states_)
+      for (const auto& [id, info] : st.inflight)
+        if (info.is_recv && !info.counted) ++result_.exactly_once_violations;
+  }
+  result_.queue_depth_avg =
+      depth_samples_ == 0
+          ? 0.0
+          : static_cast<double>(depth_sum_) /
+                static_cast<double>(depth_samples_);
+  collect_counters();
+  return result_;
+}
+
+}  // namespace otm::trace

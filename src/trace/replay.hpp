@@ -1,0 +1,179 @@
+// Full-stack trace replay (docs/SCALING.md): drive a NERSC/DUMPI-style
+// trace through the complete offloaded endpoint stack — proto::Endpoint
+// channels, reliability windows, coalescing, the sharded DPA matcher —
+// with every simulated rank multiplexed on one thread by the event-driven
+// WorldScheduler (mpi/scheduler.hpp). This is how 128-1024-rank worlds
+// run inside a single test process.
+//
+// Scaling a trace: the target world must be an integer multiple k of the
+// trace's rank count T. The world is tiled with k independent instances of
+// the application; instance i maps trace rank t to global rank i*T + t at
+// issue time. Instances share the fabric, endpoints and matcher shards but
+// exchange no messages, so instance 0 is bit-identical across world sizes
+// — the cross-scale invariance witness (tests/soak_test.cpp).
+//
+// Replay semantics:
+//  - isend/irecv/send/recv translate 1:1 (payloads clamped to
+//    [8, max_payload_bytes] and stamped with a per-(src,dst,tag) stream
+//    sequence number in the first 8 bytes).
+//  - kWait waits its traced request; kWaitall/kWaitany wait everything the
+//    rank has outstanding (the generators' waitall counts are array
+//    lengths, not request identities — waiting all is the sync point the
+//    apps express).
+//  - Collectives replay as a dissemination barrier inside the instance
+//    group (reserved tags >= 1'000'000), so every collective message goes
+//    through the offloaded matcher too (paper Sec. VII).
+//
+// Verification riding along with every replay:
+//  - exactly-once: every posted receive completes at most once and
+//    nothing is left in flight after a completed run;
+//  - FIFO: the k-th received message of each (source, dest, tag) stream
+//    carries stamp k (MPI non-overtaking);
+//  - ListMatcher differential oracle: a per-receiver two-queue reference
+//    matcher is driven at issue time (post at irecv, arrive at isend) and
+//    predicts the stamp each receive must observe. The prediction is
+//    interleave-independent only for wildcard-free traces, so the strict
+//    comparison arms only when the trace has no ANY_SOURCE/ANY_TAG.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/list_matcher.hpp"
+#include "mpi/scheduler.hpp"
+#include "trace/ops.hpp"
+
+namespace otm::trace {
+
+/// Cut `trace` at the global synchronization boundary nearest
+/// `fraction * makespan` and keep only the ops that start before it. A
+/// boundary is a time m where every op starting before m has also ended —
+/// the generators emit matched send/receive pairs within one inter-sync
+/// phase, so slicing there never strands half of a pair. Returns the trace
+/// unchanged when fraction >= 1 or no interior boundary exists.
+Trace slice_trace(const Trace& trace, double fraction);
+
+struct ReplayConfig {
+  /// Matcher shards for the default communicator (power of two, <= 8).
+  unsigned shards = 1;
+  /// WorldScheduler fuzz seed (0 = strict FIFO service).
+  std::uint64_t sched_seed = 0;
+  /// Enable the PR-2 fault injector plus channel recovery; retry budgets
+  /// are sized so no message is ever dropped (the soak asserts it).
+  bool faults = false;
+  std::uint64_t fault_seed = 0xc7a05;
+  /// Enable merged-message coalescing on every endpoint.
+  bool coalescing = false;
+  /// Run the ListMatcher differential oracle (strict only when the trace
+  /// is wildcard-free).
+  bool oracle = true;
+  /// Payload clamp: trace byte counts map to [8, max_payload_bytes] so
+  /// 1024 endpoints' buffers fit in one process. Keep <= eager threshold
+  /// (512) unless the replay should exercise rendezvous.
+  std::size_t max_payload_bytes = 512;
+  /// Replay only the slice_trace() prefix of this fraction (1.0 = all).
+  double slice = 1.0;
+};
+
+struct ReplayResult {
+  bool completed = false;
+  bool deadlock = false;
+  std::vector<Rank> blocked;  ///< ranks stuck when deadlock is reported
+
+  // Traffic.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t recvs_completed = 0;
+  std::uint64_t sends_failed = 0;
+  std::uint64_t recvs_failed = 0;  ///< drained (peer death) or cancelled
+
+  // Scheduler / clock.
+  std::uint64_t virtual_ns = 0;  ///< scheduler virtual time at completion
+  std::uint64_t modeled_ns = 0;  ///< max endpoint clock (modeled msg rate)
+  std::uint64_t events = 0;
+  std::uint64_t scheduler_steps = 0;
+  std::uint64_t dead_peer_drains = 0;
+
+  // Matching / endpoint counters (summed over ranks).
+  std::size_t queue_depth_max = 0;  ///< peak outstanding posted receives
+  double queue_depth_avg = 0.0;     ///< mean depth sampled at every post
+  std::uint64_t conflicts = 0;      ///< MatchStats.conflicts_detected
+  std::uint64_t match_attempts = 0;
+  std::uint64_t messages_dropped = 0;  ///< retry budgets exhausted
+  std::uint64_t retransmits = 0;
+  std::uint64_t epoch_bumps = 0;  ///< channel recoveries completed
+
+  // Verification verdicts.
+  bool oracle_strict = false;  ///< wildcard-free trace: mismatches armed
+  std::uint64_t oracle_mismatches = 0;
+  std::uint64_t fifo_violations = 0;
+  std::uint64_t exactly_once_violations = 0;
+
+  /// Instance-0 witness for cross-scale invariance: per trace rank, one
+  /// fold of (source, tag, stamp, bytes) per completed receive in posting
+  /// order, plus the per-rank completed-receive count.
+  std::vector<std::vector<std::uint64_t>> fingerprints;
+  std::vector<std::uint64_t> match_counts;
+};
+
+/// One replay of `trace` tiled onto `target_ranks` simulated ranks.
+/// Construct, run() once, then inspect the result (and world() for
+/// endpoint-level assertions).
+class TraceReplayDriver {
+ public:
+  TraceReplayDriver(const Trace& trace, int target_ranks,
+                    const ReplayConfig& cfg = {});
+  ~TraceReplayDriver();
+
+  TraceReplayDriver(const TraceReplayDriver&) = delete;
+  TraceReplayDriver& operator=(const TraceReplayDriver&) = delete;
+
+  ReplayResult run();
+
+  mpi::World& world() { return *world_; }
+  int target_ranks() const noexcept { return target_ranks_; }
+  bool wildcard_free() const noexcept { return wildcard_free_; }
+
+ private:
+  struct ReqInfo;
+  struct RankState;
+
+  mpi::WorldScheduler::Step step(mpi::Proc& p, RankState& st);
+  mpi::WorldScheduler::Step collective_step(mpi::Proc& p, RankState& st);
+  mpi::WorldScheduler::Step wait_outstanding(RankState& st,
+                                             std::size_t count);
+  void harvest(mpi::Proc& p, RankState& st);
+  mpi::Request issue_send(mpi::Proc& p, RankState& st, Rank dst, Tag tag,
+                          std::uint32_t bytes);
+  mpi::Request issue_recv(mpi::Proc& p, RankState& st, Rank src, Tag tag,
+                          std::uint32_t bytes);
+  void oracle_arrive(Rank dst, Rank src, Tag tag, std::uint64_t stamp);
+  std::size_t payload_len(std::uint32_t bytes) const noexcept;
+  void collect_counters();
+
+  Trace trace_;  ///< sliced copy the programs execute
+  int target_ranks_;
+  int instances_;
+  ReplayConfig cfg_;
+  bool wildcard_free_ = true;
+  std::unique_ptr<mpi::World> world_;
+  std::vector<RankState> states_;
+
+  // Stream bookkeeping, keyed by packed (src, dst, tag).
+  std::unordered_map<std::uint64_t, std::uint64_t> send_seq_;
+  std::unordered_map<std::uint64_t, std::uint64_t> recv_seq_;
+
+  // Differential oracle: one reference matcher per receiving rank plus the
+  // cookie -> pending request-id map for posts that matched nothing yet.
+  std::vector<ListMatcher> oracle_;
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> cookie_req_;
+  std::uint64_t next_cookie_ = 1;
+
+  std::uint64_t depth_sum_ = 0;
+  std::uint64_t depth_samples_ = 0;
+  ReplayResult result_;
+};
+
+}  // namespace otm::trace

@@ -3,6 +3,8 @@
 // with the fast path and ordering after a mid-sequence cancel.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/engine.hpp"
 #include "mpi/mpi.hpp"
 
@@ -237,6 +239,37 @@ TEST(MpiPeerDeath, CancelStillWorksOnReceivesNamingADeadPeer) {
   EXPECT_TRUE(p0.cancelled(req));
   EXPECT_EQ(p0.request_error(req), mpi::Proc::RequestError::kNone)
       << "a user cancel is not a peer-death failure";
+}
+
+TEST(MpiPeerDeath, WaitAnyReturnsTypedErrorInsteadOfSpinning) {
+  // Regression: wait_any used to busy-spin forever when every pending
+  // request was a receive naming a Dead peer. It must now drain them and
+  // return a completed-but-failed request with the typed kPeerDead error.
+  mpi::World world(3, black_hole_world());
+  const mpi::Comm comm = world.proc(0).world_comm();
+  auto& p0 = world.proc(0);
+
+  // Burn both peers' retry budgets so the health machine declares them Dead.
+  p0.isend(std::vector<std::byte>(64), 1, 0, comm);
+  p0.isend(std::vector<std::byte>(64), 2, 0, comm);
+  for (int i = 0; i < 8000 && !(p0.peer_dead(1) && p0.peer_dead(2)); ++i)
+    p0.progress();
+  ASSERT_TRUE(p0.peer_dead(1));
+  ASSERT_TRUE(p0.peer_dead(2));
+
+  std::vector<std::byte> rx1(64), rx2(64);
+  const std::array<mpi::Request, 2> reqs{p0.irecv(rx1, 1, 7, comm),
+                                         p0.irecv(rx2, 2, 7, comm)};
+  mpi::Status status{};
+  const std::size_t idx = p0.wait_any(reqs, &status);
+  ASSERT_LT(idx, reqs.size());
+  EXPECT_TRUE(p0.failed(reqs[idx]));
+  EXPECT_EQ(p0.request_error(reqs[idx]), mpi::Proc::RequestError::kPeerDead);
+  // The drain failed every receive naming a dead peer, not just one.
+  for (const auto req : reqs) {
+    EXPECT_TRUE(p0.test(req));
+    EXPECT_EQ(p0.request_error(req), mpi::Proc::RequestError::kPeerDead);
+  }
 }
 
 TEST(MpiCancel, SoftwareBackendCancel) {

@@ -1,0 +1,153 @@
+// Scale soak battery (docs/SCALING.md): NERSC-style traces replayed
+// through the FULL offloaded stack — Endpoint channels, reliability
+// windows, sharded DPA matching — at 128-1024 simulated ranks multiplexed
+// by the event-driven WorldScheduler. The oracle at every scale is the
+// ListMatcher differential plus the exactly-once and per-stream FIFO
+// asserts the replay driver computes as it harvests completions.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "trace/replay.hpp"
+#include "trace/synthetic.hpp"
+
+namespace otm::trace {
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* s = std::getenv("OTM_CHAOS_SEED")) {
+    const auto v = std::strtoull(s, nullptr, 10);
+    if (v != 0) return v;
+  }
+  return 42;
+}
+
+Trace app(const char* name) {
+  const AppInfo* info = find_app(name);
+  EXPECT_NE(info, nullptr) << name << " missing from the application suite";
+  return info == nullptr ? Trace{} : info->make();
+}
+
+void expect_clean(const ReplayResult& r, const char* what) {
+  EXPECT_TRUE(r.completed) << what << ": replay did not complete";
+  EXPECT_FALSE(r.deadlock) << what << ": deadlocked, blocked ranks: "
+                           << r.blocked.size();
+  EXPECT_EQ(r.exactly_once_violations, 0u) << what;
+  EXPECT_EQ(r.fifo_violations, 0u) << what;
+  EXPECT_EQ(r.messages_dropped, 0u) << what;
+  EXPECT_EQ(r.recvs_failed, 0u) << what;
+  EXPECT_EQ(r.sends_failed, 0u) << what;
+  EXPECT_EQ(r.recvs_completed, r.messages_sent)
+      << what << ": every send must be received exactly once";
+  if (r.oracle_strict)
+    EXPECT_EQ(r.oracle_mismatches, 0u)
+        << what << ": ListMatcher differential disagreed";
+}
+
+TEST(ScaleSoak, Lulesh128ThroughFullStack) {
+  const Trace t = app("LULESH");
+  ASSERT_GT(t.num_ranks, 0);
+  ReplayConfig cfg;
+  cfg.slice = 0.25;
+  TraceReplayDriver driver(t, 128, cfg);
+  EXPECT_TRUE(driver.wildcard_free());
+  const auto r = driver.run();
+  expect_clean(r, "lulesh r128");
+  EXPECT_TRUE(r.oracle_strict);
+  EXPECT_GT(r.messages_sent, 0u);
+  EXPECT_GT(r.queue_depth_max, 0u);
+  EXPECT_GT(r.match_attempts, 0u) << "traffic bypassed the DPA matcher";
+}
+
+TEST(ScaleSoak, ChaosSoakReplayedTraceExactlyOnceUnderFaults) {
+  // 128-rank LULESH replay with the PR-2 fault injector dropping,
+  // duplicating and reordering packets while channel recovery is armed.
+  // Retry budgets are sized so reliability must save every message: zero
+  // messages_dropped, oracle green, exactly-once at both shard counts.
+  const Trace t = app("LULESH");
+  ASSERT_GT(t.num_ranks, 0);
+  for (const unsigned shards : {1u, 4u}) {
+    ReplayConfig cfg;
+    cfg.slice = 0.12;
+    cfg.shards = shards;
+    cfg.faults = true;
+    cfg.fault_seed = chaos_seed();
+    TraceReplayDriver driver(t, 128, cfg);
+    const auto r = driver.run();
+    SCOPED_TRACE(testing::Message() << "shards=" << shards
+                                    << " fault seed=" << cfg.fault_seed);
+    expect_clean(r, "lulesh r128 faults");
+    EXPECT_GT(r.retransmits, 0u) << "the fault injector never fired";
+  }
+}
+
+TEST(ScaleSoak, CrossScaleInvariance8To128) {
+  // The same AMG slice replayed natively (8 ranks) and tiled onto 128
+  // ranks (16 instances): instance 0 shares the fabric and matcher shards
+  // with 15 noisy neighbors, yet its per-receive delivery fingerprints and
+  // match counts must be identical to the native run.
+  const Trace t = app("AMG");
+  ASSERT_GT(t.num_ranks, 0);
+  ReplayConfig cfg;
+  cfg.slice = 0.3;
+  TraceReplayDriver native(t, 8, cfg);
+  ASSERT_TRUE(native.wildcard_free());
+  const auto a = native.run();
+  expect_clean(a, "amg native r8");
+
+  TraceReplayDriver tiled(t, 128, cfg);
+  const auto b = tiled.run();
+  expect_clean(b, "amg tiled r128");
+
+  EXPECT_GT(b.messages_sent, a.messages_sent * 15)
+      << "tiling did not scale the traffic";
+  ASSERT_EQ(a.match_counts.size(), b.match_counts.size());
+  EXPECT_EQ(a.match_counts, b.match_counts)
+      << "per-rank match counts diverged across world sizes";
+  ASSERT_EQ(a.fingerprints.size(), b.fingerprints.size());
+  for (std::size_t r = 0; r < a.fingerprints.size(); ++r)
+    EXPECT_EQ(a.fingerprints[r], b.fingerprints[r])
+        << "per-(peer,tag) delivery order diverged at rank " << r;
+}
+
+TEST(ScaleSoak, BigFft1024RanksThroughFullEndpoint) {
+  // The acceptance run: a 1024-rank BigFFT transpose phase through the
+  // full offloaded endpoint (not matcher-only), sharded 4 ways, with the
+  // differential oracle strict (the trace is wildcard-free).
+  const Trace t = app("BigFFT");
+  ASSERT_EQ(t.num_ranks, 1024);
+  ReplayConfig cfg;
+  cfg.slice = 0.25;  // one of the four transpose phases
+  cfg.shards = 4;
+  TraceReplayDriver driver(t, 1024, cfg);
+  ASSERT_TRUE(driver.wildcard_free());
+  const auto r = driver.run();
+  expect_clean(r, "bigfft r1024");
+  EXPECT_TRUE(r.oracle_strict);
+  EXPECT_GT(r.messages_sent, 10'000u);
+  EXPECT_GT(r.match_attempts, 0u);
+  EXPECT_GT(r.modeled_ns, 0u);
+}
+
+TEST(ScaleSoak, SliceCutsAtSyncBoundaries) {
+  const Trace t = app("BigFFT");
+  ASSERT_EQ(t.num_ranks, 1024);
+  const Trace half = slice_trace(t, 0.5);
+  EXPECT_LT(half.total_ops(), t.total_ops());
+  EXPECT_GT(half.total_ops(), 0u);
+  // A boundary slice keeps send/recv pairs together: per rank, equal send
+  // and receive op counts (BigFFT is a symmetric transpose).
+  for (const auto& rt : half.ranks) {
+    std::size_t sends = 0, recvs = 0;
+    for (const auto& op : rt.ops) {
+      sends += op.type == OpType::kIsend || op.type == OpType::kSend;
+      recvs += op.type == OpType::kIrecv || op.type == OpType::kRecv;
+    }
+    EXPECT_EQ(sends, recvs) << "rank " << rt.rank;
+  }
+  const Trace all = slice_trace(t, 1.0);
+  EXPECT_EQ(all.total_ops(), t.total_ops());
+}
+
+}  // namespace
+}  // namespace otm::trace
