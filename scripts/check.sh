@@ -14,8 +14,10 @@
 #   scripts/check.sh --lint     # static-analysis gate (docs/STATIC_ANALYSIS.md):
 #                               #   1. src-only OTM_LINT build (-Werror; plus
 #                               #      -Wthread-safety when CXX is clang)
-#                               #   2. tools/otmlint fixtures + full tree (R1-R6)
+#                               #   2. tools/otmlint fixtures + full tree (R1-R9)
 #                               #   3. clang-tidy over src/ (when installed)
+#                               #   4. clang static analyzer over src/ (when
+#                               #      installed; scripts/clang_analyze.py)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,7 +52,7 @@ run_lint() {
     lint_cxx=clang++
   fi
 
-  echo "== lint 1/3: OTM_LINT build (src only, -Werror) =="
+  echo "== lint 1/4: OTM_LINT build (src only, -Werror) =="
   cmake -B build-lint -S . \
     -DOTM_LINT=ON \
     -DOTM_BUILD_TESTS=OFF \
@@ -59,18 +61,22 @@ run_lint() {
     ${lint_cxx:+-DCMAKE_CXX_COMPILER="$lint_cxx"} >/dev/null
   cmake --build build-lint -j
 
-  echo "== lint 2/3: otmlint (fixtures + tree, R1-R6) =="
+  echo "== lint 2/4: otmlint (fixtures + tree, R1-R9) =="
   python3 tools/otmlint --root . --self-test --fixtures tests/lint_fixtures
   python3 tools/otmlint --root . \
     --compile-commands build-lint/compile_commands.json
 
-  echo "== lint 3/3: clang-tidy (src/) =="
+  echo "== lint 3/4: clang-tidy (src/) =="
   if command -v clang-tidy >/dev/null 2>&1; then
     find src -name '*.cpp' -print0 |
       xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build-lint --quiet
   else
     echo "-- clang-tidy not installed; skipping (CI lint job runs it)"
   fi
+
+  echo "== lint 4/4: clang static analyzer (src/) =="
+  python3 scripts/clang_analyze.py \
+    --compile-commands build-lint/compile_commands.json
 }
 
 if [[ "$MODE" == "tsan" ]]; then

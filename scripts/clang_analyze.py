@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Run the clang static analyzer over the repo's own sources.
+
+Drives `clang++ --analyze` from compile_commands.json (so every TU is
+analyzed with its real flags), in parallel, and filters the diagnostics
+through scripts/analyzer_suppressions.txt. Stdlib-only on purpose: the
+lint gate must run on a bare toolchain image.
+
+Suppression file format: one entry per line, `#` comments allowed.
+An entry matches a diagnostic when it is a substring of the
+"path:line: warning: message [checker]" string — suppress whole checkers
+("[deadcode.DeadStores]"), whole files ("src/trace/"), or one specific
+diagnostic ("endpoint.cpp:123"). Keep entries narrow and justified.
+
+Usage:
+  scripts/clang_analyze.py --compile-commands build-lint/compile_commands.json
+  scripts/clang_analyze.py --ccdb ... --jobs 4 --filter src/proto
+
+Exit status: 0 clean (or analyzer unavailable: prints a skip notice),
+1 unsuppressed diagnostics, 2 usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+# Diagnostic lines look like:  path:line:col: warning: message [checker]
+DIAG_RE = re.compile(r"^(?P<path>[^:\n]+):(?P<line>\d+):\d+:\s+warning:")
+
+
+def find_analyzer():
+    """The clang++ that will run --analyze, or None."""
+    for cand in (os.environ.get("OTM_ANALYZER_CXX"), "clang++"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def load_suppressions(path):
+    if not os.path.exists(path):
+        return []
+    out = []
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                out.append(line)
+    return out
+
+
+def load_ccdb(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def analyze_args(entry):
+    """compile_commands entry -> argv for --analyze (no -c/-o, keep flags)."""
+    argv = entry.get("arguments") or shlex.split(entry["command"])
+    out = []
+    skip = False
+    for a in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        if a == "-c" or a.endswith(".o"):
+            continue
+        out.append(a)
+    return out
+
+
+def run_one(analyzer, entry, root):
+    args = [analyzer, "--analyze",
+            "--analyzer-output", "text",
+            # The core + security + deadcode packages; unix/osx checkers add
+            # noise for a simulator that never does raw syscalls.
+            "-Xclang", "-analyzer-checker=core,deadcode,cplusplus,security",
+            *analyze_args(entry)]
+    r = subprocess.run(args, capture_output=True, text=True,
+                       cwd=entry.get("directory", root), timeout=600)
+    diags = []
+    for line in (r.stdout + r.stderr).splitlines():
+        if DIAG_RE.match(line):
+            diags.append(line)
+    # returncode != 0 without diagnostics means the TU did not even parse
+    # (wrong flags for this clang); surface that as its own failure.
+    broken = r.returncode != 0 and not diags
+    return entry["file"], diags, broken, r.stderr if broken else ""
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="clang_analyze.py", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--compile-commands", "--ccdb", dest="ccdb",
+                    default="build-lint/compile_commands.json")
+    ap.add_argument("--suppressions",
+                    default="scripts/analyzer_suppressions.txt")
+    ap.add_argument("--filter", default="src/",
+                    help="only analyze TUs whose path contains this "
+                         "(default: src/)")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    analyzer = find_analyzer()
+    if analyzer is None:
+        print("clang_analyze: clang++ not found; skipping "
+              "(CI lint job runs the analyzer)")
+        return 0
+    if not os.path.exists(args.ccdb):
+        print(f"clang_analyze: no {args.ccdb} (configure with "
+              f"CMAKE_EXPORT_COMPILE_COMMANDS=ON first)", file=sys.stderr)
+        return 2
+
+    root = os.getcwd()
+    entries = [e for e in load_ccdb(args.ccdb) if args.filter in e["file"]]
+    if not entries:
+        print(f"clang_analyze: no TUs match '{args.filter}' in {args.ccdb}",
+              file=sys.stderr)
+        return 2
+    suppressions = load_suppressions(args.suppressions)
+
+    kept, suppressed, broken_tus = [], 0, []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, analyzer, e, root) for e in entries]
+        for fut in concurrent.futures.as_completed(futures):
+            tu, diags, broken, err = fut.result()
+            if broken:
+                broken_tus.append((tu, err.strip().splitlines()[:3]))
+                continue
+            for d in diags:
+                if any(s in d for s in suppressions):
+                    suppressed += 1
+                    if args.verbose:
+                        print(f"suppressed: {d}")
+                else:
+                    kept.append(d)
+
+    for d in sorted(kept):
+        print(d)
+    for tu, err in broken_tus:
+        print(f"clang_analyze: {tu}: analyzer run failed:", file=sys.stderr)
+        for line in err:
+            print(f"  {line}", file=sys.stderr)
+    print(f"clang_analyze: {len(entries)} TUs, {len(kept)} diagnostics "
+          f"({suppressed} suppressed)")
+    if broken_tus:
+        return 2
+    return 0 if not kept else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

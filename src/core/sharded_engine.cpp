@@ -206,6 +206,17 @@ PostOutcome ShardedEngine::post_receive(const MatchSpec& spec,
   return out;
 }
 
+std::uint64_t ShardedEngine::labels_allocated() const noexcept {
+  if (shard_count() == 1) {
+    // Single-shard posts go straight through the shard's ReceiveStore, so
+    // its engine-serialized label counter is the watermark.
+    const ReceiveStore& store = shards_[0]->receives();
+    SerialSection serial(store.serial());
+    return store.next_label();
+  }
+  return labels_.peek();
+}
+
 std::optional<ProbeResult> ShardedEngine::probe(const MatchSpec& spec) {
   if (shard_count() == 1) return shards_[0]->probe(spec);
   SerialSection ingress(ingress_);

@@ -234,6 +234,14 @@ class ShardedEngine {
   const ClaimTable& claims() const noexcept { return claims_; }
   CrossShardLabelAllocator& label_allocator() noexcept { return labels_; }
 
+  /// Posting-label watermark: how many labels this engine has handed out
+  /// (constraint C1's allocation counter). The single-shard fast path posts
+  /// through the shard's own ReceiveStore and bypasses the cross-shard
+  /// allocator, so the watermark reads from whichever source is live. The
+  /// verification oracles check it is non-decreasing and advances exactly
+  /// once per accepted post (docs/VERIFICATION.md).
+  std::uint64_t labels_allocated() const noexcept;
+
  private:
   struct Registration {
     std::uint32_t claim_idx = kInvalidSlot;

@@ -83,6 +83,14 @@ class DpaAccelerator {
   ShardedEngine& sharded_engine(CommId comm = 0);
   const ShardedEngine& sharded_engine(CommId comm = 0) const;
 
+  /// Posting-label watermark of `comm` (0 for unregistered comms): the C1
+  /// allocation counter the verification oracles sample after every
+  /// scheduler step (monotone, +1 per accepted post — docs/VERIFICATION.md).
+  std::uint64_t labels_allocated(CommId comm) const noexcept {
+    const auto it = engines_.find(comm);
+    return it == engines_.end() ? 0 : comm_labels_allocated(*it->second);
+  }
+
   /// Statistics aggregated over every registered communicator.
   MatchStats total_stats() const;
 
@@ -162,6 +170,10 @@ class DpaAccelerator {
         : engine(cfg, costs) {}
     ShardedEngine engine;  ///< K == 1 delegates verbatim to one MatchEngine
   };
+
+  static std::uint64_t comm_labels_allocated(const CommEngine& ce) noexcept {
+    return ce.engine.labels_allocated();
+  }
 
   static std::size_t footprint_of(const MatchConfig& cfg) noexcept {
     const auto f = MemoryFootprint::of(cfg.bins, cfg.max_receives);

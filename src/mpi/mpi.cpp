@@ -144,7 +144,16 @@ Request Proc::isend(std::span<const std::byte> data, Rank dst, Tag tag,
         case proto::Outcome::kFailed:
           rs.error = RequestError::kDeliveryFailed;
           break;
-        default:
+        case proto::Outcome::kRnr:
+        case proto::Outcome::kBackpressure:
+          rs.error = RequestError::kSendRefused;
+          break;
+        case proto::Outcome::kCompleted:
+        case proto::Outcome::kQueued:
+        case proto::Outcome::kPending:
+        case proto::Outcome::kFallback:
+          // Success outcomes never pair with !ok; keep the refusal cause
+          // (tools/otmlint R9: no default swallowing future outcomes).
           rs.error = RequestError::kSendRefused;
           break;
       }
@@ -187,10 +196,17 @@ bool Proc::try_post_offload(const MatchSpec& spec, std::span<std::byte> buf,
       return true;
     case proto::Outcome::kFallback:
       return false;
-    default:  // post_receive never reports the send-side outcomes
+    case proto::Outcome::kQueued:
+    case proto::Outcome::kRnr:
+    case proto::Outcome::kBackpressure:
+    case proto::Outcome::kFailed:
+    case proto::Outcome::kPeerDead:
+      // post_receive never reports the send-side outcomes (otmlint R9:
+      // name them instead of hiding behind a default).
       OTM_ASSERT_MSG(false, "unexpected post_receive outcome");
       return false;
   }
+  return false;  // unreachable; keeps -Wreturn-type happy without a default
 }
 
 Request Proc::irecv(std::span<std::byte> buf, Rank src, Tag tag,

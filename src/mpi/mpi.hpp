@@ -344,6 +344,11 @@ class World {
     return *endpoints_[static_cast<std::size_t>(r)];
   }
 
+  /// The world-owned simulated fabric. The verification harness reaches
+  /// the fault injector through here (fabric().injector(), non-null iff
+  /// options.fabric.fault.enabled) to install explorer fate hooks.
+  rdma::Fabric& fabric() noexcept { return fabric_; }
+
   /// The world-owned observability context (null when options.obs is all
   /// off or the backend is software). Rank r's endpoint publishes under
   /// the "rank<r>" prefix.

@@ -1,14 +1,60 @@
 #include "mpi/scheduler.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace otm::mpi {
 
+namespace {
+
+/// Extract the "sched_picks" integer array from a .otmsched counterexample
+/// (docs/VERIFICATION.md). Deliberately minimal — the scheduler must not
+/// depend on src/verify (which depends on it), and the emitter writes the
+/// array on one canonical form: "sched_picks": [1, 0, 2].
+std::vector<std::uint32_t> parse_sched_picks(const std::string& text) {
+  std::vector<std::uint32_t> picks;
+  const auto key = text.find("\"sched_picks\"");
+  if (key == std::string::npos) return picks;
+  const auto open = text.find('[', key);
+  if (open == std::string::npos) return picks;
+  std::size_t i = open + 1;
+  while (i < text.size() && text[i] != ']') {
+    if (std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      std::uint32_t v = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+        v = v * 10 + static_cast<std::uint32_t>(text[i] - '0');
+        ++i;
+      }
+      picks.push_back(v);
+    } else {
+      ++i;
+    }
+  }
+  return picks;
+}
+
+}  // namespace
+
 WorldScheduler::WorldScheduler(World& world, const Config& cfg)
     : world_(&world), cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.replay_picks.empty() && cfg_.pick_hook == nullptr) {
+    if (const char* path = std::getenv("OTM_SCHED_TRACE")) {
+      std::ifstream in(path);
+      if (in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        cfg_.replay_picks = parse_sched_picks(text.str());
+      }
+    }
+  }
   tasks_.resize(static_cast<std::size_t>(world.size()));
   next_event_at_.assign(static_cast<std::size_t>(world.size()), kNoEvent);
   // Delivery edge: every isend schedules a progress pair — the sender (to
@@ -88,6 +134,10 @@ void WorldScheduler::schedule_progress(Rank r, std::uint64_t at) {
   const auto idx = static_cast<std::size_t>(r);
   if (next_event_at_[idx] <= at) return;  // an earlier/equal event is pending
   events_heap_.push(Event{at, event_seq_++, r});
+  // XOR-fold over (at, rank): order-insensitive, removable on pop. The push
+  // sequence is deliberately excluded — it numbers events globally, so two
+  // otherwise-identical states would never fingerprint equal.
+  events_hash_ ^= mix64(at * 0x9E37u + static_cast<std::uint64_t>(r) + 1);
   next_event_at_[idx] = at;
 }
 
@@ -100,6 +150,7 @@ void WorldScheduler::run_task(Rank r) {
     if (cfg_.log_steps) step_log_.push_back(r);
     vtime_ += 1;  // a step occupies virtual time so event order stays total
     last_useful_vt_ = vtime_;
+    if (cfg_.step_hook) cfg_.step_hook();
     switch (st.kind) {
       case Step::Kind::kDone:
         t.state = Task::State::kDone;
@@ -136,6 +187,7 @@ void WorldScheduler::progress_event(const Event& ev) {
   if (next_event_at_[idx] == ev.at) next_event_at_[idx] = kNoEvent;
   world_->proc(ev.rank).progress();
   ++events_;
+  if (cfg_.step_hook) cfg_.step_hook();
   Task* t = task(ev.rank);
   if (t != nullptr && t->state == Task::State::kBlocked) {
     if (wait_satisfied(*t))
@@ -180,8 +232,34 @@ bool WorldScheduler::sweep_dead_peers() {
 }
 
 std::size_t WorldScheduler::pick_runnable() {
-  if (cfg_.seed == 0 || runnable_.size() == 1) return 0;
-  return static_cast<std::size_t>(next_rng() % runnable_.size());
+  const std::size_t n = runnable_.size();
+  if (n == 1) return 0;  // not a choice point: nothing to record or replay
+  std::size_t pick;
+  if (cfg_.pick_hook != nullptr) {
+    pick = cfg_.pick_hook(n);
+    if (pick >= n) pick = n - 1;
+  } else if (replay_next_ < cfg_.replay_picks.size()) {
+    pick = cfg_.replay_picks[replay_next_++];
+    if (pick >= n) pick = n - 1;
+  } else if (cfg_.seed == 0) {
+    pick = 0;
+  } else {
+    pick = static_cast<std::size_t>(next_rng() % n);
+  }
+  pick_log_.push_back(static_cast<std::uint32_t>(pick));
+  return pick;
+}
+
+std::uint64_t WorldScheduler::state_fingerprint() const noexcept {
+  std::uint64_t h = mix64(vtime_ + 0x56u) ^ events_hash_;
+  for (const Rank r : runnable_) h = mix64(h ^ static_cast<std::uint64_t>(r));
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    h = mix64(h ^ (static_cast<std::uint64_t>(t.state) << 32 | i));
+    h = mix64(h ^ t.wait_reqs.size());
+    h = mix64(h ^ next_event_at_[i]);
+  }
+  return h;
 }
 
 WorldScheduler::Outcome WorldScheduler::run() {
@@ -202,6 +280,8 @@ WorldScheduler::Outcome WorldScheduler::run() {
     if (!events_heap_.empty()) {
       const Event ev = events_heap_.top();
       events_heap_.pop();
+      events_hash_ ^=
+          mix64(ev.at * 0x9E37u + static_cast<std::uint64_t>(ev.rank) + 1);
       if (vtime_ < ev.at) vtime_ = ev.at;
       progress_event(ev);
       if (!runnable_.empty()) swept = false;

@@ -56,6 +56,26 @@ class WorldScheduler {
     /// Record every step into step_log() (determinism/fairness witness).
     /// Off by default: a 1024-rank replay takes millions of steps.
     bool log_steps = false;
+
+    // --- Verification hooks (src/verify, docs/VERIFICATION.md) -------------
+
+    /// External scheduling policy: when set, every runnable pick with more
+    /// than one candidate asks the hook for an index in [0, n) instead of
+    /// using the seed policy. The model checker's explorer enumerates this
+    /// decision point; the hook sees exactly the choice points recorded in
+    /// pick_log().
+    std::function<std::size_t(std::size_t n_runnable)> pick_hook;
+    /// Observation point fired after every task step and every progress
+    /// event — the invariant oracles' checkpoint. Must not re-enter the
+    /// scheduler.
+    std::function<void()> step_hook;
+    /// Deterministic replay of a recorded schedule: choice points consume
+    /// these picks in order (clamped to the runnable count); past the end
+    /// the scheduler falls back to strict FIFO. Ignored when pick_hook is
+    /// set. The constructor also fills this from the counterexample file
+    /// named by OTM_SCHED_TRACE (a .otmsched JSON, docs/VERIFICATION.md)
+    /// when left empty.
+    std::vector<std::uint32_t> replay_picks;
   };
 
   /// What a task does after one run-to-completion step.
@@ -106,6 +126,16 @@ class WorldScheduler {
   std::uint64_t steps(Rank r) const;
   /// Order in which task steps ran — the determinism/fairness witness.
   const std::vector<Rank>& step_log() const noexcept { return step_log_; }
+  /// Every runnable pick taken at a choice point (runnable count > 1), in
+  /// order — the schedule half of a .otmsched counterexample. Recorded
+  /// unconditionally: choice points are rare relative to steps.
+  const std::vector<std::uint32_t>& pick_log() const noexcept {
+    return pick_log_;
+  }
+  /// Order-insensitive digest of the pending event multiset plus the
+  /// runnable/blocked/done partition — combined with per-endpoint state by
+  /// the model checker's fingerprint cache (docs/VERIFICATION.md).
+  std::uint64_t state_fingerprint() const noexcept;
   /// Requests failed kPeerDead by the idle-time dead-peer sweep.
   std::uint64_t dead_peer_drains() const noexcept { return dead_drains_; }
   /// Ranks still blocked when run() returned kDeadlock (empty otherwise).
@@ -157,6 +187,9 @@ class WorldScheduler {
   std::uint64_t rng_;
   std::size_t live_tasks_ = 0;
   std::vector<Rank> step_log_;
+  std::vector<std::uint32_t> pick_log_;  ///< choice-point picks (see pick_log())
+  std::size_t replay_next_ = 0;          ///< next cfg_.replay_picks entry
+  std::uint64_t events_hash_ = 0;        ///< XOR-fold of queued events
 
   static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
 };

@@ -1,10 +1,12 @@
 #include "proto/endpoint.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace otm::proto {
 
@@ -29,6 +31,13 @@ Endpoint::Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
   rel_active_ = cfg_.reliability.mode == Mode::kOn ||
                 (cfg_.reliability.mode == Mode::kAuto &&
                  fabric.config().fault.enabled);
+  // Planted-bug switches for the model checker's self-test
+  // (docs/VERIFICATION.md): OTM_VERIFY_BREAK names fences to disable.
+  // Read per construction so a test can scope the break to one World.
+  if (const char* breaks = std::getenv("OTM_VERIFY_BREAK")) {
+    break_epoch_fence_ = std::strstr(breaks, "epoch_fence") != nullptr;
+    break_ack_fence_ = std::strstr(breaks, "ack_fence") != nullptr;
+  }
 }
 
 void Endpoint::connect(Endpoint& peer) {
@@ -86,6 +95,49 @@ void Endpoint::publish_counters() noexcept {
     fab_ch_.flap_drops->set(s.flap_drops);
     fab_ch_.qp_errors->set(s.qp_errors);
   }
+}
+
+std::uint64_t Endpoint::verify_fingerprint() const noexcept {
+  SerialSection host(host_);
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(rank_) + 0x0f0f);
+  for (const auto& [key, ch] : channels_) {
+    h = mix64(h ^ (static_cast<std::uint64_t>(key.first) << 16 | key.second));
+    h = mix64(h ^ ch.next_seq);
+    h = mix64(h ^ (static_cast<std::uint64_t>(ch.epoch) << 1 |
+                   static_cast<std::uint64_t>(ch.failed)));
+    h = mix64(h ^ ch.buf_count);
+    for (const auto& p : ch.window)
+      h = mix64(h ^ (p.seq * 8 + p.retries * 2 +
+                     static_cast<std::uint64_t>(p.sent)));
+  }
+  for (const auto& [key, rx] : rx_channels_) {
+    h = mix64(h ^ (static_cast<std::uint64_t>(key.first) << 16 | key.second));
+    h = mix64(h ^ rx.next_expected);
+    h = mix64(h ^ rx.epoch);
+    for (const auto& [seq, stash] : rx.ooo) h = mix64(h ^ (seq + 0x0051));
+  }
+  for (const auto& [peer, ps] : peer_health_)
+    h = mix64(h ^ (static_cast<std::uint64_t>(peer) << 8 |
+                   static_cast<std::uint64_t>(ps.health) << 4 | ps.attempts));
+  h = mix64(h ^ host_inbox_.size());
+  h = mix64(h ^ um_payloads_.size());
+  // Fold the fabric-resident state too: packets staged in the receive CQ
+  // (arrived but not yet drained) and packets held inside each QP's
+  // reorder buffer. Without these, the model checker's subsumption cache
+  // would merge states that differ only in undelivered traffic.
+  for (std::uint64_t seq = cq_.next_sequence() - cq_.available();
+       seq != cq_.next_sequence(); ++seq) {
+    const auto cqe = cq_.peek_sequence(seq);
+    OTM_ASSERT(cqe.has_value());
+    const WireHeader wh = decode_header(bounce_.data(cqe->wr_id));
+    h = mix64(h ^ (static_cast<std::uint64_t>(wh.source) << 32 |
+                   static_cast<std::uint64_t>(wh.flags) << 16 |
+                   wh.channel_class));
+    h = mix64(h ^ wh.channel_seq);
+  }
+  for (const auto& [peer, qp] : qps_)
+    h = mix64(h ^ (static_cast<std::uint64_t>(peer) + qp.verify_digest()));
+  return h;
 }
 
 void Endpoint::release_staged(std::uint32_t rkey) {
@@ -176,6 +228,8 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
           budget)
         flush_channel({dst, cls}, *ch, FlushReason::kSize);
       coalesce_append(*ch, env, data);
+      if (verify_hook_ != nullptr)
+        verify_hook_->on_coalesce_append(rank_, dst, cls, ch->buf_count);
       ++counters_.sends;
       ++counters_.eager_sends;
       ++counters_.coalesced_sends;
@@ -386,6 +440,10 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
                                   ch.subs[i].payload_bytes, 0});
       ++counters_.messages_dropped;
     }
+    // Conservation accounting: a delivery-error drain still "flushes" —
+    // every appended sub-message leaves the buffer exactly once.
+    if (verify_hook_ != nullptr)
+      verify_hook_->on_coalesce_flush(rank_, dst, key.second, ch.buf_count);
     ch.buf_bytes = 0;
     ch.buf_count = 0;
     return;
@@ -441,6 +499,8 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
     p.subs.assign(ch.subs.begin(), ch.subs.begin() + ch.buf_count);
     ch.window.push_back(std::move(p));
     ++counters_.merged_packets;
+    if (verify_hook_ != nullptr)
+      verify_hook_->on_coalesce_flush(rank_, dst, key.second, ch.buf_count);
     ch.buf_bytes = 0;
     ch.buf_count = 0;
     try_transmit(key, ch);
@@ -460,6 +520,8 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
     return;
   }
   ++counters_.merged_packets;
+  if (verify_hook_ != nullptr)
+    verify_hook_->on_coalesce_flush(rank_, dst, key.second, ch.buf_count);
   ch.buf_bytes = 0;
   ch.buf_count = 0;
 }
@@ -534,6 +596,9 @@ void Endpoint::try_transmit(ChannelKey key, Channel& ch) {
     p.next_retry_ns = clock_ns_ + p.rto_ns;
     ++in_flight;
   }
+  if (verify_hook_ != nullptr)
+    verify_hook_->on_window(rank_, key.first, key.second, in_flight,
+                            rc.window_limit);
 }
 
 void Endpoint::fail_channel(ChannelKey key, Channel& ch, Outcome outcome) {
@@ -565,7 +630,7 @@ bool Endpoint::begin_recovery(Rank peer) {
   PeerState& ps = peer_health_[peer];
   if (ps.health == PeerHealth::kDead) return false;
   if (ps.health == PeerHealth::kHealthy) {
-    ps.health = PeerHealth::kSuspect;
+    set_peer_health(peer, ps, PeerHealth::kSuspect);
     ++counters_.peers_suspected;
   }
   if (ps.attempts >= cfg_.recovery.max_attempts) {
@@ -573,7 +638,7 @@ bool Endpoint::begin_recovery(Rank peer) {
     return false;
   }
   ++ps.attempts;
-  ps.health = PeerHealth::kRecovering;
+  set_peer_health(peer, ps, PeerHealth::kRecovering);
   ps.keepalive_misses = 0;
   ps.probe_outstanding = false;
   // Fence the fault domain: reset the QP (flushing in-flight WQEs), then
@@ -609,7 +674,7 @@ void Endpoint::recover_channel(ChannelKey key, Channel& ch) {
 
 void Endpoint::mark_peer_dead(Rank peer) {
   PeerState& ps = peer_health_[peer];
-  ps.health = PeerHealth::kDead;
+  set_peer_health(peer, ps, PeerHealth::kDead);
   for (auto it = channels_.lower_bound({peer, 0});
        it != channels_.end() && it->first.first == peer; ++it) {
     Channel& ch = it->second;
@@ -623,6 +688,9 @@ void Endpoint::mark_peer_dead(Rank peer) {
                                     Outcome::kPeerDead});
         ++counters_.messages_dropped;
       }
+      if (verify_hook_ != nullptr)
+        verify_hook_->on_coalesce_flush(rank_, peer, it->first.second,
+                                        ch.buf_count);
       ch.buf_bytes = 0;
       ch.buf_count = 0;
     }
@@ -638,11 +706,11 @@ void Endpoint::note_peer_alive(Rank peer) {
   ps.probe_outstanding = false;
   if (ps.health == PeerHealth::kRecovering) {
     // First ack at the recovered epoch: the recovery worked.
-    ps.health = PeerHealth::kHealthy;
+    set_peer_health(peer, ps, PeerHealth::kHealthy);
     ps.attempts = 0;
     ++counters_.recoveries_completed;
   } else if (ps.health == PeerHealth::kSuspect) {
-    ps.health = PeerHealth::kHealthy;
+    set_peer_health(peer, ps, PeerHealth::kHealthy);
     ps.attempts = 0;
   }
 }
@@ -654,7 +722,11 @@ void Endpoint::handle_ack(Rank from, std::uint16_t channel_class,
   const auto it = channels_.find(key);
   if (it == channels_.end()) return;
   Channel& ch = it->second;
-  if (epoch != ch.epoch) return;  // stale-epoch ack: fenced
+  const bool stale = epoch != ch.epoch;
+  if (verify_hook_ != nullptr)
+    verify_hook_->on_ack_rx(rank_, from, channel_class, epoch, ch.epoch,
+                            cum_seq, !stale || break_ack_fence_);
+  if (stale && !break_ack_fence_) return;  // stale-epoch ack: fenced
   if (recovery_active()) note_peer_alive(from);
   while (!ch.window.empty() && ch.window.front().seq < cum_seq) {
     ++counters_.acked_packets;
@@ -873,7 +945,7 @@ void Endpoint::send_keepalives() {
       ++ps.keepalive_misses;
       if (ps.health == PeerHealth::kHealthy &&
           ps.keepalive_misses >= rc.keepalive_miss_budget) {
-        ps.health = PeerHealth::kSuspect;
+        set_peer_health(peer, ps, PeerHealth::kSuspect);
         ++counters_.peers_suspected;
       }
       if (ps.keepalive_misses >= 2 * rc.keepalive_miss_budget) {
@@ -1156,10 +1228,14 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       recycle_bounce(cqe->wr_id);
       continue;
     }
-    if (pkt_epoch < rx.epoch) {
+    if (pkt_epoch < rx.epoch && !break_epoch_fence_) {
       // Stale retransmit from before the sender's recovery: fence it (the
       // replayed copy carries the live epoch) but re-ack so a confused
       // sender stops resending.
+      if (verify_hook_ != nullptr)
+        verify_hook_->on_packet_rx(rank_, h.source, h.channel_class,
+                                   h.channel_seq, pkt_epoch, rx.epoch, false,
+                                   false);
       ++counters_.dup_discards;
       recycle_bounce(cqe->wr_id);
       ack_peers[rx_key] = {rx.epoch, rx.next_expected};
@@ -1176,6 +1252,10 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
         rx.ooo.find(h.channel_seq) != rx.ooo.end()) {
       // Duplicate (fabric dup or retransmit racing an in-flight ack):
       // discard, but re-ack so the sender stops resending.
+      if (verify_hook_ != nullptr)
+        verify_hook_->on_packet_rx(rank_, h.source, h.channel_class,
+                                   h.channel_seq, pkt_epoch, rx.epoch, false,
+                                   false);
       ++counters_.dup_discards;
       recycle_bounce(cqe->wr_id);
       ack_peers[rx_key] = {rx.epoch, rx.next_expected};
@@ -1197,12 +1277,20 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
 
     // In order: deliver, then drain any now-consecutive stashed packets.
     rx.next_expected = h.channel_seq + 1;
+    if (verify_hook_ != nullptr)
+      verify_hook_->on_packet_rx(rank_, h.source, h.channel_class,
+                                 h.channel_seq, pkt_epoch, rx.epoch, true,
+                                 false);
     accept(h, cqe->wr_id, cqe->timestamp_ns);
     auto sit = rx.ooo.find(rx.next_expected);
     while (sit != rx.ooo.end()) {
       const auto stash = sit->second;
       rx.ooo.erase(sit);
       const WireHeader sh = decode_header(bounce_.data(stash.bounce_handle));
+      if (verify_hook_ != nullptr)
+        verify_hook_->on_packet_rx(rank_, sh.source, sh.channel_class,
+                                   sh.channel_seq, wire_epoch(sh.flags),
+                                   rx.epoch, true, true);
       accept(sh, stash.bounce_handle, stash.arrival_ns);
       ++rx.next_expected;
       sit = rx.ooo.find(rx.next_expected);

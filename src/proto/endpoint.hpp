@@ -23,6 +23,7 @@
 
 #include "core/types.hpp"
 #include "dpa/accelerator.hpp"
+#include "proto/verify_hook.hpp"
 #include "proto/wire.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/memory.hpp"
@@ -399,6 +400,19 @@ class Endpoint {
     return rel_active_ && cfg_.recovery.enabled;
   }
 
+  // --- Verification observation (src/verify, docs/VERIFICATION.md) --------
+
+  /// Install (or clear, with nullptr) the invariant oracles' observation
+  /// hook. Not owned; the hook must outlive the endpoint or be cleared
+  /// first. Null in production: every report site is one pointer test.
+  void set_verify_hook(VerifyHook* hook) noexcept { verify_hook_ = hook; }
+
+  /// Order-insensitive digest of the protocol state the reliable-delivery
+  /// invariants range over: per-channel sequencing/window/epoch/coalescing
+  /// state, receive-side watermarks and stashes, and peer health. The model
+  /// checker combines it with the scheduler fingerprint for its state cache.
+  std::uint64_t verify_fingerprint() const noexcept;
+
   /// Peer notification that its rendezvous buffer `rkey` was fully read
   /// (the FIN of a real rendezvous protocol). Frees the staging copy.
   [[deprecated("staging is RAII-managed (StagedBuffer); use release_staged")]]
@@ -755,6 +769,26 @@ class Endpoint {
   obs::Observability* obs_ = nullptr;
   CounterHandles ch_{};
   FabricCounterHandles fab_ch_{};
+
+  /// Invariant-oracle observation hook (null in production) and the
+  /// OTM_VERIFY_BREAK planted-bug switches (docs/VERIFICATION.md), parsed
+  /// once at construction. Breaking a fence is strictly a test device: the
+  /// checker must be able to find a real violation.
+  VerifyHook* verify_hook_ = nullptr;
+  bool break_epoch_fence_ = false;
+  bool break_ack_fence_ = false;
+
+  /// Report a peer-health transition through the verify hook, then apply
+  /// it. All health writes go through here so the transition-matrix oracle
+  /// sees every edge.
+  void set_peer_health(Rank peer, PeerState& ps, PeerHealth to)
+      OTM_REQUIRES(host_) {
+    if (verify_hook_ != nullptr && ps.health != to)
+      verify_hook_->on_peer_health(rank_, peer,
+                                   static_cast<std::uint8_t>(ps.health),
+                                   static_cast<std::uint8_t>(to));
+    ps.health = to;
+  }
 };
 
 }  // namespace otm::proto

@@ -1,0 +1,87 @@
+// Protocol observation interface for the model checker's invariant oracles
+// (src/verify, docs/VERIFICATION.md).
+//
+// An Endpoint with a hook installed reports the protocol events the
+// machine-checkable invariants are defined over: reliable-packet acceptance
+// and fencing decisions (epoch fencing, dedup), ack fencing, send-window
+// occupancy, peer-health transitions, and coalescing-buffer conservation.
+// The hook pointer is null in production — every call site is a single
+// branch on a pointer the endpoint already has in cache, so the observable
+// protocol is byte-identical with verification off.
+//
+// OTM_VERIFY_BREAK (read once per Endpoint construction) deliberately
+// disables a named fence so the planted-bug test can prove the checker
+// finds real violations: "epoch_fence" accepts stale-epoch packets,
+// "ack_fence" accepts stale-epoch acks. Never set outside tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace otm::proto {
+
+struct VerifyHook {
+  virtual ~VerifyHook() = default;
+
+  /// A sequenced reliable packet reached the fencing/dedup pipeline of
+  /// `rx_rank`. `accepted` means it was handed to matching (delivery);
+  /// fenced/deduplicated packets report false. `stashed` marks packets
+  /// delivered out of the reorder stash: those were fenced against the
+  /// epoch current at pipeline entry, and the stash deliberately survives
+  /// epoch adoption (the seq space continues across epochs, so a stashed
+  /// pre-epoch packet is either a still-valid future or a harmless
+  /// duplicate of the replay). Epoch-fencing invariant: accepted and not
+  /// stashed implies pkt_epoch >= rx_epoch.
+  virtual void on_packet_rx(Rank rx_rank, Rank from, std::uint16_t channel_class,
+                            std::uint64_t seq, std::uint16_t pkt_epoch,
+                            std::uint16_t rx_epoch, bool accepted,
+                            bool stashed) {
+    (void)rx_rank, (void)from, (void)channel_class, (void)seq;
+    (void)pkt_epoch, (void)rx_epoch, (void)accepted, (void)stashed;
+  }
+
+  /// A cumulative ack reached `rank`'s send channel for `from`. Ack-fencing
+  /// invariant: accepted implies ack_epoch == channel_epoch.
+  virtual void on_ack_rx(Rank rank, Rank from, std::uint16_t channel_class,
+                         std::uint16_t ack_epoch, std::uint16_t channel_epoch,
+                         std::uint64_t cum_seq, bool accepted) {
+    (void)rank, (void)from, (void)channel_class;
+    (void)ack_epoch, (void)channel_epoch, (void)cum_seq, (void)accepted;
+  }
+
+  /// try_transmit left `in_flight` sent-unacked packets on the channel to
+  /// `dst`. Window invariant: in_flight <= window_limit.
+  virtual void on_window(Rank rank, Rank dst, std::uint16_t channel_class,
+                         std::size_t in_flight, std::size_t window_limit) {
+    (void)rank, (void)dst, (void)channel_class, (void)in_flight,
+        (void)window_limit;
+  }
+
+  /// `rank`'s health record for `peer` moved from `from` to `to` (values
+  /// are proto::PeerHealth cast to uint8_t; the header can't name the enum
+  /// before its definition). Transition-matrix invariant: only the edges
+  /// documented on PeerHealth are legal, and kDead is terminal.
+  virtual void on_peer_health(Rank rank, Rank peer, std::uint8_t from,
+                              std::uint8_t to) {
+    (void)rank, (void)peer, (void)from, (void)to;
+  }
+
+  /// One small send was appended to the (dst, class) coalescing buffer.
+  virtual void on_coalesce_append(Rank rank, Rank dst,
+                                  std::uint16_t channel_class,
+                                  std::uint32_t buffered) {
+    (void)rank, (void)dst, (void)channel_class, (void)buffered;
+  }
+
+  /// The (dst, class) coalescing buffer flushed `flushed` sub-messages into
+  /// one merged packet. Conservation invariant: every appended sub-message
+  /// is flushed exactly once (appends == sum of flushes per channel).
+  virtual void on_coalesce_flush(Rank rank, Rank dst,
+                                 std::uint16_t channel_class,
+                                 std::uint32_t flushed) {
+    (void)rank, (void)dst, (void)channel_class, (void)flushed;
+  }
+};
+
+}  // namespace otm::proto

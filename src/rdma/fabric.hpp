@@ -239,6 +239,26 @@ class QueuePair {
   /// Total WQEs flushed as errors across every reset() of this QP.
   std::uint64_t flushed_wqes() const noexcept { return flushed_wqes_; }
 
+  /// Digest of the in-flight state this QP still owns — the lifecycle
+  /// state and every held (reordered) packet's bytes and remaining delay.
+  /// Folded into Endpoint::verify_fingerprint so the model checker's
+  /// subsumption cache never merges two states that differ only in
+  /// packets parked inside the fabric (docs/VERIFICATION.md).
+  std::uint64_t verify_digest() const {
+    SerialSection qp(serial_);
+    std::uint64_t h = 0x9d5ULL ^ static_cast<std::uint64_t>(state_);
+    for (const Held& held : held_) {
+      h = (h ^ held.release_after) * 0x100000001b3ULL;
+      h = (h ^ held.bytes.size()) * 0x100000001b3ULL;
+      // The wire header (first bytes) carries seq/epoch/flags — the
+      // semantic identity of the packet.
+      const std::size_t n = held.bytes.size() < 48 ? held.bytes.size() : 48;
+      for (std::size_t i = 0; i < n; ++i)
+        h = (h ^ static_cast<std::uint8_t>(held.bytes[i])) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+
   /// One-sided read from the peer's registered memory into `dst`.
   /// Returns the completion time (round trip + serialization).
   std::uint64_t rdma_read(std::uint32_t rkey, std::uint64_t remote_offset,

@@ -21,6 +21,12 @@ bool FaultInjector::forced_rnr(NodeId src, NodeId dst) {
 }
 
 bool FaultInjector::forced_qp_error(NodeId src, NodeId dst) {
+  if (qp_error_hook_) {
+    if (const auto forced = qp_error_hook_(src, dst)) {
+      if (*forced) ++stats_.qp_errors;
+      return *forced;
+    }
+  }
   const bool periodic = cfg_.qp_error_period != 0;
   if (!periodic && cfg_.qp_error_probability <= 0.0) return false;
   LinkState& l = link(src, dst);
@@ -34,6 +40,20 @@ bool FaultInjector::forced_qp_error(NodeId src, NodeId dst) {
 }
 
 FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst) {
+  if (fate_hook_) {
+    if (const auto forced = fate_hook_(src, dst)) {
+      // Explorer-chosen fate: bypass the seeded streams (and their position
+      // counters) entirely so the decision sequence alone determines the run.
+      switch (*forced) {
+        case Fate::kDrop: ++stats_.drops; break;
+        case Fate::kDuplicate: ++stats_.duplicates; break;
+        case Fate::kCorrupt: ++stats_.corruptions; break;
+        case Fate::kHold: ++stats_.holds; break;
+        case Fate::kDeliver: break;
+      }
+      return *forced;
+    }
+  }
   LinkState& l = link(src, dst);
   const std::uint64_t pos = l.packets++;
   if (pos < cfg_.drop_first) {

@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <unordered_map>
 
@@ -82,6 +84,24 @@ class FaultInjector {
   /// completion) — detected by the wire-header CRC on the receive path.
   void corrupt(NodeId src, NodeId dst, std::span<std::byte> packet);
 
+  // --- External fate control (src/verify, docs/VERIFICATION.md) -----------
+  //
+  // The model checker's explorer enumerates fault decisions instead of
+  // sampling them: a fate hook consulted before the seeded streams turns
+  // each early packet of a link into an explicit decision point. Returning
+  // nullopt (or leaving the hook unset) falls through to the seeded model,
+  // so installed-but-passive hooks leave chaos runs byte-identical.
+
+  /// Decides the fate of the next packet on (src -> dst), or defers.
+  using FateHook = std::function<std::optional<Fate>(NodeId, NodeId)>;
+  void set_fate_hook(FateHook hook) { fate_hook_ = std::move(hook); }
+
+  /// Decides whether the next post on (src -> dst) errors the QP, or defers.
+  using QpErrorHook = std::function<std::optional<bool>(NodeId, NodeId)>;
+  void set_qp_error_hook(QpErrorHook hook) {
+    qp_error_hook_ = std::move(hook);
+  }
+
   struct Stats {
     std::uint64_t drops = 0;        ///< includes flap_drops
     std::uint64_t duplicates = 0;
@@ -108,6 +128,8 @@ class FaultInjector {
   FaultConfig cfg_;
   std::unordered_map<std::uint64_t, LinkState> links_;
   Stats stats_;
+  FateHook fate_hook_;
+  QpErrorHook qp_error_hook_;
 };
 
 }  // namespace otm::rdma

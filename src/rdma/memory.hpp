@@ -89,6 +89,12 @@ class BounceBufferPool {
                                                   buffer_bytes_);
   }
 
+  std::span<const std::byte> data(std::uint64_t handle) const {
+    OTM_ASSERT(handle < capacity());
+    return std::span<const std::byte>(storage_).subspan(
+        handle * buffer_bytes_, buffer_bytes_);
+  }
+
   std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
   std::size_t capacity() const noexcept {
     return buffer_bytes_ == 0 ? 0 : storage_.size() / buffer_bytes_;

@@ -1,0 +1,401 @@
+#include "verify/explorer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "mpi/mpi.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace otm::verify {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Position just past `"key"` and its colon, or npos.
+std::size_t after_key(const std::string& text, const char* key,
+                      std::size_t from) {
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t k = text.find(needle, from);
+  if (k == std::string::npos) return std::string::npos;
+  const std::size_t colon = text.find(':', k + needle.size());
+  return colon == std::string::npos ? std::string::npos : colon + 1;
+}
+
+/// Reads the JSON string starting at/after `pos`, decoding exactly the
+/// escapes json_escape produces (\" \\ \n \t and \uXXXX control codes).
+std::optional<std::string> read_string(const std::string& text,
+                                       std::size_t pos) {
+  const std::size_t open = text.find('"', pos);
+  if (open == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = open + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      const char esc = text[++i];
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (i + 4 >= text.size()) return std::nullopt;
+          unsigned v = 0;
+          for (int d = 1; d <= 4; ++d) {
+            const char h = text[i + static_cast<std::size_t>(d)];
+            if (!std::isxdigit(static_cast<unsigned char>(h)))
+              return std::nullopt;
+            v = v * 16 + static_cast<unsigned>(
+                             h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          i += 4;
+          out += static_cast<char>(v);  // writer only emits codes < 0x20
+          break;
+        }
+        default:
+          out += esc;  // \" \\ \/ and anything else: literal
+      }
+      continue;
+    }
+    if (c == '"') return out;
+    out += c;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> read_uint(const std::string& text,
+                                       std::size_t pos) {
+  while (pos < text.size() &&
+         !std::isdigit(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  if (pos >= text.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos])))
+    v = v * 10 + static_cast<std::uint64_t>(text[pos++] - '0');
+  return v;
+}
+
+std::optional<Decision::Kind> kind_from_string(const std::string& s) {
+  if (s == "sched") return Decision::Kind::kSched;
+  if (s == "fate") return Decision::Kind::kFate;
+  if (s == "qp_error") return Decision::Kind::kQpError;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* to_string(Decision::Kind k) noexcept {
+  switch (k) {
+    case Decision::Kind::kSched:
+      return "sched";
+    case Decision::Kind::kFate:
+      return "fate";
+    case Decision::Kind::kQpError:
+      return "qp_error";
+  }
+  return "?";
+}
+
+std::string Counterexample::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"format\": \"otmsched-v1\",\n"
+     << "  \"scenario\": \"" << json_escape(scenario) << "\",\n"
+     << "  \"invariant\": \"" << json_escape(violation.invariant) << "\",\n"
+     << "  \"detail\": \"" << json_escape(violation.detail) << "\",\n"
+     << "  \"decisions\": [";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const Decision& d = decisions[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \"" << to_string(d.kind)
+       << "\", \"options\": " << d.options << ", \"choice\": " << d.choice
+       << "}";
+  }
+  os << "\n  ],\n"
+     << "  \"sched_picks\": [";
+  for (std::size_t i = 0; i < sched_picks.size(); ++i)
+    os << (i == 0 ? "" : ", ") << sched_picks[i];
+  os << "]\n}\n";
+  return os.str();
+}
+
+std::optional<Counterexample> Counterexample::from_json(
+    const std::string& text) {
+  Counterexample cx;
+  const std::size_t sc = after_key(text, "scenario", 0);
+  if (sc == std::string::npos) return std::nullopt;
+  const auto scenario = read_string(text, sc);
+  if (!scenario) return std::nullopt;
+  cx.scenario = *scenario;
+  if (const std::size_t p = after_key(text, "invariant", 0);
+      p != std::string::npos)
+    cx.violation.invariant = read_string(text, p).value_or("");
+  if (const std::size_t p = after_key(text, "detail", 0);
+      p != std::string::npos)
+    cx.violation.detail = read_string(text, p).value_or("");
+
+  const std::size_t dec = after_key(text, "decisions", 0);
+  const std::size_t picks = text.find("\"sched_picks\"");
+  if (dec != std::string::npos) {
+    const std::size_t end = picks == std::string::npos ? text.size() : picks;
+    std::size_t pos = dec;
+    while (true) {
+      const std::size_t k = after_key(text, "kind", pos);
+      if (k == std::string::npos || k >= end) break;
+      const auto kind_s = read_string(text, k);
+      const std::size_t o = after_key(text, "options", k);
+      const std::size_t c = after_key(text, "choice", k);
+      if (!kind_s || o == std::string::npos || c == std::string::npos ||
+          c >= end)
+        return std::nullopt;
+      const auto kind = kind_from_string(*kind_s);
+      const auto options = read_uint(text, o);
+      const auto choice = read_uint(text, c);
+      if (!kind || !options || !choice.has_value()) return std::nullopt;
+      cx.decisions.push_back(
+          Decision{*kind, static_cast<std::uint32_t>(*options),
+                   static_cast<std::uint32_t>(*choice)});
+      pos = c;
+    }
+  }
+  if (picks != std::string::npos) {
+    std::size_t pos = text.find('[', picks);
+    const std::size_t end = text.find(']', picks);
+    if (pos != std::string::npos && end != std::string::npos) {
+      ++pos;
+      while (pos < end) {
+        if (!std::isdigit(static_cast<unsigned char>(text[pos]))) {
+          ++pos;
+          continue;
+        }
+        std::uint64_t v = 0;
+        while (pos < end &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+          v = v * 10 + static_cast<std::uint64_t>(text[pos++] - '0');
+        cx.sched_picks.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+  return cx;
+}
+
+std::vector<std::uint32_t> Counterexample::choices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(decisions.size());
+  for (const Decision& d : decisions) out.push_back(d.choice);
+  return out;
+}
+
+Explorer::Explorer(const Scenario& scenario, const ExploreOptions& opts)
+    : scenario_(&scenario), opts_(opts) {
+  OTM_ASSERT_MSG(scenario.fate_options.empty() ||
+                     scenario.fate_options.front() ==
+                         rdma::FaultInjector::Fate::kDeliver,
+                 "fate_options[0] must be kDeliver: branch 0 is the default "
+                 "every other decision sequence extends");
+}
+
+RunResult Explorer::run_one(const std::vector<std::uint32_t>& forced,
+                            std::uint64_t* fingerprint,
+                            bool* have_fingerprint) const {
+  mpi::World world(scenario_->ranks, scenario_->options());
+  Oracle oracle(world);
+  for (int r = 0; r < world.size(); ++r)
+    world.endpoint(r).set_verify_hook(&oracle);
+
+  RunResult result;
+  std::size_t pos = 0;
+  std::size_t fate_points = 0;
+  std::size_t qp_points = 0;
+  mpi::WorldScheduler* sched_ptr = nullptr;
+  if (have_fingerprint != nullptr) *have_fingerprint = false;
+
+  const auto decide = [&](Decision::Kind kind,
+                          std::uint32_t options) -> std::uint32_t {
+    // The first decision past the forced prefix is where this run starts
+    // exploring new territory: its state digest keys the subsumption cache.
+    if (fingerprint != nullptr && pos == forced.size() &&
+        !*have_fingerprint) {
+      std::uint64_t h = oracle.state_fingerprint();
+      if (sched_ptr != nullptr)
+        h = hash_combine(h, sched_ptr->state_fingerprint());
+      *fingerprint = h;
+      *have_fingerprint = true;
+    }
+    std::uint32_t choice = 0;
+    if (pos < forced.size()) {
+      choice = forced[pos];
+      if (choice >= options) choice = options - 1;
+    }
+    ++pos;
+    result.decisions.push_back(Decision{kind, options, choice});
+    return choice;
+  };
+
+  mpi::WorldScheduler::Config scfg;
+  scfg.pick_hook = [&](std::size_t n) -> std::size_t {
+    return decide(Decision::Kind::kSched, static_cast<std::uint32_t>(n));
+  };
+  scfg.step_hook = [&] { oracle.step_check(); };
+
+  rdma::FaultInjector* injector = world.fabric().injector();
+  OTM_ASSERT_MSG(injector != nullptr,
+                 "scenario worlds must arm fault injection "
+                 "(options().fabric.fault.enabled) so fate hooks exist");
+  if (!scenario_->fate_options.empty() && scenario_->max_fate_points > 0) {
+    injector->set_fate_hook(
+        [&](rdma::NodeId, rdma::NodeId)
+            -> std::optional<rdma::FaultInjector::Fate> {
+          if (fate_points >= scenario_->max_fate_points) return std::nullopt;
+          ++fate_points;
+          const std::uint32_t c = decide(
+              Decision::Kind::kFate,
+              static_cast<std::uint32_t>(scenario_->fate_options.size()));
+          return scenario_->fate_options[c];
+        });
+  }
+  if (scenario_->max_qp_points > 0) {
+    injector->set_qp_error_hook(
+        [&](rdma::NodeId, rdma::NodeId) -> std::optional<bool> {
+          if (qp_points >= scenario_->max_qp_points) return std::nullopt;
+          ++qp_points;
+          return decide(Decision::Kind::kQpError, 2) == 1;
+        });
+  }
+
+  mpi::WorldScheduler sched(world, scfg);
+  sched_ptr = &sched;
+  scenario_->setup(world, sched, oracle);
+  const auto outcome = sched.run();
+
+  result.completed = outcome == mpi::WorldScheduler::Outcome::kCompleted;
+  oracle.final_check(result.completed, scenario_->expect_completion);
+  result.violations = oracle.violations();
+  result.sched_picks = sched.pick_log();
+  return result;
+}
+
+RunResult Explorer::replay(const std::vector<std::uint32_t>& choices) const {
+  return run_one(choices, nullptr, nullptr);
+}
+
+ExploreResult Explorer::explore() {
+  ExploreResult res;
+  std::vector<std::vector<std::uint32_t>> frontier;
+  frontier.emplace_back();  // the all-defaults root execution
+  /// fingerprint -> least (preemptions, faults) spent reaching it.
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      cache;
+
+  while (!frontier.empty()) {
+    if (res.stats.runs >= opts_.max_runs) {
+      res.stats.budget_exhausted = true;
+      break;
+    }
+    const std::vector<std::uint32_t> trace = std::move(frontier.back());
+    frontier.pop_back();
+
+    std::uint64_t fp = 0;
+    bool have_fp = false;
+    const RunResult r = run_one(trace, &fp, &have_fp);
+    ++res.stats.runs;
+    res.stats.decision_points += r.decisions.size();
+
+    if (!r.violations.empty()) {
+      res.counterexamples.push_back(Counterexample{
+          scenario_->name, r.violations.front(), r.decisions, r.sched_picks});
+      if (opts_.stop_at_first_violation) break;
+      continue;  // a failing branch is reported, not extended
+    }
+
+    // Budget already spent on the forced prefix (free-suffix decisions all
+    // take branch 0 and spend nothing).
+    std::uint32_t preempts = 0;
+    std::uint32_t faults = 0;
+    const std::size_t prefix = std::min(trace.size(), r.decisions.size());
+    for (std::size_t i = 0; i < prefix; ++i) {
+      if (r.decisions[i].choice == 0) continue;
+      if (r.decisions[i].kind == Decision::Kind::kSched)
+        ++preempts;
+      else
+        ++faults;
+    }
+
+    if (have_fp) {
+      const auto it = cache.find(fp);
+      if (it != cache.end() && it->second.first <= preempts &&
+          it->second.second <= faults) {
+        ++res.stats.subsumed;  // subtree subsumed by a cheaper visit
+        continue;
+      }
+      if (it == cache.end())
+        cache.emplace(fp, std::make_pair(preempts, faults));
+      else
+        it->second = {std::min(it->second.first, preempts),
+                      std::min(it->second.second, faults)};
+    }
+
+    // Expand: one frontier entry per unexplored alternative at every free
+    // decision point. Alternatives at forced positions were expanded by
+    // the ancestors that created this trace.
+    for (std::size_t i = trace.size(); i < r.decisions.size(); ++i) {
+      const Decision& d = r.decisions[i];
+      for (std::uint32_t alt = 1; alt < d.options; ++alt) {
+        const bool is_sched = d.kind == Decision::Kind::kSched;
+        if (is_sched && preempts + 1 > opts_.max_preemptions) {
+          ++res.stats.pruned_preemption;
+          continue;
+        }
+        if (!is_sched && faults + 1 > opts_.max_faults) {
+          ++res.stats.pruned_fault;
+          continue;
+        }
+        std::vector<std::uint32_t> child;
+        child.reserve(i + 1);
+        for (std::size_t j = 0; j < i; ++j)
+          child.push_back(r.decisions[j].choice);
+        child.push_back(alt);
+        frontier.push_back(std::move(child));
+      }
+    }
+    res.stats.frontier_peak =
+        std::max<std::uint64_t>(res.stats.frontier_peak, frontier.size());
+  }
+  return res;
+}
+
+}  // namespace otm::verify

@@ -1,0 +1,123 @@
+// Stateless schedule/fault explorer (docs/VERIFICATION.md).
+//
+// An explored execution is a pure function of its decision sequence: every
+// runnable pick with more than one candidate (WorldScheduler pick_hook),
+// every early packet fate (FaultInjector fate hook) and every early
+// forced-QP-error draw is a decision point. A run is driven by a *forced
+// prefix* of choices; past the prefix every decision takes branch 0 (FIFO
+// pick / deliver / no error). After the run, each free decision point
+// spawns one frontier entry per unexplored alternative — depth-first,
+// DPOR-style stateless search over a disposable World per run.
+//
+// Pruning (soundness caveats documented in docs/VERIFICATION.md):
+//  - bounded preemption: at most max_preemptions non-FIFO scheduler picks
+//    per execution;
+//  - fault budget: at most max_faults non-default fate/QP decisions;
+//  - fingerprint subsumption: the (scheduler x endpoint-protocol) state
+//    digest at a run's first free decision point is cached with the budget
+//    spent reaching it; a revisit that has spent at least as much of every
+//    budget is not expanded (its subtree is subsumed modulo hash
+//    collisions and event tie-break order).
+//
+// Every invariant-oracle violation yields a Counterexample whose decision
+// sequence replays the failing execution deterministically — serialized
+// as a .otmsched JSON whose "sched_picks" array doubles as the
+// OTM_SCHED_TRACE input of WorldScheduler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/invariants.hpp"
+#include "verify/scenarios.hpp"
+
+namespace otm::verify {
+
+/// One recorded decision point of an execution.
+struct Decision {
+  enum class Kind : std::uint8_t {
+    kSched,    ///< runnable pick, options = runnable count
+    kFate,     ///< packet fate, options = scenario fate_options
+    kQpError,  ///< forced QP error, options = {no, yes}
+  };
+  Kind kind = Kind::kSched;
+  std::uint32_t options = 0;  ///< branching factor at this point
+  std::uint32_t choice = 0;   ///< branch taken (0 = default)
+};
+
+const char* to_string(Decision::Kind k) noexcept;
+
+/// Outcome of one executed schedule.
+struct RunResult {
+  bool completed = false;  ///< scheduler reported kCompleted
+  std::vector<Violation> violations;
+  std::vector<Decision> decisions;         ///< full decision log, in order
+  std::vector<std::uint32_t> sched_picks;  ///< WorldScheduler pick_log()
+};
+
+/// A serialized failing execution: scenario + decision sequence +
+/// violation. to_json() emits the .otmsched format; from_json() reads the
+/// subset this writer produces (tolerant scan, not a general parser).
+struct Counterexample {
+  std::string scenario;
+  Violation violation;
+  std::vector<Decision> decisions;
+  std::vector<std::uint32_t> sched_picks;
+
+  std::string to_json() const;
+  static std::optional<Counterexample> from_json(const std::string& text);
+
+  /// The forced prefix that reproduces this execution.
+  std::vector<std::uint32_t> choices() const;
+};
+
+struct ExploreOptions {
+  std::uint64_t max_runs = 4096;     ///< execution budget
+  std::uint32_t max_preemptions = 2; ///< non-FIFO scheduler picks per run
+  std::uint32_t max_faults = 3;      ///< non-default fate/QP choices per run
+  bool stop_at_first_violation = true;
+};
+
+struct ExploreStats {
+  std::uint64_t runs = 0;
+  std::uint64_t decision_points = 0;   ///< summed over executed runs
+  std::uint64_t frontier_peak = 0;
+  std::uint64_t subsumed = 0;          ///< expansions skipped by the cache
+  std::uint64_t pruned_preemption = 0; ///< branches over the preemption bound
+  std::uint64_t pruned_fault = 0;      ///< branches over the fault budget
+  bool budget_exhausted = false;       ///< frontier remained at max_runs
+};
+
+struct ExploreResult {
+  std::vector<Counterexample> counterexamples;
+  ExploreStats stats;
+  bool ok() const noexcept { return counterexamples.empty(); }
+};
+
+class Explorer {
+ public:
+  Explorer(const Scenario& scenario, const ExploreOptions& opts);
+
+  /// Exhaustively (within budgets) explore the scenario's decision tree,
+  /// checking every invariant oracle on every branch.
+  ExploreResult explore();
+
+  /// Execute one schedule under the given forced choices (defaults past
+  /// the end) — deterministic: equal choices yield equal RunResults.
+  RunResult replay(const std::vector<std::uint32_t>& choices) const;
+
+ private:
+  /// Runs one execution; when fingerprint is non-null, stores the state
+  /// digest captured at the first free decision point (trace.size()) and
+  /// sets *have_fingerprint accordingly.
+  RunResult run_one(const std::vector<std::uint32_t>& forced,
+                    std::uint64_t* fingerprint,
+                    bool* have_fingerprint) const;
+
+  const Scenario* scenario_;
+  ExploreOptions opts_;
+};
+
+}  // namespace otm::verify

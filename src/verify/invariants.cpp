@@ -1,0 +1,176 @@
+#include "verify/invariants.hpp"
+
+#include <sstream>
+
+#include "mpi/mpi.hpp"
+#include "proto/endpoint.hpp"
+#include "util/hash.hpp"
+
+namespace otm::verify {
+
+namespace {
+
+const char* health_name(std::uint8_t h) {
+  switch (static_cast<proto::PeerHealth>(h)) {
+    case proto::PeerHealth::kHealthy:
+      return "Healthy";
+    case proto::PeerHealth::kSuspect:
+      return "Suspect";
+    case proto::PeerHealth::kRecovering:
+      return "Recovering";
+    case proto::PeerHealth::kDead:
+      return "Dead";
+  }
+  return "?";
+}
+
+/// The documented PeerHealth edges (proto/endpoint.hpp): soft evidence
+/// suspects a healthy peer, a recovery attempt moves Suspect to
+/// Recovering, success returns Suspect/Recovering to Healthy, and any
+/// live state may be declared Dead — which is terminal.
+bool legal_health_edge(std::uint8_t from_raw, std::uint8_t to_raw) {
+  using H = proto::PeerHealth;
+  const auto from = static_cast<H>(from_raw);
+  const auto to = static_cast<H>(to_raw);
+  if (from == H::kDead) return false;
+  if (to == H::kDead) return true;
+  if (from == H::kHealthy && to == H::kSuspect) return true;
+  if (from == H::kSuspect && to == H::kRecovering) return true;
+  if (from == H::kSuspect && to == H::kHealthy) return true;
+  if (from == H::kRecovering && to == H::kHealthy) return true;
+  return false;
+}
+
+}  // namespace
+
+Oracle::Oracle(mpi::World& world) : world_(&world) {
+  last_labels_.assign(static_cast<std::size_t>(world.size()), 0);
+}
+
+void Oracle::record(const char* invariant, std::string detail) {
+  violations_.push_back(Violation{invariant, std::move(detail)});
+}
+
+void Oracle::on_packet_rx(Rank rx_rank, Rank from, std::uint16_t channel_class,
+                          std::uint64_t seq, std::uint16_t pkt_epoch,
+                          std::uint16_t rx_epoch, bool accepted, bool stashed) {
+  // Stash-drained packets were fenced at pipeline entry; the stash
+  // legitimately survives an epoch adoption (verify_hook.hpp), so only
+  // direct accepts are held to the fence.
+  if (accepted && !stashed && pkt_epoch < rx_epoch) {
+    std::ostringstream os;
+    os << "rank " << rx_rank << " accepted stale-epoch packet from " << from
+       << " class " << channel_class << " seq " << seq << ": pkt epoch "
+       << pkt_epoch << " < rx epoch " << rx_epoch;
+    record("epoch_fence", os.str());
+  }
+}
+
+void Oracle::on_ack_rx(Rank rank, Rank from, std::uint16_t channel_class,
+                       std::uint16_t ack_epoch, std::uint16_t channel_epoch,
+                       std::uint64_t cum_seq, bool accepted) {
+  if (accepted && ack_epoch != channel_epoch) {
+    std::ostringstream os;
+    os << "rank " << rank << " accepted stale-epoch ack from " << from
+       << " class " << channel_class << " cum_seq " << cum_seq
+       << ": ack epoch " << ack_epoch << " != channel epoch " << channel_epoch;
+    record("ack_fence", os.str());
+  }
+}
+
+void Oracle::on_window(Rank rank, Rank dst, std::uint16_t channel_class,
+                       std::size_t in_flight, std::size_t window_limit) {
+  if (in_flight > window_limit) {
+    std::ostringstream os;
+    os << "rank " << rank << " -> " << dst << " class " << channel_class
+       << ": " << in_flight << " sent-unacked packets exceed window limit "
+       << window_limit;
+    record("send_window", os.str());
+  }
+}
+
+void Oracle::on_peer_health(Rank rank, Rank peer, std::uint8_t from,
+                            std::uint8_t to) {
+  if (!legal_health_edge(from, to)) {
+    std::ostringstream os;
+    os << "rank " << rank << " moved peer " << peer << " health "
+       << health_name(from) << " -> " << health_name(to)
+       << " (illegal edge)";
+    record("health_transition", os.str());
+  }
+}
+
+void Oracle::on_coalesce_append(Rank rank, Rank dst,
+                                std::uint16_t channel_class,
+                                std::uint32_t buffered) {
+  (void)buffered;
+  ++coalesce_out_[{rank, dst, channel_class}];
+}
+
+void Oracle::on_coalesce_flush(Rank rank, Rank dst,
+                               std::uint16_t channel_class,
+                               std::uint32_t flushed) {
+  auto& outstanding = coalesce_out_[{rank, dst, channel_class}];
+  outstanding -= static_cast<std::int64_t>(flushed);
+  if (outstanding < 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " -> " << dst << " class " << channel_class
+       << " flushed " << flushed
+       << " sub-messages, more than were ever buffered (balance "
+       << outstanding << ")";
+    record("coalesce_conservation", os.str());
+    outstanding = 0;  // stop the cascade; the first report carries the bug
+  }
+}
+
+void Oracle::note_app_recv(Rank rank, Rank src, Tag tag, std::uint64_t stamp) {
+  auto [it, fresh] = app_last_.try_emplace({rank, src, tag}, stamp);
+  if (fresh) return;
+  if (stamp <= it->second) {
+    std::ostringstream os;
+    os << "rank " << rank << " received stamp " << stamp << " from " << src
+       << " tag " << tag << " after stamp " << it->second
+       << " (duplicate or reordered delivery)";
+    record("app_fifo", os.str());
+  }
+  it->second = stamp;
+}
+
+void Oracle::step_check() {
+  for (int r = 0; r < world_->size(); ++r) {
+    const std::uint64_t now =
+        world_->endpoint(r).dpa().labels_allocated(/*comm=*/0);
+    auto& last = last_labels_[static_cast<std::size_t>(r)];
+    if (now < last) {
+      std::ostringstream os;
+      os << "rank " << r << " posting-label watermark regressed from " << last
+         << " to " << now << " (C1 monotonicity)";
+      record("label_monotone", os.str());
+    }
+    last = now;
+  }
+}
+
+void Oracle::final_check(bool completed, bool expect_completion) {
+  if (expect_completion && !completed)
+    record("liveness", "scenario expected completion but the scheduler "
+                       "reported a deadlock");
+  if (!completed) return;
+  for (const auto& [key, outstanding] : coalesce_out_) {
+    if (outstanding == 0) continue;
+    std::ostringstream os;
+    os << "rank " << std::get<0>(key) << " -> " << std::get<1>(key)
+       << " class " << std::get<2>(key) << " completed with " << outstanding
+       << " buffered sub-messages never flushed";
+    record("coalesce_conservation", os.str());
+  }
+}
+
+std::uint64_t Oracle::state_fingerprint() const {
+  std::uint64_t h = 0x07a0'57a7eULL;
+  for (int r = 0; r < world_->size(); ++r)
+    h = hash_combine(h, world_->endpoint(r).verify_fingerprint());
+  return h;
+}
+
+}  // namespace otm::verify

@@ -1,0 +1,112 @@
+// Machine-checkable invariant oracles (docs/VERIFICATION.md).
+//
+// One Oracle observes every endpoint of a small simulated world through
+// proto::VerifyHook and checks the protocol's safety invariants after
+// every observation — each violation is recorded with enough context to
+// serialize a counterexample schedule (verify/explorer.hpp):
+//
+//   epoch_fence            accepted packet implies pkt_epoch >= rx_epoch
+//   ack_fence              accepted ack implies ack_epoch == channel_epoch
+//   send_window            sent-unacked in flight <= window_limit
+//   health_transition      PeerHealth moves only along documented edges;
+//                          kDead is terminal
+//   coalesce_conservation  a channel never flushes more sub-messages than
+//                          it buffered; a completed run leaves none behind
+//   label_monotone         the DPA posting-label watermark (C1) never
+//                          regresses, sampled after every scheduler step
+//   app_fifo               application-level per-(src, dst, tag) stamps
+//                          arrive strictly increasing (FIFO, exactly-once;
+//                          scenario programs feed note_app_recv)
+//   liveness               a scenario expecting completion must not
+//                          deadlock (checked by final_check)
+//
+// The oracle is an observer: it never mutates the world, so a run with an
+// oracle attached is byte-identical to one without.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "proto/verify_hook.hpp"
+
+namespace otm::mpi {
+class World;
+}
+
+namespace otm::verify {
+
+/// One invariant violation, in counterexample-serializable form.
+struct Violation {
+  std::string invariant;  ///< short id, e.g. "epoch_fence"
+  std::string detail;     ///< human-readable context
+};
+
+class Oracle final : public proto::VerifyHook {
+ public:
+  /// The world must outlive the oracle (offload backend — the oracles
+  /// observe the reliable-delivery protocol, which the software baseline
+  /// does not have).
+  explicit Oracle(mpi::World& world);
+
+  // --- proto::VerifyHook observations -------------------------------------
+  void on_packet_rx(Rank rx_rank, Rank from, std::uint16_t channel_class,
+                    std::uint64_t seq, std::uint16_t pkt_epoch,
+                    std::uint16_t rx_epoch, bool accepted,
+                    bool stashed) override;
+  void on_ack_rx(Rank rank, Rank from, std::uint16_t channel_class,
+                 std::uint16_t ack_epoch, std::uint16_t channel_epoch,
+                 std::uint64_t cum_seq, bool accepted) override;
+  void on_window(Rank rank, Rank dst, std::uint16_t channel_class,
+                 std::size_t in_flight, std::size_t window_limit) override;
+  void on_peer_health(Rank rank, Rank peer, std::uint8_t from,
+                      std::uint8_t to) override;
+  void on_coalesce_append(Rank rank, Rank dst, std::uint16_t channel_class,
+                          std::uint32_t buffered) override;
+  void on_coalesce_flush(Rank rank, Rank dst, std::uint16_t channel_class,
+                         std::uint32_t flushed) override;
+
+  /// Application-level delivery stamp: scenario programs call this for
+  /// every successfully received message, stamping payloads with the
+  /// sender's per-(src, dst, tag) sequence number. Checks app_fifo.
+  void note_app_recv(Rank rank, Rank src, Tag tag, std::uint64_t stamp);
+
+  /// Scheduler step checkpoint (WorldScheduler::Config::step_hook):
+  /// samples the per-rank C1 posting-label watermark for label_monotone.
+  void step_check();
+
+  /// End-of-run checks: liveness (completion expected but the scheduler
+  /// deadlocked) and terminal coalesce conservation (a completed run must
+  /// not strand buffered sub-messages).
+  void final_check(bool completed, bool expect_completion);
+
+  bool ok() const noexcept { return violations_.empty(); }
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+
+  /// Protocol-state digest folded over every endpoint's
+  /// verify_fingerprint() — the endpoint half of the explorer's
+  /// state-fingerprint cache key.
+  std::uint64_t state_fingerprint() const;
+
+ private:
+  void record(const char* invariant, std::string detail);
+
+  mpi::World* world_;
+  std::vector<Violation> violations_;
+
+  /// label_monotone: last sampled watermark per rank.
+  std::vector<std::uint64_t> last_labels_;
+
+  /// coalesce_conservation: outstanding (appended, not yet flushed)
+  /// sub-messages per (rank, dst, channel_class).
+  std::map<std::tuple<Rank, Rank, std::uint16_t>, std::int64_t> coalesce_out_;
+
+  /// app_fifo: last stamp seen per (receiver, src, tag) stream.
+  std::map<std::tuple<Rank, Rank, Tag>, std::uint64_t> app_last_;
+};
+
+}  // namespace otm::verify

@@ -1,0 +1,234 @@
+#include "verify/scenarios.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace otm::verify {
+
+namespace {
+
+using Step = mpi::WorldScheduler::Step;
+using Fate = rdma::FaultInjector::Fate;
+
+/// One message of a sender program, issued in program order. Stamps are
+/// assigned per (dst, tag) stream: the i-th message of a stream carries
+/// stamp i in its first 8 payload bytes.
+struct Message {
+  Rank dst = 0;
+  Tag tag = 0;
+  std::size_t bytes = 16;
+};
+
+/// One posted receive of a receiver program, in posting order. Matching
+/// is FIFO per (src, tag) stream, so the i-th posted receive of a stream
+/// must complete with stamp i — note_app_recv checks exactly that.
+struct Recv {
+  Rank src = 0;
+  Tag tag = 0;
+  std::size_t bytes = 16;
+};
+
+/// Issue every message back-to-back (pipelined — this is what stresses
+/// windows, retransmission and recovery replay), then block on all of
+/// them. Failed sends (peer declared Dead under an adversarial fault
+/// budget) still complete, so the program always terminates.
+mpi::WorldScheduler::Program sender_program(std::vector<Message> msgs) {
+  struct St {
+    bool issued = false;
+    std::vector<std::vector<std::byte>> bufs;  ///< stable: reserved up front
+    std::vector<mpi::Request> reqs;
+  };
+  auto st = std::make_shared<St>();
+  return [st, msgs = std::move(msgs)](mpi::Proc& p) -> Step {
+    if (st->issued) return Step::done();
+    st->issued = true;
+    st->bufs.reserve(msgs.size());
+    std::map<std::pair<Rank, Tag>, std::uint64_t> stamps;
+    for (const Message& m : msgs) {
+      st->bufs.emplace_back(m.bytes);
+      const std::uint64_t stamp = stamps[{m.dst, m.tag}]++;
+      std::memcpy(st->bufs.back().data(), &stamp, sizeof(stamp));
+      st->reqs.push_back(p.isend(st->bufs.back(), m.dst, m.tag, p.world_comm()));
+    }
+    return Step::wait_all(st->reqs);
+  };
+}
+
+/// Post every receive up front, block on all, then report each completed
+/// (non-failed) payload's stamp to the oracle.
+mpi::WorldScheduler::Program receiver_program(std::vector<Recv> rs,
+                                              Oracle& oracle) {
+  struct St {
+    bool issued = false;
+    std::vector<std::vector<std::byte>> bufs;
+    std::vector<mpi::Request> reqs;
+  };
+  auto st = std::make_shared<St>();
+  return [st, rs = std::move(rs), &oracle](mpi::Proc& p) -> Step {
+    if (!st->issued) {
+      st->issued = true;
+      st->bufs.reserve(rs.size());
+      for (const Recv& r : rs) {
+        st->bufs.emplace_back(r.bytes);
+        st->reqs.push_back(p.irecv(st->bufs.back(), r.src, r.tag, p.world_comm()));
+      }
+      return Step::wait_all(st->reqs);
+    }
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (p.failed(st->reqs[i])) continue;  // dead-peer drain, not a delivery
+      std::uint64_t stamp = 0;
+      std::memcpy(&stamp, st->bufs[i].data(), sizeof(stamp));
+      oracle.note_app_recv(p.rank(), rs[i].src, rs[i].tag, stamp);
+    }
+    return Step::done();
+  };
+}
+
+/// Small-world base recipe: offload backend, fault injection armed with
+/// every probability at zero (the explorer's fate hook is the only fault
+/// source, so default runs are fault-free), reliability pinned on, and
+/// NIC resources scaled down so a disposable per-run World is cheap.
+mpi::WorldOptions base_options() {
+  mpi::WorldOptions o;
+  o.endpoint.bounce_count = 64;
+  o.endpoint.cq_depth = 128;
+  o.fabric.fault.enabled = true;
+  o.endpoint.reliability.mode = proto::ReliabilityConfig::Mode::kOn;
+  o.endpoint.reliability.rto_ns = 2'000;
+  o.endpoint.reliability.rto_max_ns = 8'000;
+  return o;
+}
+
+std::vector<Scenario> build_scenarios() {
+  std::vector<Scenario> v;
+
+  {
+    Scenario s;
+    s.name = "eager_storm";
+    s.description =
+        "rank 0 pipelines 3 small eager sends to rank 1 under "
+        "drop/duplicate/hold fates; retransmission, dedup and per-stream "
+        "FIFO must hold on every branch";
+    s.ranks = 2;
+    s.fate_options = {Fate::kDeliver, Fate::kDrop, Fate::kDuplicate,
+                      Fate::kHold};
+    s.max_fate_points = 6;
+    s.options = [] {
+      mpi::WorldOptions o = base_options();
+      o.fabric.fault.reorder_window = 2;
+      return o;
+    };
+    s.setup = [](mpi::World&, mpi::WorldScheduler& sched, Oracle& oracle) {
+      sched.add_task(0, sender_program({{1, 7, 16}, {1, 7, 16}, {1, 7, 16}}));
+      sched.add_task(1, receiver_program(
+                            {{0, 7, 16}, {0, 7, 16}, {0, 7, 16}}, oracle));
+    };
+    v.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "rendezvous_mix";
+    s.description =
+        "two senders feed one receiver a mix of eager and rendezvous "
+        "messages under drops; RTS/data interleavings across ranks must "
+        "preserve per-stream FIFO";
+    s.ranks = 3;
+    s.fate_options = {Fate::kDeliver, Fate::kDrop};
+    s.max_fate_points = 5;
+    s.options = [] {
+      mpi::WorldOptions o = base_options();
+      o.endpoint.eager_threshold = 16;  // 48-byte payloads go rendezvous
+      return o;
+    };
+    s.setup = [](mpi::World&, mpi::WorldScheduler& sched, Oracle& oracle) {
+      sched.add_task(0, sender_program({{2, 1, 8}, {2, 2, 48}}));
+      sched.add_task(1, sender_program({{2, 1, 8}}));
+      sched.add_task(2, receiver_program(
+                            {{0, 1, 8}, {0, 2, 48}, {1, 1, 8}}, oracle));
+    };
+    v.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "recovery_flap";
+    s.description =
+        "a 1-retry budget turns early drops into epoch-bump recoveries "
+        "while pre-recovery acks are still pending; epoch fencing must "
+        "discard every stale packet and ack (the planted-bug family: "
+        "OTM_VERIFY_BREAK=ack_fence is caught here)";
+    s.ranks = 2;
+    s.fate_options = {Fate::kDeliver, Fate::kDrop, Fate::kHold};
+    s.max_fate_points = 8;
+    s.max_qp_points = 2;
+    s.options = [] {
+      mpi::WorldOptions o = base_options();
+      o.endpoint.reliability.rto_ns = 500;
+      o.endpoint.reliability.rto_max_ns = 2'000;
+      o.endpoint.reliability.retry_budget = 1;
+      o.endpoint.recovery.enabled = true;
+      o.endpoint.recovery.max_attempts = 3;
+      o.endpoint.recovery.quiesce_ns = 200;
+      o.fabric.fault.reorder_window = 1;  // a held packet lags exactly 1 send
+      return o;
+    };
+    s.setup = [](mpi::World&, mpi::WorldScheduler& sched, Oracle& oracle) {
+      sched.add_task(0, sender_program({{1, 5, 16}, {1, 5, 16}}));
+      sched.add_task(1, receiver_program({{0, 5, 16}, {0, 5, 16}}, oracle));
+    };
+    v.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "coalesced_storm";
+    s.description =
+        "5 tiny sends coalesce into merged packets under drops; the "
+        "coalescing buffer must conserve sub-messages (every append "
+        "flushed exactly once) and unpacked sub-messages must stay FIFO";
+    s.ranks = 2;
+    s.fate_options = {Fate::kDeliver, Fate::kDrop};
+    s.max_fate_points = 4;
+    s.options = [] {
+      mpi::WorldOptions o = base_options();
+      o.endpoint.coalescing.enabled = true;
+      o.endpoint.coalescing.max_messages = 3;
+      o.endpoint.coalescing.eligible_bytes = 64;
+      return o;
+    };
+    s.setup = [](mpi::World&, mpi::WorldScheduler& sched, Oracle& oracle) {
+      sched.add_task(0, sender_program({{1, 3, 16},
+                                        {1, 3, 16},
+                                        {1, 3, 16},
+                                        {1, 3, 16},
+                                        {1, 3, 16}}));
+      sched.add_task(1, receiver_program({{0, 3, 16},
+                                          {0, 3, 16},
+                                          {0, 3, 16},
+                                          {0, 3, 16},
+                                          {0, 3, 16}},
+                                         oracle));
+    };
+    v.push_back(std::move(s));
+  }
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> registry = build_scenarios();
+  return registry;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& s : scenarios())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace otm::verify

@@ -1,0 +1,65 @@
+// Model-checking scenario families (docs/VERIFICATION.md).
+//
+// A Scenario is a small closed world (2-4 ranks) plus the decision surface
+// the explorer enumerates over it: which packet fates are on the table,
+// how many early packets of the run are explicit fault decision points,
+// and whether forced QP errors participate. Each family targets one
+// protocol regime:
+//
+//   eager_storm      pipelined small eager sends under drop/dup/hold —
+//                    retransmission, dedup and per-stream FIFO
+//   rendezvous_mix   eager and rendezvous traffic from two senders into
+//                    one receiver — RTS/data interleavings across ranks
+//   recovery_flap    retry-budget exhaustion driving epoch-bump recovery
+//                    while held stale packets are still in flight — the
+//                    epoch-fencing regime (and the planted-bug family:
+//                    OTM_VERIFY_BREAK=epoch_fence must be caught here)
+//   coalesced_storm  merged-message coalescing under loss — buffer
+//                    conservation and sub-message FIFO
+//
+// Programs stamp every payload with the sender's per-stream sequence
+// number and report received stamps into the Oracle (app_fifo).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpi/scheduler.hpp"
+#include "rdma/fault.hpp"
+#include "verify/invariants.hpp"
+
+namespace otm::verify {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  int ranks = 2;
+  /// The liveness oracle: every schedule/fault combination within the
+  /// explorer's budgets must drive the world to completion.
+  bool expect_completion = true;
+  /// Packet fates the explorer may force, index 0 MUST be kDeliver (the
+  /// default branch every other decision sequence extends).
+  std::vector<rdma::FaultInjector::Fate> fate_options;
+  /// The first this-many fate draws of a run are explicit decision
+  /// points; later packets fall through to the seeded model (which, with
+  /// all probabilities zero, always delivers).
+  std::size_t max_fate_points = 0;
+  /// Forced-QP-error decision points ({no-error, error}), same budget idea.
+  std::size_t max_qp_points = 0;
+  /// World recipe — called once per explored run (worlds are disposable).
+  std::function<mpi::WorldOptions()> options;
+  /// Registers one program per rank on the scheduler; programs feed
+  /// received stamps into the oracle.
+  std::function<void(mpi::World&, mpi::WorldScheduler&, Oracle&)> setup;
+};
+
+/// The built-in scenario registry, in documentation order.
+const std::vector<Scenario>& scenarios();
+
+/// nullptr when `name` is not a registered scenario.
+const Scenario* find_scenario(std::string_view name);
+
+}  // namespace otm::verify

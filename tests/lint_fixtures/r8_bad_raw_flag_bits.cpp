@@ -1,0 +1,24 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R8 bad twin: raw numeric bit masks on the wire flags word. The high 16
+// bits carry the channel epoch, so a magic mask silently collides with it.
+#include <cstdint>
+
+namespace otm::proto {
+
+struct WireHeader {
+  std::uint32_t flags = 0;
+};
+
+bool is_reliable(const WireHeader& h) {
+  return (h.flags & 0x1u) != 0;  // magic bit instead of kWireFlagReliable
+}
+
+void mark_merged(WireHeader& h) {
+  h.flags |= 2u;  // magic bit instead of kWireFlagMerged
+}
+
+void stomp_epoch(WireHeader* h) {
+  h->flags &= 0xffff;  // hand-rolled epoch mask instead of kWireEpochMask
+}
+
+}  // namespace otm::proto

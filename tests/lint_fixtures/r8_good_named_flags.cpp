@@ -1,0 +1,27 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R8 good twin: every flags-word access goes through the named constants
+// from src/proto/wire.hpp, so the epoch field in the high bits stays safe.
+#include <cstdint>
+
+namespace otm::proto {
+
+inline constexpr std::uint32_t kWireFlagReliable = 1u << 0;
+inline constexpr std::uint32_t kWireFlagMerged = 1u << 1;
+inline constexpr std::uint32_t kWireEpochMask = 0xffff0000u;
+
+struct WireHeader {
+  std::uint32_t flags = 0;
+};
+
+bool is_reliable(const WireHeader& h) {
+  return (h.flags & kWireFlagReliable) != 0;
+}
+
+void mark_merged(WireHeader& h) { h.flags |= kWireFlagMerged; }
+
+void clear_epoch(WireHeader& h) { h.flags &= ~kWireEpochMask; }
+
+// Plain assignment and named-constant combinations carry no magic bits.
+void reset(WireHeader& h) { h.flags = 0; }
+
+}  // namespace otm::proto

@@ -1,0 +1,20 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R9 bad twin: a default: label in a switch over a protocol state enum.
+// When a new Outcome is added, this switch keeps compiling and silently
+// routes the new state into the default arm.
+namespace otm::proto {
+
+enum class Outcome { kCompleted, kQueued, kFailed };
+
+int classify(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted:
+      return 0;
+    case Outcome::kQueued:
+      return 1;
+    default:  // swallows kFailed and anything added later
+      return -1;
+  }
+}
+
+}  // namespace otm::proto

@@ -1,0 +1,30 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R9 good twin: protocol state switches name every enumerator (so -Wswitch
+// flags additions); defaults stay legal in switches over non-protocol
+// values like characters.
+namespace otm::proto {
+
+enum class Outcome { kCompleted, kQueued, kFailed };
+
+int classify(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted:
+      return 0;
+    case Outcome::kQueued:
+      return 1;
+    case Outcome::kFailed:
+      return -1;
+  }
+  return -1;  // unreachable; keeps -Wreturn-type happy without a default
+}
+
+char escape(char c) {
+  switch (c) {  // not a protocol state machine: default is fine here
+    case '\n':
+      return 'n';
+    default:
+      return c;
+  }
+}
+
+}  // namespace otm::proto

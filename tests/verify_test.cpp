@@ -1,0 +1,179 @@
+// Model-checker subsystem suite (docs/VERIFICATION.md): the scenario
+// registry is well formed, the explorer keeps the intact protocol green,
+// replay is a pure function of the decision sequence, the planted
+// OTM_VERIFY_BREAK=ack_fence bug is found and its counterexample replays
+// deterministically, .otmsched counterexamples survive a JSON round trip,
+// and OTM_SCHED_TRACE drives the WorldScheduler to a reproducible
+// schedule.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mpi/scheduler.hpp"
+#include "verify/explorer.hpp"
+#include "verify/scenarios.hpp"
+
+namespace otm::verify {
+namespace {
+
+using Step = mpi::WorldScheduler::Step;
+
+TEST(Scenarios, RegistryIsWellFormed) {
+  const auto& all = scenarios();
+  ASSERT_GE(all.size(), 4u) << "the checker gates on >= 4 scenario families";
+  std::set<std::string> names;
+  for (const Scenario& s : all) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate name " << s.name;
+    EXPECT_GE(s.ranks, 2);
+    EXPECT_LE(s.ranks, 4);
+    ASSERT_FALSE(s.fate_options.empty());
+    // Branch 0 is the default every forced prefix extends: it must be the
+    // fault-free fate or default runs would not be fault-free.
+    EXPECT_EQ(s.fate_options.front(), rdma::FaultInjector::Fate::kDeliver);
+    EXPECT_EQ(find_scenario(s.name), &s);
+  }
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+}
+
+TEST(Explorer, IntactProtocolExploresGreen) {
+  const Scenario* s = find_scenario("coalesced_storm");
+  ASSERT_NE(s, nullptr);
+  ExploreOptions opts;
+  opts.max_runs = 512;
+  Explorer ex(*s, opts);
+  const ExploreResult r = ex.explore();
+  EXPECT_TRUE(r.ok()) << r.counterexamples.front().violation.invariant << ": "
+                      << r.counterexamples.front().violation.detail;
+  EXPECT_GT(r.stats.runs, 10u) << "the explorer must branch, not run once";
+  EXPECT_FALSE(r.stats.budget_exhausted);
+}
+
+TEST(Explorer, ReplayIsAPureFunctionOfTheChoices) {
+  const Scenario* s = find_scenario("eager_storm");
+  ASSERT_NE(s, nullptr);
+  Explorer ex(*s, ExploreOptions{});
+  const std::vector<std::uint32_t> choices{0, 1, 0, 2, 1};
+  const RunResult a = ex.replay(choices);
+  const RunResult b = ex.replay(choices);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.sched_picks, b.sched_picks);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].kind, b.decisions[i].kind);
+    EXPECT_EQ(a.decisions[i].options, b.decisions[i].options);
+    EXPECT_EQ(a.decisions[i].choice, b.decisions[i].choice);
+  }
+  EXPECT_TRUE(a.violations.empty()) << a.violations.front().detail;
+}
+
+TEST(Explorer, PlantedAckFenceBugIsFoundAndReplaysDeterministically) {
+  const Scenario* s = find_scenario("recovery_flap");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(::setenv("OTM_VERIFY_BREAK", "ack_fence", 1), 0);
+  ExploreOptions opts;
+  opts.max_runs = 30'000;
+  opts.max_faults = 4;
+  opts.stop_at_first_violation = true;
+  Explorer ex(*s, opts);
+  const ExploreResult r = ex.explore();
+  ASSERT_FALSE(r.ok()) << "the deliberately broken ack fence must be caught";
+  const Counterexample& cx = r.counterexamples.front();
+  EXPECT_EQ(cx.violation.invariant, "ack_fence");
+  for (int i = 0; i < 3; ++i) {
+    const RunResult replay = ex.replay(cx.choices());
+    ASSERT_FALSE(replay.violations.empty()) << "replay " << i;
+    EXPECT_EQ(replay.violations.front().invariant, cx.violation.invariant);
+    EXPECT_EQ(replay.violations.front().detail, cx.violation.detail);
+  }
+  ASSERT_EQ(::unsetenv("OTM_VERIFY_BREAK"), 0);
+  // The same schedule on the intact protocol is clean: the fence, not the
+  // schedule, is what the counterexample convicts.
+  const RunResult intact = ex.replay(cx.choices());
+  EXPECT_TRUE(intact.violations.empty())
+      << intact.violations.front().detail;
+}
+
+TEST(Counterexample, JsonRoundTripPreservesEverything) {
+  Counterexample cx;
+  cx.scenario = "recovery_flap";
+  cx.violation = {"ack_fence", "rank 0 accepted \"stale\" ack\n\tdetail"};
+  cx.decisions = {{Decision::Kind::kSched, 3, 1},
+                  {Decision::Kind::kFate, 4, 0},
+                  {Decision::Kind::kQpError, 2, 1}};
+  cx.sched_picks = {1, 0, 2};
+  const auto back = Counterexample::from_json(cx.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->scenario, cx.scenario);
+  EXPECT_EQ(back->violation.invariant, cx.violation.invariant);
+  EXPECT_EQ(back->violation.detail, cx.violation.detail);
+  EXPECT_EQ(back->sched_picks, cx.sched_picks);
+  ASSERT_EQ(back->decisions.size(), cx.decisions.size());
+  for (std::size_t i = 0; i < cx.decisions.size(); ++i) {
+    EXPECT_EQ(back->decisions[i].kind, cx.decisions[i].kind);
+    EXPECT_EQ(back->decisions[i].options, cx.decisions[i].options);
+    EXPECT_EQ(back->decisions[i].choice, cx.decisions[i].choice);
+  }
+  EXPECT_EQ(back->choices(), cx.choices());
+}
+
+TEST(Counterexample, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(Counterexample::from_json("").has_value());
+  EXPECT_FALSE(Counterexample::from_json("{\"foo\": 1}").has_value());
+}
+
+/// Two compute tasks that yield a few times: with both runnable every pick
+/// is a choice point, so the schedule is exactly what the replay source
+/// dictates.
+mpi::WorldScheduler::Program yielder(int* left) {
+  return [left](mpi::Proc&) -> Step {
+    if (*left <= 0) return Step::done();
+    --*left;
+    return Step::yield();
+  };
+}
+
+std::vector<std::uint32_t> run_with_trace_env(const char* trace_path) {
+  if (trace_path != nullptr)
+    EXPECT_EQ(::setenv("OTM_SCHED_TRACE", trace_path, 1), 0);
+  mpi::World world(2);
+  mpi::WorldScheduler sched(world, {});
+  int a = 4, b = 4;
+  sched.add_task(0, yielder(&a));
+  sched.add_task(1, yielder(&b));
+  EXPECT_EQ(sched.run(), mpi::WorldScheduler::Outcome::kCompleted);
+  if (trace_path != nullptr) EXPECT_EQ(::unsetenv("OTM_SCHED_TRACE"), 0);
+  return sched.pick_log();
+}
+
+TEST(SchedTrace, EnvReplayPinsTheScheduleDeterministically) {
+  // A counterexample whose schedule half alternates away from FIFO.
+  Counterexample cx;
+  cx.scenario = "synthetic";
+  cx.violation = {"none", "trace replay fixture"};
+  cx.sched_picks = {1, 1, 0, 1, 0, 1};
+  const std::string path =
+      ::testing::TempDir() + "/verify_test_trace.otmsched";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << cx.to_json();
+  }
+  const auto traced1 = run_with_trace_env(path.c_str());
+  const auto traced2 = run_with_trace_env(path.c_str());
+  const auto fifo = run_with_trace_env(nullptr);
+  EXPECT_EQ(traced1, traced2) << "OTM_SCHED_TRACE must pin the schedule";
+  ASSERT_FALSE(traced1.empty());
+  // The first choice point obeys the trace's non-FIFO pick; the untraced
+  // run stays FIFO at the same point.
+  EXPECT_EQ(traced1.front(), 1u);
+  EXPECT_EQ(fifo.front(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace otm::verify
