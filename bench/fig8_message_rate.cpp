@@ -102,6 +102,9 @@ int main(int argc, char** argv) {
     /// Messages per sequence for this row; 0 = the shared base.messages_per_seq
     /// (the storm rows run kStormMessages instead of --k).
     unsigned k = 0;
+    /// Bench-specific metrics forwarded to ScenarioRecord.extra (the lane
+    /// rows upload per-lane CQE/doorbell counts).
+    std::vector<std::pair<std::string, double>> extra;
   };
   std::vector<Row> rows;
 
@@ -163,6 +166,55 @@ int main(int argc, char** argv) {
     if (s == 1) incast_s1 = r.msg_rate;
     if (s == 4) incast_s4 = r.msg_rate;
     rows.push_back({name.c_str(), json_name.c_str(), r});
+  }
+
+  // Multi-lane ingress incast (docs/SHARDING.md, "Ingress lanes"): the same
+  // 4-sender incast, but with the receiver's ingress path itself split into
+  // lanes == shards QP/CQ pairs so each engine shard drains a private CQ.
+  // Pinned to k=400 (--lanes-k) instead of the paper's k=100: the ack
+  // round-trip is a fixed serial cost, and only a longer sequence leaves
+  // enough parallel matching work for the 4-lane fan-out to show its >= 3x
+  // headline. lanes=1 runs today's single-lane code byte-identically. Each
+  // row uploads per-lane CQE/doorbell counts as scenario extras, and --wall
+  // adds real-clock twins next to the modeled rates.
+  const unsigned lanes_k =
+      static_cast<unsigned>(args.get_int("lanes-k", 400));
+  double incast_l1 = 0.0, incast_l4 = 0.0;
+  std::vector<Row> lane_walls;  // "walltime" kind in JSON, like the storms
+  for (const unsigned n : {1u, 2u, 4u}) {
+    PingPongConfig cfg = base;
+    cfg.with_conflict = false;
+    cfg.messages_per_seq = lanes_k;
+    cfg.fabric.fault = fault;
+    cfg.obs_prefix = "incast_lanes" + std::to_string(n) + ".";
+    const std::string stem = "sharded_incast_lanes" + std::to_string(n);
+    const std::string& name = shard_names.emplace_back(
+        "Sharded incast lanes=" + std::to_string(n));
+    const std::string& json_name = shard_names.emplace_back(stem);
+    const PingPongResult r = run_sharded_incast(cfg, /*shards=*/n, /*lanes=*/n);
+    if (n == 1) incast_l1 = r.msg_rate;
+    if (n == 4) incast_l4 = r.msg_rate;
+    Row row{name.c_str(), json_name.c_str(), r, lanes_k, {}};
+    for (unsigned l = 0; l < r.lane_cqes.size(); ++l) {
+      const std::string lane = "lane" + std::to_string(l);
+      row.extra.emplace_back(lane + ".cqes",
+                             static_cast<double>(r.lane_cqes[l]));
+      row.extra.emplace_back(lane + ".doorbells",
+                             static_cast<double>(r.lane_doorbells[l]));
+    }
+    rows.push_back(std::move(row));
+    if (wall) {
+      const std::string& wall_name =
+          shard_names.emplace_back(name + " (wall)");
+      const std::string& wall_json = shard_names.emplace_back(stem + "_wall");
+      PingPongResult wr = r;  // same run, real-clock rate
+      const double msgs = static_cast<double>(lanes_k) * cfg.repetitions;
+      wr.msg_rate = msgs * 1e9 / r.wall_ns;
+      wr.avg_seq_ns = r.wall_ns / cfg.repetitions;
+      wr.seq_ns.assign(1, wr.avg_seq_ns);
+      lane_walls.push_back(
+          {wall_name.c_str(), wall_json.c_str(), wr, lanes_k, {}});
+    }
   }
 
   // Small-message storm (docs/COALESCING.md): one sender streams
@@ -228,6 +280,12 @@ int main(int argc, char** argv) {
       std::printf("  %-28s %s (%.2f ns/msg real)\n", row.name,
                   fmt_rate(row.r.msg_rate).c_str(),
                   row.r.avg_seq_ns / kStormMessages);
+    std::printf("\nwall-clock lane-incast rates (kind \"walltime\", +/-35%% "
+                "gate band):\n");
+    for (const Row& row : lane_walls)
+      std::printf("  %-28s %s (%.2f ns/msg real)\n", row.name,
+                  fmt_rate(row.r.msg_rate).c_str(),
+                  row.r.avg_seq_ns / lanes_k);
   }
 
   if (obs != nullptr) {
@@ -278,10 +336,12 @@ int main(int argc, char** argv) {
           (row_k * base.repetitions);
       s.conflicts_per_seq =
           static_cast<double>(row.r.conflicts) / base.repetitions;
+      s.extra = row.extra;
       doc.scenarios.push_back(std::move(s));
     };
     for (const Row& row : rows) record(row, "modeled");
     for (const Row& row : storm_walls) record(row, "walltime");
+    for (const Row& row : lane_walls) record(row, "walltime");
     if (!write_bench_json(json_out, doc)) {
       std::fprintf(stderr, "error: cannot write json to %s\n", json_out.c_str());
       return 1;
@@ -322,6 +382,17 @@ int main(int argc, char** argv) {
                 "(ratio %.2f)\n",
                 sharding_ok ? "OK" : "VIOLATED", incast_s4 / incast_s1);
   }
+  // Multi-lane headline (docs/SHARDING.md, "Ingress lanes"): splitting the
+  // ingress path too — not just the matcher — must lift the 4-shard incast
+  // past the shared-lane serialization ceiling. Informational under faults,
+  // like the other cross-config bands.
+  bool lanes_ok = true;
+  if (incast_l1 > 0.0 && incast_l4 > 0.0) {
+    lanes_ok = fault.enabled || incast_l4 >= 3.0 * incast_l1;
+    std::printf("shape: incast 4 lanes/shards >= 3x single-lane ......... %s "
+                "(ratio %.2f)\n",
+                lanes_ok ? "OK" : "VIOLATED", incast_l4 / incast_l1);
+  }
   // Coalescing headline (docs/COALESCING.md): merged packets must buy at
   // least 3x the message rate on the 8 B storm. Like the other cross-family
   // bands, retransmission latency under injected faults makes the ratio
@@ -336,6 +407,8 @@ int main(int argc, char** argv) {
   // Smoke runs are too short for the shape band to be meaningful; they
   // gate only on "ran to completion and wrote valid output".
   if (smoke) return 0;
-  return (order_ok && comparable && offloaded && sharding_ok && storm_ok) ? 0
-                                                                          : 1;
+  return (order_ok && comparable && offloaded && sharding_ok && lanes_ok &&
+          storm_ok)
+             ? 0
+             : 1;
 }

@@ -233,7 +233,8 @@ PingPongResult run_small_storm(const PingPongConfig& cfg, bool coalesced) {
   return r;
 }
 
-PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
+PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards,
+                                  unsigned lanes) {
   rdma::Fabric fabric(cfg.fabric);
   MatchConfig recv_match = cfg.match;
   recv_match.shards = shards;
@@ -243,11 +244,16 @@ PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
   sender_match.max_receives = 8;
   sender_match.max_unexpected = 8;
 
-  proto::Endpoint receiver(fabric, 0, cfg.endpoint, recv_match, cfg.dpa);
+  // Ingress lanes are world-symmetric (connect() asserts it), so the lane
+  // count applies to senders too even though only the receiver fans out.
+  proto::EndpointConfig ep = cfg.endpoint;
+  ep.ingress_lanes = lanes;
+
+  proto::Endpoint receiver(fabric, 0, ep, recv_match, cfg.dpa);
   std::vector<std::unique_ptr<proto::Endpoint>> senders;
   for (unsigned s = 0; s < kIncastSenders; ++s) {
     senders.push_back(std::make_unique<proto::Endpoint>(
-        fabric, static_cast<Rank>(s + 1), cfg.endpoint, sender_match, cfg.dpa));
+        fabric, static_cast<Rank>(s + 1), ep, sender_match, cfg.dpa));
     senders.back()->connect(receiver);
   }
   if (cfg.obs != nullptr)
@@ -265,6 +271,7 @@ PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
   double total_ns = 0.0;
   std::vector<double> seq_samples;
   seq_samples.reserve(cfg.repetitions);
+  const auto wall_start = std::chrono::steady_clock::now();
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     // Receive i targets sender 1 + (i % kIncastSenders): specific sources,
     // distinct tags, spread uniformly across the shard mask.
@@ -322,6 +329,8 @@ PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
     seq_samples.push_back(ns);
   }
 
+  const auto wall_end = std::chrono::steady_clock::now();
+
   const MatchStats s = receiver.dpa().sharded_engine().stats();
   PingPongResult r;
   r.avg_seq_ns = total_ns / cfg.repetitions;
@@ -331,6 +340,13 @@ PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards) {
   r.fast_path = s.fast_path_resolutions;
   r.slow_path = s.slow_path_resolutions;
   r.seq_ns = std::move(seq_samples);
+  r.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start)
+          .count());
+  for (unsigned l = 0; l < receiver.ingress_lanes(); ++l) {
+    r.lane_cqes.push_back(receiver.lane_cqes(l));
+    r.lane_doorbells.push_back(receiver.lane_doorbells(l));
+  }
   return r;
 }
 

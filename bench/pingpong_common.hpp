@@ -52,6 +52,10 @@ struct PingPongResult {
   std::uint64_t slow_path = 0;
   std::vector<double> seq_ns;      ///< per-repetition sequence time (for p50/p99)
   double wall_ns = 0.0;            ///< real elapsed time for the whole run
+  /// Per-ingress-lane receiver counters (docs/SHARDING.md, "Ingress
+  /// lanes"); empty for single-lane scenarios that predate the lane split.
+  std::vector<std::uint64_t> lane_cqes;
+  std::vector<std::uint64_t> lane_doorbells;
 };
 
 /// Optimistic tag matching offloaded to the simulated DPA.
@@ -71,8 +75,12 @@ inline constexpr unsigned kIncastSenders = 4;
 /// structures are split into `shards` source-routed engines; the sequence
 /// closes with an ack to every sender. With shards == 1 this is the paper's
 /// single-serializer DPA; higher shard counts fan the CQE stream out across
-/// per-shard completion queues.
-PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards);
+/// per-shard completion queues. `lanes` > 1 additionally splits the ingress
+/// path itself — every endpoint runs that many QP/CQ lanes with RSS-style
+/// source steering, so the senders' streams arrive on distinct lane CQs and
+/// the result carries per-lane cqes/doorbells plus a wall-clock time.
+PingPongResult run_sharded_incast(const PingPongConfig& cfg, unsigned shards,
+                                  unsigned lanes = 1);
 
 /// Messages per storm sequence (docs/COALESCING.md). Deliberately larger
 /// than the paper's k=100 ping-pong: the fixed wire/ack round-trip plus the

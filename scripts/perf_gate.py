@@ -5,7 +5,7 @@ committed baseline and fail on regressions beyond the noise band.
 Usage:
   scripts/perf_gate.py BASELINE.json CANDIDATE.json
                        [--tolerance-modeled 0.03] [--tolerance-walltime 0.35]
-                       [--allow-missing]
+                       [--tolerance-drift 0.5] [--allow-missing]
   scripts/perf_gate.py --validate FILE.json
   scripts/perf_gate.py --self-test
 
@@ -19,6 +19,13 @@ deterministic cost-model clock, so only a small band covers workload
 drift; "walltime" rates are real measurements on a shared machine and get
 a wide band. A candidate below baseline * (1 - tolerance) fails the gate.
 
+On top of the per-kind bands, modeled scenarios with a "<name>_wall"
+walltime twin are held to a modeled-vs-measured drift band: the
+candidate's modeled/measured rate ratio must stay within ±tolerance-drift
+of the baseline's ratio. This catches cost-model rot the same-kind bands
+cannot — a change that speeds the model up while slowing the real path
+down keeps both rates inside their own bands but swings the ratio.
+
 Exit codes: 0 ok, 1 regression (or invalid document), 2 usage error.
 No dependencies beyond the Python 3 standard library.
 """
@@ -29,6 +36,9 @@ import sys
 
 SCHEMA_VERSION = 1
 DEFAULT_TOL = {"modeled": 0.03, "walltime": 0.35}
+# Modeled-vs-measured drift band. Wider than the walltime band: the ratio
+# inherits the measurement's noise on top of any genuine model drift.
+DEFAULT_DRIFT_TOL = 0.5
 
 
 class DocumentError(Exception):
@@ -110,6 +120,41 @@ def gate(baseline, candidate, tol, allow_missing):
     return regressions, report
 
 
+def drift_pairs(scenarios):
+    """Yields (modeled_key, walltime_twin_key) for every "<name>" modeled
+    scenario that has a "<name>_wall" walltime twin in the same bench."""
+    for (bench, name), s in scenarios.items():
+        if s.get("kind", "modeled") != "modeled":
+            continue
+        twin = scenarios.get((bench, name + "_wall"))
+        if twin is not None and twin.get("kind") == "walltime":
+            yield (bench, name), (bench, name + "_wall")
+
+
+def gate_drift(baseline, candidate, tol):
+    """Modeled-vs-measured drift check over the twin pairs present in both
+    documents; returns (regressions, lines-of-report)."""
+    regressions = []
+    report = []
+    for mkey, wkey in sorted(drift_pairs(baseline)):
+        if mkey not in candidate or wkey not in candidate:
+            continue  # absences are the plain gate's business
+        name = f"{mkey[0]}/{mkey[1]}"
+        base_ratio = (baseline[mkey]["msgs_per_sec"] /
+                      baseline[wkey]["msgs_per_sec"])
+        cand_ratio = (candidate[mkey]["msgs_per_sec"] /
+                      candidate[wkey]["msgs_per_sec"])
+        rel = cand_ratio / base_ratio - 1.0
+        status = "drift-ok"
+        if abs(rel) > tol:
+            regressions.append(f"{name} (drift)")
+            status = "DRIFT"
+        report.append(f"  {status:10s} {name}: modeled/measured ratio "
+                      f"{base_ratio:.3g} -> {cand_ratio:.3g} "
+                      f"({rel:+.1%}, band ±{tol:.0%})")
+    return regressions, report
+
+
 def self_test():
     """In-memory checks of the gate arithmetic and document validation."""
     base = {("f", "nc"): {"kind": "modeled", "msgs_per_sec": 100.0},
@@ -134,6 +179,24 @@ def self_test():
     r, _ = gate(base, cand, DEFAULT_TOL, allow_missing=True)
     assert r == [], f"allow-missing still flagged: {r}"
 
+    # Drift gate: the modeled/measured ratio must track the baseline's.
+    base = {("f", "inc"): {"kind": "modeled", "msgs_per_sec": 1000.0},
+            ("f", "inc_wall"): {"kind": "walltime", "msgs_per_sec": 100.0}}
+    cand = {("f", "inc"): {"kind": "modeled", "msgs_per_sec": 990.0},
+            ("f", "inc_wall"): {"kind": "walltime", "msgs_per_sec": 80.0}}
+    r, _ = gate_drift(base, cand, DEFAULT_DRIFT_TOL)  # ratio 10 -> 12.4
+    assert r == [], f"in-band drift flagged: {r}"
+    # Model got 2x optimistic relative to reality -> ratio doubles -> fail.
+    cand[("f", "inc_wall")] = {"kind": "walltime", "msgs_per_sec": 49.0}
+    r, _ = gate_drift(base, cand, DEFAULT_DRIFT_TOL)
+    assert r == ["f/inc (drift)"], f"expected drift failure, got {r}"
+    # Pairs missing from the candidate are skipped (the plain gate reports
+    # them), and walltime-only scenarios never form a pair.
+    r, _ = gate_drift(base, {}, DEFAULT_DRIFT_TOL)
+    assert r == [], f"missing candidate pair flagged: {r}"
+    assert list(drift_pairs({("f", "x_wall"):
+                             {"kind": "walltime", "msgs_per_sec": 1.0}})) == []
+
     # Validation rejects malformed scenario lists.
     for bad in ([], [{"kind": "modeled"}],
                 [{"name": "x", "kind": "warp", "msgs_per_sec": 1}],
@@ -156,6 +219,10 @@ def main():
                     default=DEFAULT_TOL["modeled"])
     ap.add_argument("--tolerance-walltime", type=float,
                     default=DEFAULT_TOL["walltime"])
+    ap.add_argument("--tolerance-drift", type=float,
+                    default=DEFAULT_DRIFT_TOL,
+                    help="allowed relative change of each modeled/measured "
+                         "rate ratio vs the baseline's")
     ap.add_argument("--allow-missing", action="store_true",
                     help="baseline scenarios absent from the candidate "
                          "are reported but not fatal")
@@ -188,6 +255,10 @@ def main():
     tol = {"modeled": args.tolerance_modeled,
            "walltime": args.tolerance_walltime}
     regressions, report = gate(baseline, candidate, tol, args.allow_missing)
+    drift_regressions, drift_report = gate_drift(baseline, candidate,
+                                                 args.tolerance_drift)
+    regressions += drift_regressions
+    report += drift_report
     print(f"perf gate: {args.candidate} vs {args.baseline}")
     for line in report:
         print(line)

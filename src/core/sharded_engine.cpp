@@ -283,6 +283,27 @@ std::size_t ShardedEngine::drain_pending(
   return out.size() - static_cast<std::size_t>(first);
 }
 
+std::size_t ShardedEngine::drain_shard(
+    unsigned k, std::vector<MatchEngine::DrainedReceive>& receives,
+    std::vector<UnexpectedDescriptor>& ums) {
+  OTM_ASSERT(k < shard_count());
+  if (shard_count() == 1) {
+    const std::size_t n = shards_[0]->drain_pending(receives);
+    shards_[0]->drain_unexpected(ums);
+    return n;
+  }
+  const auto first = static_cast<std::ptrdiff_t>(receives.size());
+  shards_[k]->collect_pending(receives);
+  // collect_pending is non-destructive; withdraw each through the regular
+  // cancel path so wildcard replicas vanish from *every* shard, their claim
+  // words release, and the depth arithmetic stays exact.
+  for (std::size_t i = static_cast<std::size_t>(first); i < receives.size();
+       ++i)
+    cancel_receive(receives[i].cookie);
+  shards_[k]->drain_unexpected(ums);
+  return receives.size() - static_cast<std::size_t>(first);
+}
+
 std::size_t ShardedEngine::drain_unexpected(
     std::vector<UnexpectedDescriptor>& out) {
   if (shard_count() == 1) return shards_[0]->drain_unexpected(out);

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/steering.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace otm {
@@ -181,6 +182,18 @@ class ShardedEngine {
   /// the descriptors to `out` in global arrival-stamp order (C2).
   std::size_t drain_unexpected(std::vector<UnexpectedDescriptor>& out);
 
+  /// Lane-local demotion eviction (docs/RELIABILITY.md §"Per-lane
+  /// demotion"): withdraw shard `k`'s pending receives and stored
+  /// unexpected messages only. Wildcard-source receives replicated into
+  /// shard `k` are withdrawn *globally* (every replica canceled, claim
+  /// released) — a wildcard must be matchable against any source, so once
+  /// its lane-k replica leaves the DPA the whole logical receive migrates
+  /// to the host domain. Sibling shards' source-specific state stays put.
+  /// Returns the number of logical receives withdrawn.
+  std::size_t drain_shard(unsigned k,
+                          std::vector<MatchEngine::DrainedReceive>& receives,
+                          std::vector<UnexpectedDescriptor>& ums);
+
   /// Fig. 1b: global blocks of cfg.block_size, partitioned by source shard
   /// (order-preserving), matched per shard, claim-arbitrated, committed —
   /// or rolled back and re-matched serially on a contested claim.
@@ -201,9 +214,11 @@ class ShardedEngine {
   unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
   }
+  /// Shard routing delegates to the shared RSS steering hash so the matcher
+  /// and the ingress lanes (proto::Endpoint) can never disagree on where a
+  /// source's traffic lands.
   unsigned shard_of(Rank source) const noexcept {
-    return static_cast<unsigned>(static_cast<std::uint32_t>(source) &
-                                 shard_mask_);
+    return steer_lane(source, shard_mask_);
   }
   MatchEngine& shard(unsigned k) noexcept { return *shards_[k]; }
   const MatchEngine& shard(unsigned k) const noexcept { return *shards_[k]; }

@@ -1,0 +1,24 @@
+// The single RSS steering hash shared by every layer that routes on source.
+//
+// A (peer, tag-class) channel must map to exactly one matching shard AND
+// exactly one ingress lane (QP/CQ pair + CQE-polling hart), or per-lane
+// reliable-delivery windows would see holes and the per-shard engines would
+// see cross-shard traffic. Centralizing the hash here makes that binding a
+// one-liner to audit — otmlint R10 rejects ad-hoc `% lanes` / `& mask`
+// routing outside this helper (docs/SHARDING.md §"Ingress lanes").
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace otm {
+
+/// Lane/shard index for `source` under a power-of-two `mask` (= count - 1).
+/// Identity-preserving: the low bits of the source rank, exactly the RSS
+/// indirection a real NIC programs so one flow never migrates between queues.
+constexpr unsigned steer_lane(Rank source, std::uint32_t mask) noexcept {
+  return static_cast<unsigned>(static_cast<std::uint32_t>(source) & mask);
+}
+
+}  // namespace otm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/steering.hpp"
 #include "util/assert.hpp"
 
 namespace otm {
@@ -82,6 +83,53 @@ void DpaAccelerator::promote() noexcept {
   stall_events_ = 0;
   healthy_ticks_ = 0;
   memory_event_ = false;
+  publish_gauges();
+}
+
+void DpaAccelerator::set_ingress_lanes(unsigned lanes) {
+  OTM_ASSERT_MSG(lanes >= 1 && lanes <= kMaxShards &&
+                     (lanes & (lanes - 1)) == 0,
+                 "ingress lanes must be a power of two <= kMaxShards");
+  lanes_ = lanes;
+}
+
+void DpaAccelerator::lane_watchdog_tick(unsigned lane, bool pressure) noexcept {
+  if (!cfg_.watchdog.enabled || lane >= kMaxShards) return;
+  lane_pressure_streak_[lane] = pressure ? lane_pressure_streak_[lane] + 1 : 0;
+  if (!lane_degraded_[lane]) {
+    if (lane_pressure_streak_[lane] >= cfg_.watchdog.pressure_streak) {
+      lane_degraded_[lane] = true;
+      lane_healthy_ticks_[lane] = 0;
+      lanes_degraded_ |= 1u << lane;
+    }
+  } else {
+    lane_healthy_ticks_[lane] =
+        pressure ? 0 : lane_healthy_ticks_[lane] + 1;
+  }
+}
+
+void DpaAccelerator::lane_promote(unsigned lane) noexcept {
+  if (lane >= kMaxShards) return;
+  lane_degraded_[lane] = false;
+  lane_pressure_streak_[lane] = 0;
+  lane_healthy_ticks_[lane] = 0;
+  lanes_degraded_ &= ~(1u << lane);
+}
+
+void DpaAccelerator::force_demote_lane(unsigned lane) noexcept {
+  if (!cfg_.watchdog.enabled || lane >= kMaxShards) return;
+  lane_degraded_[lane] = true;
+  lane_healthy_ticks_[lane] = 0;
+  lanes_degraded_ |= 1u << lane;
+}
+
+void DpaAccelerator::drain_lane_shard(
+    unsigned shard, std::vector<MatchEngine::DrainedReceive>& receives,
+    std::vector<UnexpectedDescriptor>& ums) {
+  for (auto& [comm, ce] : engines_) {
+    ShardedEngine& eng = ce->engine;
+    if (shard < eng.shard_count()) eng.drain_shard(shard, receives, ums);
+  }
   publish_gauges();
 }
 
@@ -173,6 +221,10 @@ void DpaAccelerator::deliver_run(ShardedEngine& eng,
                                  std::span<const IncomingMessage> msgs,
                                  std::span<const std::uint64_t> arrivals,
                                  std::vector<ArrivalOutcome>& out) {
+  if (lanes_ > 1) {
+    deliver_run_lanes(eng, msgs, arrivals, out);
+    return;
+  }
   if (eng.shard_count() > 1) {
     deliver_run_sharded(eng, msgs, arrivals, out);
     return;
@@ -253,6 +305,65 @@ void DpaAccelerator::deliver_run_sharded(ShardedEngine& eng,
       busy_cycles_ += finish - starts[i];
       note_service_time(finish - starts[i]);
       out.push_back(block_out[i]);
+    }
+  }
+  publish_gauges();
+}
+
+void DpaAccelerator::deliver_run_lanes(ShardedEngine& eng,
+                                       std::span<const IncomingMessage> msgs,
+                                       std::span<const std::uint64_t> arrivals,
+                                       std::vector<ArrivalOutcome>& out) {
+  const unsigned block = eng.config().block_size;
+  const std::uint32_t mask = lanes_ - 1;
+  const std::size_t first = out.size();
+  out.resize(first + msgs.size());
+
+  // Partition the run by ingress lane — the same steering hash the matcher's
+  // shard routing and the endpoint's QP binding use, so a source's packets
+  // always sit in one lane's CQ and per-lane dispatch preserves per-source
+  // arrival order.
+  for (unsigned l = 0; l < lanes_; ++l) lane_idx_scratch_[l].clear();
+  for (std::size_t i = 0; i < msgs.size(); ++i)
+    lane_idx_scratch_[steer_lane(msgs[i].env.source, mask)].push_back(i);
+
+  for (unsigned l = 0; l < lanes_; ++l) {
+    const std::vector<std::size_t>& idx = lane_idx_scratch_[l];
+    if (idx.empty()) continue;
+    // This run is one poll batch for lane l's pinned hart: the first CQE
+    // pays the full NIC-processing interval, the rest are ring walks
+    // (lane_cqe_batch_interval). Each lane forms its own blocks against its
+    // own hart-slot pipeline, so lanes never lockstep on block boundaries.
+    bool first_cqe = true;
+    for (std::size_t base = 0; base < idx.size(); base += block) {
+      const std::size_t n = std::min<std::size_t>(block, idx.size() - base);
+      std::vector<std::uint64_t>& starts = starts_scratch_;
+      starts.assign(n, 0);
+      lane_msgs_scratch_.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t g = idx[base + i];
+        lane_msgs_scratch_.push_back(msgs[g]);
+        const std::uint64_t interval =
+            msgs[g].merged_sub
+                ? cfg_.merged_sub_interval
+                : (first_cqe ? cfg_.cqe_interval
+                             : cfg_.lane_cqe_batch_interval);
+        first_cqe = false;
+        const std::uint64_t arrival =
+            arrivals.empty() ? lane_cqe_ready_[l]
+                             : std::max(arrivals[g], lane_cqe_ready_[l]);
+        lane_cqe_ready_[l] = arrival + interval;
+        starts[i] = std::max(arrival, lane_slot_free_[l][i]);
+      }
+      auto block_out = eng.process(lane_msgs_scratch_, executor_, starts);
+      for (std::size_t i = 0; i < block_out.size(); ++i) {
+        const std::uint64_t finish = block_out[i].timing.finish_cycles;
+        lane_slot_free_[l][i] = std::max(lane_slot_free_[l][i], finish);
+        now_ = std::max(now_, finish);
+        busy_cycles_ += finish - starts[i];
+        note_service_time(finish - starts[i]);
+        out[first + idx[base + i]] = block_out[i];
+      }
     }
   }
   publish_gauges();

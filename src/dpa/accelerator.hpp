@@ -73,6 +73,18 @@ class DpaAccelerator {
   std::vector<ArrivalOutcome> deliver(std::span<const IncomingMessage> msgs,
                                       std::span<const std::uint64_t> arrival_cycles = {});
 
+  // --- Multi-lane ingress (docs/SHARDING.md §"Ingress lanes") -------------
+  // With lanes > 1 the endpoint owns one CQ per lane and a lane-pinned
+  // polling hart reaps each independently: deliver() partitions every
+  // same-comm run by steer_lane(source) and forms per-lane blocks with a
+  // per-lane CQE clock (batched reaping, DpaConfig::lane_cqe_batch_interval)
+  // and per-lane hart-slot pipelines — no cross-lane dispatch lockstep.
+
+  /// Configure the ingress lane count (power of two, <= kMaxShards).
+  /// lanes == 1 keeps the shared-CQ model byte-identical to before.
+  void set_ingress_lanes(unsigned lanes);
+  unsigned ingress_lanes() const noexcept { return lanes_; }
+
   /// The single engine of an unsharded communicator `comm` (must be
   /// registered with cfg.shards == 1 — asserted). Sharded communicators are
   /// inspected through sharded_engine().
@@ -149,6 +161,45 @@ class DpaAccelerator {
   void drain_all(std::vector<MatchEngine::DrainedReceive>& receives,
                  std::vector<UnexpectedDescriptor>& ums);
 
+  // --- Per-lane watchdog (multi-lane ingress only) ------------------------
+  // Each lane-pinned polling hart carries its own health state: sustained
+  // CQ pressure on lane k demotes *that lane* to host matching (its shard's
+  // receives evicted via drain_lane_shard) while sibling lanes keep their
+  // offloaded path. Thresholds come from the same DpaConfig::Watchdog.
+
+  /// True while lane `lane` is demoted to host matching.
+  bool lane_degraded(unsigned lane) const noexcept {
+    return lane < kMaxShards && lane_degraded_[lane];
+  }
+
+  /// Any lane demoted (cheap gate for the endpoint's rx routing).
+  bool any_lane_degraded() const noexcept { return lanes_degraded_ != 0; }
+
+  /// Per-lane analogue of watchdog_tick(): advance lane `lane`'s pressure
+  /// streak / healthy window with this tick's CQ-full evidence.
+  void lane_watchdog_tick(unsigned lane, bool pressure) noexcept;
+
+  /// True when demoted lane `lane` stayed clean for `healthy_window` ticks.
+  bool lane_promotable(unsigned lane) const noexcept {
+    return lane_degraded(lane) &&
+           lane_healthy_ticks_[lane] >= cfg_.watchdog.healthy_window;
+  }
+
+  /// Close lane `lane`'s demotion window (endpoint calls this after the
+  /// lane's host-domain state is drained back).
+  void lane_promote(unsigned lane) noexcept;
+
+  /// Operational/test override: demote lane `lane` immediately (no-op when
+  /// the watchdog is disabled).
+  void force_demote_lane(unsigned lane) noexcept;
+
+  /// Lane-local demotion eviction: withdraw shard `shard`'s pending
+  /// receives and unexpected messages from every registered communicator
+  /// (wildcard receives withdraw globally — see ShardedEngine::drain_shard).
+  void drain_lane_shard(unsigned shard,
+                        std::vector<MatchEngine::DrainedReceive>& receives,
+                        std::vector<UnexpectedDescriptor>& ums);
+
  private:
   void demote() noexcept {
     degraded_ = true;
@@ -197,6 +248,13 @@ class DpaAccelerator {
                            std::span<const IncomingMessage> msgs,
                            std::span<const std::uint64_t> arrivals,
                            std::vector<ArrivalOutcome>& out);
+  /// Multi-lane variant (lanes_ > 1): partition the run by ingress lane,
+  /// form per-lane blocks with a batched per-lane CQE clock and per-lane
+  /// hart slots, and scatter outcomes back to arrival order.
+  void deliver_run_lanes(ShardedEngine& engine,
+                         std::span<const IncomingMessage> msgs,
+                         std::span<const std::uint64_t> arrivals,
+                         std::vector<ArrivalOutcome>& out);
 
   /// Per-comm metric prefix and accelerator gauge refresh.
   void attach_engine_obs(CommId comm, ShardedEngine& eng);
@@ -214,6 +272,14 @@ class DpaAccelerator {
   std::array<std::uint64_t, kMaxShards> cqe_shard_ready_{};
   std::array<std::array<std::uint64_t, kMaxBlockThreads>, kMaxShards>
       shard_slot_free_{};
+  /// Multi-lane ingress: lane count, per-lane CQE clocks, per-lane hart
+  /// pipelines, and per-lane partition scratch (reused across runs).
+  unsigned lanes_ = 1;
+  std::array<std::uint64_t, kMaxShards> lane_cqe_ready_{};
+  std::array<std::array<std::uint64_t, kMaxBlockThreads>, kMaxShards>
+      lane_slot_free_{};
+  std::array<std::vector<std::size_t>, kMaxShards> lane_idx_scratch_;
+  std::vector<IncomingMessage> lane_msgs_scratch_;
   std::uint64_t now_ = 0;
   std::uint64_t busy_cycles_ = 0;
 
@@ -224,6 +290,12 @@ class DpaAccelerator {
   std::uint32_t pressure_streak_ = 0;
   std::uint32_t stall_events_ = 0;   ///< since the last promotion
   std::uint32_t healthy_ticks_ = 0;  ///< consecutive clean ticks while demoted
+
+  /// Per-lane watchdog state (multi-lane ingress).
+  std::array<bool, kMaxShards> lane_degraded_{};
+  std::array<std::uint32_t, kMaxShards> lane_pressure_streak_{};
+  std::array<std::uint32_t, kMaxShards> lane_healthy_ticks_{};
+  std::uint32_t lanes_degraded_ = 0;  ///< bitmask mirror of lane_degraded_
 
   obs::Observability* obs_ = nullptr;
   std::string obs_prefix_;

@@ -32,6 +32,14 @@ struct DpaConfig {
   /// modeled win of merged-message coalescing (docs/COALESCING.md).
   std::uint64_t merged_sub_interval = 15;
 
+  /// Cycles between CQEs reaped within one poll batch of a *dedicated*
+  /// per-lane polling hart (multi-lane ingress only, docs/SHARDING.md
+  /// §"Ingress lanes"). With a single shared CQ every completion pays the
+  /// full `cqe_interval` NIC-processing cost; a lane-pinned hart that finds
+  /// k completions queued walks the CQ ring like the merged-sub table —
+  /// the first CQE of the batch still costs `cqe_interval`, the rest this.
+  std::uint64_t lane_cqe_batch_interval = 20;
+
   /// DPA memory available to matching structures across all registered
   /// communicators (BF3 DPA L3 cache: 3 MiB, Sec. IV-E). Communicator
   /// registration beyond the budget fails -> software tag matching.

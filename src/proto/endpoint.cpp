@@ -19,11 +19,28 @@ Endpoint::Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
       cq_(cfg.cq_depth),
       bounce_(cfg.bounce_count, cfg.bounce_bytes()),
       dpa_(dpa_cfg, match_cfg) {
-  // Stage every bounce buffer as a receive WQE up front (Sec. IV-A).
+  // Ingress lanes (docs/SHARDING.md): per-lane CQ/SRQ pairs; lane 0 reuses
+  // the members above so a single-lane endpoint is byte-identical.
+  lanes_ = cfg_.ingress_lanes == 0 ? 1u : cfg_.ingress_lanes;
+  OTM_ASSERT_MSG((lanes_ & (lanes_ - 1)) == 0 && lanes_ <= kMaxShards,
+                 "ingress_lanes must be a power of two <= kMaxShards");
+  lane_mask_ = lanes_ - 1;
+  tx_lane_ = static_cast<std::uint16_t>(steer_lane(rank_, lane_mask_));
+  for (unsigned l = 1; l < lanes_; ++l)
+    lanes_extra_.push_back(std::make_unique<IngressLane>(cfg_.cq_depth));
+  dpa_.set_ingress_lanes(lanes_);
+  // Stage every bounce buffer as a receive WQE up front (Sec. IV-A),
+  // partitioned round-robin across the lane SRQs (with one lane this is
+  // the historical whole-pool post into srq_).
+  bounce_lane_.resize(bounce_.capacity(), 0);
   for (std::size_t i = 0; i < bounce_.capacity(); ++i) {
     const auto h = bounce_.allocate();
     OTM_ASSERT(h.has_value());
-    srq_.post(*h, bounce_.data(*h));
+    // otmlint: allow(R10) -- buffer-pool round-robin, not flow steering
+    const auto lane = static_cast<std::uint16_t>(*h % lanes_);
+    OTM_ASSERT(*h < bounce_lane_.size());
+    bounce_lane_[*h] = lane;
+    lane_srq(lane).post(*h, bounce_.data(*h));
   }
   // Pay-for-what-you-use: the reliable-delivery sublayer engages only when
   // asked for, or automatically once the fabric can actually lose packets.
@@ -41,16 +58,27 @@ Endpoint::Endpoint(rdma::Fabric& fabric, Rank rank, const EndpointConfig& cfg,
 }
 
 void Endpoint::connect(Endpoint& peer) {
-  OTM_ASSERT_MSG(qps_.find(peer.rank_) == qps_.end(), "already connected");
+  OTM_ASSERT_MSG(!connected_to(peer.rank_), "already connected");
+  OTM_ASSERT_MSG(lanes_ == peer.lanes_,
+                 "ingress lane counts must match world-wide (the steering "
+                 "hash is symmetric)");
+  // One QP pair per ingress lane: lane l of the pair feeds the receiver's
+  // lane-l CQ/SRQ on both ends (the receiver's RSS steering decision).
   // In-place construction: QueuePair owns a capability token and is
   // intentionally immovable.
-  auto [it, ok] =
-      qps_.try_emplace(peer.rank_, *fabric_, node_, cq_, registry_, srq_);
-  OTM_ASSERT(ok);
-  auto [pit, pok] = peer.qps_.try_emplace(rank_, *fabric_, peer.node_, peer.cq_,
-                                          peer.registry_, peer.srq_);
-  OTM_ASSERT(pok);
-  it->second.connect(pit->second);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    const auto lane = static_cast<std::uint16_t>(l);
+    auto [it, ok] =
+        qps_.try_emplace({peer.rank_, lane}, *fabric_, node_, lane_cq(l),
+                         registry_, lane_srq(l), lane);
+    OTM_ASSERT(ok);
+    auto [pit, pok] = peer.qps_.try_emplace({rank_, lane}, *fabric_,
+                                            peer.node_, peer.lane_cq(l),
+                                            peer.registry_, peer.lane_srq(l),
+                                            lane);
+    OTM_ASSERT(pok);
+    it->second.connect(pit->second);
+  }
   peers_.emplace(peer.rank_, &peer);
   peer.peers_.emplace(rank_, this);
 }
@@ -125,18 +153,23 @@ std::uint64_t Endpoint::verify_fingerprint() const noexcept {
   // (arrived but not yet drained) and packets held inside each QP's
   // reorder buffer. Without these, the model checker's subsumption cache
   // would merge states that differ only in undelivered traffic.
-  for (std::uint64_t seq = cq_.next_sequence() - cq_.available();
-       seq != cq_.next_sequence(); ++seq) {
-    const auto cqe = cq_.peek_sequence(seq);
-    OTM_ASSERT(cqe.has_value());
-    const WireHeader wh = decode_header(bounce_.data(cqe->wr_id));
-    h = mix64(h ^ (static_cast<std::uint64_t>(wh.source) << 32 |
-                   static_cast<std::uint64_t>(wh.flags) << 16 |
-                   wh.channel_class));
-    h = mix64(h ^ wh.channel_seq);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    const rdma::CompletionQueue& lcq = lane_cq(l);
+    for (std::uint64_t seq = lcq.next_sequence() - lcq.available();
+         seq != lcq.next_sequence(); ++seq) {
+      const auto cqe = lcq.peek_sequence(seq);
+      OTM_ASSERT(cqe.has_value());
+      const WireHeader wh = decode_header(bounce_.data(cqe->wr_id));
+      h = mix64(h ^ (static_cast<std::uint64_t>(wh.source) << 32 |
+                     static_cast<std::uint64_t>(wh.flags) << 16 |
+                     wh.channel_class));
+      h = mix64(h ^ (wh.channel_seq + (static_cast<std::uint64_t>(l) << 48)));
+    }
   }
-  for (const auto& [peer, qp] : qps_)
-    h = mix64(h ^ (static_cast<std::uint64_t>(peer) + qp.verify_digest()));
+  for (const auto& [key, qp] : qps_)
+    h = mix64(h ^ (static_cast<std::uint64_t>(key.first) +
+                   (static_cast<std::uint64_t>(key.second) << 32) +
+                   qp.verify_digest()));
   return h;
 }
 
@@ -176,8 +209,8 @@ bool Endpoint::cancel_receive(CommId comm, std::uint64_t cookie) {
 Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
                                     std::span<const std::byte> data) {
   SerialSection host(host_);
-  auto it = qps_.find(dst);
-  OTM_ASSERT_MSG(it != qps_.end(), "send to unconnected peer");
+  rdma::QueuePair* qp = find_tx_qp(dst);
+  OTM_ASSERT_MSG(qp != nullptr, "send to unconnected peer");
 
   const bool eager = data.size() <= cfg_.eager_threshold;
   const Envelope env{rank_, tag, comm};
@@ -317,6 +350,7 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
   // overhead (WQE build + doorbell MMIO); subsequent back-to-back sends are
   // chained into the same doorbell and pay only the WQE build. progress()
   // closes the burst.
+  if (!send_burst_open_) ++lane_doorbells_[tx_lane_];
   clock_ns_ += static_cast<std::uint64_t>(send_burst_open_ ? cfg_.send_post_ns
                                                            : cfg_.send_overhead_ns);
   send_burst_open_ = true;
@@ -360,7 +394,7 @@ Endpoint::SendResult Endpoint::send(Rank dst, Tag tag, CommId comm,
 
   // Unreliable path: one shot at the fabric; refusals surface as typed,
   // recoverable statuses (the caller may retry after draining/progressing).
-  const auto r = it->second.post_send(packet, clock_ns_);
+  const auto r = qp->post_send(packet, clock_ns_);
   if (obs_ != nullptr) {
     if (obs::Tracer* tr = obs_->tracer())
       tr->record(obs::EventKind::kSend, clock_ns_,
@@ -448,8 +482,8 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
     ch.buf_count = 0;
     return;
   }
-  auto qp = qps_.find(dst);
-  OTM_ASSERT(qp != qps_.end());
+  rdma::QueuePair* qp = find_tx_qp(dst);
+  OTM_ASSERT(qp != nullptr);
 
   WireHeader h;
   h.source = rank_;
@@ -478,6 +512,7 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
   seal_packet(packet);
 
   // The flush is the doorbell the buffered sends never rang.
+  if (!send_burst_open_) ++lane_doorbells_[tx_lane_];
   clock_ns_ += static_cast<std::uint64_t>(send_burst_open_ ? cfg_.send_post_ns
                                                            : cfg_.send_overhead_ns);
   send_burst_open_ = true;
@@ -507,7 +542,7 @@ void Endpoint::flush_channel(ChannelKey key, Channel& ch, FlushReason why) {
     return;
   }
 
-  const auto r = qp->second.post_send(packet, clock_ns_);
+  const auto r = qp->post_send(packet, clock_ns_);
   using FabricStatus = rdma::QueuePair::SendStatus;
   if (r.status != FabricStatus::kOk) {
     // Receiver can't take the merged packet right now (or the QP errored):
@@ -538,8 +573,8 @@ void Endpoint::flush_all(FlushReason why) {
 
 void Endpoint::try_transmit(ChannelKey key, Channel& ch) {
   if (ch.failed || clock_ns_ < ch.stall_until_ns) return;
-  auto qp = qps_.find(key.first);
-  OTM_ASSERT(qp != qps_.end());
+  rdma::QueuePair* qp = find_tx_qp(key.first);
+  OTM_ASSERT(qp != nullptr);
   const ReliabilityConfig& rc = cfg_.reliability;
 
   std::size_t in_flight = 0;
@@ -558,7 +593,7 @@ void Endpoint::try_transmit(ChannelKey key, Channel& ch) {
       fail_channel(key, ch);
       return;
     }
-    const auto r = qp->second.post_send(p.bytes, clock_ns_);
+    const auto r = qp->post_send(p.bytes, clock_ns_);
     using FabricStatus = rdma::QueuePair::SendStatus;
     if (r.status == FabricStatus::kQpError) {
       // The QP entered the error state: nothing posts until a reset. With
@@ -641,10 +676,12 @@ bool Endpoint::begin_recovery(Rank peer) {
   set_peer_health(peer, ps, PeerHealth::kRecovering);
   ps.keepalive_misses = 0;
   ps.probe_outstanding = false;
-  // Fence the fault domain: reset the QP (flushing in-flight WQEs), then
-  // recover every channel of the peer under a fresh epoch.
-  const auto qit = qps_.find(peer);
-  if (qit != qps_.end()) qit->second.reset();
+  // Fence the fault domain: reset the tx-lane QP (flushing in-flight
+  // WQEs), then recover every channel of the peer under a fresh epoch.
+  // Recovery is lane-local by construction — all of this endpoint's
+  // traffic to the peer rides the {peer, tx_lane_} pair, so sibling lanes
+  // (other sources' flows) are never quiesced.
+  if (rdma::QueuePair* qp = find_tx_qp(peer)) qp->reset();
   for (auto it = channels_.lower_bound({peer, 0});
        it != channels_.end() && it->first.first == peer; ++it)
     recover_channel(it->first, it->second);
@@ -652,7 +689,6 @@ bool Endpoint::begin_recovery(Rank peer) {
 }
 
 void Endpoint::recover_channel(ChannelKey key, Channel& ch) {
-  (void)key;
   ch.rnr_strikes = 0;
   if (ch.window.empty()) return;
   // The epoch bump fences the old wire state: stale retransmits still in
@@ -670,6 +706,40 @@ void Endpoint::recover_channel(ChannelKey key, Channel& ch) {
   }
   // Quiesce: let in-flight stale packets drain before the replay starts.
   ch.stall_until_ns = clock_ns_ + cfg_.recovery.quiesce_ns;
+  // Multi-lane fence: broadcast the new epoch on every lane pair so the
+  // receiver adopts it from whichever lane drains first (the replay itself
+  // travels only on the tx lane). Single-lane endpoints skip this — the
+  // replay's own epoch bits fence the FIFO CQ, byte-identically to before.
+  if (lanes_ > 1) announce_epoch(key, ch);
+}
+
+void Endpoint::announce_epoch(ChannelKey key, const Channel& ch) {
+  // A keepalive-framed probe carrying the channel's new epoch: consumes no
+  // sequence number, adopted by the receiver's keepalive handler, re-acked
+  // at the new epoch. Best-effort per lane — a lost announce just means
+  // that lane's stale packets are fenced later, when the replay lands.
+  WireHeader h;
+  h.source = rank_;
+  h.tag = 0;
+  h.comm = 0;
+  h.protocol = static_cast<std::uint8_t>(Protocol::kEager);
+  h.has_inline_hashes = 0;
+  h.channel_class = key.second;
+  h.payload_bytes = 0;
+  h.inline_bytes = 0;
+  h.sender_seq = sender_seq_++;
+  h.channel_seq = ch.next_seq;  // informational: not consumed
+  h.flags =
+      kWireFlagReliable | kWireFlagKeepalive | wire_epoch_bits(ch.epoch);
+  std::vector<std::byte> packet(kHeaderBytes);
+  encode_header(h, packet);
+  seal_packet(packet);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    const auto it = qps_.find({key.first, static_cast<std::uint16_t>(l)});
+    if (it == qps_.end()) continue;
+    it->second.post_send(packet, clock_ns_);
+    ++counters_.keepalives_sent;
+  }
 }
 
 void Endpoint::mark_peer_dead(Rank peer) {
@@ -817,9 +887,9 @@ Endpoint::RecvCompletion Endpoint::complete_from_unexpected(
       um_payloads_.erase(it);
     }
     if (c.bytes > inline_n) {
-      auto it = qps_.find(um.env.source);
-      OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
-      c.completion_ns = it->second.rdma_read(
+      rdma::QueuePair* qp = find_tx_qp(um.env.source);
+      OTM_ASSERT_MSG(qp != nullptr, "rendezvous read to unconnected peer");
+      c.completion_ns = qp->rdma_read(
           static_cast<std::uint32_t>(um.remote_key), um.remote_addr + inline_n,
           user.subspan(inline_n, c.bytes - inline_n), clock_ns_);
       ++counters_.rdma_reads;
@@ -842,8 +912,10 @@ void Endpoint::recycle_bounce(std::uint64_t handle) {
     if (--it->second > 0) return;
     bounce_refs_.erase(it);
   }
-  // Repost immediately so the staging window stays full (Sec. IV-A).
-  srq_.post(handle, bounce_.data(handle));
+  // Repost immediately so the staging window stays full (Sec. IV-A), back
+  // to the lane SRQ that staged the buffer (lane 0 for single-lane).
+  lane_srq(bounce_lane_[static_cast<std::size_t>(handle)])
+      .post(handle, bounce_.data(handle));
 }
 
 Endpoint::RecvCompletion Endpoint::complete_matched(const ArrivalOutcome& o) {
@@ -881,9 +953,9 @@ Endpoint::RecvCompletion Endpoint::complete_matched(const ArrivalOutcome& o) {
       std::copy(src.begin(), src.end(), user.begin());
     }
     if (c.bytes > inline_n) {
-      auto it = qps_.find(o.env.source);
-      OTM_ASSERT_MSG(it != qps_.end(), "rendezvous read to unconnected peer");
-      c.completion_ns = it->second.rdma_read(
+      rdma::QueuePair* qp = find_tx_qp(o.env.source);
+      OTM_ASSERT_MSG(qp != nullptr, "rendezvous read to unconnected peer");
+      c.completion_ns = qp->rdma_read(
           static_cast<std::uint32_t>(o.proto.remote_key),
           o.proto.remote_addr + inline_n,
           user.subspan(inline_n, c.bytes - inline_n),
@@ -904,11 +976,11 @@ std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
                                        std::uint64_t addr,
                                        std::span<std::byte> dst,
                                        std::uint64_t issue_ns) {
-  auto it = qps_.find(src);
-  OTM_ASSERT_MSG(it != qps_.end(), "host rendezvous read to unconnected peer");
+  rdma::QueuePair* qp = find_tx_qp(src);
+  OTM_ASSERT_MSG(qp != nullptr, "host rendezvous read to unconnected peer");
   ++counters_.rdma_reads;
-  const std::uint64_t done = it->second.rdma_read(
-      static_cast<std::uint32_t>(rkey), addr, dst, issue_ns);
+  const std::uint64_t done =
+      qp->rdma_read(static_cast<std::uint32_t>(rkey), addr, dst, issue_ns);
   advance_ns(done);
   peers_.at(src)->release_staged(static_cast<std::uint32_t>(rkey));
   return done;
@@ -916,7 +988,11 @@ std::uint64_t Endpoint::host_rdma_read(Rank src, std::uint64_t rkey,
 
 void Endpoint::send_keepalives() {
   const RecoveryConfig& rc = cfg_.recovery;
-  for (auto& [peer, qp] : qps_) {
+  for (auto& [key, qp] : qps_) {
+    // Probes ride the tx lane only: one liveness clock per peer, not one
+    // per lane pair (sibling-lane QPs carry no data from this endpoint).
+    if (key.second != tx_lane_) continue;
+    const Rank peer = key.first;
     PeerState& ps = peer_health_[peer];
     if (ps.health == PeerHealth::kDead) continue;
     // Idle = no unacked window and no coalesced bytes on any channel of the
@@ -988,7 +1064,23 @@ void Endpoint::demote_to_host() {
   std::vector<MatchEngine::DrainedReceive> pend;
   std::vector<UnexpectedDescriptor> ums;
   dpa_.drain_all(pend, ums);
+  migrate_evicted(pend, ums);
+}
 
+void Endpoint::evict_lane(unsigned lane) {
+  // Lane-local demotion (lanes_ > 1): only shard `lane`'s NIC-resident
+  // matching state leaves the accelerator; sibling lanes keep matching
+  // offloaded. Arrivals steered to this lane route to the host inbox at
+  // the drain (drain_lane_degraded) until the lane heals.
+  ++counters_.watchdog_demotions;
+  std::vector<MatchEngine::DrainedReceive> pend;
+  std::vector<UnexpectedDescriptor> ums;
+  dpa_.drain_lane_shard(lane, pend, ums);
+  migrate_evicted(pend, ums);
+}
+
+void Endpoint::migrate_evicted(std::vector<MatchEngine::DrainedReceive>& pend,
+                               std::vector<UnexpectedDescriptor>& ums) {
   // Stored unexpected messages migrate as host messages, globally ordered
   // by wire_seq (the endpoint's delivery order) and PREPENDED to the inbox:
   // everything NIC-resident predates anything already queued for the host.
@@ -1072,8 +1164,16 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       send_keepalives();
   }
 
-  // Watchdog evidence, sampled before the drain empties the CQ.
-  const bool cq_pressure = cq_.full();
+  // Watchdog evidence, sampled before the drain empties the CQs. Per-lane
+  // pressure feeds the per-lane watchdog (lanes_ > 1); the OR of all lanes
+  // feeds the whole-accelerator watchdog exactly as before.
+  std::array<bool, kMaxShards> lane_pressure{};
+  std::array<bool, kMaxShards> lane_drop_evidence{};
+  bool cq_pressure = false;
+  for (unsigned l = 0; l < lanes_; ++l) {
+    lane_pressure[l] = lane_cq(l).full();
+    cq_pressure = cq_pressure || lane_pressure[l];
+  }
   const std::uint64_t drops_before = counters_.engine_drops;
 
   // Drain staged completions into engine-facing descriptors, assembling the
@@ -1090,6 +1190,10 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
     std::uint64_t cum = 0;
   };
   std::map<ChannelKey, AckVal> ack_peers;  ///< channel -> (epoch, cum. ack)
+
+  // Lane of the CQE currently being drained is watchdog-demoted: its
+  // arrivals route to the host inbox while sibling lanes stay offloaded.
+  bool drain_lane_degraded = false;
 
   const auto accept = [&](const WireHeader& h, std::uint64_t wr_id,
                           std::uint64_t arrival_ns) {
@@ -1130,7 +1234,8 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
         const double sub_arrival_ns =
             static_cast<double>(arrival_ns) +
             static_cast<double>(i + 1) * unpack;
-        if (dpa_degraded_ || !dpa_.comm_registered(sh.comm)) {
+        if (dpa_degraded_ || drain_lane_degraded ||
+            !dpa_.comm_registered(sh.comm)) {
           HostMessage hm;
           hm.env = {h.source, sh.tag, sh.comm};
           hm.wire_seq = rx_delivery_seq_++;
@@ -1157,7 +1262,7 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
       }
       return;
     }
-    if (dpa_degraded_ || !dpa_.comm_registered(h.comm)) {
+    if (dpa_degraded_ || drain_lane_degraded || !dpa_.comm_registered(h.comm)) {
       HostMessage hm;
       hm.env = {h.source, h.tag, h.comm};
       hm.wire_seq = rx_delivery_seq_++;
@@ -1181,7 +1286,27 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
         dpa_.config().ns_to_cycles(static_cast<double>(arrival_ns)));
   };
 
-  while (const auto cqe = cq_.poll()) {
+  // Lane-interleaved drain: each iteration pops one CQE from one lane.
+  // Single-lane endpoints reduce to the historical FIFO drain of cq_; with
+  // several lanes the default policy drains ascending lane ids, and the
+  // verify-time lane hook overrides the pick per CQE so the model checker
+  // explores cross-lane interleavings of parked traffic.
+  std::array<unsigned, kMaxShards> ready_lanes{};
+  for (;;) {
+    unsigned nready = 0;
+    for (unsigned l = 0; l < lanes_; ++l)
+      if (lane_cq(l).available() != 0) ready_lanes[nready++] = l;
+    if (nready == 0) break;
+    unsigned lane = ready_lanes[0];
+    if (nready > 1 && lane_hook_) {
+      const std::size_t pick =
+          lane_hook_(std::span<const unsigned>(ready_lanes.data(), nready));
+      lane = ready_lanes[pick < nready ? pick : 0];
+    }
+    const auto cqe = lane_cq(lane).poll();
+    OTM_ASSERT(cqe.has_value());
+    ++lane_cqes_[lane];
+    drain_lane_degraded = lanes_ > 1 && dpa_.lane_degraded(lane);
     if (cqe->byte_len < kHeaderBytes) {
       // Truncated beyond recognition (corruption of the length path).
       ++counters_.corrupt_discards;
@@ -1327,6 +1452,8 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
         }
         case ArrivalOutcome::Kind::kDropped:
           ++counters_.engine_drops;
+          if (lanes_ > 1)
+            lane_drop_evidence[steer_lane(o.env.source, lane_mask_)] = true;
           recycle_bounce(o.proto.bounce_handle);
           break;
       }
@@ -1339,15 +1466,33 @@ std::vector<Endpoint::RecvCompletion> Endpoint::progress() {
   // window AND an empty host domain (both inboxes + the caller's hint), so
   // matching order is never split across two live domains.
   if (dpa_.watchdog_enabled()) {
-    dpa_.watchdog_tick(cq_pressure ||
-                       counters_.engine_drops != drops_before);
-    if (dpa_.degraded() && !dpa_degraded_) {
-      demote_to_host();
-    } else if (dpa_degraded_ && dpa_.promotable() && host_drained_hint_ &&
-               host_inbox_.empty() && evicted_receives_.empty()) {
-      dpa_.promote();
-      dpa_degraded_ = false;
-      ++counters_.degraded_windows;
+    if (lanes_ > 1) {
+      // Per-lane watchdog: each lane's pinned polling hart demotes (and
+      // heals) on its own evidence — one sick lane degrades to host
+      // matching while its siblings stay offloaded (docs/RELIABILITY.md).
+      for (unsigned l = 0; l < lanes_; ++l) {
+        const bool was_degraded = dpa_.lane_degraded(l);
+        dpa_.lane_watchdog_tick(l, lane_pressure[l] || lane_drop_evidence[l]);
+        if (dpa_.lane_degraded(l) && !was_degraded) {
+          evict_lane(l);
+        } else if (was_degraded && dpa_.lane_promotable(l) &&
+                   host_drained_hint_ && host_inbox_.empty() &&
+                   evicted_receives_.empty()) {
+          dpa_.lane_promote(l);
+          ++counters_.degraded_windows;
+        }
+      }
+    } else {
+      dpa_.watchdog_tick(cq_pressure ||
+                         counters_.engine_drops != drops_before);
+      if (dpa_.degraded() && !dpa_degraded_) {
+        demote_to_host();
+      } else if (dpa_degraded_ && dpa_.promotable() && host_drained_hint_ &&
+                 host_inbox_.empty() && evicted_receives_.empty()) {
+        dpa_.promote();
+        dpa_degraded_ = false;
+        ++counters_.degraded_windows;
+      }
     }
   }
 

@@ -11,9 +11,12 @@
 // movement through staged buffers).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -21,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/config.hpp"
+#include "core/steering.hpp"
 #include "core/types.hpp"
 #include "dpa/accelerator.hpp"
 #include "proto/verify_hook.hpp"
@@ -120,6 +125,15 @@ struct EndpointConfig {
   /// when enabled, the first eager_threshold bytes travel with the RTS and
   /// the receiver's RDMA read fetches only the remainder.
   bool rts_inline_data = false;
+
+  /// Ingress lanes (docs/SHARDING.md): per-lane CQ/SRQ pairs with RSS-style
+  /// source-routed steering. Lane selection hashes the SOURCE rank with the
+  /// single steering helper (core/steering.hpp), so all of one sender's
+  /// traffic stays on one lane at every receiver and per-(peer,tag) FIFO is
+  /// never split across lanes. Must be a power of two <= kMaxShards and
+  /// identical on every endpoint of a world. With 1 lane (default) the
+  /// endpoint is byte-identical to the historical single-CQ ingress path.
+  unsigned ingress_lanes = 1;
 
   ReliabilityConfig reliability{};
   RecoveryConfig recovery{};
@@ -246,11 +260,12 @@ class Endpoint {
   /// Create and connect the QP pair between this endpoint and `peer`.
   void connect(Endpoint& peer);
 
-  /// True when a QP pair to `peer` exists. Lets large worlds connect
+  /// True when QP pairs to `peer` exist. Lets large worlds connect
   /// lazily (docs/SCALING.md): connect() asserts on double connection, so
   /// on-demand callers probe here first.
   bool connected_to(Rank peer) const noexcept {
-    return qps_.find(peer) != qps_.end();
+    const auto it = qps_.lower_bound({peer, 0});
+    return it != qps_.end() && it->first.first == peer;
   }
 
   Rank rank() const noexcept { return rank_; }
@@ -492,6 +507,44 @@ class Endpoint {
   DpaAccelerator& dpa() noexcept { return dpa_; }
   const DpaAccelerator& dpa() const noexcept { return dpa_; }
   rdma::CompletionQueue& cq() noexcept { return cq_; }
+
+  // --- Ingress lanes (docs/SHARDING.md §"Ingress lanes") ------------------
+
+  /// Configured lane count; lane 0 is the endpoint's primary cq_/srq_ pair.
+  unsigned ingress_lanes() const noexcept { return lanes_; }
+
+  /// The lane this endpoint's outbound traffic occupies at every receiver.
+  /// Steering hashes the SOURCE rank with a world-symmetric mask, so rank R
+  /// lands on lane steer_lane(R, mask) of every peer — one lane, worldwide.
+  std::uint16_t tx_lane() const noexcept { return tx_lane_; }
+
+  /// Lane `lane`'s completion queue (lane 0 aliases cq()).
+  rdma::CompletionQueue& lane_cq(unsigned lane) noexcept {
+    return lane == 0 ? cq_ : lanes_extra_[lane - 1]->cq;
+  }
+  const rdma::CompletionQueue& lane_cq(unsigned lane) const noexcept {
+    return lane == 0 ? cq_ : lanes_extra_[lane - 1]->cq;
+  }
+
+  /// CQEs drained from lane `lane` so far (bench per-lane counter extras).
+  std::uint64_t lane_cqes(unsigned lane) const noexcept {
+    return lane_cqes_[lane];
+  }
+  /// Full doorbells (burst-opening MMIOs) rung on lane `lane`'s tx QPs.
+  std::uint64_t lane_doorbells(unsigned lane) const noexcept {
+    return lane_doorbells_[lane];
+  }
+
+  /// Verify-time lane-interleaving hook: whenever MORE THAN ONE lane has
+  /// completions pending, the hook picks which lane drains its next CQE
+  /// (an index into `lanes`, the non-empty lane ids in ascending order).
+  /// Null (production): lanes drain in ascending id order. One CQE is
+  /// drained per decision, so the model checker explores every cross-lane
+  /// interleaving of parked traffic (docs/VERIFICATION.md).
+  using LaneDrainHook = std::function<std::size_t(std::span<const unsigned>)>;
+  void set_lane_drain_hook(LaneDrainHook hook) {
+    lane_hook_ = std::move(hook);
+  }
   std::size_t unexpected_payloads() const noexcept { return um_payloads_.size(); }
   std::size_t available_bounce_buffers() const noexcept { return bounce_.available(); }
 
@@ -686,6 +739,32 @@ class Endpoint {
   /// host domain (host_inbox_ + evicted_receives_) and flip the route.
   void demote_to_host() OTM_REQUIRES(host_);
 
+  /// Per-lane watchdog demotion (lanes_ > 1): evict only shard `lane`'s
+  /// NIC-resident matching state; sibling lanes stay offloaded.
+  void evict_lane(unsigned lane) OTM_REQUIRES(host_);
+
+  /// Shared eviction tail of demote_to_host / evict_lane: migrate drained
+  /// unexpected messages into the host inbox (prepended, wire_seq order)
+  /// and surface drained pending receives through take_evicted_receives().
+  void migrate_evicted(std::vector<MatchEngine::DrainedReceive>& pend,
+                       std::vector<UnexpectedDescriptor>& ums)
+      OTM_REQUIRES(host_);
+
+  /// The QP carrying this endpoint's outbound traffic to `dst` — the
+  /// {dst, tx_lane_} pair. Null when the peer is not connected.
+  rdma::QueuePair* find_tx_qp(Rank dst) noexcept {
+    const auto it = qps_.find({dst, tx_lane_});
+    return it == qps_.end() ? nullptr : &it->second;
+  }
+
+  /// Multi-lane recovery fence: announce `ch`'s (new) epoch on EVERY lane
+  /// pair to the peer. The replayed window travels only on the tx lane,
+  /// but stale pre-recovery packets may be parked in any lane's CQ at the
+  /// receiver; the broadcast lets it adopt the new epoch from whichever
+  /// lane drains first, making the head epoch fence do real work under
+  /// cross-lane interleaving (docs/VERIFICATION.md).
+  void announce_epoch(ChannelKey key, const Channel& ch) OTM_REQUIRES(host_);
+
   RecvCompletion complete_matched(const ArrivalOutcome& o);
   RecvCompletion complete_from_unexpected(const UnexpectedDescriptor& um,
                                           std::span<std::byte> user,
@@ -703,7 +782,35 @@ class Endpoint {
   rdma::CompletionQueue cq_;
   rdma::SharedReceiveQueue srq_;
   rdma::BounceBufferPool bounce_;
-  std::map<Rank, rdma::QueuePair> qps_;
+
+  /// Extra ingress lanes 1..lanes_-1; lane 0 reuses cq_/srq_ above so the
+  /// single-lane endpoint stays byte-identical (same members, same order).
+  struct IngressLane {
+    rdma::CompletionQueue cq;
+    rdma::SharedReceiveQueue srq;
+    explicit IngressLane(std::size_t depth) : cq(depth) {}
+  };
+  std::vector<std::unique_ptr<IngressLane>> lanes_extra_;
+  unsigned lanes_ = 1;
+  std::uint32_t lane_mask_ = 0;    ///< lanes_ - 1 (steering hash mask)
+  std::uint16_t tx_lane_ = 0;      ///< steer_lane(rank_, lane_mask_)
+  /// Bounce handle -> owning lane SRQ (round-robin partition at startup);
+  /// recycle_bounce reposts each buffer to the lane that staged it.
+  std::vector<std::uint16_t> bounce_lane_;
+  std::array<std::uint64_t, kMaxShards> lane_cqes_{};
+  std::array<std::uint64_t, kMaxShards> lane_doorbells_{};
+  LaneDrainHook lane_hook_;
+
+  /// Lane `lane`'s shared receive queue (lane 0 aliases srq_).
+  rdma::SharedReceiveQueue& lane_srq(unsigned lane) noexcept {
+    return lane == 0 ? srq_ : lanes_extra_[lane - 1]->srq;
+  }
+
+  /// QP pairs keyed by (peer rank, ingress lane): lane l of the pair feeds
+  /// the receiver's lane-l CQ/SRQ. All outbound traffic to a peer travels
+  /// on the {peer, tx_lane_} pair — the receiver's steering decision for
+  /// this source.
+  std::map<std::pair<Rank, std::uint16_t>, rdma::QueuePair> qps_;
   DpaAccelerator dpa_;
 
   // User receive buffers: engine descriptors carry index+1 in buffer_addr.

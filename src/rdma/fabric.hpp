@@ -116,13 +116,19 @@ class SharedReceiveQueue {
 /// one-sided reads pull from the peer's registered memory.
 class QueuePair {
  public:
+  /// `lane` is the ingress lane this QP is bound to on its *receiving* side:
+  /// completions land on `recv_cq` (the lane's CQ) and fault injection is
+  /// gated by FaultConfig::lane_mask bit `lane`. Single-lane endpoints use
+  /// the default lane 0 and behave exactly as before.
   QueuePair(Fabric& fabric, NodeId node, CompletionQueue& recv_cq,
-            MemoryRegistry& registry, SharedReceiveQueue& srq)
+            MemoryRegistry& registry, SharedReceiveQueue& srq,
+            std::uint16_t lane = 0)
       : fabric_(&fabric),
         node_(node),
         recv_cq_(&recv_cq),
         registry_(&registry),
-        srq_(&srq) {}
+        srq_(&srq),
+        lane_(lane) {}
 
   void connect(QueuePair& peer) {
     peer_ = &peer;
@@ -131,6 +137,10 @@ class QueuePair {
 
   bool connected() const noexcept { return peer_ != nullptr; }
   NodeId node() const noexcept { return node_; }
+  /// Ingress lane this QP serves. Both halves of a connected pair are built
+  /// with the same lane (the receiver's steering decision), so either end's
+  /// value names the flow's lane.
+  std::uint16_t lane() const noexcept { return lane_; }
   MemoryRegistry& registry() noexcept { return *registry_; }
 
   /// Post a receive work request pointing at a staging buffer (lands on
@@ -174,14 +184,14 @@ class QueuePair {
     OTM_ASSERT_MSG(peer_ != nullptr, "QP not connected");
     if (state_ != State::kReady) return {SendStatus::kQpError, false, 0, 0};
     FaultInjector* fi = fabric_->injector();
-    if (fi != nullptr && fi->forced_qp_error(node_, peer_->node_)) {
+    if (fi != nullptr && fi->forced_qp_error(node_, peer_->node_, lane_)) {
       state_ = State::kError;
       return {SendStatus::kQpError, false, 0, 0};
     }
-    if (fi != nullptr && fi->forced_rnr(node_, peer_->node_))
+    if (fi != nullptr && fi->forced_rnr(node_, peer_->node_, lane_))
       return {SendStatus::kRnr, false, 0, 0};
 
-    const auto fate = fi != nullptr ? fi->next_fate(node_, peer_->node_)
+    const auto fate = fi != nullptr ? fi->next_fate(node_, peer_->node_, lane_)
                                     : FaultInjector::Fate::kDeliver;
     SendResult result{};
     switch (fate) {
@@ -246,7 +256,8 @@ class QueuePair {
   /// packets parked inside the fabric (docs/VERIFICATION.md).
   std::uint64_t verify_digest() const {
     SerialSection qp(serial_);
-    std::uint64_t h = 0x9d5ULL ^ static_cast<std::uint64_t>(state_);
+    std::uint64_t h = 0x9d5ULL ^ static_cast<std::uint64_t>(state_) ^
+                      (static_cast<std::uint64_t>(lane_) << 8);
     for (const Held& held : held_) {
       h = (h ^ held.release_after) * 0x100000001b3ULL;
       h = (h ^ held.bytes.size()) * 0x100000001b3ULL;
@@ -322,6 +333,7 @@ class QueuePair {
   CompletionQueue* recv_cq_;
   MemoryRegistry* registry_;
   SharedReceiveQueue* srq_;
+  std::uint16_t lane_ = 0;
   QueuePair* peer_ = nullptr;
   /// QP serialization domain (sends on one QP never overlap — the verbs
   /// contract a real provider imposes on an unlocked QP).

@@ -12,7 +12,8 @@ FaultInjector::LinkState& FaultInjector::link(NodeId src, NodeId dst) {
   return it->second;
 }
 
-bool FaultInjector::forced_rnr(NodeId src, NodeId dst) {
+bool FaultInjector::forced_rnr(NodeId src, NodeId dst, std::uint16_t lane) {
+  if (((cfg_.lane_mask >> lane) & 1u) == 0) return false;
   if (cfg_.rnr_period == 0 || cfg_.rnr_burst == 0) return false;
   LinkState& l = link(src, dst);
   const bool refused = (l.attempts++ % cfg_.rnr_period) < cfg_.rnr_burst;
@@ -20,13 +21,15 @@ bool FaultInjector::forced_rnr(NodeId src, NodeId dst) {
   return refused;
 }
 
-bool FaultInjector::forced_qp_error(NodeId src, NodeId dst) {
+bool FaultInjector::forced_qp_error(NodeId src, NodeId dst,
+                                    std::uint16_t lane) {
   if (qp_error_hook_) {
-    if (const auto forced = qp_error_hook_(src, dst)) {
+    if (const auto forced = qp_error_hook_(src, dst, lane)) {
       if (*forced) ++stats_.qp_errors;
       return *forced;
     }
   }
+  if (((cfg_.lane_mask >> lane) & 1u) == 0) return false;
   const bool periodic = cfg_.qp_error_period != 0;
   if (!periodic && cfg_.qp_error_probability <= 0.0) return false;
   LinkState& l = link(src, dst);
@@ -39,9 +42,10 @@ bool FaultInjector::forced_qp_error(NodeId src, NodeId dst) {
   return hit;
 }
 
-FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst) {
+FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst,
+                                             std::uint16_t lane) {
   if (fate_hook_) {
-    if (const auto forced = fate_hook_(src, dst)) {
+    if (const auto forced = fate_hook_(src, dst, lane)) {
       // Explorer-chosen fate: bypass the seeded streams (and their position
       // counters) entirely so the decision sequence alone determines the run.
       switch (*forced) {
@@ -54,6 +58,7 @@ FaultInjector::Fate FaultInjector::next_fate(NodeId src, NodeId dst) {
       return *forced;
     }
   }
+  if (((cfg_.lane_mask >> lane) & 1u) == 0) return Fate::kDeliver;
   LinkState& l = link(src, dst);
   const std::uint64_t pos = l.packets++;
   if (pos < cfg_.drop_first) {

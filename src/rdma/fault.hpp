@@ -55,6 +55,13 @@ struct FaultConfig {
   /// owner resets it. Drawn per post, before the per-packet fates.
   std::uint32_t qp_error_period = 0;   ///< every Nth post errors (0 = off)
   double qp_error_probability = 0.0;   ///< chance any post errors the QP
+
+  /// Which ingress lanes the seeded model is allowed to touch: bit k gates
+  /// faults on QPs bound to lane k. Asymmetric chaos (faults on a subset of
+  /// lanes) is how the multi-lane soak proves lane isolation; the default
+  /// all-ones mask leaves single-lane configs byte-identical. Explorer hooks
+  /// are NOT gated — the model checker decides per (link, lane) itself.
+  std::uint32_t lane_mask = 0xffffffffu;
 };
 
 class FaultInjector {
@@ -65,17 +72,22 @@ class FaultInjector {
   explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
 
   /// True when link (src -> dst) sits inside a forced-RNR window; the fabric
-  /// then refuses the send exactly as an empty SRQ would.
-  bool forced_rnr(NodeId src, NodeId dst);
+  /// then refuses the send exactly as an empty SRQ would. `lane` is the
+  /// ingress lane of the posting QP; lanes masked out of
+  /// FaultConfig::lane_mask never refuse.
+  bool forced_rnr(NodeId src, NodeId dst, std::uint16_t lane = 0);
 
   /// True when the next post on link (src -> dst) must move the sending
   /// QueuePair into the error state (transport retry exceeded / fatal NAK).
   /// Drawn per post from its own position counter so enabling QP errors
   /// leaves the per-packet fate stream untouched.
-  bool forced_qp_error(NodeId src, NodeId dst);
+  bool forced_qp_error(NodeId src, NodeId dst, std::uint16_t lane = 0);
 
-  /// Draw the fate of the next packet on link (src -> dst).
-  Fate next_fate(NodeId src, NodeId dst);
+  /// Draw the fate of the next packet on link (src -> dst). Lanes masked out
+  /// of FaultConfig::lane_mask always deliver (and leave the link's seeded
+  /// stream position untouched, so a masked lane cannot perturb its
+  /// siblings' fate sequences).
+  Fate next_fate(NodeId src, NodeId dst, std::uint16_t lane = 0);
 
   /// How many subsequent sends a held packet lags (1..reorder_window).
   std::uint32_t hold_delay(NodeId src, NodeId dst);
@@ -92,12 +104,17 @@ class FaultInjector {
   // nullopt (or leaving the hook unset) falls through to the seeded model,
   // so installed-but-passive hooks leave chaos runs byte-identical.
 
-  /// Decides the fate of the next packet on (src -> dst), or defers.
-  using FateHook = std::function<std::optional<Fate>(NodeId, NodeId)>;
+  /// Decides the fate of the next packet on (src -> dst, via `lane`), or
+  /// defers. The lane lets the explorer distinguish the per-lane CQs a
+  /// multi-lane endpoint drains independently.
+  using FateHook =
+      std::function<std::optional<Fate>(NodeId, NodeId, std::uint16_t)>;
   void set_fate_hook(FateHook hook) { fate_hook_ = std::move(hook); }
 
-  /// Decides whether the next post on (src -> dst) errors the QP, or defers.
-  using QpErrorHook = std::function<std::optional<bool>(NodeId, NodeId)>;
+  /// Decides whether the next post on (src -> dst, via `lane`) errors the
+  /// QP, or defers.
+  using QpErrorHook =
+      std::function<std::optional<bool>(NodeId, NodeId, std::uint16_t)>;
   void set_qp_error_hook(QpErrorHook hook) {
     qp_error_hook_ = std::move(hook);
   }

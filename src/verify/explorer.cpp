@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <span>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -114,6 +115,7 @@ std::optional<Decision::Kind> kind_from_string(const std::string& s) {
   if (s == "sched") return Decision::Kind::kSched;
   if (s == "fate") return Decision::Kind::kFate;
   if (s == "qp_error") return Decision::Kind::kQpError;
+  if (s == "lane") return Decision::Kind::kLane;
   return std::nullopt;
 }
 
@@ -127,6 +129,8 @@ const char* to_string(Decision::Kind k) noexcept {
       return "fate";
     case Decision::Kind::kQpError:
       return "qp_error";
+    case Decision::Kind::kLane:
+      return "lane";
   }
   return "?";
 }
@@ -278,7 +282,7 @@ RunResult Explorer::run_one(const std::vector<std::uint32_t>& forced,
                  "(options().fabric.fault.enabled) so fate hooks exist");
   if (!scenario_->fate_options.empty() && scenario_->max_fate_points > 0) {
     injector->set_fate_hook(
-        [&](rdma::NodeId, rdma::NodeId)
+        [&](rdma::NodeId, rdma::NodeId, std::uint16_t)
             -> std::optional<rdma::FaultInjector::Fate> {
           if (fate_points >= scenario_->max_fate_points) return std::nullopt;
           ++fate_points;
@@ -290,11 +294,26 @@ RunResult Explorer::run_one(const std::vector<std::uint32_t>& forced,
   }
   if (scenario_->max_qp_points > 0) {
     injector->set_qp_error_hook(
-        [&](rdma::NodeId, rdma::NodeId) -> std::optional<bool> {
+        [&](rdma::NodeId, rdma::NodeId, std::uint16_t) -> std::optional<bool> {
           if (qp_points >= scenario_->max_qp_points) return std::nullopt;
           ++qp_points;
           return decide(Decision::Kind::kQpError, 2) == 1;
         });
+  }
+  std::size_t lane_points = 0;
+  if (scenario_->max_lane_points > 0) {
+    // Cross-lane drain interleaving: whenever any endpoint finds more than
+    // one lane CQ non-empty, which lane pops its next CQE is a decision.
+    // One budget across all ranks — the decision log stays a single total
+    // order, which is all the stateless replayer needs.
+    for (int r = 0; r < world.size(); ++r)
+      world.endpoint(r).set_lane_drain_hook(
+          [&](std::span<const unsigned> lanes) -> std::size_t {
+            if (lane_points >= scenario_->max_lane_points) return 0;
+            ++lane_points;
+            return decide(Decision::Kind::kLane,
+                          static_cast<std::uint32_t>(lanes.size()));
+          });
   }
 
   mpi::WorldScheduler sched(world, scfg);
@@ -349,7 +368,10 @@ ExploreResult Explorer::explore() {
     const std::size_t prefix = std::min(trace.size(), r.decisions.size());
     for (std::size_t i = 0; i < prefix; ++i) {
       if (r.decisions[i].choice == 0) continue;
-      if (r.decisions[i].kind == Decision::Kind::kSched)
+      // Lane picks are interleaving choices like scheduler picks, so they
+      // share the preemption budget; fates/QP errors share the fault budget.
+      if (r.decisions[i].kind == Decision::Kind::kSched ||
+          r.decisions[i].kind == Decision::Kind::kLane)
         ++preempts;
       else
         ++faults;
@@ -375,7 +397,8 @@ ExploreResult Explorer::explore() {
     for (std::size_t i = trace.size(); i < r.decisions.size(); ++i) {
       const Decision& d = r.decisions[i];
       for (std::uint32_t alt = 1; alt < d.options; ++alt) {
-        const bool is_sched = d.kind == Decision::Kind::kSched;
+        const bool is_sched = d.kind == Decision::Kind::kSched ||
+                              d.kind == Decision::Kind::kLane;
         if (is_sched && preempts + 1 > opts_.max_preemptions) {
           ++res.stats.pruned_preemption;
           continue;

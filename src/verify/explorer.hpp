@@ -41,6 +41,7 @@ struct Decision {
     kSched,    ///< runnable pick, options = runnable count
     kFate,     ///< packet fate, options = scenario fate_options
     kQpError,  ///< forced QP error, options = {no, yes}
+    kLane,     ///< ingress-lane drain pick, options = non-empty lane count
   };
   Kind kind = Kind::kSched;
   std::uint32_t options = 0;  ///< branching factor at this point

@@ -184,6 +184,38 @@ std::vector<Scenario> build_scenarios() {
 
   {
     Scenario s;
+    s.name = "multi_lane_ingress";
+    s.description =
+        "two ingress lanes under a 1-retry budget: stale epoch-0 data parks "
+        "in the receiver's lane-0 CQ while the recovery's epoch announce "
+        "lands on lane 1; the lane-drain decision lets the announce overtake "
+        "the stale data, so the head epoch fence must discard it (the "
+        "planted-bug family: OTM_VERIFY_BREAK=epoch_fence is caught here)";
+    s.ranks = 2;
+    s.fate_options = {Fate::kDeliver, Fate::kDrop};
+    s.max_fate_points = 6;
+    s.max_qp_points = 2;
+    s.max_lane_points = 4;
+    s.options = [] {
+      mpi::WorldOptions o = base_options();
+      o.endpoint.ingress_lanes = 2;
+      o.endpoint.reliability.rto_ns = 500;
+      o.endpoint.reliability.rto_max_ns = 2'000;
+      o.endpoint.reliability.retry_budget = 1;
+      o.endpoint.recovery.enabled = true;
+      o.endpoint.recovery.max_attempts = 3;
+      o.endpoint.recovery.quiesce_ns = 200;
+      return o;
+    };
+    s.setup = [](mpi::World&, mpi::WorldScheduler& sched, Oracle& oracle) {
+      sched.add_task(0, sender_program({{1, 9, 16}, {1, 9, 16}}));
+      sched.add_task(1, receiver_program({{0, 9, 16}, {0, 9, 16}}, oracle));
+    };
+    v.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
     s.name = "coalesced_storm";
     s.description =
         "5 tiny sends coalesce into merged packets under drops; the "

@@ -12,7 +12,12 @@
 //                    one receiver — RTS/data interleavings across ranks
 //   recovery_flap    retry-budget exhaustion driving epoch-bump recovery
 //                    while held stale packets are still in flight — the
-//                    epoch-fencing regime (and the planted-bug family:
+//                    ack-fencing regime (planted-bug family:
+//                    OTM_VERIFY_BREAK=ack_fence must be caught here)
+//   multi_lane_ingress  two ingress lanes: the recovery epoch announce on
+//                    lane 1 can overtake stale epoch-0 data parked in the
+//                    lane-0 CQ, so the receive-side HEAD epoch fence does
+//                    real work (planted-bug family:
 //                    OTM_VERIFY_BREAK=epoch_fence must be caught here)
 //   coalesced_storm  merged-message coalescing under loss — buffer
 //                    conservation and sub-message FIFO
@@ -49,6 +54,12 @@ struct Scenario {
   std::size_t max_fate_points = 0;
   /// Forced-QP-error decision points ({no-error, error}), same budget idea.
   std::size_t max_qp_points = 0;
+  /// Ingress-lane drain decision points: the first this-many times an
+  /// endpoint finds MORE THAN ONE lane CQ non-empty, which lane pops its
+  /// next CQE is an explicit decision (cross-lane interleaving of parked
+  /// traffic). Later draws fall back to ascending lane order. Only
+  /// meaningful when the scenario's endpoints run ingress_lanes > 1.
+  std::size_t max_lane_points = 0;
   /// World recipe — called once per explored run (worlds are disposable).
   std::function<mpi::WorldOptions()> options;
   /// Registers one program per rank on the scheduler; programs feed

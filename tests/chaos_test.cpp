@@ -961,6 +961,75 @@ TEST(Recovery, QpErrorRecoversAndPreservesFifo) {
   EXPECT_TRUE(p.a_.take_delivery_errors().empty());
 }
 
+TEST(Recovery, LaneLocalQpErrorDoesNotQuiesceSiblingLanes) {
+  // Four senders on four distinct tx lanes into one 4-lane receiver; the
+  // injector's lane mask confines the periodic QP wedge to lane 2 — i.e.
+  // to rank 2's tx QP only. That sender must recover (epoch bump, window
+  // replay at the new epoch) while the three sibling lanes never see an
+  // epoch bump or a delivery error: a lane-local fault quiesces only the
+  // channels bound to that lane.
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.qp_error_period = 20;
+  fault.lane_mask = 1u << 2;
+
+  constexpr unsigned kSenders = 4;
+  constexpr std::uint64_t kPerSender = 64;
+  rdma::Fabric fabric(ChaosPair::make_fabric(fault));
+  EndpointConfig ep_cfg = recovery_ep(/*retry_budget=*/3, /*max_attempts=*/16);
+  ep_cfg.ingress_lanes = 4;
+  Endpoint receiver(fabric, 0, ep_cfg, match_cfg(), DpaConfig{});
+  std::vector<std::unique_ptr<Endpoint>> senders;
+  for (unsigned s = 0; s < kSenders; ++s) {
+    senders.push_back(std::make_unique<Endpoint>(
+        fabric, static_cast<Rank>(s + 1), ep_cfg, match_cfg(), DpaConfig{}));
+    senders.back()->connect(receiver);
+  }
+
+  // done[s] collects rank s+1's completion stamps in arrival order.
+  std::vector<std::vector<std::uint64_t>> done(kSenders);
+  std::vector<std::vector<std::vector<std::byte>>> bufs(
+      kSenders, std::vector<std::vector<std::byte>>(
+                    kPerSender, std::vector<std::byte>(64)));
+  std::size_t completions = 0;
+  auto pump_once = [&] {
+    for (auto& s : senders) s->progress();
+    for (auto& c : receiver.progress()) {
+      const unsigned s = static_cast<unsigned>(c.env.source - 1);
+      done[s].push_back(read_stamp(bufs[s][c.cookie % kPerSender]));
+      ++completions;
+    }
+  };
+  for (std::uint64_t i = 0; i < kPerSender; ++i) {
+    for (unsigned s = 0; s < kSenders; ++s) {
+      receiver.post_receive({static_cast<Rank>(s + 1), 1, 0},
+                            bufs[s][i], s * kPerSender + i);
+      ASSERT_TRUE(senders[s]->send(0, 1, 0, stamped(64, i)).ok);
+    }
+    for (int spin = 0; spin < 8; ++spin) pump_once();  // streaming, not batch
+  }
+  for (int spin = 0; spin < 8000 && completions < kSenders * kPerSender; ++spin)
+    pump_once();
+
+  ASSERT_EQ(completions, kSenders * kPerSender);
+  for (unsigned s = 0; s < kSenders; ++s) {
+    ASSERT_EQ(done[s].size(), kPerSender);
+    for (std::uint64_t i = 0; i < kPerSender; ++i)
+      EXPECT_EQ(done[s][i], i) << "C2 must survive lane-" << ((s + 1) & 3)
+                               << " QP resets";
+    EXPECT_TRUE(senders[s]->take_delivery_errors().empty());
+    EXPECT_EQ(senders[s]->counters().messages_dropped, 0u);
+  }
+  EXPECT_GT(fabric.injector()->stats().qp_errors, 0u);
+  // senders[1] is rank 2 = tx lane 2: the only one the wedge may touch.
+  EXPECT_GE(senders[1]->counters().epoch_bumps, 1u)
+      << "the faulted lane never exercised a recovery";
+  EXPECT_EQ(senders[0]->counters().epoch_bumps, 0u) << "lane 1 was quiesced";
+  EXPECT_EQ(senders[2]->counters().epoch_bumps, 0u) << "lane 3 was quiesced";
+  EXPECT_EQ(senders[3]->counters().epoch_bumps, 0u) << "lane 0 was quiesced";
+  EXPECT_EQ(senders[1]->peer_health(0), PeerHealth::kHealthy);
+}
+
 TEST(Recovery, QpErrorWithoutRecoveryIsTerminal) {
   // RecoveryConfig off (the default): a QP error keeps the legacy
   // fail-the-channel semantics — typed delivery error, fail-fast sends, no
@@ -1221,6 +1290,204 @@ TEST(ChaosRecovery, StormFullRecoveryZeroLoss) {
 
 TEST(ChaosRecovery, StormFullRecoveryZeroLossSharded) {
   run_recovery_storm(/*shards=*/4, chaos_seed() + 11);
+}
+
+// --- Multi-lane ingress under chaos (docs/SHARDING.md, "Ingress lanes") ------
+
+/// Incast soak over four ingress lanes with asymmetric chaos. Every
+/// endpoint runs ingress_lanes = 4, so the four senders' tx lanes spread
+/// as steer_lane(rank, 3): ranks 1..4 land on lanes 1, 2, 3, 0.
+/// FaultConfig::lane_mask arms drop/dup/reorder/flap noise on lanes 1 and
+/// 2 ONLY — two senders stream through correlated outages while the other
+/// two ride clean lanes. Exactly-once, per-(sender, tag) FIFO and a
+/// ListMatcher pairing oracle must hold across all four streams, and the
+/// asymmetry itself must be visible: faulted-lane senders retransmit,
+/// clean-lane senders never even bump an epoch.
+void run_multi_lane_incast(unsigned shards, std::uint64_t seed) {
+  rdma::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = seed;
+  fault.drop_probability = 0.03;
+  fault.duplicate_probability = 0.02;
+  fault.reorder_probability = 0.04;
+  fault.reorder_window = 3;
+  fault.flap_period = 211;  // correlated outages, faulted lanes only
+  fault.flap_down = 9;
+  fault.lane_mask = 0b0110;  // chaos on lanes 1 and 2; lanes 0 and 3 clean
+
+  constexpr std::size_t kMessages = 10'000;
+  constexpr std::size_t kWindow = 16;
+  constexpr unsigned kSenders = 4;
+  constexpr unsigned kLanes = 4;
+  constexpr std::uint32_t kTags = 2;
+
+  rdma::Fabric fabric(ChaosPair::make_fabric(fault));
+  EndpointConfig ep_cfg = recovery_ep(/*retry_budget=*/3, /*max_attempts=*/64);
+  ep_cfg.ingress_lanes = kLanes;
+  MatchConfig recv_cfg = match_cfg();
+  recv_cfg.shards = shards;
+  Endpoint receiver(fabric, 0, ep_cfg, recv_cfg, DpaConfig{});
+  std::vector<std::unique_ptr<Endpoint>> senders;
+  for (unsigned s = 0; s < kSenders; ++s) {
+    senders.push_back(std::make_unique<Endpoint>(
+        fabric, static_cast<Rank>(s + 1), ep_cfg, match_cfg(), DpaConfig{}));
+    senders.back()->connect(receiver);
+  }
+  ASSERT_EQ(receiver.ingress_lanes(), kLanes);
+  ASSERT_EQ(receiver.dpa().sharded_engine().shard_count(), shards);
+
+  ListMatcher oracle;
+  std::map<std::uint64_t, std::uint64_t> expected;  // cookie -> message seq
+  std::vector<std::vector<std::byte>> bufs(kMessages);
+  std::vector<std::vector<std::byte>> sent(kMessages);
+  std::vector<bool> seen(kMessages, false);
+  std::map<std::pair<Rank, Tag>, std::uint64_t> last_stamp;
+  std::size_t completions = 0;
+  bool exactly_once = true, in_order = true, payload_ok = true,
+       pairing_ok = true;
+
+  auto harvest = [&](const std::vector<Endpoint::RecvCompletion>& done) {
+    for (const auto& c : done) {
+      ++completions;
+      if (c.cookie >= kMessages || seen[c.cookie]) {
+        exactly_once = false;
+        continue;
+      }
+      seen[c.cookie] = true;
+      const std::uint64_t stamp = read_stamp(bufs[c.cookie]);
+      if (bufs[c.cookie] != sent[stamp]) payload_ok = false;
+      const auto it = expected.find(c.cookie);
+      if (it == expected.end() || it->second != stamp) pairing_ok = false;
+      const std::pair<Rank, Tag> stream{c.env.source, c.env.tag};
+      const auto lit = last_stamp.find(stream);
+      if (lit != last_stamp.end() && stamp <= lit->second) in_order = false;
+      last_stamp[stream] = stamp;
+    }
+  };
+  auto pump_all = [&] {
+    for (auto& s : senders) s->progress();
+    harvest(receiver.progress());
+  };
+
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    const unsigned s = static_cast<unsigned>(i % kSenders);
+    const Rank src = static_cast<Rank>(s + 1);
+    const Tag tag = static_cast<Tag>((i / kSenders) % kTags);
+    const std::size_t bytes = (i % 7 == 3) ? 2048 : 64;  // mixed protocol
+    bufs[i].resize(bytes);
+    const auto pr = receiver.post_receive({src, tag, 0}, bufs[i], i);
+    ASSERT_NE(pr.outcome, Outcome::kFallback);
+    if (pr.outcome == Outcome::kCompleted) harvest({pr.completion});
+    EXPECT_FALSE(oracle.post({src, tag, 0}, i).has_value())
+        << "incast posts receives before their messages";
+    sent[i] = stamped(bytes, i);
+    const auto r = senders[s]->send(0, tag, 0, sent[i]);
+    if (!r.ok) exactly_once = false;  // reliable sends must queue
+    if (const auto m = oracle.arrive({src, tag, 0}, i); m.has_value())
+      expected[*m] = i;
+    if (i + 1 - completions >= kWindow) {
+      for (int spin = 0; spin < 4000 && i + 1 - completions >= kWindow; ++spin)
+        pump_all();
+    }
+  }
+  for (int spin = 0; spin < 20000 && completions < kMessages; ++spin)
+    pump_all();
+  for (int spin = 0; spin < 100; ++spin) pump_all();  // settle: no extras
+
+  EXPECT_EQ(completions, kMessages);
+  EXPECT_TRUE(exactly_once) << "a posted receive completed 0 or 2+ times";
+  EXPECT_TRUE(in_order) << "C2 violated within a (peer, tag) stream";
+  EXPECT_TRUE(payload_ok) << "delivered payload differs from the sent bytes";
+  EXPECT_TRUE(pairing_ok) << "matching disagrees with the ListMatcher oracle";
+  for (auto& s : senders) {
+    EXPECT_EQ(s->take_delivery_errors().size(), 0u);
+    EXPECT_EQ(s->counters().messages_dropped, 0u);
+  }
+  // The asymmetry: rank 1 -> lane 1 and rank 2 -> lane 2 fought the
+  // injector; rank 3 -> lane 3 and rank 4 -> lane 0 never saw a fault, so
+  // their reliability layer stayed on the transmit-once fast path.
+  EXPECT_GT(senders[0]->counters().retransmits, 0u) << "lane 1 rode clean?";
+  EXPECT_GT(senders[1]->counters().retransmits, 0u) << "lane 2 rode clean?";
+  EXPECT_EQ(senders[2]->counters().epoch_bumps, 0u)
+      << "faults leaked onto clean lane 3";
+  EXPECT_EQ(senders[3]->counters().epoch_bumps, 0u)
+      << "faults leaked onto clean lane 0";
+  EXPECT_GT(fabric.injector()->stats().flap_drops, 0u);
+  // Traffic really spread across every ingress lane (and every shard).
+  for (unsigned l = 0; l < kLanes; ++l)
+    EXPECT_GT(receiver.lane_cqes(l), 0u) << "lane " << l << " saw no CQEs";
+  const auto& se = receiver.dpa().sharded_engine();
+  for (unsigned k = 0; k < se.shard_count(); ++k)
+    EXPECT_GT(se.shard(k).stats().messages_processed, 0u)
+        << "shard " << k << " never saw a message";
+}
+
+TEST(ChaosSoak, MultiLaneIncastExactlyOnceFifoUnderFaults) {
+  run_multi_lane_incast(/*shards=*/1, chaos_seed() + 20);
+}
+
+TEST(ChaosSoak, MultiLaneIncastExactlyOnceFifoUnderFaultsSharded) {
+  run_multi_lane_incast(/*shards=*/4, chaos_seed() + 21);
+}
+
+TEST(ChaosSoak, IngressLanesOffIsByteIdenticalDifferential) {
+  // Three runs of the same clean-fabric traffic: the stock config, an
+  // explicit ingress_lanes = 1 (must be the stock path, bit for bit), and
+  // ingress_lanes = 4. Single-source traffic rides exactly one tx lane, so
+  // even the 4-lane run must reproduce the app-visible completion stream
+  // unchanged — and never engage the epoch-announce machinery.
+  struct Run {
+    std::vector<std::uint64_t> cookies;
+    std::vector<Envelope> envs;
+    std::vector<std::vector<std::byte>> payloads;
+    std::uint64_t keepalives = 0;
+  };
+  const auto run_once = [](unsigned lanes) {
+    EndpointConfig cfg = ChaosPair::default_ep();
+    if (lanes != 0) cfg.ingress_lanes = lanes;  // 0 = leave the stock default
+    ChaosPair p(rdma::FaultConfig{}, cfg);  // faults off: deterministic
+
+    constexpr std::size_t kMessages = 512;
+    Run out;
+    std::vector<std::vector<std::byte>> bufs(kMessages);
+    std::size_t done_count = 0;
+    const auto drain = [&] {
+      p.a_.progress();
+      for (auto& c : p.b_.progress()) {
+        out.cookies.push_back(c.cookie);
+        out.envs.push_back(c.env);
+        ++done_count;
+      }
+    };
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      const Tag tag = static_cast<Tag>(i % 3);
+      const std::size_t bytes = 8 + (i % 8) * 8;
+      bufs[i].resize(bytes);
+      p.b_.post_receive({0, tag, 0}, bufs[i], i);
+      p.a_.send(1, tag, 0, stamped(bytes, i));
+      if (i % 16 == 15) drain();
+    }
+    for (int spin = 0; spin < 1000 && done_count < kMessages; ++spin) drain();
+    for (auto& b : bufs) out.payloads.push_back(b);
+    out.keepalives =
+        p.a_.counters().keepalives_sent + p.b_.counters().keepalives_sent;
+    EXPECT_EQ(done_count, kMessages);
+    return out;
+  };
+
+  const Run stock = run_once(0);
+  const Run one = run_once(1);
+  const Run four = run_once(4);
+  EXPECT_EQ(stock.cookies, one.cookies)
+      << "ingress_lanes=1 diverged from the stock single-lane path";
+  EXPECT_TRUE(stock.envs == one.envs);
+  EXPECT_EQ(stock.payloads, one.payloads);
+  EXPECT_EQ(stock.cookies, four.cookies)
+      << "lane fan-out changed a single-stream completion order";
+  EXPECT_TRUE(stock.envs == four.envs);
+  EXPECT_EQ(stock.payloads, four.payloads);
+  EXPECT_EQ(four.keepalives, 0u)
+      << "a clean fabric must never trigger an epoch announce";
 }
 
 // --- DPA watchdog degradation (docs/RELIABILITY.md §5) -----------------------

@@ -224,5 +224,86 @@ TEST(DpaWatchdog, DrainAllEvictsPendingAndUnexpected) {
   EXPECT_TRUE(ums.empty());
 }
 
+TEST(DpaWatchdog, LaneDemotionIsLaneLocalAndRepromotes) {
+  // Per-lane watchdog over a 4-lane, 4-shard accelerator: a pressure
+  // streak on lane 2 demotes only lane 2 — siblings keep matching on the
+  // NIC and the global (whole-accelerator) demotion path stays untouched.
+  DpaConfig cfg;
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.pressure_streak = 3;
+  cfg.watchdog.healthy_window = 2;
+  MatchConfig mc = match_cfg(4);
+  mc.shards = 4;
+  DpaAccelerator dpa(cfg, mc);
+  dpa.set_ingress_lanes(4);
+
+  dpa.lane_watchdog_tick(2, true);
+  dpa.lane_watchdog_tick(2, true);
+  EXPECT_FALSE(dpa.lane_degraded(2)) << "two dirty ticks are under the streak";
+  dpa.lane_watchdog_tick(2, true);
+  EXPECT_TRUE(dpa.lane_degraded(2));
+  EXPECT_TRUE(dpa.any_lane_degraded());
+  for (unsigned l : {0u, 1u, 3u})
+    EXPECT_FALSE(dpa.lane_degraded(l)) << "lane " << l << " caught lane 2's demotion";
+  EXPECT_FALSE(dpa.degraded()) << "a lane demotion must not demote the DPA";
+
+  // Eviction is shard-scoped: a pending receive for source 2 (shard 2,
+  // lane 2's traffic) drains to the host; the source-1 receive stays on
+  // the NIC and still matches a later delivery.
+  MatchSpec on_lane2;
+  on_lane2.source = 2;
+  on_lane2.tag = 5;
+  ASSERT_EQ(dpa.post_receive(on_lane2, 0x2000, 64, /*cookie=*/52).kind,
+            PostOutcome::Kind::kPending);
+  MatchSpec on_lane1;
+  on_lane1.source = 1;
+  on_lane1.tag = 5;
+  ASSERT_EQ(dpa.post_receive(on_lane1, 0x1000, 64, /*cookie=*/51).kind,
+            PostOutcome::Kind::kPending);
+
+  std::vector<MatchEngine::DrainedReceive> receives;
+  std::vector<UnexpectedDescriptor> ums;
+  dpa.drain_lane_shard(2, receives, ums);
+  ASSERT_EQ(receives.size(), 1u);
+  EXPECT_EQ(receives[0].spec.source, 2);
+  EXPECT_EQ(receives[0].cookie, 52u);
+  EXPECT_TRUE(ums.empty());
+
+  const std::vector<IncomingMessage> lane1_msg = {IncomingMessage::make(1, 5, 0)};
+  const auto out = dpa.deliver(lane1_msg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, ArrivalOutcome::Kind::kMatched)
+      << "sibling lanes must keep matching on the NIC while lane 2 is down";
+  EXPECT_EQ(out[0].match.receive_cookie, 51u);
+
+  // Hysteresis mirrors the global watchdog: a healthy window re-promotes
+  // just this lane.
+  dpa.lane_watchdog_tick(2, false);
+  EXPECT_FALSE(dpa.lane_promotable(2));
+  dpa.lane_watchdog_tick(2, false);
+  ASSERT_TRUE(dpa.lane_promotable(2));
+  dpa.lane_promote(2);
+  EXPECT_FALSE(dpa.lane_degraded(2));
+  EXPECT_FALSE(dpa.any_lane_degraded());
+}
+
+TEST(DpaWatchdog, ForceDemoteLaneIsNoopWhenDisabled) {
+  MatchConfig mc = match_cfg(4);
+  mc.shards = 4;
+  DpaAccelerator off(DpaConfig{}, mc);
+  off.set_ingress_lanes(4);
+  off.force_demote_lane(1);
+  EXPECT_FALSE(off.lane_degraded(1));
+  EXPECT_FALSE(off.any_lane_degraded());
+
+  DpaConfig cfg;
+  cfg.watchdog.enabled = true;
+  DpaAccelerator on(cfg, mc);
+  on.set_ingress_lanes(4);
+  on.force_demote_lane(1);
+  EXPECT_TRUE(on.lane_degraded(1));
+  EXPECT_FALSE(on.degraded());
+}
+
 }  // namespace
 }  // namespace otm

@@ -1,0 +1,26 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R10 bad twin: the steering hash inlined by hand. Each of these picks an
+// ingress lane without going through steer_lane(), so the copy can diverge
+// from the RSS indirection and split one (peer, tag-class) flow across two
+// lanes' reliable-delivery windows.
+#include <cstdint>
+
+namespace otm::proto {
+
+struct Envelope {
+  std::uint32_t source = 0;
+};
+
+unsigned pick_lane_modulo(const Envelope& env, unsigned lanes) {
+  return env.source % lanes;  // hand-rolled hash, slow form
+}
+
+unsigned pick_lane_mask(const Envelope& env, unsigned lanes) {
+  return env.source & (lanes - 1);  // hand-rolled hash, fast form
+}
+
+unsigned pick_lane_member_mask(const Envelope& env, std::uint32_t lane_mask) {
+  return env.source & lane_mask;  // same hash against a cached mask
+}
+
+}  // namespace otm::proto

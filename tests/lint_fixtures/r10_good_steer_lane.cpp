@@ -1,0 +1,34 @@
+// otmlint-fixture: src/proto/fixture.cpp
+// R10 good twin: every lane decision routes through steer_lane(), and the
+// legal lane-on-lane arithmetic (power-of-two checks, mask derivation,
+// suppressed non-routing uses) stays quiet.
+#include <cstdint>
+
+namespace otm::proto {
+
+using Rank = std::uint32_t;
+
+constexpr unsigned steer_lane(Rank source, std::uint32_t mask) noexcept {
+  return static_cast<unsigned>(source & mask);
+}
+
+struct Envelope {
+  Rank source = 0;
+};
+
+unsigned pick_lane(const Envelope& env, std::uint32_t lane_mask) {
+  return steer_lane(env.source, lane_mask);
+}
+
+bool lanes_are_power_of_two(unsigned lanes) {
+  return (lanes & (lanes - 1)) == 0;  // lane-on-lane bookkeeping, not routing
+}
+
+std::uint32_t derive_mask(unsigned lanes) { return lanes - 1; }
+
+unsigned spread_buffer(std::uint32_t handle, unsigned lanes) {
+  // otmlint: allow(R10) -- pool round-robin partition, not flow steering
+  return handle % lanes;
+}
+
+}  // namespace otm::proto

@@ -191,36 +191,34 @@ int run_replay(const Cli& cli) {
   return 1;
 }
 
-/// Planted-bug self-test: with the ack fence deliberately broken
-/// (OTM_VERIFY_BREAK=ack_fence), the explorer must find an ack_fence
-/// violation in the recovery_flap family, and the emitted counterexample
-/// must reproduce the identical violation on three consecutive replays.
-/// The ack fence is the reachable planted target: a sender's recovery
-/// bumps its channel epoch instantly, while the receiver's next
-/// coalesced ack still reports the epoch current at its last CQ drain —
-/// so a stale ack genuinely arrives at the new-epoch channel. (The
-/// data-path head fence cannot be provoked this way: QP reset drops
-/// held packets and the receive CQ is FIFO, so no stale data packet can
-/// reach a receiver that already adopted a newer epoch.)
-int run_planted_check(const Cli& cli) {
-  const Scenario* s = otm::verify::find_scenario("recovery_flap");
+/// One planted-bug target: break `break_name` via OTM_VERIFY_BREAK while
+/// exploring `scenario`; the explorer must find an `expect_invariant`
+/// violation and the emitted counterexample must reproduce the identical
+/// violation on three consecutive replays (plus a serialized round-trip).
+int run_one_planted(const char* scenario, const char* break_name,
+                    const char* expect_invariant, const Cli& cli,
+                    std::uint32_t min_preemptions) {
+  const Scenario* s = otm::verify::find_scenario(scenario);
   if (s == nullptr) {
-    std::fprintf(stderr, "otmcheck: recovery_flap scenario missing\n");
+    std::fprintf(stderr, "otmcheck: %s scenario missing\n", scenario);
     return 1;
   }
-  ::setenv("OTM_VERIFY_BREAK", "ack_fence", 1);
+  ::setenv("OTM_VERIFY_BREAK", break_name, 1);
   ExploreOptions opts = cli.opts;
   opts.stop_at_first_violation = true;
   if (opts.max_runs == ExploreOptions{}.max_runs) opts.max_runs = 30'000;
   opts.max_faults = std::max<std::uint32_t>(opts.max_faults, 4);
+  opts.max_preemptions =
+      std::max<std::uint32_t>(opts.max_preemptions, min_preemptions);
   Explorer explorer(*s, opts);
-  std::printf("[planted] exploring recovery_flap with the ack fence "
-              "disabled (OTM_VERIFY_BREAK=ack_fence)\n");
+  std::printf("[planted] exploring %s with the %s disabled "
+              "(OTM_VERIFY_BREAK=%s)\n",
+              scenario, expect_invariant, break_name);
   const ExploreResult result = explorer.explore();
   print_stats(result);
   int rc = 1;
   if (result.counterexamples.empty()) {
-    std::printf("  FAIL: planted ack-fence bug was not found\n");
+    std::printf("  FAIL: planted %s bug was not found\n", expect_invariant);
   } else {
     const Counterexample& cx = result.counterexamples.front();
     std::printf("  found %s after %llu runs: %s\n",
@@ -231,10 +229,10 @@ int run_planted_check(const Cli& cli) {
     const bool emitted = write_counterexample(cli.emit_dir, cx, path);
     if (emitted)
       std::printf("  counterexample: %s\n", path.c_str());
-    bool deterministic = cx.violation.invariant == "ack_fence";
+    bool deterministic = cx.violation.invariant == expect_invariant;
     if (!deterministic)
-      std::printf("  FAIL: expected an ack_fence violation, got %s\n",
-                  cx.violation.invariant.c_str());
+      std::printf("  FAIL: expected an %s violation, got %s\n",
+                  expect_invariant, cx.violation.invariant.c_str());
     for (int i = 0; deterministic && i < 3; ++i) {
       const RunResult r = explorer.replay(cx.choices());
       if (r.violations.empty() ||
@@ -266,6 +264,32 @@ int run_planted_check(const Cli& cli) {
   }
   ::unsetenv("OTM_VERIFY_BREAK");
   return rc;
+}
+
+/// Planted-bug self-test: prove the checker finds real bugs, one target
+/// per fence.
+///
+/// ack_fence / recovery_flap: a sender's recovery bumps its channel epoch
+/// instantly, while the receiver's next coalesced ack still reports the
+/// epoch current at its last CQ drain — so a stale ack genuinely arrives
+/// at the new-epoch channel.
+///
+/// epoch_fence / multi_lane_ingress: on a single FIFO CQ the data-path
+/// head fence is unreachable (QP reset drops held packets, and in-order
+/// delivery means no stale data packet can trail the replay that carries
+/// the newer epoch). With two ingress lanes it becomes reachable: stale
+/// epoch-0 data parks in the receiver's lane-0 CQ while the recovery's
+/// epoch announce lands on lane 1; when the lane-drain decision pops the
+/// announce first, the receiver adopts the new epoch and the parked data
+/// hits the head fence — exactly the cross-lane hazard the fence exists
+/// for.
+int run_planted_check(const Cli& cli) {
+  const int ack = run_one_planted("recovery_flap", "ack_fence", "ack_fence",
+                                  cli, /*min_preemptions=*/0);
+  const int epoch =
+      run_one_planted("multi_lane_ingress", "epoch_fence", "epoch_fence", cli,
+                      /*min_preemptions=*/3);
+  return ack == 0 && epoch == 0 ? 0 : 1;
 }
 
 }  // namespace
